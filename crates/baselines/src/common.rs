@@ -1,0 +1,226 @@
+//! Shared infrastructure for labelling strategies.
+
+use crowdrl_core::{CrowdRl, CrowdRlConfig, LabellingOutcome};
+use crowdrl_inference::InferenceResult;
+use crowdrl_sim::{AnnotatorPool, Platform};
+use crowdrl_types::rng::sample_indices;
+use crowdrl_types::{Dataset, LabelState, LabelledSet, ObjectId, Result};
+use rand::RngCore;
+
+/// Common experimental knobs shared by every strategy, mirroring the
+/// paper's setup (§VI-B.1): initial sampling ratio α, annotators per
+/// object, batch size.
+#[derive(Debug, Clone)]
+pub struct BaselineParams {
+    /// Total monetary budget `B`.
+    pub budget: f64,
+    /// Initial sampling ratio α.
+    pub initial_ratio: f64,
+    /// Annotators asked per object.
+    pub assignment_k: usize,
+    /// Objects processed per iteration.
+    pub batch_per_iter: usize,
+    /// Safety cap on iterations.
+    pub max_iters: usize,
+}
+
+impl BaselineParams {
+    /// Paper defaults with the given budget: α = 5%, k = 3, batch = 8.
+    pub fn with_budget(budget: f64) -> Self {
+        Self {
+            budget,
+            initial_ratio: 0.05,
+            assignment_k: 3,
+            batch_per_iter: 8,
+            max_iters: 100_000,
+        }
+    }
+}
+
+/// An end-to-end labelling framework: give it a dataset, a pool and a
+/// budget; get back labels for (as much as possible of) the dataset.
+///
+/// `Send + Sync` so experiment runners can share strategies across worker
+/// threads (every implementation is plain configuration data).
+pub trait LabellingStrategy: Send + Sync {
+    /// Display name, as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Run the full labelling workflow.
+    fn run(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        params: &BaselineParams,
+        rng: &mut dyn RngCore,
+    ) -> Result<LabellingOutcome>;
+}
+
+/// Adapter presenting CrowdRL itself as a [`LabellingStrategy`], so
+/// harnesses can run it alongside the baselines.
+#[derive(Debug, Clone)]
+pub struct CrowdRlStrategy {
+    /// Extra configuration applied on top of the shared params (ablations,
+    /// inference model, exploration).
+    pub configure: CrowdRlConfig,
+    /// Name shown in result tables (`"CrowdRL"`, `"M1"`, ...).
+    pub label: &'static str,
+}
+
+impl CrowdRlStrategy {
+    /// The full CrowdRL framework under default configuration.
+    pub fn full() -> Self {
+        Self {
+            configure: CrowdRlConfig::builder().budget(1.0).build().expect("default config"),
+            label: "CrowdRL",
+        }
+    }
+
+    /// A named variant with a custom configuration (budget and shared
+    /// params are overwritten per run).
+    pub fn variant(label: &'static str, configure: CrowdRlConfig) -> Self {
+        Self { configure, label }
+    }
+}
+
+impl LabellingStrategy for CrowdRlStrategy {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn run(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        params: &BaselineParams,
+        rng: &mut dyn RngCore,
+    ) -> Result<LabellingOutcome> {
+        let mut config = self.configure.clone();
+        config.budget = params.budget;
+        config.initial_ratio = params.initial_ratio;
+        config.assignment_k = params.assignment_k;
+        config.batch_per_iter = params.batch_per_iter;
+        config.max_iters = params.max_iters;
+        CrowdRl::new(config).run(dataset, pool, rng)
+    }
+}
+
+/// Take the α·|O| initial sample: each sampled object is asked to `k`
+/// uniformly-random annotators (stopping early on budget exhaustion).
+pub fn initial_sample(
+    platform: &mut Platform<'_>,
+    initial_ratio: f64,
+    k: usize,
+    rng: &mut dyn RngCore,
+) {
+    let n = platform.dataset().len();
+    let m = ((initial_ratio * n as f64).round() as usize).min(n);
+    let objects = sample_indices(rng, n, m);
+    let pool_len = platform.pool().len();
+    for obj in objects {
+        let idx = sample_indices(rng, pool_len, k);
+        let annotators: Vec<_> =
+            idx.into_iter().map(|i| platform.pool().profiles()[i].id).collect();
+        platform.ask_many(ObjectId(obj), &annotators, rng);
+    }
+}
+
+/// Write an inference result's MAP labels into the labelled set.
+pub fn apply_labels(result: &InferenceResult, labelled: &mut LabelledSet) -> Result<()> {
+    for obj in result.inferred_objects() {
+        if let Some(label) = result.label(obj) {
+            labelled.set(obj, LabelState::Inferred(label))?;
+        }
+    }
+    Ok(())
+}
+
+/// Assemble a [`LabellingOutcome`] from final state (baselines don't track
+/// per-iteration reward, so the trace is left empty).
+pub fn outcome_from(
+    labelled: &LabelledSet,
+    platform: &Platform<'_>,
+    iterations: usize,
+) -> LabellingOutcome {
+    let n = labelled.len();
+    let label_states: Vec<LabelState> =
+        (0..n).map(|i| labelled.state(ObjectId(i))).collect();
+    LabellingOutcome {
+        labels: labelled.to_labels(),
+        label_states: label_states.clone(),
+        budget_spent: platform.budget().spent(),
+        iterations,
+        total_answers: platform.answers().total_answers(),
+        enriched_count: label_states
+            .iter()
+            .filter(|s| matches!(s, LabelState::Enriched(_)))
+            .count(),
+        trace: Vec::new(),
+    }
+}
+
+/// Posterior entropy of an object under an inference result; unanswered
+/// objects get maximal entropy (`ln k`), making them the most uncertain.
+pub fn posterior_entropy(result: &InferenceResult, obj: ObjectId, num_classes: usize) -> f64 {
+    match &result.posteriors[obj.index()] {
+        Some(p) => crowdrl_types::prob::entropy(p),
+        None => (num_classes as f64).ln(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_sim::{DatasetSpec, PoolSpec};
+    use crowdrl_types::rng::seeded;
+    use crowdrl_types::Budget;
+
+    #[test]
+    fn params_defaults_match_paper() {
+        let p = BaselineParams::with_budget(500.0);
+        assert_eq!(p.budget, 500.0);
+        assert_eq!(p.initial_ratio, 0.05);
+        assert_eq!(p.assignment_k, 3);
+    }
+
+    #[test]
+    fn initial_sample_asks_alpha_fraction() {
+        let mut rng = seeded(1);
+        let dataset = DatasetSpec::gaussian("t", 100, 2, 2).generate(&mut rng).unwrap();
+        let pool = PoolSpec::new(4, 0).generate(2, &mut rng).unwrap();
+        let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
+        initial_sample(&mut platform, 0.1, 3, &mut rng);
+        let answered = platform.answers().answered_objects().count();
+        assert_eq!(answered, 10);
+        assert_eq!(platform.answers().total_answers(), 30);
+    }
+
+    #[test]
+    fn crowdrl_strategy_runs_with_params() {
+        let mut rng = seeded(2);
+        let dataset = DatasetSpec::gaussian("t", 40, 3, 2)
+            .with_separation(2.5)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+        let params = BaselineParams::with_budget(100.0);
+        let outcome = CrowdRlStrategy::full()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
+        assert!(outcome.budget_spent <= 100.0 + 1e-9);
+        assert_eq!(CrowdRlStrategy::full().name(), "CrowdRL");
+    }
+
+    #[test]
+    fn posterior_entropy_defaults_to_max_for_unanswered() {
+        let result = InferenceResult {
+            posteriors: vec![Some(vec![1.0, 0.0]), None],
+            confusions: vec![],
+            class_prior: vec![0.5, 0.5],
+            iterations: 1,
+            log_likelihood: f64::NAN,
+        };
+        assert_eq!(posterior_entropy(&result, ObjectId(0), 2), 0.0);
+        assert!((posterior_entropy(&result, ObjectId(1), 2) - 2f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! DALC — "Leveraging crowdsourcing data for deep active learning"
+//! (Yang et al., WWW 2018), as described in §VI-A.2.
+//!
+//! A Bayesian active-learning-from-crowds framework:
+//!
+//! * a classifier is trained on the current labelled set and folded into
+//!   inference (we use the classifier-as-annotator construction — the
+//!   "unified Bayesian model" without CrowdRL's joint retraining);
+//! * task *selection* picks the most informative unlabelled objects
+//!   (maximum classifier entropy);
+//! * task *assignment* picks the annotators with the highest estimated
+//!   expertise for those tasks — cost-blind, which is why DALC burns
+//!   budget on experts;
+//! * selection and assignment are two independent greedy passes: exactly
+//!   the decoupling CrowdRL's unified action removes.
+
+use crate::common::{
+    apply_labels, initial_sample, outcome_from, BaselineParams, LabellingStrategy,
+};
+use crowdrl_core::classifier_util::retrain_on_labelled;
+use crowdrl_core::enrichment::fallback_label_all;
+use crowdrl_core::LabellingOutcome;
+use crowdrl_inference::{ClassifierAsAnnotator, DawidSkene, MajorityVote};
+use crowdrl_nn::{ClassifierConfig, SoftmaxClassifier};
+use crowdrl_rl::topk;
+use crowdrl_sim::{AnnotatorPool, Platform};
+use crowdrl_types::{prob, Budget, Dataset, LabelledSet, ObjectId, Result};
+use rand::RngCore;
+
+/// The DALC baseline.
+#[derive(Debug, Clone)]
+pub struct Dalc {
+    /// Classifier hyperparameters.
+    pub classifier: ClassifierConfig,
+}
+
+impl Default for Dalc {
+    fn default() -> Self {
+        Self {
+            classifier: ClassifierConfig { epochs: 10, ..ClassifierConfig::default() },
+        }
+    }
+}
+
+impl LabellingStrategy for Dalc {
+    fn name(&self) -> &'static str {
+        "DALC"
+    }
+
+    fn run(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        params: &BaselineParams,
+        rng: &mut dyn RngCore,
+    ) -> Result<LabellingOutcome> {
+        let n = dataset.len();
+        let k_classes = dataset.num_classes();
+        let mut platform = Platform::new(dataset, pool, Budget::new(params.budget)?);
+        let mut labelled = LabelledSet::new(n);
+        let mut classifier =
+            SoftmaxClassifier::new(self.classifier.clone(), dataset.dim(), k_classes, rng)?;
+
+        initial_sample(&mut platform, params.initial_ratio, params.assignment_k, rng);
+        let mut result = MajorityVote.infer(platform.answers(), k_classes, pool.len())?;
+        apply_labels(&result, &mut labelled)?;
+        retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
+
+        let mut iterations = 0;
+        for _ in 0..params.max_iters {
+            if platform.exhausted() || labelled.all_labelled() {
+                break;
+            }
+            iterations += 1;
+
+            // Selection: most informative = maximum classifier entropy
+            // (uniform when untrained).
+            let unlabelled: Vec<ObjectId> = labelled.unlabelled_objects().collect();
+            let entropies: Vec<f64> = unlabelled
+                .iter()
+                .map(|obj| {
+                    if classifier.is_trained() {
+                        prob::entropy(&classifier.predict_proba_one(dataset.features(obj.index())))
+                    } else {
+                        (k_classes as f64).ln()
+                    }
+                })
+                .collect();
+            let batch = topk::top_k_indices(&entropies, params.batch_per_iter);
+            if batch.is_empty() {
+                break;
+            }
+
+            // Assignment: highest estimated expertise, cost-blind.
+            let qualities = result.qualities();
+            let mut bought = 0;
+            for &bi in &batch {
+                let obj = unlabelled[bi];
+                let scores: Vec<f64> = pool
+                    .profiles()
+                    .iter()
+                    .map(|p| {
+                        if platform.answers().has_answered(obj, p.id)
+                            || !platform.can_afford(p.id)
+                        {
+                            f64::NEG_INFINITY
+                        } else {
+                            // Before any inference the qualities vector may
+                            // be shorter than the pool; default neutral.
+                            qualities.get(p.id.index()).copied().unwrap_or(0.5)
+                        }
+                    })
+                    .collect();
+                let chosen = topk::top_k_indices(&scores, params.assignment_k);
+                let annotators: Vec<_> =
+                    chosen.into_iter().map(|i| pool.profiles()[i].id).collect();
+                bought += platform.ask_many(obj, &annotators, rng).len();
+            }
+            if bought == 0 {
+                break;
+            }
+
+            // Inference: classifier folded in as an extra annotator when
+            // trained; plain EM otherwise.
+            result = if classifier.is_trained() {
+                ClassifierAsAnnotator::default().infer(
+                    dataset,
+                    platform.answers(),
+                    pool.len(),
+                    &classifier,
+                )?
+            } else {
+                DawidSkene::default().infer(platform.answers(), k_classes, pool.len())?
+            };
+            apply_labels(&result, &mut labelled)?;
+            retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
+        }
+
+        // DALC's model labels whatever the budget did not reach.
+        if classifier.is_trained() {
+            fallback_label_all(dataset, &classifier, &mut labelled)?;
+        }
+        Ok(outcome_from(&labelled, &platform, iterations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_sim::{DatasetSpec, PoolSpec};
+    use crowdrl_types::rng::seeded;
+
+    fn setup(n: usize, seed: u64) -> (Dataset, AnnotatorPool) {
+        let mut rng = seeded(seed);
+        let dataset = DatasetSpec::gaussian("t", n, 3, 2)
+            .with_separation(2.5)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(3, 2).generate(2, &mut rng).unwrap();
+        (dataset, pool)
+    }
+
+    #[test]
+    fn labels_everything_and_stays_in_budget() {
+        let (dataset, pool) = setup(50, 1);
+        let mut rng = seeded(2);
+        let params = BaselineParams::with_budget(300.0);
+        let outcome = Dalc::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert_eq!(outcome.coverage(), 1.0);
+        assert!(outcome.budget_spent <= 300.0 + 1e-9);
+        let acc = outcome
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| **l == Some(dataset.truth(*i)))
+            .count() as f64
+            / dataset.len() as f64;
+        assert!(acc > 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn assignment_is_expert_hungry() {
+        // DALC assigns by expertise regardless of cost, so the average
+        // answer price should exceed DLTA's quality-per-cost policy.
+        let (dataset, pool) = setup(40, 3);
+        let params = BaselineParams::with_budget(250.0);
+        let mut rng = seeded(4);
+        let dalc = Dalc::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let mut rng = seeded(4);
+        let dlta = crate::dlta::Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let price = |o: &LabellingOutcome| o.budget_spent / o.total_answers.max(1) as f64;
+        assert!(
+            price(&dalc) > price(&dlta),
+            "DALC {} should out-spend DLTA {} per answer",
+            price(&dalc),
+            price(&dlta)
+        );
+    }
+
+    #[test]
+    fn tight_budget_still_covers_via_model() {
+        // Enough budget for the classifier to see both classes, but far too
+        // little to annotate everything: coverage comes from the model.
+        let (dataset, pool) = setup(60, 5);
+        let mut rng = seeded(6);
+        let params = BaselineParams::with_budget(100.0);
+        let outcome = Dalc::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert!(outcome.budget_spent <= 100.0 + 1e-9);
+        // Model fallback gives full coverage once training happened.
+        assert_eq!(outcome.coverage(), 1.0);
+        // And most labels must have come from the model, not annotators.
+        assert!(outcome.enriched_count > dataset.len() / 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! DLTA — "A framework for dynamic crowdsourcing classification tasks"
+//! (Zheng & Chen, TKDE 2019), as described in §VI-A.2.
+//!
+//! Each iteration has two steps:
+//!
+//! * **label inference** — EM (Dawid–Skene) aggregation over all answers;
+//! * **label acquisition** — given the remaining budget, select the objects
+//!   whose additional labels maximize expected benefit. We realize the
+//!   benefit score as posterior entropy (unanswered objects count as
+//!   maximally uncertain), the standard uncertainty-sampling surrogate.
+//!
+//! DLTA aggregates crowd answers only: it never trains a feature model, so
+//! objects the budget never reaches stay unlabelled. Its acquisition step
+//! selects *objects*, not annotators — the paper groups DLTA with the
+//! traditional frameworks that treat task assignment independently — so
+//! annotators are drawn uniformly from the cheapest tier that is still
+//! affordable (budget-awareness is DLTA's one concession; it has no
+//! annotator-quality model).
+
+use crate::common::{
+    apply_labels, initial_sample, outcome_from, posterior_entropy, BaselineParams,
+    LabellingStrategy,
+};
+use crowdrl_core::LabellingOutcome;
+use crowdrl_inference::DawidSkene;
+use crowdrl_rl::topk;
+use crowdrl_sim::{AnnotatorPool, Platform};
+use crowdrl_types::rng::sample_indices;
+use crowdrl_types::{Budget, Dataset, LabelledSet, ObjectId, Result};
+use rand::RngCore;
+
+/// The DLTA baseline.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Dlta {
+    /// EM configuration for the inference step.
+    pub inference: DawidSkene,
+}
+
+
+impl LabellingStrategy for Dlta {
+    fn name(&self) -> &'static str {
+        "DLTA"
+    }
+
+    fn run(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        params: &BaselineParams,
+        rng: &mut dyn RngCore,
+    ) -> Result<LabellingOutcome> {
+        let n = dataset.len();
+        let k_classes = dataset.num_classes();
+        let mut platform = Platform::new(dataset, pool, Budget::new(params.budget)?);
+        let mut labelled = LabelledSet::new(n);
+
+        initial_sample(&mut platform, params.initial_ratio, params.assignment_k, rng);
+        let mut result = self.inference.infer(platform.answers(), k_classes, pool.len())?;
+        apply_labels(&result, &mut labelled)?;
+
+        // Quality-per-cost annotator ranking, refreshed each iteration.
+        let mut iterations = 0;
+        for _ in 0..params.max_iters {
+            if platform.exhausted() {
+                break;
+            }
+            // Acquisition: most-uncertain objects that can still take a new
+            // answer from someone.
+            let scores: Vec<f64> = (0..n)
+                .map(|i| {
+                    let obj = ObjectId(i);
+                    let open = pool
+                        .profiles()
+                        .iter()
+                        .any(|p| !platform.answers().has_answered(obj, p.id));
+                    if open {
+                        posterior_entropy(&result, obj, k_classes)
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                })
+                .collect();
+            let batch = topk::top_k_indices(&scores, params.batch_per_iter);
+            if batch.is_empty() || scores[batch[0]] <= 1e-6 {
+                // Everything answered or already certain: stop spending.
+                break;
+            }
+            iterations += 1;
+
+            // Assignment: uniform-random among the cheapest affordable
+            // annotators who have not answered the object yet (DLTA's
+            // acquisition step selects objects only; it is budget-aware but
+            // quality-blind).
+            let mut bought = 0;
+            for &obj_idx in &batch {
+                let obj = ObjectId(obj_idx);
+                let mut fresh: Vec<_> = pool
+                    .profiles()
+                    .iter()
+                    .filter(|p| {
+                        !platform.answers().has_answered(obj, p.id)
+                            && platform.can_afford(p.id)
+                    })
+                    .collect();
+                fresh.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+                let min_cost = fresh.first().map(|p| p.cost).unwrap_or(0.0);
+                let cheap: Vec<_> = fresh
+                    .iter()
+                    .filter(|p| p.cost <= min_cost + 1e-9)
+                    .map(|p| p.id)
+                    .collect();
+                let chosen = sample_indices(rng, cheap.len(), params.assignment_k);
+                let annotators: Vec<_> = chosen.into_iter().map(|i| cheap[i]).collect();
+                bought += platform.ask_many(obj, &annotators, rng).len();
+            }
+            if bought == 0 {
+                break;
+            }
+            result = self.inference.infer(platform.answers(), k_classes, pool.len())?;
+            apply_labels(&result, &mut labelled)?;
+        }
+
+        Ok(outcome_from(&labelled, &platform, iterations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_sim::{DatasetSpec, PoolSpec};
+    use crowdrl_types::rng::seeded;
+
+    fn setup(n: usize, seed: u64) -> (Dataset, AnnotatorPool) {
+        let mut rng = seeded(seed);
+        let dataset = DatasetSpec::gaussian("t", n, 3, 2)
+            .with_separation(2.0)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(4, 1).generate(2, &mut rng).unwrap();
+        (dataset, pool)
+    }
+
+    #[test]
+    fn labels_everything_with_ample_budget() {
+        let (dataset, pool) = setup(30, 1);
+        let mut rng = seeded(2);
+        let params = BaselineParams::with_budget(1000.0);
+        let outcome = Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert!(outcome.coverage() > 0.9, "coverage {}", outcome.coverage());
+        assert!(outcome.budget_spent <= 1000.0 + 1e-9);
+        let acc = outcome
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| **l == Some(dataset.truth(*i)))
+            .count() as f64
+            / dataset.len() as f64;
+        assert!(acc > 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn leaves_objects_unlabelled_under_tight_budget() {
+        let (dataset, pool) = setup(50, 3);
+        let mut rng = seeded(4);
+        let params = BaselineParams::with_budget(20.0);
+        let outcome = Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert!(outcome.coverage() < 1.0);
+        assert!(outcome.budget_spent <= 20.0 + 1e-9);
+        // No classifier means no enrichment, ever.
+        assert_eq!(outcome.enriched_count, 0);
+    }
+
+    #[test]
+    fn assignment_prefers_cheapest_tier() {
+        let (dataset, pool) = setup(20, 5);
+        let mut rng = seeded(6);
+        let params = BaselineParams::with_budget(150.0);
+        let outcome = Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        // With 4 workers at cost 1, the cheapest tier covers k = 3, so the
+        // expert (cost 10) is almost never drawn.
+        let avg_price = outcome.budget_spent / outcome.total_answers.max(1) as f64;
+        assert!(avg_price < 2.0, "avg answer price {avg_price}");
+    }
+
+    #[test]
+    fn stops_when_everything_is_certain() {
+        let (dataset, pool) = setup(10, 7);
+        let mut rng = seeded(8);
+        // Huge budget, tiny dataset: must terminate by certainty, not budget.
+        let params = BaselineParams::with_budget(1e6);
+        let outcome = Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert!(outcome.budget_spent < 1e6);
+    }
+}

@@ -1,0 +1,200 @@
+//! A k-nearest-neighbours classifier — the "traditional classification
+//! method" the OBA baseline uses as its AI worker (§VI-A.2: "it used
+//! traditional classification or clustering methods, e.g., KNN").
+
+use crowdrl_types::{ClassId, Error, Result};
+
+/// Brute-force k-NN over dense `f32` features with majority voting.
+///
+/// Confidence is the vote fraction of the winning class — exactly the
+/// quantity OBA thresholds to decide whether the AI worker labels an
+/// object or a human does.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    dim: usize,
+    num_classes: usize,
+    points: Vec<f32>,
+    labels: Vec<ClassId>,
+}
+
+impl KnnClassifier {
+    /// An empty model for `dim`-dimensional features and `num_classes`
+    /// classes using `k` neighbours.
+    pub fn new(k: usize, dim: usize, num_classes: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter("k must be positive".into()));
+        }
+        if dim == 0 || num_classes < 2 {
+            return Err(Error::InvalidParameter("dim must be positive, classes >= 2".into()));
+        }
+        Ok(Self { k, dim, num_classes, points: Vec::new(), labels: Vec::new() })
+    }
+
+    /// Number of stored training points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the model has no training points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Replace the training set.
+    pub fn fit(&mut self, features: &[f32], labels: &[ClassId]) -> Result<()> {
+        if labels.is_empty() {
+            return Err(Error::InvalidParameter("k-NN needs at least one training point".into()));
+        }
+        if features.len() != labels.len() * self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: labels.len() * self.dim,
+                actual: features.len(),
+                context: "k-NN training features".into(),
+            });
+        }
+        if let Some(bad) = labels.iter().find(|c| c.index() >= self.num_classes) {
+            return Err(Error::InvalidParameter(format!("label {bad} out of range")));
+        }
+        self.points = features.to_vec();
+        self.labels = labels.to_vec();
+        Ok(())
+    }
+
+    /// Add a single training point (incremental fit).
+    pub fn push(&mut self, features: &[f32], label: ClassId) -> Result<()> {
+        if features.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: features.len(),
+                context: "k-NN point".into(),
+            });
+        }
+        if label.index() >= self.num_classes {
+            return Err(Error::InvalidParameter(format!("label {label} out of range")));
+        }
+        self.points.extend_from_slice(features);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Predict `(label, confidence)` where confidence is the winning vote
+    /// fraction among the k nearest stored points. Errors when untrained.
+    pub fn predict(&self, features: &[f32]) -> Result<(ClassId, f64)> {
+        if self.is_empty() {
+            return Err(Error::InvalidParameter("k-NN model is untrained".into()));
+        }
+        if features.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: features.len(),
+                context: "k-NN query".into(),
+            });
+        }
+        // Collect (distance², index), partial-select the k smallest.
+        let n = self.labels.len();
+        let mut dists: Vec<(f32, usize)> = (0..n)
+            .map(|i| {
+                let row = &self.points[i * self.dim..(i + 1) * self.dim];
+                let d: f32 = row
+                    .iter()
+                    .zip(features)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                (d, i)
+            })
+            .collect();
+        let k = self.k.min(n);
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut votes = vec![0usize; self.num_classes];
+        for &(_, i) in &dists[..k] {
+            votes[self.labels[i].index()] += 1;
+        }
+        let best = crowdrl_types::prob::argmax(
+            &votes.iter().map(|&v| v as f64).collect::<Vec<_>>(),
+        )
+        .unwrap_or(0);
+        Ok((ClassId(best), votes[best] as f64 / k as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_model() -> KnnClassifier {
+        let mut knn = KnnClassifier::new(3, 2, 2).unwrap();
+        // Two clusters: class 0 near (0,0), class 1 near (10,10).
+        let feats = [
+            0.0f32, 0.0, 0.5, 0.5, -0.5, 0.2, // class 0
+            10.0, 10.0, 9.5, 10.5, 10.2, 9.8, // class 1
+        ];
+        let labels = vec![
+            ClassId(0),
+            ClassId(0),
+            ClassId(0),
+            ClassId(1),
+            ClassId(1),
+            ClassId(1),
+        ];
+        knn.fit(&feats, &labels).unwrap();
+        knn
+    }
+
+    #[test]
+    fn classifies_clusters_confidently() {
+        let knn = simple_model();
+        let (c, conf) = knn.predict(&[0.1, 0.1]).unwrap();
+        assert_eq!(c, ClassId(0));
+        assert_eq!(conf, 1.0);
+        let (c, conf) = knn.predict(&[9.9, 10.1]).unwrap();
+        assert_eq!(c, ClassId(1));
+        assert_eq!(conf, 1.0);
+    }
+
+    #[test]
+    fn midpoint_has_lower_confidence() {
+        let mut knn = KnnClassifier::new(4, 1, 2).unwrap();
+        knn.fit(&[0.0, 1.0, 10.0, 11.0], &[ClassId(0), ClassId(0), ClassId(1), ClassId(1)])
+            .unwrap();
+        let (_, conf) = knn.predict(&[5.5]).unwrap();
+        assert!((conf - 0.5).abs() < 1e-9, "conf={conf}");
+    }
+
+    #[test]
+    fn push_grows_model() {
+        let mut knn = KnnClassifier::new(1, 2, 2).unwrap();
+        assert!(knn.is_empty());
+        assert!(knn.predict(&[0.0, 0.0]).is_err());
+        knn.push(&[1.0, 1.0], ClassId(1)).unwrap();
+        assert_eq!(knn.len(), 1);
+        let (c, conf) = knn.predict(&[0.9, 1.2]).unwrap();
+        assert_eq!(c, ClassId(1));
+        assert_eq!(conf, 1.0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all_points() {
+        let mut knn = KnnClassifier::new(10, 1, 2).unwrap();
+        knn.fit(&[0.0, 1.0, 2.0], &[ClassId(0), ClassId(0), ClassId(1)]).unwrap();
+        let (c, conf) = knn.predict(&[0.0]).unwrap();
+        assert_eq!(c, ClassId(0));
+        assert!((conf - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(KnnClassifier::new(0, 2, 2).is_err());
+        assert!(KnnClassifier::new(1, 0, 2).is_err());
+        assert!(KnnClassifier::new(1, 2, 1).is_err());
+        let mut knn = KnnClassifier::new(1, 2, 2).unwrap();
+        assert!(knn.fit(&[1.0], &[ClassId(0)]).is_err());
+        assert!(knn.fit(&[], &[]).is_err());
+        assert!(knn.fit(&[1.0, 2.0], &[ClassId(5)]).is_err());
+        assert!(knn.push(&[1.0], ClassId(0)).is_err());
+        knn.push(&[1.0, 1.0], ClassId(0)).unwrap();
+        assert!(knn.predict(&[1.0]).is_err());
+    }
+}

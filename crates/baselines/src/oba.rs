@@ -1,0 +1,200 @@
+//! OBA — "Quality-aware dynamic task assignment in human+AI crowd"
+//! (Kobayashi et al., WWW 2020), as described in §VI-A.2.
+//!
+//! A human-in-the-loop process with an "AI worker":
+//!
+//! 1. humans label some objects; **their answers are trusted blindly**
+//!    (one answer per object, taken as the truth — the paper singles out
+//!    this assumption as why OBA performs worst);
+//! 2. a traditional classifier (k-NN) trains on the labelled set and
+//!    predicts every unlabelled object; predictions above a confidence
+//!    threshold are accepted;
+//! 3. the rest are assigned to human workers in the next iteration.
+
+use crate::common::{outcome_from, BaselineParams, LabellingStrategy};
+use crate::knn::KnnClassifier;
+use crowdrl_core::LabellingOutcome;
+use crowdrl_sim::{AnnotatorPool, Platform};
+use crowdrl_types::rng::sample_indices;
+use crowdrl_types::{Budget, Dataset, LabelState, LabelledSet, ObjectId, Result};
+use rand::RngCore;
+
+/// The OBA baseline.
+#[derive(Debug, Clone)]
+pub struct Oba {
+    /// AI-worker confidence threshold above which its label is accepted.
+    pub confidence_threshold: f64,
+    /// Neighbours used by the k-NN AI worker.
+    pub knn_k: usize,
+}
+
+impl Default for Oba {
+    fn default() -> Self {
+        Self { confidence_threshold: 0.8, knn_k: 5 }
+    }
+}
+
+impl LabellingStrategy for Oba {
+    fn name(&self) -> &'static str {
+        "OBA"
+    }
+
+    fn run(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        params: &BaselineParams,
+        rng: &mut dyn RngCore,
+    ) -> Result<LabellingOutcome> {
+        let n = dataset.len();
+        let mut platform = Platform::new(dataset, pool, Budget::new(params.budget)?);
+        let mut labelled = LabelledSet::new(n);
+        let mut knn = KnnClassifier::new(self.knn_k, dataset.dim(), dataset.num_classes())?;
+
+        // Workers only — OBA's AI/human loop is a crowdsourcing design; the
+        // cheap crowd is its human tier. Fall back to the whole pool if
+        // there are no workers.
+        let humans: Vec<_> = {
+            let workers: Vec<_> = pool.workers().collect();
+            if workers.is_empty() {
+                pool.profiles().iter().map(|p| p.id).collect()
+            } else {
+                workers
+            }
+        };
+
+        // Initial human pass: α·|O| objects, ONE trusted answer each.
+        let m = ((params.initial_ratio * n as f64).round() as usize).min(n);
+        for obj in sample_indices(rng, n, m) {
+            let who = humans[(rng.next_u64() % humans.len() as u64) as usize];
+            if let Ok(ans) = platform.ask(ObjectId(obj), who, rng) {
+                labelled.set(ans.object, LabelState::Inferred(ans.label))?;
+                knn.push(dataset.features(obj), ans.label)?;
+            }
+        }
+
+        let mut iterations = 0;
+        for _ in 0..params.max_iters {
+            if labelled.all_labelled() {
+                break;
+            }
+            // AI-worker pass.
+            let mut ai_labelled = 0;
+            if !knn.is_empty() {
+                let unlabelled: Vec<ObjectId> = labelled.unlabelled_objects().collect();
+                for obj in unlabelled {
+                    let (label, conf) = knn.predict(dataset.features(obj.index()))?;
+                    if conf >= self.confidence_threshold {
+                        labelled.set(obj, LabelState::Enriched(label))?;
+                        ai_labelled += 1;
+                    }
+                }
+            }
+            if labelled.all_labelled() {
+                break;
+            }
+            if platform.exhausted() {
+                break;
+            }
+            iterations += 1;
+
+            // Human pass over a batch of the remaining objects.
+            let unlabelled: Vec<ObjectId> = labelled.unlabelled_objects().collect();
+            let batch = sample_indices(rng, unlabelled.len(), params.batch_per_iter);
+            let mut bought = 0;
+            for bi in batch {
+                let obj = unlabelled[bi];
+                let who = humans[(rng.next_u64() % humans.len() as u64) as usize];
+                if let Ok(ans) = platform.ask(obj, who, rng) {
+                    labelled.set(ans.object, LabelState::Inferred(ans.label))?;
+                    knn.push(dataset.features(obj.index()), ans.label)?;
+                    bought += 1;
+                }
+            }
+            if bought == 0 && ai_labelled == 0 {
+                break;
+            }
+        }
+
+        Ok(outcome_from(&labelled, &platform, iterations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_sim::{DatasetSpec, PoolSpec};
+    use crowdrl_types::rng::seeded;
+
+    fn setup(n: usize, worker_acc: (f64, f64), seed: u64) -> (Dataset, AnnotatorPool) {
+        let mut rng = seeded(seed);
+        let dataset = DatasetSpec::gaussian("t", n, 3, 2)
+            .with_separation(3.0)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(4, 1)
+            .with_worker_accuracy(worker_acc.0, worker_acc.1)
+            .generate(2, &mut rng)
+            .unwrap();
+        (dataset, pool)
+    }
+
+    fn accuracy(outcome: &LabellingOutcome, dataset: &Dataset) -> f64 {
+        outcome
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| **l == Some(dataset.truth(*i)))
+            .count() as f64
+            / dataset.len() as f64
+    }
+
+    #[test]
+    fn works_well_with_perfect_humans() {
+        // OBA's assumption holds: near-perfect workers.
+        let (dataset, pool) = setup(60, (0.98, 1.0), 1);
+        let mut rng = seeded(2);
+        let params = BaselineParams::with_budget(300.0);
+        let outcome = Oba::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert!(outcome.coverage() > 0.9);
+        assert!(accuracy(&outcome, &dataset) > 0.85);
+    }
+
+    #[test]
+    fn degrades_with_noisy_humans() {
+        // The paper's point: blind trust in noisy workers hurts.
+        let (dataset, pool) = setup(60, (0.55, 0.65), 3);
+        let mut rng = seeded(4);
+        let params = BaselineParams::with_budget(300.0);
+        let noisy = Oba::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let (dataset2, pool2) = setup(60, (0.98, 1.0), 3);
+        let mut rng = seeded(4);
+        let clean = Oba::default().run(&dataset2, &pool2, &params, &mut rng).unwrap();
+        assert!(
+            accuracy(&clean, &dataset2) > accuracy(&noisy, &dataset) + 0.1,
+            "clean {} vs noisy {}",
+            accuracy(&clean, &dataset2),
+            accuracy(&noisy, &dataset)
+        );
+    }
+
+    #[test]
+    fn ai_worker_labels_cheaply() {
+        let (dataset, pool) = setup(100, (0.9, 1.0), 5);
+        let mut rng = seeded(6);
+        let params = BaselineParams::with_budget(500.0);
+        let outcome = Oba::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        // The AI worker should have labelled a good share for free.
+        assert!(outcome.enriched_count > 0);
+        assert!(outcome.budget_spent < 150.0, "spent {}", outcome.budget_spent);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (dataset, pool) = setup(80, (0.7, 0.9), 7);
+        let mut rng = seeded(8);
+        let params = BaselineParams::with_budget(15.0);
+        let outcome = Oba::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert!(outcome.budget_spent <= 15.0 + 1e-9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks: DQN substrate latency — Q-value batches and
+//! TD training steps, the agent-side hot path of every labelling
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdrl_rl::{DqnAgent, DqnConfig, Transition};
+use crowdrl_types::rng::seeded;
+use std::hint::black_box;
+
+fn agent(input_dim: usize) -> DqnAgent {
+    let mut rng = seeded(1);
+    let config = DqnConfig { input_dim, min_replay: 32, ..Default::default() };
+    let mut agent = DqnAgent::new(config, &mut rng).unwrap();
+    // Pre-fill the replay pool.
+    for i in 0..512 {
+        let v = (i % 17) as f32 / 17.0;
+        agent.remember(Transition {
+            state_action: vec![v; input_dim],
+            reward: v,
+            next_candidates: vec![vec![1.0 - v; input_dim]; 4],
+            terminal: i % 5 == 0,
+        });
+    }
+    agent
+}
+
+fn bench_dqn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dqn");
+    let dim = 15; // the framework's FEATURE_DIM
+
+    for &batch in &[128usize, 1024] {
+        let a = agent(dim);
+        let embeddings: Vec<Vec<f32>> =
+            (0..batch).map(|i| vec![(i % 13) as f32 / 13.0; dim]).collect();
+        group.bench_with_input(BenchmarkId::new("q_values", batch), &batch, |b, _| {
+            b.iter(|| black_box(a.q_values(&embeddings)))
+        });
+    }
+
+    group.bench_function("train_step", |b| {
+        let mut a = agent(dim);
+        let mut rng = seeded(2);
+        b.iter(|| black_box(a.train_step(&mut rng)))
+    });
+
+    group.bench_function("remember", |b| {
+        let mut a = agent(dim);
+        let t = Transition {
+            state_action: vec![0.5; dim],
+            reward: 1.0,
+            next_candidates: vec![vec![0.25; dim]; 8],
+            terminal: false,
+        };
+        b.iter(|| a.remember(black_box(t.clone())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dqn
+}
+criterion_main!(benches);

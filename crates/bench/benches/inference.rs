@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks: truth-inference throughput.
+//!
+//! Measures each inference algorithm on the same simulated answer set —
+//! the per-iteration hot path of every labelling framework.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdrl_inference::{DawidSkene, JointInference, MajorityVote, Pm};
+use crowdrl_nn::{ClassifierConfig, SoftmaxClassifier};
+use crowdrl_sim::{AnnotatorPool, DatasetSpec, PoolSpec};
+use crowdrl_types::rng::seeded;
+use crowdrl_types::{Answer, AnswerSet, Dataset, ObjectId};
+use std::hint::black_box;
+
+fn scenario(n: usize) -> (Dataset, AnnotatorPool, AnswerSet) {
+    let mut rng = seeded(42);
+    let dataset = DatasetSpec::gaussian("bench", n, 16, 2)
+        .with_separation(2.2)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(4, 1).generate(2, &mut rng).unwrap();
+    let mut answers = AnswerSet::new(n);
+    for i in 0..n {
+        for p in pool.profiles() {
+            let label = pool.sample_answer(p.id, dataset.truth(i), &mut rng);
+            answers
+                .record(Answer { object: ObjectId(i), annotator: p.id, label })
+                .unwrap();
+        }
+    }
+    (dataset, pool, answers)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truth_inference");
+    for &n in &[100usize, 500] {
+        let (dataset, pool, answers) = scenario(n);
+        group.bench_with_input(BenchmarkId::new("majority_vote", n), &n, |b, _| {
+            b.iter(|| black_box(MajorityVote.infer(&answers, 2, pool.len()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("dawid_skene", n), &n, |b, _| {
+            b.iter(|| black_box(DawidSkene::default().infer(&answers, 2, pool.len()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("pm", n), &n, |b, _| {
+            b.iter(|| black_box(Pm::default().infer(&answers, 2, pool.len()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("joint", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = seeded(7);
+                let mut clf = SoftmaxClassifier::new(
+                    ClassifierConfig { epochs: 3, ..Default::default() },
+                    dataset.dim(),
+                    2,
+                    &mut rng,
+                )
+                .unwrap();
+                black_box(
+                    JointInference::default()
+                        .infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks: pipeline-level costs — dataset generation,
+//! classifier training, enrichment scans, top-k selection, and one full
+//! (small) CrowdRL run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdrl_core::enrichment::enrich;
+use crowdrl_core::{CrowdRl, CrowdRlConfig};
+use crowdrl_linalg::Matrix;
+use crowdrl_nn::{ClassifierConfig, SoftmaxClassifier};
+use crowdrl_rl::topk;
+use crowdrl_sim::{DatasetSpec, PoolSpec, SpeechSpec};
+use crowdrl_types::rng::seeded;
+use crowdrl_types::LabelledSet;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+
+    group.bench_function("dataset_gen_speech_200", |b| {
+        b.iter(|| {
+            let mut rng = seeded(1);
+            black_box(
+                SpeechSpec::speech12()
+                    .with_num_objects(200)
+                    .generate(&mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Classifier fit on a labelled subset (the joint model's M-step cost).
+    {
+        let mut rng = seeded(2);
+        let dataset = DatasetSpec::gaussian("clf", 200, 64, 2)
+            .with_separation(2.5)
+            .generate(&mut rng)
+            .unwrap();
+        let x = Matrix::from_vec(dataset.len(), dataset.dim(), dataset.feature_buffer().to_vec());
+        let y = dataset.truth_slice().to_vec();
+        group.bench_function("classifier_fit_200x64", |b| {
+            b.iter(|| {
+                let mut rng = seeded(3);
+                let mut clf = SoftmaxClassifier::new(
+                    ClassifierConfig { epochs: 5, ..Default::default() },
+                    dataset.dim(),
+                    2,
+                    &mut rng,
+                )
+                .unwrap();
+                black_box(clf.fit_hard(&x, &y, &mut rng).unwrap())
+            })
+        });
+
+        // Enrichment scan over the unlabelled set.
+        let mut rng = seeded(4);
+        let mut clf =
+            SoftmaxClassifier::new(ClassifierConfig::default(), dataset.dim(), 2, &mut rng)
+                .unwrap();
+        clf.fit_hard(&x, &y, &mut rng).unwrap();
+        group.bench_function("enrichment_scan_200", |b| {
+            b.iter(|| {
+                let mut labelled = LabelledSet::new(dataset.len());
+                black_box(enrich(&dataset, &clf, &mut labelled, 0.8, Some(16)).unwrap())
+            })
+        });
+    }
+
+    // Top-k heap selection over large score vectors.
+    for &n in &[1_000usize, 100_000] {
+        let scores: Vec<f64> = (0..n).map(|i| ((i * 2_654_435_761) % 1_000) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("top_k_8", n), &n, |b, _| {
+            b.iter(|| black_box(topk::top_k_indices(&scores, 8)))
+        });
+    }
+
+    // One full (tiny) CrowdRL run: the headline integration cost.
+    group.bench_function("crowdrl_run_60_objects", |b| {
+        let mut rng = seeded(5);
+        let dataset = DatasetSpec::gaussian("run", 60, 8, 2)
+            .with_separation(2.5)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+        b.iter(|| {
+            let config = CrowdRlConfig::builder().budget(180.0).build().unwrap();
+            let mut rng = seeded(6);
+            black_box(CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Reproduce the paper's `ablation_explore` experiment. Usage:
+//! `cargo run -p crowdrl-bench --release --bin ablation_explore [--scale quick|small|paper]`
+
+fn main() {
+    let scale = crowdrl_bench::Scale::from_env_or_args();
+    eprintln!("running ablation_explore at {scale:?} scale...");
+    let report = crowdrl_bench::ablation_explore(scale).expect("ablation_explore harness failed");
+    report.print();
+    match report.save_csv() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

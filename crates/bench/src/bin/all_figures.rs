@@ -1,0 +1,30 @@
+//! Reproduce every figure in sequence. Usage:
+//! `cargo run -p crowdrl-bench --release --bin all_figures [--scale quick|small|paper]`
+
+use crowdrl_bench::{FigureReport, Scale};
+
+type Harness = fn(Scale) -> crowdrl_types::Result<FigureReport>;
+
+fn main() {
+    let scale = Scale::from_env_or_args();
+    let harnesses: Vec<(&str, Harness)> = vec![
+        ("fig4", crowdrl_bench::fig4),
+        ("fig5", crowdrl_bench::fig5),
+        ("fig6", crowdrl_bench::fig6),
+        ("fig7", crowdrl_bench::fig7),
+        ("fig8", crowdrl_bench::fig8),
+        ("ablation_explore", crowdrl_bench::ablation_explore),
+    ];
+    for (name, run) in harnesses {
+        eprintln!("running {name} at {scale:?} scale...");
+        match run(scale) {
+            Ok(report) => {
+                report.print();
+                if let Ok(path) = report.save_csv() {
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("{name} failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Diagnostic: per-iteration trace of a CrowdRL run.
+use crowdrl_baselines::{BaselineParams, LabellingStrategy};
+use crowdrl_sim::{PoolSpec, SpeechSpec};
+
+fn main() {
+    let mut rng = crowdrl_types::rng::seeded(1);
+    let views = SpeechSpec::speech12().with_num_objects(200).generate(&mut rng).unwrap();
+    let pool = PoolSpec::new(3, 2).generate(2, &mut rng).unwrap();
+    let params = BaselineParams::with_budget(853.0);
+    let strategy = crowdrl_bench::figures::crowdrl_pretrained();
+    let outcome = strategy.run(&views.cp, &pool, &params, &mut rng).unwrap();
+    println!("it | enr sel ans spend reward labelled td");
+    for s in &outcome.trace {
+        println!(
+            "{:3} | {:3} {:3} {:3} {:6.1} {:6.3} {:4} {:?}",
+            s.iteration, s.enriched, s.selected, s.answers, s.spend, s.reward,
+            s.labelled_total, s.td_loss.map(|x| (x * 1000.0).round() / 1000.0)
+        );
+    }
+    let m = crowdrl_eval::evaluate_labels(&views.cp, &outcome.labels).unwrap();
+    println!("accuracy {:.3}", m.accuracy);
+}

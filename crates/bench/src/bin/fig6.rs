@@ -1,0 +1,13 @@
+//! Reproduce the paper's `fig6` experiment. Usage:
+//! `cargo run -p crowdrl-bench --release --bin fig6 [--scale quick|small|paper]`
+
+fn main() {
+    let scale = crowdrl_bench::Scale::from_env_or_args();
+    eprintln!("running fig6 at {scale:?} scale...");
+    let report = crowdrl_bench::fig6(scale).expect("fig6 harness failed");
+    report.print();
+    match report.save_csv() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,13 @@
+//! Reproduce the paper's `fig7` experiment. Usage:
+//! `cargo run -p crowdrl-bench --release --bin fig7 [--scale quick|small|paper]`
+
+fn main() {
+    let scale = crowdrl_bench::Scale::from_env_or_args();
+    eprintln!("running fig7 at {scale:?} scale...");
+    let report = crowdrl_bench::fig7(scale).expect("fig7 harness failed");
+    report.print();
+    match report.save_csv() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,146 @@
+//! Experiment scale presets.
+//!
+//! The paper's budgets are tied to its dataset sizes (10 000 units for
+//! ~2 000 speech clips, 160 000 for ~32 000 fashion images). Running six
+//! frameworks × seven datasets × repetitions at full size takes hours on a
+//! laptop, so the harness keeps the paper's *per-object budget ratio*
+//! constant while scaling object counts:
+//!
+//! | scale | speech objects | fashion objects | repetitions |
+//! |---|---|---|---|
+//! | `quick` | 200 | 400 | 3 |
+//! | `small` | 600 | 1 200 | 3 |
+//! | `paper` | 2 344 / 1 898 | 32 398 | 3 |
+//!
+//! Budgets: speech = (10 000 / 2 344) ≈ 4.27 units/object; fashion =
+//! (160 000 / 32 398) ≈ 4.94 units/object — so "the same budget" means the
+//! same thing at every scale.
+
+use std::str::FromStr;
+
+/// Paper budget per speech object (10 000 / 2 344).
+pub const SPEECH_BUDGET_PER_OBJECT: f64 = 10_000.0 / 2_344.0;
+/// Paper budget per fashion object (160 000 / 32 398).
+pub const FASHION_BUDGET_PER_OBJECT: f64 = 160_000.0 / 32_398.0;
+
+/// How large to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale smoke reproduction (default).
+    Quick,
+    /// Tens-of-minutes, tighter confidence intervals.
+    Small,
+    /// The paper's full dataset sizes.
+    Paper,
+}
+
+impl FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Ok(Scale::Quick),
+            "small" => Ok(Scale::Small),
+            "paper" | "full" => Ok(Scale::Paper),
+            other => Err(format!("unknown scale '{other}' (quick|small|paper)")),
+        }
+    }
+}
+
+impl Scale {
+    /// Resolve from argv (`--scale X` / `X`) or `CROWDRL_SCALE`, defaulting
+    /// to [`Scale::Quick`].
+    pub fn from_env_or_args() -> Scale {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--scale" {
+                if let Some(v) = args.next() {
+                    if let Ok(s) = v.parse() {
+                        return s;
+                    }
+                }
+            } else if let Ok(s) = a.parse() {
+                return s;
+            }
+        }
+        std::env::var("CROWDRL_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(Scale::Quick)
+    }
+
+    /// Object count for Speech12 at this scale.
+    pub fn speech12_objects(self) -> usize {
+        match self {
+            Scale::Quick => 200,
+            Scale::Small => 600,
+            Scale::Paper => 2_344,
+        }
+    }
+
+    /// Object count for Speech3 at this scale.
+    pub fn speech3_objects(self) -> usize {
+        match self {
+            Scale::Quick => 180,
+            Scale::Small => 500,
+            Scale::Paper => 1_898,
+        }
+    }
+
+    /// Object count for Fashion at this scale.
+    pub fn fashion_objects(self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Small => 1_200,
+            Scale::Paper => 32_398,
+        }
+    }
+
+    /// Repetitions per experiment cell.
+    pub fn repetitions(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Small | Scale::Paper => 3,
+        }
+    }
+
+    /// Budget for a speech dataset of `n` objects.
+    pub fn speech_budget(self, n: usize) -> f64 {
+        (SPEECH_BUDGET_PER_OBJECT * n as f64).round()
+    }
+
+    /// Budget for a fashion dataset of `n` objects.
+    pub fn fashion_budget(self, n: usize) -> f64 {
+        (FASHION_BUDGET_PER_OBJECT * n as f64).round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scale_strings() {
+        assert_eq!("quick".parse::<Scale>().unwrap(), Scale::Quick);
+        assert_eq!("SMALL".parse::<Scale>().unwrap(), Scale::Small);
+        assert_eq!("paper".parse::<Scale>().unwrap(), Scale::Paper);
+        assert_eq!("full".parse::<Scale>().unwrap(), Scale::Paper);
+        assert!("x".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_cardinalities() {
+        assert_eq!(Scale::Paper.speech12_objects(), 2_344);
+        assert_eq!(Scale::Paper.speech3_objects(), 1_898);
+        assert_eq!(Scale::Paper.fashion_objects(), 32_398);
+        assert_eq!(Scale::Paper.speech_budget(2_344), 10_000.0);
+        assert_eq!(Scale::Paper.fashion_budget(32_398), 160_000.0);
+    }
+
+    #[test]
+    fn budget_ratio_is_scale_invariant() {
+        let quick = Scale::Quick.speech_budget(200) / 200.0;
+        let paper = Scale::Paper.speech_budget(2_344) / 2_344.0;
+        assert!((quick - paper).abs() < 0.01);
+    }
+}

@@ -1,0 +1,481 @@
+//! The Agent: unified task selection + assignment (§IV).
+//!
+//! Given the candidate unlabelled objects and the annotator pool, the agent
+//! embeds every feasible (object, annotator) pair, scores it with the DQN,
+//! applies the exploration policy, masks infeasible pairs with `-inf`
+//! (already answered / unaffordable — the paper's invalid-action masking,
+//! §IV-B), sums each object's top-`k` scores with the bounded min-heap, and
+//! selects the `batch` objects with the largest sums together with their
+//! top-`k` annotators.
+//!
+//! The paper's ablations degrade exactly one side: `M1` replaces the object
+//! ranking with a uniform-random choice, `M2` replaces the annotator
+//! ranking with uniform-random feasible annotators.
+
+use crate::config::{Ablation, Exploration};
+use crate::features::{embed, StateSnapshot, FEATURE_DIM};
+use crowdrl_rl::{topk, DqnAgent, DqnConfig, EpsilonGreedy, Transition, UcbExplorer};
+use crowdrl_types::rng::sample_indices;
+use crowdrl_types::{AnnotatorId, AnnotatorProfile, AnswerSet, LabelledSet, ObjectId, Result};
+use rand::Rng;
+
+/// One chosen assignment: an object and the annotators to ask, plus the
+/// embeddings used (needed to build replay transitions afterwards).
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The selected object.
+    pub object: ObjectId,
+    /// The annotators to ask, best first.
+    pub annotators: Vec<AnnotatorId>,
+    /// State-action embedding per chosen annotator (parallel to
+    /// `annotators`).
+    pub embeddings: Vec<Vec<f32>>,
+}
+
+/// The RL selection agent: Q-network plus exploration state.
+#[derive(Debug, Clone)]
+pub struct SelectionAgent {
+    dqn: DqnAgent,
+    ucb: Option<UcbExplorer>,
+    eps: Option<EpsilonGreedy>,
+}
+
+impl SelectionAgent {
+    /// Build the agent. `dqn.input_dim` is forced to [`FEATURE_DIM`].
+    pub fn new<R: Rng + ?Sized>(
+        mut dqn: DqnConfig,
+        exploration: &Exploration,
+        pretrained: Option<&[f32]>,
+        rng: &mut R,
+    ) -> Result<Self> {
+        dqn.input_dim = FEATURE_DIM;
+        let mut dqn = DqnAgent::new(dqn, rng)?;
+        if let Some(params) = pretrained {
+            dqn.import_params(params)?;
+        }
+        let (ucb, eps) = match exploration {
+            Exploration::Ucb { scale } => (Some(UcbExplorer::new(*scale)), None),
+            Exploration::EpsilonGreedy { start, end, decay_steps } => {
+                (None, Some(EpsilonGreedy::new(*start, *end, *decay_steps)))
+            }
+        };
+        Ok(Self { dqn, ucb, eps })
+    }
+
+    /// The underlying DQN (for parameter export in cross-training).
+    pub fn dqn(&self) -> &DqnAgent {
+        &self.dqn
+    }
+
+    /// Select up to `batch` objects and `k` annotators each, spending at
+    /// most `iteration_allowance` budget units.
+    ///
+    /// `candidates` pairs each candidate object with the classifier's
+    /// current class distribution for it. Pairs where the annotator already
+    /// answered the object or costs more than the remaining allowance are
+    /// masked. Two allocation rules keep the spend paced (see the module
+    /// docs): panels contain **at most one expert** (the paper's own worked
+    /// assignment, w1/w3/w5, has exactly one), and annotators that no
+    /// longer fit the running allowance are skipped in favor of cheaper
+    /// ones.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select<R: Rng + ?Sized>(
+        &mut self,
+        candidates: &[(ObjectId, Vec<f64>)],
+        profiles: &[AnnotatorProfile],
+        answers: &AnswerSet,
+        labelled: &LabelledSet,
+        snapshot: &StateSnapshot,
+        iteration_allowance: f64,
+        k: usize,
+        batch: usize,
+        ablation: Ablation,
+        rng: &mut R,
+    ) -> Vec<Assignment> {
+        if candidates.is_empty() || profiles.is_empty() || k == 0 || batch == 0 {
+            return Vec::new();
+        }
+        let w = profiles.len();
+
+        // Embed and score every candidate pair in one batch.
+        let mut embeddings: Vec<Vec<f32>> = Vec::with_capacity(candidates.len() * w);
+        for (object, probs) in candidates {
+            for profile in profiles {
+                embeddings.push(embed(
+                    *object, profile, probs, answers, labelled, snapshot, k,
+                ));
+            }
+        }
+        let q_raw = self.dqn.q_values(&embeddings);
+
+        // ε-greedy: one coin per iteration decides explore-vs-exploit.
+        let explore_all = match &mut self.eps {
+            Some(eps) => eps.should_explore(rng),
+            None => false,
+        };
+
+        // Per-pair adjusted scores with masking.
+        let mut scores = vec![f64::NEG_INFINITY; candidates.len() * w];
+        for (ci, (object, _)) in candidates.iter().enumerate() {
+            for (ai, profile) in profiles.iter().enumerate() {
+                let idx = ci * w + ai;
+                if answers.has_answered(*object, profile.id) {
+                    continue; // masked: Q = -inf (§IV-B)
+                }
+                if profile.cost > iteration_allowance {
+                    continue; // cannot fit this iteration's allowance
+                }
+                let q = q_raw[idx] as f64;
+                // UCB counts are tracked per *annotator*, not per pair: a
+                // (object, annotator) pair is masked after one answer, so
+                // pair-level counts never differentiate anything. What
+                // exploration must cover is the annotator dimension —
+                // "have we tried routing work to w_j lately?".
+                scores[idx] = match &self.ucb {
+                    Some(ucb) => ucb.score_soft(q, profile.id.index() as u64),
+                    None => q,
+                };
+            }
+        }
+
+        // Rank objects by top-k score sums.
+        let sums: Vec<f64> = (0..candidates.len())
+            .map(|ci| topk::top_k_sum(&scores[ci * w..(ci + 1) * w], k))
+            .collect();
+
+        let chosen_objects: Vec<usize> = if ablation.random_task_selection || explore_all {
+            // M1 / exploration: uniform-random among candidates with at
+            // least one feasible pair.
+            let feasible: Vec<usize> = (0..candidates.len())
+                .filter(|&ci| sums[ci] != f64::NEG_INFINITY)
+                .collect();
+            sample_indices(rng, feasible.len(), batch)
+                .into_iter()
+                .map(|i| feasible[i])
+                .collect()
+        } else {
+            topk::top_k_indices(&sums, batch)
+        };
+
+        let mut out = Vec::with_capacity(chosen_objects.len());
+        let mut allowance = iteration_allowance;
+        for ci in chosen_objects {
+            let (object, _) = &candidates[ci];
+            let row = &scores[ci * w..(ci + 1) * w];
+            let ranked: Vec<usize> = if ablation.random_task_assignment || explore_all {
+                let feasible: Vec<usize> =
+                    (0..w).filter(|&ai| row[ai] != f64::NEG_INFINITY).collect();
+                sample_indices(rng, feasible.len(), feasible.len())
+                    .into_iter()
+                    .map(|i| feasible[i])
+                    .collect()
+            } else {
+                topk::top_k_indices(row, w)
+            };
+            // Greedy panel fill: best-scored first, at most one expert,
+            // each pick charged against the iteration allowance.
+            let mut annotator_idx = Vec::with_capacity(k);
+            let mut has_expert = false;
+            for ai in ranked {
+                if annotator_idx.len() == k {
+                    break;
+                }
+                let profile = &profiles[ai];
+                if profile.is_expert() && has_expert {
+                    continue;
+                }
+                if profile.cost > allowance {
+                    continue;
+                }
+                allowance -= profile.cost;
+                has_expert |= profile.is_expert();
+                annotator_idx.push(ai);
+            }
+            if annotator_idx.is_empty() {
+                continue;
+            }
+            let annotators: Vec<AnnotatorId> =
+                annotator_idx.iter().map(|&ai| profiles[ai].id).collect();
+            let chosen_embeddings: Vec<Vec<f32>> =
+                annotator_idx.iter().map(|&ai| embeddings[ci * w + ai].clone()).collect();
+            if let Some(ucb) = &mut self.ucb {
+                for a in &annotators {
+                    ucb.record(a.index() as u64);
+                }
+            }
+            out.push(Assignment { object: *object, annotators, embeddings: chosen_embeddings });
+        }
+        out
+    }
+
+    /// Store transitions for the executed assignments with one reward per
+    /// assignment (`rewards` parallel to `assignments`). Sharper
+    /// per-object credit makes "this expert answer made this object's label
+    /// confident" learnable far faster than a single batch-wide reward.
+    pub fn remember(
+        &mut self,
+        assignments: &[Assignment],
+        rewards: &[f64],
+        next_candidates: &[Vec<f32>],
+        terminal: bool,
+    ) {
+        debug_assert_eq!(assignments.len(), rewards.len());
+        for (assignment, &reward) in assignments.iter().zip(rewards) {
+            for embedding in &assignment.embeddings {
+                self.dqn.remember(Transition {
+                    state_action: embedding.clone(),
+                    reward: reward as f32,
+                    next_candidates: next_candidates.to_vec(),
+                    terminal,
+                });
+            }
+        }
+    }
+
+    /// Run `steps` minibatch TD updates; returns the mean loss if any ran.
+    pub fn train<R: Rng + ?Sized>(&mut self, steps: usize, rng: &mut R) -> Option<f32> {
+        let mut total = 0.0;
+        let mut ran = 0;
+        for _ in 0..steps {
+            if let Some(l) = self.dqn.train_step(rng) {
+                total += l;
+                ran += 1;
+            }
+        }
+        (ran > 0).then(|| total / ran as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::rng::seeded;
+    use crowdrl_types::{AnnotatorKind, Answer, ClassId};
+
+    fn profiles(workers: usize, experts: usize) -> Vec<AnnotatorProfile> {
+        let mut out = Vec::new();
+        for i in 0..workers + experts {
+            let expert = i >= workers;
+            out.push(
+                AnnotatorProfile::new(
+                    AnnotatorId(i),
+                    if expert { AnnotatorKind::Expert } else { AnnotatorKind::Worker },
+                    if expert { 10.0 } else { 1.0 },
+                )
+                .unwrap(),
+            );
+        }
+        out
+    }
+
+    fn snapshot(w: usize) -> StateSnapshot {
+        StateSnapshot {
+            qualities: vec![0.7; w],
+            annotator_load: vec![0; w],
+            budget_spent_fraction: 0.0,
+            labelled_fraction: 0.0,
+            enriched_fraction: 0.0,
+            max_cost: 10.0,
+            phi_trust: 0.0,
+        }
+    }
+
+    fn agent(seed: u64) -> SelectionAgent {
+        let mut rng = seeded(seed);
+        SelectionAgent::new(
+            DqnConfig::default(),
+            &Exploration::Ucb { scale: 0.1 },
+            None,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    fn candidates(n: usize) -> Vec<(ObjectId, Vec<f64>)> {
+        (0..n).map(|i| (ObjectId(i), vec![0.6, 0.4])).collect()
+    }
+
+    #[test]
+    fn selects_requested_batch_and_k() {
+        let mut agent = agent(1);
+        let profiles = profiles(3, 1);
+        let answers = AnswerSet::new(10);
+        let labelled = LabelledSet::new(10);
+        let mut rng = seeded(2);
+        let picks = agent.select(
+            &candidates(10),
+            &profiles,
+            &answers,
+            &labelled,
+            &snapshot(4),
+            1000.0,
+            3,
+            2,
+            Ablation::default(),
+            &mut rng,
+        );
+        assert_eq!(picks.len(), 2);
+        for p in &picks {
+            assert_eq!(p.annotators.len(), 3);
+            assert_eq!(p.embeddings.len(), 3);
+            assert_eq!(p.embeddings[0].len(), FEATURE_DIM);
+            // No duplicate annotators within an assignment.
+            let mut a = p.annotators.clone();
+            a.sort();
+            a.dedup();
+            assert_eq!(a.len(), 3);
+        }
+        // Distinct objects.
+        assert_ne!(picks[0].object, picks[1].object);
+    }
+
+    #[test]
+    fn masks_already_answered_pairs() {
+        let mut agent = agent(3);
+        let profiles = profiles(2, 0);
+        let mut answers = AnswerSet::new(2);
+        // Object 0 already answered by both annotators: unselectable.
+        for a in 0..2 {
+            answers
+                .record(Answer {
+                    object: ObjectId(0),
+                    annotator: AnnotatorId(a),
+                    label: ClassId(0),
+                })
+                .unwrap();
+        }
+        let labelled = LabelledSet::new(2);
+        let mut rng = seeded(4);
+        let picks = agent.select(
+            &candidates(2),
+            &profiles,
+            &answers,
+            &labelled,
+            &snapshot(2),
+            1000.0,
+            2,
+            2,
+            Ablation::default(),
+            &mut rng,
+        );
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].object, ObjectId(1));
+    }
+
+    #[test]
+    fn masks_unaffordable_annotators() {
+        let mut agent = agent(5);
+        let profiles = profiles(1, 1); // worker cost 1, expert cost 10
+        let answers = AnswerSet::new(3);
+        let labelled = LabelledSet::new(3);
+        let mut rng = seeded(6);
+        let picks = agent.select(
+            &candidates(3),
+            &profiles,
+            &answers,
+            &labelled,
+            &snapshot(2),
+            5.0, // can't afford the expert
+            2,
+            1,
+            Ablation::default(),
+            &mut rng,
+        );
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].annotators, vec![AnnotatorId(0)]);
+    }
+
+    #[test]
+    fn returns_empty_when_nothing_feasible() {
+        let mut agent = agent(7);
+        let profiles = profiles(2, 0);
+        let answers = AnswerSet::new(1);
+        let labelled = LabelledSet::new(1);
+        let mut rng = seeded(8);
+        let picks = agent.select(
+            &candidates(1),
+            &profiles,
+            &answers,
+            &labelled,
+            &snapshot(2),
+            0.5, // below every cost
+            2,
+            1,
+            Ablation::default(),
+            &mut rng,
+        );
+        assert!(picks.is_empty());
+        assert!(agent
+            .select(&[], &profiles, &answers, &labelled, &snapshot(2), 10.0, 2, 1,
+                Ablation::default(), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn random_ablations_still_respect_masks() {
+        let mut agent = agent(9);
+        let profiles = profiles(1, 1);
+        let answers = AnswerSet::new(4);
+        let labelled = LabelledSet::new(4);
+        let mut rng = seeded(10);
+        let ablation = Ablation { random_task_selection: true, random_task_assignment: true };
+        for _ in 0..20 {
+            let picks = agent.select(
+                &candidates(4),
+                &profiles,
+                &answers,
+                &labelled,
+                &snapshot(2),
+                5.0, // expert unaffordable
+                1,
+                2,
+                ablation,
+                &mut rng,
+            );
+            for p in &picks {
+                assert_eq!(p.annotators, vec![AnnotatorId(0)], "must avoid unaffordable expert");
+            }
+        }
+    }
+
+    #[test]
+    fn remember_and_train_flow() {
+        let mut rng = seeded(11);
+        let config = DqnConfig { min_replay: 4, batch_size: 4, ..Default::default() };
+        let mut agent =
+            SelectionAgent::new(config, &Exploration::Ucb { scale: 0.1 }, None, &mut rng)
+                .unwrap();
+        let assignment = Assignment {
+            object: ObjectId(0),
+            annotators: vec![AnnotatorId(0), AnnotatorId(1)],
+            embeddings: vec![vec![0.1; FEATURE_DIM], vec![0.2; FEATURE_DIM]],
+        };
+        for _ in 0..4 {
+            agent.remember(std::slice::from_ref(&assignment), &[0.5], &[], true);
+        }
+        assert!(agent.train(3, &mut rng).is_some());
+        assert!(agent.dqn().train_steps() >= 1);
+    }
+
+    #[test]
+    fn pretrained_params_load() {
+        let mut rng = seeded(12);
+        let donor = SelectionAgent::new(
+            DqnConfig::default(),
+            &Exploration::Ucb { scale: 0.0 },
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        let params = donor.dqn().export_params();
+        let recipient = SelectionAgent::new(
+            DqnConfig::default(),
+            &Exploration::Ucb { scale: 0.0 },
+            Some(&params),
+            &mut rng,
+        )
+        .unwrap();
+        let probe = vec![0.3; FEATURE_DIM];
+        assert!((donor.dqn().q_value(&probe) - recipient.dqn().q_value(&probe)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,105 @@
+//! Helpers for training the classifier `φ` from the current labelled set.
+//!
+//! Algorithm 1 line 5: "Train classifier φ using labelled data". Both
+//! CrowdRL and the baselines need to turn a [`LabelledSet`] into training
+//! matrices; these helpers keep that in one place.
+
+use crowdrl_linalg::Matrix;
+use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_types::{ClassId, Dataset, LabelledSet, Result};
+use rand::Rng;
+
+/// Gather the features and hard labels of every labelled object.
+///
+/// Returns `None` when nothing is labelled yet or only one class is
+/// present (a classifier cannot learn from a single class).
+pub fn training_data(dataset: &Dataset, labelled: &LabelledSet) -> Option<(Matrix, Vec<ClassId>)> {
+    let pairs: Vec<(usize, ClassId)> = labelled
+        .labelled_objects()
+        .map(|(o, c)| (o.index(), c))
+        .collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    let first = pairs[0].1;
+    if pairs.iter().all(|&(_, c)| c == first) {
+        return None;
+    }
+    let mut x = Matrix::zeros(pairs.len(), dataset.dim());
+    let mut y = Vec::with_capacity(pairs.len());
+    for (row, &(i, c)) in pairs.iter().enumerate() {
+        x.row_mut(row).copy_from_slice(dataset.features(i));
+        y.push(c);
+    }
+    Some((x, y))
+}
+
+/// Retrain `classifier` on the labelled set (hard labels). Returns whether
+/// training happened (it is skipped when there is nothing to learn from).
+pub fn retrain_on_labelled<R: Rng + ?Sized>(
+    classifier: &mut SoftmaxClassifier,
+    dataset: &Dataset,
+    labelled: &LabelledSet,
+    rng: &mut R,
+) -> Result<bool> {
+    match training_data(dataset, labelled) {
+        Some((x, y)) => {
+            classifier.fit_hard(&x, &y, rng)?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_nn::ClassifierConfig;
+    use crowdrl_sim::DatasetSpec;
+    use crowdrl_types::rng::seeded;
+    use crowdrl_types::{LabelState, ObjectId};
+
+    #[test]
+    fn training_data_gathers_labelled_rows() {
+        let mut rng = seeded(1);
+        let dataset = DatasetSpec::gaussian("t", 10, 2, 2).generate(&mut rng).unwrap();
+        let mut labelled = LabelledSet::new(10);
+        labelled.set(ObjectId(2), LabelState::Inferred(ClassId(0))).unwrap();
+        labelled.set(ObjectId(7), LabelState::Enriched(ClassId(1))).unwrap();
+        let (x, y) = training_data(&dataset, &labelled).unwrap();
+        assert_eq!(x.rows(), 2);
+        assert_eq!(y, vec![ClassId(0), ClassId(1)]);
+        assert_eq!(x.row(0), dataset.features(2));
+    }
+
+    #[test]
+    fn empty_or_single_class_yields_none() {
+        let mut rng = seeded(2);
+        let dataset = DatasetSpec::gaussian("t", 5, 2, 2).generate(&mut rng).unwrap();
+        let mut labelled = LabelledSet::new(5);
+        assert!(training_data(&dataset, &labelled).is_none());
+        labelled.set(ObjectId(0), LabelState::Inferred(ClassId(1))).unwrap();
+        labelled.set(ObjectId(1), LabelState::Inferred(ClassId(1))).unwrap();
+        assert!(training_data(&dataset, &labelled).is_none());
+    }
+
+    #[test]
+    fn retrain_trains_when_possible() {
+        let mut rng = seeded(3);
+        let dataset = DatasetSpec::gaussian("t", 60, 2, 2)
+            .with_separation(3.0)
+            .generate(&mut rng)
+            .unwrap();
+        let mut clf =
+            SoftmaxClassifier::new(ClassifierConfig::default(), 2, 2, &mut rng).unwrap();
+        let mut labelled = LabelledSet::new(60);
+        assert!(!retrain_on_labelled(&mut clf, &dataset, &labelled, &mut rng).unwrap());
+        for i in 0..30 {
+            labelled
+                .set(ObjectId(i), LabelState::Inferred(dataset.truth(i)))
+                .unwrap();
+        }
+        assert!(retrain_on_labelled(&mut clf, &dataset, &labelled, &mut rng).unwrap());
+        assert!(clf.is_trained());
+    }
+}

@@ -1,0 +1,186 @@
+//! Labelled-set enrichment (Algorithm 1 lines 4–14, §V-B).
+//!
+//! After the classifier is retrained, it rates every unlabelled object; an
+//! object is auto-labelled `argmax_c φ_c(o)` only when the top-two class
+//! probabilities differ by more than the margin `ε` — ambiguous objects
+//! stay unlabelled for annotators to resolve.
+
+use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_types::prob;
+use crowdrl_types::{ClassId, Dataset, LabelState, LabelledSet, ObjectId, Result};
+
+/// Run one enrichment pass. Returns the objects newly labelled.
+///
+/// Only objects currently unlabelled are considered; inferred labels are
+/// never overwritten by the classifier. When `cap` is given, at most that
+/// many objects are enriched per pass, **most-confident first** — neural
+/// classifiers are overconfident in absolute terms but their margin
+/// *ranking* is reliable, so capping keeps early-classifier mistakes from
+/// snowballing while still labelling the easiest objects for free.
+pub fn enrich(
+    dataset: &Dataset,
+    classifier: &SoftmaxClassifier,
+    labelled: &mut LabelledSet,
+    margin: f64,
+    cap: Option<usize>,
+) -> Result<Vec<(ObjectId, ClassId)>> {
+    let mut newly = Vec::new();
+    if !classifier.is_trained() {
+        return Ok(newly);
+    }
+    let mut candidates: Vec<(f64, ObjectId, ClassId)> = Vec::new();
+    let unlabelled: Vec<ObjectId> = labelled.unlabelled_objects().collect();
+    for obj in unlabelled {
+        let probs = classifier.predict_proba_one(dataset.features(obj.index()));
+        let m = prob::top_two_margin(&probs);
+        if m > margin {
+            candidates.push((m, obj, ClassId(prob::argmax(&probs).unwrap_or(0))));
+        }
+    }
+    candidates.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+    });
+    if let Some(cap) = cap {
+        candidates.truncate(cap);
+    }
+    for (_, obj, label) in candidates {
+        labelled.set(obj, LabelState::Enriched(label))?;
+        newly.push((obj, label));
+    }
+    Ok(newly)
+}
+
+/// Label every remaining unlabelled object with the classifier's argmax,
+/// margin or not (end-of-run fallback; the paper labels the full dataset).
+/// Returns how many objects were labelled this way.
+pub fn fallback_label_all(
+    dataset: &Dataset,
+    classifier: &SoftmaxClassifier,
+    labelled: &mut LabelledSet,
+) -> Result<usize> {
+    if !classifier.is_trained() {
+        return Ok(0);
+    }
+    let unlabelled: Vec<ObjectId> = labelled.unlabelled_objects().collect();
+    let n = unlabelled.len();
+    for obj in unlabelled {
+        let label = classifier.predict_one(dataset.features(obj.index()));
+        labelled.set(obj, LabelState::Enriched(label))?;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_linalg::Matrix;
+    use crowdrl_nn::ClassifierConfig;
+    use crowdrl_sim::DatasetSpec;
+    use crowdrl_types::rng::seeded;
+
+    /// A well-separated dataset and a classifier trained on its truth.
+    fn trained(seed: u64, separation: f64) -> (Dataset, SoftmaxClassifier) {
+        let mut rng = seeded(seed);
+        let dataset = DatasetSpec::gaussian("t", 120, 3, 2)
+            .with_separation(separation)
+            .generate(&mut rng)
+            .unwrap();
+        let mut clf =
+            SoftmaxClassifier::new(ClassifierConfig::default(), 3, 2, &mut rng).unwrap();
+        let x = Matrix::from_vec(dataset.len(), 3, dataset.feature_buffer().to_vec());
+        clf.fit_hard(&x, dataset.truth_slice(), &mut rng).unwrap();
+        (dataset, clf)
+    }
+
+    #[test]
+    fn confident_classifier_enriches_most_objects_correctly() {
+        let (dataset, clf) = trained(1, 4.0);
+        let mut labelled = LabelledSet::new(dataset.len());
+        let newly = enrich(&dataset, &clf, &mut labelled, 0.3, None).unwrap();
+        assert!(newly.len() > 100, "enriched {}", newly.len());
+        let correct = newly
+            .iter()
+            .filter(|(o, c)| dataset.truth(o.index()) == *c)
+            .count();
+        assert!(correct as f64 / newly.len() as f64 > 0.95);
+        assert_eq!(labelled.enriched_count(), newly.len());
+    }
+
+    #[test]
+    fn high_margin_blocks_ambiguous_objects() {
+        let (dataset, clf) = trained(2, 0.3); // barely separated: low confidence
+        let mut labelled = LabelledSet::new(dataset.len());
+        let strict = enrich(&dataset, &clf, &mut labelled, 0.95, None).unwrap();
+        let mut labelled2 = LabelledSet::new(dataset.len());
+        let lax = enrich(&dataset, &clf, &mut labelled2, 0.0, None).unwrap();
+        assert!(strict.len() < lax.len(), "strict {} lax {}", strict.len(), lax.len());
+        // Margin 0 labels everything the classifier isn't exactly split on.
+        assert_eq!(lax.len(), dataset.len());
+    }
+
+    #[test]
+    fn never_overwrites_existing_labels() {
+        let (dataset, clf) = trained(3, 4.0);
+        let mut labelled = LabelledSet::new(dataset.len());
+        // Pin object 0 to the opposite of whatever the classifier says.
+        let clf_label = clf.predict_one(dataset.features(0));
+        let pinned = ClassId(1 - clf_label.index());
+        labelled.set(ObjectId(0), LabelState::Inferred(pinned)).unwrap();
+        enrich(&dataset, &clf, &mut labelled, 0.0, None).unwrap();
+        assert_eq!(labelled.state(ObjectId(0)), LabelState::Inferred(pinned));
+    }
+
+    #[test]
+    fn untrained_classifier_enriches_nothing() {
+        let mut rng = seeded(4);
+        let dataset = DatasetSpec::gaussian("t", 10, 3, 2).generate(&mut rng).unwrap();
+        let clf = SoftmaxClassifier::new(ClassifierConfig::default(), 3, 2, &mut rng).unwrap();
+        let mut labelled = LabelledSet::new(dataset.len());
+        assert!(enrich(&dataset, &clf, &mut labelled, 0.2, None).unwrap().is_empty());
+        assert_eq!(fallback_label_all(&dataset, &clf, &mut labelled).unwrap(), 0);
+    }
+
+    #[test]
+    fn fallback_labels_everything() {
+        let (dataset, clf) = trained(5, 0.3);
+        let mut labelled = LabelledSet::new(dataset.len());
+        labelled.set(ObjectId(0), LabelState::Inferred(ClassId(0))).unwrap();
+        let n = fallback_label_all(&dataset, &clf, &mut labelled).unwrap();
+        assert_eq!(n, dataset.len() - 1);
+        assert!(labelled.all_labelled());
+        // Pre-existing label untouched.
+        assert_eq!(labelled.state(ObjectId(0)), LabelState::Inferred(ClassId(0)));
+    }
+
+    #[test]
+    fn cap_limits_and_prefers_confident() {
+        let (dataset, clf) = trained(6, 4.0);
+        let mut labelled = LabelledSet::new(dataset.len());
+        let capped = enrich(&dataset, &clf, &mut labelled, 0.0, Some(10)).unwrap();
+        assert_eq!(capped.len(), 10);
+        // The capped picks are the globally most-confident ones.
+        let mut all_margins: Vec<f64> = (0..dataset.len())
+            .map(|i| {
+                crowdrl_types::prob::top_two_margin(
+                    &clf.predict_proba_one(dataset.features(i)),
+                )
+            })
+            .collect();
+        all_margins.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let cutoff = all_margins[9];
+        for (obj, _) in &capped {
+            let m = crowdrl_types::prob::top_two_margin(
+                &clf.predict_proba_one(dataset.features(obj.index())),
+            );
+            assert!(m >= cutoff - 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_example_margins() {
+        // §V-B example: φ(o2) = (0.9, 0.1) ⇒ margin 0.8 > ε=0.2: labelled.
+        // φ(o3) = (0.55, 0.45) ⇒ margin 0.1 < 0.2: stays unlabelled.
+        assert!(prob::top_two_margin(&[0.9, 0.1]) > 0.2);
+        assert!(prob::top_two_margin(&[0.55, 0.45]) < 0.2);
+    }
+}

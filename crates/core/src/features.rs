@@ -1,0 +1,250 @@
+//! State-action featurization.
+//!
+//! The paper's raw state — the `|O| × |W|` labelling-history matrix plus
+//! annotator cost/quality columns (§III-B) — has `(|C|+1)^{|O||W|}`
+//! configurations; the DQN exists precisely because that is intractable.
+//! We realize the function approximation by embedding each candidate
+//! (object, annotator) action together with the decision-relevant summary
+//! of the state into a fixed-width vector (see DESIGN.md §1): classifier
+//! uncertainty about the object, the answers it already has and their
+//! agreement, the annotator's estimated quality/cost/kind, and global
+//! budget/progress fractions.
+
+use crowdrl_types::prob;
+use crowdrl_types::{AnnotatorId, AnnotatorProfile, AnswerSet, LabelledSet, ObjectId};
+
+/// Width of the state-action embedding fed to the Q-network.
+pub const FEATURE_DIM: usize = 15;
+
+/// Snapshot of the run-level quantities the featurizer needs.
+#[derive(Debug, Clone)]
+pub struct StateSnapshot {
+    /// Estimated scalar quality `tr(Π̂^j)/|C|` per annotator.
+    pub qualities: Vec<f64>,
+    /// Per-annotator answer counts so far.
+    pub annotator_load: Vec<usize>,
+    /// Fraction of the budget already spent.
+    pub budget_spent_fraction: f64,
+    /// Fraction of objects labelled (inferred + enriched).
+    pub labelled_fraction: f64,
+    /// Fraction of objects labelled by the classifier (enriched).
+    pub enriched_fraction: f64,
+    /// Maximum annotator cost in the pool (for normalization).
+    pub max_cost: f64,
+    /// Validated classifier trust (the enrichment gate's lower confidence
+    /// bound, 0 when unknown). Lets the policy condition on whether the
+    /// classifier can be expected to carry part of the dataset — when it
+    /// cannot, wide cheap coverage beats expert depth.
+    pub phi_trust: f64,
+}
+
+/// Embed a candidate (object, annotator) action.
+///
+/// `class_probs` is the classifier's current distribution for the object
+/// (uniform if the classifier is untrained); `answers` supplies the
+/// object's labelling history.
+#[allow(clippy::too_many_arguments)]
+pub fn embed(
+    object: ObjectId,
+    profile: &AnnotatorProfile,
+    class_probs: &[f64],
+    answers: &AnswerSet,
+    labelled: &LabelledSet,
+    snapshot: &StateSnapshot,
+    assignment_k: usize,
+) -> Vec<f32> {
+    let k = class_probs.len().max(1);
+    let votes = answers.answers_for(object);
+
+    // Object-side uncertainty features.
+    let max_prob = class_probs.iter().copied().fold(0.0f64, f64::max);
+    let margin = prob::top_two_margin(class_probs);
+    let norm_entropy = if k > 1 {
+        prob::entropy(class_probs) / (k as f64).ln()
+    } else {
+        0.0
+    };
+
+    // Answer-history features.
+    let answer_count = votes.len() as f64 / assignment_k.max(1) as f64;
+    let (agreement, model_agrees) = if votes.is_empty() {
+        (0.0, 0.5)
+    } else {
+        let mut counts = vec![0.0f64; k];
+        for &(_, c) in votes {
+            if c.index() < k {
+                counts[c.index()] += 1.0;
+            }
+        }
+        let top = counts.iter().copied().fold(0.0f64, f64::max);
+        let agreement = top / votes.len() as f64;
+        let model_label = prob::argmax(class_probs).unwrap_or(0);
+        let vote_label = prob::argmax(&counts).unwrap_or(0);
+        (agreement, if model_label == vote_label { 1.0 } else { 0.0 })
+    };
+
+    // Annotator-side features.
+    let a = profile.id.index();
+    let quality = snapshot.qualities.get(a).copied().unwrap_or(1.0 / k as f64);
+    let cost = profile.cost / snapshot.max_cost.max(1e-9);
+    let is_expert = if profile.is_expert() { 1.0 } else { 0.0 };
+    let load = snapshot.annotator_load.get(a).copied().unwrap_or(0) as f64;
+    let load_norm = load / (1.0 + load);
+
+    // Already-labelled flag (masked upstream, but the net sees it too).
+    let object_labelled = if labelled.state(object).is_labelled() { 1.0 } else { 0.0 };
+
+    vec![
+        max_prob as f32,
+        margin as f32,
+        norm_entropy as f32,
+        answer_count.min(2.0) as f32,
+        agreement as f32,
+        model_agrees as f32,
+        quality as f32,
+        cost as f32,
+        is_expert,
+        load_norm as f32,
+        snapshot.budget_spent_fraction as f32,
+        snapshot.labelled_fraction as f32,
+        snapshot.enriched_fraction as f32,
+        object_labelled,
+        snapshot.phi_trust as f32,
+    ]
+}
+
+/// Pack an (object, annotator) pair into the `u64` key the UCB explorer
+/// tracks.
+pub fn action_key(object: ObjectId, annotator: AnnotatorId) -> u64 {
+    ((object.index() as u64) << 24) | (annotator.index() as u64 & 0xFF_FFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::{AnnotatorKind, Answer, ClassId, LabelState};
+
+    fn snapshot() -> StateSnapshot {
+        StateSnapshot {
+            qualities: vec![0.9, 0.6],
+            annotator_load: vec![3, 0],
+            budget_spent_fraction: 0.25,
+            labelled_fraction: 0.5,
+            enriched_fraction: 0.1,
+            max_cost: 10.0,
+            phi_trust: 0.5,
+        }
+    }
+
+    fn profile(id: usize, expert: bool) -> AnnotatorProfile {
+        AnnotatorProfile::new(
+            AnnotatorId(id),
+            if expert { AnnotatorKind::Expert } else { AnnotatorKind::Worker },
+            if expert { 10.0 } else { 1.0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn embedding_has_fixed_width_and_is_finite() {
+        let answers = AnswerSet::new(4);
+        let labelled = LabelledSet::new(4);
+        let v = embed(
+            ObjectId(0),
+            &profile(0, false),
+            &[0.7, 0.3],
+            &answers,
+            &labelled,
+            &snapshot(),
+            3,
+        );
+        assert_eq!(v.len(), FEATURE_DIM);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn uncertainty_features_reflect_probs() {
+        let answers = AnswerSet::new(1);
+        let labelled = LabelledSet::new(1);
+        let certain = embed(
+            ObjectId(0), &profile(0, false), &[0.99, 0.01],
+            &answers, &labelled, &snapshot(), 3,
+        );
+        let uncertain = embed(
+            ObjectId(0), &profile(0, false), &[0.5, 0.5],
+            &answers, &labelled, &snapshot(), 3,
+        );
+        assert!(certain[0] > uncertain[0]); // max prob
+        assert!(certain[1] > uncertain[1]); // margin
+        assert!(certain[2] < uncertain[2]); // entropy
+    }
+
+    #[test]
+    fn answer_history_features() {
+        let mut answers = AnswerSet::new(2);
+        answers
+            .record(Answer { object: ObjectId(0), annotator: AnnotatorId(0), label: ClassId(0) })
+            .unwrap();
+        answers
+            .record(Answer { object: ObjectId(0), annotator: AnnotatorId(1), label: ClassId(0) })
+            .unwrap();
+        let labelled = LabelledSet::new(2);
+        let v = embed(
+            ObjectId(0), &profile(0, false), &[0.8, 0.2],
+            &answers, &labelled, &snapshot(), 3,
+        );
+        assert!((v[3] - 2.0 / 3.0).abs() < 1e-6); // 2 answers / k=3
+        assert!((v[4] - 1.0).abs() < 1e-6); // unanimous agreement
+        assert!((v[5] - 1.0).abs() < 1e-6); // model agrees with votes
+        // No answers: neutral values.
+        let v = embed(
+            ObjectId(1), &profile(0, false), &[0.8, 0.2],
+            &answers, &labelled, &snapshot(), 3,
+        );
+        assert_eq!(v[3], 0.0);
+        assert_eq!(v[4], 0.0);
+        assert_eq!(v[5], 0.5);
+    }
+
+    #[test]
+    fn annotator_features_distinguish_expert() {
+        let answers = AnswerSet::new(1);
+        let labelled = LabelledSet::new(1);
+        let w = embed(
+            ObjectId(0), &profile(0, false), &[0.5, 0.5],
+            &answers, &labelled, &snapshot(), 3,
+        );
+        let e = embed(
+            ObjectId(0), &profile(1, true), &[0.5, 0.5],
+            &answers, &labelled, &snapshot(), 3,
+        );
+        assert!((w[6] - 0.9).abs() < 1e-6); // quality from snapshot
+        assert!((e[6] - 0.6).abs() < 1e-6);
+        assert!(w[7] < e[7]); // normalized cost
+        assert_eq!(w[8], 0.0);
+        assert_eq!(e[8], 1.0);
+        assert!(w[9] > e[9]); // load
+    }
+
+    #[test]
+    fn labelled_flag_is_set() {
+        let answers = AnswerSet::new(1);
+        let mut labelled = LabelledSet::new(1);
+        labelled.set(ObjectId(0), LabelState::Inferred(ClassId(0))).unwrap();
+        let v = embed(
+            ObjectId(0), &profile(0, false), &[0.5, 0.5],
+            &answers, &labelled, &snapshot(), 3,
+        );
+        assert_eq!(v[13], 1.0);
+    }
+
+    #[test]
+    fn action_keys_are_unique_for_realistic_sizes() {
+        let mut seen = std::collections::HashSet::new();
+        for o in 0..100 {
+            for a in 0..20 {
+                assert!(seen.insert(action_key(ObjectId(o), AnnotatorId(a))));
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Run outputs: the final labelling plus a per-iteration trace.
+
+use crowdrl_types::{ClassId, LabelState};
+
+/// Statistics recorded for one labelling iteration.
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// Iteration index `t`.
+    pub iteration: usize,
+    /// Objects enriched by the classifier this iteration.
+    pub enriched: usize,
+    /// Objects selected for annotation this iteration.
+    pub selected: usize,
+    /// Annotator answers purchased this iteration.
+    pub answers: usize,
+    /// Budget spent this iteration.
+    pub spend: f64,
+    /// Reward `r(t)`.
+    pub reward: f64,
+    /// Labelled objects after this iteration.
+    pub labelled_total: usize,
+    /// DQN TD loss (mean over the iteration's train steps), if any ran.
+    pub td_loss: Option<f32>,
+}
+
+/// The result of a complete labelling run.
+#[derive(Debug, Clone)]
+pub struct LabellingOutcome {
+    /// Final label per object (`None` only when `final_fallback` was
+    /// disabled and the budget died before the object was labelled).
+    pub labels: Vec<Option<ClassId>>,
+    /// How each object acquired its label.
+    pub label_states: Vec<LabelState>,
+    /// Budget units actually spent.
+    pub budget_spent: f64,
+    /// Labelling iterations executed.
+    pub iterations: usize,
+    /// Total annotator answers purchased.
+    pub total_answers: usize,
+    /// Objects labelled by the classifier (enrichment + fallback).
+    pub enriched_count: usize,
+    /// Per-iteration trace.
+    pub trace: Vec<IterationStats>,
+}
+
+impl LabellingOutcome {
+    /// Fraction of objects with a label.
+    pub fn coverage(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|l| l.is_some()).count() as f64 / self.labels.len() as f64
+    }
+
+    /// Total reward accumulated over the run.
+    pub fn total_reward(&self) -> f64 {
+        self.trace.iter().map(|s| s.reward).sum()
+    }
+
+    /// Fraction of labels that came from humans (inferred) rather than the
+    /// classifier.
+    pub fn human_labelled_fraction(&self) -> f64 {
+        let labelled = self.labels.iter().filter(|l| l.is_some()).count();
+        if labelled == 0 {
+            return 0.0;
+        }
+        let inferred = self
+            .label_states
+            .iter()
+            .filter(|s| matches!(s, LabelState::Inferred(_)))
+            .count();
+        inferred as f64 / labelled as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> LabellingOutcome {
+        LabellingOutcome {
+            labels: vec![Some(ClassId(0)), Some(ClassId(1)), None, Some(ClassId(0))],
+            label_states: vec![
+                LabelState::Inferred(ClassId(0)),
+                LabelState::Enriched(ClassId(1)),
+                LabelState::Unlabelled,
+                LabelState::Enriched(ClassId(0)),
+            ],
+            budget_spent: 42.0,
+            iterations: 5,
+            total_answers: 12,
+            enriched_count: 2,
+            trace: vec![
+                IterationStats {
+                    iteration: 0,
+                    enriched: 1,
+                    selected: 2,
+                    answers: 6,
+                    spend: 20.0,
+                    reward: 0.5,
+                    labelled_total: 2,
+                    td_loss: None,
+                },
+                IterationStats {
+                    iteration: 1,
+                    enriched: 1,
+                    selected: 2,
+                    answers: 6,
+                    spend: 22.0,
+                    reward: 0.25,
+                    labelled_total: 3,
+                    td_loss: Some(0.1),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn coverage_counts_some_labels() {
+        assert!((outcome().coverage() - 0.75).abs() < 1e-12);
+        let empty = LabellingOutcome {
+            labels: vec![],
+            label_states: vec![],
+            budget_spent: 0.0,
+            iterations: 0,
+            total_answers: 0,
+            enriched_count: 0,
+            trace: vec![],
+        };
+        assert_eq!(empty.coverage(), 0.0);
+        assert_eq!(empty.human_labelled_fraction(), 0.0);
+    }
+
+    #[test]
+    fn reward_and_human_fraction() {
+        let o = outcome();
+        assert!((o.total_reward() - 0.75).abs() < 1e-12);
+        assert!((o.human_labelled_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,784 @@
+//! The CrowdRL labelling workflow (Algorithm 1).
+//!
+//! ```text
+//! 1  initialize state; sample α·|O| objects, ask annotators to label them
+//! 2  while some objects are unlabelled and budget remains:
+//! 3      select a batch of objects and assign annotators   (Agent, §IV)
+//! 4      purchase the answers on the platform
+//! 5      infer true labels jointly with the classifier     (Env, §V)
+//! 6      retrain φ; enrich the labelled set where φ is confident
+//! 7      compute r(t), store transitions, train the DQN
+//! 8  label any remainder with φ
+//! ```
+//!
+//! Each step is delegated: selection to [`SelectionAgent`], inference to
+//! `crowdrl-inference`, enrichment to [`enrichment`](crate::enrichment),
+//! reward to [`reward`](crate::reward).
+
+use crate::agent::SelectionAgent;
+use crate::classifier_util::retrain_on_labelled;
+use crate::config::{CrowdRlConfig, InferenceModel};
+use crate::enrichment::{enrich, fallback_label_all};
+use crate::features::{embed, StateSnapshot};
+use crate::outcome::{IterationStats, LabellingOutcome};
+use crate::reward::{iteration_reward, RewardInputs};
+use crowdrl_inference::{DawidSkene, InferenceResult, JointInference, MajorityVote, Pm};
+use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_sim::{AnnotatorPool, Platform};
+use crowdrl_types::rng::sample_indices;
+use crowdrl_types::{Budget, Dataset, LabelState, LabelledSet, ObjectId, Result};
+use rand::Rng;
+
+/// The CrowdRL framework, configured and ready to label datasets.
+#[derive(Debug, Clone)]
+pub struct CrowdRl {
+    config: CrowdRlConfig,
+}
+
+impl CrowdRl {
+    /// Wrap a validated configuration.
+    pub fn new(config: CrowdRlConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration (read-only).
+    pub fn config(&self) -> &CrowdRlConfig {
+        &self.config
+    }
+
+    /// Label `dataset` using `pool` under the configured budget.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        rng: &mut R,
+    ) -> Result<LabellingOutcome> {
+        self.run_detailed(dataset, pool, rng).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`CrowdRl::run`], additionally returning the trained Q-network
+    /// parameters — the artifact the paper's offline "cross-training"
+    /// methodology transfers between datasets (§VI-A.4): train on the other
+    /// datasets, then seed a fresh run via
+    /// [`CrowdRlConfigBuilder::pretrained_dqn`](crate::config::CrowdRlConfigBuilder::pretrained_dqn).
+    pub fn run_detailed<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        rng: &mut R,
+    ) -> Result<(LabellingOutcome, Vec<f32>)> {
+        self.config.validate()?;
+        let n = dataset.len();
+        let k_classes = dataset.num_classes();
+        let mut platform = Platform::new(dataset, pool, Budget::new(self.config.budget)?);
+        let mut classifier = SoftmaxClassifier::new(
+            self.config.classifier.clone(),
+            dataset.dim(),
+            k_classes,
+            rng,
+        )?;
+        let mut agent = SelectionAgent::new(
+            self.config.dqn.clone(),
+            &self.config.exploration,
+            self.config.pretrained_dqn.as_deref(),
+            rng,
+        )?;
+        let mut labelled = LabelledSet::new(n);
+        let mut qualities = vec![0.7f64; pool.len()];
+        let max_cost = pool
+            .profiles()
+            .iter()
+            .map(|p| p.cost)
+            .fold(0.0f64, f64::max);
+        let max_iter_spend =
+            self.config.batch_per_iter as f64 * self.config.assignment_k as f64 * max_cost;
+
+        // --- Initial sampling: α·|O| objects, k annotators each. ---
+        // The initial panel is stratified: one random expert (when the pool
+        // has any) plus random workers. Expert-anchored initial labels give
+        // the joint model a confident core to estimate worker qualities and
+        // the classifier against; an all-worker start can leave every
+        // posterior too ambiguous to bootstrap from.
+        let initial = ((self.config.initial_ratio * n as f64).round() as usize).min(n);
+        let initial_objects = sample_indices(rng, n, initial);
+        let experts: Vec<_> = pool.profiles().iter().filter(|p| p.is_expert()).collect();
+        let workers: Vec<_> = pool.profiles().iter().filter(|p| !p.is_expert()).collect();
+        for &obj in &initial_objects {
+            let mut annotators = Vec::with_capacity(self.config.assignment_k);
+            if !experts.is_empty() {
+                annotators.push(experts[rng.random_range(0..experts.len())].id);
+            }
+            let tier = if workers.is_empty() { &experts } else { &workers };
+            let fill = sample_indices(rng, tier.len(), self.config.assignment_k.saturating_sub(annotators.len()));
+            annotators.extend(fill.into_iter().map(|i| tier[i].id));
+            platform.ask_many(ObjectId(obj), &annotators, rng);
+        }
+        if platform.answers().total_answers() > 0 {
+            let result =
+                self.run_inference(dataset, &platform, pool, &mut classifier, rng)?;
+            apply_inference(
+                &result,
+                &mut labelled,
+                &mut qualities,
+                self.config.label_confidence,
+            )?;
+            if !matches!(self.config.inference, InferenceModel::Joint(_)) {
+                retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
+            }
+            // No enrichment before the loop: the classifier has not yet
+            // been validated against any out-of-sample human labels.
+        }
+
+        // Per-object posterior confidence from the previous inference pass
+        // (None until the object has answers) — the baseline for the
+        // reward's confidence-gain term.
+        let mut prev_confidence: Vec<Option<f64>> = vec![None; n];
+
+        // Budget pacing: fix this run's per-iteration allowance once, as
+        // the post-initial budget spread evenly over the planned number of
+        // batches. Recomputing it from the *current* unlabelled count every
+        // iteration spirals downward (hard objects stay unlabelled, the
+        // divisor stays high while the numerator shrinks, and the tail of
+        // the run buys useless one-answer panels).
+        let planned_iters = labelled.unlabelled_count().div_ceil(self.config.batch_per_iter);
+        let fixed_allowance = (platform.budget().remaining() / planned_iters.max(1) as f64)
+            .max(pool.min_cost() * self.config.assignment_k as f64);
+
+        // --- Main loop. ---
+        let mut trace: Vec<IterationStats> = Vec::new();
+        // Running out-of-sample agreement between the classifier and the
+        // human-inferred labels. Decayed counts give a lower confidence
+        // bound: enrichment opens only when the classifier is *provably*
+        // good, not merely lucky on a few objects.
+        let mut trust_agree = 0.0f64;
+        let mut trust_scored = 0.0f64;
+        let mut phi_trust = 0.0f64;
+        for t in 0..self.config.max_iters {
+            if labelled.all_labelled() || platform.exhausted() {
+                break;
+            }
+            let unlabelled_before = labelled.unlabelled_count();
+            let spent_before = platform.budget().spent();
+
+            // (a) Unified task selection + assignment, paced so the budget
+            // lasts across the remaining unlabelled objects: this
+            // iteration's allowance is the remaining budget divided by the
+            // remaining iterations at the configured batch size. Pacing is
+            // what lets a mixed-cost pool spread experts over the run
+            // instead of front-loading them.
+            let candidates = self.sample_candidates(dataset, &labelled, &classifier, rng);
+            let snapshot =
+                self.snapshot(&platform, &labelled, &qualities, max_cost, n, phi_trust);
+            let allowance = fixed_allowance.min(platform.budget().remaining());
+            let assignments = agent.select(
+                &candidates,
+                pool.profiles(),
+                platform.answers(),
+                &labelled,
+                &snapshot,
+                allowance,
+                self.config.assignment_k,
+                self.config.batch_per_iter,
+                self.config.ablation,
+                rng,
+            );
+            if assignments.is_empty() {
+                break;
+            }
+
+            // (b) Purchase answers. Record, per selected object, the
+            // classifier's *pre-answer* prediction (for the trust estimate)
+            // and our best pre-answer confidence (for the reward's gain
+            // term: the previous posterior if the object had answers, the
+            // classifier's probability otherwise).
+            let mut answers_bought = 0;
+            let mut phi_guesses: Vec<(ObjectId, usize)> = Vec::new();
+            let mut conf_before: std::collections::HashMap<ObjectId, f64> =
+                std::collections::HashMap::new();
+            for assignment in &assignments {
+                if let Some((_, probs)) =
+                    candidates.iter().find(|(o, _)| *o == assignment.object)
+                {
+                    if let Some(guess) = crowdrl_types::prob::argmax(probs) {
+                        if classifier.is_trained() {
+                            phi_guesses.push((assignment.object, guess));
+                        }
+                    }
+                    let prior = prev_confidence
+                        .get(assignment.object.index())
+                        .copied()
+                        .flatten()
+                        .unwrap_or_else(|| {
+                            probs.iter().copied().fold(0.0f64, f64::max)
+                        });
+                    conf_before.insert(assignment.object, prior);
+                }
+                answers_bought += platform
+                    .ask_many(assignment.object, &assignment.annotators, rng)
+                    .len();
+            }
+            let spend = platform.budget().spent() - spent_before;
+
+            // (c) Truth inference over all answers so far.
+            let result =
+                self.run_inference(dataset, &platform, pool, &mut classifier, rng)?;
+            apply_inference(
+                &result,
+                &mut labelled,
+                &mut qualities,
+                self.config.label_confidence,
+            )?;
+
+            for obj in result.inferred_objects() {
+                prev_confidence[obj.index()] = result.confidence(obj);
+            }
+
+            // Trust update: how often did the classifier agree with the
+            // labels humans just produced? Only *confident* inferred labels
+            // are scored — comparing against a noisy worker-only majority
+            // would make a perfect classifier look untrustworthy. (Out of
+            // sample: the prediction predates the answers.)
+            let mut agree = 0usize;
+            let mut scored = 0usize;
+            for (obj, guess) in &phi_guesses {
+                let confident = result.confidence(*obj).unwrap_or(0.0) >= 0.85;
+                if !confident {
+                    continue;
+                }
+                if let Some(label) = result.label(*obj) {
+                    scored += 1;
+                    if label.index() == *guess {
+                        agree += 1;
+                    }
+                }
+            }
+            trust_agree = 0.97 * trust_agree + agree as f64;
+            trust_scored = 0.97 * trust_scored + scored as f64;
+            phi_trust = if trust_scored >= 10.0 {
+                let p = (trust_agree / trust_scored).clamp(0.0, 1.0);
+                p - (p * (1.0 - p) / trust_scored).sqrt()
+            } else {
+                0.0
+            };
+
+            // (d) Retrain (non-joint models) and enrich.
+            if !matches!(self.config.inference, InferenceModel::Joint(_)) {
+                retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
+            }
+            let enriched = if self.warmup_done(&labelled)
+                && phi_trust >= self.config.enrichment_trust
+            {
+                enrich(
+                    dataset,
+                    &classifier,
+                    &mut labelled,
+                    self.config.enrichment_margin,
+                    self.config.enrichment_cap_per_iter,
+                )?
+                .len()
+            } else {
+                0
+            };
+
+            // (e) Reward, replay, learning. Each assignment is credited
+            // with its *own* object's confidence **gain** (posterior
+            // confidence after the new answers minus the best estimate
+            // before them) and its own panel cost; the enrichment term is
+            // shared (it is a global consequence of the iteration). Using
+            // the gain rather than the absolute confidence means answering
+            // an object that was already easy earns nothing — the advantage
+            // form of the paper's long-term-value objective.
+            let k = self.config.assignment_k.max(1) as f64;
+            let rewards: Vec<f64> = assignments
+                .iter()
+                .map(|a| {
+                    let before = conf_before
+                        .get(&a.object)
+                        .copied()
+                        .unwrap_or(1.0 / k_classes as f64);
+                    let after = result.confidence(a.object).unwrap_or(0.0);
+                    let confidence = (after - before).max(0.0);
+                    let panel_cost: f64 = a
+                        .annotators
+                        .iter()
+                        .map(|&id| pool.profile(id).cost)
+                        .sum();
+                    iteration_reward(
+                        self.config.lambda,
+                        self.config.mu,
+                        self.config.eta,
+                        RewardInputs {
+                            enriched,
+                            unlabelled_before,
+                            spend: panel_cost,
+                            max_iter_spend: k * max_cost,
+                            mean_confidence: confidence,
+                        },
+                    )
+                })
+                .collect();
+            let reward = if rewards.is_empty() {
+                0.0
+            } else {
+                rewards.iter().sum::<f64>() / rewards.len() as f64
+            };
+            let _ = (spend, max_iter_spend);
+            let terminal = labelled.all_labelled() || platform.exhausted();
+            let next_candidates = if terminal {
+                Vec::new()
+            } else {
+                self.bootstrap_embeddings(
+                    dataset, &platform, pool, &labelled, &classifier, &qualities, max_cost, rng,
+                )
+            };
+            agent.remember(&assignments, &rewards, &next_candidates, terminal);
+            let td_loss = agent.train(self.config.train_steps_per_iter, rng);
+
+            trace.push(IterationStats {
+                iteration: t,
+                enriched,
+                selected: assignments.len(),
+                answers: answers_bought,
+                spend,
+                reward,
+                labelled_total: labelled.labelled_count(),
+                td_loss,
+            });
+        }
+
+        // --- Residual answered-but-uncertain objects take their MAP label:
+        // the answers were paid for and the posterior, however ambiguous,
+        // beats an untrained guess. ---
+        if !labelled.all_labelled() {
+            let final_result =
+                self.run_inference(dataset, &platform, pool, &mut classifier, rng)?;
+            for obj in final_result.inferred_objects() {
+                if !labelled.state(obj).is_labelled() {
+                    if let Some(label) = final_result.label(obj) {
+                        labelled.set(obj, LabelState::Inferred(label))?;
+                    }
+                }
+            }
+        }
+
+        // --- Fallback: label the remainder with the classifier. ---
+        let mut fallback_count = 0;
+        if self.config.final_fallback && !labelled.all_labelled() {
+            if !classifier.is_trained() {
+                retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
+            }
+            fallback_count = fallback_label_all(dataset, &classifier, &mut labelled)?;
+        }
+
+        let _ = fallback_count; // fallback labels are Enriched states below
+        let iterations = trace.len();
+        let label_states: Vec<LabelState> =
+            (0..n).map(|i| labelled.state(ObjectId(i))).collect();
+        let enriched_count = label_states
+            .iter()
+            .filter(|s| matches!(s, LabelState::Enriched(_)))
+            .count();
+        let outcome = LabellingOutcome {
+            labels: labelled.to_labels(),
+            label_states,
+            budget_spent: platform.budget().spent(),
+            iterations,
+            total_answers: platform.answers().total_answers(),
+            enriched_count,
+            trace,
+        };
+        Ok((outcome, agent.dqn().export_params()))
+    }
+
+    /// Enrichment warmup check: enough objects must carry *human-inferred*
+    /// labels before the classifier is allowed to auto-label.
+    fn warmup_done(&self, labelled: &LabelledSet) -> bool {
+        let inferred = labelled.labelled_count() - labelled.enriched_count();
+        inferred as f64 >= self.config.enrichment_warmup * labelled.len() as f64
+    }
+
+    /// Sample candidate objects and compute their class distributions.
+    fn sample_candidates<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        labelled: &LabelledSet,
+        classifier: &SoftmaxClassifier,
+        rng: &mut R,
+    ) -> Vec<(ObjectId, Vec<f64>)> {
+        let unlabelled: Vec<ObjectId> = labelled.unlabelled_objects().collect();
+        let chosen = if unlabelled.len() <= self.config.candidate_cap {
+            unlabelled
+        } else {
+            sample_indices(rng, unlabelled.len(), self.config.candidate_cap)
+                .into_iter()
+                .map(|i| unlabelled[i])
+                .collect()
+        };
+        let k = dataset.num_classes();
+        chosen
+            .into_iter()
+            .map(|obj| {
+                let probs = if classifier.is_trained() {
+                    classifier.predict_proba_one(dataset.features(obj.index()))
+                } else {
+                    vec![1.0 / k as f64; k]
+                };
+                (obj, probs)
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot(
+        &self,
+        platform: &Platform<'_>,
+        labelled: &LabelledSet,
+        qualities: &[f64],
+        max_cost: f64,
+        n: usize,
+        phi_trust: f64,
+    ) -> StateSnapshot {
+        StateSnapshot {
+            qualities: qualities.to_vec(),
+            annotator_load: platform.answers().answer_counts(qualities.len()),
+            budget_spent_fraction: platform.budget().fraction_spent(),
+            labelled_fraction: labelled.labelled_count() as f64 / n.max(1) as f64,
+            enriched_fraction: labelled.enriched_count() as f64 / n.max(1) as f64,
+            max_cost,
+            phi_trust,
+        }
+    }
+
+    /// Embeddings of a sample of feasible successor actions, for TD
+    /// bootstrapping.
+    #[allow(clippy::too_many_arguments)]
+    fn bootstrap_embeddings<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        platform: &Platform<'_>,
+        pool: &AnnotatorPool,
+        labelled: &LabelledSet,
+        classifier: &SoftmaxClassifier,
+        qualities: &[f64],
+        max_cost: f64,
+        rng: &mut R,
+    ) -> Vec<Vec<f32>> {
+        let snapshot =
+            self.snapshot(platform, labelled, qualities, max_cost, dataset.len(), 0.0);
+        let unlabelled: Vec<ObjectId> = labelled.unlabelled_objects().collect();
+        if unlabelled.is_empty() {
+            return Vec::new();
+        }
+        let sample = sample_indices(
+            rng,
+            unlabelled.len(),
+            self.config.bootstrap_candidates.max(1),
+        );
+        let k = dataset.num_classes();
+        let mut out = Vec::new();
+        for i in sample {
+            let obj = unlabelled[i];
+            let probs = if classifier.is_trained() {
+                classifier.predict_proba_one(dataset.features(obj.index()))
+            } else {
+                vec![1.0 / k as f64; k]
+            };
+            // One random annotator per sampled object keeps this cheap.
+            let a = rng.random_range(0..pool.len());
+            let profile = &pool.profiles()[a];
+            if platform.answers().has_answered(obj, profile.id) {
+                continue;
+            }
+            out.push(embed(
+                obj,
+                profile,
+                &probs,
+                platform.answers(),
+                labelled,
+                &snapshot,
+                self.config.assignment_k,
+            ));
+        }
+        out
+    }
+
+    fn run_inference<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        platform: &Platform<'_>,
+        pool: &AnnotatorPool,
+        classifier: &mut SoftmaxClassifier,
+        rng: &mut R,
+    ) -> Result<InferenceResult> {
+        let answers = platform.answers();
+        let k = dataset.num_classes();
+        let w = pool.len();
+        match &self.config.inference {
+            InferenceModel::Joint(config) => JointInference { config: config.clone() }.infer(
+                dataset,
+                answers,
+                pool.profiles(),
+                classifier,
+                rng,
+            ),
+            InferenceModel::Pm => Pm::default().infer(answers, k, w),
+            InferenceModel::DawidSkene => DawidSkene::default().infer(answers, k, w),
+            InferenceModel::MajorityVote => MajorityVote.infer(answers, k, w),
+        }
+    }
+}
+
+/// Write inferred labels into the labelled set and refresh the quality
+/// estimates.
+///
+/// Only posteriors at or above `confidence` become labels; ambiguous
+/// answered objects stay unlabelled so the agent can escalate them to
+/// stronger annotators. A previously-labelled object whose posterior drops
+/// back below the bar is un-labelled again (the posterior is always the
+/// best current estimate). Classifier-enriched labels are never touched —
+/// enrichment owns those objects.
+fn apply_inference(
+    result: &InferenceResult,
+    labelled: &mut LabelledSet,
+    qualities: &mut [f64],
+    confidence: f64,
+) -> Result<()> {
+    for obj in result.inferred_objects() {
+        let conf = result.confidence(obj).unwrap_or(0.0);
+        if conf >= confidence {
+            if let Some(label) = result.label(obj) {
+                labelled.set(obj, LabelState::Inferred(label))?;
+            }
+        } else if matches!(labelled.state(obj), LabelState::Inferred(_)) {
+            labelled.set(obj, LabelState::Unlabelled)?;
+        }
+    }
+    for (q, nq) in qualities.iter_mut().zip(result.qualities()) {
+        *q = nq;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Ablation, Exploration};
+    use crowdrl_sim::{DatasetSpec, PoolSpec};
+    use crowdrl_types::rng::seeded;
+
+    fn quick_config(budget: f64) -> CrowdRlConfig {
+        CrowdRlConfig::builder()
+            .budget(budget)
+            .initial_ratio(0.1)
+            .batch_per_iter(4)
+            .candidate_cap(32)
+            .build()
+            .unwrap()
+    }
+
+    fn setup(n: usize, seed: u64) -> (Dataset, AnnotatorPool) {
+        let mut rng = seeded(seed);
+        // Separation is the total centroid distance: 3.5 ⇒ Bayes ≈ 0.96,
+        // an easy task where the full pipeline should score well.
+        let dataset = DatasetSpec::gaussian("t", n, 4, 2)
+            .with_separation(3.5)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+        (dataset, pool)
+    }
+
+    fn accuracy(outcome: &LabellingOutcome, dataset: &Dataset) -> f64 {
+        outcome
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| **l == Some(dataset.truth(*i)))
+            .count() as f64
+            / dataset.len() as f64
+    }
+
+    #[test]
+    fn end_to_end_labels_everything_within_budget() {
+        let (dataset, pool) = setup(80, 1);
+        let mut rng = seeded(2);
+        let outcome = CrowdRl::new(quick_config(250.0))
+            .run(&dataset, &pool, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.coverage(), 1.0);
+        assert!(outcome.budget_spent <= 250.0 + 1e-9);
+        let acc = accuracy(&outcome, &dataset);
+        assert!(acc > 0.8, "accuracy {acc}");
+        assert!(outcome.total_answers > 0);
+    }
+
+    #[test]
+    fn zero_budget_yields_no_answers() {
+        let (dataset, pool) = setup(20, 3);
+        let mut rng = seeded(4);
+        let outcome = CrowdRl::new(quick_config(0.0))
+            .run(&dataset, &pool, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.total_answers, 0);
+        assert_eq!(outcome.budget_spent, 0.0);
+        // Classifier can never train: nothing gets labelled.
+        assert_eq!(outcome.coverage(), 0.0);
+    }
+
+    #[test]
+    fn tiny_budget_still_terminates_and_spends_at_most_budget() {
+        let (dataset, pool) = setup(40, 5);
+        let mut rng = seeded(6);
+        let outcome = CrowdRl::new(quick_config(12.0))
+            .run(&dataset, &pool, &mut rng)
+            .unwrap();
+        assert!(outcome.budget_spent <= 12.0 + 1e-9);
+        // Fallback labels everything once the classifier has two classes.
+        assert!(outcome.coverage() > 0.0);
+    }
+
+    #[test]
+    fn run_is_deterministic_given_seed() {
+        let (dataset, pool) = setup(40, 7);
+        let run = || {
+            let mut rng = seeded(8);
+            CrowdRl::new(quick_config(120.0))
+                .run(&dataset, &pool, &mut rng)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.budget_spent, b.budget_spent);
+        assert_eq!(a.total_answers, b.total_answers);
+    }
+
+    #[test]
+    fn ablations_and_alternative_inference_complete() {
+        let (dataset, pool) = setup(40, 9);
+        for (name, config) in [
+            (
+                "m1",
+                CrowdRlConfig::builder()
+                    .budget(120.0)
+                    .ablation(Ablation { random_task_selection: true, ..Default::default() })
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "m2",
+                CrowdRlConfig::builder()
+                    .budget(120.0)
+                    .ablation(Ablation { random_task_assignment: true, ..Default::default() })
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "m3-pm",
+                CrowdRlConfig::builder()
+                    .budget(120.0)
+                    .inference(InferenceModel::Pm)
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "ds",
+                CrowdRlConfig::builder()
+                    .budget(120.0)
+                    .inference(InferenceModel::DawidSkene)
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "mv",
+                CrowdRlConfig::builder()
+                    .budget(120.0)
+                    .inference(InferenceModel::MajorityVote)
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "eps",
+                CrowdRlConfig::builder()
+                    .budget(120.0)
+                    .exploration(Exploration::EpsilonGreedy {
+                        start: 0.5,
+                        end: 0.05,
+                        decay_steps: 20,
+                    })
+                    .build()
+                    .unwrap(),
+            ),
+        ] {
+            let mut rng = seeded(10);
+            let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+            assert!(outcome.budget_spent <= 120.0 + 1e-9, "{name} overspent");
+            assert!(outcome.coverage() > 0.5, "{name} coverage {}", outcome.coverage());
+        }
+    }
+
+    #[test]
+    fn trace_records_iterations() {
+        let (dataset, pool) = setup(60, 11);
+        let mut rng = seeded(12);
+        let outcome = CrowdRl::new(quick_config(150.0))
+            .run(&dataset, &pool, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.trace.len(), outcome.iterations);
+        for (i, s) in outcome.trace.iter().enumerate() {
+            assert_eq!(s.iteration, i);
+            assert!(s.spend >= 0.0);
+            assert!(s.reward.is_finite());
+        }
+        // labelled_total generally grows, but confidence gating may
+        // temporarily un-label an object whose posterior dropped; the run
+        // must still finish with most objects labelled.
+        let last = outcome.trace.last().unwrap();
+        assert!(last.labelled_total >= outcome.trace[0].labelled_total);
+    }
+
+    #[test]
+    fn cross_training_params_transfer() {
+        let (dataset, pool) = setup(40, 13);
+        // "Offline" training run on one dataset...
+        let mut rng = seeded(14);
+        let donor_outcome_config = quick_config(100.0);
+        let donor = CrowdRl::new(donor_outcome_config);
+        let _ = donor.run(&dataset, &pool, &mut rng).unwrap();
+        // We can't extract the agent from run(); instead verify the config
+        // path: a pretrained parameter vector loads and runs.
+        let mut probe_rng = seeded(15);
+        let probe_agent = SelectionAgent::new(
+            crowdrl_rl::DqnConfig::default(),
+            &Exploration::Ucb { scale: 1.0 },
+            None,
+            &mut probe_rng,
+        )
+        .unwrap();
+        let params = probe_agent.dqn().export_params();
+        let config = CrowdRlConfig::builder()
+            .budget(80.0)
+            .pretrained_dqn(params)
+            .build()
+            .unwrap();
+        let mut rng = seeded(16);
+        let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+        assert!(outcome.coverage() > 0.0);
+    }
+
+    #[test]
+    fn enriched_plus_inferred_accounts_for_all_labels() {
+        let (dataset, pool) = setup(50, 17);
+        let mut rng = seeded(18);
+        let outcome = CrowdRl::new(quick_config(150.0))
+            .run(&dataset, &pool, &mut rng)
+            .unwrap();
+        let inferred = outcome
+            .label_states
+            .iter()
+            .filter(|s| matches!(s, LabelState::Inferred(_)))
+            .count();
+        let labelled = outcome.labels.iter().filter(|l| l.is_some()).count();
+        assert_eq!(inferred + outcome.enriched_count, labelled);
+    }
+}

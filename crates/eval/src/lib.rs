@@ -1,0 +1,22 @@
+//! # crowdrl-eval
+//!
+//! Metrics and experiment infrastructure for reproducing the CrowdRL
+//! evaluation (§VI):
+//!
+//! * [`metrics`] — precision, recall, F1 and accuracy over a final
+//!   labelling (the paper's three metrics, §VI-A.3), plus macro-averaged
+//!   variants for multi-class tasks;
+//! * [`runner`] — run a set of [`LabellingStrategy`]s over datasets and
+//!   seeds, in parallel via crossbeam scoped threads, aggregating
+//!   mean ± std across repetitions; includes the paper's offline
+//!   cross-training helper (§VI-A.4);
+//! * [`table`] — paper-style result rows and CSV output.
+//!
+//! [`LabellingStrategy`]: crowdrl_baselines::LabellingStrategy
+
+pub mod metrics;
+pub mod runner;
+pub mod table;
+
+pub use metrics::{evaluate_labels, Metrics};
+pub use runner::{cross_train, CellResult, Condition, ExperimentGrid};

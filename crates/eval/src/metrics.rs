@@ -1,0 +1,261 @@
+//! Labelling-quality metrics (§VI-A.3): precision, recall, F1, accuracy.
+//!
+//! The paper's datasets are binary with `positive` as the class of
+//! interest; we fix class 0 as positive by convention (the generators put
+//! the "positive" class first). Unlabelled objects count as *not*
+//! predicted positive and as incorrect for accuracy — a framework that
+//! runs out of budget is penalized for what it failed to label, exactly as
+//! a deployment would be.
+
+use crowdrl_types::{ClassId, Dataset, Error, ObjectId, Result};
+
+/// Quality metrics for one labelling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Fraction of all objects labelled correctly (unlabelled = wrong).
+    pub accuracy: f64,
+    /// Binary precision of the positive class (class 0).
+    pub precision: f64,
+    /// Binary recall of the positive class.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Macro-averaged precision over all classes.
+    pub macro_precision: f64,
+    /// Macro-averaged recall over all classes.
+    pub macro_recall: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+    /// Fraction of objects that received any label.
+    pub coverage: f64,
+}
+
+/// Score `labels` against the dataset's hidden ground truth.
+    #[allow(clippy::needless_range_loop)] // index spans several parallel structures
+pub fn evaluate_labels(dataset: &Dataset, labels: &[Option<ClassId>]) -> Result<Metrics> {
+    if labels.len() != dataset.len() {
+        return Err(Error::DimensionMismatch {
+            expected: dataset.len(),
+            actual: labels.len(),
+            context: "metrics labels".into(),
+        });
+    }
+    let k = dataset.num_classes();
+    let n = dataset.len();
+    // Per-class counts: tp, predicted (fp+tp), actual (fn+tp).
+    let mut tp = vec![0usize; k];
+    let mut predicted = vec![0usize; k];
+    let mut actual = vec![0usize; k];
+    let mut correct = 0usize;
+    let mut covered = 0usize;
+    for i in 0..n {
+        let truth = dataset.truth(i);
+        actual[truth.index()] += 1;
+        if let Some(pred) = labels[i] {
+            if pred.index() >= k {
+                return Err(Error::IndexOutOfBounds {
+                    index: pred.index(),
+                    len: k,
+                    context: format!("predicted label for {}", ObjectId(i)),
+                });
+            }
+            covered += 1;
+            predicted[pred.index()] += 1;
+            if pred == truth {
+                correct += 1;
+                tp[pred.index()] += 1;
+            }
+        }
+    }
+    let prec = |c: usize| {
+        if predicted[c] > 0 {
+            tp[c] as f64 / predicted[c] as f64
+        } else {
+            0.0
+        }
+    };
+    let rec = |c: usize| {
+        if actual[c] > 0 {
+            tp[c] as f64 / actual[c] as f64
+        } else {
+            0.0
+        }
+    };
+    let f1_of = |p: f64, r: f64| if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+
+    let precision = prec(0);
+    let recall = rec(0);
+    let macro_precision = (0..k).map(prec).sum::<f64>() / k as f64;
+    let macro_recall = (0..k).map(rec).sum::<f64>() / k as f64;
+    let macro_f1 = (0..k).map(|c| f1_of(prec(c), rec(c))).sum::<f64>() / k as f64;
+    Ok(Metrics {
+        accuracy: correct as f64 / n as f64,
+        precision,
+        recall,
+        f1: f1_of(precision, recall),
+        macro_precision,
+        macro_recall,
+        macro_f1,
+        coverage: covered as f64 / n as f64,
+    })
+}
+
+impl Metrics {
+    /// Element-wise mean of several metric sets (seed aggregation).
+    pub fn mean(items: &[Metrics]) -> Option<Metrics> {
+        if items.is_empty() {
+            return None;
+        }
+        let n = items.len() as f64;
+        let sum = |f: fn(&Metrics) -> f64| items.iter().map(f).sum::<f64>() / n;
+        Some(Metrics {
+            accuracy: sum(|m| m.accuracy),
+            precision: sum(|m| m.precision),
+            recall: sum(|m| m.recall),
+            f1: sum(|m| m.f1),
+            macro_precision: sum(|m| m.macro_precision),
+            macro_recall: sum(|m| m.macro_recall),
+            macro_f1: sum(|m| m.macro_f1),
+            coverage: sum(|m| m.coverage),
+        })
+    }
+
+    /// Standard deviation of the accuracy across repetitions.
+    pub fn accuracy_std(items: &[Metrics]) -> f64 {
+        if items.len() < 2 {
+            return 0.0;
+        }
+        let mean = items.iter().map(|m| m.accuracy).sum::<f64>() / items.len() as f64;
+        let var = items
+            .iter()
+            .map(|m| (m.accuracy - mean).powi(2))
+            .sum::<f64>()
+            / (items.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dataset(truths: &[usize], k: usize) -> Dataset {
+        Dataset::new(
+            "t",
+            vec![0.0; truths.len()],
+            1,
+            truths.iter().map(|&c| ClassId(c)).collect(),
+            k,
+        )
+        .unwrap()
+    }
+
+    fn labels(preds: &[Option<usize>]) -> Vec<Option<ClassId>> {
+        preds.iter().map(|p| p.map(ClassId)).collect()
+    }
+
+    #[test]
+    fn perfect_labelling_scores_one() {
+        let d = dataset(&[0, 1, 0, 1], 2);
+        let m = evaluate_labels(&d, &labels(&[Some(0), Some(1), Some(0), Some(1)])).unwrap();
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.macro_f1, 1.0);
+        assert_eq!(m.coverage, 1.0);
+    }
+
+    #[test]
+    fn known_confusion_case() {
+        // truth:  0 0 0 1 1
+        // pred:   0 0 1 0 1
+        let d = dataset(&[0, 0, 0, 1, 1], 2);
+        let m =
+            evaluate_labels(&d, &labels(&[Some(0), Some(0), Some(1), Some(0), Some(1)])).unwrap();
+        assert!((m.accuracy - 0.6).abs() < 1e-12);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12); // 2 tp / 3 predicted 0
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12); // 2 tp / 3 actual 0
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlabelled_objects_hurt_accuracy_and_recall() {
+        let d = dataset(&[0, 0, 1, 1], 2);
+        let m = evaluate_labels(&d, &labels(&[Some(0), None, Some(1), None])).unwrap();
+        assert!((m.accuracy - 0.5).abs() < 1e-12);
+        assert!((m.coverage - 0.5).abs() < 1e-12);
+        // All *made* predictions were right: precision 1, recall ½.
+        assert_eq!(m.precision, 1.0);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero_not_nan() {
+        // Never predicts positive.
+        let d = dataset(&[0, 0], 2);
+        let m = evaluate_labels(&d, &labels(&[Some(1), Some(1)])).unwrap();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        // Nothing labelled at all.
+        let m = evaluate_labels(&d, &labels(&[None, None])).unwrap();
+        assert_eq!(m.accuracy, 0.0);
+        assert_eq!(m.coverage, 0.0);
+        assert!(!m.f1.is_nan());
+    }
+
+    #[test]
+    fn multiclass_macro_averages() {
+        // 3 classes, one mistake.
+        let d = dataset(&[0, 1, 2], 3);
+        let m = evaluate_labels(&d, &labels(&[Some(0), Some(1), Some(1)])).unwrap();
+        assert!((m.accuracy - 2.0 / 3.0).abs() < 1e-12);
+        // prec: c0=1, c1=1/2, c2=0 -> macro 0.5
+        assert!((m.macro_precision - 0.5).abs() < 1e-12);
+        // rec: 1, 1, 0 -> 2/3
+        assert!((m.macro_recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let d = dataset(&[0, 1], 2);
+        assert!(evaluate_labels(&d, &labels(&[Some(0)])).is_err());
+        assert!(evaluate_labels(&d, &labels(&[Some(0), Some(7)])).is_err());
+    }
+
+    #[test]
+    fn mean_and_std_aggregate() {
+        let d = dataset(&[0, 1], 2);
+        let a = evaluate_labels(&d, &labels(&[Some(0), Some(1)])).unwrap();
+        let b = evaluate_labels(&d, &labels(&[Some(1), Some(0)])).unwrap();
+        let mean = Metrics::mean(&[a, b]).unwrap();
+        assert!((mean.accuracy - 0.5).abs() < 1e-12);
+        assert!(Metrics::accuracy_std(&[a, b]) > 0.0);
+        assert_eq!(Metrics::accuracy_std(&[a]), 0.0);
+        assert!(Metrics::mean(&[]).is_none());
+    }
+
+    proptest! {
+        /// All metrics stay within [0,1] and F1 is the harmonic mean.
+        #[test]
+        fn prop_metrics_bounded(truths in proptest::collection::vec(0usize..2, 1..32),
+                                preds in proptest::collection::vec(
+                                    proptest::option::of(0usize..2), 1..32)) {
+            let n = truths.len().min(preds.len());
+            let d = dataset(&truths[..n], 2);
+            let m = evaluate_labels(&d, &labels(&preds[..n])).unwrap();
+            for v in [m.accuracy, m.precision, m.recall, m.f1, m.coverage,
+                      m.macro_precision, m.macro_recall, m.macro_f1] {
+                prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+            }
+            if m.precision + m.recall > 0.0 {
+                let want = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+                prop_assert!((m.f1 - want).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(m.f1, 0.0);
+            }
+        }
+    }
+}

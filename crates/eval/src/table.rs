@@ -1,0 +1,131 @@
+//! Paper-style result tables and CSV output.
+
+use crate::runner::CellResult;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render a metric (selected by `pick`) as a strategies × datasets table,
+/// strategies as rows — the layout of the paper's figures.
+pub fn format_grid(
+    title: &str,
+    cells: &[CellResult],
+    pick: fn(&CellResult) -> f64,
+) -> String {
+    let mut datasets: Vec<String> = Vec::new();
+    let mut strategies: Vec<String> = Vec::new();
+    for c in cells {
+        if !datasets.contains(&c.dataset) {
+            datasets.push(c.dataset.clone());
+        }
+        if !strategies.contains(&c.strategy) {
+            strategies.push(c.strategy.clone());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = write!(out, "{:<12}", "method");
+    for d in &datasets {
+        let _ = write!(out, "{d:>12}");
+    }
+    let _ = writeln!(out);
+    for s in &strategies {
+        let _ = write!(out, "{s:<12}");
+        for d in &datasets {
+            let cell = cells.iter().find(|c| &c.strategy == s && &c.dataset == d);
+            match cell {
+                Some(c) => {
+                    let _ = write!(out, "{:>12.4}", pick(c));
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Write cells as CSV: one row per (strategy, dataset) with all metrics.
+pub fn write_csv(path: &Path, cells: &[CellResult]) -> std::io::Result<()> {
+    let mut out = String::from(
+        "strategy,dataset,accuracy,accuracy_std,precision,recall,f1,\
+         macro_f1,coverage,budget_spent,runs\n",
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{}",
+            c.strategy,
+            c.dataset,
+            c.metrics.accuracy,
+            c.accuracy_std,
+            c.metrics.precision,
+            c.metrics.recall,
+            c.metrics.f1,
+            c.metrics.macro_f1,
+            c.metrics.coverage,
+            c.budget_spent,
+            c.runs
+        );
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn cell(strategy: &str, dataset: &str, acc: f64) -> CellResult {
+        CellResult {
+            strategy: strategy.into(),
+            dataset: dataset.into(),
+            metrics: Metrics {
+                accuracy: acc,
+                precision: acc,
+                recall: acc,
+                f1: acc,
+                macro_precision: acc,
+                macro_recall: acc,
+                macro_f1: acc,
+                coverage: 1.0,
+            },
+            accuracy_std: 0.01,
+            budget_spent: 100.0,
+            runs: 3,
+        }
+    }
+
+    #[test]
+    fn format_grid_lays_out_rows_and_columns() {
+        let cells = vec![
+            cell("DLTA", "s12cp", 0.8),
+            cell("DLTA", "fashion", 0.85),
+            cell("CrowdRL", "s12cp", 0.92),
+            cell("CrowdRL", "fashion", 0.95),
+        ];
+        let s = format_grid("Fig 4: precision", &cells, |c| c.metrics.precision);
+        assert!(s.contains("# Fig 4: precision"));
+        assert!(s.contains("s12cp"));
+        assert!(s.contains("fashion"));
+        assert!(s.contains("DLTA"));
+        assert!(s.contains("0.9200"));
+        // Missing cells render as '-'.
+        let partial = vec![cell("DLTA", "a", 0.5), cell("CrowdRL", "b", 0.6)];
+        let s = format_grid("t", &partial, |c| c.metrics.accuracy);
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn write_csv_round_trips() {
+        let dir = std::env::temp_dir().join("crowdrl-eval-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(&path, &[cell("CrowdRL", "s3cp", 0.9)]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("strategy,dataset"));
+        assert!(content.contains("CrowdRL,s3cp,0.900000"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

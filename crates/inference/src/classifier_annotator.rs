@@ -1,0 +1,152 @@
+//! The naive way to use a trained model in truth inference (§V-A.1,
+//! Fig. 3a): treat the classifier as one more "annotator", append its hard
+//! predictions as an extra answer column, and run Dawid–Skene over the
+//! augmented matrix.
+//!
+//! The paper argues this composes biases — the classifier was trained on
+//! labels already polluted by annotator noise, so modelling it as an
+//! independent annotator double-counts that noise. It exists here as the
+//! comparison point for [`JointInference`](crate::JointInference); the
+//! fig8-style ablation benchmark measures the gap.
+
+use crate::dawid_skene::DawidSkene;
+use crate::result::InferenceResult;
+use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_types::{AnswerSet, Answer, AnnotatorId, Dataset, Error, ObjectId, Result};
+
+/// Dawid–Skene with the classifier appended as a pseudo-annotator.
+#[derive(Debug, Clone, Default)]
+pub struct ClassifierAsAnnotator {
+    /// The underlying EM configuration.
+    pub ds: DawidSkene,
+}
+
+impl ClassifierAsAnnotator {
+    /// Run inference. The classifier's argmax prediction for every answered
+    /// object is recorded under the pseudo-annotator id `num_annotators`;
+    /// the returned result's `confusions` has `num_annotators + 1` entries,
+    /// the last being the classifier's estimated confusion.
+    pub fn infer(
+        &self,
+        dataset: &Dataset,
+        answers: &AnswerSet,
+        num_annotators: usize,
+        classifier: &SoftmaxClassifier,
+    ) -> Result<InferenceResult> {
+        if !classifier.is_trained() {
+            return Err(Error::InvalidParameter(
+                "classifier must be trained before use as pseudo-annotator".into(),
+            ));
+        }
+        if classifier.num_classes() != dataset.num_classes() {
+            return Err(Error::DimensionMismatch {
+                expected: dataset.num_classes(),
+                actual: classifier.num_classes(),
+                context: "classifier-as-annotator classes".into(),
+            });
+        }
+        if answers.num_objects() != dataset.len() {
+            return Err(Error::DimensionMismatch {
+                expected: dataset.len(),
+                actual: answers.num_objects(),
+                context: "classifier-as-annotator answers".into(),
+            });
+        }
+        let pseudo = AnnotatorId(num_annotators);
+        let mut augmented = answers.clone();
+        for i in 0..dataset.len() {
+            let obj = ObjectId(i);
+            if augmented.answers_for(obj).is_empty() {
+                continue;
+            }
+            let label = classifier.predict_one(dataset.features(i));
+            augmented.record(Answer { object: obj, annotator: pseudo, label })?;
+        }
+        self.ds.infer(&augmented, dataset.num_classes(), num_annotators + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_linalg::Matrix;
+    use crowdrl_nn::ClassifierConfig;
+    use crowdrl_sim::DatasetSpec;
+    use crowdrl_types::rng::seeded;
+    use crowdrl_types::{ClassId, ConfusionMatrix};
+
+    fn trained_setup(seed: u64) -> (Dataset, SoftmaxClassifier) {
+        let mut rng = seeded(seed);
+        let dataset = DatasetSpec::gaussian("t", 200, 4, 2)
+            .with_separation(3.0)
+            .generate(&mut rng)
+            .unwrap();
+        let mut clf =
+            SoftmaxClassifier::new(ClassifierConfig::default(), 4, 2, &mut rng).unwrap();
+        let x = Matrix::from_vec(dataset.len(), 4, dataset.feature_buffer().to_vec());
+        let y: Vec<ClassId> = dataset.truth_slice().to_vec();
+        clf.fit_hard(&x, &y, &mut rng).unwrap();
+        (dataset, clf)
+    }
+
+    #[test]
+    fn classifier_vote_tips_split_panels() {
+        let (dataset, clf) = trained_setup(31);
+        let mut rng = seeded(32);
+        // Two annotators that always disagree -> MV/DS alone is a coin flip;
+        // the classifier's vote breaks the tie toward the truth.
+        let mut answers = AnswerSet::new(dataset.len());
+        let good = ConfusionMatrix::with_accuracy(2, 0.93).unwrap();
+        for i in 0..dataset.len() {
+            let truth = dataset.truth(i);
+            let a0 = good.sample_answer(truth, &mut rng);
+            answers
+                .record(Answer { object: ObjectId(i), annotator: AnnotatorId(0), label: a0 })
+                .unwrap();
+            let flipped = ClassId(1 - a0.index());
+            answers
+                .record(Answer { object: ObjectId(i), annotator: AnnotatorId(1), label: flipped })
+                .unwrap();
+        }
+        let r = ClassifierAsAnnotator::default().infer(&dataset, &answers, 2, &clf).unwrap();
+        let acc = (0..dataset.len())
+            .filter(|&i| r.label(ObjectId(i)) == Some(dataset.truth(i)))
+            .count() as f64
+            / dataset.len() as f64;
+        assert!(acc > 0.85, "accuracy with classifier tiebreak {acc}");
+        // Pseudo-annotator confusion is reported last.
+        assert_eq!(r.confusions.len(), 3);
+    }
+
+    #[test]
+    fn requires_trained_classifier() {
+        let mut rng = seeded(33);
+        let dataset = DatasetSpec::gaussian("t", 10, 4, 2).generate(&mut rng).unwrap();
+        let clf = SoftmaxClassifier::new(ClassifierConfig::default(), 4, 2, &mut rng).unwrap();
+        let answers = AnswerSet::new(10);
+        assert!(ClassifierAsAnnotator::default()
+            .infer(&dataset, &answers, 0, &clf)
+            .is_err());
+    }
+
+    #[test]
+    fn validates_shapes() {
+        let (dataset, clf) = trained_setup(34);
+        let answers = AnswerSet::new(5); // wrong size
+        assert!(ClassifierAsAnnotator::default()
+            .infer(&dataset, &answers, 2, &clf)
+            .is_err());
+    }
+
+    #[test]
+    fn unanswered_objects_get_no_pseudo_vote() {
+        let (dataset, clf) = trained_setup(35);
+        let mut answers = AnswerSet::new(dataset.len());
+        answers
+            .record(Answer { object: ObjectId(0), annotator: AnnotatorId(0), label: ClassId(0) })
+            .unwrap();
+        let r = ClassifierAsAnnotator::default().infer(&dataset, &answers, 1, &clf).unwrap();
+        assert!(r.posteriors[0].is_some());
+        assert!(r.posteriors[1].is_none());
+    }
+}

@@ -1,0 +1,330 @@
+//! Dawid–Skene EM truth inference \[48\].
+//!
+//! The classical confusion-matrix EM: initialize posteriors by majority
+//! vote, then alternate
+//!
+//! * **M-step** — re-estimate each annotator's confusion matrix `Π̂^j` and
+//!   the class prior from the current posteriors, and
+//! * **E-step** — `q(y_i = c) ∝ prior_c · Π_j π̂^j[c, y_i^j]`
+//!
+//! until the posteriors stop moving or `max_iters` is reached. This is the
+//! inference engine the DLTA and IDLE baselines use, and the
+//! annotators-only special case of CrowdRL's joint model (drop the
+//! classifier term from the E-step and you get exactly this).
+
+use crate::mv::{estimate_confusions, MajorityVote};
+use crate::result::InferenceResult;
+use crowdrl_types::prob;
+use crowdrl_types::{AnswerSet, Error, ObjectId, Result};
+
+/// Configuration and entry point for Dawid–Skene EM.
+#[derive(Debug, Clone)]
+pub struct DawidSkene {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the max posterior change.
+    pub tol: f64,
+    /// Clamp every annotator's estimated diagonal to at least this value
+    /// (`None` = classical unconstrained DS). The default 0.5 encodes the
+    /// non-adversarial-annotator assumption and prevents the label-switching
+    /// failure mode where EM decides a weak annotator is *anti*-correlated
+    /// and flips the labels they dominate.
+    pub min_diagonal: Option<f64>,
+    /// Estimate a single accuracy per annotator ("one-coin" model) instead
+    /// of a full confusion matrix. With few answers per annotator the full
+    /// matrix overfits per-class asymmetries (one class's diagonal drifts
+    /// high, the other low) and EM amplifies the drift; the one-coin model
+    /// is the standard stabilization and is the default. Set to `false`
+    /// for the classical full-matrix estimator.
+    pub one_coin: bool,
+    /// Re-estimate the class prior each M-step (classical DS). With weak
+    /// annotators the estimated prior drifts toward whichever class is
+    /// momentarily ahead and then herds split votes to it, so the default
+    /// keeps a fixed uniform prior (as PM-style weighted voting does).
+    pub estimate_prior: bool,
+}
+
+impl Default for DawidSkene {
+    fn default() -> Self {
+        Self {
+            max_iters: 50,
+            tol: 1e-6,
+            min_diagonal: Some(0.5),
+            one_coin: true,
+            estimate_prior: false,
+        }
+    }
+}
+
+impl DawidSkene {
+    /// Run EM over all answered objects.
+    pub fn infer(
+        &self,
+        answers: &AnswerSet,
+        num_classes: usize,
+        num_annotators: usize,
+    ) -> Result<InferenceResult> {
+        if self.max_iters == 0 {
+            return Err(Error::InvalidParameter("max_iters must be positive".into()));
+        }
+        // Initialize with majority vote.
+        let mut state = MajorityVote.infer(answers, num_classes, num_annotators)?;
+        let mut iterations = 0;
+        let mut log_likelihood = f64::NEG_INFINITY;
+        for _ in 0..self.max_iters {
+            iterations += 1;
+            // M-step: confusions and prior from current posteriors.
+            state.confusions = self.m_step(answers, &state.posteriors, num_classes, num_annotators)?;
+            if self.estimate_prior {
+                let mut prior = vec![1e-9f64; num_classes]; // tiny floor
+                for post in state.posteriors.iter().flatten() {
+                    for (pr, &q) in prior.iter_mut().zip(post) {
+                        *pr += q;
+                    }
+                }
+                prob::normalize(&mut prior);
+                state.class_prior = prior;
+            } else {
+                state.class_prior = vec![1.0 / num_classes as f64; num_classes];
+            }
+
+            // E-step in log space for stability.
+            let mut max_delta = 0.0f64;
+            let mut ll = 0.0f64;
+            for i in 0..answers.num_objects() {
+                let obj = ObjectId(i);
+                let votes = answers.answers_for(obj);
+                if votes.is_empty() {
+                    continue;
+                }
+                let mut logp: Vec<f64> = state
+                    .class_prior
+                    .iter()
+                    .map(|&p| p.max(1e-12).ln())
+                    .collect();
+                for &(a, label) in votes {
+                    let m = &state.confusions[a.index()];
+                    for (c, lp) in logp.iter_mut().enumerate() {
+                        *lp += m.get(crowdrl_types::ClassId(c), label).max(1e-12).ln();
+                    }
+                }
+                ll += prob::log_sum_exp(&logp);
+                let lse = prob::log_sum_exp(&logp);
+                let mut q: Vec<f64> = logp.iter().map(|&lp| (lp - lse).exp()).collect();
+                prob::normalize(&mut q);
+                if let Some(old) = &state.posteriors[i] {
+                    for (o, n) in old.iter().zip(&q) {
+                        max_delta = max_delta.max((o - n).abs());
+                    }
+                }
+                state.posteriors[i] = Some(q);
+            }
+            log_likelihood = ll;
+            if !log_likelihood.is_finite() {
+                return Err(Error::NumericalFailure("DS likelihood diverged".into()));
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+        // Final M-step so reported confusions match the final posteriors.
+        state.confusions = self.m_step(answers, &state.posteriors, num_classes, num_annotators)?;
+        state.iterations = iterations;
+        state.log_likelihood = log_likelihood;
+        Ok(state)
+    }
+
+    /// M-step dispatch: one-coin or full-matrix, with the diagonal floor.
+    fn m_step(
+        &self,
+        answers: &AnswerSet,
+        posteriors: &[Option<Vec<f64>>],
+        num_classes: usize,
+        num_annotators: usize,
+    ) -> Result<Vec<crowdrl_types::ConfusionMatrix>> {
+        let mut confusions = if self.one_coin {
+            estimate_one_coin(answers, posteriors, num_classes, num_annotators)?
+        } else {
+            estimate_confusions(answers, posteriors, num_classes, num_annotators)?
+        };
+        if let Some(floor) = self.min_diagonal {
+            for m in &mut confusions {
+                m.clamp_diagonal_min(floor)?;
+            }
+        }
+        Ok(confusions)
+    }
+}
+
+/// One-coin M-step: each annotator gets a single shrunk accuracy
+/// `acc_j = (17.5 + Σ_i q_i(label_ij)) / (25 + #answers_j)` turned into a
+/// symmetric confusion matrix. Estimates are capped at 0.92: EM otherwise
+/// inflates one annotator's accuracy toward 1.0 (their answers define the
+/// posterior, which then certifies their answers), after which that
+/// annotator single-handedly outvotes the rest of the panel.
+pub(crate) fn estimate_one_coin(
+    answers: &AnswerSet,
+    posteriors: &[Option<Vec<f64>>],
+    num_classes: usize,
+    num_annotators: usize,
+) -> Result<Vec<crowdrl_types::ConfusionMatrix>> {
+    // Shrinkage prior: pseudo-observations at accuracy 0.7 with strength
+    // 25. EM's accuracy spread between same-quality annotators is mostly
+    // estimation noise, and an inflated spread lets one annotator outvote
+    // the rest (the posterior then certifies that annotator's answers — a
+    // runaway feedback loop); the prior damps the loop without blocking
+    // genuinely-different annotators from separating given enough answers.
+    let mut correct = vec![17.5f64; num_annotators];
+    let mut total = vec![25.0f64; num_annotators];
+    for ans in answers.iter() {
+        let Some(post) = posteriors[ans.object.index()].as_ref() else { continue };
+        let j = ans.annotator.index();
+        if j >= num_annotators {
+            return Err(Error::IndexOutOfBounds {
+                index: j,
+                len: num_annotators,
+                context: "one-coin estimation".into(),
+            });
+        }
+        correct[j] += post.get(ans.label.index()).copied().unwrap_or(0.0);
+        total[j] += 1.0;
+    }
+    (0..num_annotators)
+        .map(|j| {
+            crowdrl_types::ConfusionMatrix::with_accuracy(
+                num_classes,
+                (correct[j] / total[j]).clamp(0.0, 0.92),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::rng::seeded;
+    use crowdrl_types::{AnnotatorId, Answer, ClassId, ConfusionMatrix};
+
+    fn ans(o: usize, a: usize, c: usize) -> Answer {
+        Answer { object: ObjectId(o), annotator: AnnotatorId(a), label: ClassId(c) }
+    }
+
+    /// Simulate answers from annotators with known accuracies over known
+    /// truths; returns (answers, truths).
+    fn simulate(
+        n: usize,
+        accs: &[f64],
+        seed: u64,
+    ) -> (AnswerSet, Vec<ClassId>) {
+        let mut rng = seeded(seed);
+        let mats: Vec<ConfusionMatrix> = accs
+            .iter()
+            .map(|&a| ConfusionMatrix::with_accuracy(2, a).unwrap())
+            .collect();
+        let mut answers = AnswerSet::new(n);
+        let mut truths = Vec::with_capacity(n);
+        for i in 0..n {
+            let truth = ClassId(i % 2);
+            truths.push(truth);
+            for (j, m) in mats.iter().enumerate() {
+                let label = m.sample_answer(truth, &mut rng);
+                answers.record(ans(i, j, label.index())).unwrap();
+            }
+        }
+        (answers, truths)
+    }
+
+    #[test]
+    fn recovers_truth_with_mixed_quality_annotators() {
+        let (answers, truths) = simulate(300, &[0.9, 0.85, 0.6, 0.55, 0.8], 42);
+        let r = DawidSkene::default().infer(&answers, 2, 5).unwrap();
+        let correct = truths
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| r.label(ObjectId(*i)) == Some(**t))
+            .count();
+        let acc = correct as f64 / truths.len() as f64;
+        assert!(acc > 0.93, "DS accuracy {acc}");
+        assert!(r.validate(2, 1e-6));
+    }
+
+    #[test]
+    fn beats_majority_vote_with_skewed_panel() {
+        // Three bad annotators + two excellent ones: MV is dominated by the
+        // bad majority; DS learns to discount them.
+        let (answers, truths) = simulate(400, &[0.55, 0.55, 0.55, 0.97, 0.97], 7);
+        let acc_of = |labels: Vec<Option<ClassId>>| {
+            truths
+                .iter()
+                .enumerate()
+                .filter(|(i, t)| labels[*i] == Some(**t))
+                .count() as f64
+                / truths.len() as f64
+        };
+        let mv = MajorityVote.infer(&answers, 2, 5).unwrap();
+        let ds = DawidSkene::default().infer(&answers, 2, 5).unwrap();
+        let mv_acc =
+            acc_of((0..400).map(|i| mv.label(ObjectId(i))).collect());
+        let ds_acc =
+            acc_of((0..400).map(|i| ds.label(ObjectId(i))).collect());
+        assert!(
+            ds_acc > mv_acc + 0.02,
+            "DS {ds_acc} should beat MV {mv_acc} with a skewed panel"
+        );
+    }
+
+    #[test]
+    fn recovers_annotator_qualities() {
+        // Three annotators: with only two, EM cannot break the tie between
+        // "annotator A is right" and "annotator B is right" on disagreements.
+        let (answers, _) = simulate(800, &[0.9, 0.6, 0.8], 13);
+        let r = DawidSkene::default().infer(&answers, 2, 3).unwrap();
+        let q = r.qualities();
+        assert!((q[0] - 0.9).abs() < 0.06, "q0={}", q[0]);
+        assert!((q[1] - 0.6).abs() < 0.08, "q1={}", q[1]);
+        assert!((q[2] - 0.8).abs() < 0.07, "q2={}", q[2]);
+    }
+
+    #[test]
+    fn unanimous_answers_stay_certain() {
+        let mut answers = AnswerSet::new(3);
+        for o in 0..3 {
+            for a in 0..3 {
+                answers.record(ans(o, a, 1)).unwrap();
+            }
+        }
+        let r = DawidSkene::default().infer(&answers, 2, 3).unwrap();
+        for o in 0..3 {
+            assert_eq!(r.label(ObjectId(o)), Some(ClassId(1)));
+            // Shrinkage keeps the accuracy estimates near the 0.7 prior
+            // with only three answers each, so confidence is high but not
+            // extreme.
+            assert!(r.confidence(ObjectId(o)).unwrap() > 0.85);
+        }
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let (answers, _) = simulate(100, &[0.8, 0.8, 0.8], 3);
+        let r = DawidSkene::default().infer(&answers, 2, 3).unwrap();
+        assert!(r.iterations >= 1 && r.iterations <= 50);
+        assert!(r.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn objects_without_answers_stay_none() {
+        let mut answers = AnswerSet::new(3);
+        answers.record(ans(1, 0, 0)).unwrap();
+        let r = DawidSkene::default().infer(&answers, 2, 1).unwrap();
+        assert!(r.posteriors[0].is_none());
+        assert!(r.posteriors[1].is_some());
+        assert!(r.posteriors[2].is_none());
+    }
+
+    #[test]
+    fn rejects_zero_iters() {
+        let answers = AnswerSet::new(1);
+        let ds = DawidSkene { max_iters: 0, ..Default::default() };
+        assert!(ds.infer(&answers, 2, 1).is_err());
+    }
+}

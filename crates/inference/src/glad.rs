@@ -1,0 +1,275 @@
+//! GLAD-style truth inference (Whitehill et al., after the survey \[48\]
+//! the paper builds on): jointly estimate annotator *ability* and object
+//! *difficulty*.
+//!
+//! Each annotator `j` has an ability `α_j ∈ (0, ∞)` and each object `i` a
+//! difficulty parameter `1/β_i` with `β_i > 0`; the probability that `j`
+//! answers `i` correctly is
+//!
+//! ```text
+//! p(correct) = σ(α_j · β_i) = 1 / (1 + e^{-α_j β_i})
+//! ```
+//!
+//! so strong annotators on easy objects are near-certain, while any
+//! annotator on a very hard object (`β → 0`) degenerates to coin-flipping.
+//! EM alternates posterior updates with coordinate-ascent updates of
+//! `α, β`. The model complements the confusion-matrix family: it is the
+//! classic way to capture *per-object* hardness, which Dawid–Skene
+//! ignores — useful for the escalate-the-hard-objects analyses our
+//! workflow enables.
+
+use crate::mv::{estimate_confusions, MajorityVote};
+use crate::result::InferenceResult;
+use crowdrl_types::prob;
+use crowdrl_types::{AnswerSet, Error, ObjectId, Result};
+
+/// Configuration and entry point for GLAD.
+#[derive(Debug, Clone)]
+pub struct Glad {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the max posterior change.
+    pub tol: f64,
+    /// Gradient-ascent step size for the `α`/`β` updates.
+    pub learning_rate: f64,
+    /// Gradient steps per M-step.
+    pub m_steps: usize,
+}
+
+impl Default for Glad {
+    fn default() -> Self {
+        Self { max_iters: 30, tol: 1e-5, learning_rate: 0.1, m_steps: 10 }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Glad {
+    /// Run GLAD EM over all answered objects.
+    ///
+    /// Returns the usual [`InferenceResult`]; annotator confusion matrices
+    /// are re-estimated from the final posteriors so qualities stay
+    /// comparable with the other algorithms. Use [`Glad::infer_full`] when
+    /// the ability/difficulty estimates themselves are needed.
+    pub fn infer(
+        &self,
+        answers: &AnswerSet,
+        num_classes: usize,
+        num_annotators: usize,
+    ) -> Result<InferenceResult> {
+        let (result, _, _) = self.infer_full(answers, num_classes, num_annotators)?;
+        Ok(result)
+    }
+
+    /// Like [`Glad::infer`], additionally returning the estimated
+    /// annotator abilities `α_j` and object easiness `β_i` (higher = easier;
+    /// unanswered objects report `NaN`).
+    pub fn infer_full(
+        &self,
+        answers: &AnswerSet,
+        num_classes: usize,
+        num_annotators: usize,
+    ) -> Result<(InferenceResult, Vec<f64>, Vec<f64>)> {
+        if self.max_iters == 0 || self.m_steps == 0 {
+            return Err(Error::InvalidParameter("iteration counts must be positive".into()));
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(Error::InvalidParameter("learning_rate must be positive".into()));
+        }
+        if num_classes < 2 {
+            return Err(Error::InvalidParameter("need at least two classes".into()));
+        }
+        let n = answers.num_objects();
+        // Initialize with majority vote.
+        let mv = MajorityVote.infer(answers, num_classes, num_annotators)?;
+        let mut posteriors = mv.posteriors;
+        let mut alpha = vec![1.0f64; num_annotators];
+        let mut beta = vec![1.0f64; n];
+
+        let mut iterations = 0;
+        for _ in 0..self.max_iters {
+            iterations += 1;
+
+            // M-step: coordinate ascent on alpha and beta.
+            // Expected correctness of each answer under current posteriors:
+            // e_ij = q_i(label_ij).
+            for _ in 0..self.m_steps {
+                let mut grad_a = vec![0.0f64; num_annotators];
+                let mut grad_b = vec![0.0f64; n];
+                for ans in answers.iter() {
+                    let i = ans.object.index();
+                    let j = ans.annotator.index();
+                    let Some(post) = posteriors[i].as_ref() else { continue };
+                    let e = post.get(ans.label.index()).copied().unwrap_or(0.0);
+                    let s = sigmoid(alpha[j] * beta[i]);
+                    // d/dx log-likelihood of Bernoulli(e; sigma(ab)):
+                    // (e - s) * partial.
+                    let common = e - s;
+                    grad_a[j] += common * beta[i];
+                    grad_b[i] += common * alpha[j];
+                }
+                for (a, g) in alpha.iter_mut().zip(&grad_a) {
+                    *a = (*a + self.learning_rate * g).clamp(0.05, 10.0);
+                }
+                for (b, g) in beta.iter_mut().zip(&grad_b) {
+                    *b = (*b + self.learning_rate * g).clamp(0.05, 10.0);
+                }
+            }
+
+            // E-step: posterior over classes. Correct with prob
+            // s_ij = sigma(alpha_j beta_i); wrong answers spread uniformly.
+            let mut max_delta = 0.0f64;
+            for i in 0..n {
+                let votes = answers.answers_for(ObjectId(i));
+                if votes.is_empty() {
+                    continue;
+                }
+                let mut logp = vec![0.0f64; num_classes];
+                for &(a, label) in votes {
+                    let s = sigmoid(alpha[a.index()] * beta[i]).clamp(1e-6, 1.0 - 1e-6);
+                    let wrong = (1.0 - s) / (num_classes - 1) as f64;
+                    for (c, lp) in logp.iter_mut().enumerate() {
+                        *lp += if c == label.index() { s.ln() } else { wrong.ln() };
+                    }
+                }
+                let lse = prob::log_sum_exp(&logp);
+                let mut q: Vec<f64> = logp.iter().map(|&lp| (lp - lse).exp()).collect();
+                prob::normalize(&mut q);
+                if let Some(old) = &posteriors[i] {
+                    for (o, nq) in old.iter().zip(&q) {
+                        max_delta = max_delta.max((o - nq).abs());
+                    }
+                }
+                posteriors[i] = Some(q);
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+
+        let confusions = estimate_confusions(answers, &posteriors, num_classes, num_annotators)?;
+        let mut class_prior = vec![0.0f64; num_classes];
+        for p in posteriors.iter().flatten() {
+            for (pr, &q) in class_prior.iter_mut().zip(p) {
+                *pr += q;
+            }
+        }
+        prob::normalize(&mut class_prior);
+        // Unanswered objects get NaN easiness.
+        for i in 0..n {
+            if posteriors[i].is_none() {
+                beta[i] = f64::NAN;
+            }
+        }
+        Ok((
+            InferenceResult {
+                posteriors,
+                confusions,
+                class_prior,
+                iterations,
+                log_likelihood: f64::NAN,
+            },
+            alpha,
+            beta,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::rng::seeded;
+    use crowdrl_types::{AnnotatorId, Answer, ClassId, ConfusionMatrix};
+
+    fn ans(o: usize, a: usize, c: usize) -> Answer {
+        Answer { object: ObjectId(o), annotator: AnnotatorId(a), label: ClassId(c) }
+    }
+
+    fn simulate(n: usize, accs: &[f64], seed: u64) -> (AnswerSet, Vec<ClassId>) {
+        let mut rng = seeded(seed);
+        let mats: Vec<ConfusionMatrix> =
+            accs.iter().map(|&a| ConfusionMatrix::with_accuracy(2, a).unwrap()).collect();
+        let mut answers = AnswerSet::new(n);
+        let mut truths = Vec::with_capacity(n);
+        for i in 0..n {
+            let truth = ClassId(i % 2);
+            truths.push(truth);
+            for (j, m) in mats.iter().enumerate() {
+                answers.record(ans(i, j, m.sample_answer(truth, &mut rng).index())).unwrap();
+            }
+        }
+        (answers, truths)
+    }
+
+    #[test]
+    fn recovers_truth_on_mixed_panels() {
+        let (answers, truths) = simulate(300, &[0.9, 0.8, 0.6, 0.95], 1);
+        let r = Glad::default().infer(&answers, 2, 4).unwrap();
+        let acc = truths
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| r.label(ObjectId(*i)) == Some(**t))
+            .count() as f64
+            / truths.len() as f64;
+        assert!(acc > 0.9, "GLAD accuracy {acc}");
+        assert!(r.validate(2, 1e-6));
+    }
+
+    #[test]
+    fn ability_ordering_matches_latent_quality() {
+        // Three annotators so the posterior can break the symmetry between
+        // agreement patterns (with two, expected correctness is identical).
+        let (answers, _) = simulate(600, &[0.95, 0.55, 0.9], 2);
+        let (_, alpha, _) = Glad::default().infer_full(&answers, 2, 3).unwrap();
+        assert!(
+            alpha[0] > alpha[1] && alpha[2] > alpha[1],
+            "strong annotators must get higher ability: {alpha:?}"
+        );
+    }
+
+    #[test]
+    fn hard_objects_get_lower_easiness() {
+        // Object 0: everyone agrees (easy). Object 1: answers split (hard).
+        let mut answers = AnswerSet::new(2);
+        for a in 0..4 {
+            answers.record(ans(0, a, 0)).unwrap();
+            answers.record(ans(1, a, a % 2)).unwrap();
+        }
+        let (_, _, beta) = Glad::default().infer_full(&answers, 2, 4).unwrap();
+        assert!(
+            beta[0] > beta[1],
+            "unanimous object should look easier: {beta:?}"
+        );
+    }
+
+    #[test]
+    fn unanswered_objects_report_nan_easiness() {
+        let mut answers = AnswerSet::new(3);
+        answers.record(ans(0, 0, 1)).unwrap();
+        let (r, _, beta) = Glad::default().infer_full(&answers, 2, 1).unwrap();
+        assert!(r.posteriors[1].is_none());
+        assert!(beta[1].is_nan());
+        assert!(!beta[0].is_nan());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let answers = AnswerSet::new(1);
+        assert!(Glad { max_iters: 0, ..Default::default() }.infer(&answers, 2, 1).is_err());
+        assert!(Glad { m_steps: 0, ..Default::default() }.infer(&answers, 2, 1).is_err());
+        assert!(Glad { learning_rate: 0.0, ..Default::default() }
+            .infer(&answers, 2, 1)
+            .is_err());
+        assert!(Glad::default().infer(&answers, 1, 1).is_err());
+    }
+
+    #[test]
+    fn parameters_stay_in_clamped_range() {
+        let (answers, _) = simulate(100, &[0.99, 0.99, 0.5], 3);
+        let (_, alpha, beta) = Glad::default().infer_full(&answers, 2, 3).unwrap();
+        assert!(alpha.iter().all(|&a| (0.05..=10.0).contains(&a)));
+        assert!(beta.iter().all(|&b| b.is_nan() || (0.05..=10.0).contains(&b)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared output type for all truth-inference algorithms.
+
+use crowdrl_types::prob;
+use crowdrl_types::{ClassId, ConfusionMatrix, ObjectId};
+
+/// The output of one truth-inference pass.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// `posteriors[i]` is the inferred distribution over classes for object
+    /// `i`, or `None` if the object had no answers (nothing to infer from).
+    pub posteriors: Vec<Option<Vec<f64>>>,
+    /// Estimated confusion matrix `Π̂^j` per annotator.
+    pub confusions: Vec<ConfusionMatrix>,
+    /// Estimated class prior.
+    pub class_prior: Vec<f64>,
+    /// EM iterations actually run (1 for non-iterative algorithms).
+    pub iterations: usize,
+    /// Final expected log-likelihood (NaN for algorithms without one).
+    pub log_likelihood: f64,
+}
+
+impl InferenceResult {
+    /// The MAP label for object `o`, if it was inferred. Ties break toward
+    /// the lowest class index.
+    pub fn label(&self, o: ObjectId) -> Option<ClassId> {
+        self.posteriors[o.index()]
+            .as_ref()
+            .and_then(|p| prob::argmax(p))
+            .map(ClassId)
+    }
+
+    /// The posterior probability of the MAP label (confidence), if any.
+    pub fn confidence(&self, o: ObjectId) -> Option<f64> {
+        let p = self.posteriors[o.index()].as_ref()?;
+        let idx = prob::argmax(p)?;
+        Some(p[idx])
+    }
+
+    /// The estimated scalar quality `tr(Π̂)/|C|` of each annotator.
+    pub fn qualities(&self) -> Vec<f64> {
+        self.confusions.iter().map(ConfusionMatrix::quality).collect()
+    }
+
+    /// Objects that received a posterior.
+    pub fn inferred_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.posteriors
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| ObjectId(i))
+    }
+
+    /// Check every present posterior is a valid distribution (tests).
+    pub fn validate(&self, num_classes: usize, tol: f64) -> bool {
+        self.posteriors
+            .iter()
+            .flatten()
+            .all(|p| prob::is_distribution(p, num_classes, tol))
+            && prob::is_distribution(&self.class_prior, num_classes, tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> InferenceResult {
+        InferenceResult {
+            posteriors: vec![Some(vec![0.8, 0.2]), None, Some(vec![0.5, 0.5])],
+            confusions: vec![ConfusionMatrix::with_accuracy(2, 0.9).unwrap()],
+            class_prior: vec![0.6, 0.4],
+            iterations: 3,
+            log_likelihood: -1.5,
+        }
+    }
+
+    #[test]
+    fn label_and_confidence() {
+        let r = result();
+        assert_eq!(r.label(ObjectId(0)), Some(ClassId(0)));
+        assert_eq!(r.label(ObjectId(1)), None);
+        // Tie breaks low.
+        assert_eq!(r.label(ObjectId(2)), Some(ClassId(0)));
+        assert_eq!(r.confidence(ObjectId(0)), Some(0.8));
+        assert_eq!(r.confidence(ObjectId(1)), None);
+    }
+
+    #[test]
+    fn qualities_and_inferred_objects() {
+        let r = result();
+        assert!((r.qualities()[0] - 0.9).abs() < 1e-12);
+        let objs: Vec<_> = r.inferred_objects().collect();
+        assert_eq!(objs, vec![ObjectId(0), ObjectId(2)]);
+    }
+
+    #[test]
+    fn validate_checks_distributions() {
+        let mut r = result();
+        assert!(r.validate(2, 1e-9));
+        r.posteriors[0] = Some(vec![0.8, 0.8]);
+        assert!(!r.validate(2, 1e-9));
+    }
+}

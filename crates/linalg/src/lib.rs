@@ -1,0 +1,17 @@
+//! # crowdrl-linalg
+//!
+//! Minimal dense linear algebra backing the CrowdRL neural-network
+//! substrate (`crowdrl-nn`): a row-major `f32` [`Matrix`] with the handful
+//! of kernels a feed-forward network needs — plain/transposed matrix
+//! products in the cache-friendly *ikj* loop order, element-wise updates,
+//! and the row-wise softmax/argmax used by classifier heads.
+//!
+//! The crate is deliberately tiny and dependency-free: the paper's models
+//! (an MLP classifier and a DQN) are small enough that a well-ordered
+//! triple loop on one core is ample, and owning the kernels keeps the whole
+//! reproduction self-contained.
+
+pub mod matrix;
+pub mod ops;
+
+pub use matrix::Matrix;

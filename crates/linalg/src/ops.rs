@@ -1,0 +1,163 @@
+//! Row-wise vector operations used by classifier and Q-network heads.
+
+use crate::Matrix;
+
+/// Numerically-stable softmax of one row, in place.
+pub fn softmax_inplace(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    } else {
+        let u = 1.0 / row.len() as f32;
+        for x in row.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+/// Softmax applied independently to every row of `m`.
+pub fn softmax_rows_inplace(m: &mut Matrix) {
+    for i in 0..m.rows() {
+        softmax_inplace(m.row_mut(i));
+    }
+}
+
+/// Index of the maximum entry in a row; ties break low. Panics on empty rows.
+pub fn argmax(row: &[f32]) -> usize {
+    assert!(!row.is_empty(), "argmax of empty row");
+    let mut best = 0;
+    let mut best_v = row[0];
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// `y += alpha * x` on slices.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm of a slice.
+pub fn norm(a: &[f32]) -> f32 {
+    a.iter().map(|&x| x * x).sum::<f32>().sqrt()
+}
+
+/// Clip every element of `v` to `[-limit, limit]` (gradient clipping).
+pub fn clip_inplace(v: &mut [f32], limit: f32) {
+    debug_assert!(limit > 0.0);
+    for x in v.iter_mut() {
+        *x = x.clamp(-limit, limit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut row = vec![1.0f32, 2.0, 3.0];
+        softmax_inplace(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row[2] > row[1] && row[1] > row[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![1000.0f32, 1001.0];
+        softmax_inplace(&mut a);
+        let mut b = vec![0.0f32, 1.0];
+        softmax_inplace(&mut b);
+        assert!((a[0] - b[0]).abs() < 1e-6);
+        assert!(a.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn softmax_handles_degenerate_rows() {
+        let mut empty: Vec<f32> = vec![];
+        softmax_inplace(&mut empty);
+        let mut ninf = vec![f32::NEG_INFINITY, f32::NEG_INFINITY];
+        softmax_inplace(&mut ninf);
+        assert!((ninf[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_applies_per_row() {
+        let mut m = Matrix::from_rows(&[&[0.0, 0.0], &[10.0, 0.0]]);
+        softmax_rows_inplace(&mut m);
+        assert!((m.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!(m.get(1, 0) > 0.99);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "argmax of empty row")]
+    fn argmax_empty_panics() {
+        let _ = argmax(&[]);
+    }
+
+    #[test]
+    fn dot_axpy_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0f32, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_bounds_values() {
+        let mut v = vec![-10.0f32, 0.5, 10.0];
+        clip_inplace(&mut v, 1.0);
+        assert_eq!(v, vec![-1.0, 0.5, 1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_softmax_is_distribution(row in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
+            let mut r = row;
+            softmax_inplace(&mut r);
+            let sum: f32 = r.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(r.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+
+        #[test]
+        fn prop_softmax_preserves_argmax(row in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
+            let before = argmax(&row);
+            let mut r = row;
+            softmax_inplace(&mut r);
+            prop_assert_eq!(argmax(&r), before);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Element-wise activation functions with their derivatives.
+
+/// The activation applied after a dense layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `f(x) = x` — used for output heads (logits / Q-values).
+    Identity,
+    /// `f(x) = max(0, x)`.
+    Relu,
+    /// `f(x) = tanh(x)`.
+    Tanh,
+    /// `f(x) = 1 / (1 + e^-x)` — the paper's output nonlinearity; we apply
+    /// softmax at the loss instead for multi-class heads, but sigmoid is
+    /// available for parity.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply the activation to `x`.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative `f'(x)` given the *pre-activation* `x`.
+    #[inline]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(Activation::Identity.apply(-2.5), -2.5);
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivative_known_values() {
+        assert_eq!(Activation::Identity.derivative(3.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-0.5), 0.0);
+        assert_eq!(Activation::Relu.derivative(0.5), 1.0);
+        assert!((Activation::Sigmoid.derivative(0.0) - 0.25).abs() < 1e-6);
+        assert!((Activation::Tanh.derivative(0.0) - 1.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// Derivatives match central finite differences.
+        #[test]
+        fn prop_derivative_matches_finite_difference(x in -3.0f32..3.0) {
+            let h = 1e-3f32;
+            for act in [Activation::Identity, Activation::Tanh, Activation::Sigmoid] {
+                let fd = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                prop_assert!((act.derivative(x) - fd).abs() < 1e-2,
+                    "{act:?} at {x}: analytic {} vs fd {}", act.derivative(x), fd);
+            }
+            // ReLU: skip the kink at 0.
+            if x.abs() > 0.01 {
+                let act = Activation::Relu;
+                let fd = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                prop_assert!((act.derivative(x) - fd).abs() < 1e-2);
+            }
+        }
+
+        #[test]
+        fn prop_sigmoid_bounded(x in -100.0f32..100.0) {
+            let y = Activation::Sigmoid.apply(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y.is_finite());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Weight initialization schemes.
+
+use crowdrl_linalg::Matrix;
+use rand::Rng;
+
+/// Sample a uniform value in `[-limit, limit]`.
+fn uniform<R: Rng + ?Sized>(rng: &mut R, limit: f32) -> f32 {
+    (rng.random::<f32>() * 2.0 - 1.0) * limit
+}
+
+/// Xavier/Glorot uniform initialization — appropriate for tanh/sigmoid
+/// layers: `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data = (0..fan_in * fan_out).map(|_| uniform(rng, limit)).collect();
+    Matrix::from_vec(fan_in, fan_out, data)
+}
+
+/// He/Kaiming uniform initialization — appropriate for ReLU layers:
+/// `limit = sqrt(6 / fan_in)`.
+pub fn he_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / fan_in as f32).sqrt();
+    let data = (0..fan_in * fan_out).map(|_| uniform(rng, limit)).collect();
+    Matrix::from_vec(fan_in, fan_out, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::rng::seeded;
+
+    #[test]
+    fn xavier_respects_limit_and_shape() {
+        let mut rng = seeded(1);
+        let m = xavier_uniform(&mut rng, 100, 50);
+        assert_eq!((m.rows(), m.cols()), (100, 50));
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+        // Not all zeros.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_respects_limit() {
+        let mut rng = seeded(2);
+        let m = he_uniform(&mut rng, 64, 8);
+        let limit = (6.0f32 / 64.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = xavier_uniform(&mut seeded(3), 4, 4);
+        let b = xavier_uniform(&mut seeded(3), 4, 4);
+        assert_eq!(a, b);
+        let c = xavier_uniform(&mut seeded(4), 4, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn init_mean_is_near_zero() {
+        let mut rng = seeded(5);
+        let m = he_uniform(&mut rng, 200, 200);
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Dense (fully-connected) layer with cached forward state for backprop.
+
+use crate::activation::Activation;
+use crate::init;
+use crowdrl_linalg::Matrix;
+use rand::Rng;
+
+/// A dense layer: `y = act(x W + b)` with `W: [in x out]`, `b: [out]`.
+///
+/// The layer caches its input and pre-activation during [`Dense::forward`]
+/// so [`Dense::backward`] can compute gradients; gradients accumulate into
+/// `grad_w`/`grad_b` until [`Dense::zero_grad`] clears them.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    act: Activation,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    /// Cached input from the last forward pass.
+    input: Option<Matrix>,
+    /// Cached pre-activation from the last forward pass.
+    preact: Option<Matrix>,
+}
+
+impl Dense {
+    /// Create a layer with activation-appropriate initialization
+    /// (He for ReLU, Xavier otherwise) and zero biases.
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        output_dim: usize,
+        act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "layer dims must be positive");
+        let w = match act {
+            Activation::Relu => init::he_uniform(rng, input_dim, output_dim),
+            _ => init::xavier_uniform(rng, input_dim, output_dim),
+        };
+        Self {
+            w,
+            b: vec![0.0; output_dim],
+            act,
+            grad_w: Matrix::zeros(input_dim, output_dim),
+            grad_b: vec![0.0; output_dim],
+            input: None,
+            preact: None,
+        }
+    }
+
+    /// Input dimensionality.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    #[inline]
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The layer's activation.
+    #[inline]
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
+    /// Forward pass over a batch (`x: [batch x in]`), caching state for
+    /// backprop.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim(), "layer input dim mismatch");
+        let mut pre = x.matmul(&self.w);
+        pre.add_row_broadcast(&self.b);
+        let mut out = pre.clone();
+        let act = self.act;
+        out.map_inplace(|v| act.apply(v));
+        self.input = Some(x.clone());
+        self.preact = Some(pre);
+        out
+    }
+
+    /// Forward pass without caching — for inference and target networks.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim(), "layer input dim mismatch");
+        let mut pre = x.matmul(&self.w);
+        pre.add_row_broadcast(&self.b);
+        let act = self.act;
+        pre.map_inplace(|v| act.apply(v));
+        pre
+    }
+
+    /// Backward pass: given `d_out = dL/dy`, accumulate `dL/dW`, `dL/db`
+    /// and return `dL/dx`.
+    ///
+    /// Panics if called before [`Dense::forward`].
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("backward before forward");
+        let preact = self.preact.as_ref().expect("backward before forward");
+        assert_eq!(d_out.rows(), preact.rows(), "backward batch mismatch");
+        assert_eq!(d_out.cols(), self.output_dim(), "backward dim mismatch");
+
+        // d_pre = d_out ⊙ act'(pre)
+        let mut d_pre = d_out.clone();
+        for i in 0..d_pre.rows() {
+            let pre_row = preact.row(i);
+            for (dp, &p) in d_pre.row_mut(i).iter_mut().zip(pre_row) {
+                *dp *= self.act.derivative(p);
+            }
+        }
+
+        // dW += x^T d_pre ; db += col_sums(d_pre) ; dx = d_pre W^T
+        self.grad_w.add_assign(&input.matmul_tn(&d_pre));
+        for (gb, s) in self.grad_b.iter_mut().zip(d_pre.col_sums()) {
+            *gb += s;
+        }
+        d_pre.matmul_nt(&self.w)
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.scale(0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// (weights, bias) as mutable slices paired with their gradients, for
+    /// the optimizer: `[(param, grad); 2]`.
+    pub fn params_and_grads(&mut self) -> [(&mut [f32], &[f32]); 2] {
+        // Split borrows: weights+grad_w, bias+grad_b.
+        let Dense { w, b, grad_w, grad_b, .. } = self;
+        [(w.as_mut_slice(), grad_w.as_slice()), (b.as_mut_slice(), grad_b.as_slice())]
+    }
+
+    /// Copy parameters from another layer of identical shape (target-network
+    /// sync).
+    pub fn copy_params_from(&mut self, other: &Dense) {
+        assert_eq!(self.input_dim(), other.input_dim());
+        assert_eq!(self.output_dim(), other.output_dim());
+        self.w = other.w.clone();
+        self.b = other.b.clone();
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Flatten parameters into `out` (serialization).
+    pub fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.w.as_slice());
+        out.extend_from_slice(&self.b);
+    }
+
+    /// Read parameters back from a flat slice; returns the number consumed.
+    pub fn read_params(&mut self, data: &[f32]) -> usize {
+        let n = self.param_count();
+        assert!(data.len() >= n, "parameter buffer too short");
+        let (wpart, bpart) = data[..n].split_at(self.w.len());
+        self.w.as_mut_slice().copy_from_slice(wpart);
+        self.b.copy_from_slice(bpart);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::rng::seeded;
+
+    #[test]
+    fn forward_identity_layer_is_affine() {
+        let mut rng = seeded(1);
+        let mut layer = Dense::new(2, 2, Activation::Identity, &mut rng);
+        // Overwrite with known weights.
+        layer.read_params(&[1.0, 0.0, 0.0, 1.0, 0.5, -0.5]);
+        let x = Matrix::from_rows(&[&[2.0, 3.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.as_slice(), &[2.5, 2.5]);
+        // Inference path agrees.
+        let yi = layer.forward_inference(&x);
+        assert_eq!(y, yi);
+    }
+
+    #[test]
+    fn relu_layer_clamps_negative_preactivations() {
+        let mut rng = seeded(2);
+        let mut layer = Dense::new(1, 2, Activation::Relu, &mut rng);
+        layer.read_params(&[1.0, -1.0, 0.0, 0.0]);
+        let y = layer.forward(&Matrix::from_rows(&[&[3.0]]));
+        assert_eq!(y.as_slice(), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_computes_known_gradients() {
+        let mut rng = seeded(3);
+        let mut layer = Dense::new(2, 1, Activation::Identity, &mut rng);
+        layer.read_params(&[0.5, -0.5, 0.0]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let _ = layer.forward(&x);
+        let dx = layer.backward(&Matrix::from_rows(&[&[1.0]]));
+        // dL/dx = d_pre * W^T = [0.5, -0.5]
+        assert_eq!(dx.as_slice(), &[0.5, -0.5]);
+        // dW = x^T * d_pre = [1, 2]^T
+        let [(_, gw), (_, gb)] = layer.params_and_grads();
+        assert_eq!(gw, &[1.0, 2.0]);
+        assert_eq!(gb, &[1.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = seeded(4);
+        let mut layer = Dense::new(1, 1, Activation::Identity, &mut rng);
+        layer.read_params(&[1.0, 0.0]);
+        let x = Matrix::from_rows(&[&[2.0]]);
+        for _ in 0..3 {
+            let _ = layer.forward(&x);
+            let _ = layer.backward(&Matrix::from_rows(&[&[1.0]]));
+        }
+        {
+            let [(_, gw), _] = layer.params_and_grads();
+            assert_eq!(gw, &[6.0]);
+        }
+        layer.zero_grad();
+        let [(_, gw), _] = layer.params_and_grads();
+        assert_eq!(gw, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut rng = seeded(5);
+        let mut layer = Dense::new(1, 1, Activation::Identity, &mut rng);
+        let _ = layer.backward(&Matrix::from_rows(&[&[1.0]]));
+    }
+
+    #[test]
+    fn param_round_trip() {
+        let mut rng = seeded(6);
+        let src = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let mut buf = Vec::new();
+        src.write_params(&mut buf);
+        assert_eq!(buf.len(), src.param_count());
+        let mut dst = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let consumed = dst.read_params(&buf);
+        assert_eq!(consumed, buf.len());
+        let mut buf2 = Vec::new();
+        dst.write_params(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn copy_params_from_syncs_layers() {
+        let mut rng = seeded(7);
+        let src = Dense::new(2, 2, Activation::Relu, &mut rng);
+        let mut dst = Dense::new(2, 2, Activation::Relu, &mut rng);
+        dst.copy_params_from(&src);
+        let x = Matrix::from_rows(&[&[0.3, -0.7]]);
+        assert_eq!(src.forward_inference(&x), dst.forward_inference(&x));
+    }
+}

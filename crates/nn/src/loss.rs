@@ -1,0 +1,215 @@
+//! Loss functions and their gradients with respect to network outputs.
+//!
+//! Classification uses softmax cross-entropy over logits with **soft
+//! targets** and optional **per-sample weights**: CrowdRL's joint inference
+//! retrains the classifier on EM posteriors `q(y_i)` rather than hard
+//! labels (§V-A.2), and the derivative of CE∘softmax is the numerically
+//! pleasant `softmax(z) - target`.
+//!
+//! Q-learning uses MSE or Huber regression on selected outputs.
+
+use crowdrl_linalg::{ops, Matrix};
+
+/// Mean softmax cross-entropy over a batch of logits.
+///
+/// * `logits`: `[batch x classes]`
+/// * `targets`: `[batch x classes]`, each row a distribution (soft labels)
+/// * `weights`: optional per-sample weights (defaults to 1)
+///
+/// Returns `(loss, d_logits)` where the gradient is already averaged over
+/// the batch (and weight-scaled).
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    targets: &Matrix,
+    weights: Option<&[f32]>,
+) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), targets.rows(), "batch mismatch");
+    assert_eq!(logits.cols(), targets.cols(), "class-count mismatch");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), logits.rows(), "weight length mismatch");
+    }
+    let batch = logits.rows().max(1);
+    let mut probs = logits.clone();
+    ops::softmax_rows_inplace(&mut probs);
+
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    let inv = 1.0 / batch as f32;
+    for i in 0..logits.rows() {
+        let w = weights.map_or(1.0, |ws| ws[i]);
+        let p = probs.row(i);
+        let t = targets.row(i);
+        let mut row_loss = 0.0f64;
+        for (&pi, &ti) in p.iter().zip(t) {
+            if ti > 0.0 {
+                row_loss -= ti as f64 * (pi.max(1e-12) as f64).ln();
+            }
+        }
+        loss += w as f64 * row_loss;
+        let g = grad.row_mut(i);
+        for (gi, &ti) in g.iter_mut().zip(t) {
+            *gi = (*gi - ti) * w * inv;
+        }
+    }
+    ((loss / batch as f64) as f32, grad)
+}
+
+/// Mean squared error over a batch: `L = mean((pred - target)^2) / 2`.
+///
+/// Returns `(loss, d_pred)`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()), "mse shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = pred.clone();
+    let mut loss = 0.0f64;
+    for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+        let d = *g - t;
+        loss += (d * d) as f64;
+        *g = d / n;
+    }
+    ((loss / (2.0 * n as f64)) as f32, grad)
+}
+
+/// Huber (smooth-L1) loss with threshold `delta` — the standard DQN loss:
+/// quadratic near zero, linear in the tails, so a single wildly-wrong
+/// TD target cannot blow up the gradient.
+///
+/// Returns `(loss, d_pred)`, both averaged over all elements.
+pub fn huber(pred: &Matrix, target: &Matrix, delta: f32) -> (f32, Matrix) {
+    assert!(delta > 0.0, "delta must be positive");
+    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()), "huber shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = pred.clone();
+    let mut loss = 0.0f64;
+    for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+        let d = *g - t;
+        if d.abs() <= delta {
+            loss += (0.5 * d * d) as f64;
+            *g = d / n;
+        } else {
+            loss += (delta * (d.abs() - 0.5 * delta)) as f64;
+            *g = delta * d.signum() / n;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[20.0, -20.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets, None);
+        assert!(loss < 1e-6, "loss={loss}");
+        assert!(grad.as_slice().iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn cross_entropy_uniform_prediction_is_log_k() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0, 0.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        let (loss, _) = softmax_cross_entropy(&logits, &targets, None);
+        assert!((loss - 3f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_target() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (_, grad) = softmax_cross_entropy(&logits, &targets, None);
+        assert!((grad.get(0, 0) - (-0.5)).abs() < 1e-6);
+        assert!((grad.get(0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_weights_scale_gradient() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (_, g1) = softmax_cross_entropy(&logits, &targets, Some(&[1.0]));
+        let (_, g2) = softmax_cross_entropy(&logits, &targets, Some(&[2.0]));
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+        // Zero-weight sample contributes nothing.
+        let (loss, g0) = softmax_cross_entropy(&logits, &targets, Some(&[0.0]));
+        assert_eq!(loss, 0.0);
+        assert!(g0.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn cross_entropy_accepts_soft_targets() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let targets = Matrix::from_rows(&[&[0.5, 0.5]]);
+        let (_, grad) = softmax_cross_entropy(&logits, &targets, None);
+        // softmax = target exactly: zero gradient.
+        assert!(grad.as_slice().iter().all(|g| g.abs() < 1e-7));
+    }
+
+    #[test]
+    fn mse_known_values() {
+        let pred = Matrix::from_rows(&[&[3.0, 0.0]]);
+        let target = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 1.0).abs() < 1e-6); // (4 + 0) / (2*2)
+        assert!((grad.get(0, 0) - 1.0).abs() < 1e-6); // 2/2
+        assert_eq!(grad.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn huber_matches_mse_inside_delta() {
+        let pred = Matrix::from_rows(&[&[0.5]]);
+        let target = Matrix::from_rows(&[&[0.0]]);
+        let (hl, hg) = huber(&pred, &target, 1.0);
+        let (ml, mg) = mse(&pred, &target);
+        assert!((hl - ml).abs() < 1e-6);
+        assert!((hg.get(0, 0) - mg.get(0, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_is_linear_outside_delta() {
+        let pred = Matrix::from_rows(&[&[10.0]]);
+        let target = Matrix::from_rows(&[&[0.0]]);
+        let (loss, grad) = huber(&pred, &target, 1.0);
+        assert!((loss - 9.5).abs() < 1e-5);
+        assert!((grad.get(0, 0) - 1.0).abs() < 1e-6); // capped at delta
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn huber_rejects_nonpositive_delta() {
+        let m = Matrix::zeros(1, 1);
+        let _ = huber(&m, &m, 0.0);
+    }
+
+    proptest! {
+        /// CE gradient matches finite differences through the softmax.
+        #[test]
+        fn prop_ce_gradient_matches_fd(
+            l0 in -2.0f32..2.0, l1 in -2.0f32..2.0, t in 0.0f32..1.0) {
+            let targets = Matrix::from_rows(&[&[t, 1.0 - t]]);
+            let f = |a: f32, b: f32| {
+                softmax_cross_entropy(&Matrix::from_rows(&[&[a, b]]), &targets, None).0
+            };
+            let (_, grad) = softmax_cross_entropy(
+                &Matrix::from_rows(&[&[l0, l1]]), &targets, None);
+            let h = 1e-3;
+            let fd0 = (f(l0 + h, l1) - f(l0 - h, l1)) / (2.0 * h);
+            let fd1 = (f(l0, l1 + h) - f(l0, l1 - h)) / (2.0 * h);
+            prop_assert!((grad.get(0, 0) - fd0).abs() < 1e-2);
+            prop_assert!((grad.get(0, 1) - fd1).abs() < 1e-2);
+        }
+
+        /// Huber loss and |gradient| are bounded by delta in the tails.
+        #[test]
+        fn prop_huber_gradient_bounded(p in -100.0f32..100.0, delta in 0.1f32..5.0) {
+            let pred = Matrix::from_rows(&[&[p]]);
+            let target = Matrix::from_rows(&[&[0.0]]);
+            let (_, grad) = huber(&pred, &target, delta);
+            prop_assert!(grad.get(0, 0).abs() <= delta + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! A feed-forward network: a stack of [`Dense`] layers with training
+//! plumbing (forward, backward, optimizer dispatch, parameter sync).
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::optimizer::Optimizer;
+use crowdrl_linalg::Matrix;
+use rand::Rng;
+
+/// A multi-layer perceptron.
+///
+/// Built from a list of layer sizes and a hidden activation; the output
+/// layer is always [`Activation::Identity`] so heads can apply softmax (via
+/// the loss) or use raw values as Q-estimates.
+#[derive(Debug, Clone)]
+pub struct Network {
+    layers: Vec<Dense>,
+}
+
+impl Network {
+    /// Build an MLP with `sizes = [in, h1, ..., out]` and `hidden`
+    /// activation on all non-final layers.
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn mlp<R: Rng + ?Sized>(sizes: &[usize], hidden: Activation, rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let is_last = layers.len() == sizes.len() - 2;
+            let act = if is_last { Activation::Identity } else { hidden };
+            layers.push(Dense::new(w[0], w[1], act, rng));
+        }
+        Self { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("network has layers").input_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("network has layers").output_dim()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Training forward pass (caches per-layer state).
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Inference forward pass (no caching, usable on `&self`).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward_inference(&h);
+        }
+        h
+    }
+
+    /// Backpropagate `d_out = dL/d(output)`, accumulating layer gradients.
+    /// Returns `dL/d(input)`.
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let mut g = d_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Clear all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Apply one optimizer step using the accumulated gradients, with
+    /// optional gradient-norm clipping (`max_grad` per tensor, infinity
+    /// norm).
+    pub fn step(&mut self, opt: &mut dyn Optimizer, max_grad: Option<f32>) {
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (pi, (param, grad)) in layer.params_and_grads().into_iter().enumerate() {
+                let slot = li * 2 + pi;
+                if let Some(limit) = max_grad {
+                    let mut clipped = grad.to_vec();
+                    crowdrl_linalg::ops::clip_inplace(&mut clipped, limit);
+                    opt.update(slot, param, &clipped);
+                } else {
+                    opt.update(slot, param, grad);
+                }
+            }
+        }
+    }
+
+    /// Copy all parameters from `other` (target-network sync). Panics on
+    /// architecture mismatch.
+    pub fn copy_params_from(&mut self, other: &Network) {
+        assert_eq!(self.layers.len(), other.layers.len(), "layer count mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            dst.copy_params_from(src);
+        }
+    }
+
+    /// Soft target update: `θ_self = (1 - tau) θ_self + tau θ_other`.
+    pub fn blend_params_from(&mut self, other: &Network, tau: f32) {
+        assert!((0.0..=1.0).contains(&tau), "tau must be in [0,1]");
+        let theirs = other.flatten_params();
+        let mut ours = self.flatten_params();
+        for (o, t) in ours.iter_mut().zip(&theirs) {
+            *o = (1.0 - tau) * *o + tau * t;
+        }
+        self.load_params(&ours);
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Serialize all parameters into one flat vector.
+    pub fn flatten_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.write_params(&mut out);
+        }
+        out
+    }
+
+    /// Load parameters from a flat vector produced by
+    /// [`Network::flatten_params`]. Panics on length mismatch.
+    pub fn load_params(&mut self, data: &[f32]) {
+        assert_eq!(data.len(), self.param_count(), "parameter buffer length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.read_params(&data[offset..]);
+        }
+    }
+
+    /// Finite-difference gradient check: returns the maximum relative error
+    /// between analytic and numeric gradients of `loss_fn` over all
+    /// parameters. Test-support API; slow by design.
+    pub fn gradient_check(
+        &mut self,
+        x: &Matrix,
+        loss_fn: &dyn Fn(&Matrix) -> (f32, Matrix),
+        h: f32,
+    ) -> f32 {
+        // Analytic gradients.
+        self.zero_grad();
+        let out = self.forward(x);
+        let (_, d_out) = loss_fn(&out);
+        self.backward(&d_out);
+        let analytic: Vec<f32> = {
+            let mut grads = Vec::new();
+            for layer in &mut self.layers {
+                for (_, grad) in layer.params_and_grads() {
+                    grads.extend_from_slice(grad);
+                }
+            }
+            grads
+        };
+
+        let mut params = self.flatten_params();
+        let mut max_rel = 0.0f32;
+        for i in 0..params.len() {
+            let orig = params[i];
+            params[i] = orig + h;
+            self.load_params(&params);
+            let (lp, _) = loss_fn(&self.forward_inference(x));
+            params[i] = orig - h;
+            self.load_params(&params);
+            let (lm, _) = loss_fn(&self.forward_inference(x));
+            params[i] = orig;
+            let numeric = (lp - lm) / (2.0 * h);
+            let denom = analytic[i].abs().max(numeric.abs()).max(1e-4);
+            max_rel = max_rel.max((analytic[i] - numeric).abs() / denom);
+        }
+        self.load_params(&params);
+        max_rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+    use crate::optimizer::{Adam, Sgd};
+    use crowdrl_types::rng::seeded;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = seeded(1);
+        let net = Network::mlp(&[4, 8, 3], Activation::Relu, &mut rng);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 3);
+        assert_eq!(net.num_layers(), 2);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn forward_and_inference_agree() {
+        let mut rng = seeded(2);
+        let mut net = Network::mlp(&[3, 5, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3], &[1.0, 0.0, -1.0]]);
+        let train = net.forward(&x);
+        let infer = net.forward_inference(&x);
+        assert_eq!(train, infer);
+        assert_eq!(train.rows(), 2);
+        assert_eq!(train.cols(), 2);
+    }
+
+    #[test]
+    fn param_round_trip_preserves_outputs() {
+        let mut rng = seeded(3);
+        let src = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng);
+        let mut dst = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng);
+        dst.load_params(&src.flatten_params());
+        let x = Matrix::from_rows(&[&[0.5, -0.5]]);
+        assert_eq!(src.forward_inference(&x), dst.forward_inference(&x));
+    }
+
+    #[test]
+    fn copy_and_blend_params() {
+        let mut rng = seeded(4);
+        let src = Network::mlp(&[2, 3, 1], Activation::Relu, &mut rng);
+        let mut dst = Network::mlp(&[2, 3, 1], Activation::Relu, &mut rng);
+        dst.copy_params_from(&src);
+        assert_eq!(src.flatten_params(), dst.flatten_params());
+
+        let mut half = Network::mlp(&[2, 3, 1], Activation::Relu, &mut rng);
+        let before = half.flatten_params();
+        half.blend_params_from(&src, 0.5);
+        let after = half.flatten_params();
+        for ((b, a), s) in before.iter().zip(&after).zip(src.flatten_params()) {
+            assert!((a - 0.5 * (b + s)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn training_reduces_cross_entropy_on_xor() {
+        let mut rng = seeded(5);
+        let mut net = Network::mlp(&[2, 16, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0], &[1.0, 0.0]]);
+        let mut opt = Adam::new(0.05);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..400 {
+            net.zero_grad();
+            let out = net.forward(&x);
+            let (l, d) = loss::softmax_cross_entropy(&out, &y, None);
+            net.backward(&d);
+            net.step(&mut opt, None);
+            first.get_or_insert(l);
+            last = l;
+        }
+        assert!(last < 0.1 * first.unwrap(), "first={:?} last={last}", first);
+        // Predictions match XOR.
+        let out = net.forward_inference(&x);
+        for (i, want) in [0usize, 1, 1, 0].into_iter().enumerate() {
+            assert_eq!(crowdrl_linalg::ops::argmax(out.row(i)), want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_passes_for_ce_loss() {
+        let mut rng = seeded(6);
+        let mut net = Network::mlp(&[3, 4, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.2, -0.1, 0.4], &[-0.3, 0.5, 0.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0], &[0.3, 0.7]]);
+        let loss_fn = move |out: &Matrix| loss::softmax_cross_entropy(out, &targets, None);
+        let max_rel = net.gradient_check(&x, &loss_fn, 1e-2);
+        assert!(max_rel < 0.05, "max relative gradient error {max_rel}");
+    }
+
+    #[test]
+    fn gradient_check_passes_for_huber_loss() {
+        let mut rng = seeded(7);
+        let mut net = Network::mlp(&[2, 5, 1], Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.7, -0.2]]);
+        let target = Matrix::from_rows(&[&[0.3]]);
+        let loss_fn = move |out: &Matrix| loss::huber(out, &target, 1.0);
+        let max_rel = net.gradient_check(&x, &loss_fn, 1e-2);
+        assert!(max_rel < 0.05, "max relative gradient error {max_rel}");
+    }
+
+    #[test]
+    fn step_with_clipping_bounds_update() {
+        let mut rng = seeded(8);
+        let mut net = Network::mlp(&[1, 1], Activation::Identity, &mut rng);
+        let before = net.flatten_params();
+        net.zero_grad();
+        let out = net.forward(&Matrix::from_rows(&[&[100.0]]));
+        let (_, d) = loss::mse(&out, &Matrix::from_rows(&[&[-1000.0]]));
+        net.backward(&d);
+        net.step(&mut Sgd::new(1.0), Some(0.5));
+        let after = net.flatten_params();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() <= 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least input and output sizes")]
+    fn mlp_rejects_single_size() {
+        let mut rng = seeded(9);
+        let _ = Network::mlp(&[4], Activation::Relu, &mut rng);
+    }
+}

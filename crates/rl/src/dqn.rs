@@ -1,0 +1,464 @@
+//! Deep Q-Network over state-action feature vectors.
+//!
+//! The paper's Q-function `Q(S(t), A(t); θ)` (Eq. 4) is approximated by an
+//! MLP that maps a fixed-length embedding of (state, action) to a scalar
+//! Q-value. Training minimizes the TD loss `L(θ)` (§IV-A) on minibatches
+//! from the experience pool, against a periodically-synced *target*
+//! network `θ⁻` (the classical DQN stabilizer):
+//!
+//! ```text
+//! target = r + γ · max_{a'} Q(s', a'; θ⁻)        (0 if terminal)
+//! L(θ)   = Huber(Q(s, a; θ) − target)
+//! ```
+
+use crate::replay::{ReplayBuffer, Transition};
+use crowdrl_linalg::Matrix;
+use crowdrl_nn::{loss, Activation, Adam, Network};
+use crowdrl_types::{Error, Result};
+use rand::Rng;
+
+/// DQN hyperparameters.
+#[derive(Debug, Clone)]
+pub struct DqnConfig {
+    /// Width of the state-action feature embedding.
+    pub input_dim: usize,
+    /// Hidden-layer sizes of the Q-network.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Discount factor γ ∈ (0, 1].
+    pub gamma: f32,
+    /// Minibatch size for replay updates.
+    pub batch_size: usize,
+    /// Replay-pool capacity.
+    pub replay_capacity: usize,
+    /// Minimum pool size before training starts.
+    pub min_replay: usize,
+    /// Hard-sync the target network every this-many train steps.
+    pub target_sync_every: usize,
+    /// Huber loss threshold.
+    pub huber_delta: f32,
+    /// Per-tensor gradient clip (infinity norm).
+    pub grad_clip: f32,
+    /// Double-DQN targets (van Hasselt et al., the paper's \[38\], which
+    /// §IV-B notes "can also be integrated into our framework"): the
+    /// *online* network selects the best successor action and the *target*
+    /// network evaluates it, removing the max-operator's overestimation
+    /// bias. `false` uses classical DQN targets.
+    pub double_dqn: bool,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 16,
+            hidden: vec![64, 32],
+            learning_rate: 1e-3,
+            gamma: 0.99,
+            batch_size: 32,
+            replay_capacity: 10_000,
+            min_replay: 64,
+            target_sync_every: 100,
+            huber_delta: 1.0,
+            grad_clip: 5.0,
+            double_dqn: false,
+        }
+    }
+}
+
+impl DqnConfig {
+    fn validate(&self) -> Result<()> {
+        if self.input_dim == 0 {
+            return Err(Error::InvalidParameter("input_dim must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.gamma) || self.gamma == 0.0 {
+            return Err(Error::InvalidParameter("gamma must be in (0,1]".into()));
+        }
+        if self.batch_size == 0 || self.replay_capacity == 0 || self.target_sync_every == 0 {
+            return Err(Error::InvalidParameter(
+                "batch_size, replay_capacity and target_sync_every must be positive".into(),
+            ));
+        }
+        if self.learning_rate <= 0.0 || self.huber_delta <= 0.0 || self.grad_clip <= 0.0 {
+            return Err(Error::InvalidParameter(
+                "learning_rate, huber_delta and grad_clip must be positive".into(),
+            ));
+        }
+        if self.hidden.contains(&0) {
+            return Err(Error::InvalidParameter("hidden sizes must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A DQN agent: online network, target network, replay pool.
+#[derive(Debug, Clone)]
+pub struct DqnAgent {
+    config: DqnConfig,
+    online: Network,
+    target: Network,
+    replay: ReplayBuffer,
+    opt: Adam,
+    train_steps: usize,
+}
+
+impl DqnAgent {
+    /// Create an agent with freshly-initialized networks.
+    pub fn new<R: Rng + ?Sized>(config: DqnConfig, rng: &mut R) -> Result<Self> {
+        config.validate()?;
+        let mut sizes = vec![config.input_dim];
+        sizes.extend_from_slice(&config.hidden);
+        sizes.push(1);
+        let online = Network::mlp(&sizes, Activation::Relu, rng);
+        let mut target = online.clone();
+        target.copy_params_from(&online);
+        let replay = ReplayBuffer::new(config.replay_capacity);
+        let opt = Adam::new(config.learning_rate);
+        Ok(Self { config, online, target, replay, opt, train_steps: 0 })
+    }
+
+    /// The configuration (read-only).
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// Number of gradient steps taken so far.
+    pub fn train_steps(&self) -> usize {
+        self.train_steps
+    }
+
+    /// Current replay-pool size.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Q-value of one state-action embedding under the *online* network.
+    pub fn q_value(&self, state_action: &[f32]) -> f32 {
+        debug_assert_eq!(state_action.len(), self.config.input_dim);
+        let x = Matrix::from_vec(1, state_action.len(), state_action.to_vec());
+        self.online.forward_inference(&x).get(0, 0)
+    }
+
+    /// Q-values for a batch of embeddings under the online network.
+    pub fn q_values(&self, state_actions: &[Vec<f32>]) -> Vec<f32> {
+        if state_actions.is_empty() {
+            return Vec::new();
+        }
+        let x = stack(state_actions, self.config.input_dim);
+        let out = self.online.forward_inference(&x);
+        (0..out.rows()).map(|i| out.get(i, 0)).collect()
+    }
+
+    /// Q-values under the *target* network (used for TD targets).
+    fn target_q_values(&self, state_actions: &[Vec<f32>]) -> Vec<f32> {
+        if state_actions.is_empty() {
+            return Vec::new();
+        }
+        let x = stack(state_actions, self.config.input_dim);
+        let out = self.target.forward_inference(&x);
+        (0..out.rows()).map(|i| out.get(i, 0)).collect()
+    }
+
+    /// Store a transition in the replay pool.
+    pub fn remember(&mut self, t: Transition) {
+        debug_assert_eq!(t.state_action.len(), self.config.input_dim);
+        self.replay.push(t);
+    }
+
+    /// One minibatch TD update. Returns the Huber loss, or `None` when the
+    /// pool is still below `min_replay`. Syncs the target network every
+    /// `target_sync_every` steps.
+    pub fn train_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f32> {
+        if self.replay.len() < self.config.min_replay.max(1) {
+            return None;
+        }
+        let batch = self.replay.sample(self.config.batch_size, rng);
+        let n = batch.len();
+
+        // TD targets from the target network.
+        let mut targets = Matrix::zeros(n, 1);
+        let mut inputs = Matrix::zeros(n, self.config.input_dim);
+        for (i, t) in batch.iter().enumerate() {
+            inputs.row_mut(i).copy_from_slice(&t.state_action);
+            let bootstrap = if t.terminal || t.next_candidates.is_empty() {
+                0.0
+            } else if self.config.double_dqn {
+                // Double DQN: argmax under the online network, value under
+                // the target network.
+                let online = self.q_values(&t.next_candidates);
+                let best = online
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                self.target_q_values(&t.next_candidates[best..best + 1])[0]
+            } else {
+                self.target_q_values(&t.next_candidates)
+                    .into_iter()
+                    .fold(f32::NEG_INFINITY, f32::max)
+            };
+            targets.set(i, 0, t.reward + self.config.gamma * bootstrap);
+        }
+
+        self.online.zero_grad();
+        let pred = self.online.forward(&inputs);
+        let (l, d) = loss::huber(&pred, &targets, self.config.huber_delta);
+        self.online.backward(&d);
+        self.online.step(&mut self.opt, Some(self.config.grad_clip));
+        self.train_steps += 1;
+        if self.train_steps.is_multiple_of(self.config.target_sync_every) {
+            self.target.copy_params_from(&self.online);
+        }
+        Some(l)
+    }
+
+    /// Force a target-network sync (e.g. at episode boundaries).
+    pub fn sync_target(&mut self) {
+        self.target.copy_params_from(&self.online);
+    }
+
+    /// Serialize the online network's parameters (for cross-training: train
+    /// offline on other datasets, load here — §VI-A.4).
+    pub fn export_params(&self) -> Vec<f32> {
+        self.online.flatten_params()
+    }
+
+    /// Load parameters into both online and target networks.
+    pub fn import_params(&mut self, params: &[f32]) -> Result<()> {
+        if params.len() != self.online.param_count() {
+            return Err(Error::DimensionMismatch {
+                expected: self.online.param_count(),
+                actual: params.len(),
+                context: "DQN parameter import".into(),
+            });
+        }
+        self.online.load_params(params);
+        self.target.load_params(params);
+        Ok(())
+    }
+}
+
+fn stack(rows: &[Vec<f32>], dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows.len(), dim);
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), dim, "embedding width mismatch");
+        m.row_mut(i).copy_from_slice(r);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::rng::seeded;
+
+    fn small_config() -> DqnConfig {
+        DqnConfig {
+            input_dim: 2,
+            hidden: vec![16],
+            learning_rate: 5e-3,
+            gamma: 0.9,
+            batch_size: 16,
+            replay_capacity: 500,
+            min_replay: 16,
+            target_sync_every: 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut rng = seeded(1);
+        for mutate in [
+            |c: &mut DqnConfig| c.input_dim = 0,
+            |c: &mut DqnConfig| c.gamma = 0.0,
+            |c: &mut DqnConfig| c.gamma = 1.5,
+            |c: &mut DqnConfig| c.batch_size = 0,
+            |c: &mut DqnConfig| c.learning_rate = -1.0,
+            |c: &mut DqnConfig| c.hidden = vec![0],
+            |c: &mut DqnConfig| c.target_sync_every = 0,
+        ] {
+            let mut c = small_config();
+            mutate(&mut c);
+            assert!(DqnAgent::new(c, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn no_training_below_min_replay() {
+        let mut rng = seeded(2);
+        let mut agent = DqnAgent::new(small_config(), &mut rng).unwrap();
+        for _ in 0..10 {
+            agent.remember(Transition {
+                state_action: vec![0.0, 0.0],
+                reward: 1.0,
+                next_candidates: vec![],
+                terminal: true,
+            });
+        }
+        assert!(agent.train_step(&mut rng).is_none());
+        assert_eq!(agent.train_steps(), 0);
+    }
+
+    /// Contextual bandit: reward = 1 for action embedding [1,0], 0 for
+    /// [0,1]. After training, Q([1,0]) should clearly exceed Q([0,1]).
+    #[test]
+    fn learns_bandit_preferences() {
+        let mut rng = seeded(3);
+        let mut agent = DqnAgent::new(small_config(), &mut rng).unwrap();
+        for _ in 0..200 {
+            agent.remember(Transition {
+                state_action: vec![1.0, 0.0],
+                reward: 1.0,
+                next_candidates: vec![],
+                terminal: true,
+            });
+            agent.remember(Transition {
+                state_action: vec![0.0, 1.0],
+                reward: 0.0,
+                next_candidates: vec![],
+                terminal: true,
+            });
+        }
+        for _ in 0..400 {
+            agent.train_step(&mut rng);
+        }
+        let good = agent.q_value(&[1.0, 0.0]);
+        let bad = agent.q_value(&[0.0, 1.0]);
+        assert!(good > bad + 0.5, "good={good} bad={bad}");
+        assert!((good - 1.0).abs() < 0.3, "good should approach 1, got {good}");
+    }
+
+    /// Two-step chain: action A leads to a state where a further action
+    /// earns 1; action B ends with 0. With γ=0.9, Q(A) → 0.9.
+    #[test]
+    fn bootstraps_through_next_candidates() {
+        let mut rng = seeded(4);
+        let mut agent = DqnAgent::new(small_config(), &mut rng).unwrap();
+        for _ in 0..200 {
+            // First step: reward 0 now, successor candidate worth 1.
+            agent.remember(Transition {
+                state_action: vec![1.0, 0.0],
+                reward: 0.0,
+                next_candidates: vec![vec![0.0, 1.0]],
+                terminal: false,
+            });
+            // Successor action: terminal reward 1.
+            agent.remember(Transition {
+                state_action: vec![0.0, 1.0],
+                reward: 1.0,
+                next_candidates: vec![],
+                terminal: true,
+            });
+        }
+        for _ in 0..600 {
+            agent.train_step(&mut rng);
+        }
+        let q_first = agent.q_value(&[1.0, 0.0]);
+        assert!((q_first - 0.9).abs() < 0.25, "Q(first) should approach γ*1=0.9, got {q_first}");
+    }
+
+    /// Double DQN learns the same bandit and bounds Q closer to the true
+    /// value than classical DQN's optimistic max under noise.
+    #[test]
+    fn double_dqn_learns_bandit() {
+        let mut rng = seeded(9);
+        let mut config = small_config();
+        config.double_dqn = true;
+        let mut agent = DqnAgent::new(config, &mut rng).unwrap();
+        for _ in 0..200 {
+            agent.remember(Transition {
+                state_action: vec![1.0, 0.0],
+                reward: 1.0,
+                next_candidates: vec![],
+                terminal: true,
+            });
+            agent.remember(Transition {
+                state_action: vec![0.0, 1.0],
+                reward: 0.0,
+                next_candidates: vec![],
+                terminal: true,
+            });
+        }
+        for _ in 0..400 {
+            agent.train_step(&mut rng);
+        }
+        assert!(agent.q_value(&[1.0, 0.0]) > agent.q_value(&[0.0, 1.0]) + 0.5);
+    }
+
+    /// Double-DQN bootstrapping uses online-argmax + target-eval and still
+    /// converges on the two-step chain.
+    #[test]
+    fn double_dqn_bootstraps_chain() {
+        let mut rng = seeded(10);
+        let mut config = small_config();
+        config.double_dqn = true;
+        let mut agent = DqnAgent::new(config, &mut rng).unwrap();
+        for _ in 0..200 {
+            agent.remember(Transition {
+                state_action: vec![1.0, 0.0],
+                reward: 0.0,
+                next_candidates: vec![vec![0.0, 1.0]],
+                terminal: false,
+            });
+            agent.remember(Transition {
+                state_action: vec![0.0, 1.0],
+                reward: 1.0,
+                next_candidates: vec![],
+                terminal: true,
+            });
+        }
+        for _ in 0..600 {
+            agent.train_step(&mut rng);
+        }
+        let q_first = agent.q_value(&[1.0, 0.0]);
+        assert!((q_first - 0.9).abs() < 0.3, "Q(first) ≈ γ·1, got {q_first}");
+    }
+
+    #[test]
+    fn batch_q_values_match_single() {
+        let mut rng = seeded(5);
+        let agent = DqnAgent::new(small_config(), &mut rng).unwrap();
+        let embeddings = vec![vec![0.1, 0.2], vec![-0.3, 0.4]];
+        let batch = agent.q_values(&embeddings);
+        assert_eq!(batch.len(), 2);
+        for (e, &q) in embeddings.iter().zip(&batch) {
+            assert!((agent.q_value(e) - q).abs() < 1e-6);
+        }
+        assert!(agent.q_values(&[]).is_empty());
+    }
+
+    #[test]
+    fn param_export_import_round_trips() {
+        let mut rng = seeded(6);
+        let src = DqnAgent::new(small_config(), &mut rng).unwrap();
+        let mut dst = DqnAgent::new(small_config(), &mut rng).unwrap();
+        let params = src.export_params();
+        dst.import_params(&params).unwrap();
+        assert!((src.q_value(&[0.5, -0.5]) - dst.q_value(&[0.5, -0.5])).abs() < 1e-6);
+        assert!(dst.import_params(&params[..3]).is_err());
+    }
+
+    #[test]
+    fn target_sync_counts_steps() {
+        let mut rng = seeded(7);
+        let mut config = small_config();
+        config.min_replay = 4;
+        config.target_sync_every = 5;
+        let mut agent = DqnAgent::new(config, &mut rng).unwrap();
+        for i in 0..8 {
+            agent.remember(Transition {
+                state_action: vec![i as f32 / 8.0, 0.0],
+                reward: 0.5,
+                next_candidates: vec![],
+                terminal: true,
+            });
+        }
+        for _ in 0..7 {
+            assert!(agent.train_step(&mut rng).is_some());
+        }
+        assert_eq!(agent.train_steps(), 7);
+        assert_eq!(agent.replay_len(), 8);
+    }
+}

@@ -1,0 +1,236 @@
+//! Prioritized experience replay (Schaul et al., the paper's \[30\]):
+//! transitions are sampled proportionally to their last TD error, so the
+//! network rehearses the experiences it predicts worst.
+//!
+//! Proportional variant with a sum-tree for O(log n) sampling and updates.
+//! Priorities are `(|δ| + ε)^α`; importance-sampling weights are left to
+//! the caller (the CrowdRL loop's small batches make uncorrected updates
+//! acceptable, matching the paper's plain-DQN usage — this type exists for
+//! the ablation comparing uniform vs prioritized replay).
+
+use crate::replay::Transition;
+use rand::Rng;
+
+/// A fixed-capacity prioritized replay pool (proportional, sum-tree).
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay {
+    capacity: usize,
+    /// Priority exponent α (0 = uniform).
+    alpha: f64,
+    /// Small constant keeping every priority positive.
+    epsilon: f64,
+    /// Sum-tree over `2*capacity` nodes; leaves at `capacity..2*capacity`.
+    tree: Vec<f64>,
+    data: Vec<Option<Transition>>,
+    /// Next write slot (ring).
+    head: usize,
+    len: usize,
+    /// Priority assigned to fresh transitions (max seen so far).
+    max_priority: f64,
+}
+
+impl PrioritizedReplay {
+    /// A pool of at most `capacity` transitions with priority exponent
+    /// `alpha`. Panics if capacity is zero or alpha is negative.
+    pub fn new(capacity: usize, alpha: f64) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        Self {
+            capacity,
+            alpha,
+            epsilon: 1e-3,
+            tree: vec![0.0; 2 * capacity],
+            data: vec![None; capacity],
+            head: 0,
+            len: 0,
+            max_priority: 1.0,
+        }
+    }
+
+    /// Current size.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no transition is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total priority mass (diagnostics/tests).
+    pub fn total_priority(&self) -> f64 {
+        self.tree[1]
+    }
+
+    fn set_leaf(&mut self, slot: usize, priority: f64) {
+        let mut idx = self.capacity + slot;
+        self.tree[idx] = priority;
+        while idx > 1 {
+            idx /= 2;
+            self.tree[idx] = self.tree[2 * idx] + self.tree[2 * idx + 1];
+        }
+    }
+
+    /// Insert a transition with maximal priority (it will be replayed soon
+    /// and its true TD error learned).
+    pub fn push(&mut self, t: Transition) {
+        let slot = self.head;
+        self.data[slot] = Some(t);
+        let p = self.max_priority;
+        self.set_leaf(slot, p);
+        self.head = (self.head + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+    }
+
+    /// Sample `batch` slots proportionally to priority. Returns
+    /// `(slot, &transition)` pairs; pass the slots back to
+    /// [`PrioritizedReplay::update_priority`] after computing TD errors.
+    /// Slots may repeat (sampling is with replacement, as in the paper).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<(usize, &Transition)> {
+        let total = self.tree[1];
+        if self.len == 0 || total <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(batch);
+        for _ in 0..batch.min(self.len * 4) {
+            let mut mass = rng.random::<f64>() * total;
+            let mut idx = 1;
+            while idx < self.capacity {
+                let left = self.tree[2 * idx];
+                if mass < left {
+                    idx *= 2;
+                } else {
+                    mass -= left;
+                    idx = 2 * idx + 1;
+                }
+            }
+            let slot = idx - self.capacity;
+            if let Some(t) = self.data[slot].as_ref() {
+                out.push((slot, t));
+            }
+            if out.len() == batch {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Update a slot's priority from its freshly-computed TD error.
+    pub fn update_priority(&mut self, slot: usize, td_error: f64) {
+        if slot >= self.capacity || self.data[slot].is_none() {
+            return;
+        }
+        let p = (td_error.abs() + self.epsilon).powf(self.alpha);
+        self.max_priority = self.max_priority.max(p);
+        self.set_leaf(slot, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::rng::seeded;
+
+    fn t(tag: f32) -> Transition {
+        Transition {
+            state_action: vec![tag],
+            reward: tag,
+            next_candidates: vec![],
+            terminal: true,
+        }
+    }
+
+    #[test]
+    fn push_and_ring_eviction() {
+        let mut pr = PrioritizedReplay::new(3, 0.6);
+        assert!(pr.is_empty());
+        for i in 0..5 {
+            pr.push(t(i as f32));
+        }
+        assert_eq!(pr.len(), 3);
+        // Slots now hold transitions 3, 4, 2 (ring).
+        let mut rng = seeded(1);
+        let tags: Vec<i32> =
+            pr.sample(16, &mut rng).iter().map(|(_, tr)| tr.reward as i32).collect();
+        assert!(tags.iter().all(|&x| x >= 2));
+    }
+
+    #[test]
+    fn high_priority_transitions_dominate_sampling() {
+        let mut pr = PrioritizedReplay::new(4, 1.0);
+        for i in 0..4 {
+            pr.push(t(i as f32));
+        }
+        // Give slot 0 a huge TD error, the rest tiny ones.
+        pr.update_priority(0, 100.0);
+        for slot in 1..4 {
+            pr.update_priority(slot, 0.001);
+        }
+        let mut rng = seeded(2);
+        let mut hits = 0;
+        let draws = 2000;
+        for _ in 0..draws {
+            for (slot, _) in pr.sample(1, &mut rng) {
+                if slot == 0 {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits as f64 / draws as f64 > 0.95, "hits {hits}/{draws}");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let mut pr = PrioritizedReplay::new(4, 0.0);
+        for i in 0..4 {
+            pr.push(t(i as f32));
+        }
+        pr.update_priority(0, 100.0);
+        pr.update_priority(1, 0.001);
+        pr.update_priority(2, 0.001);
+        pr.update_priority(3, 0.001);
+        let mut rng = seeded(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            for (slot, _) in pr.sample(1, &mut rng) {
+                counts[slot] += 1;
+            }
+        }
+        // With alpha = 0 all priorities are 1 regardless of TD error.
+        for &c in &counts {
+            assert!((c as f64 / 8000.0 - 0.25).abs() < 0.03, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn total_priority_tracks_leaves() {
+        let mut pr = PrioritizedReplay::new(8, 1.0);
+        assert_eq!(pr.total_priority(), 0.0);
+        pr.push(t(1.0));
+        pr.push(t(2.0));
+        let before = pr.total_priority();
+        pr.update_priority(0, 9.0);
+        assert!(pr.total_priority() > before);
+        // Updating a vacant slot is a no-op.
+        let now = pr.total_priority();
+        pr.update_priority(7, 50.0);
+        assert_eq!(pr.total_priority(), now);
+    }
+
+    #[test]
+    fn sample_from_empty_is_empty() {
+        let pr = PrioritizedReplay::new(4, 0.5);
+        let mut rng = seeded(4);
+        assert!(pr.sample(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "replay capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = PrioritizedReplay::new(0, 0.5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Experience replay (§IV-A): a fixed-capacity FIFO pool of transitions
+//! sampled uniformly for Q-network updates, "referring \[to\] part of the
+//! historical experience" as in the classical DQN.
+
+use crowdrl_types::rng::sample_indices;
+use rand::Rng;
+
+/// One stored experience.
+///
+/// CrowdRL's actions are (object, annotator) pairs embedded as feature
+/// vectors, and the successor action set varies per state, so a transition
+/// stores the *candidate action features at the next state* (possibly
+/// subsampled by the caller) from which the TD target takes a max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Feature embedding of (state, action) taken.
+    pub state_action: Vec<f32>,
+    /// Immediate reward `r(t)`.
+    pub reward: f32,
+    /// Feature embeddings of candidate actions in the next state; empty
+    /// for terminal transitions.
+    pub next_candidates: Vec<Vec<f32>>,
+    /// Whether the episode ended after this transition.
+    pub terminal: bool,
+}
+
+/// A bounded FIFO replay pool with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    buf: Vec<Transition>,
+    capacity: usize,
+    /// Next write position once full (ring behaviour).
+    head: usize,
+    /// Total pushes ever (for tests/metrics).
+    pushed: usize,
+}
+
+impl ReplayBuffer {
+    /// A buffer holding at most `capacity` transitions. Panics if zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self { buf: Vec::with_capacity(capacity.min(4096)), capacity, head: 0, pushed: 0 }
+    }
+
+    /// Maximum size.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total transitions ever pushed (≥ `len`).
+    #[inline]
+    pub fn total_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Insert a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        self.pushed += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(t);
+        } else {
+            self.buf[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Sample up to `batch` distinct transitions uniformly.
+    pub fn sample<'a, R: Rng + ?Sized>(
+        &'a self,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<&'a Transition> {
+        let idx = sample_indices(rng, self.buf.len(), batch);
+        idx.into_iter().map(|i| &self.buf[i]).collect()
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::rng::seeded;
+    use proptest::prelude::*;
+
+    fn t(tag: f32) -> Transition {
+        Transition {
+            state_action: vec![tag],
+            reward: tag,
+            next_candidates: vec![],
+            terminal: false,
+        }
+    }
+
+    #[test]
+    fn push_until_capacity_then_evict_fifo() {
+        let mut rb = ReplayBuffer::new(3);
+        for i in 0..3 {
+            rb.push(t(i as f32));
+        }
+        assert_eq!(rb.len(), 3);
+        rb.push(t(3.0)); // evicts 0
+        assert_eq!(rb.len(), 3);
+        assert_eq!(rb.total_pushed(), 4);
+        let rewards: Vec<f32> = rb.buf.iter().map(|x| x.reward).collect();
+        assert!(rewards.contains(&3.0));
+        assert!(!rewards.contains(&0.0));
+        rb.push(t(4.0)); // evicts 1
+        let rewards: Vec<f32> = rb.buf.iter().map(|x| x.reward).collect();
+        assert!(!rewards.contains(&1.0));
+        assert!(rewards.contains(&2.0));
+    }
+
+    #[test]
+    fn sample_returns_distinct_items() {
+        let mut rb = ReplayBuffer::new(10);
+        for i in 0..10 {
+            rb.push(t(i as f32));
+        }
+        let mut rng = seeded(1);
+        let s = rb.sample(5, &mut rng);
+        assert_eq!(s.len(), 5);
+        let mut rewards: Vec<i64> = s.iter().map(|x| x.reward as i64).collect();
+        rewards.sort_unstable();
+        rewards.dedup();
+        assert_eq!(rewards.len(), 5);
+    }
+
+    #[test]
+    fn sample_caps_at_len() {
+        let mut rb = ReplayBuffer::new(10);
+        rb.push(t(1.0));
+        let mut rng = seeded(2);
+        assert_eq!(rb.sample(5, &mut rng).len(), 1);
+        assert!(ReplayBuffer::new(4).sample(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut rb = ReplayBuffer::new(2);
+        rb.push(t(1.0));
+        rb.clear();
+        assert!(rb.is_empty());
+        // Ring still works after clear.
+        for i in 0..5 {
+            rb.push(t(i as f32));
+        }
+        assert_eq!(rb.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+
+    proptest! {
+        /// len never exceeds capacity, and after >= capacity pushes the
+        /// buffer contains exactly the most recent `capacity` items.
+        #[test]
+        fn prop_fifo_keeps_most_recent(cap in 1usize..16, pushes in 0usize..64) {
+            let mut rb = ReplayBuffer::new(cap);
+            for i in 0..pushes {
+                rb.push(t(i as f32));
+                prop_assert!(rb.len() <= cap);
+            }
+            if pushes >= cap {
+                let mut rewards: Vec<i64> = rb.buf.iter().map(|x| x.reward as i64).collect();
+                rewards.sort_unstable();
+                let want: Vec<i64> = ((pushes - cap)..pushes).map(|i| i as i64).collect();
+                prop_assert_eq!(rewards, want);
+            } else {
+                prop_assert_eq!(rb.len(), pushes);
+            }
+        }
+    }
+}

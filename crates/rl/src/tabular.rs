@@ -1,0 +1,181 @@
+//! Exact tabular Q-learning (Eq. 5) for tiny instances.
+//!
+//! The paper motivates the DQN by noting the exact Q-table update
+//!
+//! ```text
+//! Q(S,A) ← (1-β) Q(S,A) + β (r + γ max_{A'} Q(S',A'))
+//! ```
+//!
+//! is intractable at labelling scale (state space `(|C|+1)^{|O||W|}`). We
+//! keep the exact version anyway: it validates the RL semantics on toy
+//! MDPs in tests, and with `Q = -inf` initialization it demonstrates the
+//! paper's invalid-action masking ("these Q values would retain to be -inf
+//! if we initially set it as -inf").
+
+use crowdrl_types::{Error, Result};
+use std::collections::HashMap;
+
+/// A sparse Q-table over opaque `(state, action)` keys.
+#[derive(Debug, Clone)]
+pub struct QTable {
+    /// Learning rate β ∈ [0, 1].
+    pub beta: f64,
+    /// Discount γ ∈ (0, 1].
+    pub gamma: f64,
+    q: HashMap<(u64, u64), f64>,
+    /// Default value for unseen pairs.
+    default: f64,
+}
+
+impl QTable {
+    /// A table with learning rate `beta`, discount `gamma`, and optimistic
+    /// default 0.
+    pub fn new(beta: f64, gamma: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&beta) {
+            return Err(Error::InvalidParameter("beta must be in [0,1]".into()));
+        }
+        if !(0.0..=1.0).contains(&gamma) || gamma == 0.0 {
+            return Err(Error::InvalidParameter("gamma must be in (0,1]".into()));
+        }
+        Ok(Self { beta, gamma, q: HashMap::new(), default: 0.0 })
+    }
+
+    /// Current estimate `Q(s, a)`.
+    pub fn get(&self, state: u64, action: u64) -> f64 {
+        self.q.get(&(state, action)).copied().unwrap_or(self.default)
+    }
+
+    /// Mask an invalid action: set `Q(s, a) = -inf`, permanently
+    /// (updates leave masked entries untouched, per §IV-B).
+    pub fn mask(&mut self, state: u64, action: u64) {
+        self.q.insert((state, action), f64::NEG_INFINITY);
+    }
+
+    /// One Bellman update (Eq. 5). `next_actions` lists the legal actions
+    /// at the successor state (empty = terminal). Masked entries are
+    /// skipped in the max and never updated.
+    pub fn update(&mut self, state: u64, action: u64, reward: f64, next_state: u64, next_actions: &[u64]) {
+        let current = self.get(state, action);
+        if current == f64::NEG_INFINITY {
+            return; // masked: stays -inf forever
+        }
+        let next_max = next_actions
+            .iter()
+            .map(|&a| self.get(next_state, a))
+            .filter(|v| *v != f64::NEG_INFINITY)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let bootstrap = if next_max == f64::NEG_INFINITY { 0.0 } else { next_max };
+        let target = reward + self.gamma * bootstrap;
+        self.q
+            .insert((state, action), (1.0 - self.beta) * current + self.beta * target);
+    }
+
+    /// The greedy action among `actions` at `state` (ties break toward the
+    /// earlier listed action); `None` when every action is masked or the
+    /// list is empty.
+    pub fn greedy(&self, state: u64, actions: &[u64]) -> Option<u64> {
+        let mut best: Option<(u64, f64)> = None;
+        for &a in actions {
+            let v = self.get(state, a);
+            if v == f64::NEG_INFINITY {
+                continue;
+            }
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((a, v)),
+            }
+        }
+        best.map(|(a, _)| a)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when no entry has been written.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        assert!(QTable::new(-0.1, 0.9).is_err());
+        assert!(QTable::new(1.1, 0.9).is_err());
+        assert!(QTable::new(0.5, 0.0).is_err());
+        assert!(QTable::new(0.5, 1.5).is_err());
+    }
+
+    #[test]
+    fn update_moves_toward_target() {
+        let mut q = QTable::new(0.5, 0.9).unwrap();
+        q.update(0, 0, 1.0, 1, &[]); // terminal: target = 1
+        assert!((q.get(0, 0) - 0.5).abs() < 1e-12);
+        q.update(0, 0, 1.0, 1, &[]);
+        assert!((q.get(0, 0) - 0.75).abs() < 1e-12);
+    }
+
+    /// A 3-state chain: s0 --a0--> s1 --a0--> s2(terminal, r=1).
+    /// Value iteration should converge to Q(s0,a0)=γ, Q(s1,a0)=1.
+    #[test]
+    fn converges_on_chain_mdp() {
+        let mut q = QTable::new(0.5, 0.9).unwrap();
+        for _ in 0..200 {
+            q.update(1, 0, 1.0, 2, &[]);
+            q.update(0, 0, 0.0, 1, &[0]);
+        }
+        assert!((q.get(1, 0) - 1.0).abs() < 1e-6);
+        assert!((q.get(0, 0) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn greedy_picks_best_unmasked() {
+        let mut q = QTable::new(1.0, 0.9).unwrap();
+        q.update(0, 0, 0.2, 9, &[]);
+        q.update(0, 1, 0.8, 9, &[]);
+        q.update(0, 2, 0.5, 9, &[]);
+        assert_eq!(q.greedy(0, &[0, 1, 2]), Some(1));
+        q.mask(0, 1);
+        assert_eq!(q.greedy(0, &[0, 1, 2]), Some(2));
+        q.mask(0, 0);
+        q.mask(0, 2);
+        assert_eq!(q.greedy(0, &[0, 1, 2]), None);
+        assert_eq!(q.greedy(0, &[]), None);
+    }
+
+    #[test]
+    fn masked_entries_survive_updates() {
+        let mut q = QTable::new(0.5, 0.9).unwrap();
+        q.mask(0, 0);
+        q.update(0, 0, 100.0, 1, &[]);
+        assert_eq!(q.get(0, 0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn masked_successors_are_skipped_in_bootstrap() {
+        let mut q = QTable::new(1.0, 1.0).unwrap();
+        q.mask(1, 0);
+        q.update(1, 1, 0.5, 2, &[]); // Q(1,1)=0.5
+        // Bootstrap from state 1 must ignore the masked action 0.
+        q.update(0, 0, 0.0, 1, &[0, 1]);
+        assert!((q.get(0, 0) - 0.5).abs() < 1e-12);
+        // All-masked successor bootstraps as 0.
+        q.mask(1, 1);
+        q.update(0, 1, 0.25, 1, &[0, 1]);
+        assert!((q.get(0, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn len_tracks_entries() {
+        let mut q = QTable::new(0.5, 0.9).unwrap();
+        assert!(q.is_empty());
+        q.update(0, 0, 1.0, 1, &[]);
+        q.mask(3, 3);
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,328 @@
+//! Simulated annotator pools.
+//!
+//! Each annotator is a latent [`ConfusionMatrix`] — the paper's own model of
+//! annotator expertise (§II-A). Workers get noisy per-class accuracies
+//! sampled from a configurable range (default 0.55–0.85, bracketing
+//! the worker qualities 0.60–0.65 in Table II); experts sample near-perfect
+//! accuracies (default 0.95–1.00, cf. 0.985/1.0 in Table II).
+
+use crowdrl_types::{
+    AnnotatorId, AnnotatorKind, AnnotatorProfile, ClassId, ConfusionMatrix, Error, Result,
+};
+use rand::Rng;
+
+/// Specification of an annotator pool.
+#[derive(Debug, Clone)]
+pub struct PoolSpec {
+    /// Number of crowdsourcing workers.
+    pub num_workers: usize,
+    /// Number of domain experts.
+    pub num_experts: usize,
+    /// Cost per worker answer (paper: 1 unit).
+    pub worker_cost: f64,
+    /// Cost per expert answer (paper: 5 or 10 units).
+    pub expert_cost: f64,
+    /// Per-class worker accuracy is sampled uniformly from this range.
+    pub worker_accuracy: (f64, f64),
+    /// Per-class expert accuracy is sampled uniformly from this range.
+    pub expert_accuracy: (f64, f64),
+}
+
+impl PoolSpec {
+    /// A pool with the paper's default costs (worker 1, expert 10) and
+    /// accuracy ranges (workers 0.55–0.80, experts 0.95–1.00).
+    pub fn new(num_workers: usize, num_experts: usize) -> Self {
+        Self {
+            num_workers,
+            num_experts,
+            worker_cost: 1.0,
+            expert_cost: 10.0,
+            worker_accuracy: (0.55, 0.85),
+            expert_accuracy: (0.95, 1.0),
+        }
+    }
+
+    /// Override the expert cost (the paper's running example uses 5).
+    pub fn with_expert_cost(mut self, cost: f64) -> Self {
+        self.expert_cost = cost;
+        self
+    }
+
+    /// Override the worker accuracy range.
+    pub fn with_worker_accuracy(mut self, lo: f64, hi: f64) -> Self {
+        self.worker_accuracy = (lo, hi);
+        self
+    }
+
+    /// Override the expert accuracy range.
+    pub fn with_expert_accuracy(mut self, lo: f64, hi: f64) -> Self {
+        self.expert_accuracy = (lo, hi);
+        self
+    }
+
+    /// Total pool size `|W|`.
+    pub fn size(&self) -> usize {
+        self.num_workers + self.num_experts
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.size() == 0 {
+            return Err(Error::InvalidParameter("pool must contain at least one annotator".into()));
+        }
+        for (lo, hi, who) in [
+            (self.worker_accuracy.0, self.worker_accuracy.1, "worker"),
+            (self.expert_accuracy.0, self.expert_accuracy.1, "expert"),
+        ] {
+            if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+                return Err(Error::InvalidParameter(format!(
+                    "{who} accuracy range [{lo},{hi}] invalid"
+                )));
+            }
+        }
+        if self.worker_cost <= 0.0 || self.expert_cost <= 0.0 {
+            return Err(Error::InvalidParameter("annotator costs must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Sample a pool for a `num_classes`-class task. Workers occupy the
+    /// first `num_workers` ids, experts the rest.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        num_classes: usize,
+        rng: &mut R,
+    ) -> Result<AnnotatorPool> {
+        self.validate()?;
+        if num_classes < 2 {
+            return Err(Error::InvalidParameter("need at least two classes".into()));
+        }
+        let mut profiles = Vec::with_capacity(self.size());
+        let mut latent = Vec::with_capacity(self.size());
+        for i in 0..self.size() {
+            let (kind, cost, (lo, hi)) = if i < self.num_workers {
+                (AnnotatorKind::Worker, self.worker_cost, self.worker_accuracy)
+            } else {
+                (AnnotatorKind::Expert, self.expert_cost, self.expert_accuracy)
+            };
+            profiles.push(AnnotatorProfile::new(AnnotatorId(i), kind, cost)?);
+            // Per-class accuracy: each row gets its own diagonal, modelling
+            // class-dependent skill (an annotator may over-report one class).
+            let mut rows = Vec::with_capacity(num_classes);
+            for _ in 0..num_classes {
+                let acc = lo + rng.random::<f64>() * (hi - lo);
+                let off = (1.0 - acc) / (num_classes - 1) as f64;
+                let mut row = vec![off; num_classes];
+                row[rows.len()] = acc;
+                rows.push(row);
+            }
+            latent.push(ConfusionMatrix::from_rows(&rows)?);
+        }
+        Ok(AnnotatorPool { profiles, latent })
+    }
+}
+
+/// A concrete pool: observable profiles plus latent confusion matrices.
+#[derive(Debug, Clone)]
+pub struct AnnotatorPool {
+    profiles: Vec<AnnotatorProfile>,
+    latent: Vec<ConfusionMatrix>,
+}
+
+impl AnnotatorPool {
+    /// Build a pool from explicit profiles and matrices (tests, worked
+    /// examples such as the paper's Table II pool).
+    pub fn from_parts(
+        profiles: Vec<AnnotatorProfile>,
+        latent: Vec<ConfusionMatrix>,
+    ) -> Result<Self> {
+        if profiles.is_empty() {
+            return Err(Error::InvalidParameter("pool must contain at least one annotator".into()));
+        }
+        if profiles.len() != latent.len() {
+            return Err(Error::DimensionMismatch {
+                expected: profiles.len(),
+                actual: latent.len(),
+                context: "annotator pool".into(),
+            });
+        }
+        for (i, p) in profiles.iter().enumerate() {
+            if p.id.index() != i {
+                return Err(Error::InvalidParameter(format!(
+                    "profile at position {i} has id {}",
+                    p.id
+                )));
+            }
+        }
+        let k = latent[0].num_classes();
+        if latent.iter().any(|m| m.num_classes() != k) {
+            return Err(Error::InvalidParameter("inconsistent class counts in pool".into()));
+        }
+        Ok(Self { profiles, latent })
+    }
+
+    /// Pool size `|W|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when the pool has no annotators (never, per constructors).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// All profiles.
+    #[inline]
+    pub fn profiles(&self) -> &[AnnotatorProfile] {
+        &self.profiles
+    }
+
+    /// One profile.
+    #[inline]
+    pub fn profile(&self, id: AnnotatorId) -> &AnnotatorProfile {
+        &self.profiles[id.index()]
+    }
+
+    /// The cheapest per-answer cost in the pool (budget-exhaustion check).
+    pub fn min_cost(&self) -> f64 {
+        self.profiles.iter().map(|p| p.cost).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Ids of all workers.
+    pub fn workers(&self) -> impl Iterator<Item = AnnotatorId> + '_ {
+        self.profiles.iter().filter(|p| !p.is_expert()).map(|p| p.id)
+    }
+
+    /// Ids of all experts.
+    pub fn experts(&self) -> impl Iterator<Item = AnnotatorId> + '_ {
+        self.profiles.iter().filter(|p| p.is_expert()).map(|p| p.id)
+    }
+
+    /// **Simulation only.** Sample annotator `id`'s answer for an object
+    /// whose true class is `truth`.
+    pub fn sample_answer<R: Rng + ?Sized>(
+        &self,
+        id: AnnotatorId,
+        truth: ClassId,
+        rng: &mut R,
+    ) -> ClassId {
+        self.latent[id.index()].sample_answer(truth, rng)
+    }
+
+    /// **Evaluation only.** The latent confusion matrix of annotator `id` —
+    /// for computing estimation error in experiments, never for labelling
+    /// decisions.
+    pub fn latent_confusion(&self, id: AnnotatorId) -> &ConfusionMatrix {
+        &self.latent[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::rng::seeded;
+
+    #[test]
+    fn generate_orders_workers_then_experts() {
+        let mut rng = seeded(1);
+        let pool = PoolSpec::new(3, 2).generate(2, &mut rng).unwrap();
+        assert_eq!(pool.len(), 5);
+        assert!(!pool.is_empty());
+        for i in 0..3 {
+            assert_eq!(pool.profile(AnnotatorId(i)).kind, AnnotatorKind::Worker);
+            assert_eq!(pool.profile(AnnotatorId(i)).cost, 1.0);
+        }
+        for i in 3..5 {
+            assert_eq!(pool.profile(AnnotatorId(i)).kind, AnnotatorKind::Expert);
+            assert_eq!(pool.profile(AnnotatorId(i)).cost, 10.0);
+        }
+        assert_eq!(pool.workers().count(), 3);
+        assert_eq!(pool.experts().count(), 2);
+        assert_eq!(pool.min_cost(), 1.0);
+    }
+
+    #[test]
+    fn latent_qualities_respect_ranges() {
+        let mut rng = seeded(2);
+        let pool = PoolSpec::new(10, 10).generate(3, &mut rng).unwrap();
+        for id in pool.workers() {
+            let q = pool.latent_confusion(id).quality();
+            assert!((0.55..=0.85).contains(&q), "worker quality {q}");
+        }
+        for id in pool.experts() {
+            let q = pool.latent_confusion(id).quality();
+            assert!((0.95..=1.0).contains(&q), "expert quality {q}");
+        }
+    }
+
+    #[test]
+    fn experts_answer_more_accurately_than_workers() {
+        let mut rng = seeded(3);
+        let pool = PoolSpec::new(1, 1).generate(2, &mut rng).unwrap();
+        let n = 5000;
+        let acc = |id: AnnotatorId, rng: &mut rand::rngs::StdRng| {
+            (0..n)
+                .filter(|_| pool.sample_answer(id, ClassId(0), rng) == ClassId(0))
+                .count() as f64
+                / n as f64
+        };
+        let worker_acc = acc(AnnotatorId(0), &mut rng);
+        let expert_acc = acc(AnnotatorId(1), &mut rng);
+        assert!(expert_acc > worker_acc + 0.1, "expert {expert_acc} worker {worker_acc}");
+    }
+
+    #[test]
+    fn spec_validation() {
+        let mut rng = seeded(4);
+        assert!(PoolSpec::new(0, 0).generate(2, &mut rng).is_err());
+        assert!(PoolSpec::new(1, 0).generate(1, &mut rng).is_err());
+        assert!(PoolSpec::new(1, 0)
+            .with_worker_accuracy(0.9, 0.5)
+            .generate(2, &mut rng)
+            .is_err());
+        assert!(PoolSpec::new(1, 0)
+            .with_worker_accuracy(-0.1, 0.5)
+            .generate(2, &mut rng)
+            .is_err());
+        let mut bad = PoolSpec::new(1, 1);
+        bad.worker_cost = 0.0;
+        assert!(bad.generate(2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_consistency() {
+        let profiles = vec![
+            AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, 1.0).unwrap(),
+            AnnotatorProfile::new(AnnotatorId(1), AnnotatorKind::Expert, 5.0).unwrap(),
+        ];
+        let latent = vec![
+            ConfusionMatrix::with_accuracy(2, 0.6).unwrap(),
+            ConfusionMatrix::with_accuracy(2, 0.99).unwrap(),
+        ];
+        let pool = AnnotatorPool::from_parts(profiles.clone(), latent.clone()).unwrap();
+        assert_eq!(pool.len(), 2);
+
+        // Mismatched lengths.
+        assert!(AnnotatorPool::from_parts(profiles.clone(), latent[..1].to_vec()).is_err());
+        // Wrong id order.
+        let swapped = vec![profiles[1].clone(), profiles[0].clone()];
+        assert!(AnnotatorPool::from_parts(swapped, latent.clone()).is_err());
+        // Inconsistent class counts.
+        let mixed = vec![
+            ConfusionMatrix::with_accuracy(2, 0.6).unwrap(),
+            ConfusionMatrix::with_accuracy(3, 0.9).unwrap(),
+        ];
+        assert!(AnnotatorPool::from_parts(profiles, mixed).is_err());
+        assert!(AnnotatorPool::from_parts(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn paper_table2_pool_reproduces_costs() {
+        // Table II: three workers at cost 1, two experts at cost 5.
+        let mut rng = seeded(5);
+        let pool = PoolSpec::new(3, 2).with_expert_cost(5.0).generate(2, &mut rng).unwrap();
+        assert_eq!(pool.profile(AnnotatorId(4)).cost, 5.0);
+        assert_eq!(pool.min_cost(), 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The crowdsourcing platform: the only interface through which labelling
+//! algorithms may interact with annotators.
+//!
+//! A [`Platform`] owns the budget and the growing [`AnswerSet`]. Asking a
+//! question (a) verifies the annotator hasn't already answered that object,
+//! (b) charges the annotator's cost against the budget atomically, then
+//! (c) samples the answer through the annotator's latent confusion matrix.
+//! Ground truth never crosses this boundary: algorithms see only answers,
+//! costs and features.
+
+use crate::annotators::AnnotatorPool;
+use crowdrl_types::{AnnotatorId, Answer, AnswerSet, Budget, Dataset, Error, ObjectId, Result};
+use rand::Rng;
+
+/// A simulated crowdsourcing platform bound to one dataset and pool.
+#[derive(Debug, Clone)]
+pub struct Platform<'a> {
+    dataset: &'a Dataset,
+    pool: &'a AnnotatorPool,
+    budget: Budget,
+    answers: AnswerSet,
+}
+
+impl<'a> Platform<'a> {
+    /// Open a platform session with `budget` units to spend.
+    pub fn new(dataset: &'a Dataset, pool: &'a AnnotatorPool, budget: Budget) -> Self {
+        let answers = AnswerSet::new(dataset.len());
+        Self { dataset, pool, budget, answers }
+    }
+
+    /// The dataset being labelled (features are public; algorithms must not
+    /// call its `truth` accessors — see [`Dataset::truth`]).
+    #[inline]
+    pub fn dataset(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// The annotator pool's public profiles.
+    #[inline]
+    pub fn pool(&self) -> &'a AnnotatorPool {
+        self.pool
+    }
+
+    /// Current budget state.
+    #[inline]
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// All answers collected so far.
+    #[inline]
+    pub fn answers(&self) -> &AnswerSet {
+        &self.answers
+    }
+
+    /// True when `annotator` can still be paid for one more answer.
+    pub fn can_afford(&self, annotator: AnnotatorId) -> bool {
+        self.budget.can_afford(self.pool.profile(annotator).cost)
+    }
+
+    /// True when not even the cheapest annotator can be paid.
+    pub fn exhausted(&self) -> bool {
+        self.budget.exhausted_for(self.pool.min_cost())
+    }
+
+    /// Ask `annotator` to label `object`: charge the cost, sample the
+    /// answer, record it, and return it.
+    ///
+    /// Fails (without charging) when the object is out of range, the
+    /// annotator already answered it, or the budget cannot cover the cost.
+    pub fn ask<R: Rng + ?Sized>(
+        &mut self,
+        object: ObjectId,
+        annotator: AnnotatorId,
+        rng: &mut R,
+    ) -> Result<Answer> {
+        if object.index() >= self.dataset.len() {
+            return Err(Error::IndexOutOfBounds {
+                index: object.index(),
+                len: self.dataset.len(),
+                context: "platform ask".into(),
+            });
+        }
+        if annotator.index() >= self.pool.len() {
+            return Err(Error::IndexOutOfBounds {
+                index: annotator.index(),
+                len: self.pool.len(),
+                context: "platform ask (annotator)".into(),
+            });
+        }
+        if self.answers.has_answered(object, annotator) {
+            return Err(Error::InvalidParameter(format!(
+                "annotator {annotator} already answered object {object}"
+            )));
+        }
+        let cost = self.pool.profile(annotator).cost;
+        self.budget.charge(cost)?;
+        let truth = self.dataset.truth(object.index());
+        let label = self.pool.sample_answer(annotator, truth, rng);
+        let answer = Answer { object, annotator, label };
+        self.answers
+            .record(answer)
+            .expect("pre-checked answer must record");
+        Ok(answer)
+    }
+
+    /// Ask several annotators about the same object, stopping early if the
+    /// budget runs out. Returns the answers actually obtained.
+    pub fn ask_many<R: Rng + ?Sized>(
+        &mut self,
+        object: ObjectId,
+        annotators: &[AnnotatorId],
+        rng: &mut R,
+    ) -> Vec<Answer> {
+        let mut got = Vec::with_capacity(annotators.len());
+        for &a in annotators {
+            match self.ask(object, a, rng) {
+                Ok(ans) => got.push(ans),
+                Err(Error::BudgetExhausted { .. }) => break,
+                Err(_) => continue, // duplicate answer etc.: skip
+            }
+        }
+        got
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotators::PoolSpec;
+    use crate::datasets::DatasetSpec;
+    use crowdrl_types::rng::seeded;
+
+    fn setup(budget: f64) -> (Dataset, AnnotatorPool) {
+        let mut rng = seeded(100);
+        let dataset = DatasetSpec::gaussian("t", 10, 2, 2).generate(&mut rng).unwrap();
+        let pool = PoolSpec::new(2, 1).generate(2, &mut rng).unwrap();
+        let _ = budget;
+        (dataset, pool)
+    }
+
+    #[test]
+    fn ask_charges_and_records() {
+        let (dataset, pool) = setup(20.0);
+        let mut platform = Platform::new(&dataset, &pool, Budget::new(20.0).unwrap());
+        let mut rng = seeded(1);
+        let ans = platform.ask(ObjectId(0), AnnotatorId(0), &mut rng).unwrap();
+        assert_eq!(ans.object, ObjectId(0));
+        assert_eq!(platform.budget().spent(), 1.0);
+        assert_eq!(platform.answers().total_answers(), 1);
+        assert!(platform.answers().has_answered(ObjectId(0), AnnotatorId(0)));
+    }
+
+    #[test]
+    fn duplicate_ask_fails_without_charging() {
+        let (dataset, pool) = setup(20.0);
+        let mut platform = Platform::new(&dataset, &pool, Budget::new(20.0).unwrap());
+        let mut rng = seeded(2);
+        platform.ask(ObjectId(0), AnnotatorId(0), &mut rng).unwrap();
+        assert!(platform.ask(ObjectId(0), AnnotatorId(0), &mut rng).is_err());
+        assert_eq!(platform.budget().spent(), 1.0);
+    }
+
+    #[test]
+    fn overdraft_is_rejected() {
+        let (dataset, pool) = setup(1.5);
+        // Expert costs 10; budget 1.5 affords one worker answer only.
+        let mut platform = Platform::new(&dataset, &pool, Budget::new(1.5).unwrap());
+        let mut rng = seeded(3);
+        assert!(!platform.can_afford(AnnotatorId(2))); // expert
+        assert!(platform.ask(ObjectId(0), AnnotatorId(2), &mut rng).is_err());
+        platform.ask(ObjectId(0), AnnotatorId(0), &mut rng).unwrap();
+        assert!(platform.exhausted());
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let (dataset, pool) = setup(20.0);
+        let mut platform = Platform::new(&dataset, &pool, Budget::new(20.0).unwrap());
+        let mut rng = seeded(4);
+        assert!(platform.ask(ObjectId(99), AnnotatorId(0), &mut rng).is_err());
+        assert!(platform.ask(ObjectId(0), AnnotatorId(99), &mut rng).is_err());
+        assert_eq!(platform.budget().spent(), 0.0);
+    }
+
+    #[test]
+    fn ask_many_stops_at_budget() {
+        let (dataset, pool) = setup(2.0);
+        let mut platform = Platform::new(&dataset, &pool, Budget::new(2.0).unwrap());
+        let mut rng = seeded(5);
+        let got = platform.ask_many(
+            ObjectId(1),
+            &[AnnotatorId(0), AnnotatorId(1), AnnotatorId(2)],
+            &mut rng,
+        );
+        // Two workers fit (1+1), the expert (10) does not.
+        assert_eq!(got.len(), 2);
+        assert_eq!(platform.budget().spent(), 2.0);
+    }
+
+    #[test]
+    fn ask_many_skips_duplicates() {
+        let (dataset, pool) = setup(20.0);
+        let mut platform = Platform::new(&dataset, &pool, Budget::new(20.0).unwrap());
+        let mut rng = seeded(6);
+        platform.ask(ObjectId(0), AnnotatorId(0), &mut rng).unwrap();
+        let got = platform.ask_many(ObjectId(0), &[AnnotatorId(0), AnnotatorId(1)], &mut rng);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].annotator, AnnotatorId(1));
+    }
+
+    #[test]
+    fn answers_reflect_latent_quality() {
+        // An expert pool answering many objects should mostly match truth.
+        let mut rng = seeded(7);
+        let dataset = DatasetSpec::gaussian("t", 200, 2, 2).generate(&mut rng).unwrap();
+        let pool = PoolSpec::new(0, 1)
+            .with_expert_accuracy(0.99, 1.0)
+            .generate(2, &mut rng)
+            .unwrap();
+        let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
+        let mut correct = 0;
+        for i in 0..200 {
+            let ans = platform.ask(ObjectId(i), AnnotatorId(0), &mut rng).unwrap();
+            if ans.label == dataset.truth(i) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 190, "correct={correct}");
+    }
+}

@@ -1,0 +1,394 @@
+//! Answer sets and the evolving labelled set.
+//!
+//! [`AnswerSet`] is the paper's `ψ_i` collections: every (object, annotator,
+//! reported label) triple gathered so far — exactly the labelling-history
+//! matrix `S[i,j]` of §III-B in sparse form.
+//!
+//! [`LabelledSet`] tracks the per-object labelling state as the workflow
+//! advances: unlabelled, inferred from annotator answers (truth inference),
+//! or auto-labelled by the classifier (labelled-set enrichment).
+
+use crate::ids::{AnnotatorId, ClassId, ObjectId};
+use crate::{Error, Result};
+
+/// One answer: annotator `annotator` claims object `object` has class
+/// `label`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Answer {
+    pub object: ObjectId,
+    pub annotator: AnnotatorId,
+    pub label: ClassId,
+}
+
+/// All annotator answers collected so far, indexed by object.
+///
+/// This is the sparse representation of the `|O| x |W|` history matrix `S`:
+/// `S[i,j] = c` when annotator `j` answered `c` for object `i`, and `-1`
+/// (absent here) otherwise. An annotator answers each object at most once —
+/// CrowdRL masks repeat (object, annotator) actions with `Q = -inf` (§IV-B),
+/// and [`AnswerSet::record`] enforces the same invariant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnswerSet {
+    /// `per_object[i]` = answers for object `i`, in arrival order.
+    per_object: Vec<Vec<(AnnotatorId, ClassId)>>,
+    /// Total number of answers across all objects.
+    total: usize,
+}
+
+impl AnswerSet {
+    /// An empty answer set over `num_objects` objects.
+    pub fn new(num_objects: usize) -> Self {
+        Self { per_object: vec![Vec::new(); num_objects], total: 0 }
+    }
+
+    /// Number of objects this set is sized for.
+    #[inline]
+    pub fn num_objects(&self) -> usize {
+        self.per_object.len()
+    }
+
+    /// Total answers recorded.
+    #[inline]
+    pub fn total_answers(&self) -> usize {
+        self.total
+    }
+
+    /// Record an answer. Fails if the object is out of range or the
+    /// annotator already answered this object.
+    pub fn record(&mut self, answer: Answer) -> Result<()> {
+        let i = answer.object.index();
+        if i >= self.per_object.len() {
+            return Err(Error::IndexOutOfBounds {
+                index: i,
+                len: self.per_object.len(),
+                context: "answer set".into(),
+            });
+        }
+        if self.per_object[i].iter().any(|(a, _)| *a == answer.annotator) {
+            return Err(Error::InvalidParameter(format!(
+                "annotator {} already answered object {}",
+                answer.annotator, answer.object
+            )));
+        }
+        self.per_object[i].push((answer.annotator, answer.label));
+        self.total += 1;
+        Ok(())
+    }
+
+    /// The answers `ψ_i` for object `i` (empty slice if none).
+    #[inline]
+    pub fn answers_for(&self, object: ObjectId) -> &[(AnnotatorId, ClassId)] {
+        &self.per_object[object.index()]
+    }
+
+    /// Whether `annotator` already answered `object`.
+    pub fn has_answered(&self, object: ObjectId, annotator: AnnotatorId) -> bool {
+        self.per_object[object.index()].iter().any(|(a, _)| *a == annotator)
+    }
+
+    /// The label `annotator` gave `object`, if any (the matrix entry
+    /// `S[i,j]`).
+    pub fn answer_of(&self, object: ObjectId, annotator: AnnotatorId) -> Option<ClassId> {
+        self.per_object[object.index()]
+            .iter()
+            .find(|(a, _)| *a == annotator)
+            .map(|&(_, c)| c)
+    }
+
+    /// Iterate over every answer as a flat stream.
+    pub fn iter(&self) -> impl Iterator<Item = Answer> + '_ {
+        self.per_object.iter().enumerate().flat_map(|(i, v)| {
+            v.iter().map(move |&(annotator, label)| Answer {
+                object: ObjectId(i),
+                annotator,
+                label,
+            })
+        })
+    }
+
+    /// Objects with at least one answer.
+    pub fn answered_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.per_object
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, _)| ObjectId(i))
+    }
+
+    /// Per-annotator answer counts over a pool of `num_annotators`.
+    pub fn answer_counts(&self, num_annotators: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_annotators];
+        for v in &self.per_object {
+            for &(a, _) in v {
+                if a.index() < num_annotators {
+                    counts[a.index()] += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// How an object acquired its current label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelState {
+    /// No label yet.
+    Unlabelled,
+    /// Label inferred from annotator answers by a truth-inference model.
+    Inferred(ClassId),
+    /// Label assigned by the classifier during labelled-set enrichment
+    /// (Algorithm 1, lines 4–14).
+    Enriched(ClassId),
+}
+
+impl LabelState {
+    /// The label, if the object has one.
+    #[inline]
+    pub fn label(self) -> Option<ClassId> {
+        match self {
+            LabelState::Unlabelled => None,
+            LabelState::Inferred(c) | LabelState::Enriched(c) => Some(c),
+        }
+    }
+
+    /// True when the object has any label.
+    #[inline]
+    pub fn is_labelled(self) -> bool {
+        !matches!(self, LabelState::Unlabelled)
+    }
+}
+
+/// The evolving labelling of the whole object set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledSet {
+    states: Vec<LabelState>,
+    labelled: usize,
+}
+
+impl LabelledSet {
+    /// All objects unlabelled.
+    pub fn new(num_objects: usize) -> Self {
+        Self { states: vec![LabelState::Unlabelled; num_objects], labelled: 0 }
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when there are no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Current state of object `i`.
+    #[inline]
+    pub fn state(&self, object: ObjectId) -> LabelState {
+        self.states[object.index()]
+    }
+
+    /// Set (or overwrite) a label. Re-labelling is allowed — truth inference
+    /// refines labels across iterations as more answers arrive.
+    pub fn set(&mut self, object: ObjectId, state: LabelState) -> Result<()> {
+        let i = object.index();
+        if i >= self.states.len() {
+            return Err(Error::IndexOutOfBounds {
+                index: i,
+                len: self.states.len(),
+                context: "labelled set".into(),
+            });
+        }
+        let was = self.states[i].is_labelled();
+        let now = state.is_labelled();
+        self.states[i] = state;
+        match (was, now) {
+            (false, true) => self.labelled += 1,
+            (true, false) => self.labelled -= 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Count of labelled objects (inferred + enriched).
+    #[inline]
+    pub fn labelled_count(&self) -> usize {
+        self.labelled
+    }
+
+    /// Count of unlabelled objects.
+    #[inline]
+    pub fn unlabelled_count(&self) -> usize {
+        self.states.len() - self.labelled
+    }
+
+    /// Count of objects auto-labelled by the classifier.
+    pub fn enriched_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, LabelState::Enriched(_)))
+            .count()
+    }
+
+    /// True when every object has a label.
+    #[inline]
+    pub fn all_labelled(&self) -> bool {
+        self.labelled == self.states.len()
+    }
+
+    /// Objects still without a label.
+    pub fn unlabelled_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_labelled())
+            .map(|(i, _)| ObjectId(i))
+    }
+
+    /// Objects with a label, paired with it.
+    pub fn labelled_objects(&self) -> impl Iterator<Item = (ObjectId, ClassId)> + '_ {
+        self.states.iter().enumerate().filter_map(|(i, s)| {
+            s.label().map(|c| (ObjectId(i), c))
+        })
+    }
+
+    /// Final labels as a dense vector, with `None` for unlabelled objects.
+    pub fn to_labels(&self) -> Vec<Option<ClassId>> {
+        self.states.iter().map(|s| s.label()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ans(o: usize, a: usize, c: usize) -> Answer {
+        Answer { object: ObjectId(o), annotator: AnnotatorId(a), label: ClassId(c) }
+    }
+
+    #[test]
+    fn record_and_query_answers() {
+        let mut set = AnswerSet::new(3);
+        set.record(ans(0, 0, 1)).unwrap();
+        set.record(ans(0, 1, 0)).unwrap();
+        set.record(ans(2, 0, 1)).unwrap();
+        assert_eq!(set.total_answers(), 3);
+        assert_eq!(set.num_objects(), 3);
+        assert_eq!(set.answers_for(ObjectId(0)).len(), 2);
+        assert_eq!(set.answers_for(ObjectId(1)).len(), 0);
+        assert!(set.has_answered(ObjectId(0), AnnotatorId(1)));
+        assert!(!set.has_answered(ObjectId(1), AnnotatorId(1)));
+        assert_eq!(set.answer_of(ObjectId(0), AnnotatorId(0)), Some(ClassId(1)));
+        assert_eq!(set.answer_of(ObjectId(0), AnnotatorId(2)), None);
+        let answered: Vec<_> = set.answered_objects().collect();
+        assert_eq!(answered, vec![ObjectId(0), ObjectId(2)]);
+        assert_eq!(set.answer_counts(2), vec![2, 1]);
+    }
+
+    #[test]
+    fn duplicate_answers_rejected() {
+        let mut set = AnswerSet::new(2);
+        set.record(ans(0, 0, 1)).unwrap();
+        assert!(set.record(ans(0, 0, 0)).is_err());
+        assert_eq!(set.total_answers(), 1);
+    }
+
+    #[test]
+    fn out_of_range_object_rejected() {
+        let mut set = AnswerSet::new(2);
+        assert!(set.record(ans(5, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn iter_yields_all_answers() {
+        let mut set = AnswerSet::new(2);
+        set.record(ans(1, 0, 0)).unwrap();
+        set.record(ans(0, 2, 1)).unwrap();
+        let all: Vec<_> = set.iter().collect();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&ans(1, 0, 0)));
+        assert!(all.contains(&ans(0, 2, 1)));
+    }
+
+    #[test]
+    fn labelled_set_counts_transitions() {
+        let mut ls = LabelledSet::new(4);
+        assert_eq!(ls.labelled_count(), 0);
+        assert_eq!(ls.unlabelled_count(), 4);
+        assert!(!ls.all_labelled());
+
+        ls.set(ObjectId(0), LabelState::Inferred(ClassId(1))).unwrap();
+        ls.set(ObjectId(1), LabelState::Enriched(ClassId(0))).unwrap();
+        assert_eq!(ls.labelled_count(), 2);
+        assert_eq!(ls.enriched_count(), 1);
+
+        // Re-labelling does not double-count.
+        ls.set(ObjectId(0), LabelState::Inferred(ClassId(0))).unwrap();
+        assert_eq!(ls.labelled_count(), 2);
+
+        // Un-labelling decrements.
+        ls.set(ObjectId(0), LabelState::Unlabelled).unwrap();
+        assert_eq!(ls.labelled_count(), 1);
+
+        ls.set(ObjectId(0), LabelState::Inferred(ClassId(1))).unwrap();
+        ls.set(ObjectId(2), LabelState::Inferred(ClassId(1))).unwrap();
+        ls.set(ObjectId(3), LabelState::Enriched(ClassId(1))).unwrap();
+        assert!(ls.all_labelled());
+        assert!(ls.set(ObjectId(9), LabelState::Unlabelled).is_err());
+    }
+
+    #[test]
+    fn labelled_set_iterators_and_export() {
+        let mut ls = LabelledSet::new(3);
+        ls.set(ObjectId(1), LabelState::Inferred(ClassId(1))).unwrap();
+        let unl: Vec<_> = ls.unlabelled_objects().collect();
+        assert_eq!(unl, vec![ObjectId(0), ObjectId(2)]);
+        let lab: Vec<_> = ls.labelled_objects().collect();
+        assert_eq!(lab, vec![(ObjectId(1), ClassId(1))]);
+        assert_eq!(ls.to_labels(), vec![None, Some(ClassId(1)), None]);
+    }
+
+    #[test]
+    fn label_state_accessors() {
+        assert_eq!(LabelState::Unlabelled.label(), None);
+        assert_eq!(LabelState::Inferred(ClassId(2)).label(), Some(ClassId(2)));
+        assert_eq!(LabelState::Enriched(ClassId(0)).label(), Some(ClassId(0)));
+        assert!(!LabelState::Unlabelled.is_labelled());
+        assert!(LabelState::Enriched(ClassId(0)).is_labelled());
+    }
+
+    proptest! {
+        /// The labelled counter always equals a fresh scan of the states,
+        /// under any sequence of set() operations.
+        #[test]
+        fn prop_labelled_count_matches_scan(ops in proptest::collection::vec(
+            (0usize..8, 0usize..3), 0..64)) {
+            let mut ls = LabelledSet::new(8);
+            for (obj, kind) in ops {
+                let state = match kind {
+                    0 => LabelState::Unlabelled,
+                    1 => LabelState::Inferred(ClassId(0)),
+                    _ => LabelState::Enriched(ClassId(1)),
+                };
+                ls.set(ObjectId(obj), state).unwrap();
+                let scan = (0..8).filter(|&i| ls.state(ObjectId(i)).is_labelled()).count();
+                prop_assert_eq!(ls.labelled_count(), scan);
+                prop_assert_eq!(ls.unlabelled_count(), 8 - scan);
+            }
+        }
+
+        /// total_answers always equals the flat iteration length.
+        #[test]
+        fn prop_answer_total_matches_iter(answers in proptest::collection::vec(
+            (0usize..6, 0usize..4, 0usize..3), 0..24)) {
+            let mut set = AnswerSet::new(6);
+            for (o, a, c) in answers {
+                // Ignore duplicate rejections; invariant must hold regardless.
+                let _ = set.record(ans(o, a, c));
+                prop_assert_eq!(set.total_answers(), set.iter().count());
+            }
+        }
+    }
+}

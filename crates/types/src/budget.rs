@@ -1,0 +1,172 @@
+//! Monetary budget accounting.
+//!
+//! The labelling process stops when "the budget of asking annotators to
+//! label objects is used up" (§II-A). [`Budget`] is a simple ledger with a
+//! hard ceiling: a charge either fits entirely or fails — partial spends
+//! never happen, so the invariant `spent <= total` holds at all times.
+
+use crate::{Error, Result};
+
+/// A monetary budget with a hard ceiling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Budget {
+    total: f64,
+    spent: f64,
+    /// Number of successful charges, for reporting.
+    charges: usize,
+}
+
+impl Budget {
+    /// A budget of `total` units. `total` must be finite and non-negative.
+    pub fn new(total: f64) -> Result<Self> {
+        if !total.is_finite() || total < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "budget must be finite and non-negative, got {total}"
+            )));
+        }
+        Ok(Self { total, spent: 0.0, charges: 0 })
+    }
+
+    /// Total budget.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Amount spent so far.
+    #[inline]
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Amount still available.
+    #[inline]
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Fraction of the budget spent, in `[0,1]`. A zero budget counts as
+    /// fully spent.
+    pub fn fraction_spent(&self) -> f64 {
+        if self.total > 0.0 {
+            (self.spent / self.total).min(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Number of successful charges so far.
+    #[inline]
+    pub fn charge_count(&self) -> usize {
+        self.charges
+    }
+
+    /// True when `amount` can still be charged.
+    pub fn can_afford(&self, amount: f64) -> bool {
+        amount.is_finite() && amount >= 0.0 && self.spent + amount <= self.total + 1e-9
+    }
+
+    /// Charge `amount` units, or fail without spending anything.
+    pub fn charge(&mut self, amount: f64) -> Result<()> {
+        if !amount.is_finite() || amount < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "charge must be finite and non-negative, got {amount}"
+            )));
+        }
+        if !self.can_afford(amount) {
+            return Err(Error::BudgetExhausted {
+                requested: amount,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += amount;
+        self.charges += 1;
+        Ok(())
+    }
+
+    /// True when nothing meaningful can be charged any more (less than
+    /// `min_cost` remains). The workflow uses the cheapest annotator's cost
+    /// as `min_cost`.
+    pub fn exhausted_for(&self, min_cost: f64) -> bool {
+        !self.can_afford(min_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_accounting() {
+        let mut b = Budget::new(30.0).unwrap();
+        assert_eq!(b.total(), 30.0);
+        assert_eq!(b.remaining(), 30.0);
+        b.charge(1.0).unwrap();
+        b.charge(5.0).unwrap();
+        assert_eq!(b.spent(), 6.0);
+        assert_eq!(b.remaining(), 24.0);
+        assert_eq!(b.charge_count(), 2);
+        assert!((b.fraction_spent() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_overdraft_atomically() {
+        let mut b = Budget::new(10.0).unwrap();
+        b.charge(8.0).unwrap();
+        let err = b.charge(5.0).unwrap_err();
+        assert!(matches!(err, Error::BudgetExhausted { .. }));
+        // Nothing was spent by the failed charge.
+        assert_eq!(b.spent(), 8.0);
+        assert_eq!(b.charge_count(), 1);
+        // A smaller charge still fits.
+        b.charge(2.0).unwrap();
+        assert!(b.exhausted_for(1.0));
+    }
+
+    #[test]
+    fn rejects_invalid_amounts() {
+        let mut b = Budget::new(10.0).unwrap();
+        assert!(b.charge(-1.0).is_err());
+        assert!(b.charge(f64::NAN).is_err());
+        assert!(b.charge(f64::INFINITY).is_err());
+        assert!(Budget::new(-5.0).is_err());
+        assert!(Budget::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_budget_is_exhausted() {
+        let b = Budget::new(0.0).unwrap();
+        assert!(b.exhausted_for(1.0));
+        assert_eq!(b.fraction_spent(), 1.0);
+        // Zero-cost charges are still fine.
+        let mut b = Budget::new(0.0).unwrap();
+        b.charge(0.0).unwrap();
+    }
+
+    #[test]
+    fn can_afford_tolerates_float_slack() {
+        let mut b = Budget::new(3.0).unwrap();
+        for _ in 0..30 {
+            b.charge(0.1).unwrap();
+        }
+        // 30 * 0.1 may not be exactly 3.0 in floating point; the epsilon in
+        // can_afford absorbs that.
+        assert!(b.spent() <= 3.0 + 1e-9);
+    }
+
+    proptest! {
+        /// spent never exceeds total, under any charge sequence.
+        #[test]
+        fn prop_never_overspends(total in 0.0f64..100.0,
+                                 charges in proptest::collection::vec(0.0f64..20.0, 0..64)) {
+            let mut b = Budget::new(total).unwrap();
+            for c in charges {
+                let _ = b.charge(c);
+                prop_assert!(b.spent() <= b.total() + 1e-9);
+                prop_assert!(b.remaining() >= 0.0);
+                prop_assert!((0.0..=1.0).contains(&b.fraction_spent()));
+            }
+        }
+    }
+}

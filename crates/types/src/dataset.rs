@@ -1,0 +1,268 @@
+//! Datasets: feature vectors plus *hidden* ground truth.
+//!
+//! The paper's data model (§II-A) is a set of objects `O = {o_i}`, each with
+//! an unknown true label `y_i` from a class set `C`. Objects carry feature
+//! vectors (the speech datasets have "contextual" and "prosodic" feature
+//! blocks) that the classifier `φ` learns from.
+//!
+//! Ground truth is stored in the dataset but is accessible only through
+//! [`Dataset::truth`], which labelling algorithms must never call — it exists
+//! for the answer simulator (annotators see the truth through their
+//! confusion matrices) and for final evaluation. The workflow code in
+//! `crowdrl-core` only ever touches features and annotator answers.
+
+use crate::ids::ClassId;
+use crate::{Error, Result};
+
+/// An immutable labelled dataset with dense `f32` features.
+///
+/// Features are stored row-major (`len * dim`); rows are objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    features: Vec<f32>,
+    dim: usize,
+    truth: Vec<ClassId>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset, validating shapes and label ranges.
+    pub fn new(
+        name: impl Into<String>,
+        features: Vec<f32>,
+        dim: usize,
+        truth: Vec<ClassId>,
+        num_classes: usize,
+    ) -> Result<Self> {
+        if num_classes == 0 {
+            return Err(Error::InvalidParameter("num_classes must be positive".into()));
+        }
+        if dim == 0 {
+            return Err(Error::InvalidParameter("feature dim must be positive".into()));
+        }
+        if truth.is_empty() {
+            return Err(Error::InvalidParameter("dataset must contain at least one object".into()));
+        }
+        if features.len() != truth.len() * dim {
+            return Err(Error::DimensionMismatch {
+                expected: truth.len() * dim,
+                actual: features.len(),
+                context: "dataset feature buffer".into(),
+            });
+        }
+        if let Some(bad) = truth.iter().find(|c| c.index() >= num_classes) {
+            return Err(Error::InvalidParameter(format!(
+                "ground-truth label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        if features.iter().any(|x| !x.is_finite()) {
+            return Err(Error::InvalidParameter("features contain non-finite values".into()));
+        }
+        Ok(Self { name: name.into(), features, dim, truth, num_classes })
+    }
+
+    /// Dataset name (e.g. `"speech12-cp"`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of objects `|O|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// True when the dataset has no objects (never, per the constructor).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+
+    /// Feature dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes `|C|`.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature row for object `i`.
+    #[inline]
+    pub fn features(&self, i: usize) -> &[f32] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole row-major feature buffer.
+    #[inline]
+    pub fn feature_buffer(&self) -> &[f32] {
+        &self.features
+    }
+
+    /// **Evaluation/simulation only.** The hidden true label of object `i`.
+    ///
+    /// Labelling algorithms must not consult this; it exists so the answer
+    /// simulator can sample annotator responses and so experiments can score
+    /// the final labels.
+    #[inline]
+    pub fn truth(&self, i: usize) -> ClassId {
+        self.truth[i]
+    }
+
+    /// **Evaluation/simulation only.** All hidden true labels.
+    #[inline]
+    pub fn truth_slice(&self) -> &[ClassId] {
+        &self.truth
+    }
+
+    /// A new dataset containing only the objects at `indices`, in order.
+    ///
+    /// Used by the paper's scalability experiment (Fig. 5), which samples
+    /// `{0.1,…,0.5}` of each dataset.
+    pub fn subset(&self, indices: &[usize]) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(Error::InvalidParameter("subset must keep at least one object".into()));
+        }
+        let mut features = Vec::with_capacity(indices.len() * self.dim);
+        let mut truth = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(Error::IndexOutOfBounds {
+                    index: i,
+                    len: self.len(),
+                    context: "dataset subset".into(),
+                });
+            }
+            features.extend_from_slice(self.features(i));
+            truth.push(self.truth[i]);
+        }
+        Ok(Self {
+            name: format!("{}[{}]", self.name, indices.len()),
+            features,
+            dim: self.dim,
+            truth,
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// A new dataset keeping only feature columns `cols` (in order).
+    ///
+    /// Reproduces the paper's feature views: contextual-only (C),
+    /// prosodic-only (P) and concatenated (CP) slices of the same objects.
+    pub fn select_columns(&self, cols: &[usize], name: impl Into<String>) -> Result<Self> {
+        if cols.is_empty() {
+            return Err(Error::InvalidParameter("must keep at least one feature column".into()));
+        }
+        if let Some(&bad) = cols.iter().find(|&&c| c >= self.dim) {
+            return Err(Error::IndexOutOfBounds {
+                index: bad,
+                len: self.dim,
+                context: "dataset column selection".into(),
+            });
+        }
+        let mut features = Vec::with_capacity(self.len() * cols.len());
+        for i in 0..self.len() {
+            let row = self.features(i);
+            features.extend(cols.iter().map(|&c| row[c]));
+        }
+        Ok(Self {
+            name: name.into(),
+            features,
+            dim: cols.len(),
+            truth: self.truth.clone(),
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// A copy of this dataset under a different name (experiment harnesses
+    /// use this to distinguish sweep conditions over the same data).
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        Self { name: name.into(), ..self.clone() }
+    }
+
+    /// Empirical class prior of the hidden truth (evaluation/reporting only).
+    pub fn class_prior(&self) -> Vec<f64> {
+        let mut prior = vec![0.0; self.num_classes];
+        for c in &self.truth {
+            prior[c.index()] += 1.0;
+        }
+        crate::prob::normalize(&mut prior);
+        prior
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            2,
+            vec![ClassId(0), ClassId(1), ClassId(0)],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.features(1), &[2.0, 3.0]);
+        assert_eq!(d.truth(2), ClassId(0));
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.feature_buffer().len(), 6);
+    }
+
+    #[test]
+    fn rejects_shape_mismatches() {
+        assert!(Dataset::new("x", vec![0.0; 5], 2, vec![ClassId(0); 3], 2).is_err());
+        assert!(Dataset::new("x", vec![], 2, vec![], 2).is_err());
+        assert!(Dataset::new("x", vec![0.0; 2], 0, vec![ClassId(0)], 2).is_err());
+        assert!(Dataset::new("x", vec![0.0; 2], 2, vec![ClassId(0)], 0).is_err());
+        assert!(Dataset::new("x", vec![0.0; 2], 2, vec![ClassId(5)], 2).is_err());
+        assert!(Dataset::new("x", vec![f32::NAN, 0.0], 2, vec![ClassId(0)], 2).is_err());
+    }
+
+    #[test]
+    fn subset_selects_rows_in_order() {
+        let d = toy();
+        let s = d.subset(&[2, 0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.features(0), &[4.0, 5.0]);
+        assert_eq!(s.truth(1), ClassId(0));
+        assert!(d.subset(&[]).is_err());
+        assert!(d.subset(&[7]).is_err());
+    }
+
+    #[test]
+    fn select_columns_projects_features() {
+        let d = toy();
+        let c = d.select_columns(&[1], "toy-p").unwrap();
+        assert_eq!(c.dim(), 1);
+        assert_eq!(c.features(0), &[1.0]);
+        assert_eq!(c.features(2), &[5.0]);
+        assert_eq!(c.name(), "toy-p");
+        assert_eq!(c.truth_slice(), d.truth_slice());
+        assert!(d.select_columns(&[], "x").is_err());
+        assert!(d.select_columns(&[2], "x").is_err());
+    }
+
+    #[test]
+    fn class_prior_is_empirical_frequency() {
+        let d = toy();
+        let p = d.class_prior();
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared across the CrowdRL workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by CrowdRL components.
+///
+/// The workspace deliberately keeps a single flat error enum: the library is
+/// a research system whose failure modes are configuration mistakes and
+/// budget exhaustion, not recoverable I/O conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A parameter was outside its documented domain (negative cost,
+    /// probability outside `[0,1]`, empty class set, ...).
+    InvalidParameter(String),
+    /// Two components disagreed about a dimension (e.g. a confusion matrix
+    /// sized for `k` classes applied to a dataset with `k' != k`).
+    DimensionMismatch { expected: usize, actual: usize, context: String },
+    /// An index referred past the end of its collection.
+    IndexOutOfBounds { index: usize, len: usize, context: String },
+    /// A charge would overdraw the labelling budget.
+    BudgetExhausted { requested: f64, remaining: f64 },
+    /// An iterative algorithm failed to make progress (e.g. EM produced a
+    /// non-finite likelihood).
+    NumericalFailure(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::DimensionMismatch { expected, actual, context } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            Error::IndexOutOfBounds { index, len, context } => {
+                write!(f, "index {index} out of bounds (len {len}) in {context}")
+            }
+            Error::BudgetExhausted { requested, remaining } => write!(
+                f,
+                "budget exhausted: requested {requested:.3} units but only {remaining:.3} remain"
+            ),
+            Error::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidParameter("alpha must be in (0,1)".into());
+        assert!(e.to_string().contains("alpha"));
+
+        let e = Error::DimensionMismatch { expected: 2, actual: 3, context: "confusion".into() };
+        assert!(e.to_string().contains("expected 2"));
+        assert!(e.to_string().contains("got 3"));
+
+        let e = Error::IndexOutOfBounds { index: 9, len: 4, context: "dataset".into() };
+        assert!(e.to_string().contains("index 9"));
+
+        let e = Error::BudgetExhausted { requested: 5.0, remaining: 1.0 };
+        assert!(e.to_string().contains("5.000"));
+
+        let e = Error::NumericalFailure("nan likelihood".into());
+        assert!(e.to_string().contains("nan"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Error::NumericalFailure("x".into()));
+    }
+}

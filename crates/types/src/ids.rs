@@ -1,0 +1,170 @@
+//! Typed identifiers for objects, classes and annotators.
+//!
+//! The paper indexes objects `o_i`, classes `c_j` and annotators `w_j` by
+//! position; we keep that convention but wrap the indices in newtypes so the
+//! three index spaces cannot be mixed up silently.
+
+use std::fmt;
+
+/// Index of an object `o_i` in the dataset (row of the labelling-history
+/// matrix `S`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub usize);
+
+/// Index of a class `c_j` in the label set `C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub usize);
+
+/// Index of an annotator `w_j` in the pool `W` (column of the
+/// labelling-history matrix `S`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AnnotatorId(pub usize);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for AnnotatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl ObjectId {
+    /// The raw index, for use as a slice/matrix offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl ClassId {
+    /// The raw index, for use as a slice/matrix offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl AnnotatorId {
+    /// The raw index, for use as a slice/matrix offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The two kinds of human annotators CrowdRL distinguishes (§II-A).
+///
+/// Experts are assumed more reliable but more expensive; the joint inference
+/// model additionally *bounds* expert quality from below so an EM pass cannot
+/// erode an expert's confidence after a rare mistake (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnnotatorKind {
+    /// A crowdsourcing-marketplace worker: cheap, noisy.
+    Worker,
+    /// A domain expert: expensive, near-perfect.
+    Expert,
+}
+
+impl fmt::Display for AnnotatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnotatorKind::Worker => write!(f, "worker"),
+            AnnotatorKind::Expert => write!(f, "expert"),
+        }
+    }
+}
+
+/// Public, observable facts about an annotator: identity, kind, and the
+/// per-answer monetary cost charged against the labelling [`Budget`].
+///
+/// The annotator's true confusion matrix `Π^j` is *not* part of the profile:
+/// it is latent (owned by the simulator) and only ever estimated (`Π̂^j`)
+/// by inference algorithms, mirroring the paper's setup.
+///
+/// [`Budget`]: crate::Budget
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatorProfile {
+    /// Position of this annotator in the pool.
+    pub id: AnnotatorId,
+    /// Worker or expert.
+    pub kind: AnnotatorKind,
+    /// Monetary cost of one answer from this annotator, in budget units.
+    /// The paper uses 1 for workers and 5 or 10 for experts.
+    pub cost: f64,
+}
+
+impl AnnotatorProfile {
+    /// Create a profile, validating that the cost is finite and positive.
+    pub fn new(id: AnnotatorId, kind: AnnotatorKind, cost: f64) -> crate::Result<Self> {
+        if !cost.is_finite() || cost <= 0.0 {
+            return Err(crate::Error::InvalidParameter(format!(
+                "annotator cost must be finite and positive, got {cost}"
+            )));
+        }
+        Ok(Self { id, kind, cost })
+    }
+
+    /// True if this annotator is an expert.
+    #[inline]
+    pub fn is_expert(&self) -> bool {
+        self.kind == AnnotatorKind::Expert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_paper_prefixes() {
+        assert_eq!(ObjectId(3).to_string(), "o3");
+        assert_eq!(ClassId(0).to_string(), "c0");
+        assert_eq!(AnnotatorId(7).to_string(), "w7");
+    }
+
+    #[test]
+    fn ids_expose_raw_index() {
+        assert_eq!(ObjectId(5).index(), 5);
+        assert_eq!(ClassId(2).index(), 2);
+        assert_eq!(AnnotatorId(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert!(AnnotatorId(0) < AnnotatorId(10));
+    }
+
+    #[test]
+    fn profile_rejects_nonpositive_cost() {
+        assert!(AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, 0.0).is_err());
+        assert!(AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, -1.0).is_err());
+        assert!(AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, f64::NAN).is_err());
+        assert!(AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn profile_accepts_paper_costs() {
+        let w = AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, 1.0).unwrap();
+        let e = AnnotatorProfile::new(AnnotatorId(1), AnnotatorKind::Expert, 10.0).unwrap();
+        assert!(!w.is_expert());
+        assert!(e.is_expert());
+        assert_eq!(e.cost, 10.0);
+    }
+
+    #[test]
+    fn kind_displays_lowercase() {
+        assert_eq!(AnnotatorKind::Worker.to_string(), "worker");
+        assert_eq!(AnnotatorKind::Expert.to_string(), "expert");
+    }
+}

@@ -1,0 +1,174 @@
+//! Small probability utilities used by inference and learning code:
+//! normalization, log-sum-exp, entropy, and stable argmax.
+
+/// Normalize `v` in place so it sums to one.
+///
+/// If the sum is zero or non-finite the vector is reset to the uniform
+/// distribution — the safe fallback for EM posteriors that underflowed.
+pub fn normalize(v: &mut [f64]) {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    } else if !v.is_empty() {
+        let u = 1.0 / v.len() as f64;
+        for x in v.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+/// `log(sum_i exp(x_i))` computed stably.
+///
+/// Returns negative infinity for an empty slice (the sum of zero terms).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Shannon entropy (nats) of a distribution. Zero-probability entries
+/// contribute zero, matching the `p log p -> 0` limit.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| -x * x.ln())
+        .sum()
+}
+
+/// Index of the maximum element; ties break toward the lowest index so the
+/// result is deterministic. Returns `None` for an empty slice or if every
+/// element is NaN.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// The margin between the largest and second-largest entries.
+///
+/// This is the quantity CrowdRL's labelled-set enrichment thresholds
+/// (Algorithm 1, lines 9–13): an object is auto-labelled only when
+/// `phi_cj(o) - phi_ck(o) > epsilon` for the top two classes `c_j, c_k`.
+/// For a single-class distribution the margin is the sole probability.
+pub fn top_two_margin(p: &[f64]) -> f64 {
+    match p.len() {
+        0 => 0.0,
+        1 => p[0],
+        _ => {
+            let mut best = f64::NEG_INFINITY;
+            let mut second = f64::NEG_INFINITY;
+            for &x in p {
+                if x > best {
+                    second = best;
+                    best = x;
+                } else if x > second {
+                    second = x;
+                }
+            }
+            best - second
+        }
+    }
+}
+
+/// True when `p` is a valid probability distribution over `k` outcomes
+/// (length `k`, entries in `[0,1]`, sums to one within `tol`).
+pub fn is_distribution(p: &[f64], k: usize, tol: f64) -> bool {
+    p.len() == k
+        && p.iter().all(|&x| x.is_finite() && (-tol..=1.0 + tol).contains(&x))
+        && (p.iter().sum::<f64>() - 1.0).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_produces_distribution() {
+        let mut v = vec![2.0, 6.0];
+        normalize(&mut v);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        assert!((v[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_sum_falls_back_to_uniform() {
+        let mut v = vec![0.0, 0.0, 0.0, 0.0];
+        normalize(&mut v);
+        assert!(v.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn normalize_nan_sum_falls_back_to_uniform() {
+        let mut v = vec![f64::NAN, 1.0];
+        normalize(&mut v);
+        assert!((v[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_small_values() {
+        let xs: [f64; 3] = [0.1, -0.3, 0.7];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_values() {
+        let xs = [1000.0, 1000.0];
+        assert!((log_sum_exp(&xs) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        let xs = [-1000.0, -1000.0];
+        assert!((log_sum_exp(&xs) - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_k() {
+        let p = [0.25; 4];
+        assert!((entropy(&p) - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_point_mass_is_zero() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 2.0, f64::NAN]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn top_two_margin_behaviour() {
+        assert!((top_two_margin(&[0.9, 0.1]) - 0.8).abs() < 1e-12);
+        assert!((top_two_margin(&[0.4, 0.35, 0.25]) - 0.05).abs() < 1e-12);
+        assert_eq!(top_two_margin(&[1.0]), 1.0);
+        assert_eq!(top_two_margin(&[]), 0.0);
+    }
+
+    #[test]
+    fn is_distribution_checks_bounds_and_sum() {
+        assert!(is_distribution(&[0.5, 0.5], 2, 1e-9));
+        assert!(!is_distribution(&[0.5, 0.6], 2, 1e-9));
+        assert!(!is_distribution(&[0.5, 0.5], 3, 1e-9));
+        assert!(!is_distribution(&[1.5, -0.5], 2, 1e-9));
+        assert!(!is_distribution(&[f64::NAN, 1.0], 2, 1e-9));
+    }
+}

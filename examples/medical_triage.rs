@@ -1,0 +1,81 @@
+//! The paper's introduction scenario: labelling medical images where
+//! crowd workers cannot reliably decide and experts are expensive.
+//!
+//! ```sh
+//! cargo run --release --example medical_triage
+//! ```
+//!
+//! Demonstrates the *joint truth inference* model directly (no RL loop):
+//! five medical students (noisy workers) and one radiologist (expert)
+//! label a set of scans, and we compare majority voting, Dawid–Skene, and
+//! CrowdRL's joint model — which couples a classifier trained on image
+//! features with the annotators and bounds the expert's estimated quality
+//! (§V-A).
+
+use crowdrl::inference::{DawidSkene, InferenceResult, JointInference, MajorityVote};
+use crowdrl::nn::{ClassifierConfig, SoftmaxClassifier};
+use crowdrl::prelude::*;
+use crowdrl::types::rng;
+
+fn main() -> crowdrl::types::Result<()> {
+    let mut master = rng::seeded(2024);
+
+    // 400 "scans" with 32 radiomic-style features; tumours are subtle
+    // (low class separation) and 4% of cases are genuinely ambiguous.
+    let dataset = DatasetSpec::gaussian("scans", 400, 32, 2)
+        .with_separation(2.2)
+        .with_label_noise(0.04)
+        .generate(&mut master)?;
+
+    // Five medical students (accuracy ~0.6-0.8) and one radiologist.
+    let pool = PoolSpec::new(5, 1)
+        .with_worker_accuracy(0.60, 0.80)
+        .with_expert_accuracy(0.96, 1.0)
+        .generate(2, &mut master)?;
+
+    // Everyone reads every scan (a reader study).
+    let mut answers = AnswerSet::new(dataset.len());
+    for i in 0..dataset.len() {
+        for p in pool.profiles() {
+            let label = pool.sample_answer(p.id, dataset.truth(i), &mut master);
+            answers.record(Answer { object: ObjectId(i), annotator: p.id, label })?;
+        }
+    }
+
+    let accuracy = |r: &InferenceResult| {
+        (0..dataset.len())
+            .filter(|&i| r.label(ObjectId(i)) == Some(dataset.truth(i)))
+            .count() as f64
+            / dataset.len() as f64
+    };
+
+    let mv = MajorityVote.infer(&answers, 2, pool.len())?;
+    println!("majority vote          : {:.3}", accuracy(&mv));
+
+    let ds = DawidSkene::default().infer(&answers, 2, pool.len())?;
+    println!("Dawid-Skene EM         : {:.3}", accuracy(&ds));
+
+    // The joint model: one EM over classifier parameters, annotator
+    // confusion matrices (with the radiologist's quality bounded below),
+    // and the label posteriors.
+    let mut classifier =
+        SoftmaxClassifier::new(ClassifierConfig::default(), dataset.dim(), 2, &mut master)?;
+    let joint = JointInference::default().infer(
+        &dataset,
+        &answers,
+        pool.profiles(),
+        &mut classifier,
+        &mut master,
+    )?;
+    println!("CrowdRL joint inference: {:.3}", accuracy(&joint));
+
+    println!("\nestimated annotator qualities (joint model):");
+    for (p, q) in pool.profiles().iter().zip(joint.qualities()) {
+        let latent = pool.latent_confusion(p.id).quality();
+        println!("  {} {:7}: estimated {q:.3} (true {latent:.3})", p.id, p.kind.to_string());
+    }
+    println!("\nThe radiologist's estimated quality stays bounded at >= 0.95 even if");
+    println!("an EM pass would otherwise erode it after rare disagreements, and the");
+    println!("classifier's feature signal tips scans the students split on.");
+    Ok(())
+}

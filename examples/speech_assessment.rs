@@ -1,0 +1,52 @@
+//! The paper's motivating scenario: assessing primary-school oral
+//! presentations (Speech12), comparing the three feature views.
+//!
+//! ```sh
+//! cargo run --release --example speech_assessment
+//! ```
+//!
+//! Generates a Speech12-analogue dataset (contextual + prosodic feature
+//! blocks), runs CrowdRL on each view (C / P / CP) with the paper's
+//! budget ratio, and shows that concatenated features label best —
+//! observation (5) of §VI-B.1.
+
+use crowdrl::prelude::*;
+use crowdrl::sim::SpeechSpec;
+use crowdrl::types::rng;
+
+fn main() -> crowdrl::types::Result<()> {
+    let mut master = rng::seeded(7);
+
+    // A scaled-down Speech12: 300 video clips, 50-d contextual + 150-d
+    // prosodic features, binary excellent/awful labels with ~6%
+    // irreducible grader disagreement.
+    let views = SpeechSpec::speech12().with_num_objects(300).generate(&mut master)?;
+
+    // The paper's speech pool: 3 crowd workers + 2 professional teachers
+    // (experts), costs 1 and 10; budget at the paper's per-object ratio.
+    let budget = 10_000.0 / 2_344.0 * 300.0;
+    println!("budget: {budget:.0} units for 300 clips\n");
+
+    for dataset in [&views.c, &views.p, &views.cp] {
+        let mut rng = rng::seeded(100);
+        let pool = PoolSpec::new(3, 2).generate(2, &mut rng)?;
+        let config = CrowdRlConfig::builder().budget(budget).build()?;
+        let outcome = CrowdRl::new(config).run(dataset, &pool, &mut rng)?;
+        let m = evaluate_labels(dataset, &outcome.labels)?;
+        println!(
+            "{:7}  F1 {:.3}  precision {:.3}  recall {:.3}  (spent {:.0}, {} human / {} model labels)",
+            dataset.name(),
+            m.f1,
+            m.precision,
+            m.recall,
+            outcome.budget_spent,
+            outcome.labels.len() - outcome.enriched_count,
+            outcome.enriched_count,
+        );
+    }
+    println!("\nEach feature family carries partial signal; on average across seeds the");
+    println!("concatenated view (s12cp) rates objects most reliably, which is the");
+    println!("paper's observation (5) in SVI-B.1 (single runs vary — the fig4 harness");
+    println!("averages over repetitions).");
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Every labelling framework must satisfy the same contract on a shared
+//! scenario: respect the budget, produce well-formed outcomes, and land in
+//! a sane quality band. Also checks the paper's headline orderings on a
+//! seed-averaged comparison.
+
+use crowdrl::baselines::{paper_baselines, BaselineParams, CrowdRlStrategy, LabellingStrategy};
+use crowdrl::prelude::*;
+use crowdrl::types::rng::seeded;
+
+fn scenario(seed: u64) -> (Dataset, AnnotatorPool) {
+    let mut rng = seeded(seed);
+    let dataset = DatasetSpec::gaussian("suite", 120, 8, 2)
+        .with_separation(2.2)
+        .with_label_noise(0.04)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(3, 2).generate(2, &mut rng).unwrap();
+    (dataset, pool)
+}
+
+fn all_methods() -> Vec<Box<dyn LabellingStrategy>> {
+    let mut methods = paper_baselines();
+    methods.push(Box::new(CrowdRlStrategy::full()));
+    methods
+}
+
+#[test]
+fn every_framework_satisfies_the_contract() {
+    let (dataset, pool) = scenario(1);
+    let budget = 500.0;
+    let params = BaselineParams::with_budget(budget);
+    for method in all_methods() {
+        let mut rng = seeded(2);
+        let outcome = method.run(&dataset, &pool, &params, &mut rng).unwrap();
+        // Budget is a hard ceiling.
+        assert!(
+            outcome.budget_spent <= budget + 1e-9,
+            "{} overspent: {}",
+            method.name(),
+            outcome.budget_spent
+        );
+        // Outcome shapes are well-formed.
+        assert_eq!(outcome.labels.len(), dataset.len(), "{}", method.name());
+        assert_eq!(outcome.label_states.len(), dataset.len(), "{}", method.name());
+        for (label, state) in outcome.labels.iter().zip(&outcome.label_states) {
+            assert_eq!(*label, state.label(), "{}", method.name());
+        }
+        // Labels are in range.
+        for label in outcome.labels.iter().flatten() {
+            assert!(label.index() < dataset.num_classes(), "{}", method.name());
+        }
+        // Metrics computable and sane.
+        let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
+        assert!(m.accuracy > 0.3, "{} accuracy {}", method.name(), m.accuracy);
+        assert!((0.0..=1.0).contains(&m.coverage), "{}", method.name());
+    }
+}
+
+#[test]
+fn crowdrl_beats_oba_on_noisy_workers() {
+    // The paper's most robust ordering: OBA trusts noisy humans blindly
+    // and performs worst; CrowdRL models them. Averaged over seeds.
+    let mut crowdrl_total = 0.0;
+    let mut oba_total = 0.0;
+    let seeds = [3u64, 4, 5];
+    for &s in &seeds {
+        let (dataset, pool) = scenario(s);
+        let params = BaselineParams::with_budget(500.0);
+        let acc = |method: &dyn LabellingStrategy, run_seed: u64| {
+            let mut rng = seeded(run_seed);
+            let outcome = method.run(&dataset, &pool, &params, &mut rng).unwrap();
+            evaluate_labels(&dataset, &outcome.labels).unwrap().accuracy
+        };
+        crowdrl_total += acc(&CrowdRlStrategy::full(), s + 100);
+        oba_total += acc(&crowdrl::baselines::Oba::default(), s + 100);
+    }
+    let (crowdrl_mean, oba_mean) =
+        (crowdrl_total / seeds.len() as f64, oba_total / seeds.len() as f64);
+    assert!(
+        crowdrl_mean > oba_mean + 0.05,
+        "CrowdRL ({crowdrl_mean:.3}) must clearly beat OBA ({oba_mean:.3})"
+    );
+}
+
+#[test]
+fn frameworks_degrade_gracefully_without_experts() {
+    // A worker-only pool is legal everywhere (IDLE's escalation tier is
+    // simply empty).
+    let mut rng = seeded(6);
+    let dataset = DatasetSpec::gaussian("noexp", 60, 4, 2)
+        .with_separation(2.5)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(4, 0).generate(2, &mut rng).unwrap();
+    let params = BaselineParams::with_budget(250.0);
+    for method in all_methods() {
+        let mut rng = seeded(7);
+        let outcome = method.run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert!(outcome.budget_spent <= 250.0 + 1e-9, "{}", method.name());
+    }
+}
+
+#[test]
+fn frameworks_handle_expert_only_pools() {
+    let mut rng = seeded(8);
+    let dataset = DatasetSpec::gaussian("onlyexp", 40, 4, 2)
+        .with_separation(2.5)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(0, 2).generate(2, &mut rng).unwrap();
+    let params = BaselineParams::with_budget(400.0);
+    for method in all_methods() {
+        let mut rng = seeded(9);
+        let outcome = method.run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert!(outcome.budget_spent <= 400.0 + 1e-9, "{}", method.name());
+        let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
+        // Experts are near-perfect, so labelled objects should be mostly
+        // right — except where a framework's own AI worker (OBA's k-NN)
+        // labels the tail, which this small budget can leave undertrained.
+        if m.coverage > 0.3 {
+            assert!(m.accuracy / m.coverage > 0.5, "{}", method.name());
+        }
+    }
+}

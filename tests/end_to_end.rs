@@ -1,0 +1,155 @@
+//! End-to-end integration tests: the full CrowdRL pipeline through the
+//! facade crate, spanning simulator, inference, RL, and workflow crates.
+
+use crowdrl::core::config::Ablation;
+use crowdrl::prelude::*;
+use crowdrl::types::rng::seeded;
+
+fn scenario(n: usize, separation: f64, seed: u64) -> (Dataset, AnnotatorPool) {
+    let mut rng = seeded(seed);
+    let dataset = DatasetSpec::gaussian("e2e", n, 6, 2)
+        .with_separation(separation)
+        .with_label_noise(0.03)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+    (dataset, pool)
+}
+
+fn accuracy(dataset: &Dataset, outcome: &crowdrl::core::LabellingOutcome) -> f64 {
+    outcome
+        .labels
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| **l == Some(dataset.truth(*i)))
+        .count() as f64
+        / dataset.len() as f64
+}
+
+#[test]
+fn full_pipeline_labels_everything_accurately() {
+    let (dataset, pool) = scenario(150, 3.0, 1);
+    let config = CrowdRlConfig::builder().budget(600.0).build().unwrap();
+    let mut rng = seeded(2);
+    let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+    assert_eq!(outcome.coverage(), 1.0, "every object must end labelled");
+    assert!(outcome.budget_spent <= 600.0 + 1e-9, "budget is a hard ceiling");
+    let acc = accuracy(&dataset, &outcome);
+    assert!(acc > 0.8, "end-to-end accuracy {acc}");
+    let metrics = evaluate_labels(&dataset, &outcome.labels).unwrap();
+    assert!((metrics.accuracy - acc).abs() < 1e-12);
+    assert!(metrics.f1 > 0.75, "F1 {}", metrics.f1);
+}
+
+#[test]
+fn budget_is_never_exceeded_even_when_tiny() {
+    for budget in [0.0, 1.0, 7.0, 33.0] {
+        let (dataset, pool) = scenario(60, 2.5, 3);
+        let config = CrowdRlConfig::builder().budget(budget).build().unwrap();
+        let mut rng = seeded(4);
+        let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+        assert!(
+            outcome.budget_spent <= budget + 1e-9,
+            "spent {} of {budget}",
+            outcome.budget_spent
+        );
+    }
+}
+
+#[test]
+fn cross_trained_policy_holds_up_against_random_policy() {
+    // The paper evaluates CrowdRL with an offline cross-trained Q-network
+    // (§VI-A.4); a from-scratch network inside one short episode has no
+    // time to learn. Cross-train on a donor dataset first, then compare
+    // against the doubly-random ablation (random TS + random TA), averaged
+    // over seeds.
+    use crowdrl::baselines::BaselineParams;
+    use crowdrl::eval::{cross_train, Condition};
+
+    let donor = {
+        let mut rng = seeded(40);
+        let dataset = DatasetSpec::gaussian("donor", 100, 6, 2)
+            .with_separation(2.0)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+        Condition { dataset, pool, params: BaselineParams::with_budget(350.0) }
+    };
+    let base = CrowdRlConfig::builder().budget(450.0).build().unwrap();
+    let params = cross_train(&base, &[donor], 41).unwrap();
+
+    let (dataset, pool) = scenario(150, 2.0, 5);
+    let run = |ablation: Ablation, pretrained: Option<Vec<f32>>, seed: u64| {
+        let mut config = CrowdRlConfig::builder().budget(450.0).build().unwrap();
+        config.ablation = ablation;
+        config.pretrained_dqn = pretrained;
+        let mut rng = seeded(seed);
+        let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+        accuracy(&dataset, &outcome)
+    };
+    let seeds = [11u64, 12, 13];
+    let full: f64 = seeds
+        .iter()
+        .map(|&s| run(Ablation::default(), Some(params.clone()), s))
+        .sum::<f64>()
+        / seeds.len() as f64;
+    let random: f64 = seeds
+        .iter()
+        .map(|&s| {
+            run(
+                Ablation { random_task_selection: true, random_task_assignment: true },
+                None,
+                s,
+            )
+        })
+        .sum::<f64>()
+        / seeds.len() as f64;
+    // Both policies share the budget pacing machinery, so random is a
+    // strong opponent; the learned policy must at minimum hold its own.
+    assert!(
+        full + 0.03 > random,
+        "cross-trained policy ({full:.3}) should not lose clearly to random ({random:.3})"
+    );
+}
+
+#[test]
+fn enrichment_saves_money_on_easy_tasks() {
+    // On a very separable task, the classifier should take over a chunk of
+    // the labelling, leaving budget unspent or labels purchased low.
+    let (dataset, pool) = scenario(200, 4.5, 6);
+    let config = CrowdRlConfig::builder().budget(900.0).build().unwrap();
+    let mut rng = seeded(7);
+    let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+    assert!(
+        outcome.enriched_count > 20,
+        "classifier should label a meaningful share, got {}",
+        outcome.enriched_count
+    );
+    let acc = accuracy(&dataset, &outcome);
+    assert!(acc > 0.85, "easy-task accuracy {acc}");
+}
+
+#[test]
+fn outcome_bookkeeping_is_consistent() {
+    let (dataset, pool) = scenario(80, 2.5, 8);
+    let config = CrowdRlConfig::builder().budget(300.0).build().unwrap();
+    let mut rng = seeded(9);
+    let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+    assert_eq!(outcome.labels.len(), dataset.len());
+    assert_eq!(outcome.label_states.len(), dataset.len());
+    // Label states agree with labels.
+    for (label, state) in outcome.labels.iter().zip(&outcome.label_states) {
+        assert_eq!(*label, state.label());
+    }
+    // Enriched count matches the states.
+    let enriched = outcome
+        .label_states
+        .iter()
+        .filter(|s| matches!(s, LabelState::Enriched(_)))
+        .count();
+    assert_eq!(enriched, outcome.enriched_count);
+    // Trace iterations are sequential.
+    for (i, s) in outcome.trace.iter().enumerate() {
+        assert_eq!(s.iteration, i);
+    }
+}

@@ -1,0 +1,182 @@
+//! Cross-crate inference tests: platform-generated answers flowing into
+//! each truth-inference model, checking the paper's qualitative claims.
+
+use crowdrl::inference::{
+    ClassifierAsAnnotator, DawidSkene, InferenceResult, JointInference, MajorityVote, Pm,
+};
+use crowdrl::nn::{ClassifierConfig, SoftmaxClassifier};
+use crowdrl::prelude::*;
+use crowdrl::sim::Platform;
+use crowdrl::types::rng::seeded;
+use crowdrl::types::{Budget, ObjectId};
+
+/// Ask every annotator about every object through the platform.
+fn full_panel(
+    dataset: &Dataset,
+    pool: &AnnotatorPool,
+    seed: u64,
+) -> crowdrl::types::AnswerSet {
+    let mut platform = Platform::new(dataset, pool, Budget::new(f64::MAX / 2.0).unwrap());
+    let mut rng = seeded(seed);
+    for i in 0..dataset.len() {
+        for p in pool.profiles() {
+            platform.ask(ObjectId(i), p.id, &mut rng).unwrap();
+        }
+    }
+    platform.answers().clone()
+}
+
+fn accuracy(result: &InferenceResult, dataset: &Dataset) -> f64 {
+    (0..dataset.len())
+        .filter(|&i| result.label(ObjectId(i)) == Some(dataset.truth(i)))
+        .count() as f64
+        / dataset.len() as f64
+}
+
+#[test]
+fn all_models_agree_on_unanimous_panels() {
+    // Perfect annotators: every model must recover the truth exactly.
+    let mut rng = seeded(1);
+    let dataset = DatasetSpec::gaussian("u", 40, 4, 2).generate(&mut rng).unwrap();
+    let pool = PoolSpec::new(0, 3)
+        .with_expert_accuracy(1.0, 1.0)
+        .generate(2, &mut rng)
+        .unwrap();
+    let answers = full_panel(&dataset, &pool, 2);
+    let mv = MajorityVote.infer(&answers, 2, 3).unwrap();
+    let ds = DawidSkene::default().infer(&answers, 2, 3).unwrap();
+    let pm = Pm::default().infer(&answers, 2, 3).unwrap();
+    assert_eq!(accuracy(&mv, &dataset), 1.0);
+    assert_eq!(accuracy(&ds, &dataset), 1.0);
+    assert_eq!(accuracy(&pm, &dataset), 1.0);
+}
+
+#[test]
+fn joint_model_beats_annotator_only_models_with_heterogeneous_panels() {
+    // The paper's core inference claim (§V, Fig. 3): coupling the
+    // classifier with annotators beats aggregating annotators alone.
+    // Averaged over seeds to be robust.
+    let mut joint_total = 0.0;
+    let mut ds_total = 0.0;
+    let seeds = [10u64, 11, 12];
+    for &s in &seeds {
+        let mut rng = seeded(s);
+        let dataset = DatasetSpec::gaussian("h", 250, 10, 2)
+            .with_separation(2.5)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+        let answers = full_panel(&dataset, &pool, s + 50);
+        let ds = DawidSkene::default().infer(&answers, 2, pool.len()).unwrap();
+        let mut clf = SoftmaxClassifier::new(
+            ClassifierConfig::default(),
+            dataset.dim(),
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        let joint = JointInference::default()
+            .infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng)
+            .unwrap();
+        joint_total += accuracy(&joint, &dataset);
+        ds_total += accuracy(&ds, &dataset);
+    }
+    let n = seeds.len() as f64;
+    assert!(
+        joint_total / n >= ds_total / n - 0.01,
+        "joint ({:.3}) must not lose to DS ({:.3})",
+        joint_total / n,
+        ds_total / n
+    );
+}
+
+#[test]
+fn joint_model_beats_classifier_as_annotator() {
+    // The naive composition (classifier as one more annotator) carries the
+    // classifier's training bias twice; the joint model does not.
+    let mut joint_total = 0.0;
+    let mut naive_total = 0.0;
+    let seeds = [20u64, 21, 22];
+    for &s in &seeds {
+        let mut rng = seeded(s);
+        let dataset = DatasetSpec::gaussian("n", 200, 10, 2)
+            .with_separation(2.0)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+        let answers = full_panel(&dataset, &pool, s + 70);
+
+        let mut clf_joint = SoftmaxClassifier::new(
+            ClassifierConfig::default(),
+            dataset.dim(),
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        let joint = JointInference::default()
+            .infer(&dataset, &answers, pool.profiles(), &mut clf_joint, &mut rng)
+            .unwrap();
+        joint_total += accuracy(&joint, &dataset);
+
+        // Naive: train the classifier on majority-vote labels, then treat
+        // it as an extra annotator in DS.
+        let mv = MajorityVote.infer(&answers, 2, pool.len()).unwrap();
+        let mut x = crowdrl::linalg::Matrix::zeros(dataset.len(), dataset.dim());
+        let mut y = Vec::with_capacity(dataset.len());
+        for i in 0..dataset.len() {
+            x.row_mut(i).copy_from_slice(dataset.features(i));
+            y.push(mv.label(ObjectId(i)).unwrap());
+        }
+        let mut clf_naive = SoftmaxClassifier::new(
+            ClassifierConfig::default(),
+            dataset.dim(),
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        clf_naive.fit_hard(&x, &y, &mut rng).unwrap();
+        let naive = ClassifierAsAnnotator::default()
+            .infer(&dataset, &answers, pool.len(), &clf_naive)
+            .unwrap();
+        naive_total += accuracy(&naive, &dataset);
+    }
+    let n = seeds.len() as f64;
+    assert!(
+        joint_total / n >= naive_total / n - 0.01,
+        "joint ({:.3}) must not lose to classifier-as-annotator ({:.3})",
+        joint_total / n,
+        naive_total / n
+    );
+}
+
+#[test]
+fn expert_bounding_protects_experts_from_collusive_workers() {
+    // Three identical wrong-leaning workers can outvote one expert under
+    // MV; the joint model's expert bounding keeps the expert's influence.
+    let mut rng = seeded(30);
+    let dataset = DatasetSpec::gaussian("c", 120, 6, 2)
+        .with_separation(2.0)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(3, 1)
+        .with_worker_accuracy(0.55, 0.60)
+        .with_expert_accuracy(0.99, 1.0)
+        .generate(2, &mut rng)
+        .unwrap();
+    let answers = full_panel(&dataset, &pool, 31);
+    let mv = MajorityVote.infer(&answers, 2, pool.len()).unwrap();
+    let mut clf =
+        SoftmaxClassifier::new(ClassifierConfig::default(), dataset.dim(), 2, &mut rng).unwrap();
+    let joint = JointInference::default()
+        .infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng)
+        .unwrap();
+    let mv_acc = accuracy(&mv, &dataset);
+    let joint_acc = accuracy(&joint, &dataset);
+    assert!(
+        joint_acc > mv_acc + 0.05,
+        "joint ({joint_acc:.3}) must exploit the bounded expert over MV ({mv_acc:.3})"
+    );
+    // And the expert's estimated quality stays at the bound.
+    let expert_quality = joint.qualities()[3];
+    assert!(expert_quality >= 0.95 - 1e-9, "expert quality {expert_quality}");
+}

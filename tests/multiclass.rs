@@ -1,0 +1,100 @@
+//! Multi-class labelling: the data model is |C|-generic throughout
+//! (`ConfusionMatrix` is |C|×|C|, the classifier head is softmax over |C|),
+//! so the full pipeline must work beyond the paper's binary datasets.
+
+use crowdrl::baselines::{paper_baselines, BaselineParams};
+use crowdrl::inference::{DawidSkene, MajorityVote};
+use crowdrl::prelude::*;
+use crowdrl::types::rng::seeded;
+use crowdrl::types::{AnnotatorId, ObjectId};
+
+fn scenario(k: usize, seed: u64) -> (Dataset, AnnotatorPool) {
+    let mut rng = seeded(seed);
+    let dataset = DatasetSpec::gaussian("mc", 120, 10, k)
+        .with_separation(3.0)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(3, 1).generate(k, &mut rng).unwrap();
+    (dataset, pool)
+}
+
+#[test]
+fn crowdrl_labels_a_four_class_dataset() {
+    let (dataset, pool) = scenario(4, 1);
+    let config = CrowdRlConfig::builder().budget(500.0).build().unwrap();
+    let mut rng = seeded(2);
+    let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+    assert!(outcome.budget_spent <= 500.0 + 1e-9);
+    let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
+    // Chance is 0.25; the pipeline must do far better.
+    assert!(m.accuracy > 0.55, "4-class accuracy {}", m.accuracy);
+    assert!(m.macro_f1 > 0.5, "macro F1 {}", m.macro_f1);
+    // All labels in range.
+    for l in outcome.labels.iter().flatten() {
+        assert!(l.index() < 4);
+    }
+}
+
+#[test]
+fn inference_models_handle_three_classes() {
+    let (dataset, pool) = scenario(3, 3);
+    let mut rng = seeded(4);
+    let mut answers = AnswerSet::new(dataset.len());
+    for i in 0..dataset.len() {
+        for p in pool.profiles() {
+            let label = pool.sample_answer(p.id, dataset.truth(i), &mut rng);
+            answers
+                .record(Answer { object: ObjectId(i), annotator: p.id, label })
+                .unwrap();
+        }
+    }
+    let mv = MajorityVote.infer(&answers, 3, pool.len()).unwrap();
+    let ds = DawidSkene::default().infer(&answers, 3, pool.len()).unwrap();
+    for r in [&mv, &ds] {
+        assert!(r.validate(3, 1e-6));
+        let acc = (0..dataset.len())
+            .filter(|&i| r.label(ObjectId(i)) == Some(dataset.truth(i)))
+            .count() as f64
+            / dataset.len() as f64;
+        assert!(acc > 0.6, "3-class inference accuracy {acc}");
+    }
+    // Estimated confusion matrices are 3x3 row-stochastic.
+    for m in &ds.confusions {
+        assert_eq!(m.num_classes(), 3);
+        m.validate(1e-6).unwrap();
+    }
+    // Expert quality should be recovered as the highest.
+    let q = ds.qualities();
+    let expert = pool.experts().next().unwrap();
+    let best = crowdrl::types::prob::argmax(&q).unwrap();
+    assert_eq!(AnnotatorId(best), expert, "qualities {q:?}");
+}
+
+#[test]
+fn baselines_complete_on_multiclass() {
+    let (dataset, pool) = scenario(3, 5);
+    let params = BaselineParams::with_budget(400.0);
+    for strategy in paper_baselines() {
+        let mut rng = seeded(6);
+        let outcome = strategy.run(&dataset, &pool, &params, &mut rng).unwrap();
+        assert!(outcome.budget_spent <= 400.0 + 1e-9, "{}", strategy.name());
+        let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
+        assert!(m.accuracy > 0.33, "{} accuracy {}", strategy.name(), m.accuracy);
+    }
+}
+
+#[test]
+fn unbalanced_classes_are_handled() {
+    let mut rng = seeded(7);
+    let dataset = DatasetSpec::gaussian("imb", 150, 8, 2)
+        .with_separation(3.0)
+        .with_class_balance(vec![0.85, 0.15])
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+    let config = CrowdRlConfig::builder().budget(450.0).build().unwrap();
+    let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+    let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
+    // Must beat the majority-class guess meaningfully on macro metrics.
+    assert!(m.macro_f1 > 0.6, "imbalanced macro F1 {}", m.macro_f1);
+}

@@ -1,0 +1,137 @@
+//! Fidelity tests against the paper's worked example (Figure 1,
+//! Tables II–V, Examples 1–3): eight videos, three workers, two experts,
+//! budget 30, worker cost 1, expert cost 5.
+
+use crowdrl::inference::MajorityVote;
+use crowdrl::prelude::*;
+use crowdrl::rl::topk;
+use crowdrl::types::rng::seeded;
+use crowdrl::types::{AnnotatorId, Budget, ObjectId};
+
+/// The pool of Table II: workers w1–w3 (cost 1, qualities 0.65/0.62/0.60)
+/// and experts w4–w5 (cost 5, qualities 0.985/1.0).
+fn table2_pool() -> AnnotatorPool {
+    use crowdrl::types::{AnnotatorKind, AnnotatorProfile, ConfusionMatrix};
+    let profiles = vec![
+        AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, 1.0).unwrap(),
+        AnnotatorProfile::new(AnnotatorId(1), AnnotatorKind::Worker, 1.0).unwrap(),
+        AnnotatorProfile::new(AnnotatorId(2), AnnotatorKind::Worker, 1.0).unwrap(),
+        AnnotatorProfile::new(AnnotatorId(3), AnnotatorKind::Expert, 5.0).unwrap(),
+        AnnotatorProfile::new(AnnotatorId(4), AnnotatorKind::Expert, 5.0).unwrap(),
+    ];
+    let latent = vec![
+        // Table IV gives w1's confusion matrix exactly.
+        ConfusionMatrix::from_rows(&[vec![0.60, 0.40], vec![0.30, 0.70]]).unwrap(),
+        ConfusionMatrix::with_accuracy(2, 0.62).unwrap(),
+        ConfusionMatrix::with_accuracy(2, 0.60).unwrap(),
+        // Table V gives w4's matrix exactly.
+        ConfusionMatrix::from_rows(&[vec![0.98, 0.02], vec![0.01, 0.99]]).unwrap(),
+        ConfusionMatrix::with_accuracy(2, 1.0).unwrap(),
+    ];
+    AnnotatorPool::from_parts(profiles, latent).unwrap()
+}
+
+#[test]
+fn table2_qualities_match_the_paper() {
+    let pool = table2_pool();
+    // §III-B: "The estimated quality of w4 is (0.98+0.99)/2 = 0.985".
+    let w4 = pool.latent_confusion(AnnotatorId(3)).quality();
+    assert!((w4 - 0.985).abs() < 1e-12);
+    let w5 = pool.latent_confusion(AnnotatorId(4)).quality();
+    assert!((w5 - 1.0).abs() < 1e-12);
+    assert_eq!(pool.workers().count(), 3);
+    assert_eq!(pool.experts().count(), 2);
+    assert_eq!(pool.min_cost(), 1.0);
+}
+
+#[test]
+fn example1_majority_voting_on_o1() {
+    // Example 1: w1, w3, w4 label o1 as {positive, negative, positive};
+    // majority voting infers positive.
+    let mut answers = AnswerSet::new(8);
+    for (annotator, label) in [(0usize, 0usize), (2, 1), (3, 0)] {
+        answers
+            .record(Answer {
+                object: ObjectId(0),
+                annotator: AnnotatorId(annotator),
+                label: ClassId(label),
+            })
+            .unwrap();
+    }
+    let result = MajorityVote.infer(&answers, 2, 5).unwrap();
+    assert_eq!(result.label(ObjectId(0)), Some(ClassId(0)), "positive wins 2-1");
+}
+
+#[test]
+fn example2_costs_add_up() {
+    // Example 2: o8 assigned to w1, w3 (workers) and w5 (expert):
+    // r_cost = 1 + 1 + 5 = 7.
+    let pool = table2_pool();
+    let cost: f64 = [0usize, 2, 4]
+        .iter()
+        .map(|&i| pool.profile(AnnotatorId(i)).cost)
+        .sum();
+    assert_eq!(cost, 7.0);
+}
+
+#[test]
+fn example3_table3_topk_selects_o8() {
+    // Table III Q-values (columns o1..o8, rows w1..w5; 'x' = labelled
+    // objects masked at -inf). The paper selects o8 (top-3 sum 9) and
+    // assigns it to w1, w3, w5.
+    let ninf = f64::NEG_INFINITY;
+    let q_by_object: Vec<Vec<f64>> = vec![
+        vec![ninf; 5],
+        vec![3.0, 1.0, 1.0, 2.0, 2.0],
+        vec![1.0, 1.0, 1.0, 2.0, 4.0],
+        vec![ninf; 5],
+        vec![ninf; 5],
+        vec![1.0, 2.0, 1.0, 1.0, 2.0],
+        vec![3.0, 2.0, 0.0, 1.0, 1.0],
+        vec![4.0, 1.0, 3.0, 0.0, 2.0],
+    ];
+    let sums: Vec<f64> = q_by_object.iter().map(|row| topk::top_k_sum(row, 3)).collect();
+    let winner = crowdrl::types::prob::argmax(&sums).unwrap();
+    assert_eq!(winner, 7, "o8 has the largest top-3 sum");
+    assert_eq!(sums[7], 9.0);
+    let chosen = topk::top_k_indices(&q_by_object[7], 3);
+    assert_eq!(chosen, vec![0, 2, 4], "w1, w3, w5 as in the paper");
+}
+
+#[test]
+fn figure1_workflow_labels_8_videos_within_budget_30() {
+    // The running example end-to-end: 8 videos, budget 30. Features are
+    // fluency/volume as in Figure 1; positives cluster high, negatives low.
+    let mut rng = seeded(1);
+    let dataset = DatasetSpec::gaussian("videos", 8, 2, 2)
+        .with_separation(4.0)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = table2_pool();
+    let config = CrowdRlConfig::builder()
+        .budget(30.0)
+        .initial_ratio(0.25) // Example 2: α = 0.25 → 2 objects
+        .assignment_k(3)
+        .build()
+        .unwrap();
+    let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+    assert!(outcome.budget_spent <= 30.0 + 1e-9, "B = 30 is a hard ceiling");
+    assert_eq!(outcome.coverage(), 1.0, "all 8 videos end labelled");
+    let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
+    assert!(m.accuracy >= 0.5, "accuracy {}", m.accuracy);
+}
+
+#[test]
+fn platform_charges_table2_prices() {
+    let mut rng = seeded(2);
+    let dataset = DatasetSpec::gaussian("videos", 8, 2, 2).generate(&mut rng).unwrap();
+    let pool = table2_pool();
+    let mut platform =
+        crowdrl::sim::Platform::new(&dataset, &pool, Budget::new(30.0).unwrap());
+    // Example 2's second-iteration panel: w1, w3, w5 on o6 → spend 7.
+    platform.ask(ObjectId(5), AnnotatorId(0), &mut rng).unwrap();
+    platform.ask(ObjectId(5), AnnotatorId(2), &mut rng).unwrap();
+    platform.ask(ObjectId(5), AnnotatorId(4), &mut rng).unwrap();
+    assert_eq!(platform.budget().spent(), 7.0);
+    assert_eq!(platform.budget().remaining(), 23.0);
+}

@@ -1,0 +1,77 @@
+//! Property-based fuzzing of the full workflow: across randomized (but
+//! valid) configurations, pools, and datasets, the run must always respect
+//! its invariants — budget ceiling, label-range validity, bookkeeping
+//! consistency, and termination.
+
+use crowdrl::prelude::*;
+use crowdrl::types::rng::seeded;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a full (small) labelling run
+        max_shrink_iters: 32,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn workflow_invariants_hold_for_any_valid_config(
+        n in 12usize..60,
+        budget in 0.0f64..400.0,
+        alpha in 0.0f64..0.3,
+        k in 1usize..5,
+        batch in 1usize..10,
+        workers in 1usize..5,
+        experts in 0usize..3,
+        separation in 0.2f64..4.0,
+        margin in 0.1f64..0.95,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = seeded(seed);
+        let dataset = DatasetSpec::gaussian("prop", n, 5, 2)
+            .with_separation(separation)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(workers, experts).generate(2, &mut rng).unwrap();
+        let config = CrowdRlConfig::builder()
+            .budget(budget)
+            .initial_ratio(alpha)
+            .assignment_k(k)
+            .batch_per_iter(batch)
+            .enrichment_margin(margin)
+            .candidate_cap(32)
+            .build()
+            .unwrap();
+        let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
+
+        // Budget is a hard ceiling.
+        prop_assert!(outcome.budget_spent <= budget + 1e-9,
+            "spent {} of {budget}", outcome.budget_spent);
+        // Shapes and label ranges.
+        prop_assert_eq!(outcome.labels.len(), n);
+        prop_assert_eq!(outcome.label_states.len(), n);
+        for (label, state) in outcome.labels.iter().zip(&outcome.label_states) {
+            prop_assert_eq!(*label, state.label());
+            if let Some(c) = label {
+                prop_assert!(c.index() < 2);
+            }
+        }
+        // Bookkeeping consistency.
+        let enriched = outcome
+            .label_states
+            .iter()
+            .filter(|s| matches!(s, LabelState::Enriched(_)))
+            .count();
+        prop_assert_eq!(enriched, outcome.enriched_count);
+        prop_assert_eq!(outcome.trace.len(), outcome.iterations);
+        for s in &outcome.trace {
+            prop_assert!(s.spend >= 0.0);
+            prop_assert!(s.reward.is_finite());
+        }
+        // Metrics never panic or leave range.
+        let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
+        for v in [m.accuracy, m.precision, m.recall, m.f1, m.coverage] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
