@@ -71,7 +71,10 @@ impl CrowdRlStrategy {
     /// The full CrowdRL framework under default configuration.
     pub fn full() -> Self {
         Self {
-            configure: CrowdRlConfig::builder().budget(1.0).build().expect("default config"),
+            configure: CrowdRlConfig::builder()
+                .budget(1.0)
+                .build()
+                .expect("default config"),
             label: "CrowdRL",
         }
     }
@@ -119,8 +122,10 @@ pub fn initial_sample(
     let pool_len = platform.pool().len();
     for obj in objects {
         let idx = sample_indices(rng, pool_len, k);
-        let annotators: Vec<_> =
-            idx.into_iter().map(|i| platform.pool().profiles()[i].id).collect();
+        let annotators: Vec<_> = idx
+            .into_iter()
+            .map(|i| platform.pool().profiles()[i].id)
+            .collect();
         platform.ask_many(ObjectId(obj), &annotators, rng);
     }
 }
@@ -143,8 +148,7 @@ pub fn outcome_from(
     iterations: usize,
 ) -> LabellingOutcome {
     let n = labelled.len();
-    let label_states: Vec<LabelState> =
-        (0..n).map(|i| labelled.state(ObjectId(i))).collect();
+    let label_states: Vec<LabelState> = (0..n).map(|i| labelled.state(ObjectId(i))).collect();
     LabellingOutcome {
         labels: labelled.to_labels(),
         label_states: label_states.clone(),
@@ -186,7 +190,9 @@ mod tests {
     #[test]
     fn initial_sample_asks_alpha_fraction() {
         let mut rng = seeded(1);
-        let dataset = DatasetSpec::gaussian("t", 100, 2, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 100, 2, 2)
+            .generate(&mut rng)
+            .unwrap();
         let pool = PoolSpec::new(4, 0).generate(2, &mut rng).unwrap();
         let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
         initial_sample(&mut platform, 0.1, 3, &mut rng);

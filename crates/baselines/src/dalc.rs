@@ -37,7 +37,10 @@ pub struct Dalc {
 impl Default for Dalc {
     fn default() -> Self {
         Self {
-            classifier: ClassifierConfig { epochs: 10, ..ClassifierConfig::default() },
+            classifier: ClassifierConfig {
+                epochs: 10,
+                ..ClassifierConfig::default()
+            },
         }
     }
 }
@@ -61,7 +64,12 @@ impl LabellingStrategy for Dalc {
         let mut classifier =
             SoftmaxClassifier::new(self.classifier.clone(), dataset.dim(), k_classes, rng)?;
 
-        initial_sample(&mut platform, params.initial_ratio, params.assignment_k, rng);
+        initial_sample(
+            &mut platform,
+            params.initial_ratio,
+            params.assignment_k,
+            rng,
+        );
         let mut result = MajorityVote.infer(platform.answers(), k_classes, pool.len())?;
         apply_labels(&result, &mut labelled)?;
         retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
@@ -100,8 +108,7 @@ impl LabellingStrategy for Dalc {
                     .profiles()
                     .iter()
                     .map(|p| {
-                        if platform.answers().has_answered(obj, p.id)
-                            || !platform.can_afford(p.id)
+                        if platform.answers().has_answered(obj, p.id) || !platform.can_afford(p.id)
                         {
                             f64::NEG_INFINITY
                         } else {
@@ -165,7 +172,9 @@ mod tests {
         let (dataset, pool) = setup(50, 1);
         let mut rng = seeded(2);
         let params = BaselineParams::with_budget(300.0);
-        let outcome = Dalc::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Dalc::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert_eq!(outcome.coverage(), 1.0);
         assert!(outcome.budget_spent <= 300.0 + 1e-9);
         let acc = outcome
@@ -185,9 +194,13 @@ mod tests {
         let (dataset, pool) = setup(40, 3);
         let params = BaselineParams::with_budget(250.0);
         let mut rng = seeded(4);
-        let dalc = Dalc::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let dalc = Dalc::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         let mut rng = seeded(4);
-        let dlta = crate::dlta::Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let dlta = crate::dlta::Dlta::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         let price = |o: &LabellingOutcome| o.budget_spent / o.total_answers.max(1) as f64;
         assert!(
             price(&dalc) > price(&dlta),
@@ -204,7 +217,9 @@ mod tests {
         let (dataset, pool) = setup(60, 5);
         let mut rng = seeded(6);
         let params = BaselineParams::with_budget(100.0);
-        let outcome = Dalc::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Dalc::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert!(outcome.budget_spent <= 100.0 + 1e-9);
         // Model fallback gives full coverage once training happened.
         assert_eq!(outcome.coverage(), 1.0);

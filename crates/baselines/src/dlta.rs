@@ -30,13 +30,11 @@ use crowdrl_types::{Budget, Dataset, LabelledSet, ObjectId, Result};
 use rand::RngCore;
 
 /// The DLTA baseline.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Dlta {
     /// EM configuration for the inference step.
     pub inference: DawidSkene,
 }
-
 
 impl LabellingStrategy for Dlta {
     fn name(&self) -> &'static str {
@@ -55,8 +53,15 @@ impl LabellingStrategy for Dlta {
         let mut platform = Platform::new(dataset, pool, Budget::new(params.budget)?);
         let mut labelled = LabelledSet::new(n);
 
-        initial_sample(&mut platform, params.initial_ratio, params.assignment_k, rng);
-        let mut result = self.inference.infer(platform.answers(), k_classes, pool.len())?;
+        initial_sample(
+            &mut platform,
+            params.initial_ratio,
+            params.assignment_k,
+            rng,
+        );
+        let mut result = self
+            .inference
+            .infer(platform.answers(), k_classes, pool.len())?;
         apply_labels(&result, &mut labelled)?;
 
         // Quality-per-cost annotator ranking, refreshed each iteration.
@@ -99,8 +104,7 @@ impl LabellingStrategy for Dlta {
                     .profiles()
                     .iter()
                     .filter(|p| {
-                        !platform.answers().has_answered(obj, p.id)
-                            && platform.can_afford(p.id)
+                        !platform.answers().has_answered(obj, p.id) && platform.can_afford(p.id)
                     })
                     .collect();
                 fresh.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
@@ -117,7 +121,9 @@ impl LabellingStrategy for Dlta {
             if bought == 0 {
                 break;
             }
-            result = self.inference.infer(platform.answers(), k_classes, pool.len())?;
+            result = self
+                .inference
+                .infer(platform.answers(), k_classes, pool.len())?;
             apply_labels(&result, &mut labelled)?;
         }
 
@@ -146,7 +152,9 @@ mod tests {
         let (dataset, pool) = setup(30, 1);
         let mut rng = seeded(2);
         let params = BaselineParams::with_budget(1000.0);
-        let outcome = Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Dlta::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert!(outcome.coverage() > 0.9, "coverage {}", outcome.coverage());
         assert!(outcome.budget_spent <= 1000.0 + 1e-9);
         let acc = outcome
@@ -164,7 +172,9 @@ mod tests {
         let (dataset, pool) = setup(50, 3);
         let mut rng = seeded(4);
         let params = BaselineParams::with_budget(20.0);
-        let outcome = Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Dlta::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert!(outcome.coverage() < 1.0);
         assert!(outcome.budget_spent <= 20.0 + 1e-9);
         // No classifier means no enrichment, ever.
@@ -176,7 +186,9 @@ mod tests {
         let (dataset, pool) = setup(20, 5);
         let mut rng = seeded(6);
         let params = BaselineParams::with_budget(150.0);
-        let outcome = Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Dlta::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         // With 4 workers at cost 1, the cheapest tier covers k = 3, so the
         // expert (cost 10) is almost never drawn.
         let avg_price = outcome.budget_spent / outcome.total_answers.max(1) as f64;
@@ -189,7 +201,9 @@ mod tests {
         let mut rng = seeded(8);
         // Huge budget, tiny dataset: must terminate by certainty, not budget.
         let params = BaselineParams::with_budget(1e6);
-        let outcome = Dlta::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Dlta::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert!(outcome.budget_spent < 1e6);
     }
 }

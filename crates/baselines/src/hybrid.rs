@@ -14,7 +14,9 @@
 //! edge over it isolates the value of *unifying* TS+TA and of the joint
 //! inference model.
 
-use crate::common::{apply_labels, initial_sample, outcome_from, BaselineParams, LabellingStrategy};
+use crate::common::{
+    apply_labels, initial_sample, outcome_from, BaselineParams, LabellingStrategy,
+};
 use crowdrl_core::agent::SelectionAgent;
 use crowdrl_core::classifier_util::{retrain_on_labelled, training_data};
 use crowdrl_core::config::{Ablation, Exploration};
@@ -47,7 +49,10 @@ impl Default for Hybrid {
     fn default() -> Self {
         Self {
             bootstrap_bags: 4,
-            classifier: ClassifierConfig { epochs: 8, ..ClassifierConfig::default() },
+            classifier: ClassifierConfig {
+                epochs: 8,
+                ..ClassifierConfig::default()
+            },
             enrichment_margin: 0.3,
             dqn: DqnConfig::default(),
         }
@@ -88,8 +93,7 @@ impl Hybrid {
             if by.iter().all(|&c| c == first) {
                 continue;
             }
-            let mut clf =
-                SoftmaxClassifier::new(self.classifier.clone(), dataset.dim(), k, rng)?;
+            let mut clf = SoftmaxClassifier::new(self.classifier.clone(), dataset.dim(), k, rng)?;
             clf.fit_hard(&bx, &by, rng)?;
             let mut preds = Vec::with_capacity(objects.len());
             let mut confs = Vec::with_capacity(objects.len());
@@ -147,11 +151,19 @@ impl LabellingStrategy for Hybrid {
             rng,
         )?;
         let pm = Pm::default();
-        let max_cost = pool.profiles().iter().map(|p| p.cost).fold(0.0f64, f64::max);
-        let max_iter_spend =
-            params.batch_per_iter as f64 * params.assignment_k as f64 * max_cost;
+        let max_cost = pool
+            .profiles()
+            .iter()
+            .map(|p| p.cost)
+            .fold(0.0f64, f64::max);
+        let max_iter_spend = params.batch_per_iter as f64 * params.assignment_k as f64 * max_cost;
 
-        initial_sample(&mut platform, params.initial_ratio, params.assignment_k, rng);
+        initial_sample(
+            &mut platform,
+            params.initial_ratio,
+            params.assignment_k,
+            rng,
+        );
         let mut result = pm.infer(platform.answers(), k_classes, pool.len())?;
         apply_labels(&result, &mut labelled)?;
         retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
@@ -230,8 +242,14 @@ impl LabellingStrategy for Hybrid {
             result = pm.infer(platform.answers(), k_classes, pool.len())?;
             apply_labels(&result, &mut labelled)?;
             retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
-            let enriched =
-                enrich(dataset, &classifier, &mut labelled, self.enrichment_margin, Some(16))?.len();
+            let enriched = enrich(
+                dataset,
+                &classifier,
+                &mut labelled,
+                self.enrichment_margin,
+                Some(16),
+            )?
+            .len();
 
             // Learn assignment values (same reward shape as CrowdRL).
             let _ = (spend, max_iter_spend);
@@ -288,7 +306,9 @@ mod tests {
         let (dataset, pool) = setup(50, 1);
         let mut rng = seeded(2);
         let params = BaselineParams::with_budget(250.0);
-        let outcome = Hybrid::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Hybrid::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert_eq!(outcome.coverage(), 1.0);
         assert!(outcome.budget_spent <= 250.0 + 1e-9);
         let acc = outcome
@@ -312,7 +332,10 @@ mod tests {
         let mut labelled = LabelledSet::new(100);
         for i in 0..60 {
             labelled
-                .set(ObjectId(i), crowdrl_types::LabelState::Inferred(dataset.truth(i)))
+                .set(
+                    ObjectId(i),
+                    crowdrl_types::LabelState::Inferred(dataset.truth(i)),
+                )
                 .unwrap();
         }
         let hybrid = Hybrid::default();
@@ -328,7 +351,9 @@ mod tests {
     #[test]
     fn untrained_state_gives_uniform_uncertainty() {
         let mut rng = seeded(4);
-        let dataset = DatasetSpec::gaussian("t", 10, 2, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 10, 2, 2)
+            .generate(&mut rng)
+            .unwrap();
         let labelled = LabelledSet::new(10);
         let hybrid = Hybrid::default();
         let objs: Vec<ObjectId> = (0..5).map(ObjectId).collect();
@@ -343,7 +368,9 @@ mod tests {
         let (dataset, pool) = setup(60, 5);
         let mut rng = seeded(6);
         let params = BaselineParams::with_budget(25.0);
-        let outcome = Hybrid::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Hybrid::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert!(outcome.budget_spent <= 25.0 + 1e-9);
     }
 }

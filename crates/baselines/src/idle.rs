@@ -77,13 +77,19 @@ impl LabellingStrategy for Idle {
                 let obj = ObjectId(obj_idx);
                 // Level 1 goes to the crowd tier; the pick within the tier
                 // is uniform-random (IDLE's weakness per the paper).
-                let tier = if workers.is_empty() { &experts } else { &workers };
+                let tier = if workers.is_empty() {
+                    &experts
+                } else {
+                    &workers
+                };
                 let chosen = sample_indices(rng, tier.len(), params.assignment_k);
                 let annotators: Vec<_> = chosen.into_iter().map(|i| tier[i]).collect();
                 platform.ask_many(obj, &annotators, rng);
             }
         }
-        let mut result = self.inference.infer(platform.answers(), k_classes, pool.len())?;
+        let mut result = self
+            .inference
+            .infer(platform.answers(), k_classes, pool.len())?;
         apply_labels(&result, &mut labelled)?;
 
         // Level 2: escalate ambiguous objects to experts.
@@ -100,7 +106,9 @@ impl LabellingStrategy for Idle {
                 let annotators: Vec<_> = chosen.into_iter().map(|i| experts[i]).collect();
                 platform.ask_many(obj, &annotators, rng);
             }
-            result = self.inference.infer(platform.answers(), k_classes, pool.len())?;
+            result = self
+                .inference
+                .infer(platform.answers(), k_classes, pool.len())?;
             apply_labels(&result, &mut labelled)?;
         }
 
@@ -123,7 +131,9 @@ mod tests {
 
     fn setup(n: usize, seed: u64) -> (Dataset, AnnotatorPool) {
         let mut rng = seeded(seed);
-        let dataset = DatasetSpec::gaussian("t", n, 3, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", n, 3, 2)
+            .generate(&mut rng)
+            .unwrap();
         let pool = PoolSpec::new(4, 1)
             .with_worker_accuracy(0.65, 0.85)
             .generate(2, &mut rng)
@@ -136,7 +146,9 @@ mod tests {
         let (dataset, pool) = setup(100, 1);
         let mut rng = seeded(2);
         let params = BaselineParams::with_budget(1500.0);
-        let outcome = Idle::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Idle::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert!(outcome.coverage() > 0.8, "coverage {}", outcome.coverage());
         let acc = outcome
             .labels
@@ -170,7 +182,10 @@ mod tests {
         let mut rng = seeded(6);
         let params = BaselineParams::with_budget(400.0);
         // Force escalation by requiring high crowd confidence.
-        let idle = Idle { crowd_confidence: 0.95, ..Default::default() };
+        let idle = Idle {
+            crowd_confidence: 0.95,
+            ..Default::default()
+        };
         let outcome = idle.run(&dataset, &pool, &params, &mut rng).unwrap();
         // Expert answers cost 10: if any escalation happened, spend exceeds
         // what workers alone (cost 1 each) could account for.
@@ -183,7 +198,9 @@ mod tests {
         let (dataset, pool) = setup(30, 7);
         let mut rng = seeded(8);
         let params = BaselineParams::with_budget(300.0);
-        let outcome = Idle::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Idle::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert_eq!(outcome.enriched_count, 0);
     }
 }

@@ -26,9 +26,17 @@ impl KnnClassifier {
             return Err(Error::InvalidParameter("k must be positive".into()));
         }
         if dim == 0 || num_classes < 2 {
-            return Err(Error::InvalidParameter("dim must be positive, classes >= 2".into()));
+            return Err(Error::InvalidParameter(
+                "dim must be positive, classes >= 2".into(),
+            ));
         }
-        Ok(Self { k, dim, num_classes, points: Vec::new(), labels: Vec::new() })
+        Ok(Self {
+            k,
+            dim,
+            num_classes,
+            points: Vec::new(),
+            labels: Vec::new(),
+        })
     }
 
     /// Number of stored training points.
@@ -44,7 +52,9 @@ impl KnnClassifier {
     /// Replace the training set.
     pub fn fit(&mut self, features: &[f32], labels: &[ClassId]) -> Result<()> {
         if labels.is_empty() {
-            return Err(Error::InvalidParameter("k-NN needs at least one training point".into()));
+            return Err(Error::InvalidParameter(
+                "k-NN needs at least one training point".into(),
+            ));
         }
         if features.len() != labels.len() * self.dim {
             return Err(Error::DimensionMismatch {
@@ -71,7 +81,9 @@ impl KnnClassifier {
             });
         }
         if label.index() >= self.num_classes {
-            return Err(Error::InvalidParameter(format!("label {label} out of range")));
+            return Err(Error::InvalidParameter(format!(
+                "label {label} out of range"
+            )));
         }
         self.points.extend_from_slice(features);
         self.labels.push(label);
@@ -112,10 +124,9 @@ impl KnnClassifier {
         for &(_, i) in &dists[..k] {
             votes[self.labels[i].index()] += 1;
         }
-        let best = crowdrl_types::prob::argmax(
-            &votes.iter().map(|&v| v as f64).collect::<Vec<_>>(),
-        )
-        .unwrap_or(0);
+        let best =
+            crowdrl_types::prob::argmax(&votes.iter().map(|&v| v as f64).collect::<Vec<_>>())
+                .unwrap_or(0);
         Ok((ClassId(best), votes[best] as f64 / k as f64))
     }
 }
@@ -157,8 +168,11 @@ mod tests {
     #[test]
     fn midpoint_has_lower_confidence() {
         let mut knn = KnnClassifier::new(4, 1, 2).unwrap();
-        knn.fit(&[0.0, 1.0, 10.0, 11.0], &[ClassId(0), ClassId(0), ClassId(1), ClassId(1)])
-            .unwrap();
+        knn.fit(
+            &[0.0, 1.0, 10.0, 11.0],
+            &[ClassId(0), ClassId(0), ClassId(1), ClassId(1)],
+        )
+        .unwrap();
         let (_, conf) = knn.predict(&[5.5]).unwrap();
         assert!((conf - 0.5).abs() < 1e-9, "conf={conf}");
     }
@@ -178,7 +192,8 @@ mod tests {
     #[test]
     fn k_larger_than_dataset_uses_all_points() {
         let mut knn = KnnClassifier::new(10, 1, 2).unwrap();
-        knn.fit(&[0.0, 1.0, 2.0], &[ClassId(0), ClassId(0), ClassId(1)]).unwrap();
+        knn.fit(&[0.0, 1.0, 2.0], &[ClassId(0), ClassId(0), ClassId(1)])
+            .unwrap();
         let (c, conf) = knn.predict(&[0.0]).unwrap();
         assert_eq!(c, ClassId(0));
         assert!((conf - 2.0 / 3.0).abs() < 1e-9);

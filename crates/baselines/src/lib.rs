@@ -57,8 +57,10 @@ mod tests {
 
     #[test]
     fn paper_baselines_are_ordered_like_the_figures() {
-        let names: Vec<String> =
-            paper_baselines().iter().map(|b| b.name().to_string()).collect();
+        let names: Vec<String> = paper_baselines()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
         assert_eq!(names, vec!["DLTA", "OBA", "IDLE", "DALC", "Hybrid"]);
     }
 }

@@ -30,7 +30,10 @@ pub struct Oba {
 
 impl Default for Oba {
     fn default() -> Self {
-        Self { confidence_threshold: 0.8, knn_k: 5 }
+        Self {
+            confidence_threshold: 0.8,
+            knn_k: 5,
+        }
     }
 }
 
@@ -155,7 +158,9 @@ mod tests {
         let (dataset, pool) = setup(60, (0.98, 1.0), 1);
         let mut rng = seeded(2);
         let params = BaselineParams::with_budget(300.0);
-        let outcome = Oba::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Oba::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert!(outcome.coverage() > 0.9);
         assert!(accuracy(&outcome, &dataset) > 0.85);
     }
@@ -166,10 +171,14 @@ mod tests {
         let (dataset, pool) = setup(60, (0.55, 0.65), 3);
         let mut rng = seeded(4);
         let params = BaselineParams::with_budget(300.0);
-        let noisy = Oba::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let noisy = Oba::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         let (dataset2, pool2) = setup(60, (0.98, 1.0), 3);
         let mut rng = seeded(4);
-        let clean = Oba::default().run(&dataset2, &pool2, &params, &mut rng).unwrap();
+        let clean = Oba::default()
+            .run(&dataset2, &pool2, &params, &mut rng)
+            .unwrap();
         assert!(
             accuracy(&clean, &dataset2) > accuracy(&noisy, &dataset) + 0.1,
             "clean {} vs noisy {}",
@@ -183,10 +192,16 @@ mod tests {
         let (dataset, pool) = setup(100, (0.9, 1.0), 5);
         let mut rng = seeded(6);
         let params = BaselineParams::with_budget(500.0);
-        let outcome = Oba::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Oba::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         // The AI worker should have labelled a good share for free.
         assert!(outcome.enriched_count > 0);
-        assert!(outcome.budget_spent < 150.0, "spent {}", outcome.budget_spent);
+        assert!(
+            outcome.budget_spent < 150.0,
+            "spent {}",
+            outcome.budget_spent
+        );
     }
 
     #[test]
@@ -194,7 +209,9 @@ mod tests {
         let (dataset, pool) = setup(80, (0.7, 0.9), 7);
         let mut rng = seeded(8);
         let params = BaselineParams::with_budget(15.0);
-        let outcome = Oba::default().run(&dataset, &pool, &params, &mut rng).unwrap();
+        let outcome = Oba::default()
+            .run(&dataset, &pool, &params, &mut rng)
+            .unwrap();
         assert!(outcome.budget_spent <= 15.0 + 1e-9);
     }
 }

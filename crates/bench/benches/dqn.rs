@@ -9,7 +9,11 @@ use std::hint::black_box;
 
 fn agent(input_dim: usize) -> DqnAgent {
     let mut rng = seeded(1);
-    let config = DqnConfig { input_dim, min_replay: 32, ..Default::default() };
+    let config = DqnConfig {
+        input_dim,
+        min_replay: 32,
+        ..Default::default()
+    };
     let mut agent = DqnAgent::new(config, &mut rng).unwrap();
     // Pre-fill the replay pool.
     for i in 0..512 {
@@ -30,8 +34,9 @@ fn bench_dqn(c: &mut Criterion) {
 
     for &batch in &[128usize, 1024] {
         let a = agent(dim);
-        let embeddings: Vec<Vec<f32>> =
-            (0..batch).map(|i| vec![(i % 13) as f32 / 13.0; dim]).collect();
+        let embeddings: Vec<Vec<f32>> = (0..batch)
+            .map(|i| vec![(i % 13) as f32 / 13.0; dim])
+            .collect();
         group.bench_with_input(BenchmarkId::new("q_values", batch), &batch, |b, _| {
             b.iter(|| black_box(a.q_values(&embeddings)))
         });

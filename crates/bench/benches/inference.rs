@@ -23,7 +23,11 @@ fn scenario(n: usize) -> (Dataset, AnnotatorPool, AnswerSet) {
         for p in pool.profiles() {
             let label = pool.sample_answer(p.id, dataset.truth(i), &mut rng);
             answers
-                .record(Answer { object: ObjectId(i), annotator: p.id, label })
+                .record(Answer {
+                    object: ObjectId(i),
+                    annotator: p.id,
+                    label,
+                })
                 .unwrap();
         }
     }
@@ -38,7 +42,13 @@ fn bench_inference(c: &mut Criterion) {
             b.iter(|| black_box(MajorityVote.infer(&answers, 2, pool.len()).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("dawid_skene", n), &n, |b, _| {
-            b.iter(|| black_box(DawidSkene::default().infer(&answers, 2, pool.len()).unwrap()))
+            b.iter(|| {
+                black_box(
+                    DawidSkene::default()
+                        .infer(&answers, 2, pool.len())
+                        .unwrap(),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("pm", n), &n, |b, _| {
             b.iter(|| black_box(Pm::default().infer(&answers, 2, pool.len()).unwrap()))
@@ -47,7 +57,10 @@ fn bench_inference(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = seeded(7);
                 let mut clf = SoftmaxClassifier::new(
-                    ClassifierConfig { epochs: 3, ..Default::default() },
+                    ClassifierConfig {
+                        epochs: 3,
+                        ..Default::default()
+                    },
                     dataset.dim(),
                     2,
                     &mut rng,

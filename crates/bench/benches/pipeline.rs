@@ -35,13 +35,20 @@ fn bench_pipeline(c: &mut Criterion) {
             .with_separation(2.5)
             .generate(&mut rng)
             .unwrap();
-        let x = Matrix::from_vec(dataset.len(), dataset.dim(), dataset.feature_buffer().to_vec());
+        let x = Matrix::from_vec(
+            dataset.len(),
+            dataset.dim(),
+            dataset.feature_buffer().to_vec(),
+        );
         let y = dataset.truth_slice().to_vec();
         group.bench_function("classifier_fit_200x64", |b| {
             b.iter(|| {
                 let mut rng = seeded(3);
                 let mut clf = SoftmaxClassifier::new(
-                    ClassifierConfig { epochs: 5, ..Default::default() },
+                    ClassifierConfig {
+                        epochs: 5,
+                        ..Default::default()
+                    },
                     dataset.dim(),
                     2,
                     &mut rng,
@@ -67,7 +74,9 @@ fn bench_pipeline(c: &mut Criterion) {
 
     // Top-k heap selection over large score vectors.
     for &n in &[1_000usize, 100_000] {
-        let scores: Vec<f64> = (0..n).map(|i| ((i * 2_654_435_761) % 1_000) as f64).collect();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| ((i * 2_654_435_761) % 1_000) as f64)
+            .collect();
         group.bench_with_input(BenchmarkId::new("top_k_8", n), &n, |b, _| {
             b.iter(|| black_box(topk::top_k_indices(&scores, 8)))
         });

@@ -6,7 +6,10 @@ use crowdrl_types::rng::seeded;
 
 fn main() {
     let mut rng = seeded(1);
-    let views = SpeechSpec::speech12().with_num_objects(400).generate(&mut rng).unwrap();
+    let views = SpeechSpec::speech12()
+        .with_num_objects(400)
+        .generate(&mut rng)
+        .unwrap();
     let d = &views.cp;
     let n_train = 110;
     let mut x = Matrix::zeros(n_train, d.dim());
@@ -17,12 +20,18 @@ fn main() {
     for wd in [1e-4f32, 1e-3, 5e-3, 2e-2, 5e-2] {
         for epochs in [10usize, 40] {
             let mut rng2 = seeded(2);
-            let cfg = ClassifierConfig { hidden: vec![], weight_decay: wd, epochs, ..Default::default() };
+            let cfg = ClassifierConfig {
+                hidden: vec![],
+                weight_decay: wd,
+                epochs,
+                ..Default::default()
+            };
             let mut clf = SoftmaxClassifier::new(cfg, d.dim(), 2, &mut rng2).unwrap();
             clf.fit_hard(&x, &y, &mut rng2).unwrap();
             let acc = (n_train..d.len())
                 .filter(|&i| clf.predict_one(d.features(i)) == d.truth(i))
-                .count() as f64 / (d.len() - n_train) as f64;
+                .count() as f64
+                / (d.len() - n_train) as f64;
             println!("wd {wd:.0e} epochs {epochs:2}: OOS {acc:.3}");
         }
     }

@@ -7,11 +7,18 @@ use crowdrl_types::{AnnotatorId, Answer, AnswerSet, ObjectId};
 
 fn main() {
     let mut rng = seeded(1);
-    let views = SpeechSpec::speech12().with_num_objects(200).generate(&mut rng).unwrap();
+    let views = SpeechSpec::speech12()
+        .with_num_objects(200)
+        .generate(&mut rng)
+        .unwrap();
     let d = &views.cp;
     let pool = PoolSpec::new(3, 2).generate(2, &mut rng).unwrap();
     for p in pool.profiles() {
-        eprintln!("{:?} latent quality {:.3}", p.kind, pool.latent_confusion(p.id).quality());
+        eprintln!(
+            "{:?} latent quality {:.3}",
+            p.kind,
+            pool.latent_confusion(p.id).quality()
+        );
     }
     // Scenario A: 3 random workers per object.
     // Scenario B: 2 workers + 1 expert per object (budget-rich).
@@ -20,20 +27,33 @@ fn main() {
         let mut rng2 = seeded(2);
         for i in 0..d.len() {
             let ids: Vec<AnnotatorId> = if annotators == 0 {
-                sample_indices(&mut rng2, 3, 3).into_iter().map(AnnotatorId).collect()
+                sample_indices(&mut rng2, 3, 3)
+                    .into_iter()
+                    .map(AnnotatorId)
+                    .collect()
             } else {
-                let mut v: Vec<AnnotatorId> =
-                    sample_indices(&mut rng2, 3, 2).into_iter().map(AnnotatorId).collect();
+                let mut v: Vec<AnnotatorId> = sample_indices(&mut rng2, 3, 2)
+                    .into_iter()
+                    .map(AnnotatorId)
+                    .collect();
                 v.push(AnnotatorId(3 + (i % 2)));
                 v
             };
             for a in ids {
                 let label = pool.sample_answer(a, d.truth(i), &mut rng2);
-                answers.record(Answer { object: ObjectId(i), annotator: a, label }).unwrap();
+                answers
+                    .record(Answer {
+                        object: ObjectId(i),
+                        annotator: a,
+                        label,
+                    })
+                    .unwrap();
             }
         }
         let acc = |r: &InferenceResult| {
-            (0..d.len()).filter(|&i| r.label(ObjectId(i)) == Some(d.truth(i))).count() as f64
+            (0..d.len())
+                .filter(|&i| r.label(ObjectId(i)) == Some(d.truth(i)))
+                .count() as f64
                 / d.len() as f64
         };
         let mv = MajorityVote.infer(&answers, 2, 5).unwrap();
@@ -41,17 +61,31 @@ fn main() {
         let pm = Pm::default().infer(&answers, 2, 5).unwrap();
         let mut rng3 = seeded(3);
         let mut clf = SoftmaxClassifier::new(
-            ClassifierConfig { epochs: 10, weight_decay: 1e-3, ..Default::default() },
-            d.dim(), 2, &mut rng3,
-        ).unwrap();
+            ClassifierConfig {
+                epochs: 10,
+                weight_decay: 1e-3,
+                ..Default::default()
+            },
+            d.dim(),
+            2,
+            &mut rng3,
+        )
+        .unwrap();
         let joint = JointInference::default()
             .infer(d, &answers, pool.profiles(), &mut clf, &mut rng3)
             .unwrap();
         // Classifier standalone accuracy after the joint training:
         let clf_acc = (0..d.len())
             .filter(|&i| clf.predict_one(d.features(i)) == d.truth(i))
-            .count() as f64 / d.len() as f64;
-        println!("{name}: MV {:.3} DS {:.3} PM {:.3} Joint {:.3} (phi alone {:.3})",
-            acc(&mv), acc(&ds), acc(&pm), acc(&joint), clf_acc);
+            .count() as f64
+            / d.len() as f64;
+        println!(
+            "{name}: MV {:.3} DS {:.3} PM {:.3} Joint {:.3} (phi alone {:.3})",
+            acc(&mv),
+            acc(&ds),
+            acc(&pm),
+            acc(&joint),
+            clf_acc
+        );
     }
 }

@@ -7,16 +7,31 @@ fn main() {
     use crowdrl_core::config::{CrowdRlConfig, InferenceModel};
     use crowdrl_sim::{PoolSpec, SpeechSpec};
     let mut rng = crowdrl_types::rng::seeded(1);
-    let views = SpeechSpec::speech12().with_num_objects(200).generate(&mut rng).unwrap();
+    let views = SpeechSpec::speech12()
+        .with_num_objects(200)
+        .generate(&mut rng)
+        .unwrap();
     let pool = PoolSpec::new(3, 2).generate(2, &mut rng).unwrap();
     let params = BaselineParams::with_budget(853.0);
     // variant selector from argv
     let variant = std::env::args().nth(1).unwrap_or_default();
     let strategy = match variant.as_str() {
-        "ds" => CrowdRlStrategy::variant("ds",
-            CrowdRlConfig::builder().budget(1.0).inference(InferenceModel::DawidSkene).build().unwrap()),
-        "pm" => CrowdRlStrategy::variant("pm",
-            CrowdRlConfig::builder().budget(1.0).inference(InferenceModel::Pm).build().unwrap()),
+        "ds" => CrowdRlStrategy::variant(
+            "ds",
+            CrowdRlConfig::builder()
+                .budget(1.0)
+                .inference(InferenceModel::DawidSkene)
+                .build()
+                .unwrap(),
+        ),
+        "pm" => CrowdRlStrategy::variant(
+            "pm",
+            CrowdRlConfig::builder()
+                .budget(1.0)
+                .inference(InferenceModel::Pm)
+                .build()
+                .unwrap(),
+        ),
         "pre" => crowdrl_bench::figures::crowdrl_pretrained(),
         "m2" => {
             let mut cfg = CrowdRlConfig::builder()
@@ -40,25 +55,46 @@ fn main() {
     };
     let start = std::time::Instant::now();
     let outcome = strategy.run(&views.cp, &pool, &params, &mut rng).unwrap();
-    println!("CrowdRL s12cp n=200: {:?}, iters={}, answers={}, spent={}",
-        start.elapsed(), outcome.iterations, outcome.total_answers, outcome.budget_spent);
+    println!(
+        "CrowdRL s12cp n=200: {:?}, iters={}, answers={}, spent={}",
+        start.elapsed(),
+        outcome.iterations,
+        outcome.total_answers,
+        outcome.budget_spent
+    );
     let m = crowdrl_eval::evaluate_labels(&views.cp, &outcome.labels).unwrap();
     println!("accuracy {:.3} precision {:.3}", m.accuracy, m.precision);
-    println!("enriched {} human {} answers {}", outcome.enriched_count,
-        outcome.labels.len() - outcome.enriched_count, outcome.total_answers);
+    println!(
+        "enriched {} human {} answers {}",
+        outcome.enriched_count,
+        outcome.labels.len() - outcome.enriched_count,
+        outcome.total_answers
+    );
     // how many expert answers? price distribution
     let avg_price = outcome.budget_spent / outcome.total_answers.max(1) as f64;
     println!("avg answer price {avg_price:.2}");
     // accuracy split: enriched vs inferred
-    let mut einf = (0, 0); let mut ienf = (0, 0);
+    let mut einf = (0, 0);
+    let mut ienf = (0, 0);
     for (i, st) in outcome.label_states.iter().enumerate() {
         match st {
             crowdrl_types::LabelState::Enriched(c) => {
-                einf.1 += 1; if *c == views.cp.truth(i) { einf.0 += 1; } }
+                einf.1 += 1;
+                if *c == views.cp.truth(i) {
+                    einf.0 += 1;
+                }
+            }
             crowdrl_types::LabelState::Inferred(c) => {
-                ienf.1 += 1; if *c == views.cp.truth(i) { ienf.0 += 1; } }
+                ienf.1 += 1;
+                if *c == views.cp.truth(i) {
+                    ienf.0 += 1;
+                }
+            }
             _ => {}
         }
     }
-    println!("enriched acc {}/{}  inferred acc {}/{}", einf.0, einf.1, ienf.0, ienf.1);
+    println!(
+        "enriched acc {}/{}  inferred acc {}/{}",
+        einf.0, einf.1, ienf.0, ienf.1
+    );
 }

@@ -4,7 +4,10 @@ use crowdrl_sim::{PoolSpec, SpeechSpec};
 
 fn main() {
     let mut rng = crowdrl_types::rng::seeded(1);
-    let views = SpeechSpec::speech12().with_num_objects(200).generate(&mut rng).unwrap();
+    let views = SpeechSpec::speech12()
+        .with_num_objects(200)
+        .generate(&mut rng)
+        .unwrap();
     let pool = PoolSpec::new(3, 2).generate(2, &mut rng).unwrap();
     let params = BaselineParams::with_budget(853.0);
     let strategy = crowdrl_bench::figures::crowdrl_pretrained();
@@ -13,8 +16,14 @@ fn main() {
     for s in &outcome.trace {
         println!(
             "{:3} | {:3} {:3} {:3} {:6.1} {:6.3} {:4} {:?}",
-            s.iteration, s.enriched, s.selected, s.answers, s.spend, s.reward,
-            s.labelled_total, s.td_loss.map(|x| (x * 1000.0).round() / 1000.0)
+            s.iteration,
+            s.enriched,
+            s.selected,
+            s.answers,
+            s.spend,
+            s.reward,
+            s.labelled_total,
+            s.td_loss.map(|x| (x * 1000.0).round() / 1000.0)
         );
     }
     let m = crowdrl_eval::evaluate_labels(&views.cp, &outcome.labels).unwrap();

@@ -6,9 +6,7 @@
 //! series the paper plots and writes CSVs under `results/`.
 
 use crate::scale::Scale;
-use crowdrl_baselines::{
-    paper_baselines, BaselineParams, CrowdRlStrategy, LabellingStrategy,
-};
+use crowdrl_baselines::{paper_baselines, BaselineParams, CrowdRlStrategy, LabellingStrategy};
 use crowdrl_core::config::{Ablation, CrowdRlConfig, InferenceModel};
 use crowdrl_eval::runner::{cross_train, CellResult, Condition, ExperimentGrid};
 use crowdrl_eval::table::{format_grid, write_csv};
@@ -65,16 +63,11 @@ pub fn pretrained_dqn_params() -> Vec<f32> {
             // offline episodes.
             for (i, sep) in [2.0, 1.4, 0.6, 2.0, 1.4, 0.6].into_iter().enumerate() {
                 let mut rng = seeded(MASTER_SEED ^ 0xD0_u64 << i);
-                let dataset = crowdrl_sim::DatasetSpec::gaussian(
-                    format!("donor{i}"),
-                    150,
-                    12,
-                    2,
-                )
-                .with_separation(sep)
-                .with_label_noise(0.04)
-                .generate(&mut rng)
-                .expect("donor dataset");
+                let dataset = crowdrl_sim::DatasetSpec::gaussian(format!("donor{i}"), 150, 12, 2)
+                    .with_separation(sep)
+                    .with_label_noise(0.04)
+                    .generate(&mut rng)
+                    .expect("donor dataset");
                 let pool = speech_pool().generate(2, &mut rng).expect("donor pool");
                 donors.push(Condition {
                     dataset,
@@ -82,7 +75,10 @@ pub fn pretrained_dqn_params() -> Vec<f32> {
                     params: BaselineParams::with_budget(650.0),
                 });
             }
-            let base = CrowdRlConfig::builder().budget(1.0).build().expect("config");
+            let base = CrowdRlConfig::builder()
+                .budget(1.0)
+                .build()
+                .expect("config");
             cross_train(&base, &donors, MASTER_SEED ^ 0xCC).expect("cross-training")
         })
         .clone()
@@ -124,10 +120,19 @@ fn grid(scale: Scale) -> ExperimentGrid {
     }
 }
 
-fn speech_condition(dataset: Dataset, budget: f64, pool_spec: &PoolSpec, seed: u64) -> Result<Condition> {
+fn speech_condition(
+    dataset: Dataset,
+    budget: f64,
+    pool_spec: &PoolSpec,
+    seed: u64,
+) -> Result<Condition> {
     let mut rng = seeded(seed);
     let pool = pool_spec.generate(dataset.num_classes(), &mut rng)?;
-    Ok(Condition { dataset, pool, params: BaselineParams::with_budget(budget) })
+    Ok(Condition {
+        dataset,
+        pool,
+        params: BaselineParams::with_budget(budget),
+    })
 }
 
 /// The seven fig4 conditions: S12C/P/CP, S3C/P/CP, Fashion.
@@ -214,11 +219,9 @@ pub fn fig5(scale: Scale) -> Result<FigureReport> {
         }
     }
     let cells = grid(scale).run(&all_methods(), &conditions)?;
-    let tables = vec![format_grid(
-        "Precision vs sampling ratio",
-        &cells,
-        |c| c.metrics.precision,
-    )];
+    let tables = vec![format_grid("Precision vs sampling ratio", &cells, |c| {
+        c.metrics.precision
+    })];
     Ok(FigureReport {
         id: "fig5",
         title: "Scalability (sampling ratio sweep)".into(),
@@ -230,23 +233,35 @@ pub fn fig5(scale: Scale) -> Result<FigureReport> {
 /// Fig. 6 — varying the number of annotators |W| ∈ {3, 5, 7}.
 pub fn fig6(scale: Scale) -> Result<FigureReport> {
     let base = main_conditions(scale)?;
-    let pools = [(3usize, PoolSpec::new(2, 1)), (5, PoolSpec::new(3, 2)), (7, PoolSpec::new(5, 2))];
+    let pools = [
+        (3usize, PoolSpec::new(2, 1)),
+        (5, PoolSpec::new(3, 2)),
+        (7, PoolSpec::new(5, 2)),
+    ];
     let mut conditions = Vec::new();
     for cond in &base {
         for (w, spec) in &pools {
             let mut rng = seeded(MASTER_SEED ^ (*w as u64) << 8);
             let pool = spec.generate(cond.dataset.num_classes(), &mut rng)?;
             conditions.push(Condition {
-                dataset: cond.dataset.renamed(format!("{}|W={w}", cond.dataset.name())),
+                dataset: cond
+                    .dataset
+                    .renamed(format!("{}|W={w}", cond.dataset.name())),
                 pool,
                 params: cond.params.clone(),
             });
         }
     }
     let cells = grid(scale).run(&all_methods(), &conditions)?;
-    let tables =
-        vec![format_grid("Precision vs |W|", &cells, |c| c.metrics.precision)];
-    Ok(FigureReport { id: "fig6", title: "Varying |W|".into(), cells, tables })
+    let tables = vec![format_grid("Precision vs |W|", &cells, |c| {
+        c.metrics.precision
+    })];
+    Ok(FigureReport {
+        id: "fig6",
+        title: "Varying |W|".into(),
+        cells,
+        tables,
+    })
 }
 
 /// Fig. 7 — varying the initial sampling rate α ∈ {0.01, 0.05, 0.1}.
@@ -267,9 +282,15 @@ pub fn fig7(scale: Scale) -> Result<FigureReport> {
         }
     }
     let cells = grid(scale).run(&all_methods(), &conditions)?;
-    let tables =
-        vec![format_grid("Precision vs alpha", &cells, |c| c.metrics.precision)];
-    Ok(FigureReport { id: "fig7", title: "Varying alpha".into(), cells, tables })
+    let tables = vec![format_grid("Precision vs alpha", &cells, |c| {
+        c.metrics.precision
+    })];
+    Ok(FigureReport {
+        id: "fig7",
+        title: "Varying alpha".into(),
+        cells,
+        tables,
+    })
 }
 
 /// Fig. 8 — component ablation: M1 (random TS), M2 (random TA), M3 (PM
@@ -277,18 +298,28 @@ pub fn fig7(scale: Scale) -> Result<FigureReport> {
 /// datasets.
 pub fn fig8(scale: Scale) -> Result<FigureReport> {
     let conditions = main_conditions(scale)?;
-    let base = || CrowdRlConfig::builder().budget(1.0).pretrained_dqn(pretrained_dqn_params());
+    let base = || {
+        CrowdRlConfig::builder()
+            .budget(1.0)
+            .pretrained_dqn(pretrained_dqn_params())
+    };
     let strategies: Vec<Box<dyn LabellingStrategy>> = vec![
         Box::new(CrowdRlStrategy::variant(
             "M1",
             base()
-                .ablation(Ablation { random_task_selection: true, ..Default::default() })
+                .ablation(Ablation {
+                    random_task_selection: true,
+                    ..Default::default()
+                })
                 .build()?,
         )),
         Box::new(CrowdRlStrategy::variant(
             "M2",
             base()
-                .ablation(Ablation { random_task_assignment: true, ..Default::default() })
+                .ablation(Ablation {
+                    random_task_assignment: true,
+                    ..Default::default()
+                })
                 .build()?,
         )),
         Box::new(CrowdRlStrategy::variant(
@@ -357,13 +388,19 @@ mod tests {
     fn fig4_conditions_cover_paper_cases() {
         let conditions = fig4_conditions(Scale::Quick).unwrap();
         let names: Vec<&str> = conditions.iter().map(|c| c.dataset.name()).collect();
-        assert_eq!(names, vec!["s12c", "s12p", "s12cp", "s3c", "s3p", "s3cp", "fashion"]);
+        assert_eq!(
+            names,
+            vec!["s12c", "s12p", "s12cp", "s3c", "s3p", "s3cp", "fashion"]
+        );
         // Speech pools are |W|=5, fashion |W|=3.
         assert_eq!(conditions[0].pool.len(), 5);
         assert_eq!(conditions[6].pool.len(), 3);
         // Budget ratio ≈ 4.27 per speech object.
         let per_obj = conditions[2].params.budget / conditions[2].dataset.len() as f64;
-        assert!((per_obj - 10_000.0 / 2_344.0).abs() < 0.05, "per-object {per_obj}");
+        assert!(
+            (per_obj - 10_000.0 / 2_344.0).abs() < 0.05,
+            "per-object {per_obj}"
+        );
     }
 
     #[test]
@@ -375,8 +412,10 @@ mod tests {
 
     #[test]
     fn methods_are_in_figure_order() {
-        let names: Vec<String> =
-            all_methods().iter().map(|m| m.name().to_string()).collect();
-        assert_eq!(names, vec!["DLTA", "OBA", "IDLE", "DALC", "Hybrid", "CrowdRL"]);
+        let names: Vec<String> = all_methods().iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["DLTA", "OBA", "IDLE", "DALC", "Hybrid", "CrowdRL"]
+        );
     }
 }

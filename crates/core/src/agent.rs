@@ -55,9 +55,11 @@ impl SelectionAgent {
         }
         let (ucb, eps) = match exploration {
             Exploration::Ucb { scale } => (Some(UcbExplorer::new(*scale)), None),
-            Exploration::EpsilonGreedy { start, end, decay_steps } => {
-                (None, Some(EpsilonGreedy::new(*start, *end, *decay_steps)))
-            }
+            Exploration::EpsilonGreedy {
+                start,
+                end,
+                decay_steps,
+            } => (None, Some(EpsilonGreedy::new(*start, *end, *decay_steps))),
         };
         Ok(Self { dqn, ucb, eps })
     }
@@ -180,6 +182,9 @@ impl SelectionAgent {
                 if annotator_idx.len() == k {
                     break;
                 }
+                if row[ai] == f64::NEG_INFINITY {
+                    continue; // masked pair (already answered / over-allowance)
+                }
                 let profile = &profiles[ai];
                 if profile.is_expert() && has_expert {
                     continue;
@@ -196,14 +201,20 @@ impl SelectionAgent {
             }
             let annotators: Vec<AnnotatorId> =
                 annotator_idx.iter().map(|&ai| profiles[ai].id).collect();
-            let chosen_embeddings: Vec<Vec<f32>> =
-                annotator_idx.iter().map(|&ai| embeddings[ci * w + ai].clone()).collect();
+            let chosen_embeddings: Vec<Vec<f32>> = annotator_idx
+                .iter()
+                .map(|&ai| embeddings[ci * w + ai].clone())
+                .collect();
             if let Some(ucb) = &mut self.ucb {
                 for a in &annotators {
                     ucb.record(a.index() as u64);
                 }
             }
-            out.push(Assignment { object: *object, annotators, embeddings: chosen_embeddings });
+            out.push(Assignment {
+                object: *object,
+                annotators,
+                embeddings: chosen_embeddings,
+            });
         }
         out
     }
@@ -259,7 +270,11 @@ mod tests {
             out.push(
                 AnnotatorProfile::new(
                     AnnotatorId(i),
-                    if expert { AnnotatorKind::Expert } else { AnnotatorKind::Worker },
+                    if expert {
+                        AnnotatorKind::Expert
+                    } else {
+                        AnnotatorKind::Worker
+                    },
                     if expert { 10.0 } else { 1.0 },
                 )
                 .unwrap(),
@@ -406,8 +421,18 @@ mod tests {
         );
         assert!(picks.is_empty());
         assert!(agent
-            .select(&[], &profiles, &answers, &labelled, &snapshot(2), 10.0, 2, 1,
-                Ablation::default(), &mut rng)
+            .select(
+                &[],
+                &profiles,
+                &answers,
+                &labelled,
+                &snapshot(2),
+                10.0,
+                2,
+                1,
+                Ablation::default(),
+                &mut rng
+            )
             .is_empty());
     }
 
@@ -418,7 +443,10 @@ mod tests {
         let answers = AnswerSet::new(4);
         let labelled = LabelledSet::new(4);
         let mut rng = seeded(10);
-        let ablation = Ablation { random_task_selection: true, random_task_assignment: true };
+        let ablation = Ablation {
+            random_task_selection: true,
+            random_task_assignment: true,
+        };
         for _ in 0..20 {
             let picks = agent.select(
                 &candidates(4),
@@ -433,7 +461,11 @@ mod tests {
                 &mut rng,
             );
             for p in &picks {
-                assert_eq!(p.annotators, vec![AnnotatorId(0)], "must avoid unaffordable expert");
+                assert_eq!(
+                    p.annotators,
+                    vec![AnnotatorId(0)],
+                    "must avoid unaffordable expert"
+                );
             }
         }
     }
@@ -441,10 +473,13 @@ mod tests {
     #[test]
     fn remember_and_train_flow() {
         let mut rng = seeded(11);
-        let config = DqnConfig { min_replay: 4, batch_size: 4, ..Default::default() };
+        let config = DqnConfig {
+            min_replay: 4,
+            batch_size: 4,
+            ..Default::default()
+        };
         let mut agent =
-            SelectionAgent::new(config, &Exploration::Ucb { scale: 0.1 }, None, &mut rng)
-                .unwrap();
+            SelectionAgent::new(config, &Exploration::Ucb { scale: 0.1 }, None, &mut rng).unwrap();
         let assignment = Assignment {
             object: ObjectId(0),
             annotators: vec![AnnotatorId(0), AnnotatorId(1)],

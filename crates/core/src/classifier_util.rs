@@ -62,10 +62,16 @@ mod tests {
     #[test]
     fn training_data_gathers_labelled_rows() {
         let mut rng = seeded(1);
-        let dataset = DatasetSpec::gaussian("t", 10, 2, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 10, 2, 2)
+            .generate(&mut rng)
+            .unwrap();
         let mut labelled = LabelledSet::new(10);
-        labelled.set(ObjectId(2), LabelState::Inferred(ClassId(0))).unwrap();
-        labelled.set(ObjectId(7), LabelState::Enriched(ClassId(1))).unwrap();
+        labelled
+            .set(ObjectId(2), LabelState::Inferred(ClassId(0)))
+            .unwrap();
+        labelled
+            .set(ObjectId(7), LabelState::Enriched(ClassId(1)))
+            .unwrap();
         let (x, y) = training_data(&dataset, &labelled).unwrap();
         assert_eq!(x.rows(), 2);
         assert_eq!(y, vec![ClassId(0), ClassId(1)]);
@@ -75,11 +81,17 @@ mod tests {
     #[test]
     fn empty_or_single_class_yields_none() {
         let mut rng = seeded(2);
-        let dataset = DatasetSpec::gaussian("t", 5, 2, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 5, 2, 2)
+            .generate(&mut rng)
+            .unwrap();
         let mut labelled = LabelledSet::new(5);
         assert!(training_data(&dataset, &labelled).is_none());
-        labelled.set(ObjectId(0), LabelState::Inferred(ClassId(1))).unwrap();
-        labelled.set(ObjectId(1), LabelState::Inferred(ClassId(1))).unwrap();
+        labelled
+            .set(ObjectId(0), LabelState::Inferred(ClassId(1)))
+            .unwrap();
+        labelled
+            .set(ObjectId(1), LabelState::Inferred(ClassId(1)))
+            .unwrap();
         assert!(training_data(&dataset, &labelled).is_none());
     }
 
@@ -90,8 +102,7 @@ mod tests {
             .with_separation(3.0)
             .generate(&mut rng)
             .unwrap();
-        let mut clf =
-            SoftmaxClassifier::new(ClassifierConfig::default(), 2, 2, &mut rng).unwrap();
+        let mut clf = SoftmaxClassifier::new(ClassifierConfig::default(), 2, 2, &mut rng).unwrap();
         let mut labelled = LabelledSet::new(60);
         assert!(!retrain_on_labelled(&mut clf, &dataset, &labelled, &mut rng).unwrap());
         for i in 0..30 {

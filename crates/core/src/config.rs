@@ -133,7 +133,9 @@ impl CrowdRlConfig {
     /// Validate all parameter domains.
     pub fn validate(&self) -> Result<()> {
         if !self.budget.is_finite() || self.budget < 0.0 {
-            return Err(Error::InvalidParameter("budget must be finite and non-negative".into()));
+            return Err(Error::InvalidParameter(
+                "budget must be finite and non-negative".into(),
+            ));
         }
         if !(0.0..1.0).contains(&self.initial_ratio) {
             return Err(Error::InvalidParameter(format!(
@@ -142,22 +144,34 @@ impl CrowdRlConfig {
             )));
         }
         if self.assignment_k == 0 {
-            return Err(Error::InvalidParameter("assignment_k must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "assignment_k must be positive".into(),
+            ));
         }
         if self.batch_per_iter == 0 {
-            return Err(Error::InvalidParameter("batch_per_iter must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "batch_per_iter must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.enrichment_margin) {
-            return Err(Error::InvalidParameter("enrichment_margin must be in [0,1]".into()));
+            return Err(Error::InvalidParameter(
+                "enrichment_margin must be in [0,1]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.enrichment_warmup) {
-            return Err(Error::InvalidParameter("enrichment_warmup must be in [0,1]".into()));
+            return Err(Error::InvalidParameter(
+                "enrichment_warmup must be in [0,1]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.enrichment_trust) {
-            return Err(Error::InvalidParameter("enrichment_trust must be in [0,1]".into()));
+            return Err(Error::InvalidParameter(
+                "enrichment_trust must be in [0,1]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.label_confidence) {
-            return Err(Error::InvalidParameter("label_confidence must be in [0,1]".into()));
+            return Err(Error::InvalidParameter(
+                "label_confidence must be in [0,1]".into(),
+            ));
         }
         if self.lambda < 0.0 || self.mu < 0.0 || self.eta < 0.0 {
             return Err(Error::InvalidParameter(
@@ -165,7 +179,9 @@ impl CrowdRlConfig {
             ));
         }
         if self.candidate_cap == 0 {
-            return Err(Error::InvalidParameter("candidate_cap must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "candidate_cap must be positive".into(),
+            ));
         }
         if self.max_iters == 0 {
             return Err(Error::InvalidParameter("max_iters must be positive".into()));
@@ -173,7 +189,9 @@ impl CrowdRlConfig {
         match &self.exploration {
             Exploration::Ucb { scale } => {
                 if *scale < 0.0 || !scale.is_finite() {
-                    return Err(Error::InvalidParameter("ucb scale must be non-negative".into()));
+                    return Err(Error::InvalidParameter(
+                        "ucb scale must be non-negative".into(),
+                    ));
                 }
             }
             Exploration::EpsilonGreedy { start, end, .. } => {
@@ -389,9 +407,16 @@ mod tests {
         assert!(base().reward_weights(-1.0, 0.0).build().is_err());
         assert!(base().candidate_cap(0).build().is_err());
         assert!(base().max_iters(0).build().is_err());
-        assert!(base().exploration(Exploration::Ucb { scale: -1.0 }).build().is_err());
         assert!(base()
-            .exploration(Exploration::EpsilonGreedy { start: 2.0, end: 0.0, decay_steps: 1 })
+            .exploration(Exploration::Ucb { scale: -1.0 })
+            .build()
+            .is_err());
+        assert!(base()
+            .exploration(Exploration::EpsilonGreedy {
+                start: 2.0,
+                end: 0.0,
+                decay_steps: 1
+            })
             .build()
             .is_err());
     }
@@ -408,7 +433,10 @@ mod tests {
             .candidate_cap(64)
             .max_iters(10)
             .inference(InferenceModel::Pm)
-            .ablation(Ablation { random_task_selection: true, random_task_assignment: false })
+            .ablation(Ablation {
+                random_task_selection: true,
+                random_task_assignment: false,
+            })
             .no_final_fallback()
             .build()
             .unwrap();

@@ -38,7 +38,9 @@ pub fn enrich(
         }
     }
     candidates.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
     });
     if let Some(cap) = cap {
         candidates.truncate(cap);
@@ -48,6 +50,41 @@ pub fn enrich(
         newly.push((obj, label));
     }
     Ok(newly)
+}
+
+/// Re-predict every currently `Enriched` object with the (presumably
+/// newer) classifier, updating labels that changed. Returns how many
+/// labels moved.
+///
+/// Enrichment decisions accumulate over the run, so early auto-labels come
+/// from a classifier that had seen only a handful of human labels. Those
+/// labels are classifier-owned — no budget was spent on them — so once the
+/// final classifier exists there is no reason to keep its younger self's
+/// mistakes: the current prediction is always the better estimate (the
+/// same principle `apply_inference` applies to inferred labels).
+pub fn refresh_enriched(
+    dataset: &Dataset,
+    classifier: &SoftmaxClassifier,
+    labelled: &mut LabelledSet,
+) -> Result<usize> {
+    if !classifier.is_trained() {
+        return Ok(0);
+    }
+    let enriched: Vec<(ObjectId, ClassId)> = (0..labelled.len())
+        .filter_map(|i| match labelled.state(ObjectId(i)) {
+            LabelState::Enriched(c) => Some((ObjectId(i), c)),
+            _ => None,
+        })
+        .collect();
+    let mut moved = 0;
+    for (obj, old) in enriched {
+        let new = classifier.predict_one(dataset.features(obj.index()));
+        if new != old {
+            labelled.set(obj, LabelState::Enriched(new))?;
+            moved += 1;
+        }
+    }
+    Ok(moved)
 }
 
 /// Label every remaining unlabelled object with the classifier's argmax,
@@ -85,8 +122,7 @@ mod tests {
             .with_separation(separation)
             .generate(&mut rng)
             .unwrap();
-        let mut clf =
-            SoftmaxClassifier::new(ClassifierConfig::default(), 3, 2, &mut rng).unwrap();
+        let mut clf = SoftmaxClassifier::new(ClassifierConfig::default(), 3, 2, &mut rng).unwrap();
         let x = Matrix::from_vec(dataset.len(), 3, dataset.feature_buffer().to_vec());
         clf.fit_hard(&x, dataset.truth_slice(), &mut rng).unwrap();
         (dataset, clf)
@@ -113,7 +149,12 @@ mod tests {
         let strict = enrich(&dataset, &clf, &mut labelled, 0.95, None).unwrap();
         let mut labelled2 = LabelledSet::new(dataset.len());
         let lax = enrich(&dataset, &clf, &mut labelled2, 0.0, None).unwrap();
-        assert!(strict.len() < lax.len(), "strict {} lax {}", strict.len(), lax.len());
+        assert!(
+            strict.len() < lax.len(),
+            "strict {} lax {}",
+            strict.len(),
+            lax.len()
+        );
         // Margin 0 labels everything the classifier isn't exactly split on.
         assert_eq!(lax.len(), dataset.len());
     }
@@ -125,7 +166,9 @@ mod tests {
         // Pin object 0 to the opposite of whatever the classifier says.
         let clf_label = clf.predict_one(dataset.features(0));
         let pinned = ClassId(1 - clf_label.index());
-        labelled.set(ObjectId(0), LabelState::Inferred(pinned)).unwrap();
+        labelled
+            .set(ObjectId(0), LabelState::Inferred(pinned))
+            .unwrap();
         enrich(&dataset, &clf, &mut labelled, 0.0, None).unwrap();
         assert_eq!(labelled.state(ObjectId(0)), LabelState::Inferred(pinned));
     }
@@ -133,23 +176,35 @@ mod tests {
     #[test]
     fn untrained_classifier_enriches_nothing() {
         let mut rng = seeded(4);
-        let dataset = DatasetSpec::gaussian("t", 10, 3, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 10, 3, 2)
+            .generate(&mut rng)
+            .unwrap();
         let clf = SoftmaxClassifier::new(ClassifierConfig::default(), 3, 2, &mut rng).unwrap();
         let mut labelled = LabelledSet::new(dataset.len());
-        assert!(enrich(&dataset, &clf, &mut labelled, 0.2, None).unwrap().is_empty());
-        assert_eq!(fallback_label_all(&dataset, &clf, &mut labelled).unwrap(), 0);
+        assert!(enrich(&dataset, &clf, &mut labelled, 0.2, None)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            fallback_label_all(&dataset, &clf, &mut labelled).unwrap(),
+            0
+        );
     }
 
     #[test]
     fn fallback_labels_everything() {
         let (dataset, clf) = trained(5, 0.3);
         let mut labelled = LabelledSet::new(dataset.len());
-        labelled.set(ObjectId(0), LabelState::Inferred(ClassId(0))).unwrap();
+        labelled
+            .set(ObjectId(0), LabelState::Inferred(ClassId(0)))
+            .unwrap();
         let n = fallback_label_all(&dataset, &clf, &mut labelled).unwrap();
         assert_eq!(n, dataset.len() - 1);
         assert!(labelled.all_labelled());
         // Pre-existing label untouched.
-        assert_eq!(labelled.state(ObjectId(0)), LabelState::Inferred(ClassId(0)));
+        assert_eq!(
+            labelled.state(ObjectId(0)),
+            LabelState::Inferred(ClassId(0))
+        );
     }
 
     #[test]
@@ -161,9 +216,7 @@ mod tests {
         // The capped picks are the globally most-confident ones.
         let mut all_margins: Vec<f64> = (0..dataset.len())
             .map(|i| {
-                crowdrl_types::prob::top_two_margin(
-                    &clf.predict_proba_one(dataset.features(i)),
-                )
+                crowdrl_types::prob::top_two_margin(&clf.predict_proba_one(dataset.features(i)))
             })
             .collect();
         all_margins.sort_by(|a, b| b.partial_cmp(a).unwrap());

@@ -92,7 +92,11 @@ pub fn embed(
     let load_norm = load / (1.0 + load);
 
     // Already-labelled flag (masked upstream, but the net sees it too).
-    let object_labelled = if labelled.state(object).is_labelled() { 1.0 } else { 0.0 };
+    let object_labelled = if labelled.state(object).is_labelled() {
+        1.0
+    } else {
+        0.0
+    };
 
     vec![
         max_prob as f32,
@@ -139,7 +143,11 @@ mod tests {
     fn profile(id: usize, expert: bool) -> AnnotatorProfile {
         AnnotatorProfile::new(
             AnnotatorId(id),
-            if expert { AnnotatorKind::Expert } else { AnnotatorKind::Worker },
+            if expert {
+                AnnotatorKind::Expert
+            } else {
+                AnnotatorKind::Worker
+            },
             if expert { 10.0 } else { 1.0 },
         )
         .unwrap()
@@ -167,12 +175,22 @@ mod tests {
         let answers = AnswerSet::new(1);
         let labelled = LabelledSet::new(1);
         let certain = embed(
-            ObjectId(0), &profile(0, false), &[0.99, 0.01],
-            &answers, &labelled, &snapshot(), 3,
+            ObjectId(0),
+            &profile(0, false),
+            &[0.99, 0.01],
+            &answers,
+            &labelled,
+            &snapshot(),
+            3,
         );
         let uncertain = embed(
-            ObjectId(0), &profile(0, false), &[0.5, 0.5],
-            &answers, &labelled, &snapshot(), 3,
+            ObjectId(0),
+            &profile(0, false),
+            &[0.5, 0.5],
+            &answers,
+            &labelled,
+            &snapshot(),
+            3,
         );
         assert!(certain[0] > uncertain[0]); // max prob
         assert!(certain[1] > uncertain[1]); // margin
@@ -183,23 +201,41 @@ mod tests {
     fn answer_history_features() {
         let mut answers = AnswerSet::new(2);
         answers
-            .record(Answer { object: ObjectId(0), annotator: AnnotatorId(0), label: ClassId(0) })
+            .record(Answer {
+                object: ObjectId(0),
+                annotator: AnnotatorId(0),
+                label: ClassId(0),
+            })
             .unwrap();
         answers
-            .record(Answer { object: ObjectId(0), annotator: AnnotatorId(1), label: ClassId(0) })
+            .record(Answer {
+                object: ObjectId(0),
+                annotator: AnnotatorId(1),
+                label: ClassId(0),
+            })
             .unwrap();
         let labelled = LabelledSet::new(2);
         let v = embed(
-            ObjectId(0), &profile(0, false), &[0.8, 0.2],
-            &answers, &labelled, &snapshot(), 3,
+            ObjectId(0),
+            &profile(0, false),
+            &[0.8, 0.2],
+            &answers,
+            &labelled,
+            &snapshot(),
+            3,
         );
         assert!((v[3] - 2.0 / 3.0).abs() < 1e-6); // 2 answers / k=3
         assert!((v[4] - 1.0).abs() < 1e-6); // unanimous agreement
         assert!((v[5] - 1.0).abs() < 1e-6); // model agrees with votes
-        // No answers: neutral values.
+                                            // No answers: neutral values.
         let v = embed(
-            ObjectId(1), &profile(0, false), &[0.8, 0.2],
-            &answers, &labelled, &snapshot(), 3,
+            ObjectId(1),
+            &profile(0, false),
+            &[0.8, 0.2],
+            &answers,
+            &labelled,
+            &snapshot(),
+            3,
         );
         assert_eq!(v[3], 0.0);
         assert_eq!(v[4], 0.0);
@@ -211,12 +247,22 @@ mod tests {
         let answers = AnswerSet::new(1);
         let labelled = LabelledSet::new(1);
         let w = embed(
-            ObjectId(0), &profile(0, false), &[0.5, 0.5],
-            &answers, &labelled, &snapshot(), 3,
+            ObjectId(0),
+            &profile(0, false),
+            &[0.5, 0.5],
+            &answers,
+            &labelled,
+            &snapshot(),
+            3,
         );
         let e = embed(
-            ObjectId(0), &profile(1, true), &[0.5, 0.5],
-            &answers, &labelled, &snapshot(), 3,
+            ObjectId(0),
+            &profile(1, true),
+            &[0.5, 0.5],
+            &answers,
+            &labelled,
+            &snapshot(),
+            3,
         );
         assert!((w[6] - 0.9).abs() < 1e-6); // quality from snapshot
         assert!((e[6] - 0.6).abs() < 1e-6);
@@ -230,10 +276,17 @@ mod tests {
     fn labelled_flag_is_set() {
         let answers = AnswerSet::new(1);
         let mut labelled = LabelledSet::new(1);
-        labelled.set(ObjectId(0), LabelState::Inferred(ClassId(0))).unwrap();
+        labelled
+            .set(ObjectId(0), LabelState::Inferred(ClassId(0)))
+            .unwrap();
         let v = embed(
-            ObjectId(0), &profile(0, false), &[0.5, 0.5],
-            &answers, &labelled, &snapshot(), 3,
+            ObjectId(0),
+            &profile(0, false),
+            &[0.5, 0.5],
+            &answers,
+            &labelled,
+            &snapshot(),
+            3,
         );
         assert_eq!(v[13], 1.0);
     }

@@ -1,0 +1,176 @@
+//! One truth-inference step, shared by the batch workflow and the
+//! asynchronous runtime.
+//!
+//! [`CrowdRl::run`](crate::workflow::CrowdRl::run) refreshes labels once
+//! per batch iteration; `crowdrl-serve` refreshes them whenever an answer
+//! watermark is crossed. Both call the same two functions here: given the
+//! answers collected so far, [`run_inference`] produces an
+//! [`InferenceResult`] under the configured model, and [`apply_inference`]
+//! folds that result into the labelled set and quality estimates with the
+//! confidence gate.
+
+use crate::config::InferenceModel;
+use crowdrl_inference::{DawidSkene, InferenceResult, JointInference, MajorityVote, Pm};
+use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_sim::AnnotatorPool;
+use crowdrl_types::{AnswerSet, Dataset, LabelState, LabelledSet, Result};
+use rand::Rng;
+
+/// Run truth inference over `answers` under `model`.
+///
+/// The joint model couples annotator confusion matrices with the
+/// classifier (and retrains it in the process); the others ignore the
+/// features entirely.
+pub fn run_inference<R: Rng + ?Sized>(
+    model: &InferenceModel,
+    dataset: &Dataset,
+    answers: &AnswerSet,
+    pool: &AnnotatorPool,
+    classifier: &mut SoftmaxClassifier,
+    rng: &mut R,
+) -> Result<InferenceResult> {
+    let k = dataset.num_classes();
+    let w = pool.len();
+    match model {
+        InferenceModel::Joint(config) => JointInference {
+            config: config.clone(),
+        }
+        .infer(dataset, answers, pool.profiles(), classifier, rng),
+        InferenceModel::Pm => Pm::default().infer(answers, k, w),
+        InferenceModel::DawidSkene => DawidSkene::default().infer(answers, k, w),
+        InferenceModel::MajorityVote => MajorityVote.infer(answers, k, w),
+    }
+}
+
+/// Write inferred labels into the labelled set and refresh the quality
+/// estimates.
+///
+/// Only posteriors at or above `confidence` become labels; ambiguous
+/// answered objects stay unlabelled so the agent can escalate them to
+/// stronger annotators. A previously-labelled object whose posterior drops
+/// back below the bar is un-labelled again (the posterior is always the
+/// best current estimate). Classifier-enriched labels are never touched —
+/// enrichment owns those objects.
+pub fn apply_inference(
+    result: &InferenceResult,
+    labelled: &mut LabelledSet,
+    qualities: &mut [f64],
+    confidence: f64,
+) -> Result<()> {
+    for obj in result.inferred_objects() {
+        if matches!(labelled.state(obj), LabelState::Enriched(_)) {
+            continue;
+        }
+        let conf = result.confidence(obj).unwrap_or(0.0);
+        if conf >= confidence {
+            if let Some(label) = result.label(obj) {
+                labelled.set(obj, LabelState::Inferred(label))?;
+            }
+        } else if matches!(labelled.state(obj), LabelState::Inferred(_)) {
+            labelled.set(obj, LabelState::Unlabelled)?;
+        }
+    }
+    for (q, nq) in qualities.iter_mut().zip(result.qualities()) {
+        *q = nq;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_nn::ClassifierConfig;
+    use crowdrl_sim::{DatasetSpec, PoolSpec};
+    use crowdrl_types::rng::seeded;
+    use crowdrl_types::{AnnotatorId, Answer, ClassId, ObjectId};
+
+    fn setup() -> (Dataset, AnnotatorPool, SoftmaxClassifier, AnswerSet) {
+        let mut rng = seeded(1);
+        let dataset = DatasetSpec::gaussian("t", 30, 3, 2)
+            .with_separation(3.0)
+            .generate(&mut rng)
+            .unwrap();
+        let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+        let classifier =
+            SoftmaxClassifier::new(ClassifierConfig::default(), 3, 2, &mut rng).unwrap();
+        let mut answers = AnswerSet::new(30);
+        for o in 0..10 {
+            for a in 0..3 {
+                answers
+                    .record(Answer {
+                        object: ObjectId(o),
+                        annotator: AnnotatorId(a),
+                        label: dataset.truth(o),
+                    })
+                    .unwrap();
+            }
+        }
+        (dataset, pool, classifier, answers)
+    }
+
+    #[test]
+    fn every_model_runs_on_the_same_answers() {
+        let (dataset, pool, mut classifier, answers) = setup();
+        for model in [
+            InferenceModel::Joint(Default::default()),
+            InferenceModel::Pm,
+            InferenceModel::DawidSkene,
+            InferenceModel::MajorityVote,
+        ] {
+            let mut rng = seeded(2);
+            let result =
+                run_inference(&model, &dataset, &answers, &pool, &mut classifier, &mut rng)
+                    .unwrap();
+            // Unanimous truthful panels: every answered object inferred.
+            assert_eq!(result.inferred_objects().count(), 10);
+        }
+    }
+
+    #[test]
+    fn apply_gates_on_confidence_and_unlabels_doubtful_objects() {
+        let (dataset, pool, mut classifier, answers) = setup();
+        let mut rng = seeded(3);
+        let result = run_inference(
+            &InferenceModel::MajorityVote,
+            &dataset,
+            &answers,
+            &pool,
+            &mut classifier,
+            &mut rng,
+        )
+        .unwrap();
+        let mut labelled = LabelledSet::new(30);
+        let mut qualities = vec![0.5; 4];
+        apply_inference(&result, &mut labelled, &mut qualities, 0.8).unwrap();
+        assert_eq!(labelled.labelled_count(), 10);
+        // An impossible confidence bar un-labels previously inferred
+        // objects (but a label the classifier owns would survive).
+        apply_inference(&result, &mut labelled, &mut qualities, 1.1).unwrap();
+        assert_eq!(labelled.labelled_count(), 0);
+        // Quality estimates were refreshed from the result.
+        assert_eq!(qualities.len(), 4);
+    }
+
+    #[test]
+    fn apply_never_touches_enriched_labels() {
+        let (dataset, pool, mut classifier, answers) = setup();
+        let mut rng = seeded(4);
+        let result = run_inference(
+            &InferenceModel::MajorityVote,
+            &dataset,
+            &answers,
+            &pool,
+            &mut classifier,
+            &mut rng,
+        )
+        .unwrap();
+        let mut labelled = LabelledSet::new(30);
+        let pinned = ClassId(1 - dataset.truth(0).index());
+        labelled
+            .set(ObjectId(0), LabelState::Enriched(pinned))
+            .unwrap();
+        let mut qualities = vec![0.5; 4];
+        apply_inference(&result, &mut labelled, &mut qualities, 0.8).unwrap();
+        assert_eq!(labelled.state(ObjectId(0)), LabelState::Enriched(pinned));
+    }
+}

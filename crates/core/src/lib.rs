@@ -36,6 +36,7 @@ pub mod classifier_util;
 pub mod config;
 pub mod enrichment;
 pub mod features;
+pub mod infer_step;
 pub mod outcome;
 pub mod reward;
 pub mod workflow;

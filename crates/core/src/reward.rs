@@ -81,7 +81,11 @@ mod tests {
             1.0,
             0.0,
             0.0,
-            RewardInputs { enriched: 5, unlabelled_before: 20, ..inputs() },
+            RewardInputs {
+                enriched: 5,
+                unlabelled_before: 20,
+                ..inputs()
+            },
         );
         assert!((r - 0.25).abs() < 1e-12);
     }
@@ -89,23 +93,51 @@ mod tests {
     #[test]
     fn reward_penalizes_spend() {
         let no_spend = iteration_reward(1.0, 0.0, 0.5, inputs());
-        let full_spend =
-            iteration_reward(1.0, 0.0, 0.5, RewardInputs { spend: 10.0, ..inputs() });
+        let full_spend = iteration_reward(
+            1.0,
+            0.0,
+            0.5,
+            RewardInputs {
+                spend: 10.0,
+                ..inputs()
+            },
+        );
         assert_eq!(no_spend, 0.0);
         assert!((full_spend + 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn reward_pays_for_confident_labels() {
-        let vague =
-            iteration_reward(1.0, 0.5, 0.0, RewardInputs { mean_confidence: 0.5, ..inputs() });
-        let confident =
-            iteration_reward(1.0, 0.5, 0.0, RewardInputs { mean_confidence: 1.0, ..inputs() });
+        let vague = iteration_reward(
+            1.0,
+            0.5,
+            0.0,
+            RewardInputs {
+                mean_confidence: 0.5,
+                ..inputs()
+            },
+        );
+        let confident = iteration_reward(
+            1.0,
+            0.5,
+            0.0,
+            RewardInputs {
+                mean_confidence: 1.0,
+                ..inputs()
+            },
+        );
         assert!(confident > vague);
         assert!((confident - 0.5).abs() < 1e-12);
         // mu = 0 recovers the paper's reward exactly.
-        let paper =
-            iteration_reward(1.0, 0.0, 0.0, RewardInputs { mean_confidence: 1.0, ..inputs() });
+        let paper = iteration_reward(
+            1.0,
+            0.0,
+            0.0,
+            RewardInputs {
+                mean_confidence: 1.0,
+                ..inputs()
+            },
+        );
         assert_eq!(paper, 0.0);
     }
 

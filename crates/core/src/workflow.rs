@@ -18,11 +18,11 @@
 use crate::agent::SelectionAgent;
 use crate::classifier_util::retrain_on_labelled;
 use crate::config::{CrowdRlConfig, InferenceModel};
-use crate::enrichment::{enrich, fallback_label_all};
+use crate::enrichment::{enrich, fallback_label_all, refresh_enriched};
 use crate::features::{embed, StateSnapshot};
+use crate::infer_step::{apply_inference, run_inference};
 use crate::outcome::{IterationStats, LabellingOutcome};
 use crate::reward::{iteration_reward, RewardInputs};
-use crowdrl_inference::{DawidSkene, InferenceResult, JointInference, MajorityVote, Pm};
 use crowdrl_nn::SoftmaxClassifier;
 use crowdrl_sim::{AnnotatorPool, Platform};
 use crowdrl_types::rng::sample_indices;
@@ -53,7 +53,8 @@ impl CrowdRl {
         pool: &AnnotatorPool,
         rng: &mut R,
     ) -> Result<LabellingOutcome> {
-        self.run_detailed(dataset, pool, rng).map(|(outcome, _)| outcome)
+        self.run_detailed(dataset, pool, rng)
+            .map(|(outcome, _)| outcome)
     }
 
     /// Like [`CrowdRl::run`], additionally returning the trained Q-network
@@ -108,14 +109,28 @@ impl CrowdRl {
             if !experts.is_empty() {
                 annotators.push(experts[rng.random_range(0..experts.len())].id);
             }
-            let tier = if workers.is_empty() { &experts } else { &workers };
-            let fill = sample_indices(rng, tier.len(), self.config.assignment_k.saturating_sub(annotators.len()));
+            let tier = if workers.is_empty() {
+                &experts
+            } else {
+                &workers
+            };
+            let fill = sample_indices(
+                rng,
+                tier.len(),
+                self.config.assignment_k.saturating_sub(annotators.len()),
+            );
             annotators.extend(fill.into_iter().map(|i| tier[i].id));
             platform.ask_many(ObjectId(obj), &annotators, rng);
         }
         if platform.answers().total_answers() > 0 {
-            let result =
-                self.run_inference(dataset, &platform, pool, &mut classifier, rng)?;
+            let result = run_inference(
+                &self.config.inference,
+                dataset,
+                platform.answers(),
+                pool,
+                &mut classifier,
+                rng,
+            )?;
             apply_inference(
                 &result,
                 &mut labelled,
@@ -140,7 +155,9 @@ impl CrowdRl {
         // iteration spirals downward (hard objects stay unlabelled, the
         // divisor stays high while the numerator shrinks, and the tail of
         // the run buys useless one-answer panels).
-        let planned_iters = labelled.unlabelled_count().div_ceil(self.config.batch_per_iter);
+        let planned_iters = labelled
+            .unlabelled_count()
+            .div_ceil(self.config.batch_per_iter);
         let fixed_allowance = (platform.budget().remaining() / planned_iters.max(1) as f64)
             .max(pool.min_cost() * self.config.assignment_k as f64);
 
@@ -167,8 +184,7 @@ impl CrowdRl {
             // what lets a mixed-cost pool spread experts over the run
             // instead of front-loading them.
             let candidates = self.sample_candidates(dataset, &labelled, &classifier, rng);
-            let snapshot =
-                self.snapshot(&platform, &labelled, &qualities, max_cost, n, phi_trust);
+            let snapshot = self.snapshot(&platform, &labelled, &qualities, max_cost, n, phi_trust);
             let allowance = fixed_allowance.min(platform.budget().remaining());
             let assignments = agent.select(
                 &candidates,
@@ -196,9 +212,7 @@ impl CrowdRl {
             let mut conf_before: std::collections::HashMap<ObjectId, f64> =
                 std::collections::HashMap::new();
             for assignment in &assignments {
-                if let Some((_, probs)) =
-                    candidates.iter().find(|(o, _)| *o == assignment.object)
-                {
+                if let Some((_, probs)) = candidates.iter().find(|(o, _)| *o == assignment.object) {
                     if let Some(guess) = crowdrl_types::prob::argmax(probs) {
                         if classifier.is_trained() {
                             phi_guesses.push((assignment.object, guess));
@@ -208,9 +222,7 @@ impl CrowdRl {
                         .get(assignment.object.index())
                         .copied()
                         .flatten()
-                        .unwrap_or_else(|| {
-                            probs.iter().copied().fold(0.0f64, f64::max)
-                        });
+                        .unwrap_or_else(|| probs.iter().copied().fold(0.0f64, f64::max));
                     conf_before.insert(assignment.object, prior);
                 }
                 answers_bought += platform
@@ -220,8 +232,14 @@ impl CrowdRl {
             let spend = platform.budget().spent() - spent_before;
 
             // (c) Truth inference over all answers so far.
-            let result =
-                self.run_inference(dataset, &platform, pool, &mut classifier, rng)?;
+            let result = run_inference(
+                &self.config.inference,
+                dataset,
+                platform.answers(),
+                pool,
+                &mut classifier,
+                rng,
+            )?;
             apply_inference(
                 &result,
                 &mut labelled,
@@ -265,20 +283,19 @@ impl CrowdRl {
             if !matches!(self.config.inference, InferenceModel::Joint(_)) {
                 retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
             }
-            let enriched = if self.warmup_done(&labelled)
-                && phi_trust >= self.config.enrichment_trust
-            {
-                enrich(
-                    dataset,
-                    &classifier,
-                    &mut labelled,
-                    self.config.enrichment_margin,
-                    self.config.enrichment_cap_per_iter,
-                )?
-                .len()
-            } else {
-                0
-            };
+            let enriched =
+                if self.warmup_done(&labelled) && phi_trust >= self.config.enrichment_trust {
+                    enrich(
+                        dataset,
+                        &classifier,
+                        &mut labelled,
+                        self.config.enrichment_margin,
+                        self.config.enrichment_cap_per_iter,
+                    )?
+                    .len()
+                } else {
+                    0
+                };
 
             // (e) Reward, replay, learning. Each assignment is credited
             // with its *own* object's confidence **gain** (posterior
@@ -298,11 +315,8 @@ impl CrowdRl {
                         .unwrap_or(1.0 / k_classes as f64);
                     let after = result.confidence(a.object).unwrap_or(0.0);
                     let confidence = (after - before).max(0.0);
-                    let panel_cost: f64 = a
-                        .annotators
-                        .iter()
-                        .map(|&id| pool.profile(id).cost)
-                        .sum();
+                    let panel_cost: f64 =
+                        a.annotators.iter().map(|&id| pool.profile(id).cost).sum();
                     iteration_reward(
                         self.config.lambda,
                         self.config.mu,
@@ -328,7 +342,14 @@ impl CrowdRl {
                 Vec::new()
             } else {
                 self.bootstrap_embeddings(
-                    dataset, &platform, pool, &labelled, &classifier, &qualities, max_cost, rng,
+                    dataset,
+                    &platform,
+                    pool,
+                    &labelled,
+                    &classifier,
+                    &qualities,
+                    max_cost,
+                    rng,
                 )
             };
             agent.remember(&assignments, &rewards, &next_candidates, terminal);
@@ -350,8 +371,14 @@ impl CrowdRl {
         // the answers were paid for and the posterior, however ambiguous,
         // beats an untrained guess. ---
         if !labelled.all_labelled() {
-            let final_result =
-                self.run_inference(dataset, &platform, pool, &mut classifier, rng)?;
+            let final_result = run_inference(
+                &self.config.inference,
+                dataset,
+                platform.answers(),
+                pool,
+                &mut classifier,
+                rng,
+            )?;
             for obj in final_result.inferred_objects() {
                 if !labelled.state(obj).is_labelled() {
                     if let Some(label) = final_result.label(obj) {
@@ -371,9 +398,14 @@ impl CrowdRl {
         }
 
         let _ = fallback_count; // fallback labels are Enriched states below
+
+        // --- Classifier-owned labels are re-predicted with the *final*
+        // classifier: enrichment decisions taken mid-run by a weaker
+        // classifier otherwise lock in its early mistakes. ---
+        refresh_enriched(dataset, &classifier, &mut labelled)?;
+
         let iterations = trace.len();
-        let label_states: Vec<LabelState> =
-            (0..n).map(|i| labelled.state(ObjectId(i))).collect();
+        let label_states: Vec<LabelState> = (0..n).map(|i| labelled.state(ObjectId(i))).collect();
         let enriched_count = label_states
             .iter()
             .filter(|s| matches!(s, LabelState::Enriched(_)))
@@ -463,8 +495,7 @@ impl CrowdRl {
         max_cost: f64,
         rng: &mut R,
     ) -> Vec<Vec<f32>> {
-        let snapshot =
-            self.snapshot(platform, labelled, qualities, max_cost, dataset.len(), 0.0);
+        let snapshot = self.snapshot(platform, labelled, qualities, max_cost, dataset.len(), 0.0);
         let unlabelled: Vec<ObjectId> = labelled.unlabelled_objects().collect();
         if unlabelled.is_empty() {
             return Vec::new();
@@ -501,62 +532,6 @@ impl CrowdRl {
         }
         out
     }
-
-    fn run_inference<R: Rng + ?Sized>(
-        &self,
-        dataset: &Dataset,
-        platform: &Platform<'_>,
-        pool: &AnnotatorPool,
-        classifier: &mut SoftmaxClassifier,
-        rng: &mut R,
-    ) -> Result<InferenceResult> {
-        let answers = platform.answers();
-        let k = dataset.num_classes();
-        let w = pool.len();
-        match &self.config.inference {
-            InferenceModel::Joint(config) => JointInference { config: config.clone() }.infer(
-                dataset,
-                answers,
-                pool.profiles(),
-                classifier,
-                rng,
-            ),
-            InferenceModel::Pm => Pm::default().infer(answers, k, w),
-            InferenceModel::DawidSkene => DawidSkene::default().infer(answers, k, w),
-            InferenceModel::MajorityVote => MajorityVote.infer(answers, k, w),
-        }
-    }
-}
-
-/// Write inferred labels into the labelled set and refresh the quality
-/// estimates.
-///
-/// Only posteriors at or above `confidence` become labels; ambiguous
-/// answered objects stay unlabelled so the agent can escalate them to
-/// stronger annotators. A previously-labelled object whose posterior drops
-/// back below the bar is un-labelled again (the posterior is always the
-/// best current estimate). Classifier-enriched labels are never touched —
-/// enrichment owns those objects.
-fn apply_inference(
-    result: &InferenceResult,
-    labelled: &mut LabelledSet,
-    qualities: &mut [f64],
-    confidence: f64,
-) -> Result<()> {
-    for obj in result.inferred_objects() {
-        let conf = result.confidence(obj).unwrap_or(0.0);
-        if conf >= confidence {
-            if let Some(label) = result.label(obj) {
-                labelled.set(obj, LabelState::Inferred(label))?;
-            }
-        } else if matches!(labelled.state(obj), LabelState::Inferred(_)) {
-            labelled.set(obj, LabelState::Unlabelled)?;
-        }
-    }
-    for (q, nq) in qualities.iter_mut().zip(result.qualities()) {
-        *q = nq;
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -661,7 +636,10 @@ mod tests {
                 "m1",
                 CrowdRlConfig::builder()
                     .budget(120.0)
-                    .ablation(Ablation { random_task_selection: true, ..Default::default() })
+                    .ablation(Ablation {
+                        random_task_selection: true,
+                        ..Default::default()
+                    })
                     .build()
                     .unwrap(),
             ),
@@ -669,7 +647,10 @@ mod tests {
                 "m2",
                 CrowdRlConfig::builder()
                     .budget(120.0)
-                    .ablation(Ablation { random_task_assignment: true, ..Default::default() })
+                    .ablation(Ablation {
+                        random_task_assignment: true,
+                        ..Default::default()
+                    })
                     .build()
                     .unwrap(),
             ),
@@ -713,7 +694,11 @@ mod tests {
             let mut rng = seeded(10);
             let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
             assert!(outcome.budget_spent <= 120.0 + 1e-9, "{name} overspent");
-            assert!(outcome.coverage() > 0.5, "{name} coverage {}", outcome.coverage());
+            assert!(
+                outcome.coverage() > 0.5,
+                "{name} coverage {}",
+                outcome.coverage()
+            );
         }
     }
 

@@ -1,0 +1,343 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! small implementation of the `crossbeam 0.8` API surface the CrowdRL
+//! crates use:
+//!
+//! * [`channel::unbounded`] / [`channel::bounded`] — multi-producer
+//!   **multi-consumer** channels (the part `std::sync::mpsc` cannot do),
+//!   built on a `Mutex<VecDeque>` + `Condvar`. Fine for the coarse-grained
+//!   job queues used here; not a lock-free replacement.
+//! * [`scope`] — scoped threads with crossbeam's closure signature
+//!   (`|scope| ...` and `scope.spawn(|scope| ...)`), built on
+//!   [`std::thread::scope`], returning `Err` when any spawned thread
+//!   panicked instead of propagating the panic.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Receivers wait here for data; senders wait here for capacity.
+        signal: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty; senders still connected.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// The sending half; clonable for multi-producer use.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clonable for multi-consumer (work-stealing) use.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `msg`, blocking while a bounded channel is full. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.shared.signal.wait(state).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.shared.signal.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Take the next message, blocking until one arrives. Fails only when
+        /// the queue is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    // A bounded sender may be waiting for the free slot.
+                    self.shared.signal.notify_all();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.signal.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Take the next message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.shared.signal.notify_all();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Iterate over messages until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().expect("channel poisoned").senders -= 1;
+            self.shared.signal.notify_all();
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers -= 1;
+            self.shared.signal.notify_all();
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            signal: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A channel holding at most `cap` queued messages; `send` blocks when
+    /// full. (`cap == 0` behaves as capacity 1 here, not as a rendezvous.)
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+}
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+///
+/// Mirrors crossbeam's shape: the closure passed to [`scope`] and every
+/// closure passed to [`Scope::spawn`] receive a `&Scope`, so spawned threads
+/// can spawn further threads.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope; it is joined when the scope ends.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before this
+/// returns. Returns `Err` (with the panic payload) when `f` or any spawned
+/// thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn unbounded_multi_consumer_delivers_every_job() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let (out_tx, out_rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let out_tx = out_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        out_tx.send(v * 2).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        drop(out_tx);
+        let mut got: Vec<usize> = out_rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_once_receivers_are_gone() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_drains_then_disconnects() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = channel::bounded::<usize>(2);
+        let sent = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|_| {
+                for i in 0..50 {
+                    tx.send(i).unwrap();
+                    sent.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            s.spawn(|_| {
+                for want in 0..50 {
+                    assert_eq!(rx.recv(), Ok(want));
+                }
+            });
+        })
+        .unwrap();
+        assert_eq!(sent.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn scope_reports_thread_panics_as_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let result = scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().unwrap() * 2
+        });
+        assert_eq!(result.unwrap(), 42);
+    }
+}

@@ -31,7 +31,7 @@ pub struct Metrics {
 }
 
 /// Score `labels` against the dataset's hidden ground truth.
-    #[allow(clippy::needless_range_loop)] // index spans several parallel structures
+#[allow(clippy::needless_range_loop)] // index spans several parallel structures
 pub fn evaluate_labels(dataset: &Dataset, labels: &[Option<ClassId>]) -> Result<Metrics> {
     if labels.len() != dataset.len() {
         return Err(Error::DimensionMismatch {
@@ -81,7 +81,13 @@ pub fn evaluate_labels(dataset: &Dataset, labels: &[Option<ClassId>]) -> Result<
             0.0
         }
     };
-    let f1_of = |p: f64, r: f64| if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+    let f1_of = |p: f64, r: f64| {
+        if p + r > 0.0 {
+            2.0 * p * r / (p + r)
+        } else {
+            0.0
+        }
+    };
 
     let precision = prec(0);
     let recall = rec(0);

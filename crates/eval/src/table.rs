@@ -6,11 +6,7 @@ use std::path::Path;
 
 /// Render a metric (selected by `pick`) as a strategies × datasets table,
 /// strategies as rows — the layout of the paper's figures.
-pub fn format_grid(
-    title: &str,
-    cells: &[CellResult],
-    pick: fn(&CellResult) -> f64,
-) -> String {
+pub fn format_grid(title: &str, cells: &[CellResult], pick: fn(&CellResult) -> f64) -> String {
     let mut datasets: Vec<String> = Vec::new();
     let mut strategies: Vec<String> = Vec::new();
     for c in cells {

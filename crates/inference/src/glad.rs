@@ -38,7 +38,12 @@ pub struct Glad {
 
 impl Default for Glad {
     fn default() -> Self {
-        Self { max_iters: 30, tol: 1e-5, learning_rate: 0.1, m_steps: 10 }
+        Self {
+            max_iters: 30,
+            tol: 1e-5,
+            learning_rate: 0.1,
+            m_steps: 10,
+        }
     }
 }
 
@@ -73,10 +78,14 @@ impl Glad {
         num_annotators: usize,
     ) -> Result<(InferenceResult, Vec<f64>, Vec<f64>)> {
         if self.max_iters == 0 || self.m_steps == 0 {
-            return Err(Error::InvalidParameter("iteration counts must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "iteration counts must be positive".into(),
+            ));
         }
         if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
-            return Err(Error::InvalidParameter("learning_rate must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "learning_rate must be positive".into(),
+            ));
         }
         if num_classes < 2 {
             return Err(Error::InvalidParameter("need at least two classes".into()));
@@ -101,7 +110,9 @@ impl Glad {
                 for ans in answers.iter() {
                     let i = ans.object.index();
                     let j = ans.annotator.index();
-                    let Some(post) = posteriors[i].as_ref() else { continue };
+                    let Some(post) = posteriors[i].as_ref() else {
+                        continue;
+                    };
                     let e = post.get(ans.label.index()).copied().unwrap_or(0.0);
                     let s = sigmoid(alpha[j] * beta[i]);
                     // d/dx log-likelihood of Bernoulli(e; sigma(ab)):
@@ -131,7 +142,11 @@ impl Glad {
                     let s = sigmoid(alpha[a.index()] * beta[i]).clamp(1e-6, 1.0 - 1e-6);
                     let wrong = (1.0 - s) / (num_classes - 1) as f64;
                     for (c, lp) in logp.iter_mut().enumerate() {
-                        *lp += if c == label.index() { s.ln() } else { wrong.ln() };
+                        *lp += if c == label.index() {
+                            s.ln()
+                        } else {
+                            wrong.ln()
+                        };
                     }
                 }
                 let lse = prob::log_sum_exp(&logp);
@@ -184,20 +199,28 @@ mod tests {
     use crowdrl_types::{AnnotatorId, Answer, ClassId, ConfusionMatrix};
 
     fn ans(o: usize, a: usize, c: usize) -> Answer {
-        Answer { object: ObjectId(o), annotator: AnnotatorId(a), label: ClassId(c) }
+        Answer {
+            object: ObjectId(o),
+            annotator: AnnotatorId(a),
+            label: ClassId(c),
+        }
     }
 
     fn simulate(n: usize, accs: &[f64], seed: u64) -> (AnswerSet, Vec<ClassId>) {
         let mut rng = seeded(seed);
-        let mats: Vec<ConfusionMatrix> =
-            accs.iter().map(|&a| ConfusionMatrix::with_accuracy(2, a).unwrap()).collect();
+        let mats: Vec<ConfusionMatrix> = accs
+            .iter()
+            .map(|&a| ConfusionMatrix::with_accuracy(2, a).unwrap())
+            .collect();
         let mut answers = AnswerSet::new(n);
         let mut truths = Vec::with_capacity(n);
         for i in 0..n {
             let truth = ClassId(i % 2);
             truths.push(truth);
             for (j, m) in mats.iter().enumerate() {
-                answers.record(ans(i, j, m.sample_answer(truth, &mut rng).index())).unwrap();
+                answers
+                    .record(ans(i, j, m.sample_answer(truth, &mut rng).index()))
+                    .unwrap();
             }
         }
         (answers, truths)
@@ -257,11 +280,24 @@ mod tests {
     #[test]
     fn rejects_bad_configs() {
         let answers = AnswerSet::new(1);
-        assert!(Glad { max_iters: 0, ..Default::default() }.infer(&answers, 2, 1).is_err());
-        assert!(Glad { m_steps: 0, ..Default::default() }.infer(&answers, 2, 1).is_err());
-        assert!(Glad { learning_rate: 0.0, ..Default::default() }
-            .infer(&answers, 2, 1)
-            .is_err());
+        assert!(Glad {
+            max_iters: 0,
+            ..Default::default()
+        }
+        .infer(&answers, 2, 1)
+        .is_err());
+        assert!(Glad {
+            m_steps: 0,
+            ..Default::default()
+        }
+        .infer(&answers, 2, 1)
+        .is_err());
+        assert!(Glad {
+            learning_rate: 0.0,
+            ..Default::default()
+        }
+        .infer(&answers, 2, 1)
+        .is_err());
         assert!(Glad::default().infer(&answers, 1, 1).is_err());
     }
 
@@ -270,6 +306,8 @@ mod tests {
         let (answers, _) = simulate(100, &[0.99, 0.99, 0.5], 3);
         let (_, alpha, beta) = Glad::default().infer_full(&answers, 2, 3).unwrap();
         assert!(alpha.iter().all(|&a| (0.05..=10.0).contains(&a)));
-        assert!(beta.iter().all(|&b| b.is_nan() || (0.05..=10.0).contains(&b)));
+        assert!(beta
+            .iter()
+            .all(|&b| b.is_nan() || (0.05..=10.0).contains(&b)));
     }
 }

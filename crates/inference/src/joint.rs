@@ -29,9 +29,7 @@ use crate::result::InferenceResult;
 use crowdrl_linalg::Matrix;
 use crowdrl_nn::SoftmaxClassifier;
 use crowdrl_types::prob;
-use crowdrl_types::{
-    AnnotatorProfile, AnswerSet, ClassId, Dataset, Error, ObjectId, Result,
-};
+use crowdrl_types::{AnnotatorProfile, AnswerSet, ClassId, Dataset, Error, ObjectId, Result};
 use rand::Rng;
 
 /// Hyperparameters of the joint EM.
@@ -95,19 +93,29 @@ impl JointConfig {
             return Err(Error::InvalidParameter("max_iters must be positive".into()));
         }
         if !(0.0..=1.0).contains(&self.expert_epsilon) {
-            return Err(Error::InvalidParameter("expert_epsilon must be in [0,1]".into()));
+            return Err(Error::InvalidParameter(
+                "expert_epsilon must be in [0,1]".into(),
+            ));
         }
         if self.smoothing < 0.0 {
-            return Err(Error::InvalidParameter("smoothing must be non-negative".into()));
+            return Err(Error::InvalidParameter(
+                "smoothing must be non-negative".into(),
+            ));
         }
         if self.classifier_weight < 0.0 || !self.classifier_weight.is_finite() {
-            return Err(Error::InvalidParameter("classifier_weight must be non-negative".into()));
+            return Err(Error::InvalidParameter(
+                "classifier_weight must be non-negative".into(),
+            ));
         }
         if !(0.0..=0.5).contains(&self.phi_clamp) {
-            return Err(Error::InvalidParameter("phi_clamp must be in [0, 0.5]".into()));
+            return Err(Error::InvalidParameter(
+                "phi_clamp must be in [0, 0.5]".into(),
+            ));
         }
         if self.retrain_every == 0 {
-            return Err(Error::InvalidParameter("retrain_every must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "retrain_every must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -160,10 +168,7 @@ impl JointInference {
             // Nothing to infer; report empty result with uniform artifacts.
             return Ok(InferenceResult {
                 posteriors: vec![None; dataset.len()],
-                confusions: vec![
-                    crowdrl_types::ConfusionMatrix::uniform(k)?;
-                    num_annotators
-                ],
+                confusions: vec![crowdrl_types::ConfusionMatrix::uniform(k)?; num_annotators],
                 class_prior: vec![1.0 / k as f64; k],
                 iterations: 0,
                 log_likelihood: f64::NAN,
@@ -201,8 +206,7 @@ impl JointInference {
                 let hi = 1.0 - self.config.phi_clamp;
                 let mut logp: Vec<f64> = (0..k)
                     .map(|c| {
-                        self.config.classifier_weight
-                            * (phi.get(r, c) as f64).clamp(lo, hi).ln()
+                        self.config.classifier_weight * (phi.get(r, c) as f64).clamp(lo, hi).ln()
                     })
                     .collect();
                 for &(a, label) in answers.answers_for(ObjectId(i)) {
@@ -252,7 +256,13 @@ impl JointInference {
             }
         }
         prob::normalize(&mut class_prior);
-        Ok(InferenceResult { posteriors, confusions, class_prior, iterations, log_likelihood })
+        Ok(InferenceResult {
+            posteriors,
+            confusions,
+            class_prior,
+            iterations,
+            log_likelihood,
+        })
     }
 
     /// Soft-count confusion estimation with configured smoothing.
@@ -268,7 +278,9 @@ impl JointInference {
         }
         let mut counts = vec![vec![0.0f64; k * k]; num_annotators];
         for ans in answers.iter() {
-            let Some(post) = posteriors[ans.object.index()].as_ref() else { continue };
+            let Some(post) = posteriors[ans.object.index()].as_ref() else {
+                continue;
+            };
             let grid = &mut counts[ans.annotator.index()];
             for (truth, &q) in post.iter().enumerate() {
                 grid[truth * k + ans.label.index()] += q;
@@ -359,14 +371,20 @@ mod tests {
             .with_separation(separation)
             .generate(&mut rng)
             .unwrap();
-        let pool = PoolSpec::new(workers, experts).generate(2, &mut rng).unwrap();
+        let pool = PoolSpec::new(workers, experts)
+            .generate(2, &mut rng)
+            .unwrap();
         let mut answers = AnswerSet::new(n);
         let answered = (n as f64 * coverage) as usize;
         for i in 0..answered {
             for a in 0..pool.len() {
                 let label = pool.sample_answer(AnnotatorId(a), dataset.truth(i), &mut rng);
                 answers
-                    .record(Answer { object: ObjectId(i), annotator: AnnotatorId(a), label })
+                    .record(Answer {
+                        object: ObjectId(i),
+                        annotator: AnnotatorId(a),
+                        label,
+                    })
                     .unwrap();
             }
         }
@@ -375,7 +393,10 @@ mod tests {
 
     fn fresh_classifier(dim: usize, seed: u64) -> SoftmaxClassifier {
         let mut rng = seeded(seed);
-        let config = ClassifierConfig { epochs: 15, ..Default::default() };
+        let config = ClassifierConfig {
+            epochs: 15,
+            ..Default::default()
+        };
         SoftmaxClassifier::new(config, dim, 2, &mut rng).unwrap()
     }
 
@@ -420,7 +441,11 @@ mod tests {
             for a in 0..3 {
                 let label = pool.sample_answer(AnnotatorId(a), dataset.truth(i), &mut rng);
                 answers
-                    .record(Answer { object: ObjectId(i), annotator: AnnotatorId(a), label })
+                    .record(Answer {
+                        object: ObjectId(i),
+                        annotator: AnnotatorId(a),
+                        label,
+                    })
                     .unwrap();
             }
         }
@@ -443,7 +468,10 @@ mod tests {
         let mut clf = fresh_classifier(4, 71);
         let mut rng = seeded(72);
         let joint = JointInference {
-            config: JointConfig { expert_epsilon: 0.05, ..Default::default() },
+            config: JointConfig {
+                expert_epsilon: 0.05,
+                ..Default::default()
+            },
         };
         let r = joint
             .infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng)
@@ -463,9 +491,18 @@ mod tests {
         let mut rng = seeded(81);
         let expert_idx = pool.len() - 1;
         let bounded = JointInference {
-            config: JointConfig { expert_epsilon: 0.02, ..Default::default() },
+            config: JointConfig {
+                expert_epsilon: 0.02,
+                ..Default::default()
+            },
         }
-        .infer(&dataset, &answers, pool.profiles(), &mut fresh_classifier(4, 82), &mut rng)
+        .infer(
+            &dataset,
+            &answers,
+            pool.profiles(),
+            &mut fresh_classifier(4, 82),
+            &mut rng,
+        )
         .unwrap();
         assert!(bounded.confusions[expert_idx].quality() >= 0.98 - 1e-9);
     }
@@ -482,11 +519,21 @@ mod tests {
             },
         };
         let r = joint
-            .infer(&dataset, &answers, pool.profiles(), &mut fresh_classifier(4, 92), &mut rng)
+            .infer(
+                &dataset,
+                &answers,
+                pool.profiles(),
+                &mut fresh_classifier(4, 92),
+                &mut rng,
+            )
             .unwrap();
-        let ds = DawidSkene { max_iters: 8, tol: 1e-4, ..Default::default() }
-            .infer(&answers, 2, 4)
-            .unwrap();
+        let ds = DawidSkene {
+            max_iters: 8,
+            tol: 1e-4,
+            ..Default::default()
+        }
+        .infer(&answers, 2, 4)
+        .unwrap();
         // Without the classifier term the posterior structure should be very
         // close to DS (not identical: DS also carries a class-prior term,
         // which matters on split votes from weak annotators).
@@ -506,10 +553,19 @@ mod tests {
         let (dataset, pool, answers) = scenario(200, 3.0, 3, 1, 1.0, 130);
         let mut rng = seeded(131);
         let joint = JointInference {
-            config: JointConfig { hard_labels: true, ..Default::default() },
+            config: JointConfig {
+                hard_labels: true,
+                ..Default::default()
+            },
         };
         let r = joint
-            .infer(&dataset, &answers, pool.profiles(), &mut fresh_classifier(4, 132), &mut rng)
+            .infer(
+                &dataset,
+                &answers,
+                pool.profiles(),
+                &mut fresh_classifier(4, 132),
+                &mut rng,
+            )
             .unwrap();
         let acc = accuracy(&r, &dataset);
         assert!(acc > 0.9, "hard-label joint accuracy {acc}");
@@ -518,7 +574,9 @@ mod tests {
     #[test]
     fn handles_no_answers_gracefully() {
         let mut rng = seeded(100);
-        let dataset = DatasetSpec::gaussian("t", 20, 4, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 20, 4, 2)
+            .generate(&mut rng)
+            .unwrap();
         let pool = PoolSpec::new(2, 0).generate(2, &mut rng).unwrap();
         let answers = AnswerSet::new(20);
         let mut clf = fresh_classifier(4, 101);
@@ -533,19 +591,40 @@ mod tests {
     #[test]
     fn validates_config_and_shapes() {
         let mut rng = seeded(110);
-        let dataset = DatasetSpec::gaussian("t", 10, 4, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 10, 4, 2)
+            .generate(&mut rng)
+            .unwrap();
         let pool = PoolSpec::new(1, 0).generate(2, &mut rng).unwrap();
         let answers = AnswerSet::new(10);
         let mut clf = fresh_classifier(4, 111);
 
-        let bad = JointInference { config: JointConfig { max_iters: 0, ..Default::default() } };
-        assert!(bad.infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng).is_err());
-        let bad =
-            JointInference { config: JointConfig { expert_epsilon: 2.0, ..Default::default() } };
-        assert!(bad.infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng).is_err());
-        let bad =
-            JointInference { config: JointConfig { retrain_every: 0, ..Default::default() } };
-        assert!(bad.infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng).is_err());
+        let bad = JointInference {
+            config: JointConfig {
+                max_iters: 0,
+                ..Default::default()
+            },
+        };
+        assert!(bad
+            .infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng)
+            .is_err());
+        let bad = JointInference {
+            config: JointConfig {
+                expert_epsilon: 2.0,
+                ..Default::default()
+            },
+        };
+        assert!(bad
+            .infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng)
+            .is_err());
+        let bad = JointInference {
+            config: JointConfig {
+                retrain_every: 0,
+                ..Default::default()
+            },
+        };
+        assert!(bad
+            .infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng)
+            .is_err());
 
         // Answer-set size mismatch.
         let wrong = AnswerSet::new(5);

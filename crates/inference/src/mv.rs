@@ -52,8 +52,7 @@ impl MajorityVote {
             posteriors[i] = Some(p);
         }
         prob::normalize(&mut class_prior);
-        let confusions =
-            estimate_confusions(answers, &posteriors, num_classes, num_annotators)?;
+        let confusions = estimate_confusions(answers, &posteriors, num_classes, num_annotators)?;
         Ok(InferenceResult {
             posteriors,
             confusions,
@@ -104,7 +103,11 @@ mod tests {
     use crowdrl_types::{AnnotatorId, Answer, ClassId, ObjectId};
 
     fn ans(o: usize, a: usize, c: usize) -> Answer {
-        Answer { object: ObjectId(o), annotator: AnnotatorId(a), label: ClassId(c) }
+        Answer {
+            object: ObjectId(o),
+            annotator: AnnotatorId(a),
+            label: ClassId(c),
+        }
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct Pm {
 
 impl Default for Pm {
     fn default() -> Self {
-        Self { max_iters: 50, tol: 1e-6 }
+        Self {
+            max_iters: 50,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -90,14 +93,19 @@ impl Pm {
                 let Some(post) = posteriors[ans.object.index()].as_ref() else {
                     continue;
                 };
-                let Some(truth) = prob::argmax(post) else { continue };
+                let Some(truth) = prob::argmax(post) else {
+                    continue;
+                };
                 cnt[ans.annotator.index()] += 1.0;
                 if ans.label.index() != truth {
                     err[ans.annotator.index()] += 1.0;
                 }
             }
-            let rates: Vec<f64> =
-                err.iter().zip(&cnt).map(|(&e, &c)| (e / c).clamp(1e-6, 1.0)).collect();
+            let rates: Vec<f64> = err
+                .iter()
+                .zip(&cnt)
+                .map(|(&e, &c)| (e / c).clamp(1e-6, 1.0))
+                .collect();
             let total: f64 = rates.iter().sum();
             for (w, &r) in weights.iter_mut().zip(&rates) {
                 // CRH weight: -ln(err_j / Σ err). Annotators with relatively
@@ -137,20 +145,28 @@ mod tests {
     use crowdrl_types::{AnnotatorId, Answer, ClassId, ConfusionMatrix};
 
     fn ans(o: usize, a: usize, c: usize) -> Answer {
-        Answer { object: ObjectId(o), annotator: AnnotatorId(a), label: ClassId(c) }
+        Answer {
+            object: ObjectId(o),
+            annotator: AnnotatorId(a),
+            label: ClassId(c),
+        }
     }
 
     fn simulate(n: usize, accs: &[f64], seed: u64) -> (AnswerSet, Vec<ClassId>) {
         let mut rng = seeded(seed);
-        let mats: Vec<ConfusionMatrix> =
-            accs.iter().map(|&a| ConfusionMatrix::with_accuracy(2, a).unwrap()).collect();
+        let mats: Vec<ConfusionMatrix> = accs
+            .iter()
+            .map(|&a| ConfusionMatrix::with_accuracy(2, a).unwrap())
+            .collect();
         let mut answers = AnswerSet::new(n);
         let mut truths = Vec::with_capacity(n);
         for i in 0..n {
             let truth = ClassId(i % 2);
             truths.push(truth);
             for (j, m) in mats.iter().enumerate() {
-                answers.record(ans(i, j, m.sample_answer(truth, &mut rng).index())).unwrap();
+                answers
+                    .record(ans(i, j, m.sample_answer(truth, &mut rng).index()))
+                    .unwrap();
             }
         }
         (answers, truths)
@@ -203,7 +219,10 @@ mod tests {
         let answers = AnswerSet::new(2);
         let r = Pm::default().infer(&answers, 2, 1).unwrap();
         assert!(r.posteriors.iter().all(Option::is_none));
-        let pm = Pm { max_iters: 0, tol: 1e-6 };
+        let pm = Pm {
+            max_iters: 0,
+            tol: 1e-6,
+        };
         assert!(pm.infer(&answers, 2, 1).is_err());
         assert!(Pm::default().infer(&answers, 1, 1).is_err());
     }

@@ -38,7 +38,10 @@ impl InferenceResult {
 
     /// The estimated scalar quality `tr(Π̂)/|C|` of each annotator.
     pub fn qualities(&self) -> Vec<f64> {
-        self.confusions.iter().map(ConfusionMatrix::quality).collect()
+        self.confusions
+            .iter()
+            .map(ConfusionMatrix::quality)
+            .collect()
     }
 
     /// Objects that received a posterior.

@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// An all-zeros `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Wrap an existing row-major buffer. Panics if `data.len() != rows*cols`.
@@ -39,7 +43,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -191,7 +199,11 @@ impl Matrix {
 
     /// `self += other`, element-wise.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_assign shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -199,7 +211,11 @@ impl Matrix {
 
     /// `self += alpha * other` (axpy), element-wise.
     pub fn add_scaled(&mut self, alpha: f32, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_scaled shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -221,7 +237,11 @@ impl Matrix {
 
     /// Element-wise product `self *= other` (Hadamard).
     pub fn hadamard_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "hadamard shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a *= b;
         }

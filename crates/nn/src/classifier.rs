@@ -55,19 +55,27 @@ impl ClassifierConfig {
     /// Validate hyperparameter domains.
     pub fn validate(&self) -> Result<()> {
         if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
-            return Err(Error::InvalidParameter("learning_rate must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "learning_rate must be positive".into(),
+            ));
         }
         if self.epochs == 0 {
             return Err(Error::InvalidParameter("epochs must be positive".into()));
         }
         if self.batch_size == 0 {
-            return Err(Error::InvalidParameter("batch_size must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "batch_size must be positive".into(),
+            ));
         }
         if self.weight_decay < 0.0 || !self.weight_decay.is_finite() {
-            return Err(Error::InvalidParameter("weight_decay must be non-negative".into()));
+            return Err(Error::InvalidParameter(
+                "weight_decay must be non-negative".into(),
+            ));
         }
         if self.hidden.contains(&0) {
-            return Err(Error::InvalidParameter("hidden sizes must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "hidden sizes must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -104,7 +112,13 @@ impl SoftmaxClassifier {
         sizes.push(num_classes);
         let net = Network::mlp(&sizes, config.activation, rng);
         let opt = Adam::new(config.learning_rate);
-        Ok(Self { net, opt, config, num_classes, trained: false })
+        Ok(Self {
+            net,
+            opt,
+            config,
+            num_classes,
+            trained: false,
+        })
     }
 
     /// Number of classes.
@@ -168,8 +182,7 @@ impl SoftmaxClassifier {
             for chunk in order.chunks(bs) {
                 let bx = gather_rows(x, chunk);
                 let bt = gather_rows(targets, chunk);
-                let bw: Option<Vec<f32>> =
-                    weights.map(|w| chunk.iter().map(|&i| w[i]).collect());
+                let bw: Option<Vec<f32>> = weights.map(|w| chunk.iter().map(|&i| w[i]).collect());
                 self.net.zero_grad();
                 let out = self.net.forward(&bx);
                 let (l, d) = loss::softmax_cross_entropy(&out, &bt, bw.as_deref());
@@ -252,7 +265,9 @@ impl SoftmaxClassifier {
     /// Hard predictions for a feature matrix.
     pub fn predict(&self, x: &Matrix) -> Vec<ClassId> {
         let p = self.net.forward_inference(x);
-        (0..p.rows()).map(|i| ClassId(ops::argmax(p.row(i)))).collect()
+        (0..p.rows())
+            .map(|i| ClassId(ops::argmax(p.row(i))))
+            .collect()
     }
 
     /// Access the underlying network (e.g. for parameter inspection).
@@ -331,7 +346,9 @@ mod tests {
             targets.set(i, c.index(), 0.9);
             targets.set(i, 1 - c.index(), 0.1);
         }
-        let weights: Vec<f32> = (0..x.rows()).map(|i| if i % 2 == 0 { 1.0 } else { 0.5 }).collect();
+        let weights: Vec<f32> = (0..x.rows())
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.5 })
+            .collect();
         let loss = clf.fit(&x, &targets, Some(&weights), &mut rng).unwrap();
         assert!(loss.is_finite());
         let preds = clf.predict(&x);
@@ -344,20 +361,32 @@ mod tests {
         let mut rng = seeded(17);
         assert!(SoftmaxClassifier::new(ClassifierConfig::default(), 0, 2, &mut rng).is_err());
         assert!(SoftmaxClassifier::new(ClassifierConfig::default(), 2, 1, &mut rng).is_err());
-        let bad = ClassifierConfig { epochs: 0, ..Default::default() };
+        let bad = ClassifierConfig {
+            epochs: 0,
+            ..Default::default()
+        };
         assert!(SoftmaxClassifier::new(bad, 2, 2, &mut rng).is_err());
-        let bad = ClassifierConfig { learning_rate: -1.0, ..Default::default() };
+        let bad = ClassifierConfig {
+            learning_rate: -1.0,
+            ..Default::default()
+        };
         assert!(SoftmaxClassifier::new(bad, 2, 2, &mut rng).is_err());
-        let bad = ClassifierConfig { hidden: vec![0], ..Default::default() };
+        let bad = ClassifierConfig {
+            hidden: vec![0],
+            ..Default::default()
+        };
         assert!(SoftmaxClassifier::new(bad, 2, 2, &mut rng).is_err());
 
-        let mut clf =
-            SoftmaxClassifier::new(ClassifierConfig::default(), 2, 2, &mut rng).unwrap();
+        let mut clf = SoftmaxClassifier::new(ClassifierConfig::default(), 2, 2, &mut rng).unwrap();
         let x = Matrix::zeros(3, 2);
-        assert!(clf.fit(&Matrix::zeros(0, 2), &Matrix::zeros(0, 2), None, &mut rng).is_err());
+        assert!(clf
+            .fit(&Matrix::zeros(0, 2), &Matrix::zeros(0, 2), None, &mut rng)
+            .is_err());
         assert!(clf.fit(&x, &Matrix::zeros(2, 2), None, &mut rng).is_err());
         assert!(clf.fit(&x, &Matrix::zeros(3, 3), None, &mut rng).is_err());
-        assert!(clf.fit(&x, &Matrix::zeros(3, 2), Some(&[1.0]), &mut rng).is_err());
+        assert!(clf
+            .fit(&x, &Matrix::zeros(3, 2), Some(&[1.0]), &mut rng)
+            .is_err());
         assert!(clf.fit_hard(&x, &[ClassId(0)], &mut rng).is_err());
         assert!(clf.fit_hard(&x, &[ClassId(9); 3], &mut rng).is_err());
     }
@@ -367,7 +396,11 @@ mod tests {
         // Empty hidden layers = multinomial logistic regression.
         let (x, y) = blobs(150, 18);
         let mut rng = seeded(19);
-        let config = ClassifierConfig { hidden: vec![], epochs: 60, ..Default::default() };
+        let config = ClassifierConfig {
+            hidden: vec![],
+            epochs: 60,
+            ..Default::default()
+        };
         let mut clf = SoftmaxClassifier::new(config, 2, 2, &mut rng).unwrap();
         clf.fit_hard(&x, &y, &mut rng).unwrap();
         let preds = clf.predict(&x);

@@ -32,7 +32,10 @@ impl Dense {
         act: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(input_dim > 0 && output_dim > 0, "layer dims must be positive");
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "layer dims must be positive"
+        );
         let w = match act {
             Activation::Relu => init::he_uniform(rng, input_dim, output_dim),
             _ => init::xavier_uniform(rng, input_dim, output_dim),
@@ -127,8 +130,17 @@ impl Dense {
     /// the optimizer: `[(param, grad); 2]`.
     pub fn params_and_grads(&mut self) -> [(&mut [f32], &[f32]); 2] {
         // Split borrows: weights+grad_w, bias+grad_b.
-        let Dense { w, b, grad_w, grad_b, .. } = self;
-        [(w.as_mut_slice(), grad_w.as_slice()), (b.as_mut_slice(), grad_b.as_slice())]
+        let Dense {
+            w,
+            b,
+            grad_w,
+            grad_b,
+            ..
+        } = self;
+        [
+            (w.as_mut_slice(), grad_w.as_slice()),
+            (b.as_mut_slice(), grad_b.as_slice()),
+        ]
     }
 
     /// Copy parameters from another layer of identical shape (target-network

@@ -58,7 +58,11 @@ pub fn softmax_cross_entropy(
 ///
 /// Returns `(loss, d_pred)`.
 pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
-    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()), "mse shape mismatch");
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "mse shape mismatch"
+    );
     let n = pred.len().max(1) as f32;
     let mut grad = pred.clone();
     let mut loss = 0.0f64;
@@ -77,7 +81,11 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
 /// Returns `(loss, d_pred)`, both averaged over all elements.
 pub fn huber(pred: &Matrix, target: &Matrix, delta: f32) -> (f32, Matrix) {
     assert!(delta > 0.0, "delta must be positive");
-    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()), "huber shape mismatch");
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "huber shape mismatch"
+    );
     let n = pred.len().max(1) as f32;
     let mut grad = pred.clone();
     let mut loss = 0.0f64;

@@ -27,7 +27,11 @@ impl Network {
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for w in sizes.windows(2) {
             let is_last = layers.len() == sizes.len() - 2;
-            let act = if is_last { Activation::Identity } else { hidden };
+            let act = if is_last {
+                Activation::Identity
+            } else {
+                hidden
+            };
             layers.push(Dense::new(w[0], w[1], act, rng));
         }
         Self { layers }
@@ -104,7 +108,11 @@ impl Network {
     /// Copy all parameters from `other` (target-network sync). Panics on
     /// architecture mismatch.
     pub fn copy_params_from(&mut self, other: &Network) {
-        assert_eq!(self.layers.len(), other.layers.len(), "layer count mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "layer count mismatch"
+        );
         for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
             dst.copy_params_from(src);
         }
@@ -138,7 +146,11 @@ impl Network {
     /// Load parameters from a flat vector produced by
     /// [`Network::flatten_params`]. Panics on length mismatch.
     pub fn load_params(&mut self, data: &[f32]) {
-        assert_eq!(data.len(), self.param_count(), "parameter buffer length mismatch");
+        assert_eq!(
+            data.len(),
+            self.param_count(),
+            "parameter buffer length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             offset += layer.read_params(&data[offset..]);

@@ -56,7 +56,11 @@ impl Momentum {
     pub fn new(lr: f32, mu: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&mu), "momentum must be in [0,1)");
-        Self { lr, mu, velocity: Vec::new() }
+        Self {
+            lr,
+            mu,
+            velocity: Vec::new(),
+        }
     }
 
     fn slot_state(&mut self, slot: usize, len: usize) -> &mut Vec<f32> {
@@ -114,7 +118,13 @@ impl Adam {
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Self { lr, beta1, beta2, eps: 1e-8, state: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            state: Vec::new(),
+        }
     }
 }
 
@@ -122,7 +132,8 @@ impl Optimizer for Adam {
     fn update(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
         debug_assert_eq!(param.len(), grad.len());
         if self.state.len() <= slot {
-            self.state.resize_with(slot + 1, || (Vec::new(), Vec::new(), 0));
+            self.state
+                .resize_with(slot + 1, || (Vec::new(), Vec::new(), 0));
         }
         let (m, v, t) = &mut self.state[slot];
         if m.len() != param.len() {

@@ -85,7 +85,9 @@ impl DqnConfig {
             ));
         }
         if self.hidden.contains(&0) {
-            return Err(Error::InvalidParameter("hidden sizes must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "hidden sizes must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -114,7 +116,14 @@ impl DqnAgent {
         target.copy_params_from(&online);
         let replay = ReplayBuffer::new(config.replay_capacity);
         let opt = Adam::new(config.learning_rate);
-        Ok(Self { config, online, target, replay, opt, train_steps: 0 })
+        Ok(Self {
+            config,
+            online,
+            target,
+            replay,
+            opt,
+            train_steps: 0,
+        })
     }
 
     /// The configuration (read-only).
@@ -207,7 +216,10 @@ impl DqnAgent {
         self.online.backward(&d);
         self.online.step(&mut self.opt, Some(self.config.grad_clip));
         self.train_steps += 1;
-        if self.train_steps.is_multiple_of(self.config.target_sync_every) {
+        if self
+            .train_steps
+            .is_multiple_of(self.config.target_sync_every)
+        {
             self.target.copy_params_from(&self.online);
         }
         Some(l)
@@ -327,7 +339,10 @@ mod tests {
         let good = agent.q_value(&[1.0, 0.0]);
         let bad = agent.q_value(&[0.0, 1.0]);
         assert!(good > bad + 0.5, "good={good} bad={bad}");
-        assert!((good - 1.0).abs() < 0.3, "good should approach 1, got {good}");
+        assert!(
+            (good - 1.0).abs() < 0.3,
+            "good should approach 1, got {good}"
+        );
     }
 
     /// Two-step chain: action A leads to a state where a further action
@@ -356,7 +371,10 @@ mod tests {
             agent.train_step(&mut rng);
         }
         let q_first = agent.q_value(&[1.0, 0.0]);
-        assert!((q_first - 0.9).abs() < 0.25, "Q(first) should approach γ*1=0.9, got {q_first}");
+        assert!(
+            (q_first - 0.9).abs() < 0.25,
+            "Q(first) should approach γ*1=0.9, got {q_first}"
+        );
     }
 
     /// Double DQN learns the same bandit and bounds Q closer to the true

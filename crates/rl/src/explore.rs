@@ -38,7 +38,11 @@ impl UcbExplorer {
     /// Explorer with a bonus multiplier (1.0 reproduces Eq. 6).
     pub fn new(scale: f64) -> Self {
         assert!(scale >= 0.0, "scale must be non-negative");
-        Self { counts: HashMap::new(), total: 0, scale }
+        Self {
+            counts: HashMap::new(),
+            total: 0,
+            scale,
+        }
     }
 
     /// The exploration-adjusted score `Q + scale * sqrt(2 ln n' / n)`.
@@ -110,7 +114,12 @@ impl EpsilonGreedy {
     /// A policy decaying from `start` to `end` over `decay_steps` calls.
     pub fn new(start: f64, end: f64, decay_steps: u64) -> Self {
         assert!((0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end));
-        Self { epsilon_start: start, epsilon_end: end, decay_steps: decay_steps.max(1), steps: 0 }
+        Self {
+            epsilon_start: start,
+            epsilon_end: end,
+            decay_steps: decay_steps.max(1),
+            steps: 0,
+        }
     }
 
     /// Current ε.
@@ -151,7 +160,10 @@ mod tests {
         let bonus = |n: u64, total: u64| (2.0 * (total as f64).ln() / n as f64).sqrt();
         let s1 = ucb.score(0.0, 1);
         let s2 = ucb.score(0.0, 2);
-        assert!(s2 > s1, "rarely-picked action must score higher: {s2} vs {s1}");
+        assert!(
+            s2 > s1,
+            "rarely-picked action must score higher: {s2} vs {s1}"
+        );
         assert!((s1 - bonus(10, 11)).abs() < 1e-12);
         assert!((s2 - bonus(1, 11)).abs() < 1e-12);
     }

@@ -86,11 +86,7 @@ impl PrioritizedReplay {
     /// `(slot, &transition)` pairs; pass the slots back to
     /// [`PrioritizedReplay::update_priority`] after computing TD errors.
     /// Slots may repeat (sampling is with replacement, as in the paper).
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        batch: usize,
-        rng: &mut R,
-    ) -> Vec<(usize, &Transition)> {
+    pub fn sample<R: Rng + ?Sized>(&self, batch: usize, rng: &mut R) -> Vec<(usize, &Transition)> {
         let total = self.tree[1];
         if self.len == 0 || total <= 0.0 {
             return Vec::new();
@@ -154,8 +150,11 @@ mod tests {
         assert_eq!(pr.len(), 3);
         // Slots now hold transitions 3, 4, 2 (ring).
         let mut rng = seeded(1);
-        let tags: Vec<i32> =
-            pr.sample(16, &mut rng).iter().map(|(_, tr)| tr.reward as i32).collect();
+        let tags: Vec<i32> = pr
+            .sample(16, &mut rng)
+            .iter()
+            .map(|(_, tr)| tr.reward as i32)
+            .collect();
         assert!(tags.iter().all(|&x| x >= 2));
     }
 

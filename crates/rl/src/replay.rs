@@ -39,7 +39,12 @@ impl ReplayBuffer {
     /// A buffer holding at most `capacity` transitions. Panics if zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        Self { buf: Vec::with_capacity(capacity.min(4096)), capacity, head: 0, pushed: 0 }
+        Self {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
     }
 
     /// Maximum size.
@@ -78,11 +83,7 @@ impl ReplayBuffer {
     }
 
     /// Sample up to `batch` distinct transitions uniformly.
-    pub fn sample<'a, R: Rng + ?Sized>(
-        &'a self,
-        batch: usize,
-        rng: &mut R,
-    ) -> Vec<&'a Transition> {
+    pub fn sample<'a, R: Rng + ?Sized>(&'a self, batch: usize, rng: &mut R) -> Vec<&'a Transition> {
         let idx = sample_indices(rng, self.buf.len(), batch);
         idx.into_iter().map(|i| &self.buf[i]).collect()
     }

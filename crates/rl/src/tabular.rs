@@ -37,12 +37,20 @@ impl QTable {
         if !(0.0..=1.0).contains(&gamma) || gamma == 0.0 {
             return Err(Error::InvalidParameter("gamma must be in (0,1]".into()));
         }
-        Ok(Self { beta, gamma, q: HashMap::new(), default: 0.0 })
+        Ok(Self {
+            beta,
+            gamma,
+            q: HashMap::new(),
+            default: 0.0,
+        })
     }
 
     /// Current estimate `Q(s, a)`.
     pub fn get(&self, state: u64, action: u64) -> f64 {
-        self.q.get(&(state, action)).copied().unwrap_or(self.default)
+        self.q
+            .get(&(state, action))
+            .copied()
+            .unwrap_or(self.default)
     }
 
     /// Mask an invalid action: set `Q(s, a) = -inf`, permanently
@@ -54,7 +62,14 @@ impl QTable {
     /// One Bellman update (Eq. 5). `next_actions` lists the legal actions
     /// at the successor state (empty = terminal). Masked entries are
     /// skipped in the max and never updated.
-    pub fn update(&mut self, state: u64, action: u64, reward: f64, next_state: u64, next_actions: &[u64]) {
+    pub fn update(
+        &mut self,
+        state: u64,
+        action: u64,
+        reward: f64,
+        next_state: u64,
+        next_actions: &[u64],
+    ) {
         let current = self.get(state, action);
         if current == f64::NEG_INFINITY {
             return; // masked: stays -inf forever
@@ -64,10 +79,16 @@ impl QTable {
             .map(|&a| self.get(next_state, a))
             .filter(|v| *v != f64::NEG_INFINITY)
             .fold(f64::NEG_INFINITY, f64::max);
-        let bootstrap = if next_max == f64::NEG_INFINITY { 0.0 } else { next_max };
+        let bootstrap = if next_max == f64::NEG_INFINITY {
+            0.0
+        } else {
+            next_max
+        };
         let target = reward + self.gamma * bootstrap;
-        self.q
-            .insert((state, action), (1.0 - self.beta) * current + self.beta * target);
+        self.q.insert(
+            (state, action),
+            (1.0 - self.beta) * current + self.beta * target,
+        );
     }
 
     /// The greedy action among `actions` at `state` (ties break toward the
@@ -161,7 +182,7 @@ mod tests {
         let mut q = QTable::new(1.0, 1.0).unwrap();
         q.mask(1, 0);
         q.update(1, 1, 0.5, 2, &[]); // Q(1,1)=0.5
-        // Bootstrap from state 1 must ignore the masked action 0.
+                                     // Bootstrap from state 1 must ignore the masked action 0.
         q.update(0, 0, 0.0, 1, &[0, 1]);
         assert!((q.get(0, 0) - 0.5).abs() < 1e-12);
         // All-masked successor bootstraps as 0.

@@ -69,10 +69,14 @@ pub fn top_k_sum(scores: &[f64], k: usize) -> f64 {
 /// Reference implementation by full sort, for property tests.
 #[doc(hidden)]
 pub fn top_k_indices_naive(scores: &[f64], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> =
-        (0..scores.len()).filter(|&i| scores[i] != f64::NEG_INFINITY).collect();
+    let mut idx: Vec<usize> = (0..scores.len())
+        .filter(|&i| scores[i] != f64::NEG_INFINITY)
+        .collect();
     idx.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap().then_with(|| a.cmp(&b))
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap()
+            .then_with(|| a.cmp(&b))
     });
     idx.truncate(k);
     idx
@@ -132,14 +136,14 @@ mod tests {
         // assigned to w1, w3, w5 in the paper's Example 3.
         let ninf = f64::NEG_INFINITY;
         let q: Vec<Vec<f64>> = vec![
-            vec![ninf; 5],                   // o1 labelled
-            vec![3.0, 1.0, 1.0, 2.0, 2.0],   // o2 (w1..w5 columns transposed)
-            vec![1.0, 1.0, 1.0, 2.0, 4.0],   // o3
-            vec![ninf; 5],                   // o4 labelled
-            vec![ninf; 5],                   // o5 labelled
-            vec![1.0, 2.0, 1.0, 1.0, 2.0],   // o6
-            vec![3.0, 2.0, 0.0, 1.0, 1.0],   // o7
-            vec![4.0, 1.0, 3.0, 0.0, 2.0],   // o8
+            vec![ninf; 5],                 // o1 labelled
+            vec![3.0, 1.0, 1.0, 2.0, 2.0], // o2 (w1..w5 columns transposed)
+            vec![1.0, 1.0, 1.0, 2.0, 4.0], // o3
+            vec![ninf; 5],                 // o4 labelled
+            vec![ninf; 5],                 // o5 labelled
+            vec![1.0, 2.0, 1.0, 1.0, 2.0], // o6
+            vec![3.0, 2.0, 0.0, 1.0, 1.0], // o7
+            vec![4.0, 1.0, 3.0, 0.0, 2.0], // o8
         ];
         let sums: Vec<f64> = q.iter().map(|row| top_k_sum(row, 3)).collect();
         let best = crowdrl_types::prob::argmax(&sums).unwrap();

@@ -1,0 +1,107 @@
+//! The simulated clock and its event queue.
+//!
+//! A binary min-heap keyed by `(SimTime, seq)`. The clock advances only
+//! when an event is popped, and never backwards: scheduling an event in
+//! the past is an error (it would make the trace order-dependent).
+
+use crate::event::{Event, EventKind};
+use crowdrl_types::{Error, Result, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Deterministic discrete-event scheduler.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl EventQueue {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulated time (the `at` of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `kind` at absolute time `at`. Fails if `at` is before the
+    /// current clock.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) -> Result<()> {
+        if at < self.now {
+            return Err(Error::ServiceFailure(format!(
+                "cannot schedule an event at {at} when the clock reads {}",
+                self.now
+            )));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { at, seq, kind }));
+        Ok(())
+    }
+
+    /// Pop the earliest event and advance the clock to it.
+    pub fn pop(&mut self) -> Option<Event> {
+        let Reverse(event) = self.heap.pop()?;
+        self.now = event.at;
+        Some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::AssignmentId;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x).unwrap()
+    }
+
+    #[test]
+    fn pops_in_time_order_and_advances_clock() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), EventKind::Deliver(AssignmentId(0))).unwrap();
+        q.push(t(1.0), EventKind::Deliver(AssignmentId(1))).unwrap();
+        q.push(t(2.0), EventKind::Expire(AssignmentId(1))).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Deliver(AssignmentId(1)));
+        assert_eq!(q.now(), t(1.0));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Expire(AssignmentId(1)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Deliver(AssignmentId(0)));
+        assert_eq!(q.now(), t(3.0));
+        assert!(q.pop().is_none());
+        // The clock keeps its final reading after draining.
+        assert_eq!(q.now(), t(3.0));
+    }
+
+    #[test]
+    fn ties_break_by_push_order() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), EventKind::Expire(AssignmentId(7))).unwrap();
+        q.push(t(1.0), EventKind::Deliver(AssignmentId(7))).unwrap();
+        assert_eq!(q.pop().unwrap().kind, EventKind::Expire(AssignmentId(7)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Deliver(AssignmentId(7)));
+    }
+
+    #[test]
+    fn rejects_scheduling_in_the_past() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), EventKind::Deliver(AssignmentId(0))).unwrap();
+        q.pop();
+        assert!(q.push(t(4.0), EventKind::Deliver(AssignmentId(1))).is_err());
+        assert!(q.push(t(5.0), EventKind::Deliver(AssignmentId(1))).is_ok());
+    }
+}

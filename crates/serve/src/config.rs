@@ -1,0 +1,148 @@
+//! Configuration of the asynchronous runtime.
+
+use crowdrl_sim::DynamicsSpec;
+use crowdrl_types::{Error, Result};
+
+/// How the runtime executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Everything on the calling thread — the reference execution. The
+    /// worker-pool mode must reproduce its trace bit for bit.
+    SingleThread,
+    /// A crossbeam worker pool samples annotator responses and a
+    /// dedicated agent thread runs inference/scoring, overlapping DQN
+    /// training with event pumping.
+    WorkerPool {
+        /// Sampler threads (0 = available parallelism).
+        workers: usize,
+    },
+}
+
+/// Knobs of the asynchronous labelling service.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Simulated time units before a dispatched question expires and its
+    /// reservation is released.
+    pub timeout: f64,
+    /// Answer watermark: refresh truth inference after this many newly
+    /// delivered answers.
+    pub answer_watermark: usize,
+    /// Time watermark: refresh after this much simulated time since the
+    /// last refresh, even if the answer watermark was not reached
+    /// (checked after each processed event).
+    pub time_watermark: f64,
+    /// How many timeouts an object may accumulate before the service
+    /// abandons it to the classifier fallback.
+    pub max_requeues: usize,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Annotator latency/availability models (per-tier means; per-
+    /// annotator dynamics are generated from the run's RNG).
+    pub dynamics: DynamicsSpec,
+    /// Seed of the per-assignment sampling streams. Response label,
+    /// latency and availability of assignment `i` are drawn from a stream
+    /// derived from `(sampling_seed, i)`, which is what makes the
+    /// worker-pool trace identical to the single-threaded one.
+    pub sampling_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            timeout: 60.0,
+            answer_watermark: 12,
+            time_watermark: 25.0,
+            max_requeues: 3,
+            mode: ExecMode::SingleThread,
+            dynamics: DynamicsSpec::default(),
+            sampling_seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<()> {
+        if !self.timeout.is_finite() || self.timeout <= 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "timeout must be positive, got {}",
+                self.timeout
+            )));
+        }
+        if self.answer_watermark == 0 {
+            return Err(Error::InvalidParameter(
+                "answer_watermark must be at least 1".into(),
+            ));
+        }
+        if !self.time_watermark.is_finite() || self.time_watermark <= 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "time_watermark must be positive, got {}",
+                self.time_watermark
+            )));
+        }
+        Ok(())
+    }
+
+    /// Set the execution mode (builder-style).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the timeout (builder-style).
+    pub fn with_timeout(mut self, timeout: f64) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Set the watermarks (builder-style).
+    pub fn with_watermarks(mut self, answers: usize, time: f64) -> Self {
+        self.answer_watermark = answers;
+        self.time_watermark = time;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected() {
+        assert!(ServeConfig {
+            timeout: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ServeConfig {
+            answer_watermark: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ServeConfig {
+            time_watermark: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn builder_helpers_set_fields() {
+        let c = ServeConfig::default()
+            .with_mode(ExecMode::WorkerPool { workers: 4 })
+            .with_timeout(30.0)
+            .with_watermarks(5, 10.0);
+        assert_eq!(c.mode, ExecMode::WorkerPool { workers: 4 });
+        assert_eq!(c.timeout, 30.0);
+        assert_eq!(c.answer_watermark, 5);
+        assert_eq!(c.time_watermark, 10.0);
+    }
+}

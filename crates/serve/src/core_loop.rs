@@ -1,0 +1,613 @@
+//! The decision core of the asynchronous runtime.
+//!
+//! Everything the *agent* does — truth inference, trust tracking,
+//! enrichment, reward credit, DQN training, and the next batch of
+//! assignments — lives in [`AgentCore`], one struct with no knowledge of
+//! threads or event queues. The single-threaded mode calls its methods
+//! inline; the worker-pool mode moves it onto a dedicated thread and
+//! feeds it the same calls through a channel. Identical call sequence +
+//! one owned RNG = identical decisions in both modes, which is the whole
+//! determinism story on the scoring side.
+//!
+//! The loop body intentionally mirrors [`CrowdRl::run`]'s iteration
+//! (selection → inference → trust → enrichment → reward → train); what
+//! changes is the cadence (watermark-triggered instead of per-batch) and
+//! that reward credit for a batch is assigned at the *next* refresh after
+//! it, once the newly delivered answers have moved the posteriors.
+//!
+//! [`CrowdRl::run`]: crowdrl_core::CrowdRl::run
+
+use crowdrl_core::agent::{Assignment, SelectionAgent};
+use crowdrl_core::classifier_util::retrain_on_labelled;
+use crowdrl_core::config::{CrowdRlConfig, InferenceModel};
+use crowdrl_core::enrichment::{enrich, fallback_label_all, refresh_enriched};
+use crowdrl_core::features::{embed, StateSnapshot};
+use crowdrl_core::infer_step::{apply_inference, run_inference};
+use crowdrl_core::outcome::{IterationStats, LabellingOutcome};
+use crowdrl_core::reward::{iteration_reward, RewardInputs};
+use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_sim::AnnotatorPool;
+use crowdrl_types::rng::{sample_indices, seeded};
+use crowdrl_types::{
+    AnnotatorId, AnswerSet, Dataset, LabelState, LabelledSet, ObjectId, Result, SimTime,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// The budget as the agent is allowed to see it: real charges plus the
+/// ledger's outstanding reservations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetView {
+    /// Total budget of the run.
+    pub total: f64,
+    /// Charged so far (delivered answers).
+    pub spent: f64,
+    /// Reserved by in-flight assignments.
+    pub reserved: f64,
+}
+
+impl BudgetView {
+    /// Budget still free to commit: `total − spent − reserved`.
+    pub fn usable(&self) -> f64 {
+        (self.total - self.spent - self.reserved).max(0.0)
+    }
+
+    /// Committed fraction (spent + reserved, what pacing must respect).
+    pub fn committed_fraction(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 1.0;
+        }
+        ((self.spent + self.reserved) / self.total).clamp(0.0, 1.0)
+    }
+}
+
+/// A refresh request from the event pump.
+#[derive(Debug, Clone)]
+pub struct RefreshRequest {
+    /// All answers ingested so far.
+    pub answers: AnswerSet,
+    /// Budget state including reservations.
+    pub view: BudgetView,
+    /// Objects the agent must not select: currently in flight, or
+    /// abandoned after exhausting their requeue allowance.
+    pub blocked: HashSet<ObjectId>,
+    /// The simulated clock at the refresh.
+    pub now: SimTime,
+    /// Answers delivered since the previous refresh.
+    pub answers_since: usize,
+}
+
+/// The agent's answer to a refresh: what to dispatch next.
+#[derive(Debug, Clone)]
+pub struct RefreshReply {
+    /// Panels to dispatch: each object with its chosen annotators.
+    pub panels: Vec<(ObjectId, Vec<AnnotatorId>)>,
+    /// Labelled objects after this refresh (for the trace).
+    pub labelled: usize,
+    /// True once every object is labelled — the pump stops dispatching
+    /// and shuts down.
+    pub done: bool,
+}
+
+/// Final accounting handed to [`AgentCore::finalize`].
+#[derive(Debug, Clone)]
+pub struct FinalizeRequest {
+    /// All answers ingested over the run.
+    pub answers: AnswerSet,
+    /// Real budget charges.
+    pub budget_spent: f64,
+}
+
+/// A decided batch awaiting reward credit at the next refresh.
+#[derive(Debug)]
+struct PendingBatch {
+    assignments: Vec<Assignment>,
+    /// Best confidence estimate per selected object *before* its new
+    /// answers (previous posterior, else classifier probability).
+    conf_before: HashMap<ObjectId, f64>,
+    /// The classifier's pre-answer argmax per object, for the trust
+    /// estimate (only recorded when the classifier is trained).
+    phi_guesses: Vec<(ObjectId, usize)>,
+}
+
+/// The agent side of the asynchronous runtime (see module docs).
+pub struct AgentCore<'a> {
+    config: CrowdRlConfig,
+    dataset: &'a Dataset,
+    pool: &'a AnnotatorPool,
+    classifier: SoftmaxClassifier,
+    agent: SelectionAgent,
+    labelled: LabelledSet,
+    qualities: Vec<f64>,
+    prev_confidence: Vec<Option<f64>>,
+    outstanding: Vec<PendingBatch>,
+    trace: Vec<IterationStats>,
+    trust_agree: f64,
+    trust_scored: f64,
+    phi_trust: f64,
+    max_cost: f64,
+    min_cost: f64,
+    /// Per-refresh spending allowance, fixed at the first refresh (same
+    /// pacing rationale as the batch workflow).
+    fixed_allowance: Option<f64>,
+    last_spent: f64,
+    refresh_index: usize,
+    rng: StdRng,
+}
+
+impl<'a> AgentCore<'a> {
+    /// Build the core. `seed` fixes its private RNG stream; two cores
+    /// with the same seed and call sequence behave identically.
+    pub fn new(
+        config: CrowdRlConfig,
+        dataset: &'a Dataset,
+        pool: &'a AnnotatorPool,
+        seed: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        let mut rng = seeded(seed);
+        let classifier = SoftmaxClassifier::new(
+            config.classifier.clone(),
+            dataset.dim(),
+            dataset.num_classes(),
+            &mut rng,
+        )?;
+        let agent = SelectionAgent::new(
+            config.dqn.clone(),
+            &config.exploration,
+            config.pretrained_dqn.as_deref(),
+            &mut rng,
+        )?;
+        let n = dataset.len();
+        let max_cost = pool
+            .profiles()
+            .iter()
+            .map(|p| p.cost)
+            .fold(0.0f64, f64::max);
+        Ok(Self {
+            labelled: LabelledSet::new(n),
+            qualities: vec![0.7f64; pool.len()],
+            prev_confidence: vec![None; n],
+            outstanding: Vec::new(),
+            trace: Vec::new(),
+            trust_agree: 0.0,
+            trust_scored: 0.0,
+            phi_trust: 0.0,
+            max_cost,
+            min_cost: pool.min_cost(),
+            fixed_allowance: None,
+            last_spent: 0.0,
+            refresh_index: 0,
+            config,
+            dataset,
+            pool,
+            classifier,
+            agent,
+            rng,
+        })
+    }
+
+    /// The initial α·|O| stratified panels (one random expert plus random
+    /// workers each), exactly as the batch workflow seeds its run — but
+    /// returned for asynchronous dispatch instead of being purchased
+    /// synchronously.
+    pub fn initial_panels(&mut self) -> Vec<(ObjectId, Vec<AnnotatorId>)> {
+        let n = self.dataset.len();
+        let initial = ((self.config.initial_ratio * n as f64).round() as usize).min(n);
+        let objects = sample_indices(&mut self.rng, n, initial);
+        let experts: Vec<_> = self
+            .pool
+            .profiles()
+            .iter()
+            .filter(|p| p.is_expert())
+            .collect();
+        let workers: Vec<_> = self
+            .pool
+            .profiles()
+            .iter()
+            .filter(|p| !p.is_expert())
+            .collect();
+        let mut panels = Vec::with_capacity(objects.len());
+        for obj in objects {
+            let mut annotators = Vec::with_capacity(self.config.assignment_k);
+            if !experts.is_empty() {
+                annotators.push(experts[self.rng.random_range(0..experts.len())].id);
+            }
+            let tier = if workers.is_empty() {
+                &experts
+            } else {
+                &workers
+            };
+            let fill = sample_indices(
+                &mut self.rng,
+                tier.len(),
+                self.config.assignment_k.saturating_sub(annotators.len()),
+            );
+            annotators.extend(fill.into_iter().map(|i| tier[i].id));
+            panels.push((ObjectId(obj), annotators));
+        }
+        panels
+    }
+
+    /// One refresh: ingest the answers, credit outstanding batches, and
+    /// decide the next panels. Mirrors one iteration of the batch loop.
+    pub fn refresh(&mut self, req: &RefreshRequest) -> Result<RefreshReply> {
+        let k_classes = self.dataset.num_classes();
+
+        // (a) Truth inference over everything delivered so far.
+        let result = if req.answers.total_answers() > 0 {
+            let result = run_inference(
+                &self.config.inference,
+                self.dataset,
+                &req.answers,
+                self.pool,
+                &mut self.classifier,
+                &mut self.rng,
+            )?;
+            apply_inference(
+                &result,
+                &mut self.labelled,
+                &mut self.qualities,
+                self.config.label_confidence,
+            )?;
+            for obj in result.inferred_objects() {
+                self.prev_confidence[obj.index()] = result.confidence(obj);
+            }
+            Some(result)
+        } else {
+            None
+        };
+
+        // (b) Trust update from the outstanding batches' pre-answer
+        // guesses (same decayed out-of-sample agreement as the workflow).
+        let mut agree = 0usize;
+        let mut scored = 0usize;
+        if let Some(result) = &result {
+            for batch in &self.outstanding {
+                for (obj, guess) in &batch.phi_guesses {
+                    if result.confidence(*obj).unwrap_or(0.0) < 0.85 {
+                        continue;
+                    }
+                    if let Some(label) = result.label(*obj) {
+                        scored += 1;
+                        if label.index() == *guess {
+                            agree += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.trust_agree = 0.97 * self.trust_agree + agree as f64;
+        self.trust_scored = 0.97 * self.trust_scored + scored as f64;
+        self.phi_trust = if self.trust_scored >= 10.0 {
+            let p = (self.trust_agree / self.trust_scored).clamp(0.0, 1.0);
+            p - (p * (1.0 - p) / self.trust_scored).sqrt()
+        } else {
+            0.0
+        };
+
+        // (c) Retrain (non-joint models) and enrich behind the gates.
+        if result.is_some() && !matches!(self.config.inference, InferenceModel::Joint(_)) {
+            retrain_on_labelled(
+                &mut self.classifier,
+                self.dataset,
+                &self.labelled,
+                &mut self.rng,
+            )?;
+        }
+        let enriched = if self.warmup_done() && self.phi_trust >= self.config.enrichment_trust {
+            enrich(
+                self.dataset,
+                &self.classifier,
+                &mut self.labelled,
+                self.config.enrichment_margin,
+                self.config.enrichment_cap_per_iter,
+            )?
+            .len()
+        } else {
+            0
+        };
+
+        // (d) Credit every outstanding batch with its confidence gains
+        // and store the transitions. The batches were decided one or more
+        // refreshes ago; their effect is the posterior movement visible
+        // *now*.
+        let terminal = self.labelled.all_labelled() || req.view.usable() < self.min_cost;
+        let batches = std::mem::take(&mut self.outstanding);
+        let mut reward_sum = 0.0;
+        let mut reward_count = 0usize;
+        let k = self.config.assignment_k.max(1) as f64;
+        for batch in batches {
+            let rewards: Vec<f64> = batch
+                .assignments
+                .iter()
+                .map(|a| {
+                    let before = batch
+                        .conf_before
+                        .get(&a.object)
+                        .copied()
+                        .unwrap_or(1.0 / k_classes as f64);
+                    let after = result
+                        .as_ref()
+                        .and_then(|r| r.confidence(a.object))
+                        .unwrap_or(0.0);
+                    let confidence = (after - before).max(0.0);
+                    let panel_cost: f64 = a
+                        .annotators
+                        .iter()
+                        .map(|&id| self.pool.profile(id).cost)
+                        .sum();
+                    iteration_reward(
+                        self.config.lambda,
+                        self.config.mu,
+                        self.config.eta,
+                        RewardInputs {
+                            enriched,
+                            unlabelled_before: self.labelled.unlabelled_count(),
+                            spend: panel_cost,
+                            max_iter_spend: k * self.max_cost,
+                            mean_confidence: confidence,
+                        },
+                    )
+                })
+                .collect();
+            reward_sum += rewards.iter().sum::<f64>();
+            reward_count += rewards.len();
+            let next_candidates = if terminal {
+                Vec::new()
+            } else {
+                self.bootstrap_embeddings(&req.answers, req.view)
+            };
+            self.agent
+                .remember(&batch.assignments, &rewards, &next_candidates, terminal);
+        }
+
+        // (e) Decide the next panels (unless the refresh cap is hit).
+        let panels = if self.refresh_index < self.config.max_iters && !self.labelled.all_labelled()
+        {
+            self.decide(req)?
+        } else {
+            Vec::new()
+        };
+
+        let reward = if reward_count == 0 {
+            0.0
+        } else {
+            reward_sum / reward_count as f64
+        };
+        self.trace.push(IterationStats {
+            iteration: self.refresh_index,
+            enriched,
+            selected: panels.len(),
+            answers: req.answers_since,
+            spend: req.view.spent - self.last_spent,
+            reward,
+            labelled_total: self.labelled.labelled_count(),
+            td_loss: None,
+        });
+        self.last_spent = req.view.spent;
+        self.refresh_index += 1;
+
+        Ok(RefreshReply {
+            panels,
+            labelled: self.labelled.labelled_count(),
+            done: self.labelled.all_labelled(),
+        })
+    }
+
+    /// DQN training for one refresh. Called right after [`refresh`]'s
+    /// reply is dispatched — on the agent thread this overlaps with event
+    /// pumping. The TD loss lands in the trace entry the refresh opened.
+    ///
+    /// [`refresh`]: AgentCore::refresh
+    pub fn train(&mut self) {
+        let td = self
+            .agent
+            .train(self.config.train_steps_per_iter, &mut self.rng);
+        if let Some(last) = self.trace.last_mut() {
+            last.td_loss = td;
+        }
+    }
+
+    /// Close the run: residual MAP labels, classifier fallback, enriched-
+    /// label refresh, and the final [`LabellingOutcome`] — the same
+    /// closing sequence as the batch workflow, so outcomes are comparable.
+    pub fn finalize(&mut self, req: &FinalizeRequest) -> Result<LabellingOutcome> {
+        if !self.labelled.all_labelled() && req.answers.total_answers() > 0 {
+            let final_result = run_inference(
+                &self.config.inference,
+                self.dataset,
+                &req.answers,
+                self.pool,
+                &mut self.classifier,
+                &mut self.rng,
+            )?;
+            for obj in final_result.inferred_objects() {
+                if !self.labelled.state(obj).is_labelled() {
+                    if let Some(label) = final_result.label(obj) {
+                        self.labelled.set(obj, LabelState::Inferred(label))?;
+                    }
+                }
+            }
+        }
+        if self.config.final_fallback && !self.labelled.all_labelled() {
+            if !self.classifier.is_trained() {
+                retrain_on_labelled(
+                    &mut self.classifier,
+                    self.dataset,
+                    &self.labelled,
+                    &mut self.rng,
+                )?;
+            }
+            fallback_label_all(self.dataset, &self.classifier, &mut self.labelled)?;
+        }
+        refresh_enriched(self.dataset, &self.classifier, &mut self.labelled)?;
+
+        let n = self.dataset.len();
+        let label_states: Vec<LabelState> =
+            (0..n).map(|i| self.labelled.state(ObjectId(i))).collect();
+        let enriched_count = label_states
+            .iter()
+            .filter(|s| matches!(s, LabelState::Enriched(_)))
+            .count();
+        Ok(LabellingOutcome {
+            labels: self.labelled.to_labels(),
+            label_states,
+            budget_spent: req.budget_spent,
+            iterations: self.trace.len(),
+            total_answers: req.answers.total_answers(),
+            enriched_count,
+            trace: self.trace.clone(),
+        })
+    }
+
+    fn warmup_done(&self) -> bool {
+        let inferred = self.labelled.labelled_count() - self.labelled.enriched_count();
+        inferred as f64 >= self.config.enrichment_warmup * self.labelled.len() as f64
+    }
+
+    fn snapshot(&self, answers: &AnswerSet, view: BudgetView) -> StateSnapshot {
+        let n = self.dataset.len().max(1);
+        StateSnapshot {
+            qualities: self.qualities.clone(),
+            annotator_load: answers.answer_counts(self.pool.len()),
+            budget_spent_fraction: view.committed_fraction(),
+            labelled_fraction: self.labelled.labelled_count() as f64 / n as f64,
+            enriched_fraction: self.labelled.enriched_count() as f64 / n as f64,
+            max_cost: self.max_cost,
+            phi_trust: self.phi_trust,
+        }
+    }
+
+    /// Unified task selection + assignment over the selectable objects.
+    fn decide(&mut self, req: &RefreshRequest) -> Result<Vec<(ObjectId, Vec<AnnotatorId>)>> {
+        // Candidates: unlabelled, not in flight, not abandoned.
+        let selectable: Vec<ObjectId> = self
+            .labelled
+            .unlabelled_objects()
+            .filter(|o| !req.blocked.contains(o))
+            .collect();
+        if selectable.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chosen = if selectable.len() <= self.config.candidate_cap {
+            selectable
+        } else {
+            sample_indices(&mut self.rng, selectable.len(), self.config.candidate_cap)
+                .into_iter()
+                .map(|i| selectable[i])
+                .collect()
+        };
+        let k_classes = self.dataset.num_classes();
+        let candidates: Vec<(ObjectId, Vec<f64>)> = chosen
+            .into_iter()
+            .map(|obj| {
+                let probs = if self.classifier.is_trained() {
+                    self.classifier
+                        .predict_proba_one(self.dataset.features(obj.index()))
+                } else {
+                    vec![1.0 / k_classes as f64; k_classes]
+                };
+                (obj, probs)
+            })
+            .collect();
+
+        // Pacing: the per-refresh allowance is fixed at the first
+        // decision, like the batch workflow's per-iteration allowance.
+        let allowance = *self.fixed_allowance.get_or_insert_with(|| {
+            let planned = self
+                .labelled
+                .unlabelled_count()
+                .div_ceil(self.config.batch_per_iter);
+            (req.view.usable() / planned.max(1) as f64)
+                .max(self.min_cost * self.config.assignment_k as f64)
+        });
+        let allowance = allowance.min(req.view.usable());
+
+        let snapshot = self.snapshot(&req.answers, req.view);
+        let assignments = self.agent.select(
+            &candidates,
+            self.pool.profiles(),
+            &req.answers,
+            &self.labelled,
+            &snapshot,
+            allowance,
+            self.config.assignment_k,
+            self.config.batch_per_iter,
+            self.config.ablation,
+            &mut self.rng,
+        );
+        if assignments.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Record what the agent believed before the answers arrive, for
+        // reward credit and the trust estimate at a later refresh.
+        let mut conf_before = HashMap::new();
+        let mut phi_guesses = Vec::new();
+        for a in &assignments {
+            if let Some((_, probs)) = candidates.iter().find(|(o, _)| *o == a.object) {
+                if let Some(guess) = crowdrl_types::prob::argmax(probs) {
+                    if self.classifier.is_trained() {
+                        phi_guesses.push((a.object, guess));
+                    }
+                }
+                let prior = self.prev_confidence[a.object.index()]
+                    .unwrap_or_else(|| probs.iter().copied().fold(0.0f64, f64::max));
+                conf_before.insert(a.object, prior);
+            }
+        }
+        let panels: Vec<(ObjectId, Vec<AnnotatorId>)> = assignments
+            .iter()
+            .map(|a| (a.object, a.annotators.clone()))
+            .collect();
+        self.outstanding.push(PendingBatch {
+            assignments,
+            conf_before,
+            phi_guesses,
+        });
+        Ok(panels)
+    }
+
+    /// Embeddings of sampled feasible successor actions for TD
+    /// bootstrapping (the async analogue of the workflow's helper).
+    fn bootstrap_embeddings(&mut self, answers: &AnswerSet, view: BudgetView) -> Vec<Vec<f32>> {
+        let unlabelled: Vec<ObjectId> = self.labelled.unlabelled_objects().collect();
+        if unlabelled.is_empty() {
+            return Vec::new();
+        }
+        let snapshot = self.snapshot(answers, view);
+        let sample = sample_indices(
+            &mut self.rng,
+            unlabelled.len(),
+            self.config.bootstrap_candidates.max(1),
+        );
+        let k_classes = self.dataset.num_classes();
+        let mut out = Vec::new();
+        for i in sample {
+            let obj = unlabelled[i];
+            let probs = if self.classifier.is_trained() {
+                self.classifier
+                    .predict_proba_one(self.dataset.features(obj.index()))
+            } else {
+                vec![1.0 / k_classes as f64; k_classes]
+            };
+            let a = self.rng.random_range(0..self.pool.len());
+            let profile = &self.pool.profiles()[a];
+            if answers.has_answered(obj, profile.id) {
+                continue;
+            }
+            out.push(embed(
+                obj,
+                profile,
+                &probs,
+                answers,
+                &self.labelled,
+                &snapshot,
+                self.config.assignment_k,
+            ));
+        }
+        out
+    }
+}

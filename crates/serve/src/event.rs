@@ -1,0 +1,120 @@
+//! Events on the simulated clock, and the run's observable trace.
+//!
+//! The runtime is a classic discrete-event simulation: nothing happens
+//! between events, so the state of the service is fully described by the
+//! ordered stream of [`Event`]s it processes. Ordering is by
+//! `(time, sequence number)` — the sequence number is assigned at push
+//! time, which makes ties deterministic and therefore the whole run
+//! replayable.
+
+use crowdrl_types::{AnnotatorId, AssignmentId, ClassId, ObjectId, SimTime};
+
+/// What a scheduled event does when it fires.
+///
+/// There are only two kinds: an annotator's answer arriving, and an
+/// assignment's timeout expiring. Inference refreshes are *not* events —
+/// they are watermark conditions checked after every processed event,
+/// which in a discrete-event world is equivalent (time only advances at
+/// events) and keeps the queue free of self-perpetuating timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// The annotator's answer for this assignment arrives.
+    Deliver(AssignmentId),
+    /// The assignment's timeout elapses; if the answer has not arrived by
+    /// now, the reservation is released and the object may be requeued.
+    Expire(AssignmentId),
+}
+
+/// A scheduled event. Order: earliest `at` first, then lowest `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// When the event fires on the simulated clock.
+    pub at: SimTime,
+    /// Push-order tiebreaker (unique per queue).
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+/// One entry of the run's observable trace.
+///
+/// Two runs with the same seed must produce byte-identical traces — in
+/// single-threaded *and* worker-pool mode. The determinism tests compare
+/// these directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A question was handed to an annotator.
+    Dispatched {
+        /// Dispatch time.
+        at: SimTime,
+        /// Ledger id of the assignment.
+        id: AssignmentId,
+        /// The object asked about.
+        object: ObjectId,
+        /// The annotator asked.
+        annotator: AnnotatorId,
+    },
+    /// An answer arrived in time and was charged to the budget.
+    Delivered {
+        /// Arrival time.
+        at: SimTime,
+        /// Ledger id of the assignment.
+        id: AssignmentId,
+        /// The label the annotator gave.
+        label: ClassId,
+    },
+    /// An answer arrived but was rejected (late after expiry, or a
+    /// duplicate) — not recorded, not charged.
+    Rejected {
+        /// Arrival time.
+        at: SimTime,
+        /// Ledger id of the assignment.
+        id: AssignmentId,
+    },
+    /// An assignment timed out before its answer arrived.
+    Expired {
+        /// Expiry time.
+        at: SimTime,
+        /// Ledger id of the assignment.
+        id: AssignmentId,
+        /// Whether the object went back into the candidate pool
+        /// (false once its requeue budget is used up).
+        requeued: bool,
+    },
+    /// A truth-inference refresh ran over all answers so far.
+    Refreshed {
+        /// Refresh time.
+        at: SimTime,
+        /// Total answers ingested so far.
+        answers: usize,
+        /// Labelled objects after the refresh.
+        labelled: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_order_by_time_then_sequence() {
+        let t = |x: f64| SimTime::new(x).unwrap();
+        let a = Event {
+            at: t(1.0),
+            seq: 5,
+            kind: EventKind::Deliver(AssignmentId(0)),
+        };
+        let b = Event {
+            at: t(1.0),
+            seq: 6,
+            kind: EventKind::Expire(AssignmentId(0)),
+        };
+        let c = Event {
+            at: t(2.0),
+            seq: 1,
+            kind: EventKind::Deliver(AssignmentId(1)),
+        };
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

@@ -1,0 +1,355 @@
+//! The in-flight assignment ledger: exactly-once budget accounting.
+//!
+//! Asynchrony is where budget bugs live: an answer can arrive after its
+//! timeout already fired, twice (a retry), or for an (object, annotator)
+//! pair that was requeued and re-asked in the meantime. The ledger makes
+//! the money side of all of that single-entry:
+//!
+//! * **Reservation at dispatch.** Dispatching reserves the assignment's
+//!   cost against the budget; `spent + reserved` can never exceed the
+//!   total, so the service cannot over-commit no matter how many answers
+//!   later materialize.
+//! * **Charge on delivery, exactly once.** Only an assignment still
+//!   `InFlight` can deliver; delivery atomically moves the reservation to
+//!   a real charge. A second delivery, or a delivery after expiry, is
+//!   rejected without touching the budget.
+//! * **Release on expiry.** Expiry frees the reservation and the
+//!   (object, annotator) pair, so the pair can be re-asked under a new
+//!   assignment id (a fresh question, a fresh reservation).
+//!
+//! At most one live assignment exists per (object, annotator) pair, and a
+//! delivered pair is locked forever — so a pair is *charged* at most once
+//! across the whole run, which is the property the proptest suite
+//! hammers with arbitrary dispatch/deliver/expire interleavings.
+
+use crowdrl_types::{AnnotatorId, AssignmentId, Budget, Error, ObjectId, Result, SimTime};
+use std::collections::HashSet;
+
+/// Lifecycle of one assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignmentStatus {
+    /// Dispatched; the answer has not arrived and the timeout has not
+    /// fired. Its cost is reserved.
+    InFlight,
+    /// The answer arrived in time and was charged.
+    Delivered,
+    /// The timeout fired first; the reservation was released.
+    Expired,
+}
+
+/// One row of the ledger.
+#[derive(Debug, Clone)]
+pub struct AssignmentRecord {
+    /// Ledger id (index into the ledger, RNG stream index, tiebreaker).
+    pub id: AssignmentId,
+    /// The object asked about.
+    pub object: ObjectId,
+    /// The annotator asked.
+    pub annotator: AnnotatorId,
+    /// The annotator's price for one answer.
+    pub cost: f64,
+    /// When the question was handed out.
+    pub dispatched_at: SimTime,
+    /// When the assignment times out.
+    pub deadline: SimTime,
+    /// Current lifecycle state.
+    pub status: AssignmentStatus,
+}
+
+/// Outcome of presenting an answer to the ledger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delivery {
+    /// The answer is fresh and on time; `cost` was charged to the budget.
+    Accepted {
+        /// What was charged.
+        cost: f64,
+        /// Answer latency (arrival − dispatch).
+        latency: SimTime,
+    },
+    /// The assignment already expired or already delivered — the answer
+    /// is dropped, nothing is charged.
+    Rejected,
+}
+
+/// Outcome of firing an assignment's timeout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Expiry {
+    /// The answer never arrived; the reservation (`cost`) was released
+    /// and the (object, annotator) pair freed for re-dispatch.
+    TimedOut {
+        /// The released reservation.
+        cost: f64,
+    },
+    /// The assignment was already delivered (or already expired) —
+    /// nothing to do.
+    AlreadySettled,
+}
+
+/// The in-flight assignment ledger. Owns reservations; the [`Budget`] it
+/// is used with records only *real* spend.
+#[derive(Debug, Default)]
+pub struct AssignmentLedger {
+    records: Vec<AssignmentRecord>,
+    reserved: f64,
+    /// Pairs with a live claim: one in-flight assignment, or a delivered
+    /// answer (locked forever). Expired assignments release their pair.
+    pairs: HashSet<(ObjectId, AnnotatorId)>,
+}
+
+impl AssignmentLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total budget currently reserved by in-flight assignments.
+    pub fn reserved(&self) -> f64 {
+        self.reserved
+    }
+
+    /// Number of in-flight assignments.
+    pub fn in_flight(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.status == AssignmentStatus::InFlight)
+            .count()
+    }
+
+    /// Total assignments ever dispatched.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was ever dispatched.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record behind `id`, if it exists.
+    pub fn record(&self, id: AssignmentId) -> Option<&AssignmentRecord> {
+        self.records.get(id.0 as usize)
+    }
+
+    /// Whether `(object, annotator)` currently holds a live claim (in
+    /// flight or delivered).
+    pub fn pair_claimed(&self, object: ObjectId, annotator: AnnotatorId) -> bool {
+        self.pairs.contains(&(object, annotator))
+    }
+
+    /// Whether a dispatch of `cost` would fit the budget after existing
+    /// reservations.
+    pub fn can_reserve(&self, cost: f64, budget: &Budget) -> bool {
+        budget.spent() + self.reserved + cost <= budget.total() + 1e-9
+    }
+
+    /// Dispatch a question: reserve `cost` and open an in-flight record.
+    ///
+    /// Fails if the pair already holds a live claim or the reservation
+    /// would over-commit the budget — dispatch-time checks are what let
+    /// delivery charge unconditionally.
+    pub fn dispatch(
+        &mut self,
+        object: ObjectId,
+        annotator: AnnotatorId,
+        cost: f64,
+        now: SimTime,
+        deadline: SimTime,
+        budget: &Budget,
+    ) -> Result<AssignmentId> {
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "assignment cost must be finite and non-negative, got {cost}"
+            )));
+        }
+        if deadline < now {
+            return Err(Error::ServiceFailure(format!(
+                "assignment deadline {deadline} precedes dispatch time {now}"
+            )));
+        }
+        if self.pairs.contains(&(object, annotator)) {
+            return Err(Error::ServiceFailure(format!(
+                "pair ({object}, {annotator}) already has a live assignment or answer"
+            )));
+        }
+        if !self.can_reserve(cost, budget) {
+            return Err(Error::BudgetExhausted {
+                requested: cost,
+                remaining: (budget.remaining() - self.reserved).max(0.0),
+            });
+        }
+        let id = AssignmentId(self.records.len() as u64);
+        self.records.push(AssignmentRecord {
+            id,
+            object,
+            annotator,
+            cost,
+            dispatched_at: now,
+            deadline,
+            status: AssignmentStatus::InFlight,
+        });
+        self.reserved += cost;
+        self.pairs.insert((object, annotator));
+        Ok(id)
+    }
+
+    /// Present an answer for `id` arriving at `now`.
+    ///
+    /// Exactly-once: only an `InFlight` record accepts, and acceptance
+    /// moves the reservation to a charge atomically. Everything else —
+    /// late answers, duplicates — is `Rejected` with no budget effect.
+    pub fn deliver(
+        &mut self,
+        id: AssignmentId,
+        now: SimTime,
+        budget: &mut Budget,
+    ) -> Result<Delivery> {
+        let record = self
+            .records
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| Error::ServiceFailure(format!("unknown assignment {id}")))?;
+        if record.status != AssignmentStatus::InFlight {
+            return Ok(Delivery::Rejected);
+        }
+        record.status = AssignmentStatus::Delivered;
+        self.reserved = (self.reserved - record.cost).max(0.0);
+        budget.charge(record.cost)?;
+        Ok(Delivery::Accepted {
+            cost: record.cost,
+            latency: now - record.dispatched_at,
+        })
+    }
+
+    /// Fire the timeout of `id`.
+    pub fn expire(&mut self, id: AssignmentId) -> Result<Expiry> {
+        let record = self
+            .records
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| Error::ServiceFailure(format!("unknown assignment {id}")))?;
+        if record.status != AssignmentStatus::InFlight {
+            return Ok(Expiry::AlreadySettled);
+        }
+        record.status = AssignmentStatus::Expired;
+        self.reserved = (self.reserved - record.cost).max(0.0);
+        let pair = (record.object, record.annotator);
+        let cost = record.cost;
+        self.pairs.remove(&pair);
+        Ok(Expiry::TimedOut { cost })
+    }
+
+    /// Objects with at least one in-flight assignment.
+    pub fn objects_in_flight(&self) -> HashSet<ObjectId> {
+        self.records
+            .iter()
+            .filter(|r| r.status == AssignmentStatus::InFlight)
+            .map(|r| r.object)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x).unwrap()
+    }
+
+    #[test]
+    fn dispatch_reserves_and_delivery_charges_once() {
+        let mut ledger = AssignmentLedger::new();
+        let mut budget = Budget::new(10.0).unwrap();
+        let id = ledger
+            .dispatch(ObjectId(0), AnnotatorId(0), 3.0, t(0.0), t(5.0), &budget)
+            .unwrap();
+        assert_eq!(ledger.reserved(), 3.0);
+        assert_eq!(budget.spent(), 0.0);
+        let d = ledger.deliver(id, t(2.0), &mut budget).unwrap();
+        assert_eq!(
+            d,
+            Delivery::Accepted {
+                cost: 3.0,
+                latency: t(2.0)
+            }
+        );
+        assert_eq!(ledger.reserved(), 0.0);
+        assert_eq!(budget.spent(), 3.0);
+        // A duplicate delivery is rejected and charges nothing.
+        assert_eq!(
+            ledger.deliver(id, t(3.0), &mut budget).unwrap(),
+            Delivery::Rejected
+        );
+        assert_eq!(budget.spent(), 3.0);
+        // The stale timeout is a no-op.
+        assert_eq!(ledger.expire(id).unwrap(), Expiry::AlreadySettled);
+        assert_eq!(budget.spent(), 3.0);
+    }
+
+    #[test]
+    fn expiry_releases_reservation_and_frees_the_pair() {
+        let mut ledger = AssignmentLedger::new();
+        let mut budget = Budget::new(4.0).unwrap();
+        let id = ledger
+            .dispatch(ObjectId(1), AnnotatorId(2), 4.0, t(0.0), t(5.0), &budget)
+            .unwrap();
+        // Fully reserved: a second dispatch must not fit.
+        assert!(ledger
+            .dispatch(ObjectId(2), AnnotatorId(0), 1.0, t(0.0), t(5.0), &budget)
+            .is_err());
+        assert_eq!(ledger.expire(id).unwrap(), Expiry::TimedOut { cost: 4.0 });
+        assert_eq!(ledger.reserved(), 0.0);
+        assert!(!ledger.pair_claimed(ObjectId(1), AnnotatorId(2)));
+        // The same pair can be re-asked under a new id...
+        let id2 = ledger
+            .dispatch(ObjectId(1), AnnotatorId(2), 4.0, t(6.0), t(11.0), &budget)
+            .unwrap();
+        assert_ne!(id, id2);
+        // ...and the late answer for the dead assignment is rejected.
+        assert_eq!(
+            ledger.deliver(id, t(7.0), &mut budget).unwrap(),
+            Delivery::Rejected
+        );
+        assert_eq!(budget.spent(), 0.0);
+    }
+
+    #[test]
+    fn live_pairs_cannot_be_double_dispatched() {
+        let mut ledger = AssignmentLedger::new();
+        let mut budget = Budget::new(100.0).unwrap();
+        let id = ledger
+            .dispatch(ObjectId(0), AnnotatorId(0), 1.0, t(0.0), t(5.0), &budget)
+            .unwrap();
+        assert!(ledger
+            .dispatch(ObjectId(0), AnnotatorId(0), 1.0, t(0.0), t(5.0), &budget)
+            .is_err());
+        ledger.deliver(id, t(1.0), &mut budget).unwrap();
+        // Delivered pairs stay locked forever — one charge per pair.
+        assert!(ledger
+            .dispatch(ObjectId(0), AnnotatorId(0), 1.0, t(2.0), t(7.0), &budget)
+            .is_err());
+        // A different annotator on the same object is fine.
+        assert!(ledger
+            .dispatch(ObjectId(0), AnnotatorId(1), 1.0, t(2.0), t(7.0), &budget)
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_dispatches() {
+        let mut ledger = AssignmentLedger::new();
+        let budget = Budget::new(10.0).unwrap();
+        assert!(ledger
+            .dispatch(
+                ObjectId(0),
+                AnnotatorId(0),
+                f64::NAN,
+                t(0.0),
+                t(1.0),
+                &budget
+            )
+            .is_err());
+        assert!(ledger
+            .dispatch(ObjectId(0), AnnotatorId(0), 1.0, t(2.0), t(1.0), &budget)
+            .is_err());
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.reserved(), 0.0);
+    }
+}

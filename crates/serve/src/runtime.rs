@@ -1,0 +1,514 @@
+//! The event pump and the two execution modes.
+//!
+//! The pump owns the *service* state — event queue, ledger, budget,
+//! answer set, metrics — and is deliberately dumb: it moves events,
+//! enforces timeouts and exactly-once charging, and asks a [`Driver`] for
+//! everything intelligent (decisions) or random (annotator behaviour).
+//!
+//! Both drivers expose the same four calls, and everything that feeds
+//! them is deterministic, so the two modes replay each other's traces:
+//!
+//! * [`InlineDriver`] runs the [`AgentCore`] and the outcome sampler on
+//!   the calling thread — the reference semantics.
+//! * [`ThreadedDriver`] moves the core to a dedicated agent thread and
+//!   fans sampling jobs over a crossbeam worker pool. Sampled outcomes
+//!   are a pure function of the assignment id ([`sampler`](crate::sampler)),
+//!   so the pool's scheduling cannot change them, and the agent thread
+//!   receives the exact call sequence the inline driver would. DQN
+//!   training is the one call with no reply — the pump keeps processing
+//!   events while the agent trains.
+
+use crate::clock::EventQueue;
+use crate::config::{ExecMode, ServeConfig};
+use crate::core_loop::{AgentCore, BudgetView, FinalizeRequest, RefreshReply, RefreshRequest};
+use crate::event::{EventKind, TraceEvent};
+use crate::ledger::{AssignmentLedger, Delivery, Expiry};
+use crate::metrics::{MetricsCollector, ServiceMetrics};
+use crate::sampler::{sample_outcome, SampleJob, SampledOutcome};
+use crowdrl_core::{CrowdRlConfig, LabellingOutcome};
+use crowdrl_sim::{AnnotatorDynamics, AnnotatorPool};
+use crowdrl_types::{
+    AnnotatorId, Answer, AnswerSet, Budget, ClassId, Dataset, Error, ObjectId, Result, SimTime,
+};
+use rand::Rng;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct AsyncOutcome {
+    /// The labelling result, shaped exactly like the batch workflow's.
+    pub outcome: LabellingOutcome,
+    /// Service-level metrics.
+    pub metrics: ServiceMetrics,
+    /// The deterministic event trace.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// The pump's interface to the agent and the virtual crowd.
+trait Driver {
+    /// Run one refresh and return the next panels.
+    fn refresh(&mut self, req: RefreshRequest) -> Result<RefreshReply>;
+    /// Train the DQN for one refresh (may overlap event pumping).
+    fn train(&mut self) -> Result<()>;
+    /// Sample annotator outcomes for freshly dispatched assignments.
+    /// Returns them sorted by assignment id.
+    fn sample(&mut self, jobs: Vec<SampleJob>) -> Result<Vec<SampledOutcome>>;
+    /// Close the run and build the outcome.
+    fn finalize(&mut self, req: FinalizeRequest) -> Result<LabellingOutcome>;
+}
+
+/// Single-threaded driver: core and sampler inline.
+struct InlineDriver<'a> {
+    core: AgentCore<'a>,
+    pool: &'a AnnotatorPool,
+    dynamics: &'a [AnnotatorDynamics],
+    sampling_seed: u64,
+}
+
+impl Driver for InlineDriver<'_> {
+    fn refresh(&mut self, req: RefreshRequest) -> Result<RefreshReply> {
+        self.core.refresh(&req)
+    }
+
+    fn train(&mut self) -> Result<()> {
+        self.core.train();
+        Ok(())
+    }
+
+    fn sample(&mut self, jobs: Vec<SampleJob>) -> Result<Vec<SampledOutcome>> {
+        Ok(jobs
+            .into_iter()
+            .map(|job| sample_outcome(self.sampling_seed, job, self.pool, self.dynamics))
+            .collect())
+    }
+
+    fn finalize(&mut self, req: FinalizeRequest) -> Result<LabellingOutcome> {
+        self.core.finalize(&req)
+    }
+}
+
+/// Messages to the agent thread. Processed strictly in order, which is
+/// what makes the threaded call sequence identical to the inline one.
+enum ToAgent {
+    Refresh(RefreshRequest),
+    Train,
+    Finalize(FinalizeRequest),
+}
+
+/// Replies from the agent thread.
+enum FromAgent {
+    Decision(Result<RefreshReply>),
+    Outcome(Box<Result<LabellingOutcome>>),
+}
+
+/// Worker-pool driver: agent thread + sampler pool over channels.
+struct ThreadedDriver {
+    to_agent: crossbeam::channel::Sender<ToAgent>,
+    from_agent: crossbeam::channel::Receiver<FromAgent>,
+    job_tx: crossbeam::channel::Sender<SampleJob>,
+    out_rx: crossbeam::channel::Receiver<SampledOutcome>,
+}
+
+fn dead_agent() -> Error {
+    Error::ServiceFailure("agent thread is gone".into())
+}
+
+impl Driver for ThreadedDriver {
+    fn refresh(&mut self, req: RefreshRequest) -> Result<RefreshReply> {
+        self.to_agent
+            .send(ToAgent::Refresh(req))
+            .map_err(|_| dead_agent())?;
+        match self.from_agent.recv().map_err(|_| dead_agent())? {
+            FromAgent::Decision(reply) => reply,
+            FromAgent::Outcome(_) => Err(dead_agent()),
+        }
+    }
+
+    fn train(&mut self) -> Result<()> {
+        // Fire and forget: the agent trains while the pump keeps moving
+        // events; the next Refresh message queues behind the training.
+        self.to_agent.send(ToAgent::Train).map_err(|_| dead_agent())
+    }
+
+    fn sample(&mut self, jobs: Vec<SampleJob>) -> Result<Vec<SampledOutcome>> {
+        let expected = jobs.len();
+        for job in jobs {
+            self.job_tx.send(job).map_err(|_| dead_agent())?;
+        }
+        let mut out = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            out.push(self.out_rx.recv().map_err(|_| dead_agent())?);
+        }
+        // Outcomes are pure functions of the job, so sorting by id
+        // erases the pool's scheduling from the result.
+        out.sort_by_key(|o| o.id);
+        Ok(out)
+    }
+
+    fn finalize(&mut self, req: FinalizeRequest) -> Result<LabellingOutcome> {
+        self.to_agent
+            .send(ToAgent::Finalize(req))
+            .map_err(|_| dead_agent())?;
+        match self.from_agent.recv().map_err(|_| dead_agent())? {
+            FromAgent::Outcome(outcome) => *outcome,
+            FromAgent::Decision(_) => Err(dead_agent()),
+        }
+    }
+}
+
+/// The service state the pump owns while a run is in progress.
+struct Pump<'a> {
+    dataset: &'a Dataset,
+    pool: &'a AnnotatorPool,
+    serve: &'a ServeConfig,
+    queue: EventQueue,
+    ledger: AssignmentLedger,
+    budget: Budget,
+    answers: AnswerSet,
+    collector: MetricsCollector,
+    trace: Vec<TraceEvent>,
+    /// Sampled label per assignment id (None = the annotator dropped it).
+    labels_by_id: Vec<Option<ClassId>>,
+    requeue_count: Vec<usize>,
+    abandoned: HashSet<ObjectId>,
+    answers_since: usize,
+    last_refresh: SimTime,
+    done: bool,
+}
+
+impl<'a> Pump<'a> {
+    fn new(
+        dataset: &'a Dataset,
+        pool: &'a AnnotatorPool,
+        serve: &'a ServeConfig,
+        budget: f64,
+    ) -> Result<Self> {
+        Ok(Self {
+            dataset,
+            pool,
+            serve,
+            queue: EventQueue::new(),
+            ledger: AssignmentLedger::new(),
+            budget: Budget::new(budget)?,
+            answers: AnswerSet::new(dataset.len()),
+            collector: MetricsCollector::new(),
+            trace: Vec::new(),
+            labels_by_id: Vec::new(),
+            requeue_count: vec![0; dataset.len()],
+            abandoned: HashSet::new(),
+            answers_since: 0,
+            last_refresh: SimTime::ZERO,
+            done: false,
+        })
+    }
+
+    /// Dispatch panels: reserve, sample, and schedule Deliver/Expire
+    /// events. Returns how many assignments actually went out.
+    fn dispatch<D: Driver>(
+        &mut self,
+        driver: &mut D,
+        panels: &[(ObjectId, Vec<AnnotatorId>)],
+    ) -> Result<usize> {
+        let now = self.queue.now();
+        let timeout = SimTime::new(self.serve.timeout)?;
+        let mut jobs = Vec::new();
+        for (object, annotators) in panels {
+            for &annotator in annotators {
+                let cost = self.pool.profile(annotator).cost;
+                if self.ledger.pair_claimed(*object, annotator)
+                    || !self.ledger.can_reserve(cost, &self.budget)
+                {
+                    continue;
+                }
+                let id = self.ledger.dispatch(
+                    *object,
+                    annotator,
+                    cost,
+                    now,
+                    now + timeout,
+                    &self.budget,
+                )?;
+                jobs.push(SampleJob {
+                    id,
+                    object: *object,
+                    annotator,
+                    truth: self.dataset.truth(object.index()),
+                });
+                self.trace.push(TraceEvent::Dispatched {
+                    at: now,
+                    id,
+                    object: *object,
+                    annotator,
+                });
+            }
+        }
+        let dispatched = jobs.len();
+        self.collector.dispatched += dispatched;
+        for outcome in driver.sample(jobs)? {
+            debug_assert_eq!(outcome.id.0 as usize, self.labels_by_id.len());
+            match outcome.response {
+                Some((label, latency)) => {
+                    self.labels_by_id.push(Some(label));
+                    self.queue
+                        .push(now + latency, EventKind::Deliver(outcome.id))?;
+                }
+                None => self.labels_by_id.push(None),
+            }
+            self.queue
+                .push(now + timeout, EventKind::Expire(outcome.id))?;
+        }
+        Ok(dispatched)
+    }
+
+    /// Run a refresh and dispatch its panels.
+    fn refresh<D: Driver>(&mut self, driver: &mut D) -> Result<usize> {
+        let now = self.queue.now();
+        let mut blocked = self.ledger.objects_in_flight();
+        blocked.extend(self.abandoned.iter().copied());
+        let reply = driver.refresh(RefreshRequest {
+            answers: self.answers.clone(),
+            view: BudgetView {
+                total: self.budget.total(),
+                spent: self.budget.spent(),
+                reserved: self.ledger.reserved(),
+            },
+            blocked,
+            now,
+            answers_since: self.answers_since,
+        })?;
+        self.collector.refreshes += 1;
+        self.answers_since = 0;
+        self.last_refresh = now;
+        self.trace.push(TraceEvent::Refreshed {
+            at: now,
+            answers: self.answers.total_answers(),
+            labelled: reply.labelled,
+        });
+        let dispatched = self.dispatch(driver, &reply.panels)?;
+        driver.train()?;
+        if reply.done {
+            self.done = true;
+        }
+        Ok(dispatched)
+    }
+
+    /// Handle one event.
+    fn handle(&mut self, kind: EventKind) -> Result<()> {
+        let now = self.queue.now();
+        self.collector.events += 1;
+        match kind {
+            EventKind::Deliver(id) => match self.ledger.deliver(id, now, &mut self.budget)? {
+                Delivery::Accepted { latency, .. } => {
+                    let record = self
+                        .ledger
+                        .record(id)
+                        .ok_or_else(|| Error::ServiceFailure(format!("no record for {id}")))?;
+                    let label = self.labels_by_id[id.0 as usize].ok_or_else(|| {
+                        Error::ServiceFailure(format!("{id} delivered without a sampled label"))
+                    })?;
+                    self.answers.record(Answer {
+                        object: record.object,
+                        annotator: record.annotator,
+                        label,
+                    })?;
+                    self.collector.delivered += 1;
+                    self.collector.latencies.push(latency.as_f64());
+                    self.answers_since += 1;
+                    self.trace
+                        .push(TraceEvent::Delivered { at: now, id, label });
+                }
+                Delivery::Rejected => {
+                    self.collector.rejected += 1;
+                    self.trace.push(TraceEvent::Rejected { at: now, id });
+                }
+            },
+            EventKind::Expire(id) => match self.ledger.expire(id)? {
+                Expiry::TimedOut { .. } => {
+                    let record = self
+                        .ledger
+                        .record(id)
+                        .ok_or_else(|| Error::ServiceFailure(format!("no record for {id}")))?;
+                    let object = record.object;
+                    self.collector.timeouts += 1;
+                    self.requeue_count[object.index()] += 1;
+                    let requeued = self.requeue_count[object.index()] <= self.serve.max_requeues;
+                    if requeued {
+                        self.collector.requeues += 1;
+                    } else {
+                        self.abandoned.insert(object);
+                    }
+                    self.trace.push(TraceEvent::Expired {
+                        at: now,
+                        id,
+                        requeued,
+                    });
+                }
+                Expiry::AlreadySettled => {}
+            },
+        }
+        Ok(())
+    }
+
+    /// Whether a watermark has tripped since the last refresh.
+    fn watermark_due(&self) -> bool {
+        self.answers_since >= self.serve.answer_watermark
+            || (self.answers_since > 0
+                && (self.queue.now() - self.last_refresh).as_f64() >= self.serve.time_watermark)
+    }
+
+    /// The main loop: pump events, refresh on watermarks, and when the
+    /// queue drains force a refresh to flush leftovers — stopping once a
+    /// forced refresh dispatches nothing (or the agent reports done).
+    fn run<D: Driver>(mut self, driver: &mut D) -> Result<AsyncOutcome> {
+        let wall_start = Instant::now();
+        'outer: loop {
+            while let Some(event) = self.queue.pop() {
+                self.handle(event.kind)?;
+                if self.watermark_due() {
+                    self.refresh(driver)?;
+                    if self.done {
+                        break 'outer;
+                    }
+                }
+            }
+            let dispatched = self.refresh(driver)?;
+            if self.done || dispatched == 0 {
+                break;
+            }
+        }
+        let outcome = driver.finalize(FinalizeRequest {
+            answers: self.answers.clone(),
+            budget_spent: self.budget.spent(),
+        })?;
+        let metrics = self.collector.finish(
+            self.queue.now(),
+            wall_start.elapsed().as_secs_f64(),
+            self.budget.spent(),
+        );
+        Ok(AsyncOutcome {
+            outcome,
+            metrics,
+            trace: self.trace,
+        })
+    }
+}
+
+/// The asynchronous labelling runtime.
+#[derive(Debug, Clone)]
+pub struct AsyncRuntime {
+    config: CrowdRlConfig,
+    serve: ServeConfig,
+}
+
+impl AsyncRuntime {
+    /// Pair a CrowdRL configuration with the service knobs.
+    pub fn new(config: CrowdRlConfig, serve: ServeConfig) -> Self {
+        Self { config, serve }
+    }
+
+    /// Label `dataset` with `pool` through the asynchronous service.
+    ///
+    /// `rng` seeds the per-annotator dynamics, the initial panels and the
+    /// agent's private stream; annotator responses come from the
+    /// per-assignment streams of
+    /// [`sampling_seed`](ServeConfig::sampling_seed). Two calls with the
+    /// same seeds produce identical traces and outcomes in *either*
+    /// execution mode.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        rng: &mut R,
+    ) -> Result<AsyncOutcome> {
+        self.config.validate()?;
+        self.serve.validate()?;
+        if pool.is_empty() {
+            return Err(Error::InvalidParameter("annotator pool is empty".into()));
+        }
+        let dynamics = self.serve.dynamics.generate(pool, rng)?;
+        let core_seed: u64 = rng.random();
+        let mut core = AgentCore::new(self.config.clone(), dataset, pool, core_seed)?;
+        let initial = core.initial_panels();
+        let pump = Pump::new(dataset, pool, &self.serve, self.config.budget)?;
+
+        match self.serve.mode {
+            ExecMode::SingleThread => {
+                let mut driver = InlineDriver {
+                    core,
+                    pool,
+                    dynamics: &dynamics,
+                    sampling_seed: self.serve.sampling_seed,
+                };
+                run_pump(pump, &mut driver, &initial)
+            }
+            ExecMode::WorkerPool { workers } => {
+                let workers = if workers == 0 {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(2)
+                } else {
+                    workers
+                };
+                let sampling_seed = self.serve.sampling_seed;
+                let dynamics = &dynamics;
+                crossbeam::scope(|scope| {
+                    let (to_agent, agent_rx) = crossbeam::channel::unbounded::<ToAgent>();
+                    let (agent_tx, from_agent) = crossbeam::channel::unbounded::<FromAgent>();
+                    scope.spawn(move |_| {
+                        for msg in agent_rx.iter() {
+                            match msg {
+                                ToAgent::Refresh(req) => {
+                                    let reply = core.refresh(&req);
+                                    if agent_tx.send(FromAgent::Decision(reply)).is_err() {
+                                        break;
+                                    }
+                                }
+                                ToAgent::Train => core.train(),
+                                ToAgent::Finalize(req) => {
+                                    let outcome = core.finalize(&req);
+                                    let _ = agent_tx.send(FromAgent::Outcome(Box::new(outcome)));
+                                    break;
+                                }
+                            }
+                        }
+                    });
+                    let (job_tx, job_rx) = crossbeam::channel::unbounded::<SampleJob>();
+                    let (out_tx, out_rx) = crossbeam::channel::unbounded::<SampledOutcome>();
+                    for _ in 0..workers {
+                        let job_rx = job_rx.clone();
+                        let out_tx = out_tx.clone();
+                        scope.spawn(move |_| {
+                            while let Ok(job) = job_rx.recv() {
+                                let outcome = sample_outcome(sampling_seed, job, pool, dynamics);
+                                if out_tx.send(outcome).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                    }
+                    drop(job_rx);
+                    drop(out_tx);
+                    let mut driver = ThreadedDriver {
+                        to_agent,
+                        from_agent,
+                        job_tx,
+                        out_rx,
+                    };
+                    run_pump(pump, &mut driver, &initial)
+                })
+                .map_err(|_| Error::ServiceFailure("a runtime thread panicked".into()))?
+            }
+        }
+    }
+}
+
+/// Dispatch the initial panels at t = 0, then hand the loop to the pump.
+fn run_pump<D: Driver>(
+    mut pump: Pump<'_>,
+    driver: &mut D,
+    initial: &[(ObjectId, Vec<AnnotatorId>)],
+) -> Result<AsyncOutcome> {
+    pump.dispatch(driver, initial)?;
+    pump.run(driver)
+}

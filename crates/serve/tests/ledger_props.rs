@@ -1,0 +1,101 @@
+//! Property tests for the assignment ledger's exactly-once guarantee.
+//!
+//! Arbitrary interleavings of dispatch / deliver / expire — including
+//! duplicates, stale deliveries for expired assignments, and re-dispatch
+//! of freed pairs — must never overdraw the budget or charge an
+//! (object, annotator) pair twice. This is the money invariant the whole
+//! asynchronous runtime leans on.
+
+use crowdrl_serve::{AssignmentLedger, Delivery, Expiry};
+use crowdrl_types::{AnnotatorId, AssignmentId, Budget, ObjectId, SimTime};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn t(x: f64) -> SimTime {
+    SimTime::new(x).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 64,
+    })]
+
+    #[test]
+    fn budget_is_charged_exactly_once_per_pair(
+        total in 1.0f64..40.0,
+        ops in proptest::collection::vec((0u8..4, 0u64..8, 0u64..5, 0.5f64..3.0), 1..250),
+    ) {
+        let mut ledger = AssignmentLedger::new();
+        let mut budget = Budget::new(total).unwrap();
+        // Ground truth maintained independently of the ledger.
+        let mut charged_pairs: HashSet<(ObjectId, AnnotatorId)> = HashSet::new();
+        let mut expected_spent = 0.0f64;
+        let mut clock = 0.0f64;
+
+        for (kind, x, y, cost) in ops {
+            clock += 1.0;
+            let now = t(clock);
+            match kind {
+                // Dispatch a random pair at a random cost.
+                0 => {
+                    let object = ObjectId(x as usize);
+                    let annotator = AnnotatorId(y as usize);
+                    let _ = ledger.dispatch(object, annotator, cost, now, t(clock + 5.0), &budget);
+                }
+                // Deliver a (possibly unknown, possibly settled) assignment.
+                1 | 3 => {
+                    let id = AssignmentId(x % (ledger.len() as u64 + 1));
+                    if let Ok(Delivery::Accepted { cost, .. }) =
+                        ledger.deliver(id, now, &mut budget)
+                    {
+                        let record = ledger.record(id).unwrap();
+                        let pair = (record.object, record.annotator);
+                        // Exactly-once: this pair was never charged before.
+                        prop_assert!(charged_pairs.insert(pair), "pair {pair:?} charged twice");
+                        expected_spent += cost;
+                    }
+                }
+                // Expire a (possibly unknown, possibly settled) assignment.
+                _ => {
+                    let id = AssignmentId(x % (ledger.len() as u64 + 1));
+                    if let Ok(Expiry::TimedOut { .. }) = ledger.expire(id) {
+                        let record = ledger.record(id).unwrap();
+                        prop_assert!(
+                            !charged_pairs.contains(&(record.object, record.annotator))
+                                || record.cost == 0.0,
+                            "expired an already-charged pair's live assignment"
+                        );
+                    }
+                }
+            }
+
+            // Invariants that must hold after every single operation.
+            prop_assert!(ledger.reserved() >= 0.0);
+            prop_assert!(
+                budget.spent() <= total + 1e-9,
+                "spent {} over total {total}", budget.spent()
+            );
+            prop_assert!(
+                budget.spent() + ledger.reserved() <= total + 1e-9,
+                "committed {} over total {total}",
+                budget.spent() + ledger.reserved()
+            );
+            prop_assert!(
+                (budget.spent() - expected_spent).abs() < 1e-9,
+                "ledger spent {} diverged from accepted deliveries {expected_spent}",
+                budget.spent()
+            );
+        }
+
+        // Closing the books: every in-flight reservation is released and
+        // the spend still matches the accepted deliveries exactly.
+        for i in 0..ledger.len() as u64 {
+            let _ = ledger.expire(AssignmentId(i));
+        }
+        prop_assert!(ledger.reserved().abs() < 1e-9);
+        prop_assert_eq!(ledger.in_flight(), 0);
+        prop_assert!((budget.spent() - expected_spent).abs() < 1e-9);
+        prop_assert_eq!(charged_pairs.len(), budget.charge_count());
+    }
+}

@@ -67,7 +67,9 @@ impl PoolSpec {
 
     fn validate(&self) -> Result<()> {
         if self.size() == 0 {
-            return Err(Error::InvalidParameter("pool must contain at least one annotator".into()));
+            return Err(Error::InvalidParameter(
+                "pool must contain at least one annotator".into(),
+            ));
         }
         for (lo, hi, who) in [
             (self.worker_accuracy.0, self.worker_accuracy.1, "worker"),
@@ -80,7 +82,9 @@ impl PoolSpec {
             }
         }
         if self.worker_cost <= 0.0 || self.expert_cost <= 0.0 {
-            return Err(Error::InvalidParameter("annotator costs must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "annotator costs must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -100,9 +104,17 @@ impl PoolSpec {
         let mut latent = Vec::with_capacity(self.size());
         for i in 0..self.size() {
             let (kind, cost, (lo, hi)) = if i < self.num_workers {
-                (AnnotatorKind::Worker, self.worker_cost, self.worker_accuracy)
+                (
+                    AnnotatorKind::Worker,
+                    self.worker_cost,
+                    self.worker_accuracy,
+                )
             } else {
-                (AnnotatorKind::Expert, self.expert_cost, self.expert_accuracy)
+                (
+                    AnnotatorKind::Expert,
+                    self.expert_cost,
+                    self.expert_accuracy,
+                )
             };
             profiles.push(AnnotatorProfile::new(AnnotatorId(i), kind, cost)?);
             // Per-class accuracy: each row gets its own diagonal, modelling
@@ -136,7 +148,9 @@ impl AnnotatorPool {
         latent: Vec<ConfusionMatrix>,
     ) -> Result<Self> {
         if profiles.is_empty() {
-            return Err(Error::InvalidParameter("pool must contain at least one annotator".into()));
+            return Err(Error::InvalidParameter(
+                "pool must contain at least one annotator".into(),
+            ));
         }
         if profiles.len() != latent.len() {
             return Err(Error::DimensionMismatch {
@@ -155,7 +169,9 @@ impl AnnotatorPool {
         }
         let k = latent[0].num_classes();
         if latent.iter().any(|m| m.num_classes() != k) {
-            return Err(Error::InvalidParameter("inconsistent class counts in pool".into()));
+            return Err(Error::InvalidParameter(
+                "inconsistent class counts in pool".into(),
+            ));
         }
         Ok(Self { profiles, latent })
     }
@@ -186,12 +202,18 @@ impl AnnotatorPool {
 
     /// The cheapest per-answer cost in the pool (budget-exhaustion check).
     pub fn min_cost(&self) -> f64 {
-        self.profiles.iter().map(|p| p.cost).fold(f64::INFINITY, f64::min)
+        self.profiles
+            .iter()
+            .map(|p| p.cost)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Ids of all workers.
     pub fn workers(&self) -> impl Iterator<Item = AnnotatorId> + '_ {
-        self.profiles.iter().filter(|p| !p.is_expert()).map(|p| p.id)
+        self.profiles
+            .iter()
+            .filter(|p| !p.is_expert())
+            .map(|p| p.id)
     }
 
     /// Ids of all experts.
@@ -269,7 +291,10 @@ mod tests {
         };
         let worker_acc = acc(AnnotatorId(0), &mut rng);
         let expert_acc = acc(AnnotatorId(1), &mut rng);
-        assert!(expert_acc > worker_acc + 0.1, "expert {expert_acc} worker {worker_acc}");
+        assert!(
+            expert_acc > worker_acc + 0.1,
+            "expert {expert_acc} worker {worker_acc}"
+        );
     }
 
     #[test]
@@ -321,7 +346,10 @@ mod tests {
     fn paper_table2_pool_reproduces_costs() {
         // Table II: three workers at cost 1, two experts at cost 5.
         let mut rng = seeded(5);
-        let pool = PoolSpec::new(3, 2).with_expert_cost(5.0).generate(2, &mut rng).unwrap();
+        let pool = PoolSpec::new(3, 2)
+            .with_expert_cost(5.0)
+            .generate(2, &mut rng)
+            .unwrap();
         assert_eq!(pool.profile(AnnotatorId(4)).cost, 5.0);
         assert_eq!(pool.min_cost(), 1.0);
     }

@@ -99,10 +99,14 @@ impl DatasetSpec {
 
     fn validate(&self) -> Result<()> {
         if self.num_objects == 0 {
-            return Err(Error::InvalidParameter("num_objects must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "num_objects must be positive".into(),
+            ));
         }
         if self.informative_dims == 0 {
-            return Err(Error::InvalidParameter("need at least one informative dim".into()));
+            return Err(Error::InvalidParameter(
+                "need at least one informative dim".into(),
+            ));
         }
         if self.num_classes < 2 {
             return Err(Error::InvalidParameter("need at least two classes".into()));
@@ -114,7 +118,9 @@ impl DatasetSpec {
             )));
         }
         if self.separation < 0.0 || !self.separation.is_finite() {
-            return Err(Error::InvalidParameter("separation must be non-negative".into()));
+            return Err(Error::InvalidParameter(
+                "separation must be non-negative".into(),
+            ));
         }
         if self.class_balance.len() != self.num_classes {
             return Err(Error::DimensionMismatch {
@@ -123,10 +129,15 @@ impl DatasetSpec {
                 context: "class balance".into(),
             });
         }
-        if self.class_balance.iter().any(|&p| p < 0.0 || !p.is_finite())
+        if self
+            .class_balance
+            .iter()
+            .any(|&p| p < 0.0 || !p.is_finite())
             || self.class_balance.iter().sum::<f64>() <= 0.0
         {
-            return Err(Error::InvalidParameter("class balance must be non-negative".into()));
+            return Err(Error::InvalidParameter(
+                "class balance must be non-negative".into(),
+            ));
         }
         Ok(())
     }
@@ -173,8 +184,7 @@ impl DatasetSpec {
                 features.push(normal(rng, 0.0, 1.0) as f32);
             }
             // Irreducible ambiguity: flip a fraction of ground truths.
-            let final_class = if self.label_noise > 0.0 && rng.random::<f64>() < self.label_noise
-            {
+            let final_class = if self.label_noise > 0.0 && rng.random::<f64>() < self.label_noise {
                 let other = rng.random_range(0..self.num_classes - 1);
                 if other >= class {
                     other + 1
@@ -282,7 +292,9 @@ impl SpeechSpec {
     /// Generate the three views over a single draw of objects.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SpeechViews> {
         if self.contextual_dim == 0 || self.prosodic_dim == 0 {
-            return Err(Error::InvalidParameter("speech blocks must be non-empty".into()));
+            return Err(Error::InvalidParameter(
+                "speech blocks must be non-empty".into(),
+            ));
         }
         // Build the CP dataset directly: contextual block then prosodic
         // block, each with its own separation. We reuse DatasetSpec's
@@ -306,7 +318,9 @@ impl SpeechSpec {
         ctx_spec.validate()?;
         pro_spec.validate()?;
         if !(0.0..=1.0).contains(&self.label_noise) {
-            return Err(Error::InvalidParameter("label_noise must be in [0,1]".into()));
+            return Err(Error::InvalidParameter(
+                "label_noise must be in [0,1]".into(),
+            ));
         }
 
         let dim = self.contextual_dim + self.prosodic_dim;
@@ -354,7 +368,12 @@ pub struct FashionSpec {
 impl FashionSpec {
     /// The full-size Fashion analogue.
     pub fn fashion() -> Self {
-        Self { num_objects: 32_398, dim: 64, separation: 3.0, label_noise: 0.02 }
+        Self {
+            num_objects: 32_398,
+            dim: 64,
+            separation: 3.0,
+            label_noise: 0.02,
+        }
     }
 
     /// Scale the object count.
@@ -380,7 +399,9 @@ mod tests {
     #[test]
     fn gaussian_generates_requested_shape() {
         let mut rng = seeded(1);
-        let d = DatasetSpec::gaussian("t", 100, 5, 3).generate(&mut rng).unwrap();
+        let d = DatasetSpec::gaussian("t", 100, 5, 3)
+            .generate(&mut rng)
+            .unwrap();
         assert_eq!(d.len(), 100);
         assert_eq!(d.dim(), 5);
         assert_eq!(d.num_classes(), 3);
@@ -417,7 +438,12 @@ mod tests {
             }
             dd.sqrt()
         };
-        assert!(dist(&far) > 4.0 * dist(&near), "far={} near={}", dist(&far), dist(&near));
+        assert!(
+            dist(&far) > 4.0 * dist(&near),
+            "far={} near={}",
+            dist(&far),
+            dist(&near)
+        );
     }
 
     #[test]
@@ -455,9 +481,15 @@ mod tests {
     #[test]
     fn spec_validation_errors() {
         let mut rng = seeded(5);
-        assert!(DatasetSpec::gaussian("t", 0, 2, 2).generate(&mut rng).is_err());
-        assert!(DatasetSpec::gaussian("t", 10, 0, 2).generate(&mut rng).is_err());
-        assert!(DatasetSpec::gaussian("t", 10, 2, 1).generate(&mut rng).is_err());
+        assert!(DatasetSpec::gaussian("t", 0, 2, 2)
+            .generate(&mut rng)
+            .is_err());
+        assert!(DatasetSpec::gaussian("t", 10, 0, 2)
+            .generate(&mut rng)
+            .is_err());
+        assert!(DatasetSpec::gaussian("t", 10, 2, 1)
+            .generate(&mut rng)
+            .is_err());
         assert!(DatasetSpec::gaussian("t", 10, 2, 2)
             .with_label_noise(1.5)
             .generate(&mut rng)
@@ -520,7 +552,10 @@ mod tests {
     #[test]
     fn fashion_generates_binary_easy_task() {
         let mut rng = seeded(7);
-        let d = FashionSpec::fashion().with_num_objects(300).generate(&mut rng).unwrap();
+        let d = FashionSpec::fashion()
+            .with_num_objects(300)
+            .generate(&mut rng)
+            .unwrap();
         assert_eq!(d.len(), 300);
         assert_eq!(d.num_classes(), 2);
         assert_eq!(d.name(), "fashion");

@@ -23,8 +23,10 @@
 
 pub mod annotators;
 pub mod datasets;
+pub mod latency;
 pub mod platform;
 
 pub use annotators::{AnnotatorPool, PoolSpec};
 pub use datasets::{DatasetSpec, FashionSpec, SpeechSpec, SpeechViews};
+pub use latency::{AnnotatorDynamics, DynamicsSpec, LatencyModel};
 pub use platform::Platform;

@@ -25,7 +25,12 @@ impl<'a> Platform<'a> {
     /// Open a platform session with `budget` units to spend.
     pub fn new(dataset: &'a Dataset, pool: &'a AnnotatorPool, budget: Budget) -> Self {
         let answers = AnswerSet::new(dataset.len());
-        Self { dataset, pool, budget, answers }
+        Self {
+            dataset,
+            pool,
+            budget,
+            answers,
+        }
     }
 
     /// The dataset being labelled (features are public; algorithms must not
@@ -97,7 +102,11 @@ impl<'a> Platform<'a> {
         self.budget.charge(cost)?;
         let truth = self.dataset.truth(object.index());
         let label = self.pool.sample_answer(annotator, truth, rng);
-        let answer = Answer { object, annotator, label };
+        let answer = Answer {
+            object,
+            annotator,
+            label,
+        };
         self.answers
             .record(answer)
             .expect("pre-checked answer must record");
@@ -133,7 +142,9 @@ mod tests {
 
     fn setup(budget: f64) -> (Dataset, AnnotatorPool) {
         let mut rng = seeded(100);
-        let dataset = DatasetSpec::gaussian("t", 10, 2, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 10, 2, 2)
+            .generate(&mut rng)
+            .unwrap();
         let pool = PoolSpec::new(2, 1).generate(2, &mut rng).unwrap();
         let _ = budget;
         (dataset, pool)
@@ -178,8 +189,12 @@ mod tests {
         let (dataset, pool) = setup(20.0);
         let mut platform = Platform::new(&dataset, &pool, Budget::new(20.0).unwrap());
         let mut rng = seeded(4);
-        assert!(platform.ask(ObjectId(99), AnnotatorId(0), &mut rng).is_err());
-        assert!(platform.ask(ObjectId(0), AnnotatorId(99), &mut rng).is_err());
+        assert!(platform
+            .ask(ObjectId(99), AnnotatorId(0), &mut rng)
+            .is_err());
+        assert!(platform
+            .ask(ObjectId(0), AnnotatorId(99), &mut rng)
+            .is_err());
         assert_eq!(platform.budget().spent(), 0.0);
     }
 
@@ -213,7 +228,9 @@ mod tests {
     fn answers_reflect_latent_quality() {
         // An expert pool answering many objects should mostly match truth.
         let mut rng = seeded(7);
-        let dataset = DatasetSpec::gaussian("t", 200, 2, 2).generate(&mut rng).unwrap();
+        let dataset = DatasetSpec::gaussian("t", 200, 2, 2)
+            .generate(&mut rng)
+            .unwrap();
         let pool = PoolSpec::new(0, 1)
             .with_expert_accuracy(0.99, 1.0)
             .generate(2, &mut rng)

@@ -38,7 +38,10 @@ pub struct AnswerSet {
 impl AnswerSet {
     /// An empty answer set over `num_objects` objects.
     pub fn new(num_objects: usize) -> Self {
-        Self { per_object: vec![Vec::new(); num_objects], total: 0 }
+        Self {
+            per_object: vec![Vec::new(); num_objects],
+            total: 0,
+        }
     }
 
     /// Number of objects this set is sized for.
@@ -64,7 +67,10 @@ impl AnswerSet {
                 context: "answer set".into(),
             });
         }
-        if self.per_object[i].iter().any(|(a, _)| *a == answer.annotator) {
+        if self.per_object[i]
+            .iter()
+            .any(|(a, _)| *a == answer.annotator)
+        {
             return Err(Error::InvalidParameter(format!(
                 "annotator {} already answered object {}",
                 answer.annotator, answer.object
@@ -83,7 +89,9 @@ impl AnswerSet {
 
     /// Whether `annotator` already answered `object`.
     pub fn has_answered(&self, object: ObjectId, annotator: AnnotatorId) -> bool {
-        self.per_object[object.index()].iter().any(|(a, _)| *a == annotator)
+        self.per_object[object.index()]
+            .iter()
+            .any(|(a, _)| *a == annotator)
     }
 
     /// The label `annotator` gave `object`, if any (the matrix entry
@@ -168,7 +176,10 @@ pub struct LabelledSet {
 impl LabelledSet {
     /// All objects unlabelled.
     pub fn new(num_objects: usize) -> Self {
-        Self { states: vec![LabelState::Unlabelled; num_objects], labelled: 0 }
+        Self {
+            states: vec![LabelState::Unlabelled; num_objects],
+            labelled: 0,
+        }
     }
 
     /// Number of objects.
@@ -248,9 +259,10 @@ impl LabelledSet {
 
     /// Objects with a label, paired with it.
     pub fn labelled_objects(&self) -> impl Iterator<Item = (ObjectId, ClassId)> + '_ {
-        self.states.iter().enumerate().filter_map(|(i, s)| {
-            s.label().map(|c| (ObjectId(i), c))
-        })
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.label().map(|c| (ObjectId(i), c)))
     }
 
     /// Final labels as a dense vector, with `None` for unlabelled objects.
@@ -265,7 +277,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn ans(o: usize, a: usize, c: usize) -> Answer {
-        Answer { object: ObjectId(o), annotator: AnnotatorId(a), label: ClassId(c) }
+        Answer {
+            object: ObjectId(o),
+            annotator: AnnotatorId(a),
+            label: ClassId(c),
+        }
     }
 
     #[test]
@@ -319,22 +335,28 @@ mod tests {
         assert_eq!(ls.unlabelled_count(), 4);
         assert!(!ls.all_labelled());
 
-        ls.set(ObjectId(0), LabelState::Inferred(ClassId(1))).unwrap();
-        ls.set(ObjectId(1), LabelState::Enriched(ClassId(0))).unwrap();
+        ls.set(ObjectId(0), LabelState::Inferred(ClassId(1)))
+            .unwrap();
+        ls.set(ObjectId(1), LabelState::Enriched(ClassId(0)))
+            .unwrap();
         assert_eq!(ls.labelled_count(), 2);
         assert_eq!(ls.enriched_count(), 1);
 
         // Re-labelling does not double-count.
-        ls.set(ObjectId(0), LabelState::Inferred(ClassId(0))).unwrap();
+        ls.set(ObjectId(0), LabelState::Inferred(ClassId(0)))
+            .unwrap();
         assert_eq!(ls.labelled_count(), 2);
 
         // Un-labelling decrements.
         ls.set(ObjectId(0), LabelState::Unlabelled).unwrap();
         assert_eq!(ls.labelled_count(), 1);
 
-        ls.set(ObjectId(0), LabelState::Inferred(ClassId(1))).unwrap();
-        ls.set(ObjectId(2), LabelState::Inferred(ClassId(1))).unwrap();
-        ls.set(ObjectId(3), LabelState::Enriched(ClassId(1))).unwrap();
+        ls.set(ObjectId(0), LabelState::Inferred(ClassId(1)))
+            .unwrap();
+        ls.set(ObjectId(2), LabelState::Inferred(ClassId(1)))
+            .unwrap();
+        ls.set(ObjectId(3), LabelState::Enriched(ClassId(1)))
+            .unwrap();
         assert!(ls.all_labelled());
         assert!(ls.set(ObjectId(9), LabelState::Unlabelled).is_err());
     }
@@ -342,7 +364,8 @@ mod tests {
     #[test]
     fn labelled_set_iterators_and_export() {
         let mut ls = LabelledSet::new(3);
-        ls.set(ObjectId(1), LabelState::Inferred(ClassId(1))).unwrap();
+        ls.set(ObjectId(1), LabelState::Inferred(ClassId(1)))
+            .unwrap();
         let unl: Vec<_> = ls.unlabelled_objects().collect();
         assert_eq!(unl, vec![ObjectId(0), ObjectId(2)]);
         let lab: Vec<_> = ls.labelled_objects().collect();

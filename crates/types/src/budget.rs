@@ -24,7 +24,11 @@ impl Budget {
                 "budget must be finite and non-negative, got {total}"
             )));
         }
-        Ok(Self { total, spent: 0.0, charges: 0 })
+        Ok(Self {
+            total,
+            spent: 0.0,
+            charges: 0,
+        })
     }
 
     /// Total budget.

@@ -36,7 +36,10 @@ impl ConfusionMatrix {
     /// The maximally-uninformative annotator: every row uniform.
     pub fn uniform(k: usize) -> Result<Self> {
         Self::check_k(k)?;
-        Ok(Self { k, p: vec![1.0 / k as f64; k * k] })
+        Ok(Self {
+            k,
+            p: vec![1.0 / k as f64; k * k],
+        })
     }
 
     /// A "diagonal-accuracy" annotator: probability `acc` of reporting the
@@ -95,7 +98,9 @@ impl ConfusionMatrix {
 
     fn check_k(k: usize) -> Result<()> {
         if k == 0 {
-            return Err(Error::InvalidParameter("class count must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "class count must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -225,7 +230,11 @@ impl ConfusionMatrix {
             changed = true;
             let off_mass = 1.0 - diag;
             let new_off_mass = 1.0 - floor;
-            let scale = if off_mass > 0.0 { new_off_mass / off_mass } else { 0.0 };
+            let scale = if off_mass > 0.0 {
+                new_off_mass / off_mass
+            } else {
+                0.0
+            };
             for l in 0..self.k {
                 let v = &mut self.p[c * self.k + l];
                 *v = if l == c { floor } else { *v * scale };

@@ -36,13 +36,19 @@ impl Dataset {
         num_classes: usize,
     ) -> Result<Self> {
         if num_classes == 0 {
-            return Err(Error::InvalidParameter("num_classes must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "num_classes must be positive".into(),
+            ));
         }
         if dim == 0 {
-            return Err(Error::InvalidParameter("feature dim must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "feature dim must be positive".into(),
+            ));
         }
         if truth.is_empty() {
-            return Err(Error::InvalidParameter("dataset must contain at least one object".into()));
+            return Err(Error::InvalidParameter(
+                "dataset must contain at least one object".into(),
+            ));
         }
         if features.len() != truth.len() * dim {
             return Err(Error::DimensionMismatch {
@@ -57,9 +63,17 @@ impl Dataset {
             )));
         }
         if features.iter().any(|x| !x.is_finite()) {
-            return Err(Error::InvalidParameter("features contain non-finite values".into()));
+            return Err(Error::InvalidParameter(
+                "features contain non-finite values".into(),
+            ));
         }
-        Ok(Self { name: name.into(), features, dim, truth, num_classes })
+        Ok(Self {
+            name: name.into(),
+            features,
+            dim,
+            truth,
+            num_classes,
+        })
     }
 
     /// Dataset name (e.g. `"speech12-cp"`).
@@ -126,7 +140,9 @@ impl Dataset {
     /// `{0.1,…,0.5}` of each dataset.
     pub fn subset(&self, indices: &[usize]) -> Result<Self> {
         if indices.is_empty() {
-            return Err(Error::InvalidParameter("subset must keep at least one object".into()));
+            return Err(Error::InvalidParameter(
+                "subset must keep at least one object".into(),
+            ));
         }
         let mut features = Vec::with_capacity(indices.len() * self.dim);
         let mut truth = Vec::with_capacity(indices.len());
@@ -156,7 +172,9 @@ impl Dataset {
     /// prosodic-only (P) and concatenated (CP) slices of the same objects.
     pub fn select_columns(&self, cols: &[usize], name: impl Into<String>) -> Result<Self> {
         if cols.is_empty() {
-            return Err(Error::InvalidParameter("must keep at least one feature column".into()));
+            return Err(Error::InvalidParameter(
+                "must keep at least one feature column".into(),
+            ));
         }
         if let Some(&bad) = cols.iter().find(|&&c| c >= self.dim) {
             return Err(Error::IndexOutOfBounds {
@@ -182,7 +200,10 @@ impl Dataset {
     /// A copy of this dataset under a different name (experiment harnesses
     /// use this to distinguish sweep conditions over the same data).
     pub fn renamed(&self, name: impl Into<String>) -> Self {
-        Self { name: name.into(), ..self.clone() }
+        Self {
+            name: name.into(),
+            ..self.clone()
+        }
     }
 
     /// Empirical class prior of the hidden truth (evaluation/reporting only).

@@ -17,32 +17,56 @@ pub enum Error {
     InvalidParameter(String),
     /// Two components disagreed about a dimension (e.g. a confusion matrix
     /// sized for `k` classes applied to a dataset with `k' != k`).
-    DimensionMismatch { expected: usize, actual: usize, context: String },
+    DimensionMismatch {
+        expected: usize,
+        actual: usize,
+        context: String,
+    },
     /// An index referred past the end of its collection.
-    IndexOutOfBounds { index: usize, len: usize, context: String },
+    IndexOutOfBounds {
+        index: usize,
+        len: usize,
+        context: String,
+    },
     /// A charge would overdraw the labelling budget.
     BudgetExhausted { requested: f64, remaining: f64 },
     /// An iterative algorithm failed to make progress (e.g. EM produced a
     /// non-finite likelihood).
     NumericalFailure(String),
+    /// The asynchronous labelling runtime broke an internal invariant or
+    /// lost a worker thread (e.g. a panicked scoring thread, an event for
+    /// an unknown assignment).
+    ServiceFailure(String),
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            Error::DimensionMismatch { expected, actual, context } => write!(
+            Error::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
                 f,
                 "dimension mismatch in {context}: expected {expected}, got {actual}"
             ),
-            Error::IndexOutOfBounds { index, len, context } => {
+            Error::IndexOutOfBounds {
+                index,
+                len,
+                context,
+            } => {
                 write!(f, "index {index} out of bounds (len {len}) in {context}")
             }
-            Error::BudgetExhausted { requested, remaining } => write!(
+            Error::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
                 f,
                 "budget exhausted: requested {requested:.3} units but only {remaining:.3} remain"
             ),
             Error::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+            Error::ServiceFailure(msg) => write!(f, "service failure: {msg}"),
         }
     }
 }
@@ -58,18 +82,32 @@ mod tests {
         let e = Error::InvalidParameter("alpha must be in (0,1)".into());
         assert!(e.to_string().contains("alpha"));
 
-        let e = Error::DimensionMismatch { expected: 2, actual: 3, context: "confusion".into() };
+        let e = Error::DimensionMismatch {
+            expected: 2,
+            actual: 3,
+            context: "confusion".into(),
+        };
         assert!(e.to_string().contains("expected 2"));
         assert!(e.to_string().contains("got 3"));
 
-        let e = Error::IndexOutOfBounds { index: 9, len: 4, context: "dataset".into() };
+        let e = Error::IndexOutOfBounds {
+            index: 9,
+            len: 4,
+            context: "dataset".into(),
+        };
         assert!(e.to_string().contains("index 9"));
 
-        let e = Error::BudgetExhausted { requested: 5.0, remaining: 1.0 };
+        let e = Error::BudgetExhausted {
+            requested: 5.0,
+            remaining: 1.0,
+        };
         assert!(e.to_string().contains("5.000"));
 
         let e = Error::NumericalFailure("nan likelihood".into());
         assert!(e.to_string().contains("nan"));
+
+        let e = Error::ServiceFailure("agent thread disconnected".into());
+        assert!(e.to_string().contains("agent thread"));
     }
 
     #[test]

@@ -150,7 +150,9 @@ mod tests {
         assert!(AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, 0.0).is_err());
         assert!(AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, -1.0).is_err());
         assert!(AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, f64::NAN).is_err());
-        assert!(AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, f64::INFINITY).is_err());
+        assert!(
+            AnnotatorProfile::new(AnnotatorId(0), AnnotatorKind::Worker, f64::INFINITY).is_err()
+        );
     }
 
     #[test]

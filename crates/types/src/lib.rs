@@ -22,6 +22,7 @@ pub mod error;
 pub mod ids;
 pub mod prob;
 pub mod rng;
+pub mod time;
 
 pub use answers::{Answer, AnswerSet, LabelState, LabelledSet};
 pub use budget::Budget;
@@ -29,3 +30,4 @@ pub use confusion::ConfusionMatrix;
 pub use dataset::Dataset;
 pub use error::{Error, Result};
 pub use ids::{AnnotatorId, AnnotatorKind, AnnotatorProfile, ClassId, ObjectId};
+pub use time::{AssignmentId, SimTime};

@@ -33,10 +33,7 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
 /// Shannon entropy (nats) of a distribution. Zero-probability entries
 /// contribute zero, matching the `p log p -> 0` limit.
 pub fn entropy(p: &[f64]) -> f64 {
-    p.iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| -x * x.ln())
-        .sum()
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum()
 }
 
 /// Index of the maximum element; ties break toward the lowest index so the
@@ -86,7 +83,8 @@ pub fn top_two_margin(p: &[f64]) -> f64 {
 /// (length `k`, entries in `[0,1]`, sums to one within `tol`).
 pub fn is_distribution(p: &[f64], k: usize, tol: f64) -> bool {
     p.len() == k
-        && p.iter().all(|&x| x.is_finite() && (-tol..=1.0 + tol).contains(&x))
+        && p.iter()
+            .all(|&x| x.is_finite() && (-tol..=1.0 + tol).contains(&x))
         && (p.iter().sum::<f64>() - 1.0).abs() <= tol
 }
 

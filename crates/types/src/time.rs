@@ -1,0 +1,134 @@
+//! Simulated time for the asynchronous labelling runtime.
+//!
+//! The discrete-event scheduler in `crowdrl-serve` orders work by a
+//! virtual clock, not wall time: [`SimTime`] is a non-negative `f64` of
+//! abstract "time units" (think seconds of annotator latency). A newtype
+//! keeps it from mixing with budgets and probabilities and gives it a
+//! total order (`NaN` is rejected at construction) so it can key a
+//! priority queue directly.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on (or duration of) the simulated clock, in abstract time
+/// units. Always finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the clock's initial value.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Wrap a raw value; fails on NaN, infinity, or negatives.
+    pub fn new(t: f64) -> Result<Self> {
+        if !t.is_finite() || t < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "SimTime must be finite and non-negative, got {t}"
+            )));
+        }
+        Ok(SimTime(t))
+    }
+
+    /// The raw value in time units.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+// SimTime is constructed only through `new`, which rejects NaN, so the
+// total order is genuine.
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}tu", self.0)
+    }
+}
+
+/// Identifier of one dispatched (object, annotator) question in the
+/// asynchronous runtime's ledger. Monotonically increasing per run, so it
+/// doubles as a deterministic tiebreaker and a per-assignment RNG stream
+/// index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AssignmentId(pub u64);
+
+impl fmt::Display for AssignmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(SimTime::new(f64::NAN).is_err());
+        assert!(SimTime::new(f64::INFINITY).is_err());
+        assert!(SimTime::new(-0.001).is_err());
+        assert!(SimTime::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn orders_and_adds() {
+        let a = SimTime::new(1.5).unwrap();
+        let b = SimTime::new(2.0).unwrap();
+        assert!(a < b);
+        assert_eq!((a + b).as_f64(), 3.5);
+        let mut c = SimTime::ZERO;
+        c += b;
+        assert_eq!(c, b);
+        // Saturating subtraction: durations never go negative.
+        assert_eq!((a - b).as_f64(), 0.0);
+        assert_eq!((b - a).as_f64(), 0.5);
+    }
+
+    #[test]
+    fn usable_as_priority_queue_key() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap = BinaryHeap::new();
+        for t in [3.0, 1.0, 2.0] {
+            heap.push(Reverse(SimTime::new(t).unwrap()));
+        }
+        assert_eq!(heap.pop().unwrap().0.as_f64(), 1.0);
+        assert_eq!(heap.pop().unwrap().0.as_f64(), 2.0);
+        assert_eq!(heap.pop().unwrap().0.as_f64(), 3.0);
+    }
+
+    #[test]
+    fn assignment_ids_order_and_display() {
+        assert!(AssignmentId(1) < AssignmentId(2));
+        assert_eq!(AssignmentId(7).to_string(), "a7");
+        assert_eq!(SimTime::new(1.25).unwrap().to_string(), "1.250tu");
+    }
+}

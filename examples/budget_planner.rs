@@ -21,7 +21,10 @@ fn main() -> crowdrl::types::Result<()> {
         .generate(&mut master)?;
     let pool = PoolSpec::new(3, 1).generate(2, &mut master)?;
 
-    println!("{:>8} {:>9} {:>7} {:>13} {:>13}", "budget", "accuracy", "F1", "human labels", "model labels");
+    println!(
+        "{:>8} {:>9} {:>7} {:>13} {:>13}",
+        "budget", "accuracy", "F1", "human labels", "model labels"
+    );
     for budget in [50.0, 150.0, 300.0, 600.0, 1_200.0, 2_400.0] {
         let mut rng = rng::seeded(777);
         let config = CrowdRlConfig::builder().budget(budget).build()?;

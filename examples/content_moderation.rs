@@ -19,14 +19,19 @@ fn main() -> crowdrl::types::Result<()> {
 
     // 500 images, easy-ish task (the paper notes fashion-relatedness is
     // easier to judge than oral-presentation quality).
-    let dataset = FashionSpec::fashion().with_num_objects(500).generate(&mut master)?;
+    let dataset = FashionSpec::fashion()
+        .with_num_objects(500)
+        .generate(&mut master)?;
     // The paper's fashion pool: |W| = 3 (2 workers + 1 expert), and the
     // paper's per-object budget ratio.
     let pool = PoolSpec::new(2, 1).generate(2, &mut master)?;
     let budget = 160_000.0 / 32_398.0 * 500.0;
     let params = BaselineParams::with_budget(budget);
     println!("labelling 500 images with budget {budget:.0}\n");
-    println!("{:<10} {:>9} {:>9} {:>9} {:>11}", "method", "accuracy", "F1", "coverage", "spent");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>11}",
+        "method", "accuracy", "F1", "coverage", "spent"
+    );
 
     let mut methods = paper_baselines();
     methods.push(Box::new(CrowdRlStrategy::full()));

@@ -38,7 +38,11 @@ fn main() -> crowdrl::types::Result<()> {
     for i in 0..dataset.len() {
         for p in pool.profiles() {
             let label = pool.sample_answer(p.id, dataset.truth(i), &mut master);
-            answers.record(Answer { object: ObjectId(i), annotator: p.id, label })?;
+            answers.record(Answer {
+                object: ObjectId(i),
+                annotator: p.id,
+                label,
+            })?;
         }
     }
 
@@ -72,7 +76,11 @@ fn main() -> crowdrl::types::Result<()> {
     println!("\nestimated annotator qualities (joint model):");
     for (p, q) in pool.profiles().iter().zip(joint.qualities()) {
         let latent = pool.latent_confusion(p.id).quality();
-        println!("  {} {:7}: estimated {q:.3} (true {latent:.3})", p.id, p.kind.to_string());
+        println!(
+            "  {} {:7}: estimated {q:.3} (true {latent:.3})",
+            p.id,
+            p.kind.to_string()
+        );
     }
     println!("\nThe radiologist's estimated quality stays bounded at >= 0.95 even if");
     println!("an EM pass would otherwise erode it after rare disagreements, and the");

@@ -54,7 +54,10 @@ fn main() -> crowdrl::types::Result<()> {
         outcome.enriched_count
     );
     println!("accuracy          : {:.3}", metrics.accuracy);
-    println!("precision / recall: {:.3} / {:.3}", metrics.precision, metrics.recall);
+    println!(
+        "precision / recall: {:.3} / {:.3}",
+        metrics.precision, metrics.recall
+    );
     println!("F1                : {:.3}", metrics.f1);
     Ok(())
 }

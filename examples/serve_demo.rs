@@ -1,0 +1,72 @@
+//! Asynchronous labelling service demo.
+//!
+//! Runs the same dataset and budget through the batch workflow and the
+//! asynchronous runtime (in both execution modes), printing the service
+//! metrics report and the accuracy comparison.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use crowdrl::prelude::*;
+use crowdrl::types::rng::seeded;
+
+fn accuracy(labels: &[Option<ClassId>], dataset: &Dataset) -> f64 {
+    labels
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| **l == Some(dataset.truth(*i)))
+        .count() as f64
+        / dataset.len() as f64
+}
+
+fn main() {
+    let mut rng = seeded(42);
+    let dataset = DatasetSpec::gaussian("serve-demo", 120, 4, 2)
+        .with_separation(3.5)
+        .generate(&mut rng)
+        .expect("dataset");
+    let pool = PoolSpec::new(4, 1).generate(2, &mut rng).expect("pool");
+    let config = CrowdRlConfig::builder()
+        .budget(300.0)
+        .initial_ratio(0.1)
+        .batch_per_iter(4)
+        .build()
+        .expect("config");
+    let crowdrl = CrowdRl::new(config);
+
+    // Reference: the synchronous batch workflow.
+    let mut batch_rng = seeded(7);
+    let batch = crowdrl
+        .run(&dataset, &pool, &mut batch_rng)
+        .expect("batch run");
+    println!("batch workflow");
+    println!(
+        "  accuracy {:.3}  spent {:.1}  answers {}  iterations {}",
+        accuracy(&batch.labels, &dataset),
+        batch.budget_spent,
+        batch.total_answers,
+        batch.iterations
+    );
+
+    // The asynchronous service, single-threaded and worker-pool.
+    for (name, mode) in [
+        ("async single-thread", ExecMode::SingleThread),
+        ("async worker-pool(4)", ExecMode::WorkerPool { workers: 4 }),
+    ] {
+        let serve = ServeConfig::default().with_mode(mode);
+        let mut async_rng = seeded(7);
+        let result = crowdrl
+            .run_async(&dataset, &pool, &serve, &mut async_rng)
+            .expect("async run");
+        println!("\n{name}");
+        println!(
+            "  accuracy {:.3}  spent {:.1}  answers {}  refreshes {}",
+            accuracy(&result.outcome.labels, &dataset),
+            result.outcome.budget_spent,
+            result.outcome.total_answers,
+            result.outcome.iterations
+        );
+        println!("{}", result.metrics);
+    }
+}

@@ -20,7 +20,9 @@ fn main() -> crowdrl::types::Result<()> {
     // A scaled-down Speech12: 300 video clips, 50-d contextual + 150-d
     // prosodic features, binary excellent/awful labels with ~6%
     // irreducible grader disagreement.
-    let views = SpeechSpec::speech12().with_num_objects(300).generate(&mut master)?;
+    let views = SpeechSpec::speech12()
+        .with_num_objects(300)
+        .generate(&mut master)?;
 
     // The paper's speech pool: 3 crowd workers + 2 professional teachers
     // (experts), costs 1 and 10; budget at the paper's per-object ratio.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: build, tests, formatting, lints. Run from anywhere;
+# everything happens at the repository root. The build environment is
+# offline, so every cargo invocation passes --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test (workspace) =="
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"

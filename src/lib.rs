@@ -30,6 +30,7 @@
 //! | [`core`] | `crowdrl-core` | the CrowdRL workflow itself |
 //! | [`baselines`] | `crowdrl-baselines` | DLTA / OBA / IDLE / DALC / Hybrid |
 //! | [`eval`] | `crowdrl-eval` | metrics and experiment runner |
+//! | [`serve`] | `crowdrl-serve` | discrete-event asynchronous labelling runtime |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@ pub use crowdrl_inference as inference;
 pub use crowdrl_linalg as linalg;
 pub use crowdrl_nn as nn;
 pub use crowdrl_rl as rl;
+pub use crowdrl_serve as serve;
 pub use crowdrl_sim as sim;
 pub use crowdrl_types as types;
 
@@ -66,6 +68,7 @@ pub use crowdrl_types as types;
 pub mod prelude {
     pub use crowdrl_core::{CrowdRl, CrowdRlConfig, LabellingOutcome};
     pub use crowdrl_eval::metrics::{evaluate_labels, Metrics};
+    pub use crowdrl_serve::{AsyncOutcome, ExecMode, RunAsync, ServeConfig, ServiceMetrics};
     pub use crowdrl_sim::{AnnotatorPool, DatasetSpec, PoolSpec};
     pub use crowdrl_types::{
         AnnotatorId, AnnotatorKind, AnnotatorProfile, Answer, AnswerSet, Budget, ClassId,

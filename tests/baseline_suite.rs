@@ -41,7 +41,12 @@ fn every_framework_satisfies_the_contract() {
         );
         // Outcome shapes are well-formed.
         assert_eq!(outcome.labels.len(), dataset.len(), "{}", method.name());
-        assert_eq!(outcome.label_states.len(), dataset.len(), "{}", method.name());
+        assert_eq!(
+            outcome.label_states.len(),
+            dataset.len(),
+            "{}",
+            method.name()
+        );
         for (label, state) in outcome.labels.iter().zip(&outcome.label_states) {
             assert_eq!(*label, state.label(), "{}", method.name());
         }
@@ -51,7 +56,12 @@ fn every_framework_satisfies_the_contract() {
         }
         // Metrics computable and sane.
         let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
-        assert!(m.accuracy > 0.3, "{} accuracy {}", method.name(), m.accuracy);
+        assert!(
+            m.accuracy > 0.3,
+            "{} accuracy {}",
+            method.name(),
+            m.accuracy
+        );
         assert!((0.0..=1.0).contains(&m.coverage), "{}", method.name());
     }
 }
@@ -74,8 +84,10 @@ fn crowdrl_beats_oba_on_noisy_workers() {
         crowdrl_total += acc(&CrowdRlStrategy::full(), s + 100);
         oba_total += acc(&crowdrl::baselines::Oba::default(), s + 100);
     }
-    let (crowdrl_mean, oba_mean) =
-        (crowdrl_total / seeds.len() as f64, oba_total / seeds.len() as f64);
+    let (crowdrl_mean, oba_mean) = (
+        crowdrl_total / seeds.len() as f64,
+        oba_total / seeds.len() as f64,
+    );
     assert!(
         crowdrl_mean > oba_mean + 0.05,
         "CrowdRL ({crowdrl_mean:.3}) must clearly beat OBA ({oba_mean:.3})"

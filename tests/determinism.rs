@@ -51,7 +51,12 @@ fn every_baseline_is_reproducible() {
         };
         let a = run(7);
         let b = run(7);
-        assert_eq!(a.labels, b.labels, "{} must be reproducible", strategy.name());
+        assert_eq!(
+            a.labels,
+            b.labels,
+            "{} must be reproducible",
+            strategy.name()
+        );
         assert_eq!(a.budget_spent, b.budget_spent, "{}", strategy.name());
     }
 }
@@ -69,12 +74,20 @@ fn parallel_experiment_grid_is_schedule_independent() {
         }]
     };
     let strategies = paper_baselines();
-    let single = ExperimentGrid { repetitions: 2, master_seed: 99, threads: 1 }
-        .run(&strategies, &make_conditions())
-        .unwrap();
-    let parallel = ExperimentGrid { repetitions: 2, master_seed: 99, threads: 4 }
-        .run(&strategies, &make_conditions())
-        .unwrap();
+    let single = ExperimentGrid {
+        repetitions: 2,
+        master_seed: 99,
+        threads: 1,
+    }
+    .run(&strategies, &make_conditions())
+    .unwrap();
+    let parallel = ExperimentGrid {
+        repetitions: 2,
+        master_seed: 99,
+        threads: 4,
+    }
+    .run(&strategies, &make_conditions())
+    .unwrap();
     assert_eq!(single.len(), parallel.len());
     for (a, b) in single.iter().zip(&parallel) {
         assert_eq!(a.strategy, b.strategy);

@@ -33,7 +33,10 @@ fn full_pipeline_labels_everything_accurately() {
     let mut rng = seeded(2);
     let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
     assert_eq!(outcome.coverage(), 1.0, "every object must end labelled");
-    assert!(outcome.budget_spent <= 600.0 + 1e-9, "budget is a hard ceiling");
+    assert!(
+        outcome.budget_spent <= 600.0 + 1e-9,
+        "budget is a hard ceiling"
+    );
     let acc = accuracy(&dataset, &outcome);
     assert!(acc > 0.8, "end-to-end accuracy {acc}");
     let metrics = evaluate_labels(&dataset, &outcome.labels).unwrap();
@@ -73,7 +76,11 @@ fn cross_trained_policy_holds_up_against_random_policy() {
             .generate(&mut rng)
             .unwrap();
         let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
-        Condition { dataset, pool, params: BaselineParams::with_budget(350.0) }
+        Condition {
+            dataset,
+            pool,
+            params: BaselineParams::with_budget(350.0),
+        }
     };
     let base = CrowdRlConfig::builder().budget(450.0).build().unwrap();
     let params = cross_train(&base, &[donor], 41).unwrap();
@@ -97,7 +104,10 @@ fn cross_trained_policy_holds_up_against_random_policy() {
         .iter()
         .map(|&s| {
             run(
-                Ablation { random_task_selection: true, random_task_assignment: true },
+                Ablation {
+                    random_task_selection: true,
+                    random_task_assignment: true,
+                },
                 None,
                 s,
             )

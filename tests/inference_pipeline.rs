@@ -11,11 +11,7 @@ use crowdrl::types::rng::seeded;
 use crowdrl::types::{Budget, ObjectId};
 
 /// Ask every annotator about every object through the platform.
-fn full_panel(
-    dataset: &Dataset,
-    pool: &AnnotatorPool,
-    seed: u64,
-) -> crowdrl::types::AnswerSet {
+fn full_panel(dataset: &Dataset, pool: &AnnotatorPool, seed: u64) -> crowdrl::types::AnswerSet {
     let mut platform = Platform::new(dataset, pool, Budget::new(f64::MAX / 2.0).unwrap());
     let mut rng = seeded(seed);
     for i in 0..dataset.len() {
@@ -37,7 +33,9 @@ fn accuracy(result: &InferenceResult, dataset: &Dataset) -> f64 {
 fn all_models_agree_on_unanimous_panels() {
     // Perfect annotators: every model must recover the truth exactly.
     let mut rng = seeded(1);
-    let dataset = DatasetSpec::gaussian("u", 40, 4, 2).generate(&mut rng).unwrap();
+    let dataset = DatasetSpec::gaussian("u", 40, 4, 2)
+        .generate(&mut rng)
+        .unwrap();
     let pool = PoolSpec::new(0, 3)
         .with_expert_accuracy(1.0, 1.0)
         .generate(2, &mut rng)
@@ -67,14 +65,12 @@ fn joint_model_beats_annotator_only_models_with_heterogeneous_panels() {
             .unwrap();
         let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
         let answers = full_panel(&dataset, &pool, s + 50);
-        let ds = DawidSkene::default().infer(&answers, 2, pool.len()).unwrap();
-        let mut clf = SoftmaxClassifier::new(
-            ClassifierConfig::default(),
-            dataset.dim(),
-            2,
-            &mut rng,
-        )
-        .unwrap();
+        let ds = DawidSkene::default()
+            .infer(&answers, 2, pool.len())
+            .unwrap();
+        let mut clf =
+            SoftmaxClassifier::new(ClassifierConfig::default(), dataset.dim(), 2, &mut rng)
+                .unwrap();
         let joint = JointInference::default()
             .infer(&dataset, &answers, pool.profiles(), &mut clf, &mut rng)
             .unwrap();
@@ -106,15 +102,17 @@ fn joint_model_beats_classifier_as_annotator() {
         let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
         let answers = full_panel(&dataset, &pool, s + 70);
 
-        let mut clf_joint = SoftmaxClassifier::new(
-            ClassifierConfig::default(),
-            dataset.dim(),
-            2,
-            &mut rng,
-        )
-        .unwrap();
+        let mut clf_joint =
+            SoftmaxClassifier::new(ClassifierConfig::default(), dataset.dim(), 2, &mut rng)
+                .unwrap();
         let joint = JointInference::default()
-            .infer(&dataset, &answers, pool.profiles(), &mut clf_joint, &mut rng)
+            .infer(
+                &dataset,
+                &answers,
+                pool.profiles(),
+                &mut clf_joint,
+                &mut rng,
+            )
             .unwrap();
         joint_total += accuracy(&joint, &dataset);
 
@@ -127,13 +125,9 @@ fn joint_model_beats_classifier_as_annotator() {
             x.row_mut(i).copy_from_slice(dataset.features(i));
             y.push(mv.label(ObjectId(i)).unwrap());
         }
-        let mut clf_naive = SoftmaxClassifier::new(
-            ClassifierConfig::default(),
-            dataset.dim(),
-            2,
-            &mut rng,
-        )
-        .unwrap();
+        let mut clf_naive =
+            SoftmaxClassifier::new(ClassifierConfig::default(), dataset.dim(), 2, &mut rng)
+                .unwrap();
         clf_naive.fit_hard(&x, &y, &mut rng).unwrap();
         let naive = ClassifierAsAnnotator::default()
             .infer(&dataset, &answers, pool.len(), &clf_naive)
@@ -178,5 +172,8 @@ fn expert_bounding_protects_experts_from_collusive_workers() {
     );
     // And the expert's estimated quality stays at the bound.
     let expert_quality = joint.qualities()[3];
-    assert!(expert_quality >= 0.95 - 1e-9, "expert quality {expert_quality}");
+    assert!(
+        expert_quality >= 0.95 - 1e-9,
+        "expert quality {expert_quality}"
+    );
 }

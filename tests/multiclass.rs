@@ -44,12 +44,18 @@ fn inference_models_handle_three_classes() {
         for p in pool.profiles() {
             let label = pool.sample_answer(p.id, dataset.truth(i), &mut rng);
             answers
-                .record(Answer { object: ObjectId(i), annotator: p.id, label })
+                .record(Answer {
+                    object: ObjectId(i),
+                    annotator: p.id,
+                    label,
+                })
                 .unwrap();
         }
     }
     let mv = MajorityVote.infer(&answers, 3, pool.len()).unwrap();
-    let ds = DawidSkene::default().infer(&answers, 3, pool.len()).unwrap();
+    let ds = DawidSkene::default()
+        .infer(&answers, 3, pool.len())
+        .unwrap();
     for r in [&mv, &ds] {
         assert!(r.validate(3, 1e-6));
         let acc = (0..dataset.len())
@@ -79,7 +85,12 @@ fn baselines_complete_on_multiclass() {
         let outcome = strategy.run(&dataset, &pool, &params, &mut rng).unwrap();
         assert!(outcome.budget_spent <= 400.0 + 1e-9, "{}", strategy.name());
         let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
-        assert!(m.accuracy > 0.33, "{} accuracy {}", strategy.name(), m.accuracy);
+        assert!(
+            m.accuracy > 0.33,
+            "{} accuracy {}",
+            strategy.name(),
+            m.accuracy
+        );
     }
 }
 

@@ -59,7 +59,11 @@ fn example1_majority_voting_on_o1() {
             .unwrap();
     }
     let result = MajorityVote.infer(&answers, 2, 5).unwrap();
-    assert_eq!(result.label(ObjectId(0)), Some(ClassId(0)), "positive wins 2-1");
+    assert_eq!(
+        result.label(ObjectId(0)),
+        Some(ClassId(0)),
+        "positive wins 2-1"
+    );
 }
 
 #[test]
@@ -90,7 +94,10 @@ fn example3_table3_topk_selects_o8() {
         vec![3.0, 2.0, 0.0, 1.0, 1.0],
         vec![4.0, 1.0, 3.0, 0.0, 2.0],
     ];
-    let sums: Vec<f64> = q_by_object.iter().map(|row| topk::top_k_sum(row, 3)).collect();
+    let sums: Vec<f64> = q_by_object
+        .iter()
+        .map(|row| topk::top_k_sum(row, 3))
+        .collect();
     let winner = crowdrl::types::prob::argmax(&sums).unwrap();
     assert_eq!(winner, 7, "o8 has the largest top-3 sum");
     assert_eq!(sums[7], 9.0);
@@ -115,7 +122,10 @@ fn figure1_workflow_labels_8_videos_within_budget_30() {
         .build()
         .unwrap();
     let outcome = CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap();
-    assert!(outcome.budget_spent <= 30.0 + 1e-9, "B = 30 is a hard ceiling");
+    assert!(
+        outcome.budget_spent <= 30.0 + 1e-9,
+        "B = 30 is a hard ceiling"
+    );
     assert_eq!(outcome.coverage(), 1.0, "all 8 videos end labelled");
     let m = evaluate_labels(&dataset, &outcome.labels).unwrap();
     assert!(m.accuracy >= 0.5, "accuracy {}", m.accuracy);
@@ -124,10 +134,11 @@ fn figure1_workflow_labels_8_videos_within_budget_30() {
 #[test]
 fn platform_charges_table2_prices() {
     let mut rng = seeded(2);
-    let dataset = DatasetSpec::gaussian("videos", 8, 2, 2).generate(&mut rng).unwrap();
+    let dataset = DatasetSpec::gaussian("videos", 8, 2, 2)
+        .generate(&mut rng)
+        .unwrap();
     let pool = table2_pool();
-    let mut platform =
-        crowdrl::sim::Platform::new(&dataset, &pool, Budget::new(30.0).unwrap());
+    let mut platform = crowdrl::sim::Platform::new(&dataset, &pool, Budget::new(30.0).unwrap());
     // Example 2's second-iteration panel: w1, w3, w5 on o6 → spend 7.
     platform.ask(ObjectId(5), AnnotatorId(0), &mut rng).unwrap();
     platform.ask(ObjectId(5), AnnotatorId(2), &mut rng).unwrap();

@@ -11,7 +11,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12, // each case is a full (small) labelling run
         max_shrink_iters: 32,
-        ..ProptestConfig::default()
     })]
 
     #[test]

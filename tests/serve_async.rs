@@ -1,0 +1,167 @@
+//! Integration tests of the asynchronous labelling runtime: determinism
+//! across execution modes, equivalence with the batch workflow, and the
+//! timeout/requeue machinery.
+
+use crowdrl::prelude::*;
+use crowdrl::serve::AsyncRuntime;
+use crowdrl::sim::DynamicsSpec;
+use crowdrl::types::rng::seeded;
+
+fn setup(n: usize, seed: u64) -> (Dataset, AnnotatorPool) {
+    let mut rng = seeded(seed);
+    let dataset = DatasetSpec::gaussian("serve-test", n, 4, 2)
+        .with_separation(3.5)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+    (dataset, pool)
+}
+
+fn quick_config(budget: f64) -> CrowdRlConfig {
+    CrowdRlConfig::builder()
+        .budget(budget)
+        .initial_ratio(0.1)
+        .batch_per_iter(4)
+        .candidate_cap(32)
+        .build()
+        .unwrap()
+}
+
+fn accuracy(labels: &[Option<ClassId>], dataset: &Dataset) -> f64 {
+    labels
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| **l == Some(dataset.truth(*i)))
+        .count() as f64
+        / dataset.len() as f64
+}
+
+#[test]
+fn async_runs_are_deterministic_given_a_seed() {
+    let (dataset, pool) = setup(60, 1);
+    let crowdrl = CrowdRl::new(quick_config(150.0));
+    let serve = ServeConfig::default();
+    let run = || {
+        let mut rng = seeded(2);
+        crowdrl
+            .run_async(&dataset, &pool, &serve, &mut rng)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.trace, b.trace,
+        "event traces diverged between identical runs"
+    );
+    assert_eq!(a.outcome.labels, b.outcome.labels);
+    assert_eq!(a.outcome.budget_spent, b.outcome.budget_spent);
+    // Wall-clock readings (wall_seconds, events_per_second) vary between
+    // runs; every simulated-time quantity must not.
+    let normalize = |mut m: ServiceMetrics| {
+        m.wall_seconds = 0.0;
+        m.events_per_second = 0.0;
+        m
+    };
+    assert_eq!(normalize(a.metrics), normalize(b.metrics));
+}
+
+#[test]
+fn worker_pool_mode_replays_the_single_thread_trace() {
+    let (dataset, pool) = setup(60, 3);
+    let crowdrl = CrowdRl::new(quick_config(150.0));
+    let run = |mode| {
+        let serve = ServeConfig::default().with_mode(mode);
+        let mut rng = seeded(4);
+        crowdrl
+            .run_async(&dataset, &pool, &serve, &mut rng)
+            .unwrap()
+    };
+    let single = run(ExecMode::SingleThread);
+    let pooled = run(ExecMode::WorkerPool { workers: 3 });
+    // The entire observable run is identical: every dispatched question,
+    // every delivery, every expiry, in the same order at the same
+    // simulated times — and therefore the same labels and spend.
+    assert_eq!(single.trace, pooled.trace);
+    assert_eq!(single.outcome.labels, pooled.outcome.labels);
+    assert_eq!(single.outcome.budget_spent, pooled.outcome.budget_spent);
+    // Wall-clock differs between modes; everything else must not.
+    assert_eq!(single.metrics.dispatched, pooled.metrics.dispatched);
+    assert_eq!(
+        single.metrics.answers_delivered,
+        pooled.metrics.answers_delivered
+    );
+    assert_eq!(single.metrics.timeouts, pooled.metrics.timeouts);
+    assert_eq!(single.metrics.latency_p50, pooled.metrics.latency_p50);
+}
+
+#[test]
+fn async_accuracy_tracks_the_batch_workflow() {
+    let (dataset, pool) = setup(100, 5);
+    let crowdrl = CrowdRl::new(quick_config(250.0));
+    let mut batch_rng = seeded(6);
+    let batch = crowdrl.run(&dataset, &pool, &mut batch_rng).unwrap();
+    let mut async_rng = seeded(6);
+    let result = crowdrl
+        .run_async(&dataset, &pool, &ServeConfig::default(), &mut async_rng)
+        .unwrap();
+    let batch_acc = accuracy(&batch.labels, &dataset);
+    let async_acc = accuracy(&result.outcome.labels, &dataset);
+    // Same dataset, pool and budget: the asynchronous service must land
+    // within two points of the synchronous reference.
+    assert!(
+        (batch_acc - async_acc).abs() <= 0.02 + 1e-9,
+        "batch {batch_acc} vs async {async_acc}"
+    );
+    assert_eq!(result.outcome.coverage(), 1.0);
+    assert!(result.outcome.budget_spent <= 250.0 + 1e-9);
+    // The service actually serviced: answers flowed, refreshes ran.
+    assert!(result.metrics.answers_delivered > 0);
+    assert!(result.metrics.refreshes > 0);
+    assert!(result.metrics.latency_p50 > 0.0);
+}
+
+#[test]
+fn timeouts_requeue_and_the_run_still_completes() {
+    let (dataset, pool) = setup(50, 7);
+    // Flaky crowd and a tight timeout: drops and expiries everywhere.
+    let serve = ServeConfig {
+        dynamics: DynamicsSpec {
+            worker_mean_latency: 10.0,
+            expert_mean_latency: 30.0,
+            worker_drop_rate: 0.35,
+            expert_drop_rate: 0.2,
+        },
+        timeout: 25.0,
+        ..ServeConfig::default()
+    };
+    let crowdrl = CrowdRl::new(quick_config(150.0));
+    let mut rng = seeded(8);
+    let result = crowdrl
+        .run_async(&dataset, &pool, &serve, &mut rng)
+        .unwrap();
+    assert!(
+        result.metrics.timeouts > 0,
+        "flaky crowd produced no timeouts"
+    );
+    assert!(result.metrics.requeues > 0, "timeouts never requeued");
+    // Timeouts release their reservations: what was charged is exactly
+    // the delivered answers, and the budget held.
+    assert!(result.outcome.budget_spent <= 150.0 + 1e-9);
+    assert_eq!(
+        result.outcome.total_answers,
+        result.metrics.answers_delivered
+    );
+    // The classifier fallback still labels everything.
+    assert_eq!(result.outcome.coverage(), 1.0);
+}
+
+#[test]
+fn zero_budget_async_run_terminates_empty() {
+    let (dataset, pool) = setup(20, 9);
+    let runtime = AsyncRuntime::new(quick_config(0.0), ServeConfig::default());
+    let mut rng = seeded(10);
+    let result = runtime.run(&dataset, &pool, &mut rng).unwrap();
+    assert_eq!(result.metrics.answers_delivered, 0);
+    assert_eq!(result.outcome.budget_spent, 0.0);
+    assert_eq!(result.outcome.coverage(), 0.0);
+}
