@@ -13,7 +13,9 @@
 //! ranking with uniform-random feasible annotators.
 
 use crate::config::{Ablation, Exploration};
-use crate::features::{embed, StateSnapshot, FEATURE_DIM};
+use crate::features::{
+    embed_annotator_part, embed_object_part, ObjectFeatures, StateSnapshot, FEATURE_DIM,
+};
 use crowdrl_rl::{topk, DqnAgent, DqnConfig, EpsilonGreedy, Transition, UcbExplorer};
 use crowdrl_types::rng::sample_indices;
 use crowdrl_types::{AnnotatorId, AnnotatorProfile, AnswerSet, LabelledSet, ObjectId, Result};
@@ -99,16 +101,27 @@ impl SelectionAgent {
         }
         let w = profiles.len();
 
-        // Embed and score every candidate pair in one batch.
-        let mut embeddings: Vec<Vec<f32>> = Vec::with_capacity(candidates.len() * w);
-        for (object, probs) in candidates {
-            for profile in profiles {
-                embeddings.push(embed(
-                    *object, profile, probs, answers, labelled, snapshot, k,
-                ));
-            }
-        }
-        let q_raw = self.dqn.q_values(&embeddings);
+        // Score every candidate pair with one *factored* batched forward:
+        // the embedding splits into an object-dependent prefix and an
+        // annotator/run-level suffix (`features::OBJECT_PART_DIM`), so the
+        // Q-network's first layer is evaluated once per object part and
+        // once per annotator part instead of once per pair. All candidates
+        // share the classifier's class count, so the annotator parts are
+        // identical across objects.
+        let num_classes = candidates[0].1.len();
+        debug_assert!(candidates.iter().all(|(_, p)| p.len() == num_classes));
+        let object_parts: Vec<Vec<f32>> = candidates
+            .iter()
+            .map(|(object, probs)| {
+                let object_features = ObjectFeatures::compute(*object, probs, answers);
+                embed_object_part(&object_features, *object, labelled, k)
+            })
+            .collect();
+        let annotator_parts: Vec<Vec<f32>> = profiles
+            .iter()
+            .map(|profile| embed_annotator_part(profile, snapshot, num_classes))
+            .collect();
+        let q_raw = self.dqn.q_values_outer(&object_parts, &annotator_parts);
 
         // ε-greedy: one coin per iteration decides explore-vs-exploit.
         let explore_all = match &mut self.eps {
@@ -201,9 +214,15 @@ impl SelectionAgent {
             }
             let annotators: Vec<AnnotatorId> =
                 annotator_idx.iter().map(|&ai| profiles[ai].id).collect();
+            // Reassemble the full replay embeddings for the few chosen
+            // pairs only — the concatenation is exactly `embed_with`.
             let chosen_embeddings: Vec<Vec<f32>> = annotator_idx
                 .iter()
-                .map(|&ai| embeddings[ci * w + ai].clone())
+                .map(|&ai| {
+                    let mut e = object_parts[ci].clone();
+                    e.extend_from_slice(&annotator_parts[ai]);
+                    e
+                })
                 .collect();
             if let Some(ucb) = &mut self.ucb {
                 for a in &annotators {

@@ -19,14 +19,14 @@ use crate::agent::SelectionAgent;
 use crate::classifier_util::retrain_on_labelled;
 use crate::config::{CrowdRlConfig, InferenceModel};
 use crate::enrichment::{enrich, fallback_label_all, refresh_enriched};
-use crate::features::{embed, StateSnapshot};
+use crate::features::{embed_with, FeatureCache, StateSnapshot};
 use crate::infer_step::{apply_inference, run_inference};
 use crate::outcome::{IterationStats, LabellingOutcome};
 use crate::reward::{iteration_reward, RewardInputs};
 use crowdrl_nn::SoftmaxClassifier;
 use crowdrl_sim::{AnnotatorPool, Platform};
 use crowdrl_types::rng::sample_indices;
-use crowdrl_types::{Budget, Dataset, LabelState, LabelledSet, ObjectId, Result};
+use crowdrl_types::{AnswerSet, Budget, Dataset, LabelState, LabelledSet, ObjectId, Result};
 use rand::Rng;
 
 /// The CrowdRL framework, configured and ready to label datasets.
@@ -85,6 +85,7 @@ impl CrowdRl {
             rng,
         )?;
         let mut labelled = LabelledSet::new(n);
+        let mut feature_cache = FeatureCache::new(n, k_classes);
         let mut qualities = vec![0.7f64; pool.len()];
         let max_cost = pool
             .profiles()
@@ -183,7 +184,14 @@ impl CrowdRl {
             // remaining iterations at the configured batch size. Pacing is
             // what lets a mixed-cost pool spread experts over the run
             // instead of front-loading them.
-            let candidates = self.sample_candidates(dataset, &labelled, &classifier, rng);
+            let candidates = self.sample_candidates(
+                dataset,
+                &labelled,
+                &classifier,
+                platform.answers(),
+                &mut feature_cache,
+                rng,
+            );
             let snapshot = self.snapshot(&platform, &labelled, &qualities, max_cost, n, phi_trust);
             let allowance = fixed_allowance.min(platform.budget().remaining());
             let assignments = agent.select(
@@ -347,6 +355,7 @@ impl CrowdRl {
                     pool,
                     &labelled,
                     &classifier,
+                    &mut feature_cache,
                     &qualities,
                     max_cost,
                     rng,
@@ -429,12 +438,16 @@ impl CrowdRl {
         inferred as f64 >= self.config.enrichment_warmup * labelled.len() as f64
     }
 
-    /// Sample candidate objects and compute their class distributions.
+    /// Sample candidate objects and look up their class distributions
+    /// through the feature cache (one batched forward over the objects
+    /// the classifier's current generation has not scored yet).
     fn sample_candidates<R: Rng + ?Sized>(
         &self,
         dataset: &Dataset,
         labelled: &LabelledSet,
         classifier: &SoftmaxClassifier,
+        answers: &AnswerSet,
+        cache: &mut FeatureCache,
         rng: &mut R,
     ) -> Vec<(ObjectId, Vec<f64>)> {
         let unlabelled: Vec<ObjectId> = labelled.unlabelled_objects().collect();
@@ -446,17 +459,10 @@ impl CrowdRl {
                 .map(|i| unlabelled[i])
                 .collect()
         };
-        let k = dataset.num_classes();
+        cache.refresh(dataset, classifier, answers, &chosen);
         chosen
             .into_iter()
-            .map(|obj| {
-                let probs = if classifier.is_trained() {
-                    classifier.predict_proba_one(dataset.features(obj.index()))
-                } else {
-                    vec![1.0 / k as f64; k]
-                };
-                (obj, probs)
-            })
+            .map(|obj| (obj, cache.probs(obj).to_vec()))
             .collect()
     }
 
@@ -491,6 +497,7 @@ impl CrowdRl {
         pool: &AnnotatorPool,
         labelled: &LabelledSet,
         classifier: &SoftmaxClassifier,
+        cache: &mut FeatureCache,
         qualities: &[f64],
         max_cost: f64,
         rng: &mut R,
@@ -500,31 +507,27 @@ impl CrowdRl {
         if unlabelled.is_empty() {
             return Vec::new();
         }
-        let sample = sample_indices(
+        let sampled: Vec<ObjectId> = sample_indices(
             rng,
             unlabelled.len(),
             self.config.bootstrap_candidates.max(1),
-        );
-        let k = dataset.num_classes();
+        )
+        .into_iter()
+        .map(|i| unlabelled[i])
+        .collect();
+        cache.refresh(dataset, classifier, platform.answers(), &sampled);
         let mut out = Vec::new();
-        for i in sample {
-            let obj = unlabelled[i];
-            let probs = if classifier.is_trained() {
-                classifier.predict_proba_one(dataset.features(obj.index()))
-            } else {
-                vec![1.0 / k as f64; k]
-            };
+        for obj in sampled {
             // One random annotator per sampled object keeps this cheap.
             let a = rng.random_range(0..pool.len());
             let profile = &pool.profiles()[a];
             if platform.answers().has_answered(obj, profile.id) {
                 continue;
             }
-            out.push(embed(
+            out.push(embed_with(
+                cache.features(obj),
                 obj,
                 profile,
-                &probs,
-                platform.answers(),
                 labelled,
                 &snapshot,
                 self.config.assignment_k,

@@ -97,7 +97,11 @@ impl ExperimentGrid {
         let (res_tx, res_rx) =
             crossbeam::channel::unbounded::<Result<(usize, usize, Metrics, f64)>>();
         for job in &jobs {
-            job_tx.send(*job).expect("queue send");
+            if job_tx.send(*job).is_err() {
+                return Err(Error::NumericalFailure(
+                    "experiment job queue disconnected".into(),
+                ));
+            }
         }
         drop(job_tx);
 
@@ -110,18 +114,32 @@ impl ExperimentGrid {
                     while let Ok((si, ci, rep)) = job_rx.recv() {
                         let condition = &conditions[ci];
                         let stream = (si as u64) << 32 | (ci as u64) << 16 | rep as u64;
-                        let mut rng = seeded(derive_seed(master, stream));
-                        let out = strategies[si]
-                            .run(
-                                &condition.dataset,
-                                &condition.pool,
-                                &condition.params,
-                                &mut rng,
-                            )
-                            .and_then(|outcome| {
-                                evaluate_labels(&condition.dataset, &outcome.labels)
-                                    .map(|m| (si, ci, m, outcome.budget_spent))
-                            });
+                        let seed = derive_seed(master, stream);
+                        // A panicking strategy must not poison the whole
+                        // grid: trap the panic per job and surface it as an
+                        // `Err` naming the derived seed, so the failing run
+                        // is reproducible in isolation. The collector keeps
+                        // draining, so nothing hangs.
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut rng = seeded(seed);
+                            strategies[si]
+                                .run(
+                                    &condition.dataset,
+                                    &condition.pool,
+                                    &condition.params,
+                                    &mut rng,
+                                )
+                                .and_then(|outcome| {
+                                    evaluate_labels(&condition.dataset, &outcome.labels)
+                                        .map(|m| (si, ci, m, outcome.budget_spent))
+                                })
+                        }))
+                        .unwrap_or_else(|_| {
+                            Err(Error::NumericalFailure(format!(
+                                "experiment worker panicked on strategy {si}, \
+                                 condition {ci}, rep {rep} (seed {seed})"
+                            )))
+                        });
                         if res_tx.send(out).is_err() {
                             break;
                         }
@@ -245,6 +263,42 @@ mod tests {
         // Cells are strategy-major.
         assert_eq!(a[0].strategy, "DLTA");
         assert_eq!(a[1].strategy, "CrowdRL");
+    }
+
+    /// A strategy that dies mid-run: the grid must surface a proper error
+    /// naming the failing seed instead of hanging or unwinding the caller.
+    struct PanickingStrategy;
+
+    impl LabellingStrategy for PanickingStrategy {
+        fn name(&self) -> &'static str {
+            "Panic"
+        }
+
+        fn run(
+            &self,
+            _dataset: &Dataset,
+            _pool: &AnnotatorPool,
+            _params: &BaselineParams,
+            _rng: &mut dyn rand::RngCore,
+        ) -> Result<crowdrl_core::LabellingOutcome> {
+            panic!("poisoned job");
+        }
+    }
+
+    #[test]
+    fn panicking_strategy_reports_failing_seed_without_hanging() {
+        let strategies: Vec<Box<dyn LabellingStrategy>> = vec![Box::new(PanickingStrategy)];
+        let conditions = vec![condition(10, 30.0, 6)];
+        let grid = ExperimentGrid {
+            repetitions: 2,
+            master_seed: 9,
+            threads: 1, // deterministic job order: rep 0 fails first
+        };
+        let err = grid.run(&strategies, &conditions).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "{msg}");
+        let expected_seed = derive_seed(9, 0);
+        assert!(msg.contains(&format!("seed {expected_seed}")), "{msg}");
     }
 
     #[test]

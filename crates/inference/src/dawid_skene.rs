@@ -14,6 +14,7 @@
 
 use crate::mv::{estimate_confusions, MajorityVote};
 use crate::result::InferenceResult;
+use crowdrl_linalg::pool;
 use crowdrl_types::prob;
 use crowdrl_types::{AnswerSet, Error, ObjectId, Result};
 
@@ -89,36 +90,58 @@ impl DawidSkene {
                 state.class_prior = vec![1.0 / num_classes as f64; num_classes];
             }
 
-            // E-step in log space for stability.
+            // E-step in log space for stability. Chunked over fixed object
+            // ranges; per-chunk posteriors and log-likelihood/max-delta
+            // partials are merged in chunk-index order, so the result is
+            // bit-identical at every thread count (DESIGN.md §9). The
+            // per-annotator log-confusion tables are computed once per
+            // iteration instead of once per (answer, class) pair.
+            let log_prior: Vec<f64> = state
+                .class_prior
+                .iter()
+                .map(|&p| p.max(1e-12).ln())
+                .collect();
+            let log_conf = crate::par::log_confusion_tables(&state.confusions, num_classes);
+            let k = num_classes;
+            let posteriors = &state.posteriors;
+            let chunks =
+                pool::map_chunks(answers.num_objects(), crate::par::OBJECT_CHUNK, |range| {
+                    let mut posts: Vec<(usize, Vec<f64>)> = Vec::new();
+                    let mut ll = 0.0f64;
+                    let mut max_delta = 0.0f64;
+                    let mut logp = vec![0.0f64; k];
+                    for i in range {
+                        let votes = answers.answers_for(ObjectId(i));
+                        if votes.is_empty() {
+                            continue;
+                        }
+                        logp.copy_from_slice(&log_prior);
+                        for &(a, label) in votes {
+                            let table = &log_conf[a.index() * k * k..(a.index() + 1) * k * k];
+                            for (c, lp) in logp.iter_mut().enumerate() {
+                                *lp += table[c * k + label.index()];
+                            }
+                        }
+                        let mut q = Vec::with_capacity(k);
+                        let lse = prob::softmax_from_logs(&logp, &mut q);
+                        ll += lse;
+                        if let Some(old) = &posteriors[i] {
+                            for (o, n) in old.iter().zip(&q) {
+                                max_delta = max_delta.max((o - n).abs());
+                            }
+                        }
+                        posts.push((i, q));
+                    }
+                    (posts, ll, max_delta)
+                });
             let mut max_delta = 0.0f64;
             let mut ll = 0.0f64;
-            for i in 0..answers.num_objects() {
-                let obj = ObjectId(i);
-                let votes = answers.answers_for(obj);
-                if votes.is_empty() {
-                    continue;
+            for (posts, ll_part, delta_part) in chunks {
+                ll += ll_part;
+                max_delta = max_delta.max(delta_part);
+                for (i, q) in posts {
+                    state.posteriors[i] = Some(q);
                 }
-                let mut logp: Vec<f64> = state
-                    .class_prior
-                    .iter()
-                    .map(|&p| p.max(1e-12).ln())
-                    .collect();
-                for &(a, label) in votes {
-                    let m = &state.confusions[a.index()];
-                    for (c, lp) in logp.iter_mut().enumerate() {
-                        *lp += m.get(crowdrl_types::ClassId(c), label).max(1e-12).ln();
-                    }
-                }
-                ll += prob::log_sum_exp(&logp);
-                let lse = prob::log_sum_exp(&logp);
-                let mut q: Vec<f64> = logp.iter().map(|&lp| (lp - lse).exp()).collect();
-                prob::normalize(&mut q);
-                if let Some(old) = &state.posteriors[i] {
-                    for (o, n) in old.iter().zip(&q) {
-                        max_delta = max_delta.max((o - n).abs());
-                    }
-                }
-                state.posteriors[i] = Some(q);
             }
             log_likelihood = ll;
             if !log_likelihood.is_finite() {
@@ -175,22 +198,41 @@ pub(crate) fn estimate_one_coin(
     // the rest (the posterior then certifies that annotator's answers — a
     // runaway feedback loop); the prior damps the loop without blocking
     // genuinely-different annotators from separating given enough answers.
+    //
+    // The sufficient statistics are summed per fixed object chunk and the
+    // partials merged in chunk-index order (DESIGN.md §9).
+    let partials = pool::map_chunks(
+        answers.num_objects(),
+        crate::par::OBJECT_CHUNK,
+        |range| -> Result<(Vec<f64>, Vec<f64>)> {
+            let mut correct = vec![0.0f64; num_annotators];
+            let mut total = vec![0.0f64; num_annotators];
+            for i in range {
+                let Some(post) = posteriors[i].as_ref() else {
+                    continue;
+                };
+                for &(a, label) in answers.answers_for(ObjectId(i)) {
+                    let j = a.index();
+                    if j >= num_annotators {
+                        return Err(Error::IndexOutOfBounds {
+                            index: j,
+                            len: num_annotators,
+                            context: "one-coin estimation".into(),
+                        });
+                    }
+                    correct[j] += post.get(label.index()).copied().unwrap_or(0.0);
+                    total[j] += 1.0;
+                }
+            }
+            Ok((correct, total))
+        },
+    );
     let mut correct = vec![17.5f64; num_annotators];
     let mut total = vec![25.0f64; num_annotators];
-    for ans in answers.iter() {
-        let Some(post) = posteriors[ans.object.index()].as_ref() else {
-            continue;
-        };
-        let j = ans.annotator.index();
-        if j >= num_annotators {
-            return Err(Error::IndexOutOfBounds {
-                index: j,
-                len: num_annotators,
-                context: "one-coin estimation".into(),
-            });
-        }
-        correct[j] += post.get(ans.label.index()).copied().unwrap_or(0.0);
-        total[j] += 1.0;
+    for partial in partials {
+        let (c, t) = partial?;
+        crate::par::accumulate(&mut correct, &c);
+        crate::par::accumulate(&mut total, &t);
     }
     (0..num_annotators)
         .map(|j| {

@@ -149,9 +149,8 @@ impl Glad {
                         };
                     }
                 }
-                let lse = prob::log_sum_exp(&logp);
-                let mut q: Vec<f64> = logp.iter().map(|&lp| (lp - lse).exp()).collect();
-                prob::normalize(&mut q);
+                let mut q = Vec::with_capacity(num_classes);
+                prob::softmax_from_logs(&logp, &mut q);
                 if let Some(old) = &posteriors[i] {
                     for (o, nq) in old.iter().zip(&q) {
                         max_delta = max_delta.max((o - nq).abs());

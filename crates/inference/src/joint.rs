@@ -26,10 +26,10 @@
 
 use crate::mv::{estimate_confusions, MajorityVote};
 use crate::result::InferenceResult;
-use crowdrl_linalg::Matrix;
+use crowdrl_linalg::{pool, Matrix};
 use crowdrl_nn::SoftmaxClassifier;
 use crowdrl_types::prob;
-use crowdrl_types::{AnnotatorProfile, AnswerSet, ClassId, Dataset, Error, ObjectId, Result};
+use crowdrl_types::{AnnotatorProfile, AnswerSet, Dataset, Error, ObjectId, Result};
 use rand::Rng;
 
 /// Hyperparameters of the joint EM.
@@ -198,33 +198,52 @@ impl JointInference {
             iterations += 1;
 
             // E-step: classifier prior x annotator likelihoods, in logs.
+            // Chunked over answered objects with fixed boundaries; each
+            // chunk returns its new posteriors plus log-likelihood and
+            // max-delta partials, merged below in chunk-index order so the
+            // result is bit-identical at every thread count (DESIGN.md §9).
             let phi = classifier.predict_proba(&x); // [answered x k]
+            let log_conf = crate::par::log_confusion_tables(&confusions, k);
+            let lo = self.config.phi_clamp.max(1e-12);
+            let hi = 1.0 - self.config.phi_clamp;
+            let cw = self.config.classifier_weight;
+            let chunks = pool::map_chunks(answered.len(), crate::par::OBJECT_CHUNK, |range| {
+                let mut posts: Vec<Vec<f64>> = Vec::with_capacity(range.len());
+                let mut ll = 0.0f64;
+                let mut max_delta = 0.0f64;
+                let mut logp = vec![0.0f64; k];
+                for r in range {
+                    let i = answered[r];
+                    for (c, lp) in logp.iter_mut().enumerate() {
+                        *lp = cw * (phi.get(r, c) as f64).clamp(lo, hi).ln();
+                    }
+                    for &(a, label) in answers.answers_for(ObjectId(i)) {
+                        let table = &log_conf[a.index() * k * k..(a.index() + 1) * k * k];
+                        for (c, lp) in logp.iter_mut().enumerate() {
+                            *lp += table[c * k + label.index()];
+                        }
+                    }
+                    let mut q = Vec::with_capacity(k);
+                    let lse = prob::softmax_from_logs(&logp, &mut q);
+                    ll += lse;
+                    if let Some(old) = &posteriors[i] {
+                        for (o, n) in old.iter().zip(&q) {
+                            max_delta = max_delta.max((o - n).abs());
+                        }
+                    }
+                    posts.push(q);
+                }
+                (posts, ll, max_delta)
+            });
             let mut max_delta = 0.0f64;
             let mut ll = 0.0f64;
-            for (r, &i) in answered.iter().enumerate() {
-                let lo = self.config.phi_clamp.max(1e-12);
-                let hi = 1.0 - self.config.phi_clamp;
-                let mut logp: Vec<f64> = (0..k)
-                    .map(|c| {
-                        self.config.classifier_weight * (phi.get(r, c) as f64).clamp(lo, hi).ln()
-                    })
-                    .collect();
-                for &(a, label) in answers.answers_for(ObjectId(i)) {
-                    let m = &confusions[a.index()];
-                    for (c, lp) in logp.iter_mut().enumerate() {
-                        *lp += m.get(ClassId(c), label).max(1e-12).ln();
-                    }
+            for (ci, (posts, ll_part, delta_part)) in chunks.into_iter().enumerate() {
+                ll += ll_part;
+                max_delta = max_delta.max(delta_part);
+                let range = pool::chunk_range(answered.len(), crate::par::OBJECT_CHUNK, ci);
+                for (offset, q) in posts.into_iter().enumerate() {
+                    posteriors[answered[range.start + offset]] = Some(q);
                 }
-                let lse = prob::log_sum_exp(&logp);
-                ll += lse;
-                let mut q: Vec<f64> = logp.iter().map(|&lp| (lp - lse).exp()).collect();
-                prob::normalize(&mut q);
-                if let Some(old) = &posteriors[i] {
-                    for (o, n) in old.iter().zip(&q) {
-                        max_delta = max_delta.max((o - n).abs());
-                    }
-                }
-                posteriors[i] = Some(q);
             }
             if !ll.is_finite() {
                 return Err(Error::NumericalFailure("joint likelihood diverged".into()));
@@ -265,7 +284,9 @@ impl JointInference {
         })
     }
 
-    /// Soft-count confusion estimation with configured smoothing.
+    /// Soft-count confusion estimation with configured smoothing. The soft
+    /// counts are accumulated per object chunk and merged in chunk-index
+    /// order, exactly like [`estimate_confusions`].
     fn soft_confusions(
         &self,
         answers: &AnswerSet,
@@ -276,18 +297,9 @@ impl JointInference {
         if (self.config.smoothing - 1.0).abs() < f64::EPSILON {
             return estimate_confusions(answers, posteriors, k, num_annotators);
         }
-        let mut counts = vec![vec![0.0f64; k * k]; num_annotators];
-        for ans in answers.iter() {
-            let Some(post) = posteriors[ans.object.index()].as_ref() else {
-                continue;
-            };
-            let grid = &mut counts[ans.annotator.index()];
-            for (truth, &q) in post.iter().enumerate() {
-                grid[truth * k + ans.label.index()] += q;
-            }
-        }
+        let counts = crate::mv::soft_count_grids(answers, posteriors, k, num_annotators)?;
         let mut out = Vec::with_capacity(num_annotators);
-        for grid in &counts {
+        for grid in counts.chunks_exact(k * k) {
             let mut m = crowdrl_types::ConfusionMatrix::uniform(k)?;
             m.set_from_counts(grid, self.config.smoothing.max(1e-9))?;
             out.push(m);

@@ -31,6 +31,7 @@ pub mod dawid_skene;
 pub mod glad;
 pub mod joint;
 pub mod mv;
+pub(crate) mod par;
 pub mod pm;
 pub mod result;
 

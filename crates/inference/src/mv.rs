@@ -5,6 +5,7 @@
 //! iterative algorithms initialize.
 
 use crate::result::InferenceResult;
+use crowdrl_linalg::pool;
 use crowdrl_types::prob;
 use crowdrl_types::{AnswerSet, ConfusionMatrix, Error, Result};
 
@@ -63,6 +64,55 @@ impl MajorityVote {
     }
 }
 
+/// Soft confusion counts `[annotator][truth * k + label]` (flat, length
+/// `num_annotators * k²`): the M-step sufficient statistics shared by MV
+/// initialization and the EM algorithms.
+///
+/// The per-object loop is chunked over fixed object ranges on the worker
+/// pool; each chunk accumulates its own partial grid and the partials are
+/// summed in chunk-index order, so the counts are bit-identical for any
+/// thread count (DESIGN.md §9).
+pub(crate) fn soft_count_grids(
+    answers: &AnswerSet,
+    posteriors: &[Option<Vec<f64>>],
+    num_classes: usize,
+    num_annotators: usize,
+) -> Result<Vec<f64>> {
+    let k = num_classes;
+    let len = num_annotators * k * k;
+    let partials = pool::map_chunks(
+        answers.num_objects(),
+        crate::par::OBJECT_CHUNK,
+        |range| -> Result<Vec<f64>> {
+            let mut counts = vec![0.0f64; len];
+            for i in range {
+                let Some(post) = posteriors[i].as_ref() else {
+                    continue;
+                };
+                for &(a, label) in answers.answers_for(crowdrl_types::ObjectId(i)) {
+                    if a.index() >= num_annotators {
+                        return Err(Error::IndexOutOfBounds {
+                            index: a.index(),
+                            len: num_annotators,
+                            context: "confusion estimation".into(),
+                        });
+                    }
+                    let grid = &mut counts[a.index() * k * k..(a.index() + 1) * k * k];
+                    for (truth, &q) in post.iter().enumerate() {
+                        grid[truth * k + label.index()] += q;
+                    }
+                }
+            }
+            Ok(counts)
+        },
+    );
+    let mut counts = vec![0.0f64; len];
+    for partial in partials {
+        crate::par::accumulate(&mut counts, &partial?);
+    }
+    Ok(counts)
+}
+
 /// Estimate confusion matrices from soft labels: the M-step shared by MV
 /// initialization and the EM algorithms. `smoothing = 1` (Laplace).
 pub(crate) fn estimate_confusions(
@@ -71,25 +121,9 @@ pub(crate) fn estimate_confusions(
     num_classes: usize,
     num_annotators: usize,
 ) -> Result<Vec<ConfusionMatrix>> {
-    let mut counts = vec![vec![0.0f64; num_classes * num_classes]; num_annotators];
-    for ans in answers.iter() {
-        let Some(post) = posteriors[ans.object.index()].as_ref() else {
-            continue;
-        };
-        if ans.annotator.index() >= num_annotators {
-            return Err(Error::IndexOutOfBounds {
-                index: ans.annotator.index(),
-                len: num_annotators,
-                context: "confusion estimation".into(),
-            });
-        }
-        let grid = &mut counts[ans.annotator.index()];
-        for (truth, &q) in post.iter().enumerate() {
-            grid[truth * num_classes + ans.label.index()] += q;
-        }
-    }
+    let counts = soft_count_grids(answers, posteriors, num_classes, num_annotators)?;
     let mut confusions = Vec::with_capacity(num_annotators);
-    for grid in &counts {
+    for grid in counts.chunks_exact(num_classes * num_classes) {
         let mut m = ConfusionMatrix::uniform(num_classes)?;
         m.set_from_counts(grid, 1.0)?;
         confusions.push(m);

@@ -1,0 +1,49 @@
+//! Shared pieces of the deterministic parallel EM hot paths (DESIGN.md §9).
+//!
+//! Both EM implementations chunk their per-object loops over fixed,
+//! data-size-only object ranges (`OBJECT_CHUNK`) via
+//! [`crowdrl_linalg::pool`], and merge per-chunk partials — posterior
+//! updates, log-likelihood terms, sufficient statistics — strictly in
+//! chunk-index order. The chunked reduction *is* the algorithm at every
+//! thread count (including one), so results cannot depend on the schedule.
+//!
+//! This module also hosts the per-iteration log-confusion tables: the
+//! serial E-steps used to call `ln()` once per (answer, class) pair, i.e.
+//! `O(total_answers · k)` transcendentals per EM iteration. The tables
+//! compute each `ln(π̂^j[c, l].max(1e-12))` exactly once per
+//! (annotator, truth, label) triple — `O(annotators · k²)` — and the
+//! E-step reuses the stored value, which is bit-identical to recomputing
+//! it (same input, same operation).
+
+use crowdrl_types::ConfusionMatrix;
+
+/// Objects per E-step/M-step chunk. Fixed by data size only; never derived
+/// from the thread count.
+pub(crate) const OBJECT_CHUNK: usize = 256;
+
+/// Flat `[annotator][truth * k + label]` table of
+/// `ln(confusions[annotator][truth, label].max(1e-12))`.
+pub(crate) fn log_confusion_tables(confusions: &[ConfusionMatrix], k: usize) -> Vec<f64> {
+    let mut table = Vec::with_capacity(confusions.len() * k * k);
+    for m in confusions {
+        for truth in 0..k {
+            for label in 0..k {
+                table.push(
+                    m.get(crowdrl_types::ClassId(truth), crowdrl_types::ClassId(label))
+                        .max(1e-12)
+                        .ln(),
+                );
+            }
+        }
+    }
+    table
+}
+
+/// Add `partial` into `total` element-wise. Callers invoke this in
+/// chunk-index order, which fixes the floating-point summation order.
+pub(crate) fn accumulate(total: &mut [f64], partial: &[f64]) {
+    debug_assert_eq!(total.len(), partial.len());
+    for (t, &p) in total.iter_mut().zip(partial) {
+        *t += p;
+    }
+}

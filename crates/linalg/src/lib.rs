@@ -6,12 +6,16 @@
 //! products in the cache-friendly *ikj* loop order, element-wise updates,
 //! and the row-wise softmax/argmax used by classifier heads.
 //!
-//! The crate is deliberately tiny and dependency-free: the paper's models
-//! (an MLP classifier and a DQN) are small enough that a well-ordered
-//! triple loop on one core is ample, and owning the kernels keeps the whole
-//! reproduction self-contained.
+//! The crate is deliberately tiny and self-contained — owning the kernels
+//! keeps the whole reproduction auditable. Large products are blocked for
+//! cache reuse and row-partitioned across a small reusable worker [`pool`]
+//! whose fixed chunk boundaries and fixed-order reductions make every
+//! result **bit-identical for any thread count** (see DESIGN.md §9); small
+//! products stay on the single-threaded kernels the dispatch shares with
+//! the parallel path.
 
 pub mod matrix;
 pub mod ops;
+pub mod pool;
 
 pub use matrix::Matrix;

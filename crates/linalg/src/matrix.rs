@@ -5,6 +5,22 @@
 //! mismatch inside a training loop is a programming error, not a condition
 //! to recover from, and panicking keeps the hot-path signatures clean.
 
+use crate::pool::{self, SendPtr};
+
+/// Row chunk used by the dispatching matmul entries when they go parallel.
+/// Fixed — never derived from the thread count — so the decomposition (and
+/// with it every floating-point op order) is a function of shape alone.
+const ROW_CHUNK: usize = 64;
+
+/// Multiply-add count below which the pool overhead outweighs the win.
+const MIN_PAR_MADDS: usize = 1 << 17;
+
+/// True when a product with `dim` partitionable output rows and `madds`
+/// multiply-adds should take the pool path.
+fn par_worthwhile(dim: usize, madds: usize) -> bool {
+    madds >= MIN_PAR_MADDS && dim > ROW_CHUNK && pool::max_threads() > 1
+}
+
 /// A dense row-major `f32` matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -112,77 +128,220 @@ impl Matrix {
         &mut self.data
     }
 
-    /// `self * other` — `[m x k] * [k x n] -> [m x n]`, ikj loop order so the
-    /// innermost loop streams both `other` and the output row.
+    /// `self * other` — `[m x k] * [k x n] -> [m x n]`.
+    ///
+    /// Dispatches between the single-threaded blocked kernel and the
+    /// row-partitioned pool path by size; both run the identical per-row
+    /// operation sequence, so the results are bit-for-bit the same (see
+    /// `crate::pool`).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if par_worthwhile(self.rows, self.rows * self.cols * other.cols) {
+            self.matmul_chunked(other, ROW_CHUNK)
+        } else {
+            self.matmul_serial(other)
         }
+    }
+
+    /// `matmul` forced onto the single-threaded blocked kernel.
+    pub fn matmul_serial(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul_serial shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_rows_into(other, 0..self.rows, &mut out.data);
         out
     }
 
+    /// `matmul` forced onto the pool with an explicit row chunk (the
+    /// dispatching entry uses `ROW_CHUNK`). Bit-identical to
+    /// [`Matrix::matmul_serial`] for every chunk size and thread count:
+    /// each output row is produced by the same kernel with the same
+    /// operation order no matter which chunk — or thread — owns it.
+    pub fn matmul_chunked(&self, other: &Matrix, row_chunk: usize) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul_chunked shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let width = other.cols;
+        let base = SendPtr(out.data.as_mut_ptr());
+        pool::for_each_chunk(self.rows, row_chunk, |range| {
+            // SAFETY: chunk ranges are disjoint, so each chunk writes a
+            // disjoint row slice of `out`, which outlives the call.
+            let slice = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(range.start * width),
+                    range.len() * width,
+                )
+            };
+            self.matmul_rows_into(other, range, slice);
+        });
+        out
+    }
+
+    /// Blocked ikj kernel for output rows `rows`, writing into `out` (the
+    /// row-major slice for exactly those rows). The k loop is tiled for
+    /// cache reuse of the streamed `other` panel; tiles are visited in
+    /// ascending k order, so each output element sees the exact operation
+    /// sequence of the untiled loop.
+    fn matmul_rows_into(&self, other: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
+        const KC: usize = 256;
+        let n = other.cols;
+        debug_assert_eq!(out.len(), rows.len() * n);
+        for (oi, i) in rows.enumerate() {
+            let a_row = self.row(i);
+            let out_row = &mut out[oi * n..(oi + 1) * n];
+            let mut k0 = 0;
+            while k0 < self.cols {
+                let k1 = (k0 + KC).min(self.cols);
+                for (k, &a) in a_row[k0..k1].iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k0 + k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+                k0 = k1;
+            }
+        }
+    }
+
     /// `self * other^T` — `[m x k] * [n x k]^T -> [m x n]`. The inner loop is
-    /// a dot product of two contiguous rows.
+    /// a dot product of two contiguous rows. Size-dispatched like
+    /// [`Matrix::matmul`]; bit-identical on either path.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+        if par_worthwhile(self.rows, self.rows * self.cols * other.rows) {
+            self.matmul_nt_chunked(other, ROW_CHUNK)
+        } else {
+            self.matmul_nt_serial(other)
         }
+    }
+
+    /// `matmul_nt` forced onto the single-threaded blocked kernel.
+    pub fn matmul_nt_serial(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt_serial shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_rows_into(other, 0..self.rows, &mut out.data);
         out
     }
 
+    /// `matmul_nt` forced onto the pool with an explicit row chunk.
+    pub fn matmul_nt_chunked(&self, other: &Matrix, row_chunk: usize) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt_chunked shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let width = other.rows;
+        let base = SendPtr(out.data.as_mut_ptr());
+        pool::for_each_chunk(self.rows, row_chunk, |range| {
+            // SAFETY: disjoint row ranges → disjoint output slices.
+            let slice = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(range.start * width),
+                    range.len() * width,
+                )
+            };
+            self.matmul_nt_rows_into(other, range, slice);
+        });
+        out
+    }
+
+    /// Row-dot kernel for `matmul_nt` over output rows `rows`. A-rows are
+    /// processed in small blocks so each streamed B-row is reused across
+    /// the block; every (i, j) dot product keeps its single accumulator
+    /// and ascending-k order, so blocking cannot change any bit.
+    fn matmul_nt_rows_into(&self, other: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
+        const IB: usize = 8;
+        let n = other.rows;
+        debug_assert_eq!(out.len(), rows.len() * n);
+        let mut i0 = rows.start;
+        while i0 < rows.end {
+            let i1 = (i0 + IB).min(rows.end);
+            for j in 0..n {
+                let b_row = other.row(j);
+                for i in i0..i1 {
+                    let a_row = self.row(i);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    out[(i - rows.start) * n + j] = acc;
+                }
+            }
+            i0 = i1;
+        }
+    }
+
     /// `self^T * other` — `[m x k]^T * [m x n] -> [k x n]`, streaming both
-    /// operands row by row.
+    /// operands row by row. Size-dispatched like [`Matrix::matmul`];
+    /// parallelism partitions the *output* rows (the k dimension), each
+    /// chunk streaming the operands independently.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        if par_worthwhile(self.cols, self.rows * self.cols * other.cols) {
+            self.matmul_tn_chunked(other, ROW_CHUNK)
+        } else {
+            self.matmul_tn_serial(other)
+        }
+    }
+
+    /// `matmul_tn` forced onto the single-threaded kernel.
+    pub fn matmul_tn_serial(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn_serial shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_tn_cols_into(other, 0..self.cols, &mut out.data);
+        out
+    }
+
+    /// `matmul_tn` forced onto the pool with an explicit output-row chunk.
+    pub fn matmul_tn_chunked(&self, other: &Matrix, row_chunk: usize) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn_chunked shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let width = other.cols;
+        let base = SendPtr(out.data.as_mut_ptr());
+        pool::for_each_chunk(self.cols, row_chunk, |range| {
+            // SAFETY: disjoint output-row ranges → disjoint output slices.
+            let slice = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(range.start * width),
+                    range.len() * width,
+                )
+            };
+            self.matmul_tn_cols_into(other, range, slice);
+        });
+        out
+    }
+
+    /// Kernel for `matmul_tn` over output rows `cols` (columns of `self`).
+    /// Accumulation over m stays in ascending order for every output
+    /// element, identical to the full-range serial sweep.
+    fn matmul_tn_cols_into(&self, other: &Matrix, cols: std::ops::Range<usize>, out: &mut [f32]) {
+        let n = other.cols;
+        debug_assert_eq!(out.len(), cols.len() * n);
         for m in 0..self.rows {
             let a_row = self.row(m);
             let b_row = other.row(m);
-            for (k, &a) in a_row.iter().enumerate() {
+            for k in cols.clone() {
+                let a = a_row[k];
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                let o0 = (k - cols.start) * n;
+                let out_row = &mut out[o0..o0 + n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
         }
-        out
     }
 
     /// Explicit transpose (used rarely; the `_nt`/`_tn` products avoid it on

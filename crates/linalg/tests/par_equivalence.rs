@@ -1,0 +1,154 @@
+//! Equivalence suite pinning the deterministic-parallelism contract: the
+//! blocked kernels, the pool-partitioned kernels at every chunk size, and
+//! the size-dispatching entries all produce the same matrix as the naive
+//! reference — for arbitrary shapes (including 0-row/0-col edges) and for
+//! every thread count 1–8.
+//!
+//! Equality is exact (`assert_eq!` on the `f32` buffers), not approximate:
+//! the parallel decomposition must not change a single floating-point
+//! operation's order.
+
+use crowdrl_linalg::{pool, Matrix};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random fill (same scheme as the unit proptests).
+fn fill(r: usize, c: usize, seed: u64, salt: u64) -> Matrix {
+    let mut v = Vec::with_capacity(r * c);
+    let mut s = seed.wrapping_add(salt).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for _ in 0..r * c {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        v.push(((s % 2000) as f32 - 1000.0) / 250.0);
+    }
+    Matrix::from_vec(r, c, v)
+}
+
+fn assert_same(label: &str, reference: &Matrix, candidate: &Matrix) {
+    assert_eq!(reference.rows(), candidate.rows(), "{label}: row count");
+    assert_eq!(reference.cols(), candidate.cols(), "{label}: col count");
+    for (i, (a, b)) in reference
+        .as_slice()
+        .iter()
+        .zip(candidate.as_slice())
+        .enumerate()
+    {
+        assert!(
+            a == b,
+            "{label}: element {i} differs: {a} vs {b} (bits {:08x} vs {:08x})",
+            a.to_bits(),
+            b.to_bits()
+        );
+    }
+}
+
+/// Run every kernel variant of all three products against the serial
+/// reference under the current thread cap.
+fn check_all_products(a: &Matrix, b: &Matrix, threads: usize) {
+    // matmul: a [m x k] * b [k x n].
+    let serial = a.matmul_serial(b);
+    assert_same("matmul dispatch", &serial, &a.matmul(b));
+    for chunk in [1, 2, 3, 7, 64] {
+        let par = a.matmul_chunked(b, chunk);
+        assert_same(
+            &format!("matmul chunk={chunk} threads={threads}"),
+            &serial,
+            &par,
+        );
+    }
+
+    // matmul_nt: a [m x k] * (bt [n x k])^T, with bt = b^T.
+    let bt = b.transpose();
+    let serial_nt = a.matmul_nt_serial(&bt);
+    assert_same("matmul_nt dispatch", &serial_nt, &a.matmul_nt(&bt));
+    for chunk in [1, 3, 64] {
+        assert_same(
+            &format!("matmul_nt chunk={chunk} threads={threads}"),
+            &serial_nt,
+            &a.matmul_nt_chunked(&bt, chunk),
+        );
+    }
+
+    // matmul_tn: (at [k x m])^T * b' where at = a^T (so at^T * b == a * b).
+    let at = a.transpose();
+    let serial_tn = at.matmul_tn_serial(b);
+    assert_same("matmul_tn dispatch", &serial_tn, &at.matmul_tn(b));
+    for chunk in [1, 3, 64] {
+        assert_same(
+            &format!("matmul_tn chunk={chunk} threads={threads}"),
+            &serial_tn,
+            &at.matmul_tn_chunked(b, chunk),
+        );
+    }
+
+    // All three agree with the naive jki reference (exact except for the
+    // sign of zero, which `f32` equality treats as equal).
+    let naive = a.matmul_naive(b);
+    assert_same("matmul vs naive", &naive, &serial);
+    assert_same("matmul_nt vs naive", &naive, &serial_nt);
+    assert_same("matmul_tn vs naive", &naive, &serial_tn);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_kernels_bit_identical_across_thread_counts(
+        m in 0usize..24, k in 0usize..12, n in 0usize..12,
+        seed in 0u64..10_000, threads in 1usize..=8) {
+        pool::set_threads(threads);
+        let a = fill(m, k, seed, 1);
+        let b = fill(k, n, seed, 2);
+        check_all_products(&a, &b, threads);
+        pool::set_threads(0);
+    }
+}
+
+#[test]
+fn zero_row_and_zero_col_edges() {
+    for threads in 1..=8 {
+        pool::set_threads(threads);
+        for (m, k, n) in [
+            (0, 0, 0),
+            (0, 5, 3),
+            (5, 0, 3),
+            (5, 3, 0),
+            (1, 0, 1),
+            (0, 0, 7),
+        ] {
+            let a = fill(m, k, 11, 1);
+            let b = fill(k, n, 11, 2);
+            check_all_products(&a, &b, threads);
+        }
+    }
+    pool::set_threads(0);
+}
+
+#[test]
+fn large_enough_to_cross_the_parallel_dispatch_threshold() {
+    // 96×80×72 = 552k multiply-adds with 96 > ROW_CHUNK rows: the
+    // dispatching entries take the pool path at >1 thread. The result must
+    // still match the forced-serial kernel exactly.
+    for threads in [1, 2, 4, 8] {
+        pool::set_threads(threads);
+        let a = fill(96, 80, 7, 1);
+        let b = fill(80, 72, 7, 2);
+        assert_same("large matmul", &a.matmul_serial(&b), &a.matmul(&b));
+        let bt = b.transpose();
+        assert_same(
+            "large matmul_nt",
+            &a.matmul_nt_serial(&bt),
+            &a.matmul_nt(&bt),
+        );
+        let at = a.transpose();
+        assert_same(
+            "large matmul_tn",
+            &at.matmul_tn_serial(&b),
+            &at.matmul_tn(&b),
+        );
+    }
+    pool::set_threads(0);
+}

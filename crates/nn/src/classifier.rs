@@ -89,6 +89,7 @@ pub struct SoftmaxClassifier {
     config: ClassifierConfig,
     num_classes: usize,
     trained: bool,
+    generation: u64,
 }
 
 impl SoftmaxClassifier {
@@ -118,6 +119,7 @@ impl SoftmaxClassifier {
             config,
             num_classes,
             trained: false,
+            generation: 0,
         })
     }
 
@@ -131,6 +133,16 @@ impl SoftmaxClassifier {
     #[inline]
     pub fn is_trained(&self) -> bool {
         self.trained
+    }
+
+    /// Parameter generation: incremented after every successful [`fit`],
+    /// so caches of predictions (e.g. `crowdrl-core`'s feature cache) can
+    /// detect that the classifier changed without hashing its weights.
+    ///
+    /// [`fit`]: SoftmaxClassifier::fit
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Train on a batch of rows with *soft* targets and optional per-sample
@@ -198,6 +210,7 @@ impl SoftmaxClassifier {
             }
         }
         self.trained = true;
+        self.generation += 1;
         Ok(last_loss)
     }
 
@@ -406,6 +419,21 @@ mod tests {
         let preds = clf.predict(&x);
         let acc = preds.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn generation_bumps_only_on_successful_fit() {
+        let (x, y) = blobs(30, 22);
+        let mut rng = seeded(23);
+        let mut clf = SoftmaxClassifier::new(ClassifierConfig::default(), 2, 2, &mut rng).unwrap();
+        assert_eq!(clf.generation(), 0);
+        // A rejected fit (shape mismatch) must not bump the generation.
+        assert!(clf.fit_hard(&x, &[ClassId(0)], &mut rng).is_err());
+        assert_eq!(clf.generation(), 0);
+        clf.fit_hard(&x, &y, &mut rng).unwrap();
+        assert_eq!(clf.generation(), 1);
+        clf.fit_hard(&x, &y, &mut rng).unwrap();
+        assert_eq!(clf.generation(), 2);
     }
 
     #[test]

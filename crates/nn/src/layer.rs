@@ -93,6 +93,55 @@ impl Dense {
         pre
     }
 
+    /// Inference forward over the cartesian product of two input blocks:
+    /// the effective input of pair `(i, j)` is
+    /// `concat(left.row(i), right.row(j))` and the output row for that
+    /// pair is `i * right.rows() + j` (row-major, left-outer).
+    ///
+    /// Instead of materializing the `left.rows() * right.rows()` pair
+    /// matrix, each block's partial pre-activation is computed once per
+    /// *distinct* row (the bias folds into the right block) and the
+    /// pair's pre-activation is their sum. Matches
+    /// [`Dense::forward_inference`] on the materialized pairs up to f32
+    /// rounding — the split associates the dot-product reduction
+    /// differently.
+    pub fn forward_inference_outer(&self, left: &Matrix, right: &Matrix) -> Matrix {
+        assert_eq!(
+            left.cols() + right.cols(),
+            self.input_dim(),
+            "layer input dim mismatch"
+        );
+        let h = self.output_dim();
+        // Split W by input rows: the first `left.cols()` rows multiply
+        // the left block, the remaining rows the right block.
+        let mut w_left = Matrix::zeros(left.cols(), h);
+        for r in 0..left.cols() {
+            w_left.row_mut(r).copy_from_slice(self.w.row(r));
+        }
+        let mut w_right = Matrix::zeros(right.cols(), h);
+        for r in 0..right.cols() {
+            w_right
+                .row_mut(r)
+                .copy_from_slice(self.w.row(left.cols() + r));
+        }
+        let lp = left.matmul(&w_left);
+        let mut rp = right.matmul(&w_right);
+        rp.add_row_broadcast(&self.b);
+
+        let act = self.act;
+        let mut out = Matrix::zeros(left.rows() * right.rows(), h);
+        for i in 0..left.rows() {
+            let lrow = lp.row(i);
+            for j in 0..right.rows() {
+                let dst = out.row_mut(i * right.rows() + j);
+                for ((d, &l), &r) in dst.iter_mut().zip(lrow).zip(rp.row(j)) {
+                    *d = act.apply(l + r);
+                }
+            }
+        }
+        out
+    }
+
     /// Backward pass: given `d_out = dL/dy`, accumulate `dL/dW`, `dL/db`
     /// and return `dL/dx`.
     ///
@@ -200,6 +249,41 @@ mod tests {
         layer.read_params(&[1.0, -1.0, 0.0, 0.0]);
         let y = layer.forward(&Matrix::from_rows(&[&[3.0]]));
         assert_eq!(y.as_slice(), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_inference_outer_matches_materialized_pairs() {
+        let mut rng = seeded(10);
+        let layer = Dense::new(5, 4, Activation::Relu, &mut rng);
+        let left = Matrix::from_rows(&[&[0.3, -0.1, 0.7], &[1.2, 0.0, -0.4]]);
+        let right = Matrix::from_rows(&[&[0.5, -0.9], &[-0.2, 0.4], &[0.0, 1.1]]);
+        let out = layer.forward_inference_outer(&left, &right);
+        assert_eq!(out.rows(), 6);
+        assert_eq!(out.cols(), 4);
+        for i in 0..left.rows() {
+            for j in 0..right.rows() {
+                let mut full: Vec<f32> = left.row(i).to_vec();
+                full.extend_from_slice(right.row(j));
+                let x = Matrix::from_vec(1, 5, full);
+                let want = layer.forward_inference(&x);
+                for (got, want) in out.row(i * right.rows() + j).iter().zip(want.row(0)) {
+                    assert!(
+                        (got - want).abs() <= 1e-6 * want.abs().max(1.0),
+                        "pair ({i},{j}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "layer input dim mismatch")]
+    fn forward_inference_outer_rejects_wrong_split() {
+        let mut rng = seeded(11);
+        let layer = Dense::new(4, 2, Activation::Relu, &mut rng);
+        let left = Matrix::from_rows(&[&[0.1, 0.2]]);
+        let right = Matrix::from_rows(&[&[0.3]]);
+        let _ = layer.forward_inference_outer(&left, &right);
     }
 
     #[test]

@@ -70,6 +70,27 @@ impl Network {
         h
     }
 
+    /// Inference forward where the input factors over the cartesian
+    /// product of `left` and `right` row blocks: the full input of pair
+    /// `(i, j)` is `concat(left.row(i), right.row(j))` and its output
+    /// lands in row `i * right.rows() + j` (row-major, left-outer).
+    ///
+    /// The first layer computes each block's partial pre-activation once
+    /// per *distinct* row and sums them per pair (see
+    /// [`Dense::forward_inference_outer`]); the remaining layers run as
+    /// one batched forward over all pairs. When many left rows pair with
+    /// many right rows this removes most of the first layer's
+    /// multiply-adds. Matches [`Network::forward_inference`] on the
+    /// materialized pair matrix up to f32 rounding in the first layer's
+    /// reduction order.
+    pub fn forward_inference_outer(&self, left: &Matrix, right: &Matrix) -> Matrix {
+        let mut h = self.layers[0].forward_inference_outer(left, right);
+        for layer in &self.layers[1..] {
+            h = layer.forward_inference(&h);
+        }
+        h
+    }
+
     /// Backpropagate `d_out = dL/d(output)`, accumulating layer gradients.
     /// Returns `dL/d(input)`.
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
@@ -228,6 +249,31 @@ mod tests {
         assert_eq!(train, infer);
         assert_eq!(train.rows(), 2);
         assert_eq!(train.cols(), 2);
+    }
+
+    #[test]
+    fn forward_inference_outer_matches_pair_forward() {
+        let mut rng = seeded(21);
+        let net = Network::mlp(&[6, 8, 4, 1], Activation::Relu, &mut rng);
+        let left = Matrix::from_rows(&[&[0.2, -0.5, 0.9, 0.1], &[-1.1, 0.3, 0.0, 0.7]]);
+        let right = Matrix::from_rows(&[&[0.4, -0.2], &[1.3, 0.6], &[-0.8, 0.0]]);
+        let out = net.forward_inference_outer(&left, &right);
+        assert_eq!(out.rows(), 6);
+        assert_eq!(out.cols(), 1);
+        for i in 0..left.rows() {
+            for j in 0..right.rows() {
+                let mut full: Vec<f32> = left.row(i).to_vec();
+                full.extend_from_slice(right.row(j));
+                let want = net
+                    .forward_inference(&Matrix::from_vec(1, 6, full))
+                    .get(0, 0);
+                let got = out.get(i * right.rows() + j, 0);
+                assert!(
+                    (got - want).abs() <= 1e-5 * want.abs().max(1.0),
+                    "pair ({i},{j}): {got} vs {want}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -158,13 +158,24 @@ impl DqnAgent {
         (0..out.rows()).map(|i| out.get(i, 0)).collect()
     }
 
-    /// Q-values under the *target* network (used for TD targets).
-    fn target_q_values(&self, state_actions: &[Vec<f32>]) -> Vec<f32> {
-        if state_actions.is_empty() {
+    /// Q-values for every pair of partial embeddings, where the full
+    /// state-action vector of pair `(i, j)` is `concat(left[i], right[j])`.
+    ///
+    /// Returns pairs in row-major order: `result[i * right.len() + j]`.
+    /// One factored forward (per-part first-layer partials summed per
+    /// pair, then a single batched pass through the remaining layers)
+    /// replaces `left.len() * right.len()` per-pair forwards; values
+    /// match [`DqnAgent::q_value`] on the concatenated vector up to f32
+    /// rounding (see `Network::forward_inference_outer`).
+    pub fn q_values_outer(&self, left: &[Vec<f32>], right: &[Vec<f32>]) -> Vec<f32> {
+        if left.is_empty() || right.is_empty() {
             return Vec::new();
         }
-        let x = stack(state_actions, self.config.input_dim);
-        let out = self.target.forward_inference(&x);
+        let (dl, dr) = (left[0].len(), right[0].len());
+        debug_assert_eq!(dl + dr, self.config.input_dim);
+        let out = self
+            .online
+            .forward_inference_outer(&stack(left, dl), &stack(right, dr));
         (0..out.rows()).map(|i| out.get(i, 0)).collect()
     }
 
@@ -184,27 +195,55 @@ impl DqnAgent {
         let batch = self.replay.sample(self.config.batch_size, rng);
         let n = batch.len();
 
-        // TD targets from the target network.
-        let mut targets = Matrix::zeros(n, 1);
+        // Stack every transition's successor candidates into one matrix so
+        // the TD targets come from a *single* target-network forward (plus
+        // one online forward for double DQN) instead of one forward per
+        // transition. Rows pass through the network independently, so each
+        // per-segment value is bit-identical to a per-transition forward.
         let mut inputs = Matrix::zeros(n, self.config.input_dim);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut successors: Vec<&[f32]> = Vec::new();
         for (i, t) in batch.iter().enumerate() {
             inputs.row_mut(i).copy_from_slice(&t.state_action);
-            let bootstrap = if t.terminal || t.next_candidates.is_empty() {
-                0.0
+            if !t.terminal {
+                successors.extend(t.next_candidates.iter().map(Vec::as_slice));
+            }
+            offsets.push(successors.len());
+        }
+        let (target_q, online_q) = if successors.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            let stacked = stack_refs(&successors, self.config.input_dim);
+            let tq = column0(&self.target.forward_inference(&stacked));
+            let oq = if self.config.double_dqn {
+                column0(&self.online.forward_inference(&stacked))
+            } else {
+                Vec::new()
+            };
+            (tq, oq)
+        };
+
+        let mut targets = Matrix::zeros(n, 1);
+        for (i, t) in batch.iter().enumerate() {
+            let (s, e) = (offsets[i], offsets[i + 1]);
+            let bootstrap = if s == e {
+                0.0 // terminal, or no successor candidates
             } else if self.config.double_dqn {
                 // Double DQN: argmax under the online network, value under
-                // the target network.
-                let online = self.q_values(&t.next_candidates);
-                let best = online
+                // the target network. `max_by` keeps the last maximum,
+                // matching the per-transition scan.
+                let best = online_q[s..e]
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(i, _)| i)
+                    .map(|(j, _)| j)
                     .unwrap_or(0);
-                self.target_q_values(&t.next_candidates[best..best + 1])[0]
+                target_q[s + best]
             } else {
-                self.target_q_values(&t.next_candidates)
-                    .into_iter()
+                target_q[s..e]
+                    .iter()
+                    .copied()
                     .fold(f32::NEG_INFINITY, f32::max)
             };
             targets.set(i, 0, t.reward + self.config.gamma * bootstrap);
@@ -260,6 +299,19 @@ fn stack(rows: &[Vec<f32>], dim: usize) -> Matrix {
     m
 }
 
+fn stack_refs(rows: &[&[f32]], dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows.len(), dim);
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), dim, "embedding width mismatch");
+        m.row_mut(i).copy_from_slice(r);
+    }
+    m
+}
+
+fn column0(m: &Matrix) -> Vec<f32> {
+    (0..m.rows()).map(|i| m.get(i, 0)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +347,35 @@ mod tests {
             mutate(&mut c);
             assert!(DqnAgent::new(c, &mut rng).is_err());
         }
+    }
+
+    #[test]
+    fn q_values_outer_matches_per_pair_q_value() {
+        let mut rng = seeded(12);
+        let config = DqnConfig {
+            input_dim: 5,
+            hidden: vec![8, 4],
+            ..Default::default()
+        };
+        let agent = DqnAgent::new(config, &mut rng).unwrap();
+        let left = vec![vec![0.3, -0.1, 0.8], vec![1.0, 0.2, -0.5]];
+        let right = vec![vec![0.7, -0.3], vec![0.0, 0.9], vec![-0.4, 0.1]];
+        let outer = agent.q_values_outer(&left, &right);
+        assert_eq!(outer.len(), left.len() * right.len());
+        for (i, l) in left.iter().enumerate() {
+            for (j, r) in right.iter().enumerate() {
+                let mut full = l.clone();
+                full.extend_from_slice(r);
+                let want = agent.q_value(&full);
+                let got = outer[i * right.len() + j];
+                assert!(
+                    (got - want).abs() <= 1e-5 * want.abs().max(1.0),
+                    "pair ({i},{j}): {got} vs {want}"
+                );
+            }
+        }
+        assert!(agent.q_values_outer(&[], &right).is_empty());
+        assert!(agent.q_values_outer(&left, &[]).is_empty());
     }
 
     #[test]
@@ -432,6 +513,90 @@ mod tests {
         }
         let q_first = agent.q_value(&[1.0, 0.0]);
         assert!((q_first - 0.9).abs() < 0.3, "Q(first) ≈ γ·1, got {q_first}");
+    }
+
+    /// The pre-batching train step: per-transition target-network
+    /// forwards. Kept as the ground truth the stacked implementation must
+    /// reproduce bit-for-bit.
+    fn reference_train_step<R: Rng + ?Sized>(agent: &mut DqnAgent, rng: &mut R) -> Option<f32> {
+        if agent.replay.len() < agent.config.min_replay.max(1) {
+            return None;
+        }
+        let batch = agent.replay.sample(agent.config.batch_size, rng);
+        let n = batch.len();
+        let mut targets = Matrix::zeros(n, 1);
+        let mut inputs = Matrix::zeros(n, agent.config.input_dim);
+        for (i, t) in batch.iter().enumerate() {
+            inputs.row_mut(i).copy_from_slice(&t.state_action);
+            let bootstrap = if t.terminal || t.next_candidates.is_empty() {
+                0.0
+            } else if agent.config.double_dqn {
+                let online = agent.q_values(&t.next_candidates);
+                let best = online
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let x = stack(&t.next_candidates[best..best + 1], agent.config.input_dim);
+                agent.target.forward_inference(&x).get(0, 0)
+            } else {
+                let x = stack(&t.next_candidates, agent.config.input_dim);
+                column0(&agent.target.forward_inference(&x))
+                    .into_iter()
+                    .fold(f32::NEG_INFINITY, f32::max)
+            };
+            targets.set(i, 0, t.reward + agent.config.gamma * bootstrap);
+        }
+        agent.online.zero_grad();
+        let pred = agent.online.forward(&inputs);
+        let (l, d) = loss::huber(&pred, &targets, agent.config.huber_delta);
+        agent.online.backward(&d);
+        agent
+            .online
+            .step(&mut agent.opt, Some(agent.config.grad_clip));
+        agent.train_steps += 1;
+        Some(l)
+    }
+
+    #[test]
+    fn batched_targets_match_per_transition_reference() {
+        for double in [false, true] {
+            let mut rng = seeded(21);
+            let mut config = small_config();
+            config.double_dqn = double;
+            config.min_replay = 8;
+            config.batch_size = 8;
+            let mut agent = DqnAgent::new(config, &mut rng).unwrap();
+            // Mix terminal, empty-candidate, and multi-candidate
+            // transitions, including exact Q-value ties for the argmax.
+            for i in 0..32 {
+                let terminal = i % 3 == 0;
+                let cands = match i % 4 {
+                    0 => vec![],
+                    1 => vec![vec![0.1 * i as f32, -0.2]],
+                    2 => vec![vec![0.4, 0.1], vec![0.4, 0.1]], // tied rows
+                    _ => vec![vec![0.3, 0.1], vec![-0.5, 0.9], vec![0.2, 0.2]],
+                };
+                agent.remember(Transition {
+                    state_action: vec![i as f32 / 32.0, 1.0 - i as f32 / 32.0],
+                    reward: (i % 5) as f32 / 5.0,
+                    next_candidates: cands,
+                    terminal,
+                });
+            }
+            let mut reference = agent.clone();
+            let mut rng_a = seeded(22);
+            let mut rng_b = seeded(22);
+            let loss_new = agent.train_step(&mut rng_a).unwrap();
+            let loss_ref = reference_train_step(&mut reference, &mut rng_b).unwrap();
+            assert_eq!(loss_new.to_bits(), loss_ref.to_bits(), "double={double}");
+            assert_eq!(
+                agent.export_params(),
+                reference.export_params(),
+                "double={double}"
+            );
+        }
     }
 
     #[test]

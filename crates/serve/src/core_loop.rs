@@ -21,7 +21,7 @@ use crowdrl_core::agent::{Assignment, SelectionAgent};
 use crowdrl_core::classifier_util::retrain_on_labelled;
 use crowdrl_core::config::{CrowdRlConfig, InferenceModel};
 use crowdrl_core::enrichment::{enrich, fallback_label_all, refresh_enriched};
-use crowdrl_core::features::{embed, StateSnapshot};
+use crowdrl_core::features::{embed_with, FeatureCache, StateSnapshot};
 use crowdrl_core::infer_step::{apply_inference, run_inference};
 use crowdrl_core::outcome::{IterationStats, LabellingOutcome};
 use crowdrl_core::reward::{iteration_reward, RewardInputs};
@@ -118,6 +118,7 @@ pub struct AgentCore<'a> {
     pool: &'a AnnotatorPool,
     classifier: SoftmaxClassifier,
     agent: SelectionAgent,
+    feature_cache: FeatureCache,
     labelled: LabelledSet,
     qualities: Vec<f64>,
     prev_confidence: Vec<Option<f64>>,
@@ -166,6 +167,7 @@ impl<'a> AgentCore<'a> {
             .map(|p| p.cost)
             .fold(0.0f64, f64::max);
         Ok(Self {
+            feature_cache: FeatureCache::new(n, dataset.num_classes()),
             labelled: LabelledSet::new(n),
             qualities: vec![0.7f64; pool.len()],
             prev_confidence: vec![None; n],
@@ -499,18 +501,14 @@ impl<'a> AgentCore<'a> {
                 .map(|i| selectable[i])
                 .collect()
         };
-        let k_classes = self.dataset.num_classes();
+        // The watermark refresh scores its candidates through the feature
+        // cache: one batched forward over the objects the classifier's
+        // current generation has not scored yet, cached rows for the rest.
+        self.feature_cache
+            .refresh(self.dataset, &self.classifier, &req.answers, &chosen);
         let candidates: Vec<(ObjectId, Vec<f64>)> = chosen
             .into_iter()
-            .map(|obj| {
-                let probs = if self.classifier.is_trained() {
-                    self.classifier
-                        .predict_proba_one(self.dataset.features(obj.index()))
-                } else {
-                    vec![1.0 / k_classes as f64; k_classes]
-                };
-                (obj, probs)
-            })
+            .map(|obj| (obj, self.feature_cache.probs(obj).to_vec()))
             .collect();
 
         // Pacing: the per-refresh allowance is fixed at the first
@@ -578,31 +576,27 @@ impl<'a> AgentCore<'a> {
             return Vec::new();
         }
         let snapshot = self.snapshot(answers, view);
-        let sample = sample_indices(
+        let sampled: Vec<ObjectId> = sample_indices(
             &mut self.rng,
             unlabelled.len(),
             self.config.bootstrap_candidates.max(1),
-        );
-        let k_classes = self.dataset.num_classes();
+        )
+        .into_iter()
+        .map(|i| unlabelled[i])
+        .collect();
+        self.feature_cache
+            .refresh(self.dataset, &self.classifier, answers, &sampled);
         let mut out = Vec::new();
-        for i in sample {
-            let obj = unlabelled[i];
-            let probs = if self.classifier.is_trained() {
-                self.classifier
-                    .predict_proba_one(self.dataset.features(obj.index()))
-            } else {
-                vec![1.0 / k_classes as f64; k_classes]
-            };
+        for obj in sampled {
             let a = self.rng.random_range(0..self.pool.len());
             let profile = &self.pool.profiles()[a];
             if answers.has_answered(obj, profile.id) {
                 continue;
             }
-            out.push(embed(
+            out.push(embed_with(
+                self.feature_cache.features(obj),
                 obj,
                 profile,
-                &probs,
-                answers,
                 &self.labelled,
                 &snapshot,
                 self.config.assignment_k,

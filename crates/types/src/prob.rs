@@ -30,6 +30,35 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
     m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
 }
 
+/// Softmax of unnormalized log-probabilities in a single exponentiation
+/// pass: fills `q` with the normalized posterior and returns
+/// `log_sum_exp(logp)`.
+///
+/// The returned log-sum is bit-identical to [`log_sum_exp`] (same
+/// operations in the same order). The posterior is the mathematically
+/// identical `exp(x - max) / sum` instead of re-exponentiating every
+/// entry against the log-sum, which halves the `exp` calls on the EM
+/// E-step hot path.
+pub fn softmax_from_logs(logp: &[f64], q: &mut Vec<f64>) -> f64 {
+    q.clear();
+    let m = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        q.resize(logp.len(), 0.0);
+        normalize(q);
+        return f64::NEG_INFINITY;
+    }
+    q.extend(logp.iter().map(|&x| (x - m).exp()));
+    let sum: f64 = q.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for v in q.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        normalize(q);
+    }
+    m + sum.ln()
+}
+
 /// Shannon entropy (nats) of a distribution. Zero-probability entries
 /// contribute zero, matching the `p log p -> 0` limit.
 pub fn entropy(p: &[f64]) -> f64 {
@@ -138,6 +167,27 @@ mod tests {
     fn entropy_uniform_is_log_k() {
         let p = [0.25; 4];
         assert!((entropy(&p) - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_from_logs_matches_two_pass_formulation() {
+        let logp = [-3.2, -0.7, -15.0, -0.9];
+        let mut q = Vec::new();
+        let lse = softmax_from_logs(&logp, &mut q);
+        // The log-sum is the exact same operation sequence.
+        assert_eq!(lse.to_bits(), log_sum_exp(&logp).to_bits());
+        // The posterior agrees with the re-exponentiated form.
+        let two_pass: Vec<f64> = logp.iter().map(|&lp| (lp - lse).exp()).collect();
+        for (a, b) in q.iter().zip(&two_pass) {
+            assert!((a - b).abs() < 1e-14, "{a} vs {b}");
+        }
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Degenerate input falls back to uniform, like `normalize`.
+        let lse = softmax_from_logs(&[f64::NEG_INFINITY; 3], &mut q);
+        assert_eq!(lse, f64::NEG_INFINITY);
+        assert_eq!(q, vec![1.0 / 3.0; 3]);
+        assert_eq!(softmax_from_logs(&[], &mut q), f64::NEG_INFINITY);
+        assert!(q.is_empty());
     }
 
     #[test]

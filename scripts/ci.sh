@@ -2,19 +2,41 @@
 # Local CI gate: build, tests, formatting, lints. Run from anywhere;
 # everything happens at the repository root. The build environment is
 # offline, so every cargo invocation passes --offline.
+#
+# The workspace test suite runs twice — once pinned to a single worker
+# and once at four workers — because the parallel hot paths (linalg,
+# EM inference, batched DQN scoring) promise bit-identical results at
+# every pool width; a regression that only reproduces under threading
+# must fail CI, not just tests/determinism.rs. Each suite reports its
+# wall-clock so thread-scaling regressions are visible in the log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release =="
-cargo build --release --offline
+# Run "$@" (from the second argument on) and report the wall-clock
+# seconds for the labelled suite (first argument).
+timed() {
+  local label=$1
+  shift
+  local start end
+  start=$(date +%s)
+  "$@"
+  end=$(date +%s)
+  echo "-- ${label}: $((end - start))s"
+}
 
-echo "== cargo test (workspace) =="
-cargo test -q --offline --workspace
+echo "== cargo build --release =="
+timed "build" cargo build --release --offline
+
+echo "== cargo test (workspace, CROWDRL_THREADS=1) =="
+timed "tests @1 thread" env CROWDRL_THREADS=1 cargo test -q --offline --workspace
+
+echo "== cargo test (workspace, CROWDRL_THREADS=4) =="
+timed "tests @4 threads" env CROWDRL_THREADS=4 cargo test -q --offline --workspace
 
 echo "== cargo fmt --check =="
-cargo fmt --check
+timed "fmt" cargo fmt --check
 
 echo "== cargo clippy -D warnings =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+timed "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "CI OK"

@@ -97,6 +97,57 @@ fn parallel_experiment_grid_is_schedule_independent() {
 }
 
 #[test]
+fn results_are_invariant_to_worker_pool_size() {
+    // The parallel hot paths (blocked matmul, chunked E/M-steps, batched
+    // DQN scoring) fix chunk boundaries by data size and merge partials in
+    // chunk-index order, so the worker-pool size must never change a bit
+    // of the output — batch workflow and async runtime alike.
+    let (dataset, pool) = scenario(4);
+    let batch_run = || {
+        let config = CrowdRlConfig::builder().budget(200.0).build().unwrap();
+        let mut rng = seeded(21);
+        CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap()
+    };
+    let async_run = || {
+        let config = CrowdRlConfig::builder().budget(150.0).build().unwrap();
+        let mut rng = seeded(22);
+        CrowdRl::new(config)
+            .run_async(&dataset, &pool, &ServeConfig::default(), &mut rng)
+            .unwrap()
+    };
+
+    crowdrl::linalg::pool::set_threads(1);
+    let batch_ref = batch_run();
+    let async_ref = async_run();
+    for threads in [2usize, 4] {
+        crowdrl::linalg::pool::set_threads(threads);
+        let batch = batch_run();
+        assert_eq!(batch_ref.labels, batch.labels, "{threads} threads");
+        assert_eq!(
+            batch_ref.budget_spent, batch.budget_spent,
+            "{threads} threads"
+        );
+        assert_eq!(
+            batch_ref.total_answers, batch.total_answers,
+            "{threads} threads"
+        );
+        assert_eq!(batch_ref.iterations, batch.iterations, "{threads} threads");
+        let run = async_run();
+        assert_eq!(async_ref.trace, run.trace, "{threads} threads");
+        assert_eq!(
+            async_ref.outcome.labels, run.outcome.labels,
+            "{threads} threads"
+        );
+        assert_eq!(
+            async_ref.outcome.budget_spent, run.outcome.budget_spent,
+            "{threads} threads"
+        );
+    }
+    // Restore the environment-derived default for the rest of the suite.
+    crowdrl::linalg::pool::set_threads(0);
+}
+
+#[test]
 fn dataset_and_pool_generation_are_seed_stable() {
     let (d1, _) = scenario(10);
     let (d2, _) = scenario(10);

@@ -1,0 +1,103 @@
+//! Golden-trace regression test: a fixed-seed CrowdRL run is snapshotted
+//! (inferred labels, budget spent, F1) and pinned here. Any refactor of the
+//! hot paths — parallel kernels, cached featurization, batched DQN scoring
+//! — must reproduce the snapshot bit-for-bit; both the batch workflow and
+//! the asynchronous runtime are covered.
+//!
+//! If a PR *intentionally* changes the numerics (new algorithm, not a new
+//! schedule), re-capture by running with `GOLDEN_CAPTURE=1` and paste the
+//! printed constants below.
+
+use crowdrl::eval::evaluate_labels;
+use crowdrl::prelude::*;
+use crowdrl::types::rng::seeded;
+
+/// Labels rendered as one character per object: the class digit, or `.`
+/// for unlabelled. Compact enough to pin, precise enough to catch any
+/// single flipped label.
+fn render(labels: &[Option<ClassId>]) -> String {
+    labels
+        .iter()
+        .map(|l| match l {
+            Some(ClassId(c)) => char::from_digit(*c as u32, 10).unwrap_or('?'),
+            None => '.',
+        })
+        .collect()
+}
+
+fn scenario() -> (Dataset, AnnotatorPool) {
+    let mut rng = seeded(0xD00D);
+    let dataset = DatasetSpec::gaussian("golden", 80, 4, 2)
+        .with_separation(2.5)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+    (dataset, pool)
+}
+
+fn config(budget: f64) -> CrowdRlConfig {
+    CrowdRlConfig::builder().budget(budget).build().unwrap()
+}
+
+/// F1 rounded to 6 decimal places: fixed precision makes the constant
+/// readable while still catching any real numeric drift.
+fn f1_fixed(dataset: &Dataset, labels: &[Option<ClassId>]) -> f64 {
+    let m = evaluate_labels(dataset, labels).unwrap();
+    (m.f1 * 1e6).round() / 1e6
+}
+
+const GOLDEN_BATCH_LABELS: &str =
+    "10100111010010111010000100101001110100001000100010000100010110111100011111110110";
+const GOLDEN_BATCH_SPENT: f64 = 220.0;
+const GOLDEN_BATCH_F1: f64 = 0.928571;
+
+const GOLDEN_ASYNC_LABELS: &str =
+    "10100111010010111010001100101001000100001000100010000100000110011100011111111110";
+const GOLDEN_ASYNC_SPENT: f64 = 220.0;
+const GOLDEN_ASYNC_F1: f64 = 0.930233;
+
+#[test]
+fn batch_run_reproduces_the_golden_trace() {
+    let (dataset, pool) = scenario();
+    let mut rng = seeded(77);
+    let outcome = CrowdRl::new(config(220.0))
+        .run(&dataset, &pool, &mut rng)
+        .unwrap();
+    let labels = render(&outcome.labels);
+    let f1 = f1_fixed(&dataset, &outcome.labels);
+    if std::env::var("GOLDEN_CAPTURE").is_ok() {
+        println!("BATCH_LABELS={labels}");
+        println!("BATCH_SPENT={:?}", outcome.budget_spent);
+        println!("BATCH_F1={f1:?}");
+        return;
+    }
+    assert_eq!(labels, GOLDEN_BATCH_LABELS, "inferred labels drifted");
+    assert_eq!(
+        outcome.budget_spent, GOLDEN_BATCH_SPENT,
+        "budget spend drifted"
+    );
+    assert_eq!(f1, GOLDEN_BATCH_F1, "F1 drifted");
+}
+
+#[test]
+fn async_run_reproduces_the_golden_trace() {
+    let (dataset, pool) = scenario();
+    let mut rng = seeded(78);
+    let result = CrowdRl::new(config(220.0))
+        .run_async(&dataset, &pool, &ServeConfig::default(), &mut rng)
+        .unwrap();
+    let labels = render(&result.outcome.labels);
+    let f1 = f1_fixed(&dataset, &result.outcome.labels);
+    if std::env::var("GOLDEN_CAPTURE").is_ok() {
+        println!("ASYNC_LABELS={labels}");
+        println!("ASYNC_SPENT={:?}", result.outcome.budget_spent);
+        println!("ASYNC_F1={f1:?}");
+        return;
+    }
+    assert_eq!(labels, GOLDEN_ASYNC_LABELS, "inferred labels drifted");
+    assert_eq!(
+        result.outcome.budget_spent, GOLDEN_ASYNC_SPENT,
+        "budget spend drifted"
+    );
+    assert_eq!(f1, GOLDEN_ASYNC_F1, "F1 drifted");
+}
