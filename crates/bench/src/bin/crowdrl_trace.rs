@@ -1,0 +1,70 @@
+//! `crowdrl-trace` — offline analyzer for `crowdrl-obs` JSONL traces.
+//!
+//! ```text
+//! crowdrl-trace <trace.jsonl>                       profile one run
+//! crowdrl-trace --diff <a.jsonl> <b.jsonl>          compare two runs
+//!              [--threshold <frac>]                 regression ratio (default 0.20)
+//! ```
+//!
+//! The single-trace report shows the per-phase wall-time profile
+//! (self/total and call counts), the accuracy-vs-budget curve, the
+//! EM-convergence summary, and whatever gauges/counters/annotations the
+//! run emitted. The diff mode compares the phase profiles of two traces
+//! and exits non-zero when any phase's total time grew by more than the
+//! threshold fraction *and* more than a millisecond — so a CI job can
+//! gate on it without tripping over sub-millisecond noise.
+
+use crowdrl_obs::analyze::{diff_report, read_trace, report, Trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: crowdrl-trace <trace.jsonl>\n       \
+    crowdrl-trace --diff <a.jsonl> <b.jsonl> [--threshold <frac>]";
+
+fn load(path: &str) -> Result<Trace, String> {
+    read_trace(path).map_err(|e| format!("crowdrl-trace: cannot read {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    match args {
+        [path] if path != "--diff" => {
+            print!("{}", report(&load(path)?));
+            Ok(false)
+        }
+        [flag, rest @ ..] if flag == "--diff" => {
+            let mut threshold = 0.20;
+            let mut paths = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                if arg == "--threshold" {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--threshold needs a value\n{USAGE}"))?;
+                    threshold = v
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad threshold {v:?}\n{USAGE}"))?;
+                } else {
+                    paths.push(arg.clone());
+                }
+            }
+            let [a, b] = paths.as_slice() else {
+                return Err(format!("--diff takes exactly two traces\n{USAGE}"));
+            };
+            let (text, regressed) = diff_report(&load(a)?, &load(b)?, threshold);
+            print!("{text}");
+            Ok(regressed)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -125,7 +125,18 @@ impl SelectionAgent {
 
         // ε-greedy: one coin per iteration decides explore-vs-exploit.
         let explore_all = match &mut self.eps {
-            Some(eps) => eps.should_explore(rng),
+            Some(eps) => {
+                if crowdrl_obs::enabled() {
+                    // Sample ε *before* the coin advances the decay clock:
+                    // this is the value the decision below actually uses.
+                    crowdrl_obs::gauge_step(
+                        "dqn.epsilon",
+                        self.dqn.train_steps() as f64,
+                        eps.epsilon(),
+                    );
+                }
+                eps.should_explore(rng)
+            }
             None => false,
         };
 

@@ -24,6 +24,7 @@ use crate::infer_step::{apply_inference, run_inference};
 use crate::outcome::{IterationStats, LabellingOutcome};
 use crate::reward::{iteration_reward, RewardInputs};
 use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_obs as obs;
 use crowdrl_sim::{AnnotatorPool, Platform};
 use crowdrl_types::rng::sample_indices;
 use crowdrl_types::{AnswerSet, Budget, Dataset, LabelState, LabelledSet, ObjectId, Result};
@@ -69,6 +70,8 @@ impl CrowdRl {
         rng: &mut R,
     ) -> Result<(LabellingOutcome, Vec<f32>)> {
         self.config.validate()?;
+        obs::init_from_env();
+        let run_span = obs::span("workflow.run");
         let n = dataset.len();
         let k_classes = dataset.num_classes();
         let mut platform = Platform::new(dataset, pool, Budget::new(self.config.budget)?);
@@ -101,6 +104,7 @@ impl CrowdRl {
         // the joint model a confident core to estimate worker qualities and
         // the classifier against; an all-worker start can leave every
         // posterior too ambiguous to bootstrap from.
+        let initial_span = obs::span("workflow.initial");
         let initial = ((self.config.initial_ratio * n as f64).round() as usize).min(n);
         let initial_objects = sample_indices(rng, n, initial);
         let experts: Vec<_> = pool.profiles().iter().filter(|p| p.is_expert()).collect();
@@ -144,6 +148,7 @@ impl CrowdRl {
             // No enrichment before the loop: the classifier has not yet
             // been validated against any out-of-sample human labels.
         }
+        drop(initial_span);
 
         // Per-object posterior confidence from the previous inference pass
         // (None until the object has answers) — the baseline for the
@@ -175,6 +180,7 @@ impl CrowdRl {
             if labelled.all_labelled() || platform.exhausted() {
                 break;
             }
+            let iter_span = obs::span("workflow.iter");
             let unlabelled_before = labelled.unlabelled_count();
             let spent_before = platform.budget().spent();
 
@@ -184,6 +190,7 @@ impl CrowdRl {
             // remaining iterations at the configured batch size. Pacing is
             // what lets a mixed-cost pool spread experts over the run
             // instead of front-loading them.
+            let select_span = obs::span("workflow.select");
             let candidates = self.sample_candidates(
                 dataset,
                 &labelled,
@@ -206,6 +213,7 @@ impl CrowdRl {
                 self.config.ablation,
                 rng,
             );
+            drop(select_span);
             if assignments.is_empty() {
                 break;
             }
@@ -215,6 +223,7 @@ impl CrowdRl {
             // and our best pre-answer confidence (for the reward's gain
             // term: the previous posterior if the object had answers, the
             // classifier's probability otherwise).
+            let purchase_span = obs::span("workflow.purchase");
             let mut answers_bought = 0;
             let mut phi_guesses: Vec<(ObjectId, usize)> = Vec::new();
             let mut conf_before: std::collections::HashMap<ObjectId, f64> =
@@ -238,8 +247,10 @@ impl CrowdRl {
                     .len();
             }
             let spend = platform.budget().spent() - spent_before;
+            drop(purchase_span);
 
             // (c) Truth inference over all answers so far.
+            let inference_span = obs::span("workflow.inference");
             let result = run_inference(
                 &self.config.inference,
                 dataset,
@@ -254,6 +265,8 @@ impl CrowdRl {
                 &mut qualities,
                 self.config.label_confidence,
             )?;
+
+            drop(inference_span);
 
             for obj in result.inferred_objects() {
                 prev_confidence[obj.index()] = result.confidence(obj);
@@ -288,6 +301,7 @@ impl CrowdRl {
             };
 
             // (d) Retrain (non-joint models) and enrich.
+            let enrich_span = obs::span("workflow.enrich");
             if !matches!(self.config.inference, InferenceModel::Joint(_)) {
                 retrain_on_labelled(&mut classifier, dataset, &labelled, rng)?;
             }
@@ -304,6 +318,19 @@ impl CrowdRl {
                 } else {
                     0
                 };
+            drop(enrich_span);
+            if enriched > 0 && obs::enabled() {
+                let budget_fraction = platform.budget().fraction_spent();
+                obs::annotate_kv(
+                    "workflow.enrichment",
+                    &format!("enrichment added {enriched} labels at budget {budget_fraction:.2}"),
+                    &[
+                        ("added", enriched as f64),
+                        ("budget_fraction", budget_fraction),
+                        ("iteration", t as f64),
+                    ],
+                );
+            }
 
             // (e) Reward, replay, learning. Each assignment is credited
             // with its *own* object's confidence **gain** (posterior
@@ -313,6 +340,7 @@ impl CrowdRl {
             // the gain rather than the absolute confidence means answering
             // an object that was already easy earns nothing — the advantage
             // form of the paper's long-term-value objective.
+            let reward_span = obs::span("workflow.reward_train");
             let k = self.config.assignment_k.max(1) as f64;
             let rewards: Vec<f64> = assignments
                 .iter()
@@ -363,6 +391,7 @@ impl CrowdRl {
             };
             agent.remember(&assignments, &rewards, &next_candidates, terminal);
             let td_loss = agent.train(self.config.train_steps_per_iter, rng);
+            drop(reward_span);
 
             trace.push(IterationStats {
                 iteration: t,
@@ -374,11 +403,46 @@ impl CrowdRl {
                 labelled_total: labelled.labelled_count(),
                 td_loss,
             });
+
+            if obs::enabled() {
+                // Semantic curves, keyed by the iteration clock (never the
+                // wall clock): budget burn-down, labelling progress, and
+                // the classifier's agreement with the human-inferred
+                // labels. All pure reads — recording cannot perturb the
+                // run (pinned by tests/determinism.rs).
+                let step = t as f64;
+                obs::gauge_step(
+                    "run.budget_spent_fraction",
+                    step,
+                    platform.budget().fraction_spent(),
+                );
+                obs::gauge_step(
+                    "run.labelled_fraction",
+                    step,
+                    labelled.labelled_count() as f64 / n.max(1) as f64,
+                );
+                obs::gauge_step(
+                    "run.enriched_fraction",
+                    step,
+                    labelled.enriched_count() as f64 / n.max(1) as f64,
+                );
+                obs::gauge_step("run.phi_trust", step, phi_trust);
+                obs::gauge_step("run.reward", step, reward);
+                if let Some(l) = td_loss {
+                    obs::gauge_step("run.td_loss", step, l as f64);
+                }
+                if let Some(acc) = classifier_accuracy_on_labelled(dataset, &classifier, &labelled)
+                {
+                    obs::gauge_step("run.acc_on_labelled", step, acc);
+                }
+            }
+            drop(iter_span);
         }
 
         // --- Residual answered-but-uncertain objects take their MAP label:
         // the answers were paid for and the posterior, however ambiguous,
         // beats an untrained guess. ---
+        let finalize_span = obs::span("workflow.finalize");
         if !labelled.all_labelled() {
             let final_result = run_inference(
                 &self.config.inference,
@@ -412,6 +476,11 @@ impl CrowdRl {
         // classifier: enrichment decisions taken mid-run by a weaker
         // classifier otherwise lock in its early mistakes. ---
         refresh_enriched(dataset, &classifier, &mut labelled)?;
+        drop(finalize_span);
+        drop(run_span);
+        // Flush aggregate snapshots so a `CROWDRL_TRACE`-driven process
+        // that exits right after the run still leaves a complete trace.
+        obs::checkpoint();
 
         let iterations = trace.len();
         let label_states: Vec<LabelState> = (0..n).map(|i| labelled.state(ObjectId(i))).collect();
@@ -534,6 +603,37 @@ impl CrowdRl {
             ));
         }
         out
+    }
+}
+
+/// Fraction of currently-labelled objects whose label the classifier's
+/// argmax prediction matches — the "classifier accuracy on labelled"
+/// trace gauge (`run.acc_on_labelled`), shared with the async runtime.
+/// Pure reads only: it must never perturb the run, so it is called
+/// exclusively behind `obs::enabled()`.
+pub fn classifier_accuracy_on_labelled(
+    dataset: &Dataset,
+    classifier: &SoftmaxClassifier,
+    labelled: &LabelledSet,
+) -> Option<f64> {
+    if !classifier.is_trained() {
+        return None;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (obj, label) in labelled.labelled_objects() {
+        let probs = classifier.predict_proba_one(dataset.features(obj.index()));
+        if let Some(guess) = crowdrl_types::prob::argmax(&probs) {
+            total += 1;
+            if guess == label.index() {
+                agree += 1;
+            }
+        }
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(agree as f64 / total as f64)
     }
 }
 

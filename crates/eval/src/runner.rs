@@ -8,9 +8,11 @@
 use crate::metrics::{evaluate_labels, Metrics};
 use crowdrl_baselines::{BaselineParams, LabellingStrategy};
 use crowdrl_core::{CrowdRl, CrowdRlConfig};
+use crowdrl_obs as obs;
 use crowdrl_sim::AnnotatorPool;
 use crowdrl_types::rng::{derive_seed, seeded};
 use crowdrl_types::{Dataset, Error, Result};
+use std::time::Instant;
 
 /// One experiment condition: a dataset, its annotator pool, and the shared
 /// budget parameters.
@@ -74,6 +76,8 @@ impl ExperimentGrid {
                 "repetitions must be positive".into(),
             ));
         }
+        obs::init_from_env();
+        let grid_span = obs::span("eval.grid");
         let jobs: Vec<(usize, usize, usize)> = (0..strategies.len())
             .flat_map(|s| {
                 (0..conditions.len())
@@ -120,6 +124,7 @@ impl ExperimentGrid {
                         // `Err` naming the derived seed, so the failing run
                         // is reproducible in isolation. The collector keeps
                         // draining, so nothing hangs.
+                        let job_start = Instant::now();
                         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut rng = seeded(seed);
                             strategies[si]
@@ -140,6 +145,26 @@ impl ExperimentGrid {
                                  condition {ci}, rep {rep} (seed {seed})"
                             )))
                         });
+                        if obs::enabled() {
+                            // Trace which derived seed each cell ran under
+                            // and how long the rep took, so a slow or
+                            // failing run can be replayed in isolation.
+                            let wall_s = job_start.elapsed().as_secs_f64();
+                            obs::annotate_kv(
+                                "eval.seed",
+                                &format!(
+                                    "strategy {si} condition {ci} rep {rep} \
+                                     seed {seed} wall {wall_s:.3}s"
+                                ),
+                                &[
+                                    ("strategy", si as f64),
+                                    ("condition", ci as f64),
+                                    ("rep", rep as f64),
+                                    ("seed", seed as f64),
+                                    ("wall_s", wall_s),
+                                ],
+                            );
+                        }
                         if res_tx.send(out).is_err() {
                             break;
                         }
@@ -154,6 +179,8 @@ impl ExperimentGrid {
             Ok::<(), Error>(())
         })
         .map_err(|_| Error::NumericalFailure("experiment worker panicked".into()))??;
+        drop(grid_span);
+        obs::checkpoint();
 
         let mut out = Vec::with_capacity(collected.len());
         for (idx, cell) in collected.into_iter().enumerate() {

@@ -15,6 +15,7 @@
 use crate::mv::{estimate_confusions, MajorityVote};
 use crate::result::InferenceResult;
 use crowdrl_linalg::pool;
+use crowdrl_obs as obs;
 use crowdrl_types::prob;
 use crowdrl_types::{AnswerSet, Error, ObjectId, Result};
 
@@ -68,6 +69,7 @@ impl DawidSkene {
         if self.max_iters == 0 {
             return Err(Error::InvalidParameter("max_iters must be positive".into()));
         }
+        let _span = obs::span("em.ds.infer");
         // Initialize with majority vote.
         let mut state = MajorityVote.infer(answers, num_classes, num_annotators)?;
         let mut iterations = 0;
@@ -104,6 +106,7 @@ impl DawidSkene {
             let log_conf = crate::par::log_confusion_tables(&state.confusions, num_classes);
             let k = num_classes;
             let posteriors = &state.posteriors;
+            let _kind = pool::task_kind("em_estep");
             let chunks =
                 pool::map_chunks(answers.num_objects(), crate::par::OBJECT_CHUNK, |range| {
                     let mut posts: Vec<(usize, Vec<f64>)> = Vec::new();
@@ -147,12 +150,18 @@ impl DawidSkene {
             if !log_likelihood.is_finite() {
                 return Err(Error::NumericalFailure("DS likelihood diverged".into()));
             }
+            if obs::enabled() {
+                obs::gauge_step("em.ds.ll", (iterations - 1) as f64, ll);
+                obs::gauge_step("em.ds.delta", (iterations - 1) as f64, max_delta);
+            }
             if max_delta < self.tol {
                 break;
             }
         }
         // Final M-step so reported confusions match the final posteriors.
         state.confusions = self.m_step(answers, &state.posteriors, num_classes, num_annotators)?;
+        obs::counter_add("em.ds.runs", 1);
+        obs::histogram("em.ds.iters", iterations as f64);
         state.iterations = iterations;
         state.log_likelihood = log_likelihood;
         Ok(state)
@@ -201,6 +210,7 @@ pub(crate) fn estimate_one_coin(
     //
     // The sufficient statistics are summed per fixed object chunk and the
     // partials merged in chunk-index order (DESIGN.md §9).
+    let _kind = pool::task_kind("em_mstep");
     let partials = pool::map_chunks(
         answers.num_objects(),
         crate::par::OBJECT_CHUNK,

@@ -28,6 +28,7 @@ use crate::mv::{estimate_confusions, MajorityVote};
 use crate::result::InferenceResult;
 use crowdrl_linalg::{pool, Matrix};
 use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_obs as obs;
 use crowdrl_types::prob;
 use crowdrl_types::{AnnotatorProfile, AnswerSet, Dataset, Error, ObjectId, Result};
 use rand::Rng;
@@ -142,6 +143,7 @@ impl JointInference {
         classifier: &mut SoftmaxClassifier,
         rng: &mut R,
     ) -> Result<InferenceResult> {
+        let _span = obs::span("em.joint.infer");
         self.config.validate()?;
         let k = dataset.num_classes();
         if classifier.num_classes() != k {
@@ -207,6 +209,7 @@ impl JointInference {
             let lo = self.config.phi_clamp.max(1e-12);
             let hi = 1.0 - self.config.phi_clamp;
             let cw = self.config.classifier_weight;
+            let _kind = pool::task_kind("em_estep");
             let chunks = pool::map_chunks(answered.len(), crate::par::OBJECT_CHUNK, |range| {
                 let mut posts: Vec<Vec<f64>> = Vec::with_capacity(range.len());
                 let mut ll = 0.0f64;
@@ -249,6 +252,10 @@ impl JointInference {
                 return Err(Error::NumericalFailure("joint likelihood diverged".into()));
             }
             log_likelihood = ll;
+            if obs::enabled() {
+                obs::gauge_step("em.joint.ll", iter as f64, ll);
+                obs::gauge_step("em.joint.delta", iter as f64, max_delta);
+            }
 
             // M-step (a): confusion matrices from soft counts.
             confusions = if self.config.one_coin {
@@ -267,6 +274,8 @@ impl JointInference {
                 break;
             }
         }
+        obs::counter_add("em.joint.runs", 1);
+        obs::histogram("em.joint.iters", iterations as f64);
 
         let mut class_prior = vec![1e-9f64; k];
         for p in posteriors.iter().flatten() {

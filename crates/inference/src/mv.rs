@@ -80,6 +80,7 @@ pub(crate) fn soft_count_grids(
 ) -> Result<Vec<f64>> {
     let k = num_classes;
     let len = num_annotators * k * k;
+    let _kind = pool::task_kind("em_mstep");
     let partials = pool::map_chunks(
         answers.num_objects(),
         crate::par::OBJECT_CHUNK,

@@ -165,6 +165,7 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, other.cols);
         let width = other.cols;
         let base = SendPtr(out.data.as_mut_ptr());
+        let _kind = pool::task_kind("matmul");
         pool::for_each_chunk(self.rows, row_chunk, |range| {
             // SAFETY: chunk ranges are disjoint, so each chunk writes a
             // disjoint row slice of `out`, which outlives the call.
@@ -238,6 +239,7 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, other.rows);
         let width = other.rows;
         let base = SendPtr(out.data.as_mut_ptr());
+        let _kind = pool::task_kind("matmul_nt");
         pool::for_each_chunk(self.rows, row_chunk, |range| {
             // SAFETY: disjoint row ranges → disjoint output slices.
             let slice = unsafe {
@@ -308,6 +310,7 @@ impl Matrix {
         let mut out = Matrix::zeros(self.cols, other.cols);
         let width = other.cols;
         let base = SendPtr(out.data.as_mut_ptr());
+        let _kind = pool::task_kind("matmul_tn");
         pool::for_each_chunk(self.cols, row_chunk, |range| {
             // SAFETY: disjoint output-row ranges → disjoint output slices.
             let slice = unsafe {

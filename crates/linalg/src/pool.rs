@@ -25,6 +25,9 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use crowdrl_obs as obs;
 
 /// Hard upper bound on threads executing one `run_chunks` call (the caller
 /// plus pool workers). Keeps the worker set small and reusable.
@@ -47,6 +50,55 @@ thread_local! {
     /// inline — nested parallelism never re-enters the pool, so workers
     /// can never deadlock waiting on their own queue.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
+
+    /// Label for the *kind* of pooled work the current thread is about to
+    /// launch (e.g. `"matmul"`, `"em_estep"`). Purely observational: it
+    /// keys the per-task trace histograms and never affects scheduling.
+    static TASK_KIND: Cell<&'static str> = const { Cell::new("untagged") };
+}
+
+/// RAII guard restoring the previous task-kind label on drop.
+pub struct TaskKindGuard {
+    prev: &'static str,
+}
+
+/// Label subsequent `run_chunks`/`map_chunks` calls on this thread with a
+/// task kind for the trace histograms (`pool.execute.<kind>` and
+/// `pool.queue_wait.<kind>`). Nested guards restore the outer label. The
+/// label has zero effect on execution — it only names histogram series when
+/// a `crowdrl_obs` recorder is active.
+pub fn task_kind(kind: &'static str) -> TaskKindGuard {
+    TASK_KIND.with(|c| TaskKindGuard {
+        prev: c.replace(kind),
+    })
+}
+
+impl Drop for TaskKindGuard {
+    fn drop(&mut self) {
+        TASK_KIND.with(|c| c.set(self.prev));
+    }
+}
+
+/// Trace context for one `run_chunks` call; present only while a recorder
+/// is installed so the disabled path never reads a clock.
+struct ObsCtx {
+    execute_name: String,
+    queue_name: String,
+    enqueued: Instant,
+}
+
+impl ObsCtx {
+    fn capture() -> Option<Self> {
+        if !obs::enabled() {
+            return None;
+        }
+        let kind = TASK_KIND.with(|c| c.get());
+        Some(ObsCtx {
+            execute_name: format!("pool.execute.{kind}"),
+            queue_name: format!("pool.queue_wait.{kind}"),
+            enqueued: Instant::now(),
+        })
+    }
 }
 
 fn available_cores() -> usize {
@@ -125,6 +177,8 @@ struct Shared<'a> {
     done: Condvar,
     /// First panic payload raised by any chunk.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Trace context (task-kind histogram names); `None` unless recording.
+    obs: Option<ObsCtx>,
 }
 
 impl Shared<'_> {
@@ -136,11 +190,15 @@ impl Shared<'_> {
             if i >= self.n_chunks {
                 return;
             }
+            let t0 = self.obs.as_ref().map(|_| Instant::now());
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.f)(i))) {
                 let mut slot = self.panic.lock().expect("pool panic slot");
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
+            }
+            if let (Some(ctx), Some(t0)) = (&self.obs, t0) {
+                obs::histogram_seconds(&ctx.execute_name, t0.elapsed());
             }
         }
     }
@@ -169,8 +227,23 @@ pub fn run_chunks<F: Fn(usize) + Sync>(n_chunks: usize, f: F) {
     }
     let threads = max_threads().min(n_chunks);
     if threads <= 1 || IN_POOL.with(|c| c.get()) {
-        for i in 0..n_chunks {
-            f(i);
+        // Serial path: same chunked algorithm, executed inline. Record
+        // per-chunk execute times under the same histogram names so serial
+        // and pooled traces stay comparable (queue wait is zero here and
+        // is simply not sampled).
+        match ObsCtx::capture() {
+            Some(ctx) => {
+                for i in 0..n_chunks {
+                    let t0 = Instant::now();
+                    f(i);
+                    obs::histogram_seconds(&ctx.execute_name, t0.elapsed());
+                }
+            }
+            None => {
+                for i in 0..n_chunks {
+                    f(i);
+                }
+            }
         }
         return;
     }
@@ -182,6 +255,7 @@ pub fn run_chunks<F: Fn(usize) + Sync>(n_chunks: usize, f: F) {
         pending: Mutex::new(threads - 1),
         done: Condvar::new(),
         panic: Mutex::new(None),
+        obs: ObsCtx::capture(),
     };
     // SAFETY: helper jobs only touch `shared` before their `finish_helper`
     // decrement, and the caller blocks below until `pending` reaches zero —
@@ -194,6 +268,11 @@ pub fn run_chunks<F: Fn(usize) + Sync>(n_chunks: usize, f: F) {
     let tx = queue();
     for _ in 0..threads - 1 {
         let job: Job = Box::new(move || {
+            if let Some(ctx) = &erased.obs {
+                // Time from enqueue to a worker actually picking the job
+                // up — the queue-wait component of pool latency.
+                obs::histogram_seconds(&ctx.queue_name, ctx.enqueued.elapsed());
+            }
             erased.drain();
             erased.finish_helper();
         });

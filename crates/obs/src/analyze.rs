@@ -1,0 +1,667 @@
+//! Trace reader and analysis: per-phase wall-time profile, semantic
+//! curves (accuracy vs. budget), EM-convergence summaries, and two-trace
+//! regression diffs. This module is the library behind the `crowdrl-trace`
+//! binary so examples and tests can reuse the exact same reports.
+
+use crate::event::Event;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader};
+
+/// A parsed trace: events in file order.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Events in the order they appear in the file.
+    pub events: Vec<Event>,
+}
+
+/// Read and parse a JSONL trace file.
+pub fn read_trace(path: &str) -> std::io::Result<Trace> {
+    let f = std::fs::File::open(path)?;
+    let mut events = Vec::new();
+    for (i, line) in BufReader::new(f).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let e = Event::parse_line(&line).map_err(|err| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{path}:{}: {err}", i + 1),
+            )
+        })?;
+        events.push(e);
+    }
+    Ok(Trace { events })
+}
+
+/// Parse a trace from in-memory JSONL text (e.g. a test's [`crate::BufferSink`]).
+pub fn parse_trace(text: &str) -> Result<Trace, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(Event::parse_line(line).map_err(|err| format!("line {}: {err}", i + 1))?);
+    }
+    Ok(Trace { events })
+}
+
+/// Aggregated wall-time statistics for one span name ("phase").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub calls: u64,
+    /// Total wall time across calls, nanoseconds.
+    pub total_ns: u64,
+    /// Total minus time spent in child spans, nanoseconds.
+    pub self_ns: u64,
+}
+
+impl PhaseStat {
+    /// Mean wall time per call, nanoseconds.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.calls).unwrap_or(0)
+    }
+}
+
+/// One point of the accuracy-vs-budget curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvePoint {
+    /// Semantic step the samples were tagged with (iteration / refresh).
+    pub step: f64,
+    /// Fraction of budget spent at that step.
+    pub budget_fraction: f64,
+    /// Fraction of objects labelled at that step, if sampled.
+    pub labelled_fraction: Option<f64>,
+    /// Classifier accuracy on currently-labelled objects, if sampled.
+    pub accuracy: Option<f64>,
+}
+
+/// Convergence summary for one EM family (`em.joint` or `em.ds`).
+#[derive(Debug, Clone)]
+pub struct EmSummary {
+    /// Metric prefix, e.g. `em.joint`.
+    pub prefix: String,
+    /// Number of `infer` invocations observed.
+    pub runs: u64,
+    /// Mean iterations to converge across runs.
+    pub mean_iters: f64,
+    /// Largest iteration count of any run.
+    pub max_iters: f64,
+    /// Log-likelihood trajectory of the final run: `(iter, ll, delta)`.
+    pub last_run: Vec<(f64, f64, f64)>,
+}
+
+/// A phase whose total time changed between two traces.
+#[derive(Debug, Clone)]
+pub struct PhaseDiff {
+    /// Span name.
+    pub name: String,
+    /// Total nanoseconds in the baseline trace.
+    pub total_a_ns: u64,
+    /// Total nanoseconds in the new trace.
+    pub total_b_ns: u64,
+    /// `(b - a) / a`; infinity when the phase is new.
+    pub ratio: f64,
+    /// True when the change exceeds the regression threshold.
+    pub regressed: bool,
+}
+
+impl Trace {
+    /// Per-phase wall-time profile from the span tree, sorted by total
+    /// time descending. Spans never closed (e.g. a truncated trace) are
+    /// ignored; span ends without a start (recorder installed mid-span)
+    /// likewise.
+    pub fn profile(&self) -> Vec<PhaseStat> {
+        struct Open {
+            name: String,
+            parent: Option<u64>,
+            start_ns: u64,
+            child_ns: u64,
+        }
+        let mut open: HashMap<u64, Open> = HashMap::new();
+        let mut stats: HashMap<String, PhaseStat> = HashMap::new();
+        for e in &self.events {
+            match e {
+                Event::SpanStart {
+                    id,
+                    parent,
+                    name,
+                    wall_ns,
+                } => {
+                    open.insert(
+                        *id,
+                        Open {
+                            name: name.clone(),
+                            parent: *parent,
+                            start_ns: *wall_ns,
+                            child_ns: 0,
+                        },
+                    );
+                }
+                Event::SpanEnd { id, wall_ns } => {
+                    if let Some(o) = open.remove(id) {
+                        let total = wall_ns.saturating_sub(o.start_ns);
+                        if let Some(p) = o.parent.and_then(|pid| open.get_mut(&pid)) {
+                            p.child_ns += total;
+                        }
+                        let s = stats.entry(o.name.clone()).or_insert_with(|| PhaseStat {
+                            name: o.name.clone(),
+                            calls: 0,
+                            total_ns: 0,
+                            self_ns: 0,
+                        });
+                        s.calls += 1;
+                        s.total_ns += total;
+                        s.self_ns += total.saturating_sub(o.child_ns);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out: Vec<PhaseStat> = stats.into_values().collect();
+        out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        out
+    }
+
+    /// All samples of a gauge, as `(step, value)` in file order.
+    pub fn gauge_series(&self, name: &str) -> Vec<(Option<f64>, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Gauge {
+                    name: n,
+                    value,
+                    step,
+                    ..
+                } if n == name => Some((*step, *value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Final cumulative counter values (last snapshot per name wins).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut map: HashMap<&str, u64> = HashMap::new();
+        for e in &self.events {
+            if let Event::Counter { name, value, .. } = e {
+                map.insert(name, *value);
+            }
+        }
+        let mut out: Vec<(String, u64)> = map.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        out.sort();
+        out
+    }
+
+    /// Final histogram snapshots (last per name wins).
+    pub fn histograms(&self) -> Vec<&Event> {
+        let mut map: HashMap<&str, &Event> = HashMap::new();
+        for e in &self.events {
+            if let Event::Histogram { name, .. } = e {
+                map.insert(name, e);
+            }
+        }
+        let mut out: Vec<&Event> = map.into_values().collect();
+        out.sort_by_key(|e| match e {
+            Event::Histogram { name, .. } => name.clone(),
+            _ => String::new(),
+        });
+        out
+    }
+
+    /// All annotation events, in order.
+    pub fn annotations(&self) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Annotation { .. }))
+            .collect()
+    }
+
+    /// The accuracy-vs-budget curve, joining the `run.budget_spent_fraction`,
+    /// `run.labelled_fraction` and `run.acc_on_labelled` gauges by step.
+    /// Batch runs tag steps with the workflow iteration; async runs with the
+    /// refresh index.
+    pub fn accuracy_budget_curve(&self) -> Vec<CurvePoint> {
+        let budget = self.gauge_series("run.budget_spent_fraction");
+        let labelled = self.gauge_series("run.labelled_fraction");
+        let acc = self.gauge_series("run.acc_on_labelled");
+        let by_step = |series: &[(Option<f64>, f64)]| -> HashMap<u64, f64> {
+            series
+                .iter()
+                .filter_map(|(s, v)| s.map(|s| (s.to_bits(), *v)))
+                .collect()
+        };
+        let labelled = by_step(&labelled);
+        let acc = by_step(&acc);
+        let mut points: Vec<CurvePoint> = budget
+            .into_iter()
+            .filter_map(|(step, b)| {
+                step.map(|s| CurvePoint {
+                    step: s,
+                    budget_fraction: b,
+                    labelled_fraction: labelled.get(&s.to_bits()).copied(),
+                    accuracy: acc.get(&s.to_bits()).copied(),
+                })
+            })
+            .collect();
+        points.sort_by(|a, b| a.step.total_cmp(&b.step));
+        points
+    }
+
+    /// EM-convergence summaries for every family with recorded iterations.
+    pub fn em_summaries(&self) -> Vec<EmSummary> {
+        let mut out = Vec::new();
+        for prefix in ["em.joint", "em.ds"] {
+            let ll = self.gauge_series(&format!("{prefix}.ll"));
+            let delta = self.gauge_series(&format!("{prefix}.delta"));
+            if ll.is_empty() {
+                continue;
+            }
+            let runs = self
+                .counters()
+                .iter()
+                .find(|(n, _)| n == &format!("{prefix}.runs"))
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            let (mean_iters, max_iters) = self
+                .histograms()
+                .iter()
+                .find_map(|e| match e {
+                    Event::Histogram {
+                        name,
+                        count,
+                        sum,
+                        max,
+                        ..
+                    } if name == &format!("{prefix}.iters") && *count > 0 => {
+                        Some((sum / *count as f64, *max))
+                    }
+                    _ => None,
+                })
+                .unwrap_or((0.0, 0.0));
+            // The last run is the final maximal stretch of non-increasing
+            // iteration tags.
+            let mut start = 0;
+            for i in 1..ll.len() {
+                let prev = ll[i - 1].0.unwrap_or(0.0);
+                let cur = ll[i].0.unwrap_or(0.0);
+                if cur <= prev {
+                    start = i;
+                }
+            }
+            let last_run = ll[start..]
+                .iter()
+                .enumerate()
+                .map(|(k, (step, v))| {
+                    let d = delta.get(start + k).map(|(_, d)| *d).unwrap_or(f64::NAN);
+                    (step.unwrap_or(k as f64), *v, d)
+                })
+                .collect();
+            out.push(EmSummary {
+                prefix: prefix.to_owned(),
+                runs,
+                mean_iters,
+                max_iters,
+                last_run,
+            });
+        }
+        out
+    }
+}
+
+/// Compare two profiles; a phase regresses when its total time grows by
+/// more than `threshold` (fractional, e.g. 0.25 = +25%) *and* by more than
+/// 1ms absolute (to avoid flagging noise on sub-millisecond phases).
+pub fn diff_profiles(a: &[PhaseStat], b: &[PhaseStat], threshold: f64) -> Vec<PhaseDiff> {
+    let a_by: HashMap<&str, &PhaseStat> = a.iter().map(|p| (p.name.as_str(), p)).collect();
+    let b_by: HashMap<&str, &PhaseStat> = b.iter().map(|p| (p.name.as_str(), p)).collect();
+    let mut names: Vec<&str> = a_by.keys().chain(b_by.keys()).copied().collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut out = Vec::new();
+    for name in names {
+        let ta = a_by.get(name).map_or(0, |p| p.total_ns);
+        let tb = b_by.get(name).map_or(0, |p| p.total_ns);
+        let ratio = if ta == 0 {
+            if tb == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (tb as f64 - ta as f64) / ta as f64
+        };
+        let regressed = ratio > threshold && tb.saturating_sub(ta) > 1_000_000;
+        out.push(PhaseDiff {
+            name: name.to_owned(),
+            total_a_ns: ta,
+            total_b_ns: tb,
+            ratio,
+            regressed,
+        });
+    }
+    out.sort_by(|x, y| {
+        y.regressed
+            .cmp(&x.regressed)
+            .then(y.ratio.total_cmp(&x.ratio))
+    });
+    out
+}
+
+/// Format nanoseconds with a human-friendly unit.
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    fmt_ns((s * 1e9).max(0.0) as u64)
+}
+
+/// The full human-readable analyzer report for one trace.
+pub fn report(trace: &Trace) -> String {
+    let mut out = String::new();
+
+    let profile = trace.profile();
+    out.push_str("-- phase profile (wall time) --\n");
+    if profile.is_empty() {
+        out.push_str("(no completed spans)\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12} {:>12} {:>12}",
+            "phase", "calls", "total", "self", "mean/call"
+        );
+        for p in &profile {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>7} {:>12} {:>12} {:>12}",
+                p.name,
+                p.calls,
+                fmt_ns(p.total_ns),
+                fmt_ns(p.self_ns),
+                fmt_ns(p.mean_ns())
+            );
+        }
+    }
+
+    let curve = trace.accuracy_budget_curve();
+    if !curve.is_empty() {
+        out.push_str("\n-- accuracy vs budget --\n");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>9} {:>10} {:>8}",
+            "step", "budget%", "labelled%", "acc%"
+        );
+        for p in &curve {
+            let pct = |o: Option<f64>| o.map_or("-".to_owned(), |v| format!("{:.1}", v * 100.0));
+            let _ = writeln!(
+                out,
+                "{:>8} {:>9.1} {:>10} {:>8}",
+                p.step,
+                p.budget_fraction * 100.0,
+                pct(p.labelled_fraction),
+                pct(p.accuracy)
+            );
+        }
+    }
+
+    for em in trace.em_summaries() {
+        let _ = writeln!(
+            out,
+            "\n-- EM convergence ({}) --\nruns {} · iterations mean {:.1} max {:.0}",
+            em.prefix, em.runs, em.mean_iters, em.max_iters
+        );
+        if !em.last_run.is_empty() {
+            out.push_str("last run (iter: log-likelihood, delta):\n");
+            for (it, ll, d) in &em.last_run {
+                let _ = writeln!(out, "  {it:>3.0}: {ll:>14.4}  Δ {d:.2e}");
+            }
+        }
+    }
+
+    let dqn = trace.gauge_series("dqn.loss");
+    if !dqn.is_empty() {
+        let n = dqn.len();
+        let mean: f64 = dqn.iter().map(|(_, v)| v).sum::<f64>() / n as f64;
+        let last = dqn[n - 1].1;
+        let replay = trace
+            .gauge_series("dqn.replay_size")
+            .last()
+            .map_or(0.0, |(_, v)| *v);
+        let _ = writeln!(
+            out,
+            "\n-- DQN --\ntraining steps {n} · mean loss {mean:.4} · final loss {last:.4} · replay size {replay:.0}"
+        );
+    }
+
+    let hists = trace.histograms();
+    if !hists.is_empty() {
+        out.push_str("\n-- histograms --\n");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>9} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "min", "max"
+        );
+        // Histogram values are unit-less; by convention duration
+        // histograms come from `histogram_seconds` and live under the
+        // `pool.` namespace or carry a `_s` suffix. Everything else
+        // (iteration counts, sizes) prints as a plain number.
+        let fmt_val = |name: &str, v: f64| -> String {
+            if name.starts_with("pool.") || name.ends_with("_s") {
+                fmt_secs(v)
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        for e in hists {
+            if let Event::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                ..
+            } = e
+            {
+                let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>9} {:>10} {:>10} {:>10}",
+                    name,
+                    count,
+                    fmt_val(name, mean),
+                    fmt_val(name, *min),
+                    fmt_val(name, *max)
+                );
+            }
+        }
+    }
+
+    let counters = trace.counters();
+    if !counters.is_empty() {
+        out.push_str("\n-- counters --\n");
+        for (name, v) in counters {
+            let _ = writeln!(out, "{name:<28} {v}");
+        }
+    }
+
+    let notes = trace.annotations();
+    if !notes.is_empty() {
+        out.push_str("\n-- annotations --\n");
+        // Surface the slowest eval seeds first, then everything else in order.
+        let mut seeds: Vec<(&str, f64)> = Vec::new();
+        for e in &notes {
+            if let Event::Annotation {
+                name, message, kv, ..
+            } = e
+            {
+                if name == "eval.seed" {
+                    let wall = kv
+                        .iter()
+                        .find(|(k, _)| k == "wall_s")
+                        .map_or(0.0, |(_, v)| *v);
+                    seeds.push((message, wall));
+                }
+            }
+        }
+        if !seeds.is_empty() {
+            seeds.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let _ = writeln!(out, "slowest eval seeds (of {}):", seeds.len());
+            for (msg, wall) in seeds.iter().take(5) {
+                let _ = writeln!(out, "  {} ({})", msg, fmt_secs(*wall));
+            }
+        }
+        for e in notes {
+            if let Event::Annotation { name, message, .. } = e {
+                if name != "eval.seed" {
+                    let _ = writeln!(out, "[{name}] {message}");
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Human-readable diff report; returns the text and whether any phase
+/// regressed beyond the threshold.
+pub fn diff_report(a: &Trace, b: &Trace, threshold: f64) -> (String, bool) {
+    let diffs = diff_profiles(&a.profile(), &b.profile(), threshold);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- phase diff (threshold +{:.0}%) --",
+        threshold * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12} {:>9}",
+        "phase", "baseline", "new", "change"
+    );
+    let mut any = false;
+    for d in &diffs {
+        let change = if d.ratio.is_infinite() {
+            "new".to_owned()
+        } else {
+            format!("{:+.1}%", d.ratio * 100.0)
+        };
+        let flag = if d.regressed {
+            any = true;
+            "  << REGRESSED"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>9}{}",
+            d.name,
+            fmt_ns(d.total_a_ns),
+            fmt_ns(d.total_b_ns),
+            change,
+            flag
+        );
+    }
+    (out, any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(line: &str) -> Event {
+        Event::parse_line(line).unwrap()
+    }
+
+    #[test]
+    fn profile_computes_self_and_total() {
+        let trace = Trace {
+            events: vec![
+                ev(r#"{"t":"ss","id":1,"n":"run","w":0}"#),
+                ev(r#"{"t":"ss","id":2,"p":1,"n":"inner","w":100}"#),
+                ev(r#"{"t":"se","id":2,"w":400}"#),
+                ev(r#"{"t":"ss","id":3,"p":1,"n":"inner","w":500}"#),
+                ev(r#"{"t":"se","id":3,"w":600}"#),
+                ev(r#"{"t":"se","id":1,"w":1000}"#),
+            ],
+        };
+        let profile = trace.profile();
+        assert_eq!(profile.len(), 2);
+        let run = profile.iter().find(|p| p.name == "run").unwrap();
+        assert_eq!((run.calls, run.total_ns, run.self_ns), (1, 1000, 600));
+        let inner = profile.iter().find(|p| p.name == "inner").unwrap();
+        assert_eq!((inner.calls, inner.total_ns, inner.self_ns), (2, 400, 400));
+        assert_eq!(inner.mean_ns(), 200);
+    }
+
+    #[test]
+    fn curve_joins_gauges_by_step() {
+        let trace = Trace {
+            events: vec![
+                ev(r#"{"t":"g","n":"run.budget_spent_fraction","v":0.1,"w":1,"s":0}"#),
+                ev(r#"{"t":"g","n":"run.acc_on_labelled","v":0.7,"w":2,"s":0}"#),
+                ev(r#"{"t":"g","n":"run.budget_spent_fraction","v":0.3,"w":3,"s":1}"#),
+            ],
+        };
+        let curve = trace.accuracy_budget_curve();
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].accuracy, Some(0.7));
+        assert_eq!(curve[1].accuracy, None);
+        assert_eq!(curve[1].budget_fraction, 0.3);
+    }
+
+    #[test]
+    fn diff_flags_large_regressions_only() {
+        let a = vec![PhaseStat {
+            name: "hot".into(),
+            calls: 1,
+            total_ns: 10_000_000,
+            self_ns: 10_000_000,
+        }];
+        let b = vec![PhaseStat {
+            name: "hot".into(),
+            calls: 1,
+            total_ns: 20_000_000,
+            self_ns: 20_000_000,
+        }];
+        let d = diff_profiles(&a, &b, 0.25);
+        assert!(d[0].regressed);
+        // Same growth ratio but under the 1ms absolute floor: not flagged.
+        let a2 = vec![PhaseStat {
+            name: "tiny".into(),
+            calls: 1,
+            total_ns: 1000,
+            self_ns: 1000,
+        }];
+        let b2 = vec![PhaseStat {
+            name: "tiny".into(),
+            calls: 1,
+            total_ns: 2000,
+            self_ns: 2000,
+        }];
+        let d2 = diff_profiles(&a2, &b2, 0.25);
+        assert!(!d2[0].regressed);
+    }
+
+    #[test]
+    fn counters_keep_last_snapshot() {
+        let trace = Trace {
+            events: vec![
+                ev(r#"{"t":"c","n":"x","v":3,"w":1}"#),
+                ev(r#"{"t":"c","n":"x","v":9,"w":2}"#),
+            ],
+        };
+        assert_eq!(trace.counters(), vec![("x".to_owned(), 9)]);
+    }
+}

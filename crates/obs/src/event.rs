@@ -1,0 +1,358 @@
+//! The trace event schema: one JSON object per line.
+//!
+//! | `"t"`  | event            | fields                                            |
+//! |--------|------------------|---------------------------------------------------|
+//! | `meta` | trace header     | `v` schema version                                |
+//! | `ss`   | span start       | `id`, `p` (parent id, absent for roots), `n` name, `w` wall ns |
+//! | `se`   | span end         | `id`, `w` wall ns                                 |
+//! | `g`    | gauge sample     | `n` name, `v` value, `w` wall ns, `s` step (optional) |
+//! | `c`    | counter snapshot | `n` name, `v` cumulative count, `w` wall ns       |
+//! | `h`    | histogram snapshot | `n` name, `count`, `sum`, `min`, `max`, `b` `[[upper_bound, count], ...]` |
+//! | `a`    | annotation       | `n` name, `m` message, `w` wall ns, `kv` numeric pairs |
+//!
+//! Wall time (`w`) is nanoseconds since the recorder was installed — the
+//! profiling clock. The optional step (`s`) is the semantic clock: an
+//! iteration index, EM iteration, DQN training step, or a `SimTime` reading
+//! converted with `as_f64()`. Counter and histogram snapshots are
+//! *cumulative*: the analyzer keeps the last snapshot per name, so
+//! checkpointing several times during a run is harmless.
+
+use crate::json::{self, Value};
+use std::fmt::Write as _;
+
+/// Current schema version, written in the `meta` header line.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One line of a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Trace header.
+    Meta {
+        /// Schema version.
+        version: u64,
+    },
+    /// A span was entered.
+    SpanStart {
+        /// Unique span id (process-wide, monotonically assigned).
+        id: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name, e.g. `workflow.inference`.
+        name: String,
+        /// Wall clock, nanoseconds since recorder install.
+        wall_ns: u64,
+    },
+    /// A span was exited.
+    SpanEnd {
+        /// Id from the matching [`Event::SpanStart`].
+        id: u64,
+        /// Wall clock, nanoseconds since recorder install.
+        wall_ns: u64,
+    },
+    /// A point-in-time sample of a named value.
+    Gauge {
+        /// Metric name, e.g. `run.acc_on_labelled`.
+        name: String,
+        /// Sampled value.
+        value: f64,
+        /// Wall clock, nanoseconds since recorder install.
+        wall_ns: u64,
+        /// Semantic clock: iteration / training step / simulated time.
+        step: Option<f64>,
+    },
+    /// Cumulative counter snapshot.
+    Counter {
+        /// Counter name, e.g. `em.joint.runs`.
+        name: String,
+        /// Total since recorder install.
+        value: u64,
+        /// Wall clock, nanoseconds since recorder install.
+        wall_ns: u64,
+    },
+    /// Cumulative fixed-bucket histogram snapshot.
+    Histogram {
+        /// Histogram name, e.g. `pool.execute.matmul`.
+        name: String,
+        /// Number of recorded samples.
+        count: u64,
+        /// Sum of recorded samples.
+        sum: f64,
+        /// Smallest recorded sample.
+        min: f64,
+        /// Largest recorded sample.
+        max: f64,
+        /// Non-empty buckets as `(inclusive upper bound, count)` pairs.
+        buckets: Vec<(f64, u64)>,
+    },
+    /// A run-level fact, e.g. "enrichment added 37 labels at budget 0.42".
+    Annotation {
+        /// Annotation channel, e.g. `workflow.enrichment`.
+        name: String,
+        /// Human-readable message.
+        message: String,
+        /// Wall clock, nanoseconds since recorder install.
+        wall_ns: u64,
+        /// Numeric key/value pairs for machine consumption.
+        kv: Vec<(String, f64)>,
+    },
+}
+
+impl Event {
+    /// Serialize to a single JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = String::with_capacity(64);
+        match self {
+            Event::Meta { version } => {
+                let _ = write!(s, "{{\"t\":\"meta\",\"v\":{version}}}");
+            }
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                wall_ns,
+            } => {
+                let _ = write!(s, "{{\"t\":\"ss\",\"id\":{id}");
+                if let Some(p) = parent {
+                    let _ = write!(s, ",\"p\":{p}");
+                }
+                s.push_str(",\"n\":");
+                json::write_escaped(&mut s, name);
+                let _ = write!(s, ",\"w\":{wall_ns}}}");
+            }
+            Event::SpanEnd { id, wall_ns } => {
+                let _ = write!(s, "{{\"t\":\"se\",\"id\":{id},\"w\":{wall_ns}}}");
+            }
+            Event::Gauge {
+                name,
+                value,
+                wall_ns,
+                step,
+            } => {
+                s.push_str("{\"t\":\"g\",\"n\":");
+                json::write_escaped(&mut s, name);
+                s.push_str(",\"v\":");
+                json::write_num(&mut s, *value);
+                let _ = write!(s, ",\"w\":{wall_ns}");
+                if let Some(st) = step {
+                    s.push_str(",\"s\":");
+                    json::write_num(&mut s, *st);
+                }
+                s.push('}');
+            }
+            Event::Counter {
+                name,
+                value,
+                wall_ns,
+            } => {
+                s.push_str("{\"t\":\"c\",\"n\":");
+                json::write_escaped(&mut s, name);
+                let _ = write!(s, ",\"v\":{value},\"w\":{wall_ns}}}");
+            }
+            Event::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } => {
+                s.push_str("{\"t\":\"h\",\"n\":");
+                json::write_escaped(&mut s, name);
+                let _ = write!(s, ",\"count\":{count},\"sum\":");
+                json::write_num(&mut s, *sum);
+                s.push_str(",\"min\":");
+                json::write_num(&mut s, *min);
+                s.push_str(",\"max\":");
+                json::write_num(&mut s, *max);
+                s.push_str(",\"b\":[");
+                for (i, (bound, n)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('[');
+                    json::write_num(&mut s, *bound);
+                    let _ = write!(s, ",{n}]");
+                }
+                s.push_str("]}");
+            }
+            Event::Annotation {
+                name,
+                message,
+                wall_ns,
+                kv,
+            } => {
+                s.push_str("{\"t\":\"a\",\"n\":");
+                json::write_escaped(&mut s, name);
+                s.push_str(",\"m\":");
+                json::write_escaped(&mut s, message);
+                let _ = write!(s, ",\"w\":{wall_ns}");
+                if !kv.is_empty() {
+                    s.push_str(",\"kv\":{");
+                    for (i, (k, v)) in kv.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        json::write_escaped(&mut s, k);
+                        s.push(':');
+                        json::write_num(&mut s, *v);
+                    }
+                    s.push('}');
+                }
+                s.push('}');
+            }
+        }
+        s
+    }
+
+    /// Parse one JSON line back into an event.
+    pub fn parse_line(line: &str) -> Result<Event, String> {
+        let v = json::parse(line)?;
+        let tag = v
+            .get("t")
+            .and_then(Value::as_str)
+            .ok_or("missing \"t\" tag")?;
+        let name = |v: &Value| -> Result<String, String> {
+            v.get("n")
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| "missing \"n\"".into())
+        };
+        let wall = |v: &Value| v.get("w").and_then(Value::as_u64).unwrap_or(0);
+        match tag {
+            "meta" => Ok(Event::Meta {
+                version: v.get("v").and_then(Value::as_u64).unwrap_or(0),
+            }),
+            "ss" => Ok(Event::SpanStart {
+                id: v.get("id").and_then(Value::as_u64).ok_or("ss: no id")?,
+                parent: v.get("p").and_then(Value::as_u64),
+                name: name(&v)?,
+                wall_ns: wall(&v),
+            }),
+            "se" => Ok(Event::SpanEnd {
+                id: v.get("id").and_then(Value::as_u64).ok_or("se: no id")?,
+                wall_ns: wall(&v),
+            }),
+            "g" => Ok(Event::Gauge {
+                name: name(&v)?,
+                value: v.get("v").and_then(Value::as_f64).ok_or("g: no v")?,
+                wall_ns: wall(&v),
+                step: v.get("s").and_then(Value::as_f64),
+            }),
+            "c" => Ok(Event::Counter {
+                name: name(&v)?,
+                value: v.get("v").and_then(Value::as_u64).ok_or("c: no v")?,
+                wall_ns: wall(&v),
+            }),
+            "h" => {
+                let mut buckets = Vec::new();
+                if let Some(arr) = v.get("b").and_then(Value::as_arr) {
+                    for pair in arr {
+                        let pair = pair.as_arr().ok_or("h: bad bucket")?;
+                        if pair.len() != 2 {
+                            return Err("h: bucket is not a pair".into());
+                        }
+                        buckets.push((
+                            pair[0].as_f64().ok_or("h: bad bound")?,
+                            pair[1].as_u64().ok_or("h: bad count")?,
+                        ));
+                    }
+                }
+                Ok(Event::Histogram {
+                    name: name(&v)?,
+                    count: v.get("count").and_then(Value::as_u64).unwrap_or(0),
+                    sum: v.get("sum").and_then(Value::as_f64).unwrap_or(0.0),
+                    min: v.get("min").and_then(Value::as_f64).unwrap_or(0.0),
+                    max: v.get("max").and_then(Value::as_f64).unwrap_or(0.0),
+                    buckets,
+                })
+            }
+            "a" => {
+                let mut kv = Vec::new();
+                if let Some(Value::Obj(m)) = v.get("kv") {
+                    for (k, val) in m {
+                        kv.push((k.clone(), val.as_f64().ok_or("a: non-numeric kv")?));
+                    }
+                }
+                Ok(Event::Annotation {
+                    name: name(&v)?,
+                    message: v
+                        .get("m")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_owned(),
+                    wall_ns: wall(&v),
+                    kv,
+                })
+            }
+            other => Err(format!("unknown event tag {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = vec![
+            Event::Meta {
+                version: SCHEMA_VERSION,
+            },
+            Event::SpanStart {
+                id: 7,
+                parent: Some(3),
+                name: "workflow.iter".into(),
+                wall_ns: 1234,
+            },
+            Event::SpanStart {
+                id: 3,
+                parent: None,
+                name: "workflow.run".into(),
+                wall_ns: 50,
+            },
+            Event::SpanEnd {
+                id: 7,
+                wall_ns: 9999,
+            },
+            Event::Gauge {
+                name: "run.acc".into(),
+                value: 0.875,
+                wall_ns: 42,
+                step: Some(3.0),
+            },
+            Event::Gauge {
+                name: "run.loss".into(),
+                value: -1.5e-3,
+                wall_ns: 43,
+                step: None,
+            },
+            Event::Counter {
+                name: "em.runs".into(),
+                value: 12,
+                wall_ns: 100,
+            },
+            Event::Histogram {
+                name: "pool.execute.matmul".into(),
+                count: 3,
+                sum: 0.0075,
+                min: 0.001,
+                max: 0.005,
+                buckets: vec![(0.001, 1), (0.002, 1), (0.005, 1)],
+            },
+            Event::Annotation {
+                name: "workflow.enrichment".into(),
+                message: "added 37 \"labels\" at budget 0.42".into(),
+                wall_ns: 77,
+                kv: vec![("added".into(), 37.0), ("budget".into(), 0.42)],
+            },
+        ];
+        for e in events {
+            let line = e.to_line();
+            let back = Event::parse_line(&line).unwrap_or_else(|err| {
+                panic!("failed to parse {line:?}: {err}");
+            });
+            assert_eq!(back, e, "line was {line:?}");
+        }
+    }
+}

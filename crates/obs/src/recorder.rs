@@ -1,0 +1,475 @@
+//! The global recorder: a branch-cheap front door for spans, gauges,
+//! counters and histograms, writing JSONL events to an installed sink.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled means free.** With no recorder installed (or
+//!    [`Recorder::disabled`] installed) every recording function is one
+//!    relaxed atomic load and a branch — no allocation, no lock, no clock
+//!    read. This is what lets instrumentation live permanently in hot paths
+//!    like the worker pool.
+//! 2. **Recording never feeds back.** The recorder only *reads* values
+//!    handed to it; wall-clock readings exist solely in trace output. An
+//!    enabled run must produce bit-identical experiment results to a
+//!    disabled one (pinned by `tests/determinism.rs`).
+//! 3. **Cheap aggregation for hot signals.** Counters and histograms
+//!    accumulate in-process and are written only at [`checkpoint`] /
+//!    [`shutdown`], so a million pool chunks cost a map update each, not a
+//!    line of I/O each.
+
+use crate::event::{Event, SCHEMA_VERSION};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::Instant;
+
+/// Fast "is anything recording?" flag; the only cost on the disabled path.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed sink plus in-process aggregates.
+static GLOBAL: Mutex<Option<Inner>> = Mutex::new(None);
+
+/// Process-wide span id allocator (0 is reserved for "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One-shot guard for [`init_from_env`].
+static ENV_INIT: Once = Once::new();
+
+thread_local! {
+    /// Stack of open span ids on this thread; the top is the parent of the
+    /// next span started here.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Inner {
+    start: Instant,
+    sink: Box<dyn Write + Send>,
+    counters: HashMap<String, u64>,
+    hists: HashMap<String, Hist>,
+}
+
+impl Inner {
+    fn wall_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn write_event(&mut self, e: &Event) {
+        let mut line = e.to_line();
+        line.push('\n');
+        // I/O errors must never take down an experiment; drop the line.
+        let _ = self.sink.write_all(line.as_bytes());
+    }
+
+    /// Write cumulative counter/histogram snapshots and flush the sink.
+    fn checkpoint(&mut self) {
+        let wall_ns = self.wall_ns();
+        let mut counters: Vec<(String, u64)> =
+            self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        counters.sort();
+        for (name, value) in counters {
+            self.write_event(&Event::Counter {
+                name,
+                value,
+                wall_ns,
+            });
+        }
+        let mut hists: Vec<(String, Hist)> = self
+            .hists
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in hists {
+            self.write_event(&h.snapshot(name));
+        }
+        let _ = self.sink.flush();
+    }
+}
+
+/// Inclusive upper bounds for every histogram: a 1–2–5 series spanning
+/// 1e-9 .. 1e9, fixed so any two traces bucket identically and snapshots
+/// can be diffed. Values above the last bound land in an overflow bucket.
+fn bucket_bounds() -> &'static [f64] {
+    static BOUNDS: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut b = Vec::with_capacity(19 * 3);
+        for exp in -9i32..=9 {
+            for mant in [1.0, 2.0, 5.0] {
+                b.push(mant * 10f64.powi(exp));
+            }
+        }
+        b
+    })
+}
+
+#[derive(Clone)]
+struct Hist {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// One slot per bound plus a final overflow slot.
+    buckets: Vec<u64>,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; bucket_bounds().len() + 1],
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let bounds = bucket_bounds();
+        let idx = bounds.partition_point(|&b| b < v);
+        self.buckets[idx] += 1;
+    }
+
+    fn snapshot(&self, name: String) -> Event {
+        let bounds = bucket_bounds();
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bounds.get(i).copied().unwrap_or(f64::MAX), n))
+            .collect();
+        Event::Histogram {
+            name,
+            count: self.count,
+            sum: self.sum,
+            min: if self.count > 0 { self.min } else { 0.0 },
+            max: if self.count > 0 { self.max } else { 0.0 },
+            buckets,
+        }
+    }
+}
+
+/// A configured (but not yet installed) trace recorder.
+///
+/// `Recorder::disabled()` is the no-op variant: installing it keeps all
+/// recording functions on their single-branch fast path. The other
+/// constructors attach a JSONL sink; call [`Recorder::install`] to make it
+/// the process-global recorder.
+pub struct Recorder {
+    sink: Option<Box<dyn Write + Send>>,
+}
+
+impl Recorder {
+    /// A recorder that records nothing; its overhead is a branch.
+    pub fn disabled() -> Self {
+        Recorder { sink: None }
+    }
+
+    /// Record to a JSONL file at `path` (created/truncated).
+    pub fn to_file(path: &str) -> io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(Recorder {
+            sink: Some(Box::new(BufWriter::new(f))),
+        })
+    }
+
+    /// Record to an arbitrary writer (e.g. a [`BufferSink`] in tests).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
+        Recorder { sink: Some(w) }
+    }
+
+    /// Build from the `CROWDRL_TRACE` environment variable: a file recorder
+    /// when it names a path, [`Recorder::disabled`] otherwise.
+    pub fn from_env() -> io::Result<Self> {
+        match std::env::var("CROWDRL_TRACE") {
+            Ok(path) if !path.trim().is_empty() => Recorder::to_file(path.trim()),
+            _ => Ok(Recorder::disabled()),
+        }
+    }
+
+    /// Whether this recorder will actually record once installed.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Install as the process-global recorder, replacing (and
+    /// checkpointing) any previous one.
+    pub fn install(self) {
+        let mut guard = GLOBAL.lock().unwrap();
+        if let Some(prev) = guard.as_mut() {
+            prev.checkpoint();
+        }
+        match self.sink {
+            Some(sink) => {
+                let mut inner = Inner {
+                    start: Instant::now(),
+                    sink,
+                    counters: HashMap::new(),
+                    hists: HashMap::new(),
+                };
+                inner.write_event(&Event::Meta {
+                    version: SCHEMA_VERSION,
+                });
+                *guard = Some(inner);
+                ENABLED.store(true, Ordering::Relaxed);
+            }
+            None => {
+                *guard = None;
+                ENABLED.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Install a file recorder if `CROWDRL_TRACE` names a path and no recorder
+/// is active yet. Idempotent and cheap; the long-running entry points call
+/// this so `CROWDRL_TRACE=run.jsonl cargo run ...` "just works".
+pub fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if enabled() {
+            return;
+        }
+        match Recorder::from_env() {
+            Ok(r) => {
+                if r.is_enabled() {
+                    r.install();
+                }
+            }
+            Err(e) => eprintln!("crowdrl-obs: cannot open CROWDRL_TRACE file: {e}"),
+        }
+    });
+}
+
+/// Is a recording sink installed? The disabled-path cost of every
+/// recording function is exactly this check.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn with_inner(f: impl FnOnce(&mut Inner)) {
+    if let Ok(mut guard) = GLOBAL.lock() {
+        if let Some(inner) = guard.as_mut() {
+            f(inner);
+        }
+    }
+}
+
+/// Write counter/histogram snapshots and flush buffered lines to the sink.
+///
+/// Call at natural barriers (end of a run); snapshots are cumulative so
+/// repeated checkpoints are harmless — the analyzer keeps the last one.
+pub fn checkpoint() {
+    if !enabled() {
+        return;
+    }
+    with_inner(Inner::checkpoint);
+}
+
+/// Flush buffered trace lines without writing snapshots.
+pub fn flush() {
+    if !enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        let _ = inner.sink.flush();
+    });
+}
+
+/// Checkpoint, flush, and uninstall the recorder (back to disabled).
+pub fn shutdown() {
+    let mut guard = GLOBAL.lock().unwrap();
+    if let Some(inner) = guard.as_mut() {
+        inner.checkpoint();
+    }
+    *guard = None;
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// RAII guard for an open span; emits the end event on drop.
+///
+/// Returned by [`span`]. When recording is disabled the guard is inert
+/// (id 0) and drop does nothing.
+pub struct SpanGuard {
+    id: u64,
+}
+
+/// Enter a named span. Nesting is tracked per thread: the innermost open
+/// span on this thread becomes the parent.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { id: 0 };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+    with_inner(|inner| {
+        let wall_ns = inner.wall_ns();
+        inner.write_event(&Event::SpanStart {
+            id,
+            parent,
+            name: name.to_owned(),
+            wall_ns,
+        });
+    });
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    SpanGuard { id }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if stack.last() == Some(&self.id) {
+                stack.pop();
+            } else {
+                // Out-of-order drop (shouldn't happen with lexical guards,
+                // but don't corrupt the stack if it does).
+                stack.retain(|&x| x != self.id);
+            }
+        });
+        if enabled() {
+            with_inner(|inner| {
+                let wall_ns = inner.wall_ns();
+                inner.write_event(&Event::SpanEnd {
+                    id: self.id,
+                    wall_ns,
+                });
+            });
+        }
+    }
+}
+
+/// Sample a gauge on the wall clock only.
+pub fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        let wall_ns = inner.wall_ns();
+        inner.write_event(&Event::Gauge {
+            name: name.to_owned(),
+            value,
+            wall_ns,
+            step: None,
+        });
+    });
+}
+
+/// Sample a gauge tagged with a semantic step (iteration index, training
+/// step, or simulated time) in addition to the wall clock.
+pub fn gauge_step(name: &str, step: f64, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        let wall_ns = inner.wall_ns();
+        inner.write_event(&Event::Gauge {
+            name: name.to_owned(),
+            value,
+            wall_ns,
+            step: Some(step),
+        });
+    });
+}
+
+/// Add `delta` to a named cumulative counter (written at checkpoints).
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        if let Some(c) = inner.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            inner.counters.insert(name.to_owned(), delta);
+        }
+    });
+}
+
+/// Record `value` into a named fixed-bucket histogram (written at
+/// checkpoints). Unit-agnostic; durations use seconds by convention.
+pub fn histogram(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        if let Some(h) = inner.hists.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Hist::new();
+            h.record(value);
+            inner.hists.insert(name.to_owned(), h);
+        }
+    });
+}
+
+/// Record a duration into a histogram, in seconds.
+pub fn histogram_seconds(name: &str, d: std::time::Duration) {
+    if !enabled() {
+        return;
+    }
+    histogram(name, d.as_secs_f64());
+}
+
+/// Emit a run-level annotation.
+pub fn annotate(name: &str, message: &str) {
+    annotate_kv(name, message, &[]);
+}
+
+/// Emit a run-level annotation with numeric key/value pairs.
+pub fn annotate_kv(name: &str, message: &str, kv: &[(&str, f64)]) {
+    if !enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        let wall_ns = inner.wall_ns();
+        inner.write_event(&Event::Annotation {
+            name: name.to_owned(),
+            message: message.to_owned(),
+            wall_ns,
+            kv: kv.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        });
+    });
+}
+
+/// A `Write` sink backed by a shared in-memory buffer, for tests and the
+/// round-trip suite. Clones share the same buffer.
+#[derive(Clone, Default)]
+pub struct BufferSink {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl BufferSink {
+    /// A new, empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffer contents decoded as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.buf.lock().unwrap().clone()).expect("trace is valid utf-8")
+    }
+}
+
+impl Write for BufferSink {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}

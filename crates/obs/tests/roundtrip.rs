@@ -1,0 +1,128 @@
+//! JSONL round-trip: everything the recorder emits must parse back into
+//! the same events, with span nesting, gauge steps, cumulative counters,
+//! histogram snapshots and annotation key/values intact.
+//!
+//! The recorder is process-global, so this file keeps all its assertions
+//! in one `#[test]` — parallel tests sharing the global would interleave
+//! their events into one sink.
+
+use crowdrl_obs as obs;
+use crowdrl_obs::analyze::parse_trace;
+use crowdrl_obs::Event;
+
+#[test]
+fn recorded_trace_round_trips_through_jsonl() {
+    let sink = obs::BufferSink::new();
+    obs::Recorder::to_writer(Box::new(sink.clone())).install();
+    assert!(obs::enabled());
+
+    {
+        let _outer = obs::span("outer");
+        {
+            let _inner = obs::span("inner");
+            obs::gauge_step("g.stepped", 3.0, 0.25);
+            obs::gauge("g.plain", -1.5);
+        }
+        obs::counter_add("c.things", 2);
+        obs::counter_add("c.things", 3);
+        obs::histogram("h.sizes", 7.0);
+        obs::histogram_seconds("h.wait_s", std::time::Duration::from_micros(1500));
+        obs::annotate("note.plain", "hello \"quoted\" line\nsecond");
+        obs::annotate_kv("note.kv", "with numbers", &[("a", 1.0), ("b", 2.5)]);
+    }
+    obs::shutdown();
+    assert!(!obs::enabled());
+
+    let text = sink.contents();
+    let trace = parse_trace(&text).expect("trace parses");
+
+    // Schema header first.
+    assert!(matches!(trace.events[0], Event::Meta { version: 1 }));
+
+    // Span nesting: `inner`'s parent is `outer`'s id, and both spans close.
+    let mut outer_id = None;
+    let mut inner_parent = None;
+    let mut ends = 0;
+    for e in &trace.events {
+        match e {
+            Event::SpanStart {
+                id, parent, name, ..
+            } => {
+                if name == "outer" {
+                    outer_id = Some(*id);
+                } else if name == "inner" {
+                    inner_parent = Some(*parent);
+                }
+            }
+            Event::SpanEnd { .. } => ends += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(inner_parent, Some(Some(outer_id.expect("outer started"))));
+    assert_eq!(ends, 2);
+
+    // Gauges keep value and (optional) semantic step.
+    let stepped = trace.gauge_series("g.stepped");
+    assert_eq!(stepped, vec![(Some(3.0), 0.25)]);
+    let plain = trace.gauge_series("g.plain");
+    assert_eq!(plain, vec![(None, -1.5)]);
+
+    // Counters are cumulative: two adds surface as one snapshot of 5.
+    let counters = trace.counters();
+    assert!(counters.contains(&("c.things".to_string(), 5)));
+
+    // Histogram snapshots carry count/sum/min/max and bucket counts.
+    let hist = trace
+        .histograms()
+        .into_iter()
+        .find_map(|e| match e {
+            Event::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } if name == "h.sizes" => Some((*count, *sum, *min, *max, buckets.len())),
+            _ => None,
+        })
+        .expect("h.sizes snapshot");
+    assert_eq!(hist.0, 1);
+    assert_eq!(hist.1, 7.0);
+    assert_eq!(hist.2, 7.0);
+    assert_eq!(hist.3, 7.0);
+    assert!(hist.4 >= 1);
+    let wait = trace
+        .histograms()
+        .into_iter()
+        .find_map(|e| match e {
+            Event::Histogram { name, sum, .. } if name == "h.wait_s" => Some(*sum),
+            _ => None,
+        })
+        .expect("h.wait_s snapshot");
+    assert!((wait - 0.0015).abs() < 1e-12);
+
+    // Annotations survive escaping and keep their key/value pairs
+    // (keys come back sorted — they travel as a JSON object).
+    let mut saw_plain = false;
+    let mut saw_kv = false;
+    for e in trace.annotations() {
+        if let Event::Annotation {
+            name, message, kv, ..
+        } = e
+        {
+            if name == "note.plain" {
+                assert_eq!(message, "hello \"quoted\" line\nsecond");
+                saw_plain = true;
+            } else if name == "note.kv" {
+                assert_eq!(kv, &vec![("a".to_string(), 1.0), ("b".to_string(), 2.5)]);
+                saw_kv = true;
+            }
+        }
+    }
+    assert!(saw_plain && saw_kv);
+
+    // And the whole trace re-serializes to the same lines it came from.
+    let reserialized: String = trace.events.iter().map(|e| e.to_line() + "\n").collect();
+    assert_eq!(reserialized, text);
+}

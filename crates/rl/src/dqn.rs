@@ -14,6 +14,7 @@
 use crate::replay::{ReplayBuffer, Transition};
 use crowdrl_linalg::Matrix;
 use crowdrl_nn::{loss, Activation, Adam, Network};
+use crowdrl_obs as obs;
 use crowdrl_types::{Error, Result};
 use rand::Rng;
 
@@ -260,6 +261,22 @@ impl DqnAgent {
             .is_multiple_of(self.config.target_sync_every)
         {
             self.target.copy_params_from(&self.online);
+        }
+        if obs::enabled() {
+            // Pure reads into the trace: loss, predicted-Q spread, and
+            // replay size, keyed by the training-step clock.
+            let step = self.train_steps as f64;
+            let mut q_sum = 0.0f64;
+            let mut q_max = f64::NEG_INFINITY;
+            for i in 0..pred.rows() {
+                let q = pred.get(i, 0) as f64;
+                q_sum += q;
+                q_max = q_max.max(q);
+            }
+            obs::gauge_step("dqn.loss", step, l as f64);
+            obs::gauge_step("dqn.q_mean", step, q_sum / n as f64);
+            obs::gauge_step("dqn.q_max", step, q_max);
+            obs::gauge_step("dqn.replay_size", step, self.replay.len() as f64);
         }
         Some(l)
     }

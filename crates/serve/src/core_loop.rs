@@ -25,7 +25,9 @@ use crowdrl_core::features::{embed_with, FeatureCache, StateSnapshot};
 use crowdrl_core::infer_step::{apply_inference, run_inference};
 use crowdrl_core::outcome::{IterationStats, LabellingOutcome};
 use crowdrl_core::reward::{iteration_reward, RewardInputs};
+use crowdrl_core::workflow::classifier_accuracy_on_labelled;
 use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_obs as obs;
 use crowdrl_sim::AnnotatorPool;
 use crowdrl_types::rng::{sample_indices, seeded};
 use crowdrl_types::{
@@ -235,9 +237,11 @@ impl<'a> AgentCore<'a> {
     /// One refresh: ingest the answers, credit outstanding batches, and
     /// decide the next panels. Mirrors one iteration of the batch loop.
     pub fn refresh(&mut self, req: &RefreshRequest) -> Result<RefreshReply> {
+        let refresh_span = obs::span("serve.refresh");
         let k_classes = self.dataset.num_classes();
 
         // (a) Truth inference over everything delivered so far.
+        let inference_span = obs::span("serve.inference");
         let result = if req.answers.total_answers() > 0 {
             let result = run_inference(
                 &self.config.inference,
@@ -260,6 +264,7 @@ impl<'a> AgentCore<'a> {
         } else {
             None
         };
+        drop(inference_span);
 
         // (b) Trust update from the outstanding batches' pre-answer
         // guesses (same decayed out-of-sample agreement as the workflow).
@@ -366,12 +371,14 @@ impl<'a> AgentCore<'a> {
         }
 
         // (e) Decide the next panels (unless the refresh cap is hit).
+        let decide_span = obs::span("serve.decide");
         let panels = if self.refresh_index < self.config.max_iters && !self.labelled.all_labelled()
         {
             self.decide(req)?
         } else {
             Vec::new()
         };
+        drop(decide_span);
 
         let reward = if reward_count == 0 {
             0.0
@@ -389,7 +396,54 @@ impl<'a> AgentCore<'a> {
             td_loss: None,
         });
         self.last_spent = req.view.spent;
+
+        if obs::enabled() {
+            // Same gauge names as the batch workflow so `crowdrl-trace`
+            // draws one accuracy-vs-budget curve for either mode. The
+            // semantic step is the refresh index; the simulated clock is
+            // recorded alongside so curves can be re-keyed to sim time.
+            let step = self.refresh_index as f64;
+            let n = self.dataset.len().max(1) as f64;
+            obs::gauge_step(
+                "run.budget_spent_fraction",
+                step,
+                req.view.committed_fraction(),
+            );
+            obs::gauge_step(
+                "run.labelled_fraction",
+                step,
+                self.labelled.labelled_count() as f64 / n,
+            );
+            obs::gauge_step(
+                "run.enriched_fraction",
+                step,
+                self.labelled.enriched_count() as f64 / n,
+            );
+            obs::gauge_step("run.phi_trust", step, self.phi_trust);
+            obs::gauge_step("run.reward", step, reward);
+            obs::gauge_step("serve.sim_time_tu", step, req.now.as_f64());
+            if let Some(acc) =
+                classifier_accuracy_on_labelled(self.dataset, &self.classifier, &self.labelled)
+            {
+                obs::gauge_step("run.acc_on_labelled", step, acc);
+            }
+            if enriched > 0 {
+                obs::annotate_kv(
+                    "serve.enrichment",
+                    &format!(
+                        "enrichment added {enriched} labels at budget {:.2}",
+                        req.view.committed_fraction()
+                    ),
+                    &[
+                        ("added", enriched as f64),
+                        ("budget_fraction", req.view.committed_fraction()),
+                        ("refresh", step),
+                    ],
+                );
+            }
+        }
         self.refresh_index += 1;
+        drop(refresh_span);
 
         Ok(RefreshReply {
             panels,

@@ -7,8 +7,30 @@
 //! answer throughput and latency percentiles are simulated-time, event
 //! throughput is wall-time.
 
+use crowdrl_obs as obs;
 use crowdrl_types::SimTime;
 use std::fmt;
+
+/// Nearest-rank percentile over an ascending-sorted sample slice.
+///
+/// The edge cases are explicit and tested:
+/// * an **empty** slice has no samples — every percentile reports `0.0`;
+/// * `p <= 0` is the **minimum**: nearest-rank has no rank below 1, so p0
+///   clamps to the first sample (this is the conventional p0 = min);
+/// * `p >= 100` is the **maximum** (rank `n`);
+/// * otherwise the value at rank `⌈p/100 · n⌉`, clamped into `[1, n]` —
+///   which means a **single-sample** slice returns that sample for *every*
+///   percentile (p0 == p50 == p100 == the sample).
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Negative products saturate to 0 on the `as usize` cast; the clamp
+    // then lifts them to rank 1 (the minimum).
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
 
 /// Accumulates raw observations during the run; [`MetricsCollector::finish`]
 /// turns them into a [`ServiceMetrics`] report.
@@ -50,14 +72,7 @@ impl MetricsCollector {
         budget_spent: f64,
     ) -> ServiceMetrics {
         self.latencies.sort_by(f64::total_cmp);
-        let pct = |p: f64| -> f64 {
-            if self.latencies.is_empty() {
-                return 0.0;
-            }
-            // Nearest-rank percentile.
-            let rank = ((p / 100.0) * self.latencies.len() as f64).ceil() as usize;
-            self.latencies[rank.clamp(1, self.latencies.len()) - 1]
-        };
+        let pct = |p: f64| nearest_rank(&self.latencies, p);
         let sim = sim_duration.as_f64();
         ServiceMetrics {
             dispatched: self.dispatched,
@@ -125,6 +140,37 @@ pub struct ServiceMetrics {
     pub budget_burn_rate: f64,
 }
 
+impl ServiceMetrics {
+    /// Bridge this report into the `crowdrl-obs` trace stream: the
+    /// service counters become trace counters and the rates/percentiles
+    /// become gauges, so `crowdrl-trace` shows batch and async runs in
+    /// one place. No-op unless a recorder is installed.
+    pub fn emit_trace(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter_add("serve.dispatched", self.dispatched as u64);
+        obs::counter_add("serve.answers_delivered", self.answers_delivered as u64);
+        obs::counter_add("serve.answers_rejected", self.answers_rejected as u64);
+        obs::counter_add("serve.timeouts", self.timeouts as u64);
+        obs::counter_add("serve.requeues", self.requeues as u64);
+        obs::counter_add("serve.refreshes", self.refreshes as u64);
+        obs::counter_add("serve.events_processed", self.events_processed as u64);
+        // Latencies and the sim-duration gauge are simulated-time numbers;
+        // wall_seconds and events_per_second are wall-clock. Gauge names
+        // say which clock they belong to (`_tu` = simulated time units).
+        obs::gauge("serve.latency_p50_tu", self.latency_p50);
+        obs::gauge("serve.latency_p95_tu", self.latency_p95);
+        obs::gauge("serve.latency_p99_tu", self.latency_p99);
+        obs::gauge("serve.answers_per_tu", self.answers_per_time_unit);
+        obs::gauge("serve.events_per_second", self.events_per_second);
+        obs::gauge("serve.sim_duration_tu", self.sim_duration.as_f64());
+        obs::gauge("serve.wall_seconds", self.wall_seconds);
+        obs::gauge("serve.budget_spent", self.budget_spent);
+        obs::gauge("serve.budget_burn_rate", self.budget_burn_rate);
+    }
+}
+
 impl fmt::Display for ServiceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "service metrics")?;
@@ -177,6 +223,33 @@ mod tests {
         assert_eq!(m.answers_per_time_unit, 2.0);
         assert_eq!(m.events_per_second, 100.0);
         assert_eq!(m.budget_burn_rate, 0.5);
+    }
+
+    #[test]
+    fn nearest_rank_empty_input_is_zero_for_all_percentiles() {
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(nearest_rank(&[], p), 0.0);
+        }
+    }
+
+    #[test]
+    fn nearest_rank_single_sample_is_that_sample_for_all_percentiles() {
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(nearest_rank(&[5.0], p), 5.0);
+        }
+    }
+
+    #[test]
+    fn nearest_rank_two_samples() {
+        let sorted = [1.0, 2.0];
+        // p0 is the minimum by definition (rank clamps to 1).
+        assert_eq!(nearest_rank(&sorted, 0.0), 1.0);
+        // p50 of two samples: ceil(0.5 * 2) = rank 1 → the lower sample.
+        assert_eq!(nearest_rank(&sorted, 50.0), 1.0);
+        // p100: rank 2 → the maximum.
+        assert_eq!(nearest_rank(&sorted, 100.0), 2.0);
+        // Anything above p50 needs rank 2 here.
+        assert_eq!(nearest_rank(&sorted, 51.0), 2.0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::ledger::{AssignmentLedger, Delivery, Expiry};
 use crate::metrics::{MetricsCollector, ServiceMetrics};
 use crate::sampler::{sample_outcome, SampleJob, SampledOutcome};
 use crowdrl_core::{CrowdRlConfig, LabellingOutcome};
+use crowdrl_obs as obs;
 use crowdrl_sim::{AnnotatorDynamics, AnnotatorPool};
 use crowdrl_types::{
     AnnotatorId, Answer, AnswerSet, Budget, ClassId, Dataset, Error, ObjectId, Result, SimTime,
@@ -426,13 +427,15 @@ impl AsyncRuntime {
         if pool.is_empty() {
             return Err(Error::InvalidParameter("annotator pool is empty".into()));
         }
+        obs::init_from_env();
+        let run_span = obs::span("serve.run");
         let dynamics = self.serve.dynamics.generate(pool, rng)?;
         let core_seed: u64 = rng.random();
         let mut core = AgentCore::new(self.config.clone(), dataset, pool, core_seed)?;
         let initial = core.initial_panels();
         let pump = Pump::new(dataset, pool, &self.serve, self.config.budget)?;
 
-        match self.serve.mode {
+        let result = match self.serve.mode {
             ExecMode::SingleThread => {
                 let mut driver = InlineDriver {
                     core,
@@ -499,7 +502,13 @@ impl AsyncRuntime {
                 })
                 .map_err(|_| Error::ServiceFailure("a runtime thread panicked".into()))?
             }
+        };
+        drop(run_span);
+        if let Ok(outcome) = &result {
+            outcome.metrics.emit_trace();
+            obs::checkpoint();
         }
+        result
     }
 }
 

@@ -1,0 +1,69 @@
+//! Tracing demo: run the batch workflow and the asynchronous runtime with
+//! the `crowdrl-obs` recorder installed, then analyze the trace in-process
+//! and print the same report `crowdrl-trace` would.
+//!
+//! ```sh
+//! cargo run --release --example trace_demo
+//! # or pick the trace path yourself:
+//! CROWDRL_TRACE=run.jsonl cargo run --release --example trace_demo
+//! cargo run --release --bin crowdrl-trace run.jsonl
+//! ```
+
+use crowdrl::obs;
+use crowdrl::obs::analyze::{read_trace, report};
+use crowdrl::prelude::*;
+use crowdrl::types::rng::seeded;
+
+fn main() {
+    // Honour CROWDRL_TRACE if the user set it; otherwise write next to the
+    // current directory so the path printed below always exists.
+    let path = std::env::var("CROWDRL_TRACE").unwrap_or_else(|_| "trace_demo.jsonl".to_string());
+    obs::Recorder::to_file(&path)
+        .expect("open trace file")
+        .install();
+
+    let mut rng = seeded(42);
+    let dataset = DatasetSpec::gaussian("trace-demo", 80, 4, 2)
+        .with_separation(3.0)
+        .generate(&mut rng)
+        .expect("dataset");
+    let pool = PoolSpec::new(3, 1).generate(2, &mut rng).expect("pool");
+    let config = CrowdRlConfig::builder()
+        .budget(200.0)
+        .initial_ratio(0.1)
+        .build()
+        .expect("config");
+    let crowdrl = CrowdRl::new(config);
+
+    // One traced batch run...
+    let mut batch_rng = seeded(7);
+    let batch = crowdrl
+        .run(&dataset, &pool, &mut batch_rng)
+        .expect("batch run");
+    println!(
+        "batch: spent {:.1} over {} iterations",
+        batch.budget_spent, batch.iterations
+    );
+
+    // ...and one traced asynchronous run; its service metrics land in the
+    // same trace stream via ServiceMetrics::emit_trace.
+    let mut async_rng = seeded(7);
+    let result = crowdrl
+        .run_async(&dataset, &pool, &ServeConfig::default(), &mut async_rng)
+        .expect("async run");
+    println!(
+        "async: spent {:.1} over {} refreshes",
+        result.outcome.budget_spent, result.metrics.refreshes
+    );
+
+    // Flush everything (counter/histogram snapshots included) and release
+    // the file before reading it back.
+    obs::shutdown();
+
+    let trace = read_trace(&path).expect("read trace back");
+    println!(
+        "\ntrace written to {path} ({} events)\n",
+        trace.events.len()
+    );
+    print!("{}", report(&trace));
+}

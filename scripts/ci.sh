@@ -33,6 +33,28 @@ timed "tests @1 thread" env CROWDRL_THREADS=1 cargo test -q --offline --workspac
 echo "== cargo test (workspace, CROWDRL_THREADS=4) =="
 timed "tests @4 threads" env CROWDRL_THREADS=4 cargo test -q --offline --workspace
 
+echo "== traced run + crowdrl-trace smoke test =="
+# The observability layer must produce a trace the analyzer can profile:
+# run a small traced experiment and assert the phase profile is non-empty.
+trace_smoke() {
+  local tracefile
+  tracefile=$(mktemp /tmp/crowdrl-trace.XXXXXX.jsonl)
+  CROWDRL_TRACE="$tracefile" cargo run -q --release --offline --example trace_demo >/dev/null
+  local profile
+  profile=$(cargo run -q --release --offline -p crowdrl-bench --bin crowdrl-trace "$tracefile")
+  echo "$profile" | head -n 6
+  rm -f "$tracefile"
+  if ! echo "$profile" | grep -q "workflow.run"; then
+    echo "crowdrl-trace profile is missing workflow.run" >&2
+    return 1
+  fi
+  if ! echo "$profile" | grep -q "serve.run"; then
+    echo "crowdrl-trace profile is missing serve.run" >&2
+    return 1
+  fi
+}
+timed "trace smoke" trace_smoke
+
 echo "== cargo fmt --check =="
 timed "fmt" cargo fmt --check
 

@@ -22,6 +22,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`types`] | `crowdrl-types` | IDs, datasets, confusion matrices, budgets |
+//! | [`obs`] | `crowdrl-obs` | zero-dependency tracing/metrics + trace analyzer |
 //! | [`linalg`] | `crowdrl-linalg` | dense matrix kernels |
 //! | [`nn`] | `crowdrl-nn` | feed-forward neural networks |
 //! | [`sim`] | `crowdrl-sim` | crowdsourcing-platform simulator |
@@ -59,6 +60,7 @@ pub use crowdrl_eval as eval;
 pub use crowdrl_inference as inference;
 pub use crowdrl_linalg as linalg;
 pub use crowdrl_nn as nn;
+pub use crowdrl_obs as obs;
 pub use crowdrl_rl as rl;
 pub use crowdrl_serve as serve;
 pub use crowdrl_sim as sim;

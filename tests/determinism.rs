@@ -164,3 +164,58 @@ fn dataset_and_pool_generation_are_seed_stable() {
         assert_eq!(p1.latent_confusion(id), p2.latent_confusion(id));
     }
 }
+
+#[test]
+fn recording_a_trace_never_changes_the_run() {
+    // The observability layer is read-only: every recording call feeds on
+    // values the run already computed, and wall-clock timestamps exist
+    // only in the trace output. A run with a recorder installed must
+    // therefore be bit-identical to the same run with recording disabled.
+    let (dataset, pool) = scenario(5);
+    let batch_run = || {
+        let config = CrowdRlConfig::builder().budget(200.0).build().unwrap();
+        let mut rng = seeded(31);
+        CrowdRl::new(config).run(&dataset, &pool, &mut rng).unwrap()
+    };
+    let async_run = || {
+        let config = CrowdRlConfig::builder().budget(150.0).build().unwrap();
+        let mut rng = seeded(32);
+        CrowdRl::new(config)
+            .run_async(&dataset, &pool, &ServeConfig::default(), &mut rng)
+            .unwrap()
+    };
+
+    crowdrl::obs::Recorder::disabled().install();
+    let batch_off = batch_run();
+    let async_off = async_run();
+
+    let sink = crowdrl::obs::BufferSink::new();
+    crowdrl::obs::Recorder::to_writer(Box::new(sink.clone())).install();
+    let batch_on = batch_run();
+    let async_on = async_run();
+    crowdrl::obs::shutdown();
+
+    assert_eq!(batch_off.labels, batch_on.labels);
+    assert_eq!(batch_off.budget_spent, batch_on.budget_spent);
+    assert_eq!(batch_off.total_answers, batch_on.total_answers);
+    assert_eq!(batch_off.iterations, batch_on.iterations);
+    assert_eq!(async_off.trace, async_on.trace);
+    assert_eq!(async_off.outcome.labels, async_on.outcome.labels);
+    assert_eq!(
+        async_off.outcome.budget_spent,
+        async_on.outcome.budget_spent
+    );
+    assert_eq!(
+        async_off.metrics.answers_delivered,
+        async_on.metrics.answers_delivered
+    );
+
+    // And the recorded trace is real: non-empty, parseable JSONL with
+    // completed spans from both execution paths.
+    let trace = crowdrl::obs::analyze::parse_trace(&sink.contents()).unwrap();
+    assert!(!trace.events.is_empty());
+    let profile = trace.profile();
+    let names: Vec<&str> = profile.iter().map(|p| p.name.as_str()).collect();
+    assert!(names.contains(&"workflow.run"), "{names:?}");
+    assert!(names.contains(&"serve.run"), "{names:?}");
+}
