@@ -141,11 +141,14 @@ pub fn apply_labels(result: &InferenceResult, labelled: &mut LabelledSet) -> Res
 }
 
 /// Assemble a [`LabellingOutcome`] from final state (baselines don't track
-/// per-iteration reward, so the trace is left empty).
+/// per-iteration reward, so the trace is left empty). `fallback_count` is
+/// how many labels came from the end-of-run classifier fallback (0 for
+/// baselines without one).
 pub fn outcome_from(
     labelled: &LabelledSet,
     platform: &Platform<'_>,
     iterations: usize,
+    fallback_count: usize,
 ) -> LabellingOutcome {
     let n = labelled.len();
     let label_states: Vec<LabelState> = (0..n).map(|i| labelled.state(ObjectId(i))).collect();
@@ -159,6 +162,7 @@ pub fn outcome_from(
             .iter()
             .filter(|s| matches!(s, LabelState::Enriched(_)))
             .count(),
+        fallback_count,
         trace: Vec::new(),
     }
 }

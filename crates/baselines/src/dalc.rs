@@ -144,10 +144,17 @@ impl LabellingStrategy for Dalc {
         }
 
         // DALC's model labels whatever the budget did not reach.
-        if classifier.is_trained() {
-            fallback_label_all(dataset, &classifier, &mut labelled)?;
-        }
-        Ok(outcome_from(&labelled, &platform, iterations))
+        let fallback_count = if classifier.is_trained() {
+            fallback_label_all(dataset, &classifier, &mut labelled)?
+        } else {
+            0
+        };
+        Ok(outcome_from(
+            &labelled,
+            &platform,
+            iterations,
+            fallback_count,
+        ))
     }
 }
 

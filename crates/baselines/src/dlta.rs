@@ -127,7 +127,7 @@ impl LabellingStrategy for Dlta {
             apply_labels(&result, &mut labelled)?;
         }
 
-        Ok(outcome_from(&labelled, &platform, iterations))
+        Ok(outcome_from(&labelled, &platform, iterations, 0))
     }
 }
 

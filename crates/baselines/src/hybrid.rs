@@ -278,10 +278,17 @@ impl LabellingStrategy for Hybrid {
             agent.train(2, rng);
         }
 
-        if classifier.is_trained() {
-            fallback_label_all(dataset, &classifier, &mut labelled)?;
-        }
-        Ok(outcome_from(&labelled, &platform, iterations))
+        let fallback_count = if classifier.is_trained() {
+            fallback_label_all(dataset, &classifier, &mut labelled)?
+        } else {
+            0
+        };
+        Ok(outcome_from(
+            &labelled,
+            &platform,
+            iterations,
+            fallback_count,
+        ))
     }
 }
 

@@ -119,7 +119,7 @@ impl LabellingStrategy for Idle {
             }
         }
 
-        Ok(outcome_from(&labelled, &platform, iterations))
+        Ok(outcome_from(&labelled, &platform, iterations, 0))
     }
 }
 

@@ -1,0 +1,159 @@
+//! End-to-end workflow benchmark: the full CrowdRL labelling loop at the
+//! paper's text-dataset scale (n = 2344), cold inference (a fresh EM run
+//! from majority vote every iteration, the growth seed's behaviour) vs the
+//! incremental engine (persistent posteriors/confusions, dirty-set
+//! E-steps, warm-started classifier — DESIGN.md §11).
+//!
+//! Hand-written `main` with direct wall-clock timing — the unit of work is
+//! a whole `CrowdRl::run`, so Criterion's sampling machinery adds nothing.
+//! Results (median of `E2E_SAMPLES` runs per mode, plus final-label
+//! accuracy for both so the speedup is shown not to cost quality) land in
+//! `BENCH_e2e.json` at the repository root.
+//!
+//! Knobs (environment): `E2E_OBJECTS` (default 2344), `E2E_BUDGET`
+//! (default 3000), `E2E_SAMPLES` (default 3), `E2E_OUT` (default
+//! `<repo>/BENCH_e2e.json`).
+
+use crowdrl_core::{CrowdRl, CrowdRlConfig, EngineConfig, LabellingOutcome};
+use crowdrl_linalg::pool;
+use crowdrl_sim::{AnnotatorPool, DatasetSpec, PoolSpec};
+use crowdrl_types::rng::seeded;
+use crowdrl_types::Dataset;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn scenario(n: usize) -> (Dataset, AnnotatorPool) {
+    let mut rng = seeded(0x2344);
+    let dataset = DatasetSpec::gaussian("e2e-bench", n, 6, 2)
+        .with_separation(2.0)
+        .with_label_noise(0.03)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+    (dataset, pool)
+}
+
+fn accuracy(dataset: &Dataset, outcome: &LabellingOutcome) -> f64 {
+    outcome
+        .labels
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| **l == Some(dataset.truth(*i)))
+        .count() as f64
+        / dataset.len() as f64
+}
+
+struct ModeResult {
+    median_s: f64,
+    accuracy: f64,
+    iterations: usize,
+}
+
+/// Run the workflow `samples` times in one mode; report the median wall
+/// time, plus accuracy/iteration count (identical across samples — the
+/// run is deterministic, only the clock varies).
+fn run_mode(
+    dataset: &Dataset,
+    pool: &AnnotatorPool,
+    budget: f64,
+    warm_start: bool,
+    samples: usize,
+) -> ModeResult {
+    let mut times = Vec::with_capacity(samples);
+    let mut outcome = None;
+    for _ in 0..samples {
+        let config = CrowdRlConfig::builder()
+            .budget(budget)
+            .engine(EngineConfig {
+                warm_start,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
+        let mut rng = seeded(7);
+        let start = Instant::now();
+        let out = CrowdRl::new(config).run(dataset, pool, &mut rng).unwrap();
+        times.push(start.elapsed().as_secs_f64());
+        outcome = Some(out);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let outcome = outcome.unwrap();
+    ModeResult {
+        median_s: times[times.len() / 2],
+        accuracy: accuracy(dataset, &outcome),
+        iterations: outcome.iterations,
+    }
+}
+
+fn main() {
+    pool::set_threads(0);
+    let n = env_usize("E2E_OBJECTS", 2344);
+    let budget = env_f64("E2E_BUDGET", 3000.0);
+    let samples = env_usize("E2E_SAMPLES", 3).max(1);
+
+    let (dataset, pool_) = scenario(n);
+    eprintln!("e2e bench: n={n} budget={budget} samples={samples}");
+
+    let cold = run_mode(&dataset, &pool_, budget, false, samples);
+    eprintln!(
+        "  cold:        {:.2}s  acc {:.4}  ({} iterations)",
+        cold.median_s, cold.accuracy, cold.iterations
+    );
+    let warm = run_mode(&dataset, &pool_, budget, true, samples);
+    eprintln!(
+        "  incremental: {:.2}s  acc {:.4}  ({} iterations)",
+        warm.median_s, warm.accuracy, warm.iterations
+    );
+    let speedup = cold.median_s / warm.median_s;
+    let delta = warm.accuracy - cold.accuracy;
+    eprintln!("  speedup {speedup:.2}x, accuracy delta {delta:+.4}");
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"e2e\",\n");
+    out.push_str("  \"command\": \"cargo bench -p crowdrl-bench --bench e2e\",\n");
+    out.push_str(
+        "  \"harness\": \"wall clock around CrowdRl::run, median of E2E_SAMPLES runs\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "  \"scenario\": {{ \"objects\": {n}, \"dim\": 6, \"classes\": 2, \
+         \"budget\": {budget}, \"samples\": {samples}, \"pool_threads\": {} }},",
+        pool::max_threads()
+    );
+    let _ = writeln!(
+        out,
+        "  \"cold\": {{ \"wall_s\": {:.3}, \"accuracy\": {:.4}, \"iterations\": {} }},",
+        cold.median_s, cold.accuracy, cold.iterations
+    );
+    let _ = writeln!(
+        out,
+        "  \"incremental\": {{ \"wall_s\": {:.3}, \"accuracy\": {:.4}, \"iterations\": {} }},",
+        warm.median_s, warm.accuracy, warm.iterations
+    );
+    let _ = writeln!(out, "  \"speedup\": {speedup:.2},");
+    let _ = writeln!(out, "  \"accuracy_delta\": {delta:.4}");
+    out.push_str("}\n");
+
+    let default_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e2e.json");
+    let path = std::env::var("E2E_OUT").map_or(default_path, std::path::PathBuf::from);
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}

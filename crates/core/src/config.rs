@@ -1,6 +1,6 @@
 //! Configuration for the CrowdRL workflow.
 
-use crowdrl_inference::JointConfig;
+use crowdrl_inference::{EngineConfig, JointConfig};
 use crowdrl_nn::ClassifierConfig;
 use crowdrl_rl::DqnConfig;
 use crowdrl_types::{Error, Result};
@@ -112,6 +112,11 @@ pub struct CrowdRlConfig {
     pub exploration: Exploration,
     /// Truth-inference model.
     pub inference: InferenceModel,
+    /// Incremental inference-engine knobs: warm-started EM state carried
+    /// across iterations, dirty-set E-steps, and short warm classifier
+    /// retrains. `warm_start: false` restores fully cold per-iteration
+    /// inference.
+    pub engine: EngineConfig,
     /// Component ablations.
     pub ablation: Ablation,
     /// Classifier hyperparameters.
@@ -201,6 +206,7 @@ impl CrowdRlConfig {
             }
         }
         self.classifier.validate()?;
+        self.engine.validate()?;
         Ok(())
     }
 }
@@ -238,6 +244,7 @@ impl Default for CrowdRlConfigBuilder {
                     max_iters: 4,
                     ..JointConfig::default()
                 }),
+                engine: EngineConfig::default(),
                 ablation: Ablation::default(),
                 classifier: ClassifierConfig {
                     epochs: 15,
@@ -330,6 +337,12 @@ impl CrowdRlConfigBuilder {
         self
     }
 
+    /// Set the incremental inference-engine knobs.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
     /// Set the component ablations.
     pub fn ablation(mut self, ablation: Ablation) -> Self {
         self.config.ablation = ablation;
@@ -416,6 +429,20 @@ mod tests {
                 start: 2.0,
                 end: 0.0,
                 decay_steps: 1
+            })
+            .build()
+            .is_err());
+        assert!(base()
+            .engine(EngineConfig {
+                full_sweep_every: 0,
+                ..EngineConfig::default()
+            })
+            .build()
+            .is_err());
+        assert!(base()
+            .engine(EngineConfig {
+                warm_max_iters: 0,
+                ..EngineConfig::default()
             })
             .build()
             .is_err());

@@ -10,7 +10,9 @@
 //! confidence gate.
 
 use crate::config::InferenceModel;
-use crowdrl_inference::{DawidSkene, InferenceResult, JointInference, MajorityVote, Pm};
+use crowdrl_inference::{
+    DawidSkene, EngineConfig, InferenceEngine, InferenceResult, JointInference, MajorityVote, Pm,
+};
 use crowdrl_nn::SoftmaxClassifier;
 use crowdrl_sim::AnnotatorPool;
 use crowdrl_types::{AnswerSet, Dataset, LabelState, LabelledSet, Result};
@@ -39,6 +41,50 @@ pub fn run_inference<R: Rng + ?Sized>(
         InferenceModel::Pm => Pm::default().infer(answers, k, w),
         InferenceModel::DawidSkene => DawidSkene::default().infer(answers, k, w),
         InferenceModel::MajorityVote => MajorityVote.infer(answers, k, w),
+    }
+}
+
+/// Build the persistent [`InferenceEngine`] for `model`, if incremental
+/// inference applies.
+///
+/// Only the iterative EM models benefit from carried state; majority vote
+/// and PM are single-pass and returned as `None`, as is any model when
+/// `engine.warm_start` is off — the cold configuration then takes the
+/// plain [`run_inference`] path, bit-identical to a stateless run.
+pub fn make_engine(model: &InferenceModel, engine: &EngineConfig) -> Option<InferenceEngine> {
+    if !engine.warm_start {
+        return None;
+    }
+    match model {
+        InferenceModel::Joint(config) => Some(InferenceEngine::joint(
+            JointInference {
+                config: config.clone(),
+            },
+            engine.clone(),
+        )),
+        InferenceModel::DawidSkene => Some(InferenceEngine::dawid_skene(
+            DawidSkene::default(),
+            engine.clone(),
+        )),
+        InferenceModel::Pm | InferenceModel::MajorityVote => None,
+    }
+}
+
+/// Run one inference step through the persistent engine when one exists,
+/// else fall back to stateless [`run_inference`]. The shared entry point
+/// of the batch workflow's loop/finalize and `crowdrl-serve`'s refresh.
+pub fn run_inference_step<R: Rng + ?Sized>(
+    engine: &mut Option<InferenceEngine>,
+    model: &InferenceModel,
+    dataset: &Dataset,
+    answers: &AnswerSet,
+    pool: &AnnotatorPool,
+    classifier: &mut SoftmaxClassifier,
+    rng: &mut R,
+) -> Result<InferenceResult> {
+    match engine {
+        Some(engine) => engine.infer(dataset, answers, pool.profiles(), classifier, rng),
+        None => run_inference(model, dataset, answers, pool, classifier, rng),
     }
 }
 

@@ -42,5 +42,6 @@ pub mod reward;
 pub mod workflow;
 
 pub use config::{Ablation, CrowdRlConfig, CrowdRlConfigBuilder, Exploration, InferenceModel};
+pub use crowdrl_inference::EngineConfig;
 pub use outcome::{IterationStats, LabellingOutcome};
 pub use workflow::CrowdRl;

@@ -39,6 +39,10 @@ pub struct LabellingOutcome {
     pub total_answers: usize,
     /// Objects labelled by the classifier (enrichment + fallback).
     pub enriched_count: usize,
+    /// Objects labelled by the end-of-run classifier fallback alone — the
+    /// residual the budgeted loop never resolved (a subset of
+    /// `enriched_count`).
+    pub fallback_count: usize,
     /// Per-iteration trace.
     pub trace: Vec<IterationStats>,
 }
@@ -90,6 +94,7 @@ mod tests {
             iterations: 5,
             total_answers: 12,
             enriched_count: 2,
+            fallback_count: 1,
             trace: vec![
                 IterationStats {
                     iteration: 0,
@@ -125,6 +130,7 @@ mod tests {
             iterations: 0,
             total_answers: 0,
             enriched_count: 0,
+            fallback_count: 0,
             trace: vec![],
         };
         assert_eq!(empty.coverage(), 0.0);

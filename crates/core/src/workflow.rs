@@ -20,7 +20,7 @@ use crate::classifier_util::retrain_on_labelled;
 use crate::config::{CrowdRlConfig, InferenceModel};
 use crate::enrichment::{enrich, fallback_label_all, refresh_enriched};
 use crate::features::{embed_with, FeatureCache, StateSnapshot};
-use crate::infer_step::{apply_inference, run_inference};
+use crate::infer_step::{apply_inference, make_engine, run_inference_step};
 use crate::outcome::{IterationStats, LabellingOutcome};
 use crate::reward::{iteration_reward, RewardInputs};
 use crowdrl_nn::SoftmaxClassifier;
@@ -87,6 +87,10 @@ impl CrowdRl {
             self.config.pretrained_dqn.as_deref(),
             rng,
         )?;
+        // The persistent inference engine: carries EM posteriors,
+        // confusions and the gathered feature matrix across this run's
+        // repeated inference calls (None = stateless cold inference).
+        let mut engine = make_engine(&self.config.inference, &self.config.engine);
         let mut labelled = LabelledSet::new(n);
         let mut feature_cache = FeatureCache::new(n, k_classes);
         let mut qualities = vec![0.7f64; pool.len()];
@@ -95,8 +99,6 @@ impl CrowdRl {
             .iter()
             .map(|p| p.cost)
             .fold(0.0f64, f64::max);
-        let max_iter_spend =
-            self.config.batch_per_iter as f64 * self.config.assignment_k as f64 * max_cost;
 
         // --- Initial sampling: α·|O| objects, k annotators each. ---
         // The initial panel is stratified: one random expert (when the pool
@@ -128,7 +130,8 @@ impl CrowdRl {
             platform.ask_many(ObjectId(obj), &annotators, rng);
         }
         if platform.answers().total_answers() > 0 {
-            let result = run_inference(
+            let result = run_inference_step(
+                &mut engine,
                 &self.config.inference,
                 dataset,
                 platform.answers(),
@@ -228,8 +231,12 @@ impl CrowdRl {
             let mut phi_guesses: Vec<(ObjectId, usize)> = Vec::new();
             let mut conf_before: std::collections::HashMap<ObjectId, f64> =
                 std::collections::HashMap::new();
+            // Index the candidate distributions once: the linear scan per
+            // assignment was O(batch x candidate_cap) every iteration.
+            let candidate_probs: std::collections::HashMap<ObjectId, &Vec<f64>> =
+                candidates.iter().map(|(o, p)| (*o, p)).collect();
             for assignment in &assignments {
-                if let Some((_, probs)) = candidates.iter().find(|(o, _)| *o == assignment.object) {
+                if let Some(probs) = candidate_probs.get(&assignment.object) {
                     if let Some(guess) = crowdrl_types::prob::argmax(probs) {
                         if classifier.is_trained() {
                             phi_guesses.push((assignment.object, guess));
@@ -251,7 +258,8 @@ impl CrowdRl {
 
             // (c) Truth inference over all answers so far.
             let inference_span = obs::span("workflow.inference");
-            let result = run_inference(
+            let result = run_inference_step(
+                &mut engine,
                 &self.config.inference,
                 dataset,
                 platform.answers(),
@@ -372,7 +380,6 @@ impl CrowdRl {
             } else {
                 rewards.iter().sum::<f64>() / rewards.len() as f64
             };
-            let _ = (spend, max_iter_spend);
             let terminal = labelled.all_labelled() || platform.exhausted();
             let next_candidates = if terminal {
                 Vec::new()
@@ -444,7 +451,11 @@ impl CrowdRl {
         // beats an untrained guess. ---
         let finalize_span = obs::span("workflow.finalize");
         if !labelled.all_labelled() {
-            let final_result = run_inference(
+            // With a warm engine this reuses the last loop iteration's
+            // result when no answers arrived since (the common case), so
+            // finalize costs one clone instead of one full EM run.
+            let final_result = run_inference_step(
+                &mut engine,
                 &self.config.inference,
                 dataset,
                 platform.answers(),
@@ -470,8 +481,6 @@ impl CrowdRl {
             fallback_count = fallback_label_all(dataset, &classifier, &mut labelled)?;
         }
 
-        let _ = fallback_count; // fallback labels are Enriched states below
-
         // --- Classifier-owned labels are re-predicted with the *final*
         // classifier: enrichment decisions taken mid-run by a weaker
         // classifier otherwise lock in its early mistakes. ---
@@ -495,6 +504,7 @@ impl CrowdRl {
             iterations,
             total_answers: platform.answers().total_answers(),
             enriched_count,
+            fallback_count,
             trace,
         };
         Ok((outcome, agent.dqn().export_params()))
@@ -619,22 +629,25 @@ pub fn classifier_accuracy_on_labelled(
     if !classifier.is_trained() {
         return None;
     }
-    let mut agree = 0usize;
-    let mut total = 0usize;
-    for (obj, label) in labelled.labelled_objects() {
-        let probs = classifier.predict_proba_one(dataset.features(obj.index()));
-        if let Some(guess) = crowdrl_types::prob::argmax(&probs) {
-            total += 1;
-            if guess == label.index() {
-                agree += 1;
-            }
-        }
+    // One batched forward over the labelled objects instead of a
+    // `predict_proba_one` call per object: the gauge runs every iteration
+    // and the labelled set approaches |O|, so the per-object path was a
+    // quadratic tax on traced runs.
+    let pairs: Vec<(ObjectId, crowdrl_types::ClassId)> = labelled.labelled_objects().collect();
+    if pairs.is_empty() {
+        return None;
     }
-    if total == 0 {
-        None
-    } else {
-        Some(agree as f64 / total as f64)
+    let mut x = crowdrl_linalg::Matrix::zeros(pairs.len(), dataset.dim());
+    for (r, (obj, _)) in pairs.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(dataset.features(obj.index()));
     }
+    let probs = classifier.predict_proba(&x);
+    let agree = pairs
+        .iter()
+        .enumerate()
+        .filter(|(r, (_, label))| crowdrl_linalg::ops::argmax(probs.row(*r)) == label.index())
+        .count();
+    Some(agree as f64 / pairs.len() as f64)
 }
 
 #[cfg(test)]

@@ -168,7 +168,9 @@ impl DawidSkene {
     }
 
     /// M-step dispatch: one-coin or full-matrix, with the diagonal floor.
-    fn m_step(
+    /// Shared with the incremental [`engine`](crate::engine), whose warm
+    /// M-step re-estimates confusions over *all* carried posteriors.
+    pub(crate) fn m_step(
         &self,
         answers: &AnswerSet,
         posteriors: &[Option<Vec<f64>>],

@@ -295,8 +295,10 @@ impl JointInference {
 
     /// Soft-count confusion estimation with configured smoothing. The soft
     /// counts are accumulated per object chunk and merged in chunk-index
-    /// order, exactly like [`estimate_confusions`].
-    fn soft_confusions(
+    /// order, exactly like [`estimate_confusions`]. Shared with the
+    /// incremental [`engine`](crate::engine), whose warm M-step is this
+    /// exact computation over the carried posteriors.
+    pub(crate) fn soft_confusions(
         &self,
         answers: &AnswerSet,
         posteriors: &[Option<Vec<f64>>],
@@ -317,8 +319,9 @@ impl JointInference {
     }
 
     /// Clamp expert confusion diagonals to at least `1 - ε`, and every
-    /// annotator's diagonal to the non-adversarial floor.
-    fn bound_experts(
+    /// annotator's diagonal to the non-adversarial floor. Shared with the
+    /// incremental [`engine`](crate::engine).
+    pub(crate) fn bound_experts(
         &self,
         confusions: &mut [crowdrl_types::ConfusionMatrix],
         profiles: &[AnnotatorProfile],
@@ -346,26 +349,41 @@ impl JointInference {
         rng: &mut R,
     ) -> Result<()> {
         let k = classifier.num_classes();
-        let mut targets = Matrix::zeros(answered.len(), k);
-        let mut weights = Vec::with_capacity(answered.len());
-        for (r, &i) in answered.iter().enumerate() {
-            let post = posteriors[i]
-                .as_ref()
-                .ok_or_else(|| Error::NumericalFailure("missing posterior".into()))?;
-            if self.config.hard_labels {
-                let best = crowdrl_types::prob::argmax(post).unwrap_or(0);
-                targets.set(r, best, 1.0);
-            } else {
-                for (c, &q) in post.iter().enumerate() {
-                    targets.set(r, c, q as f32);
-                }
-            }
-            let conf = post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            weights.push(conf as f32);
-        }
+        let (targets, weights) = soft_targets(self.config.hard_labels, k, answered, posteriors)?;
         classifier.fit(x, &targets, Some(&weights), rng)?;
         Ok(())
     }
+}
+
+/// Build the classifier's training targets from the posteriors of the
+/// `answered` objects: soft posterior rows (or hard argmax one-hots under
+/// the `hard_labels` ablation) plus per-sample confidence weights. Shared
+/// between [`JointInference::infer`]'s retrain step and the incremental
+/// [`engine`](crate::engine)'s warm-start retrain.
+pub(crate) fn soft_targets(
+    hard_labels: bool,
+    k: usize,
+    answered: &[usize],
+    posteriors: &[Option<Vec<f64>>],
+) -> Result<(Matrix, Vec<f32>)> {
+    let mut targets = Matrix::zeros(answered.len(), k);
+    let mut weights = Vec::with_capacity(answered.len());
+    for (r, &i) in answered.iter().enumerate() {
+        let post = posteriors[i]
+            .as_ref()
+            .ok_or_else(|| Error::NumericalFailure("missing posterior".into()))?;
+        if hard_labels {
+            let best = crowdrl_types::prob::argmax(post).unwrap_or(0);
+            targets.set(r, best, 1.0);
+        } else {
+            for (c, &q) in post.iter().enumerate() {
+                targets.set(r, c, q as f32);
+            }
+        }
+        let conf = post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        weights.push(conf as f32);
+    }
+    Ok((targets, weights))
 }
 
 #[cfg(test)]

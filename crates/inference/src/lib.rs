@@ -25,9 +25,16 @@
 //!
 //! All algorithms share [`InferenceResult`]: per-object posterior
 //! distributions plus per-annotator estimated confusion matrices.
+//!
+//! The [`engine`] module wraps the iterative models ([`JointInference`],
+//! [`DawidSkene`]) in a persistent [`InferenceEngine`] that carries EM
+//! state across the workflow's repeated inference calls: warm-started
+//! posteriors/confusions, dirty-set E-steps, an append-only feature
+//! matrix, and warm classifier retrains.
 
 pub mod classifier_annotator;
 pub mod dawid_skene;
+pub mod engine;
 pub mod glad;
 pub mod joint;
 pub mod mv;
@@ -37,6 +44,7 @@ pub mod result;
 
 pub use classifier_annotator::ClassifierAsAnnotator;
 pub use dawid_skene::DawidSkene;
+pub use engine::{EngineConfig, InferenceEngine};
 pub use glad::Glad;
 pub use joint::{JointConfig, JointInference};
 pub use mv::MajorityVote;

@@ -66,6 +66,21 @@ impl Matrix {
         }
     }
 
+    /// Append one row at the bottom, growing the matrix in place (the
+    /// row-major buffer makes this a plain `extend`). Panics if `row` does
+    /// not match the column count.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "row length {} does not match {} columns",
+            row.len(),
+            self.cols
+        );
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -466,6 +481,19 @@ mod tests {
                 .iter()
                 .zip(b.as_slice())
                 .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    #[test]
+    fn push_row_grows_in_place() {
+        let mut m = Matrix::zeros(0, 3);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(
+            m,
+            Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        );
     }
 
     #[test]

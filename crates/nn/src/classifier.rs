@@ -157,6 +157,25 @@ impl SoftmaxClassifier {
         weights: Option<&[f32]>,
         rng: &mut R,
     ) -> Result<f32> {
+        self.fit_with_epochs(x, targets, weights, self.config.epochs, rng)
+    }
+
+    /// [`fit`](SoftmaxClassifier::fit) with an explicit epoch count in
+    /// place of `config.epochs` — the warm-start path of the incremental
+    /// inference engine continues training from the current weights (and
+    /// the persistent Adam state) with a short epoch budget, while cold
+    /// fits keep using the configured count.
+    pub fn fit_with_epochs<R: Rng + ?Sized>(
+        &mut self,
+        x: &Matrix,
+        targets: &Matrix,
+        weights: Option<&[f32]>,
+        epochs: usize,
+        rng: &mut R,
+    ) -> Result<f32> {
+        if epochs == 0 {
+            return Err(Error::InvalidParameter("epochs must be positive".into()));
+        }
         if x.rows() == 0 {
             return Err(Error::InvalidParameter("cannot fit on zero samples".into()));
         }
@@ -187,7 +206,7 @@ impl SoftmaxClassifier {
         let n = x.rows();
         let bs = self.config.batch_size.min(n);
         let mut last_loss = 0.0;
-        for _ in 0..self.config.epochs {
+        for _ in 0..epochs {
             let order = permutation(rng, n);
             let mut epoch_loss = 0.0f32;
             let mut batches = 0;
@@ -434,6 +453,34 @@ mod tests {
         assert_eq!(clf.generation(), 1);
         clf.fit_hard(&x, &y, &mut rng).unwrap();
         assert_eq!(clf.generation(), 2);
+    }
+
+    #[test]
+    fn fit_with_epochs_matches_fit_at_configured_count() {
+        let (x, y) = blobs(50, 24);
+        let mut targets = Matrix::zeros(x.rows(), 2);
+        for (i, c) in y.iter().enumerate() {
+            targets.set(i, c.index(), 1.0);
+        }
+        let run = |explicit: bool| {
+            let mut rng = seeded(25);
+            let mut clf =
+                SoftmaxClassifier::new(ClassifierConfig::default(), 2, 2, &mut rng).unwrap();
+            if explicit {
+                let epochs = ClassifierConfig::default().epochs;
+                clf.fit_with_epochs(&x, &targets, None, epochs, &mut rng)
+                    .unwrap();
+            } else {
+                clf.fit(&x, &targets, None, &mut rng).unwrap();
+            }
+            clf.network().flatten_params()
+        };
+        assert_eq!(run(true), run(false));
+        let mut rng = seeded(26);
+        let mut clf = SoftmaxClassifier::new(ClassifierConfig::default(), 2, 2, &mut rng).unwrap();
+        assert!(clf
+            .fit_with_epochs(&x, &targets, None, 0, &mut rng)
+            .is_err());
     }
 
     #[test]

@@ -22,10 +22,11 @@ use crowdrl_core::classifier_util::retrain_on_labelled;
 use crowdrl_core::config::{CrowdRlConfig, InferenceModel};
 use crowdrl_core::enrichment::{enrich, fallback_label_all, refresh_enriched};
 use crowdrl_core::features::{embed_with, FeatureCache, StateSnapshot};
-use crowdrl_core::infer_step::{apply_inference, run_inference};
+use crowdrl_core::infer_step::{apply_inference, make_engine, run_inference_step};
 use crowdrl_core::outcome::{IterationStats, LabellingOutcome};
 use crowdrl_core::reward::{iteration_reward, RewardInputs};
 use crowdrl_core::workflow::classifier_accuracy_on_labelled;
+use crowdrl_inference::InferenceEngine;
 use crowdrl_nn::SoftmaxClassifier;
 use crowdrl_obs as obs;
 use crowdrl_sim::AnnotatorPool;
@@ -136,6 +137,9 @@ pub struct AgentCore<'a> {
     fixed_allowance: Option<f64>,
     last_spent: f64,
     refresh_index: usize,
+    /// Persistent inference engine carrying EM state across refreshes
+    /// (None = stateless cold inference every refresh).
+    engine: Option<InferenceEngine>,
     rng: StdRng,
 }
 
@@ -183,6 +187,7 @@ impl<'a> AgentCore<'a> {
             fixed_allowance: None,
             last_spent: 0.0,
             refresh_index: 0,
+            engine: make_engine(&config.inference, &config.engine),
             config,
             dataset,
             pool,
@@ -243,7 +248,8 @@ impl<'a> AgentCore<'a> {
         // (a) Truth inference over everything delivered so far.
         let inference_span = obs::span("serve.inference");
         let result = if req.answers.total_answers() > 0 {
-            let result = run_inference(
+            let result = run_inference_step(
+                &mut self.engine,
                 &self.config.inference,
                 self.dataset,
                 &req.answers,
@@ -471,7 +477,10 @@ impl<'a> AgentCore<'a> {
     /// closing sequence as the batch workflow, so outcomes are comparable.
     pub fn finalize(&mut self, req: &FinalizeRequest) -> Result<LabellingOutcome> {
         if !self.labelled.all_labelled() && req.answers.total_answers() > 0 {
-            let final_result = run_inference(
+            // A warm engine reuses the last refresh's result when no new
+            // answers arrived since — finalize then costs one clone.
+            let final_result = run_inference_step(
+                &mut self.engine,
                 &self.config.inference,
                 self.dataset,
                 &req.answers,
@@ -487,6 +496,7 @@ impl<'a> AgentCore<'a> {
                 }
             }
         }
+        let mut fallback_count = 0;
         if self.config.final_fallback && !self.labelled.all_labelled() {
             if !self.classifier.is_trained() {
                 retrain_on_labelled(
@@ -496,7 +506,8 @@ impl<'a> AgentCore<'a> {
                     &mut self.rng,
                 )?;
             }
-            fallback_label_all(self.dataset, &self.classifier, &mut self.labelled)?;
+            fallback_count =
+                fallback_label_all(self.dataset, &self.classifier, &mut self.labelled)?;
         }
         refresh_enriched(self.dataset, &self.classifier, &mut self.labelled)?;
 
@@ -514,6 +525,7 @@ impl<'a> AgentCore<'a> {
             iterations: self.trace.len(),
             total_answers: req.answers.total_answers(),
             enriched_count,
+            fallback_count,
             trace: self.trace.clone(),
         })
     }
@@ -595,11 +607,15 @@ impl<'a> AgentCore<'a> {
         }
 
         // Record what the agent believed before the answers arrive, for
-        // reward credit and the trust estimate at a later refresh.
+        // reward credit and the trust estimate at a later refresh. The
+        // candidate distributions are indexed once instead of a linear
+        // scan per assignment (same fix as the batch purchase loop).
+        let candidate_probs: HashMap<ObjectId, &Vec<f64>> =
+            candidates.iter().map(|(o, p)| (*o, p)).collect();
         let mut conf_before = HashMap::new();
         let mut phi_guesses = Vec::new();
         for a in &assignments {
-            if let Some((_, probs)) = candidates.iter().find(|(o, _)| *o == a.object) {
+            if let Some(probs) = candidate_probs.get(&a.object) {
                 if let Some(guess) = crowdrl_types::prob::argmax(probs) {
                     if self.classifier.is_trained() {
                         phi_guesses.push((a.object, guess));

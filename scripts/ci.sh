@@ -55,6 +55,24 @@ trace_smoke() {
 }
 timed "trace smoke" trace_smoke
 
+echo "== crowdrl-trace --diff smoke test =="
+# Two traced runs of the same deterministic workload must profile as
+# equivalent: the diff gate (the tool CI uses to catch phase-time
+# regressions between commits) must exit zero at a generous threshold.
+# This also exercises the incremental engine's warm path end to end —
+# the demo runs with the default (warm-started) config.
+diff_smoke() {
+  local trace_a trace_b
+  trace_a=$(mktemp /tmp/crowdrl-diff-a.XXXXXX.jsonl)
+  trace_b=$(mktemp /tmp/crowdrl-diff-b.XXXXXX.jsonl)
+  CROWDRL_TRACE="$trace_a" cargo run -q --release --offline --example trace_demo >/dev/null
+  CROWDRL_TRACE="$trace_b" cargo run -q --release --offline --example trace_demo >/dev/null
+  cargo run -q --release --offline -p crowdrl-bench --bin crowdrl-trace -- \
+    --diff "$trace_a" "$trace_b" --threshold 0.5 | tail -n 3
+  rm -f "$trace_a" "$trace_b"
+}
+timed "diff smoke" diff_smoke
+
 echo "== cargo fmt --check =="
 timed "fmt" cargo fmt --check
 

@@ -148,6 +148,70 @@ fn results_are_invariant_to_worker_pool_size() {
 }
 
 #[test]
+fn incremental_engine_is_reproducible_at_every_pool_width() {
+    // The warm engine's dirty-set E-step chunks its *active* set with the
+    // same fixed chunk geometry as the cold sweep and merges partials in
+    // chunk-index order, so staged incremental inference must be
+    // bit-identical run-to-run and at any worker-pool size.
+    use crowdrl::inference::{EngineConfig, InferenceEngine, JointInference};
+    use crowdrl::nn::{ClassifierConfig, SoftmaxClassifier};
+    use crowdrl::sim::Platform;
+    use crowdrl::types::rng::sample_indices;
+    use crowdrl::types::{Budget, ObjectId};
+
+    let (dataset, pool) = scenario(6);
+    let staged_run = || {
+        let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
+        let mut ask_rng = seeded(51);
+        let mut em_rng = seeded(52);
+        let mut classifier = SoftmaxClassifier::new(
+            ClassifierConfig::default(),
+            dataset.dim(),
+            dataset.num_classes(),
+            &mut seeded(53),
+        )
+        .unwrap();
+        let mut engine = InferenceEngine::joint(JointInference::default(), EngineConfig::default());
+        let mut result = None;
+        for stage in 0..4 {
+            for obj in stage * 15..(stage + 1) * 15 {
+                let panel: Vec<_> = sample_indices(&mut ask_rng, pool.len(), 3)
+                    .into_iter()
+                    .map(|i| pool.profiles()[i].id)
+                    .collect();
+                platform.ask_many(ObjectId(obj), &panel, &mut ask_rng);
+            }
+            result = Some(
+                engine
+                    .infer(
+                        &dataset,
+                        platform.answers(),
+                        pool.profiles(),
+                        &mut classifier,
+                        &mut em_rng,
+                    )
+                    .unwrap(),
+            );
+        }
+        result.unwrap()
+    };
+
+    crowdrl::linalg::pool::set_threads(1);
+    let reference = staged_run();
+    let repeat = staged_run();
+    assert_eq!(reference.posteriors, repeat.posteriors, "repeat run");
+    assert_eq!(reference.class_prior, repeat.class_prior, "repeat run");
+    for threads in [2usize, 4] {
+        crowdrl::linalg::pool::set_threads(threads);
+        let run = staged_run();
+        assert_eq!(reference.posteriors, run.posteriors, "{threads} threads");
+        assert_eq!(reference.class_prior, run.class_prior, "{threads} threads");
+        assert_eq!(reference.confusions, run.confusions, "{threads} threads");
+    }
+    crowdrl::linalg::pool::set_threads(0);
+}
+
+#[test]
 fn dataset_and_pool_generation_are_seed_stable() {
     let (d1, _) = scenario(10);
     let (d2, _) = scenario(10);

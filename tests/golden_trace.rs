@@ -47,14 +47,14 @@ fn f1_fixed(dataset: &Dataset, labels: &[Option<ClassId>]) -> f64 {
 }
 
 const GOLDEN_BATCH_LABELS: &str =
-    "10100111010010111010000100101001110100001000100010000100010110111100011111110110";
+    "10100111010010111000000000101101010100001000100011000100000110011100011111111110";
 const GOLDEN_BATCH_SPENT: f64 = 220.0;
-const GOLDEN_BATCH_F1: f64 = 0.928571;
+const GOLDEN_BATCH_F1: f64 = 0.953488;
 
 const GOLDEN_ASYNC_LABELS: &str =
-    "10100111010010111010001100101001000100001000100010000100000110011100011111111110";
+    "11000111011010111010101000101001010100001000100010000100010110011100011111111110";
 const GOLDEN_ASYNC_SPENT: f64 = 220.0;
-const GOLDEN_ASYNC_F1: f64 = 0.930233;
+const GOLDEN_ASYNC_F1: f64 = 0.939759;
 
 #[test]
 fn batch_run_reproduces_the_golden_trace() {

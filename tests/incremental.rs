@@ -1,0 +1,307 @@
+//! Incremental inference engine: warm-started, dirty-set EM across staged
+//! answer deliveries must agree with one cold inference over the final
+//! answer set — same labels (≥99%), same accuracy (within 0.01) — and the
+//! dirty-set E-step must reproduce the full sweep bit-for-bit on the
+//! objects it touches.
+
+use crowdrl::inference::{
+    DawidSkene, EngineConfig, InferenceEngine, InferenceResult, JointConfig, JointInference,
+};
+use crowdrl::nn::{ClassifierConfig, SoftmaxClassifier};
+use crowdrl::prelude::*;
+use crowdrl::sim::Platform;
+use crowdrl::types::rng::{sample_indices, seeded};
+use crowdrl::types::{Budget, ObjectId};
+
+fn scenario(n: usize, seed: u64) -> (Dataset, AnnotatorPool) {
+    let mut rng = seeded(seed);
+    let dataset = DatasetSpec::gaussian("inc", n, 4, 2)
+        .with_separation(2.5)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(4, 1).generate(2, &mut rng).unwrap();
+    (dataset, pool)
+}
+
+fn fresh_classifier(dim: usize, k: usize, seed: u64) -> SoftmaxClassifier {
+    let mut rng = seeded(seed);
+    SoftmaxClassifier::new(
+        ClassifierConfig {
+            epochs: 15,
+            ..ClassifierConfig::default()
+        },
+        dim,
+        k,
+        &mut rng,
+    )
+    .unwrap()
+}
+
+/// Ask 3 random annotators about each object in `objects`.
+fn ask_stage<R: rand::Rng>(
+    platform: &mut Platform<'_>,
+    pool: &AnnotatorPool,
+    objects: std::ops::Range<usize>,
+    rng: &mut R,
+) {
+    for obj in objects {
+        let panel: Vec<_> = sample_indices(rng, pool.len(), 3)
+            .into_iter()
+            .map(|i| pool.profiles()[i].id)
+            .collect();
+        platform.ask_many(ObjectId(obj), &panel, rng);
+    }
+}
+
+/// Label agreement between two results over the objects both labelled.
+fn agreement(a: &InferenceResult, b: &InferenceResult) -> f64 {
+    let mut total = 0usize;
+    let mut same = 0usize;
+    for obj in a.inferred_objects() {
+        if let (Some(la), Some(lb)) = (a.label(obj), b.label(obj)) {
+            total += 1;
+            if la == lb {
+                same += 1;
+            }
+        }
+    }
+    assert!(total > 0, "no commonly labelled objects");
+    same as f64 / total as f64
+}
+
+/// Accuracy of a result's MAP labels over its inferred objects.
+fn accuracy(dataset: &Dataset, result: &InferenceResult) -> f64 {
+    let mut total = 0usize;
+    let mut ok = 0usize;
+    for obj in result.inferred_objects() {
+        if let Some(label) = result.label(obj) {
+            total += 1;
+            if label == dataset.truth(obj.index()) {
+                ok += 1;
+            }
+        }
+    }
+    assert!(total > 0, "no labelled objects");
+    ok as f64 / total as f64
+}
+
+#[test]
+fn joint_incremental_matches_cold_inference() {
+    let (dataset, pool) = scenario(120, 1);
+    let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
+    let mut ask_rng = seeded(2);
+    let model = JointInference {
+        config: JointConfig::default(),
+    };
+
+    // Warm path: answers arrive in six stages of 20 objects; the engine
+    // carries posteriors/confusions/classifier state between stages.
+    let mut engine = InferenceEngine::joint(model.clone(), EngineConfig::default());
+    let mut warm_classifier = fresh_classifier(dataset.dim(), dataset.num_classes(), 3);
+    let mut warm_rng = seeded(4);
+    let mut warm = None;
+    for stage in 0..6 {
+        ask_stage(
+            &mut platform,
+            &pool,
+            stage * 20..(stage + 1) * 20,
+            &mut ask_rng,
+        );
+        warm = Some(
+            engine
+                .infer(
+                    &dataset,
+                    platform.answers(),
+                    pool.profiles(),
+                    &mut warm_classifier,
+                    &mut warm_rng,
+                )
+                .unwrap(),
+        );
+    }
+    let warm = warm.unwrap();
+
+    // Cold path: one full inference over the final answer set with a fresh
+    // classifier seeded identically.
+    let mut cold_classifier = fresh_classifier(dataset.dim(), dataset.num_classes(), 3);
+    let mut cold_rng = seeded(4);
+    let cold = model
+        .infer(
+            &dataset,
+            platform.answers(),
+            pool.profiles(),
+            &mut cold_classifier,
+            &mut cold_rng,
+        )
+        .unwrap();
+
+    assert_eq!(
+        warm.inferred_objects().count(),
+        cold.inferred_objects().count(),
+        "warm and cold must cover the same objects"
+    );
+    let agree = agreement(&warm, &cold);
+    assert!(agree >= 0.99, "label agreement {agree}");
+    let (wa, ca) = (accuracy(&dataset, &warm), accuracy(&dataset, &cold));
+    assert!((wa - ca).abs() <= 0.01, "warm acc {wa} vs cold acc {ca}");
+}
+
+#[test]
+fn dawid_skene_incremental_matches_cold_inference() {
+    let (dataset, pool) = scenario(120, 5);
+    let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
+    let mut ask_rng = seeded(6);
+    let ds = DawidSkene::default();
+
+    let mut engine = InferenceEngine::dawid_skene(ds.clone(), EngineConfig::default());
+    // Dawid–Skene never reads the classifier; any instance satisfies the
+    // engine's signature.
+    let mut dummy = fresh_classifier(dataset.dim(), dataset.num_classes(), 7);
+    let mut warm_rng = seeded(8);
+    let mut warm = None;
+    for stage in 0..6 {
+        ask_stage(
+            &mut platform,
+            &pool,
+            stage * 20..(stage + 1) * 20,
+            &mut ask_rng,
+        );
+        warm = Some(
+            engine
+                .infer(
+                    &dataset,
+                    platform.answers(),
+                    pool.profiles(),
+                    &mut dummy,
+                    &mut warm_rng,
+                )
+                .unwrap(),
+        );
+    }
+    let warm = warm.unwrap();
+    let cold = ds
+        .infer(platform.answers(), dataset.num_classes(), pool.len())
+        .unwrap();
+
+    assert_eq!(
+        warm.inferred_objects().count(),
+        cold.inferred_objects().count()
+    );
+    let agree = agreement(&warm, &cold);
+    assert!(agree >= 0.99, "label agreement {agree}");
+    let (wa, ca) = (accuracy(&dataset, &warm), accuracy(&dataset, &cold));
+    assert!((wa - ca).abs() <= 0.01, "warm acc {wa} vs cold acc {ca}");
+}
+
+#[test]
+fn dirty_set_sweep_matches_full_sweep_on_touched_objects() {
+    // After one new answer lands on a single object, a dirty-set E-step
+    // and a full-sweep E-step start from the same carried state and the
+    // same freshly re-estimated confusions, so the posterior they produce
+    // for that object must be bit-identical — the dirty set only skips
+    // work, it never changes it.
+    let (dataset, pool) = scenario(80, 9);
+    let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
+    let mut ask_rng = seeded(10);
+    ask_stage(&mut platform, &pool, 0..60, &mut ask_rng);
+
+    let ds = DawidSkene::default();
+    let mut dummy = fresh_classifier(dataset.dim(), dataset.num_classes(), 11);
+    let mut rng = seeded(12);
+    let mut engine = InferenceEngine::dawid_skene(
+        ds,
+        EngineConfig {
+            warm_start: true,
+            full_sweep_every: 1000, // never full-sweep on the dirty engine
+            warm_max_iters: 1,
+            warm_epochs: 1,
+        },
+    );
+    // Cold call converges and captures the carried state.
+    engine
+        .infer(
+            &dataset,
+            platform.answers(),
+            pool.profiles(),
+            &mut dummy,
+            &mut rng,
+        )
+        .unwrap();
+
+    // Fork the converged engine: same state, different sweep policy.
+    let mut full_engine = engine.clone();
+    full_engine.set_config(EngineConfig {
+        full_sweep_every: 1, // every warm call sweeps all answered objects
+        ..engine.config().clone()
+    });
+
+    // One new answer on one object.
+    let target = ObjectId(3);
+    let panel = [pool.profiles()[pool.len() - 1].id];
+    platform.ask_many(target, &panel, &mut ask_rng);
+
+    let dirty = engine
+        .infer(
+            &dataset,
+            platform.answers(),
+            pool.profiles(),
+            &mut dummy,
+            &mut rng,
+        )
+        .unwrap();
+    let full = full_engine
+        .infer(
+            &dataset,
+            platform.answers(),
+            pool.profiles(),
+            &mut dummy,
+            &mut rng,
+        )
+        .unwrap();
+
+    assert_eq!(
+        dirty.posteriors[target.index()],
+        full.posteriors[target.index()],
+        "dirty-set posterior for the touched object must match the full sweep exactly"
+    );
+    // And the overall labelling still agrees.
+    let agree = agreement(&dirty, &full);
+    assert!(agree >= 0.99, "label agreement {agree}");
+}
+
+#[test]
+fn unchanged_answers_return_the_cached_result() {
+    let (dataset, pool) = scenario(60, 13);
+    let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
+    let mut ask_rng = seeded(14);
+    ask_stage(&mut platform, &pool, 0..40, &mut ask_rng);
+
+    let mut engine = InferenceEngine::joint(JointInference::default(), EngineConfig::default());
+    let mut classifier = fresh_classifier(dataset.dim(), dataset.num_classes(), 15);
+    let mut rng = seeded(16);
+    let first = engine
+        .infer(
+            &dataset,
+            platform.answers(),
+            pool.profiles(),
+            &mut classifier,
+            &mut rng,
+        )
+        .unwrap();
+    // Same answers again: the engine must reply from its cache — without
+    // consuming any randomness (the finalize path relies on this).
+    let before: u64 = rand::Rng::random(&mut rng.clone());
+    let second = engine
+        .infer(
+            &dataset,
+            platform.answers(),
+            pool.profiles(),
+            &mut classifier,
+            &mut rng,
+        )
+        .unwrap();
+    let after: u64 = rand::Rng::random(&mut rng.clone());
+    assert_eq!(before, after, "cached reply must not consume the RNG");
+    assert_eq!(first.posteriors, second.posteriors);
+    assert_eq!(first.class_prior, second.class_prior);
+}
