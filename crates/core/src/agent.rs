@@ -16,9 +16,11 @@ use crate::config::{Ablation, Exploration};
 use crate::features::{
     embed_annotator_part, embed_object_part, ObjectFeatures, StateSnapshot, FEATURE_DIM,
 };
-use crowdrl_rl::{topk, DqnAgent, DqnConfig, EpsilonGreedy, Transition, UcbExplorer};
+use crowdrl_rl::{topk, DqnAgent, DqnConfig, DqnSnapshot, EpsilonGreedy, Transition, UcbExplorer};
 use crowdrl_types::rng::sample_indices;
-use crowdrl_types::{AnnotatorId, AnnotatorProfile, AnswerSet, LabelledSet, ObjectId, Result};
+use crowdrl_types::{
+    AnnotatorId, AnnotatorProfile, AnswerSet, Error, LabelledSet, ObjectId, Result,
+};
 use rand::Rng;
 
 /// One chosen assignment: an object and the annotators to ask, plus the
@@ -40,6 +42,18 @@ pub struct SelectionAgent {
     dqn: DqnAgent,
     ucb: Option<UcbExplorer>,
     eps: Option<EpsilonGreedy>,
+}
+
+/// Checkpointable state of a [`SelectionAgent`]: the Q-network (weights,
+/// optimizer, replay buffer) plus whichever exploration state is active.
+#[derive(Debug, Clone)]
+pub struct AgentState {
+    /// Q-network, optimizer and replay snapshot.
+    pub dqn: DqnSnapshot,
+    /// UCB per-annotator pick counts, when UCB exploration is configured.
+    pub ucb_counts: Option<Vec<(u64, u64)>>,
+    /// ε-greedy decay clock, when ε-greedy exploration is configured.
+    pub eps_steps: Option<u64>,
 }
 
 impl SelectionAgent {
@@ -69,6 +83,36 @@ impl SelectionAgent {
     /// The underlying DQN (for parameter export in cross-training).
     pub fn dqn(&self) -> &DqnAgent {
         &self.dqn
+    }
+
+    /// Export the full learning state for a checkpoint.
+    pub fn export_state(&self) -> AgentState {
+        AgentState {
+            dqn: self.dqn.snapshot(),
+            ucb_counts: self.ucb.as_ref().map(UcbExplorer::export_counts),
+            eps_steps: self.eps.as_ref().map(EpsilonGreedy::steps),
+        }
+    }
+
+    /// Restore a state exported by [`export_state`](Self::export_state).
+    /// The agent must have been built with the same configuration (same
+    /// network shape and exploration kind).
+    pub fn restore_state(&mut self, state: AgentState) -> Result<()> {
+        if state.ucb_counts.is_some() != self.ucb.is_some()
+            || state.eps_steps.is_some() != self.eps.is_some()
+        {
+            return Err(Error::InvalidParameter(
+                "agent checkpoint uses a different exploration policy".into(),
+            ));
+        }
+        self.dqn.restore(state.dqn)?;
+        if let (Some(ucb), Some(counts)) = (&mut self.ucb, state.ucb_counts) {
+            ucb.restore_counts(&counts);
+        }
+        if let (Some(eps), Some(steps)) = (&mut self.eps, state.eps_steps) {
+            eps.set_steps(steps);
+        }
+        Ok(())
     }
 
     /// Select up to `batch` objects and `k` annotators each, spending at
@@ -520,6 +564,52 @@ mod tests {
         }
         assert!(agent.train(3, &mut rng).is_some());
         assert!(agent.dqn().train_steps() >= 1);
+    }
+
+    #[test]
+    fn export_restore_roundtrips_learning_state() {
+        let mut rng = seeded(21);
+        let config = DqnConfig {
+            min_replay: 4,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let mut agent = SelectionAgent::new(
+            config.clone(),
+            &Exploration::Ucb { scale: 0.1 },
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        let assignment = Assignment {
+            object: ObjectId(0),
+            annotators: vec![AnnotatorId(0)],
+            embeddings: vec![vec![0.3; FEATURE_DIM]],
+        };
+        for _ in 0..6 {
+            agent.remember(std::slice::from_ref(&assignment), &[1.0], &[], true);
+        }
+        agent.train(2, &mut rng);
+        let state = agent.export_state();
+        let mut other =
+            SelectionAgent::new(config, &Exploration::Ucb { scale: 0.1 }, None, &mut rng).unwrap();
+        other.restore_state(state).unwrap();
+        let probe = vec![0.5; FEATURE_DIM];
+        assert_eq!(agent.dqn().q_value(&probe), other.dqn().q_value(&probe));
+        assert_eq!(agent.dqn().train_steps(), other.dqn().train_steps());
+        // Mismatched exploration kinds are rejected.
+        let mut eps_agent = SelectionAgent::new(
+            DqnConfig::default(),
+            &Exploration::EpsilonGreedy {
+                start: 0.5,
+                end: 0.1,
+                decay_steps: 100,
+            },
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(eps_agent.restore_state(agent.export_state()).is_err());
     }
 
     #[test]

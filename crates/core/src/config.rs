@@ -135,6 +135,21 @@ impl CrowdRlConfig {
         CrowdRlConfigBuilder::default()
     }
 
+    /// A stable fingerprint of every knob, used to verify that a
+    /// checkpoint is restored under the configuration that produced it.
+    /// FNV-1a over the `Debug` rendering: the derived format covers every
+    /// field (adding one changes the fingerprint automatically), and
+    /// within one build it is deterministic — which is all a
+    /// crash-resume check needs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Validate all parameter domains.
     pub fn validate(&self) -> Result<()> {
         if !self.budget.is_finite() || self.budget < 0.0 {
@@ -395,6 +410,21 @@ impl CrowdRlConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_knob_sensitive() {
+        let a = CrowdRlConfig::builder().budget(100.0).build().unwrap();
+        let b = CrowdRlConfig::builder().budget(100.0).build().unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = CrowdRlConfig::builder().budget(101.0).build().unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = CrowdRlConfig::builder()
+            .budget(100.0)
+            .assignment_k(4)
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
 
     #[test]
     fn builder_defaults_match_paper_setup() {

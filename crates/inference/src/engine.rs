@@ -148,6 +148,29 @@ struct EngineState {
     warm_calls_since_full: usize,
 }
 
+/// Portable image of the engine's carried state, for crash-consistent
+/// checkpointing. Holds exactly the fields that cannot be re-derived:
+/// the derived structures (`row_of`, the gathered feature matrix `x`) are
+/// rebuilt from `answered` and the dataset on restore, so the snapshot
+/// stays small and dataset-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// The previous call's full result (warm seed).
+    pub last: InferenceResult,
+    /// Per-object answer counts at the last call.
+    pub answer_counts: Vec<usize>,
+    /// Total answers at the last call.
+    pub total_answers: usize,
+    /// Per-object "posterior still moving" flags.
+    pub moved: Vec<bool>,
+    /// Objects with at least one answer, in feature-row order.
+    pub answered: Vec<usize>,
+    /// Warm calls since the last full-coverage sweep.
+    pub warm_calls_since_full: usize,
+    /// Monotonic call counter.
+    pub calls: u64,
+}
+
 /// A persistent truth-inference engine (see module docs). Owned by the
 /// batch workflow and by `crowdrl-serve`'s agent core; one engine per run,
 /// paired with the run's classifier.
@@ -195,6 +218,73 @@ impl InferenceEngine {
     /// Drop the carried state: the next call is a cold start.
     pub fn reset(&mut self) {
         self.state = None;
+    }
+
+    /// Capture the carried state for checkpointing. `None` when the engine
+    /// has no state yet (no call made, or `warm_start` off) — restoring
+    /// `None` is simply a fresh engine, which is already equivalent.
+    pub fn export_state(&self) -> Option<EngineSnapshot> {
+        self.state.as_ref().map(|s| EngineSnapshot {
+            last: s.last.clone(),
+            answer_counts: s.answer_counts.clone(),
+            total_answers: s.total_answers,
+            moved: s.moved.clone(),
+            answered: s.answered.clone(),
+            warm_calls_since_full: s.warm_calls_since_full,
+            calls: self.calls,
+        })
+    }
+
+    /// Reinstate state captured by [`InferenceEngine::export_state`],
+    /// rebuilding the derived row map and feature matrix from `dataset`.
+    /// After this, the next `infer` continues exactly where the
+    /// checkpointed engine would have.
+    pub fn restore_state(&mut self, snap: EngineSnapshot, dataset: &Dataset) -> Result<()> {
+        let n = dataset.len();
+        if snap.answer_counts.len() != n || snap.moved.len() != n {
+            return Err(Error::DimensionMismatch {
+                expected: n,
+                actual: snap.answer_counts.len(),
+                context: "engine snapshot object count".into(),
+            });
+        }
+        if snap.last.posteriors.len() != n {
+            return Err(Error::DimensionMismatch {
+                expected: n,
+                actual: snap.last.posteriors.len(),
+                context: "engine snapshot posteriors".into(),
+            });
+        }
+        let mut row_of = vec![NO_ROW; n];
+        for (r, &i) in snap.answered.iter().enumerate() {
+            if i >= n {
+                return Err(Error::IndexOutOfBounds {
+                    index: i,
+                    len: n,
+                    context: "engine snapshot answered object".into(),
+                });
+            }
+            row_of[i] = r;
+        }
+        let mut x = Matrix::zeros(0, dataset.dim());
+        if matches!(self.model, EngineModel::Joint(_)) {
+            x = Matrix::zeros(snap.answered.len(), dataset.dim());
+            for (r, &i) in snap.answered.iter().enumerate() {
+                x.row_mut(r).copy_from_slice(dataset.features(i));
+            }
+        }
+        self.calls = snap.calls;
+        self.state = Some(EngineState {
+            last: snap.last,
+            answer_counts: snap.answer_counts,
+            total_answers: snap.total_answers,
+            moved: snap.moved,
+            x,
+            answered: snap.answered,
+            row_of,
+            warm_calls_since_full: snap.warm_calls_since_full,
+        });
+        Ok(())
     }
 
     /// Run one inference over `answers`, reusing the carried state when

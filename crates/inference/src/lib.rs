@@ -44,7 +44,7 @@ pub mod result;
 
 pub use classifier_annotator::ClassifierAsAnnotator;
 pub use dawid_skene::DawidSkene;
-pub use engine::{EngineConfig, InferenceEngine};
+pub use engine::{EngineConfig, EngineSnapshot, InferenceEngine};
 pub use glad::Glad;
 pub use joint::{JointConfig, JointInference};
 pub use mv::MajorityVote;

@@ -4,7 +4,7 @@ use crowdrl_types::prob;
 use crowdrl_types::{ClassId, ConfusionMatrix, ObjectId};
 
 /// The output of one truth-inference pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceResult {
     /// `posteriors[i]` is the inferred distribution over classes for object
     /// `i`, or `None` if the object had no answers (nothing to infer from).

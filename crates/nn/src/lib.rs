@@ -28,7 +28,7 @@ pub mod network;
 pub mod optimizer;
 
 pub use activation::Activation;
-pub use classifier::{ClassifierConfig, SoftmaxClassifier};
+pub use classifier::{ClassifierConfig, ClassifierSnapshot, SoftmaxClassifier};
 pub use layer::Dense;
 pub use network::Network;
 pub use optimizer::{Adam, Momentum, Optimizer, Sgd};

@@ -126,6 +126,17 @@ impl Adam {
             state: Vec::new(),
         }
     }
+
+    /// The per-slot moment buffers and step counts, for checkpointing.
+    pub fn state(&self) -> &[(Vec<f32>, Vec<f32>, u64)] {
+        &self.state
+    }
+
+    /// Restore moment buffers captured by [`Adam::state`]. Training after
+    /// a restore continues bit-identically to never having stopped.
+    pub fn restore_state(&mut self, state: Vec<(Vec<f32>, Vec<f32>, u64)>) {
+        self.state = state;
+    }
 }
 
 impl Optimizer for Adam {

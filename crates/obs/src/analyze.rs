@@ -446,6 +446,50 @@ pub fn report(trace: &Trace) -> String {
         );
     }
 
+    // Fault injection & recovery: present only when the chaos layer or
+    // the supervision machinery (retries, quarantine, checkpoints)
+    // actually fired during the run.
+    let recovery: Vec<(String, u64)> = trace
+        .counters()
+        .into_iter()
+        .filter(|(name, _)| {
+            name.starts_with("fault.injected.")
+                || name == "retry.count"
+                || name.starts_with("quarantine.")
+                || name.starts_with("checkpoint.")
+        })
+        .collect();
+    if !recovery.is_empty() {
+        out.push_str("\n-- fault & recovery --\n");
+        let injected: u64 = recovery
+            .iter()
+            .filter(|(n, _)| n.starts_with("fault.injected."))
+            .map(|(_, v)| *v)
+            .sum();
+        if injected > 0 {
+            let _ = writeln!(out, "faults injected              {injected}");
+        }
+        for (name, v) in &recovery {
+            let _ = writeln!(out, "{name:<28} {v}");
+        }
+        for gauge in ["checkpoint.write_ns", "checkpoint.restore_ns"] {
+            let series = trace.gauge_series(gauge);
+            if series.is_empty() {
+                continue;
+            }
+            let n = series.len();
+            let mean = series.iter().map(|(_, v)| v).sum::<f64>() / n as f64;
+            let max = series.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+            let _ = writeln!(
+                out,
+                "{:<28} mean {} · max {}",
+                gauge,
+                fmt_ns(mean as u64),
+                fmt_ns(max as u64)
+            );
+        }
+    }
+
     let hists = trace.histograms();
     if !hists.is_empty() {
         out.push_str("\n-- histograms --\n");

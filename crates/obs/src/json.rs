@@ -67,6 +67,49 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Render this value as a compact JSON document that [`parse`] reads
+    /// back identically. Object keys emit in `BTreeMap` order, so the
+    /// rendering is deterministic — the checkpoint layer relies on this.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self);
+        out
+    }
+}
+
+/// Append `v` to `out` as compact JSON. Non-finite numbers follow
+/// [`write_num`]'s conventions (NaN → `null`, infinities clamped).
+pub fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_num(out, *n),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
 }
 
 /// Append `s` to `out` as a JSON string literal (including the quotes).
@@ -342,6 +385,16 @@ mod tests {
             write_num(&mut s, x);
             assert_eq!(parse(&s).unwrap().as_f64(), Some(x));
         }
+    }
+
+    #[test]
+    fn render_round_trips_nested_values() {
+        let doc = r#"{"a":[1,2.5,-300],"b":{"c":"x\ny","d":true,"e":null},"z":[]}"#;
+        let v = parse(doc).unwrap();
+        let rendered = v.render();
+        assert_eq!(parse(&rendered).unwrap(), v);
+        // Deterministic: rendering twice gives identical bytes.
+        assert_eq!(rendered, v.render());
     }
 
     #[test]

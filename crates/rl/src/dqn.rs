@@ -305,6 +305,73 @@ impl DqnAgent {
         self.target.load_params(params);
         Ok(())
     }
+
+    /// Capture the full training state — online and target weights, Adam
+    /// moments, replay contents, step count — for checkpointing.
+    pub fn snapshot(&self) -> DqnSnapshot {
+        let (buf, head) = self.replay.contents();
+        DqnSnapshot {
+            online: self.online.flatten_params(),
+            target: self.target.flatten_params(),
+            opt_state: self.opt.state().to_vec(),
+            replay: buf.to_vec(),
+            replay_head: head,
+            replay_pushed: self.replay.total_pushed(),
+            train_steps: self.train_steps,
+        }
+    }
+
+    /// Restore a state captured by [`DqnAgent::snapshot`] into an agent
+    /// constructed with the same config. Training after a restore continues
+    /// bit-identically to never having stopped.
+    pub fn restore(&mut self, snap: DqnSnapshot) -> Result<()> {
+        if snap.online.len() != self.online.param_count()
+            || snap.target.len() != self.online.param_count()
+        {
+            return Err(Error::DimensionMismatch {
+                expected: self.online.param_count(),
+                actual: snap.online.len(),
+                context: "DQN snapshot params".into(),
+            });
+        }
+        if snap.replay.len() > self.config.replay_capacity {
+            return Err(Error::InvalidParameter(format!(
+                "restored replay ({}) exceeds capacity ({})",
+                snap.replay.len(),
+                self.config.replay_capacity
+            )));
+        }
+        self.online.load_params(&snap.online);
+        self.target.load_params(&snap.target);
+        self.opt.restore_state(snap.opt_state);
+        self.replay = ReplayBuffer::restore(
+            self.config.replay_capacity,
+            snap.replay,
+            snap.replay_head,
+            snap.replay_pushed,
+        );
+        self.train_steps = snap.train_steps;
+        Ok(())
+    }
+}
+
+/// Serializable training state of a [`DqnAgent`].
+#[derive(Debug, Clone)]
+pub struct DqnSnapshot {
+    /// Online-network parameters.
+    pub online: Vec<f32>,
+    /// Target-network parameters.
+    pub target: Vec<f32>,
+    /// Adam per-slot (first moment, second moment, step count).
+    pub opt_state: Vec<(Vec<f32>, Vec<f32>, u64)>,
+    /// Replay-pool transitions in physical (ring) order.
+    pub replay: Vec<Transition>,
+    /// Ring write head.
+    pub replay_head: usize,
+    /// Total transitions ever pushed.
+    pub replay_pushed: usize,
+    /// Gradient steps taken.
+    pub train_steps: usize,
 }
 
 fn stack(rows: &[Vec<f32>], dim: usize) -> Matrix {
@@ -638,6 +705,42 @@ mod tests {
         dst.import_params(&params).unwrap();
         assert!((src.q_value(&[0.5, -0.5]) - dst.q_value(&[0.5, -0.5])).abs() < 1e-6);
         assert!(dst.import_params(&params[..3]).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_training_bit_identically() {
+        let mut rng = seeded(31);
+        let mut config = small_config();
+        config.min_replay = 8;
+        let mut full = DqnAgent::new(config.clone(), &mut rng).unwrap();
+        for i in 0..24 {
+            full.remember(Transition {
+                state_action: vec![i as f32 / 24.0, 1.0 - i as f32 / 24.0],
+                reward: (i % 3) as f32,
+                next_candidates: if i % 2 == 0 {
+                    vec![vec![0.2, 0.8]]
+                } else {
+                    vec![]
+                },
+                terminal: i % 2 == 1,
+            });
+        }
+        let mut train_rng = seeded(32);
+        full.train_step(&mut train_rng).unwrap();
+        let snap = full.snapshot();
+        let rng_state = train_rng.state();
+        full.train_step(&mut train_rng).unwrap();
+
+        // Resume: fresh agent, restore, continue from the same rng point.
+        let mut rng2 = seeded(99);
+        let mut resumed = DqnAgent::new(config, &mut rng2).unwrap();
+        resumed.restore(snap).unwrap();
+        let mut train_rng2 = rand::rngs::StdRng::from_state(rng_state);
+        resumed.train_step(&mut train_rng2).unwrap();
+
+        assert_eq!(full.export_params(), resumed.export_params());
+        assert_eq!(full.train_steps(), resumed.train_steps());
+        assert_eq!(full.replay_len(), resumed.replay_len());
     }
 
     #[test]

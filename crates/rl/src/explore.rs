@@ -96,6 +96,21 @@ impl UcbExplorer {
         self.counts.clear();
         self.total = 0;
     }
+
+    /// The per-action counts sorted by action key (deterministic order),
+    /// for checkpointing.
+    pub fn export_counts(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Restore counts captured by [`UcbExplorer::export_counts`]. The
+    /// total is re-derived as their sum.
+    pub fn restore_counts(&mut self, counts: &[(u64, u64)]) {
+        self.counts = counts.iter().copied().collect();
+        self.total = counts.iter().map(|&(_, n)| n).sum();
+    }
 }
 
 /// Classical ε-greedy with linear decay.
@@ -133,6 +148,16 @@ impl EpsilonGreedy {
         let explore = rng.random::<f64>() < self.epsilon();
         self.steps += 1;
         explore
+    }
+
+    /// Decay-clock position, for checkpointing.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Restore the decay clock captured by [`EpsilonGreedy::steps`].
+    pub fn set_steps(&mut self, steps: u64) {
+        self.steps = steps;
     }
 }
 

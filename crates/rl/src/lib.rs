@@ -31,7 +31,7 @@ pub mod replay;
 pub mod tabular;
 pub mod topk;
 
-pub use dqn::{DqnAgent, DqnConfig};
+pub use dqn::{DqnAgent, DqnConfig, DqnSnapshot};
 pub use explore::{EpsilonGreedy, UcbExplorer};
 pub use prioritized::PrioritizedReplay;
 pub use replay::{ReplayBuffer, Transition};

@@ -93,6 +93,27 @@ impl ReplayBuffer {
         self.buf.clear();
         self.head = 0;
     }
+
+    /// The stored transitions in physical (ring) order plus the ring head,
+    /// for checkpointing.
+    pub fn contents(&self) -> (&[Transition], usize) {
+        (&self.buf, self.head)
+    }
+
+    /// Rebuild a buffer from checkpointed contents. `buf` is in physical
+    /// order (as returned by [`ReplayBuffer::contents`]); sampling and
+    /// eviction after a restore behave identically to never having stopped.
+    pub fn restore(capacity: usize, buf: Vec<Transition>, head: usize, pushed: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        assert!(buf.len() <= capacity, "restored buffer exceeds capacity");
+        assert!(head < capacity.max(1), "restored head out of range");
+        Self {
+            buf,
+            capacity,
+            head,
+            pushed,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1426 @@
+//! Crash-consistent checkpoints of a whole asynchronous run.
+//!
+//! A [`RunCheckpoint`] captures everything the runtime needs to continue a
+//! run as if it had never stopped: the pump's service state (clock, event
+//! queue, ledger, budget, answers, metrics, trace) and the agent core's
+//! learning state (classifier, DQN, inference engine, RNG, quarantine).
+//! Killing a run at a checkpoint and [`resuming`](crate::AsyncRuntime::resume)
+//! it must reproduce the uninterrupted run's trace and labels **bit for
+//! bit** — the chaos suite pins that.
+//!
+//! The encoding is hand-rolled JSON over [`crowdrl_obs::json`] (the
+//! workspace has a zero-external-dependency policy). Bit-exactness rules
+//! the format:
+//!
+//! * every `f64` is written as its 16-hex-digit IEEE bit pattern (JSON
+//!   numbers would lose NaN log-likelihoods and the writer clamps
+//!   non-finite values);
+//! * `f32` and `f64` slices concatenate fixed-width hex chunks into one
+//!   string, which also keeps million-weight tensors from exploding into
+//!   million-element JSON arrays;
+//! * `u64` values (seeds, RNG words, sequence numbers) are 16-hex strings
+//!   because JSON numbers are only exact below 2^53;
+//! * small counts and ids stay plain JSON numbers for readability.
+//!
+//! [`decode`](RunCheckpoint::decode) validates shape and re-derives nothing
+//! silently: any mismatch surfaces as
+//! [`ServeError::CorruptCheckpoint`](crate::ServeError::CorruptCheckpoint).
+
+use crate::core_loop::{CoreState, PendingBatchState};
+use crate::error::ServeError;
+use crate::event::{Event, EventKind, TraceEvent};
+use crate::ledger::{AssignmentRecord, AssignmentStatus};
+use crate::supervisor::QuarantineStatus;
+use crowdrl_core::agent::{AgentState, Assignment};
+use crowdrl_core::IterationStats;
+use crowdrl_inference::{EngineSnapshot, InferenceResult};
+use crowdrl_nn::ClassifierSnapshot;
+use crowdrl_obs::json::{parse, Value};
+use crowdrl_rl::{DqnSnapshot, Transition};
+use crowdrl_types::{
+    AnnotatorId, Answer, AnswerSet, AssignmentId, ClassId, ConfusionMatrix, LabelState, ObjectId,
+    Result, SimTime,
+};
+use std::collections::BTreeMap;
+
+/// Format version stamped into every checkpoint.
+const VERSION: u64 = 1;
+
+/// The pump's complete service state at a watermark boundary.
+#[derive(Debug, Clone)]
+pub struct PumpCheckpoint {
+    /// Simulated clock reading.
+    pub now: SimTime,
+    /// Event-queue sequence counter.
+    pub next_seq: u64,
+    /// Pending events in deterministic (pop) order, sequence numbers
+    /// preserved.
+    pub events: Vec<Event>,
+    /// Every ledger record ever issued, in id order.
+    pub records: Vec<AssignmentRecord>,
+    /// Budget ceiling.
+    pub budget_total: f64,
+    /// Exact accumulated spend (bit-level — float sums are order-dependent).
+    pub budget_spent: f64,
+    /// Successful charges so far.
+    pub budget_charges: usize,
+    /// All recorded answers.
+    pub answers: AnswerSet,
+    /// Delivered-answer latencies in arrival order.
+    pub latencies: Vec<f64>,
+    /// Metrics counter: questions dispatched.
+    pub dispatched: usize,
+    /// Metrics counter: answers delivered.
+    pub delivered: usize,
+    /// Metrics counter: answers rejected.
+    pub rejected: usize,
+    /// Metrics counter: timeouts fired.
+    pub timeouts: usize,
+    /// Metrics counter: objects requeued.
+    pub requeues: usize,
+    /// Metrics counter: refreshes run.
+    pub refreshes: usize,
+    /// Metrics counter: events processed.
+    pub events_processed: usize,
+    /// The observable trace so far.
+    pub trace: Vec<TraceEvent>,
+    /// Sampled label per assignment id (None = dropped).
+    pub labels_by_id: Vec<Option<ClassId>>,
+    /// Per-object requeue counts.
+    pub requeue_count: Vec<usize>,
+    /// Objects whose requeue budget is exhausted, ascending.
+    pub abandoned: Vec<ObjectId>,
+    /// Per-object supervisor backoff deadlines (absolute sim time).
+    pub backoff_until: Vec<f64>,
+    /// Answers since the last refresh.
+    pub answers_since: usize,
+    /// When the last refresh ran.
+    pub last_refresh: SimTime,
+}
+
+/// A complete, resumable snapshot of one asynchronous labelling run.
+#[derive(Debug, Clone)]
+pub struct RunCheckpoint {
+    /// FNV-1a fingerprint of the [`CrowdRlConfig`](crowdrl_core::CrowdRlConfig)
+    /// that produced this run; restore refuses a mismatch.
+    pub fingerprint: u64,
+    /// Dataset size the run was started with.
+    pub objects: usize,
+    /// Annotator-pool size the run was started with.
+    pub annotators: usize,
+    /// The pump's service state.
+    pub pump: PumpCheckpoint,
+    /// The agent core's learning state.
+    pub core: CoreState,
+}
+
+impl RunCheckpoint {
+    /// Serialize to a single deterministic JSON document: the same
+    /// checkpoint always renders the same bytes.
+    pub fn encode(&self) -> String {
+        obj([
+            ("version", Value::Num(VERSION as f64)),
+            ("fingerprint", hex_u64(self.fingerprint)),
+            ("objects", num(self.objects)),
+            ("annotators", num(self.annotators)),
+            ("pump", enc_pump(&self.pump)),
+            ("core", enc_core(&self.core)),
+        ])
+        .render()
+    }
+
+    /// Parse a document produced by [`encode`](Self::encode). Anything
+    /// malformed — bad JSON, wrong version, missing fields, inconsistent
+    /// shapes — is a [`ServeError::CorruptCheckpoint`].
+    pub fn decode(text: &str) -> Result<Self> {
+        let v = parse(text).map_err(|e| corrupt(format!("bad JSON: {e}")))?;
+        let version = get_u64_plain(&v, "version")?;
+        if version != VERSION {
+            return Err(corrupt(format!(
+                "unsupported checkpoint version {version} (expected {VERSION})"
+            )));
+        }
+        Ok(Self {
+            fingerprint: get_hex_u64(&v, "fingerprint")?,
+            objects: get_usize(&v, "objects")?,
+            annotators: get_usize(&v, "annotators")?,
+            pump: dec_pump(field(&v, "pump")?)?,
+            core: dec_core(field(&v, "core")?)?,
+        })
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> crowdrl_types::Error {
+    ServeError::CorruptCheckpoint(msg.into()).into()
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders / decoders
+// ---------------------------------------------------------------------------
+
+fn obj<const N: usize>(entries: [(&str, Value); N]) -> Value {
+    Value::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn num(n: usize) -> Value {
+    // Plain JSON numbers are exact below 2^53 — far beyond any count here.
+    Value::Num(n as f64)
+}
+
+fn hex_u64(v: u64) -> Value {
+    Value::Str(format!("{v:016x}"))
+}
+
+fn bits_f64(v: f64) -> Value {
+    Value::Str(format!("{:016x}", v.to_bits()))
+}
+
+fn bits_f32(v: f32) -> Value {
+    Value::Str(format!("{:08x}", v.to_bits()))
+}
+
+/// Concatenated 16-hex-digit bit patterns, one per f64.
+fn f64s(xs: &[f64]) -> Value {
+    let mut s = String::with_capacity(xs.len() * 16);
+    for x in xs {
+        s.push_str(&format!("{:016x}", x.to_bits()));
+    }
+    Value::Str(s)
+}
+
+/// Concatenated 8-hex-digit bit patterns, one per f32.
+fn f32s(xs: &[f32]) -> Value {
+    let mut s = String::with_capacity(xs.len() * 8);
+    for x in xs {
+        s.push_str(&format!("{:08x}", x.to_bits()));
+    }
+    Value::Str(s)
+}
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value> {
+    v.get(key)
+        .ok_or_else(|| corrupt(format!("missing field {key:?}")))
+}
+
+fn get_usize(v: &Value, key: &str) -> Result<usize> {
+    let n = field(v, key)?
+        .as_f64()
+        .ok_or_else(|| corrupt(format!("field {key:?} is not a number")))?;
+    if n < 0.0 || n.fract() != 0.0 || n > 2f64.powi(53) {
+        return Err(corrupt(format!("field {key:?} is not a valid count: {n}")));
+    }
+    Ok(n as usize)
+}
+
+fn get_u64_plain(v: &Value, key: &str) -> Result<u64> {
+    Ok(get_usize(v, key)? as u64)
+}
+
+fn parse_hex_u64(s: &str, what: &str) -> Result<u64> {
+    if s.len() != 16 {
+        return Err(corrupt(format!(
+            "{what}: expected 16 hex digits, got {s:?}"
+        )));
+    }
+    u64::from_str_radix(s, 16).map_err(|_| corrupt(format!("{what}: bad hex {s:?}")))
+}
+
+fn get_hex_u64(v: &Value, key: &str) -> Result<u64> {
+    let s = get_str(v, key)?;
+    parse_hex_u64(s, key)
+}
+
+fn get_str<'v>(v: &'v Value, key: &str) -> Result<&'v str> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| corrupt(format!("field {key:?} is not a string")))
+}
+
+fn get_bool(v: &Value, key: &str) -> Result<bool> {
+    match field(v, key)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(corrupt(format!("field {key:?} is not a bool"))),
+    }
+}
+
+fn get_arr<'v>(v: &'v Value, key: &str) -> Result<&'v [Value]> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| corrupt(format!("field {key:?} is not an array")))
+}
+
+fn get_f64_bits(v: &Value, key: &str) -> Result<f64> {
+    Ok(f64::from_bits(get_hex_u64(v, key)?))
+}
+
+fn parse_f64s(s: &str, what: &str) -> Result<Vec<f64>> {
+    if !s.len().is_multiple_of(16) {
+        return Err(corrupt(format!("{what}: length not a multiple of 16")));
+    }
+    (0..s.len() / 16)
+        .map(|i| parse_hex_u64(&s[i * 16..(i + 1) * 16], what).map(f64::from_bits))
+        .collect()
+}
+
+fn parse_f32s(s: &str, what: &str) -> Result<Vec<f32>> {
+    if !s.len().is_multiple_of(8) {
+        return Err(corrupt(format!("{what}: length not a multiple of 8")));
+    }
+    (0..s.len() / 8)
+        .map(|i| {
+            u32::from_str_radix(&s[i * 8..(i + 1) * 8], 16)
+                .map(f32::from_bits)
+                .map_err(|_| corrupt(format!("{what}: bad hex chunk")))
+        })
+        .collect()
+}
+
+fn get_f64s(v: &Value, key: &str) -> Result<Vec<f64>> {
+    parse_f64s(get_str(v, key)?, key)
+}
+
+fn get_f32s(v: &Value, key: &str) -> Result<Vec<f32>> {
+    parse_f32s(get_str(v, key)?, key)
+}
+
+fn get_sim_time(v: &Value, key: &str) -> Result<SimTime> {
+    SimTime::new(get_f64_bits(v, key)?)
+        .map_err(|e| corrupt(format!("field {key:?} is not a valid time: {e}")))
+}
+
+fn opt<T>(value: Option<T>, enc: impl Fn(T) -> Value) -> Value {
+    match value {
+        Some(x) => enc(x),
+        None => Value::Null,
+    }
+}
+
+fn arr_usize(v: &Value, key: &str) -> Result<Vec<usize>> {
+    get_arr(v, key)?
+        .iter()
+        .map(|x| {
+            let n = x
+                .as_f64()
+                .ok_or_else(|| corrupt(format!("{key}: non-numeric element")))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(corrupt(format!("{key}: bad count {n}")));
+            }
+            Ok(n as usize)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Pump state
+// ---------------------------------------------------------------------------
+
+fn enc_event(e: &Event) -> Value {
+    let (kind, id) = match e.kind {
+        EventKind::Deliver(id) => ("deliver", id),
+        EventKind::Expire(id) => ("expire", id),
+    };
+    obj([
+        ("at", bits_f64(e.at.as_f64())),
+        ("seq", hex_u64(e.seq)),
+        ("kind", Value::Str(kind.to_string())),
+        ("id", hex_u64(id.0)),
+    ])
+}
+
+fn dec_event(v: &Value) -> Result<Event> {
+    let id = AssignmentId(get_hex_u64(v, "id")?);
+    let kind = match get_str(v, "kind")? {
+        "deliver" => EventKind::Deliver(id),
+        "expire" => EventKind::Expire(id),
+        other => return Err(corrupt(format!("unknown event kind {other:?}"))),
+    };
+    Ok(Event {
+        at: get_sim_time(v, "at")?,
+        seq: get_hex_u64(v, "seq")?,
+        kind,
+    })
+}
+
+fn enc_record(r: &AssignmentRecord) -> Value {
+    let status = match r.status {
+        AssignmentStatus::InFlight => "in_flight",
+        AssignmentStatus::Delivered => "delivered",
+        AssignmentStatus::Expired => "expired",
+    };
+    obj([
+        ("id", hex_u64(r.id.0)),
+        ("object", num(r.object.0)),
+        ("annotator", num(r.annotator.0)),
+        ("cost", bits_f64(r.cost)),
+        ("dispatched_at", bits_f64(r.dispatched_at.as_f64())),
+        ("deadline", bits_f64(r.deadline.as_f64())),
+        ("status", Value::Str(status.to_string())),
+    ])
+}
+
+fn dec_record(v: &Value) -> Result<AssignmentRecord> {
+    let status = match get_str(v, "status")? {
+        "in_flight" => AssignmentStatus::InFlight,
+        "delivered" => AssignmentStatus::Delivered,
+        "expired" => AssignmentStatus::Expired,
+        other => return Err(corrupt(format!("unknown assignment status {other:?}"))),
+    };
+    Ok(AssignmentRecord {
+        id: AssignmentId(get_hex_u64(v, "id")?),
+        object: ObjectId(get_usize(v, "object")?),
+        annotator: AnnotatorId(get_usize(v, "annotator")?),
+        cost: get_f64_bits(v, "cost")?,
+        dispatched_at: get_sim_time(v, "dispatched_at")?,
+        deadline: get_sim_time(v, "deadline")?,
+        status,
+    })
+}
+
+fn enc_trace_event(e: &TraceEvent) -> Value {
+    match e {
+        TraceEvent::Dispatched {
+            at,
+            id,
+            object,
+            annotator,
+        } => obj([
+            ("t", Value::Str("dispatched".into())),
+            ("at", bits_f64(at.as_f64())),
+            ("id", hex_u64(id.0)),
+            ("object", num(object.0)),
+            ("annotator", num(annotator.0)),
+        ]),
+        TraceEvent::Delivered { at, id, label } => obj([
+            ("t", Value::Str("delivered".into())),
+            ("at", bits_f64(at.as_f64())),
+            ("id", hex_u64(id.0)),
+            ("label", num(label.0)),
+        ]),
+        TraceEvent::Rejected { at, id } => obj([
+            ("t", Value::Str("rejected".into())),
+            ("at", bits_f64(at.as_f64())),
+            ("id", hex_u64(id.0)),
+        ]),
+        TraceEvent::Expired { at, id, requeued } => obj([
+            ("t", Value::Str("expired".into())),
+            ("at", bits_f64(at.as_f64())),
+            ("id", hex_u64(id.0)),
+            ("requeued", Value::Bool(*requeued)),
+        ]),
+        TraceEvent::Refreshed {
+            at,
+            answers,
+            labelled,
+        } => obj([
+            ("t", Value::Str("refreshed".into())),
+            ("at", bits_f64(at.as_f64())),
+            ("answers", num(*answers)),
+            ("labelled", num(*labelled)),
+        ]),
+        TraceEvent::Quarantined { at, annotator } => obj([
+            ("t", Value::Str("quarantined".into())),
+            ("at", bits_f64(at.as_f64())),
+            ("annotator", num(annotator.0)),
+        ]),
+        TraceEvent::QuarantineReleased { at, annotator } => obj([
+            ("t", Value::Str("quarantine_released".into())),
+            ("at", bits_f64(at.as_f64())),
+            ("annotator", num(annotator.0)),
+        ]),
+    }
+}
+
+fn dec_trace_event(v: &Value) -> Result<TraceEvent> {
+    let at = get_sim_time(v, "at")?;
+    Ok(match get_str(v, "t")? {
+        "dispatched" => TraceEvent::Dispatched {
+            at,
+            id: AssignmentId(get_hex_u64(v, "id")?),
+            object: ObjectId(get_usize(v, "object")?),
+            annotator: AnnotatorId(get_usize(v, "annotator")?),
+        },
+        "delivered" => TraceEvent::Delivered {
+            at,
+            id: AssignmentId(get_hex_u64(v, "id")?),
+            label: ClassId(get_usize(v, "label")?),
+        },
+        "rejected" => TraceEvent::Rejected {
+            at,
+            id: AssignmentId(get_hex_u64(v, "id")?),
+        },
+        "expired" => TraceEvent::Expired {
+            at,
+            id: AssignmentId(get_hex_u64(v, "id")?),
+            requeued: get_bool(v, "requeued")?,
+        },
+        "refreshed" => TraceEvent::Refreshed {
+            at,
+            answers: get_usize(v, "answers")?,
+            labelled: get_usize(v, "labelled")?,
+        },
+        "quarantined" => TraceEvent::Quarantined {
+            at,
+            annotator: AnnotatorId(get_usize(v, "annotator")?),
+        },
+        "quarantine_released" => TraceEvent::QuarantineReleased {
+            at,
+            annotator: AnnotatorId(get_usize(v, "annotator")?),
+        },
+        other => return Err(corrupt(format!("unknown trace event {other:?}"))),
+    })
+}
+
+fn enc_answers(answers: &AnswerSet) -> Value {
+    Value::Arr(
+        (0..answers.num_objects())
+            .map(|i| {
+                Value::Arr(
+                    answers
+                        .answers_for(ObjectId(i))
+                        .iter()
+                        .map(|&(a, c)| Value::Arr(vec![num(a.0), num(c.0)]))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn dec_answers(v: &Value, key: &str) -> Result<AnswerSet> {
+    let rows = get_arr(v, key)?;
+    let mut answers = AnswerSet::new(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or_else(|| corrupt(format!("{key}[{i}] is not an array")))?;
+        for pair in row {
+            let pair = pair
+                .as_arr()
+                .ok_or_else(|| corrupt(format!("{key}[{i}]: bad answer pair")))?;
+            let [a, c] = pair else {
+                return Err(corrupt(format!("{key}[{i}]: answer pair is not 2-long")));
+            };
+            let (Some(a), Some(c)) = (a.as_u64(), c.as_u64()) else {
+                return Err(corrupt(format!("{key}[{i}]: non-numeric answer pair")));
+            };
+            answers
+                .record(Answer {
+                    object: ObjectId(i),
+                    annotator: AnnotatorId(a as usize),
+                    label: ClassId(c as usize),
+                })
+                .map_err(|e| corrupt(format!("{key}[{i}]: {e}")))?;
+        }
+    }
+    Ok(answers)
+}
+
+fn enc_pump(p: &PumpCheckpoint) -> Value {
+    obj([
+        ("now", bits_f64(p.now.as_f64())),
+        ("next_seq", hex_u64(p.next_seq)),
+        (
+            "events",
+            Value::Arr(p.events.iter().map(enc_event).collect()),
+        ),
+        (
+            "records",
+            Value::Arr(p.records.iter().map(enc_record).collect()),
+        ),
+        ("budget_total", bits_f64(p.budget_total)),
+        ("budget_spent", bits_f64(p.budget_spent)),
+        ("budget_charges", num(p.budget_charges)),
+        ("answers", enc_answers(&p.answers)),
+        ("latencies", f64s(&p.latencies)),
+        ("dispatched", num(p.dispatched)),
+        ("delivered", num(p.delivered)),
+        ("rejected", num(p.rejected)),
+        ("timeouts", num(p.timeouts)),
+        ("requeues", num(p.requeues)),
+        ("refreshes", num(p.refreshes)),
+        ("events_processed", num(p.events_processed)),
+        (
+            "trace",
+            Value::Arr(p.trace.iter().map(enc_trace_event).collect()),
+        ),
+        (
+            "labels_by_id",
+            Value::Arr(
+                p.labels_by_id
+                    .iter()
+                    .map(|l| opt(*l, |c| num(c.0)))
+                    .collect(),
+            ),
+        ),
+        (
+            "requeue_count",
+            Value::Arr(p.requeue_count.iter().map(|&n| num(n)).collect()),
+        ),
+        (
+            "abandoned",
+            Value::Arr(p.abandoned.iter().map(|o| num(o.0)).collect()),
+        ),
+        ("backoff_until", f64s(&p.backoff_until)),
+        ("answers_since", num(p.answers_since)),
+        ("last_refresh", bits_f64(p.last_refresh.as_f64())),
+    ])
+}
+
+fn dec_pump(v: &Value) -> Result<PumpCheckpoint> {
+    let labels_by_id = get_arr(v, "labels_by_id")?
+        .iter()
+        .enumerate()
+        .map(|(i, l)| match l {
+            Value::Null => Ok(None),
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(Some(ClassId(*n as usize))),
+            _ => Err(corrupt(format!("labels_by_id[{i}] is not null or a class"))),
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(PumpCheckpoint {
+        now: get_sim_time(v, "now")?,
+        next_seq: get_hex_u64(v, "next_seq")?,
+        events: get_arr(v, "events")?
+            .iter()
+            .map(dec_event)
+            .collect::<Result<_>>()?,
+        records: get_arr(v, "records")?
+            .iter()
+            .map(dec_record)
+            .collect::<Result<_>>()?,
+        budget_total: get_f64_bits(v, "budget_total")?,
+        budget_spent: get_f64_bits(v, "budget_spent")?,
+        budget_charges: get_usize(v, "budget_charges")?,
+        answers: dec_answers(v, "answers")?,
+        latencies: get_f64s(v, "latencies")?,
+        dispatched: get_usize(v, "dispatched")?,
+        delivered: get_usize(v, "delivered")?,
+        rejected: get_usize(v, "rejected")?,
+        timeouts: get_usize(v, "timeouts")?,
+        requeues: get_usize(v, "requeues")?,
+        refreshes: get_usize(v, "refreshes")?,
+        events_processed: get_usize(v, "events_processed")?,
+        trace: get_arr(v, "trace")?
+            .iter()
+            .map(dec_trace_event)
+            .collect::<Result<_>>()?,
+        labels_by_id,
+        requeue_count: arr_usize(v, "requeue_count")?,
+        abandoned: arr_usize(v, "abandoned")?
+            .into_iter()
+            .map(ObjectId)
+            .collect(),
+        backoff_until: get_f64s(v, "backoff_until")?,
+        answers_since: get_usize(v, "answers_since")?,
+        last_refresh: get_sim_time(v, "last_refresh")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Core state
+// ---------------------------------------------------------------------------
+
+/// Per-parameter-tensor Adam state: first moment, second moment, step.
+type OptSlot = (Vec<f32>, Vec<f32>, u64);
+
+fn enc_opt_state(state: &[OptSlot]) -> Value {
+    Value::Arr(
+        state
+            .iter()
+            .map(|(m, v, t)| obj([("m", f32s(m)), ("v", f32s(v)), ("t", hex_u64(*t))]))
+            .collect(),
+    )
+}
+
+fn dec_opt_state(v: &Value, key: &str) -> Result<Vec<OptSlot>> {
+    get_arr(v, key)?
+        .iter()
+        .map(|slot| {
+            Ok((
+                get_f32s(slot, "m")?,
+                get_f32s(slot, "v")?,
+                get_hex_u64(slot, "t")?,
+            ))
+        })
+        .collect()
+}
+
+fn enc_classifier(c: &ClassifierSnapshot) -> Value {
+    obj([
+        ("params", f32s(&c.params)),
+        ("opt_state", enc_opt_state(&c.opt_state)),
+        ("trained", Value::Bool(c.trained)),
+        ("generation", hex_u64(c.generation)),
+    ])
+}
+
+fn dec_classifier(v: &Value) -> Result<ClassifierSnapshot> {
+    Ok(ClassifierSnapshot {
+        params: get_f32s(v, "params")?,
+        opt_state: dec_opt_state(v, "opt_state")?,
+        trained: get_bool(v, "trained")?,
+        generation: get_hex_u64(v, "generation")?,
+    })
+}
+
+fn enc_transition(t: &Transition) -> Value {
+    obj([
+        ("sa", f32s(&t.state_action)),
+        ("reward", bits_f32(t.reward)),
+        (
+            "next",
+            Value::Arr(t.next_candidates.iter().map(|c| f32s(c)).collect()),
+        ),
+        ("terminal", Value::Bool(t.terminal)),
+    ])
+}
+
+fn dec_transition(v: &Value) -> Result<Transition> {
+    let reward_bits = get_str(v, "reward")?;
+    let reward = u32::from_str_radix(reward_bits, 16)
+        .map(f32::from_bits)
+        .map_err(|_| corrupt(format!("bad reward bits {reward_bits:?}")))?;
+    Ok(Transition {
+        state_action: get_f32s(v, "sa")?,
+        reward,
+        next_candidates: get_arr(v, "next")?
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                parse_f32s(
+                    c.as_str()
+                        .ok_or_else(|| corrupt(format!("next[{i}] is not a string")))?,
+                    "next",
+                )
+            })
+            .collect::<Result<_>>()?,
+        terminal: get_bool(v, "terminal")?,
+    })
+}
+
+fn enc_dqn(d: &DqnSnapshot) -> Value {
+    obj([
+        ("online", f32s(&d.online)),
+        ("target", f32s(&d.target)),
+        ("opt_state", enc_opt_state(&d.opt_state)),
+        (
+            "replay",
+            Value::Arr(d.replay.iter().map(enc_transition).collect()),
+        ),
+        ("replay_head", num(d.replay_head)),
+        ("replay_pushed", num(d.replay_pushed)),
+        ("train_steps", num(d.train_steps)),
+    ])
+}
+
+fn dec_dqn(v: &Value) -> Result<DqnSnapshot> {
+    Ok(DqnSnapshot {
+        online: get_f32s(v, "online")?,
+        target: get_f32s(v, "target")?,
+        opt_state: dec_opt_state(v, "opt_state")?,
+        replay: get_arr(v, "replay")?
+            .iter()
+            .map(dec_transition)
+            .collect::<Result<_>>()?,
+        replay_head: get_usize(v, "replay_head")?,
+        replay_pushed: get_usize(v, "replay_pushed")?,
+        train_steps: get_usize(v, "train_steps")?,
+    })
+}
+
+fn enc_agent(a: &AgentState) -> Value {
+    obj([
+        ("dqn", enc_dqn(&a.dqn)),
+        (
+            "ucb_counts",
+            opt(a.ucb_counts.as_ref(), |counts| {
+                Value::Arr(
+                    counts
+                        .iter()
+                        .map(|&(n, c)| Value::Arr(vec![hex_u64(n), hex_u64(c)]))
+                        .collect(),
+                )
+            }),
+        ),
+        ("eps_steps", opt(a.eps_steps, hex_u64)),
+    ])
+}
+
+fn dec_agent(v: &Value) -> Result<AgentState> {
+    let ucb_counts = match field(v, "ucb_counts")? {
+        Value::Null => None,
+        Value::Arr(items) => Some(
+            items
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_arr()
+                        .ok_or_else(|| corrupt("ucb_counts: bad pair"))?;
+                    let [n, c] = pair else {
+                        return Err(corrupt("ucb_counts: pair is not 2-long"));
+                    };
+                    let (Some(n), Some(c)) = (n.as_str(), c.as_str()) else {
+                        return Err(corrupt("ucb_counts: non-string pair"));
+                    };
+                    Ok((
+                        parse_hex_u64(n, "ucb_counts")?,
+                        parse_hex_u64(c, "ucb_counts")?,
+                    ))
+                })
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        _ => return Err(corrupt("ucb_counts is neither null nor an array")),
+    };
+    let eps_steps = match field(v, "eps_steps")? {
+        Value::Null => None,
+        Value::Str(s) => Some(parse_hex_u64(s, "eps_steps")?),
+        _ => return Err(corrupt("eps_steps is neither null nor a string")),
+    };
+    Ok(AgentState {
+        dqn: dec_dqn(field(v, "dqn")?)?,
+        ucb_counts,
+        eps_steps,
+    })
+}
+
+fn enc_label_state(l: LabelState) -> Value {
+    match l {
+        LabelState::Unlabelled => Value::Null,
+        LabelState::Inferred(c) => obj([("i", num(c.0))]),
+        LabelState::Enriched(c) => obj([("e", num(c.0))]),
+    }
+}
+
+fn dec_label_state(v: &Value) -> Result<LabelState> {
+    match v {
+        Value::Null => Ok(LabelState::Unlabelled),
+        Value::Obj(_) => {
+            if let Some(c) = v.get("i").and_then(Value::as_u64) {
+                Ok(LabelState::Inferred(ClassId(c as usize)))
+            } else if let Some(c) = v.get("e").and_then(Value::as_u64) {
+                Ok(LabelState::Enriched(ClassId(c as usize)))
+            } else {
+                Err(corrupt("label state object without i/e"))
+            }
+        }
+        _ => Err(corrupt("label state is neither null nor an object")),
+    }
+}
+
+fn enc_assignment(a: &Assignment) -> Value {
+    obj([
+        ("object", num(a.object.0)),
+        (
+            "annotators",
+            Value::Arr(a.annotators.iter().map(|w| num(w.0)).collect()),
+        ),
+        (
+            "embeddings",
+            Value::Arr(a.embeddings.iter().map(|e| f32s(e)).collect()),
+        ),
+    ])
+}
+
+fn dec_assignment(v: &Value) -> Result<Assignment> {
+    Ok(Assignment {
+        object: ObjectId(get_usize(v, "object")?),
+        annotators: arr_usize(v, "annotators")?
+            .into_iter()
+            .map(AnnotatorId)
+            .collect(),
+        embeddings: get_arr(v, "embeddings")?
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                parse_f32s(
+                    e.as_str()
+                        .ok_or_else(|| corrupt(format!("embeddings[{i}] is not a string")))?,
+                    "embeddings",
+                )
+            })
+            .collect::<Result<_>>()?,
+    })
+}
+
+fn enc_pending(p: &PendingBatchState) -> Value {
+    obj([
+        (
+            "assignments",
+            Value::Arr(p.assignments.iter().map(enc_assignment).collect()),
+        ),
+        (
+            "conf_before",
+            Value::Arr(
+                p.conf_before
+                    .iter()
+                    .map(|&(o, c)| Value::Arr(vec![num(o.0), bits_f64(c)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "phi_guesses",
+            Value::Arr(
+                p.phi_guesses
+                    .iter()
+                    .map(|&(o, g)| Value::Arr(vec![num(o.0), num(g)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn dec_pending(v: &Value) -> Result<PendingBatchState> {
+    let conf_before = get_arr(v, "conf_before")?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .ok_or_else(|| corrupt("conf_before: bad pair"))?;
+            let [o, c] = pair else {
+                return Err(corrupt("conf_before: pair is not 2-long"));
+            };
+            let o = o
+                .as_u64()
+                .ok_or_else(|| corrupt("conf_before: bad object"))?;
+            let c = c
+                .as_str()
+                .ok_or_else(|| corrupt("conf_before: bad confidence"))?;
+            Ok((
+                ObjectId(o as usize),
+                f64::from_bits(parse_hex_u64(c, "conf_before")?),
+            ))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let phi_guesses = get_arr(v, "phi_guesses")?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .ok_or_else(|| corrupt("phi_guesses: bad pair"))?;
+            let [o, g] = pair else {
+                return Err(corrupt("phi_guesses: pair is not 2-long"));
+            };
+            let (Some(o), Some(g)) = (o.as_u64(), g.as_u64()) else {
+                return Err(corrupt("phi_guesses: non-numeric pair"));
+            };
+            Ok((ObjectId(o as usize), g as usize))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(PendingBatchState {
+        assignments: get_arr(v, "assignments")?
+            .iter()
+            .map(dec_assignment)
+            .collect::<Result<_>>()?,
+        conf_before,
+        phi_guesses,
+    })
+}
+
+fn enc_stats(s: &IterationStats) -> Value {
+    obj([
+        ("iteration", num(s.iteration)),
+        ("enriched", num(s.enriched)),
+        ("selected", num(s.selected)),
+        ("answers", num(s.answers)),
+        ("spend", bits_f64(s.spend)),
+        ("reward", bits_f64(s.reward)),
+        ("labelled_total", num(s.labelled_total)),
+        ("td_loss", opt(s.td_loss, bits_f32)),
+    ])
+}
+
+fn dec_stats(v: &Value) -> Result<IterationStats> {
+    let td_loss = match field(v, "td_loss")? {
+        Value::Null => None,
+        Value::Str(s) => Some(
+            u32::from_str_radix(s, 16)
+                .map(f32::from_bits)
+                .map_err(|_| corrupt(format!("bad td_loss bits {s:?}")))?,
+        ),
+        _ => return Err(corrupt("td_loss is neither null nor a string")),
+    };
+    Ok(IterationStats {
+        iteration: get_usize(v, "iteration")?,
+        enriched: get_usize(v, "enriched")?,
+        selected: get_usize(v, "selected")?,
+        answers: get_usize(v, "answers")?,
+        spend: get_f64_bits(v, "spend")?,
+        reward: get_f64_bits(v, "reward")?,
+        labelled_total: get_usize(v, "labelled_total")?,
+        td_loss,
+    })
+}
+
+fn enc_confusion(m: &ConfusionMatrix) -> Value {
+    let k = m.num_classes();
+    Value::Arr(
+        (0..k)
+            .map(|t| {
+                let row: Vec<f64> = (0..k).map(|r| m.get(ClassId(t), ClassId(r))).collect();
+                f64s(&row)
+            })
+            .collect(),
+    )
+}
+
+fn dec_confusion(v: &Value, what: &str) -> Result<ConfusionMatrix> {
+    let rows = v
+        .as_arr()
+        .ok_or_else(|| corrupt(format!("{what}: not an array")))?
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            parse_f64s(
+                row.as_str()
+                    .ok_or_else(|| corrupt(format!("{what}[{i}]: not a string")))?,
+                what,
+            )
+        })
+        .collect::<Result<Vec<_>>>()?;
+    ConfusionMatrix::from_rows(&rows).map_err(|e| corrupt(format!("{what}: {e}")))
+}
+
+fn enc_result(r: &InferenceResult) -> Value {
+    obj([
+        (
+            "posteriors",
+            Value::Arr(
+                r.posteriors
+                    .iter()
+                    .map(|p| opt(p.as_ref(), |p| f64s(p)))
+                    .collect(),
+            ),
+        ),
+        (
+            "confusions",
+            Value::Arr(r.confusions.iter().map(enc_confusion).collect()),
+        ),
+        ("class_prior", f64s(&r.class_prior)),
+        ("iterations", num(r.iterations)),
+        ("log_likelihood", bits_f64(r.log_likelihood)),
+    ])
+}
+
+fn dec_result(v: &Value) -> Result<InferenceResult> {
+    let posteriors = get_arr(v, "posteriors")?
+        .iter()
+        .enumerate()
+        .map(|(i, p)| match p {
+            Value::Null => Ok(None),
+            Value::Str(s) => parse_f64s(s, "posteriors").map(Some),
+            _ => Err(corrupt(format!("posteriors[{i}] is not null or a string"))),
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(InferenceResult {
+        posteriors,
+        confusions: get_arr(v, "confusions")?
+            .iter()
+            .map(|m| dec_confusion(m, "confusions"))
+            .collect::<Result<_>>()?,
+        class_prior: get_f64s(v, "class_prior")?,
+        iterations: get_usize(v, "iterations")?,
+        log_likelihood: get_f64_bits(v, "log_likelihood")?,
+    })
+}
+
+fn enc_engine(e: &EngineSnapshot) -> Value {
+    obj([
+        ("last", enc_result(&e.last)),
+        (
+            "answer_counts",
+            Value::Arr(e.answer_counts.iter().map(|&n| num(n)).collect()),
+        ),
+        ("total_answers", num(e.total_answers)),
+        (
+            "moved",
+            Value::Arr(e.moved.iter().map(|&b| Value::Bool(b)).collect()),
+        ),
+        (
+            "answered",
+            Value::Arr(e.answered.iter().map(|&n| num(n)).collect()),
+        ),
+        ("warm_calls_since_full", num(e.warm_calls_since_full)),
+        ("calls", hex_u64(e.calls)),
+    ])
+}
+
+fn dec_engine(v: &Value) -> Result<EngineSnapshot> {
+    Ok(EngineSnapshot {
+        last: dec_result(field(v, "last")?)?,
+        answer_counts: arr_usize(v, "answer_counts")?,
+        total_answers: get_usize(v, "total_answers")?,
+        moved: get_arr(v, "moved")?
+            .iter()
+            .map(|b| match b {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(corrupt("moved: non-bool element")),
+            })
+            .collect::<Result<_>>()?,
+        answered: arr_usize(v, "answered")?,
+        warm_calls_since_full: get_usize(v, "warm_calls_since_full")?,
+        calls: get_hex_u64(v, "calls")?,
+    })
+}
+
+fn enc_quarantine_status(s: QuarantineStatus) -> Value {
+    match s {
+        QuarantineStatus::Active => Value::Str("active".into()),
+        QuarantineStatus::Quarantined {
+            until_refresh,
+            answers_at_entry,
+        } => obj([
+            ("s", Value::Str("quarantined".into())),
+            ("until", num(until_refresh)),
+            ("answers", num(answers_at_entry)),
+        ]),
+        QuarantineStatus::Probation { answers_at_entry } => obj([
+            ("s", Value::Str("probation".into())),
+            ("answers", num(answers_at_entry)),
+        ]),
+    }
+}
+
+fn dec_quarantine_status(v: &Value) -> Result<QuarantineStatus> {
+    match v {
+        Value::Str(s) if s == "active" => Ok(QuarantineStatus::Active),
+        Value::Obj(_) => match get_str(v, "s")? {
+            "quarantined" => Ok(QuarantineStatus::Quarantined {
+                until_refresh: get_usize(v, "until")?,
+                answers_at_entry: get_usize(v, "answers")?,
+            }),
+            "probation" => Ok(QuarantineStatus::Probation {
+                answers_at_entry: get_usize(v, "answers")?,
+            }),
+            other => Err(corrupt(format!("unknown quarantine status {other:?}"))),
+        },
+        _ => Err(corrupt("quarantine status is neither a string nor object")),
+    }
+}
+
+fn enc_core(c: &CoreState) -> Value {
+    obj([
+        ("classifier", enc_classifier(&c.classifier)),
+        ("agent", enc_agent(&c.agent)),
+        (
+            "labelled",
+            Value::Arr(c.labelled.iter().map(|&l| enc_label_state(l)).collect()),
+        ),
+        ("qualities", f64s(&c.qualities)),
+        (
+            "prev_confidence",
+            Value::Arr(
+                c.prev_confidence
+                    .iter()
+                    .map(|p| opt(*p, bits_f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "outstanding",
+            Value::Arr(c.outstanding.iter().map(enc_pending).collect()),
+        ),
+        ("trace", Value::Arr(c.trace.iter().map(enc_stats).collect())),
+        ("trust_agree", bits_f64(c.trust_agree)),
+        ("trust_scored", bits_f64(c.trust_scored)),
+        ("phi_trust", bits_f64(c.phi_trust)),
+        ("fixed_allowance", opt(c.fixed_allowance, bits_f64)),
+        ("last_spent", bits_f64(c.last_spent)),
+        ("refresh_index", num(c.refresh_index)),
+        ("engine", opt(c.engine.as_ref(), enc_engine)),
+        (
+            "rng",
+            Value::Arr(c.rng.iter().map(|&w| hex_u64(w)).collect()),
+        ),
+        (
+            "quarantine",
+            Value::Arr(
+                c.quarantine
+                    .iter()
+                    .map(|&s| enc_quarantine_status(s))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn dec_core(v: &Value) -> Result<CoreState> {
+    let prev_confidence = get_arr(v, "prev_confidence")?
+        .iter()
+        .map(|p| match p {
+            Value::Null => Ok(None),
+            Value::Str(s) => Ok(Some(f64::from_bits(parse_hex_u64(s, "prev_confidence")?))),
+            _ => Err(corrupt("prev_confidence: bad element")),
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let fixed_allowance = match field(v, "fixed_allowance")? {
+        Value::Null => None,
+        Value::Str(s) => Some(f64::from_bits(parse_hex_u64(s, "fixed_allowance")?)),
+        _ => return Err(corrupt("fixed_allowance: bad value")),
+    };
+    let engine = match field(v, "engine")? {
+        Value::Null => None,
+        e => Some(dec_engine(e)?),
+    };
+    let rng_words = get_arr(v, "rng")?
+        .iter()
+        .map(|w| {
+            parse_hex_u64(
+                w.as_str().ok_or_else(|| corrupt("rng: non-string word"))?,
+                "rng",
+            )
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let rng: [u64; 4] = rng_words
+        .try_into()
+        .map_err(|_| corrupt("rng: expected exactly 4 words"))?;
+    Ok(CoreState {
+        classifier: dec_classifier(field(v, "classifier")?)?,
+        agent: dec_agent(field(v, "agent")?)?,
+        labelled: get_arr(v, "labelled")?
+            .iter()
+            .map(dec_label_state)
+            .collect::<Result<_>>()?,
+        qualities: get_f64s(v, "qualities")?,
+        prev_confidence,
+        outstanding: get_arr(v, "outstanding")?
+            .iter()
+            .map(dec_pending)
+            .collect::<Result<_>>()?,
+        trace: get_arr(v, "trace")?
+            .iter()
+            .map(dec_stats)
+            .collect::<Result<_>>()?,
+        trust_agree: get_f64_bits(v, "trust_agree")?,
+        trust_scored: get_f64_bits(v, "trust_scored")?,
+        phi_trust: get_f64_bits(v, "phi_trust")?,
+        fixed_allowance,
+        last_spent: get_f64_bits(v, "last_spent")?,
+        refresh_index: get_usize(v, "refresh_index")?,
+        engine,
+        rng,
+        quarantine: get_arr(v, "quarantine")?
+            .iter()
+            .map(dec_quarantine_status)
+            .collect::<Result<_>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x).unwrap()
+    }
+
+    fn sample_checkpoint() -> RunCheckpoint {
+        let mut answers = AnswerSet::new(3);
+        answers
+            .record(Answer {
+                object: ObjectId(0),
+                annotator: AnnotatorId(1),
+                label: ClassId(1),
+            })
+            .unwrap();
+        answers
+            .record(Answer {
+                object: ObjectId(2),
+                annotator: AnnotatorId(0),
+                label: ClassId(0),
+            })
+            .unwrap();
+        let pump = PumpCheckpoint {
+            now: t(4.5),
+            next_seq: 7,
+            events: vec![
+                Event {
+                    at: t(5.0),
+                    seq: 3,
+                    kind: EventKind::Deliver(AssignmentId(1)),
+                },
+                Event {
+                    at: t(6.0),
+                    seq: 5,
+                    kind: EventKind::Expire(AssignmentId(1)),
+                },
+            ],
+            records: vec![AssignmentRecord {
+                id: AssignmentId(0),
+                object: ObjectId(0),
+                annotator: AnnotatorId(1),
+                cost: 1.25,
+                dispatched_at: t(0.0),
+                deadline: t(8.0),
+                status: AssignmentStatus::Delivered,
+            }],
+            budget_total: 100.0,
+            budget_spent: 0.1 + 0.2, // deliberately not 0.3 exactly
+            budget_charges: 2,
+            answers,
+            latencies: vec![1.5, f64::MIN_POSITIVE],
+            dispatched: 4,
+            delivered: 2,
+            rejected: 1,
+            timeouts: 1,
+            requeues: 1,
+            refreshes: 2,
+            events_processed: 9,
+            trace: vec![
+                TraceEvent::Dispatched {
+                    at: t(0.0),
+                    id: AssignmentId(0),
+                    object: ObjectId(0),
+                    annotator: AnnotatorId(1),
+                },
+                TraceEvent::Refreshed {
+                    at: t(4.0),
+                    answers: 2,
+                    labelled: 1,
+                },
+                TraceEvent::Quarantined {
+                    at: t(4.0),
+                    annotator: AnnotatorId(2),
+                },
+            ],
+            labels_by_id: vec![Some(ClassId(1)), None],
+            requeue_count: vec![0, 2, 0],
+            abandoned: vec![ObjectId(1)],
+            backoff_until: vec![0.0, 9.5, 0.0],
+            answers_since: 1,
+            last_refresh: t(4.0),
+        };
+        let core = CoreState {
+            classifier: ClassifierSnapshot {
+                params: vec![0.5, -1.25, f32::EPSILON],
+                opt_state: vec![(vec![0.1, 0.2], vec![0.3, 0.4], 11)],
+                trained: true,
+                generation: 3,
+            },
+            agent: AgentState {
+                dqn: DqnSnapshot {
+                    online: vec![1.0, 2.0],
+                    target: vec![1.0, 2.5],
+                    opt_state: vec![],
+                    replay: vec![Transition {
+                        state_action: vec![0.25],
+                        reward: -0.5,
+                        next_candidates: vec![vec![1.0], vec![2.0]],
+                        terminal: false,
+                    }],
+                    replay_head: 1,
+                    replay_pushed: 1,
+                    train_steps: 5,
+                },
+                ucb_counts: Some(vec![(3, 1), (0, 0)]),
+                eps_steps: None,
+            },
+            labelled: vec![
+                LabelState::Inferred(ClassId(1)),
+                LabelState::Unlabelled,
+                LabelState::Enriched(ClassId(0)),
+            ],
+            qualities: vec![0.9, 0.4],
+            prev_confidence: vec![Some(0.75), None, Some(0.5)],
+            outstanding: vec![PendingBatchState {
+                assignments: vec![Assignment {
+                    object: ObjectId(2),
+                    annotators: vec![AnnotatorId(0), AnnotatorId(1)],
+                    embeddings: vec![vec![0.1, 0.2], vec![0.3, 0.4]],
+                }],
+                conf_before: vec![(ObjectId(2), 0.33)],
+                phi_guesses: vec![(ObjectId(2), 1)],
+            }],
+            trace: vec![IterationStats {
+                iteration: 0,
+                enriched: 1,
+                selected: 2,
+                answers: 2,
+                spend: 2.5,
+                reward: -0.125,
+                labelled_total: 1,
+                td_loss: Some(0.01),
+            }],
+            trust_agree: 1.0,
+            trust_scored: 2.0,
+            phi_trust: 0.5,
+            fixed_allowance: None,
+            last_spent: 0.3,
+            refresh_index: 2,
+            engine: Some(EngineSnapshot {
+                last: InferenceResult {
+                    posteriors: vec![Some(vec![0.9, 0.1]), None, Some(vec![0.2, 0.8])],
+                    confusions: vec![
+                        ConfusionMatrix::from_rows(&[vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap(),
+                    ],
+                    class_prior: vec![0.6, 0.4],
+                    iterations: 7,
+                    log_likelihood: f64::NAN, // must survive the round trip
+                },
+                answer_counts: vec![1, 0, 1],
+                total_answers: 2,
+                moved: vec![true, false, true],
+                answered: vec![0, 2],
+                warm_calls_since_full: 1,
+                calls: 4,
+            }),
+            rng: [u64::MAX, 0, 0xDEAD_BEEF, 42],
+            quarantine: vec![
+                QuarantineStatus::Active,
+                QuarantineStatus::Quarantined {
+                    until_refresh: 6,
+                    answers_at_entry: 12,
+                },
+                QuarantineStatus::Probation {
+                    answers_at_entry: 9,
+                },
+            ],
+        };
+        RunCheckpoint {
+            fingerprint: 0x1234_5678_9ABC_DEF0,
+            objects: 3,
+            annotators: 3,
+            pump,
+            core,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let ck = sample_checkpoint();
+        let text = RunCheckpoint::decode(&ck.encode()).unwrap().encode();
+        // Deterministic rendering makes byte equality the strongest
+        // round-trip check available without Eq on every nested type.
+        assert_eq!(text, ck.encode());
+        let back = RunCheckpoint::decode(&text).unwrap();
+        assert_eq!(back.fingerprint, ck.fingerprint);
+        assert_eq!(
+            back.pump.budget_spent.to_bits(),
+            ck.pump.budget_spent.to_bits()
+        );
+        assert_eq!(back.pump.trace, ck.pump.trace);
+        assert_eq!(back.core.rng, ck.core.rng);
+        let engine = back.core.engine.unwrap();
+        assert!(engine.last.log_likelihood.is_nan());
+        assert_eq!(
+            engine.last.posteriors,
+            ck.core.engine.as_ref().unwrap().last.posteriors
+        );
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let ck = sample_checkpoint();
+        let text = ck.encode();
+        assert!(RunCheckpoint::decode("not json").is_err());
+        assert!(RunCheckpoint::decode("{}").is_err());
+        let wrong_version = text.replacen("\"version\":1", "\"version\":99", 1);
+        assert!(RunCheckpoint::decode(&wrong_version).is_err());
+        // Truncating a hex blob breaks the fixed-width invariant.
+        let truncated = text.replacen("3ff8000000000000", "3ff800000000000", 1);
+        assert!(RunCheckpoint::decode(&truncated).is_err());
+    }
+}

@@ -59,6 +59,38 @@ impl EventQueue {
         self.now = event.at;
         Some(event)
     }
+
+    /// Snapshot for checkpointing: the clock, the sequence counter, and
+    /// every pending event in deterministic (pop) order.
+    pub fn snapshot(&self) -> (SimTime, u64, Vec<Event>) {
+        let mut events: Vec<Event> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        events.sort();
+        (self.now, self.next_seq, events)
+    }
+
+    /// Rebuild a queue from a [`snapshot`](Self::snapshot). Sequence
+    /// numbers are preserved so tie-breaking replays identically.
+    pub fn restore(now: SimTime, next_seq: u64, events: Vec<Event>) -> Result<Self> {
+        for e in &events {
+            if e.at < now {
+                return Err(Error::ServiceFailure(format!(
+                    "checkpointed event at {} precedes the clock {now}",
+                    e.at
+                )));
+            }
+            if e.seq >= next_seq {
+                return Err(Error::ServiceFailure(format!(
+                    "checkpointed event seq {} not below next_seq {next_seq}",
+                    e.seq
+                )));
+            }
+        }
+        Ok(Self {
+            heap: events.into_iter().map(Reverse).collect(),
+            next_seq,
+            now,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Configuration of the asynchronous runtime.
 
-use crowdrl_sim::DynamicsSpec;
+use crate::supervisor::{QuarantineConfig, SupervisorConfig};
+use crowdrl_sim::{DynamicsSpec, FaultPlan};
 use crowdrl_types::{Error, Result};
 
 /// How the runtime executes.
@@ -44,6 +45,18 @@ pub struct ServeConfig {
     /// derived from `(sampling_seed, i)`, which is what makes the
     /// worker-pool trace identical to the single-threaded one.
     pub sampling_seed: u64,
+    /// Deterministic fault injection applied to sampled outcomes
+    /// (no-shows, abandonment, stragglers, outages, duplicates, drift).
+    /// The default plan injects nothing.
+    pub faults: FaultPlan,
+    /// Retry/backoff policy for timed-out assignments. Backoff is off by
+    /// default.
+    pub supervisor: SupervisorConfig,
+    /// Annotator circuit-breaker policy. Off by default.
+    pub quarantine: QuarantineConfig,
+    /// Take a crash-consistent checkpoint every this many truth-inference
+    /// refreshes; `0` (the default) never checkpoints.
+    pub checkpoint_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +69,10 @@ impl Default for ServeConfig {
             mode: ExecMode::SingleThread,
             dynamics: DynamicsSpec::default(),
             sampling_seed: 0x5EED_CAFE,
+            faults: FaultPlan::default(),
+            supervisor: SupervisorConfig::default(),
+            quarantine: QuarantineConfig::default(),
+            checkpoint_every: 0,
         }
     }
 }
@@ -80,6 +97,9 @@ impl ServeConfig {
                 self.time_watermark
             )));
         }
+        self.faults.validate()?;
+        self.supervisor.validate()?;
+        self.quarantine.validate()?;
         Ok(())
     }
 
@@ -99,6 +119,30 @@ impl ServeConfig {
     pub fn with_watermarks(mut self, answers: usize, time: f64) -> Self {
         self.answer_watermark = answers;
         self.time_watermark = time;
+        self
+    }
+
+    /// Set the fault plan (builder-style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the supervisor policy (builder-style).
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Set the quarantine policy (builder-style).
+    pub fn with_quarantine(mut self, quarantine: QuarantineConfig) -> Self {
+        self.quarantine = quarantine;
+        self
+    }
+
+    /// Set the checkpoint cadence (builder-style).
+    pub fn with_checkpoint_every(mut self, refreshes: usize) -> Self {
+        self.checkpoint_every = refreshes;
         self
     }
 }
@@ -132,6 +176,34 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn nested_policies_are_validated() {
+        let faults = FaultPlan {
+            no_show_rate: 2.0,
+            ..FaultPlan::default()
+        };
+        assert!(ServeConfig::default()
+            .with_faults(faults)
+            .validate()
+            .is_err());
+        let sup = SupervisorConfig {
+            backoff_base: f64::NAN,
+            ..SupervisorConfig::default()
+        };
+        assert!(ServeConfig::default()
+            .with_supervisor(sup)
+            .validate()
+            .is_err());
+        let quar = QuarantineConfig {
+            score_threshold: -0.1,
+            ..QuarantineConfig::default()
+        };
+        assert!(ServeConfig::default()
+            .with_quarantine(quar)
+            .validate()
+            .is_err());
     }
 
     #[test]

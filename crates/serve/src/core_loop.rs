@@ -17,7 +17,8 @@
 //!
 //! [`CrowdRl::run`]: crowdrl_core::CrowdRl::run
 
-use crowdrl_core::agent::{Assignment, SelectionAgent};
+use crate::supervisor::{Quarantine, QuarantineConfig, QuarantineEvent, QuarantineStatus};
+use crowdrl_core::agent::{AgentState, Assignment, SelectionAgent};
 use crowdrl_core::classifier_util::retrain_on_labelled;
 use crowdrl_core::config::{CrowdRlConfig, InferenceModel};
 use crowdrl_core::enrichment::{enrich, fallback_label_all, refresh_enriched};
@@ -26,13 +27,14 @@ use crowdrl_core::infer_step::{apply_inference, make_engine, run_inference_step}
 use crowdrl_core::outcome::{IterationStats, LabellingOutcome};
 use crowdrl_core::reward::{iteration_reward, RewardInputs};
 use crowdrl_core::workflow::classifier_accuracy_on_labelled;
-use crowdrl_inference::InferenceEngine;
-use crowdrl_nn::SoftmaxClassifier;
+use crowdrl_inference::{EngineSnapshot, InferenceEngine};
+use crowdrl_nn::{ClassifierSnapshot, SoftmaxClassifier};
 use crowdrl_obs as obs;
 use crowdrl_sim::AnnotatorPool;
 use crowdrl_types::rng::{sample_indices, seeded};
 use crowdrl_types::{
-    AnnotatorId, AnswerSet, Dataset, LabelState, LabelledSet, ObjectId, Result, SimTime,
+    AnnotatorId, AnnotatorProfile, Answer, AnswerSet, Dataset, Error, LabelState, LabelledSet,
+    ObjectId, Result, SimTime,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -91,6 +93,9 @@ pub struct RefreshReply {
     /// True once every object is labelled — the pump stops dispatching
     /// and shuts down.
     pub done: bool,
+    /// Circuit-breaker transitions this refresh caused (empty unless
+    /// quarantine is enabled), for the pump's trace.
+    pub quarantine: Vec<QuarantineEvent>,
 }
 
 /// Final accounting handed to [`AgentCore::finalize`].
@@ -112,6 +117,56 @@ struct PendingBatch {
     /// The classifier's pre-answer argmax per object, for the trust
     /// estimate (only recorded when the classifier is trained).
     phi_guesses: Vec<(ObjectId, usize)>,
+}
+
+/// Serializable form of one [`PendingBatch`]. `conf_before` is sorted by
+/// object so the encoding is deterministic regardless of hash order.
+#[derive(Debug, Clone)]
+pub struct PendingBatchState {
+    /// The batch's assignments (objects, annotators, replay embeddings).
+    pub assignments: Vec<Assignment>,
+    /// Pre-answer confidence per object, sorted by object id.
+    pub conf_before: Vec<(ObjectId, f64)>,
+    /// Pre-answer classifier guesses.
+    pub phi_guesses: Vec<(ObjectId, usize)>,
+}
+
+/// Checkpointable state of an [`AgentCore`]: everything its constructor
+/// does not re-derive from the dataset and pool.
+#[derive(Debug, Clone)]
+pub struct CoreState {
+    /// Classifier weights, optimizer state and generation counter.
+    pub classifier: ClassifierSnapshot,
+    /// DQN, replay buffer and exploration state.
+    pub agent: AgentState,
+    /// Per-object label states.
+    pub labelled: Vec<LabelState>,
+    /// Latest per-annotator quality estimates.
+    pub qualities: Vec<f64>,
+    /// Last known posterior confidence per object.
+    pub prev_confidence: Vec<Option<f64>>,
+    /// Batches dispatched but not yet credited with reward.
+    pub outstanding: Vec<PendingBatchState>,
+    /// Per-refresh statistics so far.
+    pub trace: Vec<IterationStats>,
+    /// Decayed out-of-sample agreement numerator.
+    pub trust_agree: f64,
+    /// Decayed out-of-sample agreement denominator.
+    pub trust_scored: f64,
+    /// The classifier trust estimate derived from the two above.
+    pub phi_trust: f64,
+    /// The per-refresh spending allowance, once fixed.
+    pub fixed_allowance: Option<f64>,
+    /// Budget charged as of the previous refresh.
+    pub last_spent: f64,
+    /// Refreshes completed.
+    pub refresh_index: usize,
+    /// Warm EM state, when an engine is configured and has run.
+    pub engine: Option<EngineSnapshot>,
+    /// The core's private RNG stream.
+    pub rng: [u64; 4],
+    /// Annotator circuit-breaker states.
+    pub quarantine: Vec<QuarantineStatus>,
 }
 
 /// The agent side of the asynchronous runtime (see module docs).
@@ -141,6 +196,10 @@ pub struct AgentCore<'a> {
     /// (None = stateless cold inference every refresh).
     engine: Option<InferenceEngine>,
     rng: StdRng,
+    /// Per-annotator circuit breakers (no-ops unless enabled).
+    quarantine: Quarantine,
+    /// Live-pool size below which degraded mode engages.
+    quorum: usize,
 }
 
 impl<'a> AgentCore<'a> {
@@ -151,8 +210,10 @@ impl<'a> AgentCore<'a> {
         dataset: &'a Dataset,
         pool: &'a AnnotatorPool,
         seed: u64,
+        quarantine: QuarantineConfig,
     ) -> Result<Self> {
         config.validate()?;
+        quarantine.validate()?;
         let mut rng = seeded(seed);
         let classifier = SoftmaxClassifier::new(
             config.classifier.clone(),
@@ -188,6 +249,12 @@ impl<'a> AgentCore<'a> {
             last_spent: 0.0,
             refresh_index: 0,
             engine: make_engine(&config.inference, &config.engine),
+            quorum: if quarantine.min_pool == 0 {
+                config.assignment_k
+            } else {
+                quarantine.min_pool
+            },
+            quarantine: Quarantine::new(quarantine, pool.len()),
             config,
             dataset,
             pool,
@@ -239,20 +306,54 @@ impl<'a> AgentCore<'a> {
         panels
     }
 
+    /// The answers truth inference should trust. While an annotator sits
+    /// in quarantine its past votes are excluded along with its future
+    /// assignments — a tripped breaker means the estimates that *would*
+    /// down-weight those answers can't be relied on. Returns `None` on
+    /// the common path (nobody quarantined, quarantine disabled) so the
+    /// caller keeps the original set untouched and bit-identical.
+    fn trusted_answers(&self, answers: &AnswerSet) -> Result<Option<AnswerSet>> {
+        if !(0..self.pool.len()).any(|i| self.quarantine.is_quarantined(i)) {
+            return Ok(None);
+        }
+        let mut filtered = AnswerSet::new(self.dataset.len());
+        for i in 0..self.dataset.len() {
+            let object = ObjectId(i);
+            for &(annotator, label) in answers.answers_for(object) {
+                if !self.quarantine.is_quarantined(annotator.index()) {
+                    filtered.record(Answer {
+                        object,
+                        annotator,
+                        label,
+                    })?;
+                }
+            }
+        }
+        // Degenerate corner: every answer came from quarantined
+        // annotators. Inferring over nothing would be worse than
+        // inferring over suspect votes, so keep the original set.
+        if filtered.total_answers() == 0 {
+            return Ok(None);
+        }
+        Ok(Some(filtered))
+    }
+
     /// One refresh: ingest the answers, credit outstanding batches, and
     /// decide the next panels. Mirrors one iteration of the batch loop.
     pub fn refresh(&mut self, req: &RefreshRequest) -> Result<RefreshReply> {
         let refresh_span = obs::span("serve.refresh");
         let k_classes = self.dataset.num_classes();
 
-        // (a) Truth inference over everything delivered so far.
+        // (a) Truth inference over everything delivered so far, minus
+        // votes from quarantined annotators.
         let inference_span = obs::span("serve.inference");
         let result = if req.answers.total_answers() > 0 {
+            let trusted = self.trusted_answers(&req.answers)?;
             let result = run_inference_step(
                 &mut self.engine,
                 &self.config.inference,
                 self.dataset,
-                &req.answers,
+                trusted.as_ref().unwrap_or(&req.answers),
                 self.pool,
                 &mut self.classifier,
                 &mut self.rng,
@@ -271,6 +372,28 @@ impl<'a> AgentCore<'a> {
             None
         };
         drop(inference_span);
+
+        // (a') Advance the annotator circuit breakers on the freshly
+        // inferred confusion matrices (no-op unless quarantine is
+        // enabled).
+        let mut quarantine_events = Vec::new();
+        if let Some(result) = &result {
+            quarantine_events = self.quarantine.update(
+                self.refresh_index,
+                &result.qualities(),
+                &req.answers.answer_counts(self.pool.len()),
+                k_classes,
+                self.pool.profiles(),
+                self.quorum,
+            );
+            for ev in &quarantine_events {
+                if ev.entered {
+                    obs::counter_add("quarantine.entered", 1);
+                } else {
+                    obs::counter_add("quarantine.released", 1);
+                }
+            }
+        }
 
         // (b) Trust update from the outstanding batches' pre-answer
         // guesses (same decayed out-of-sample agreement as the workflow).
@@ -455,6 +578,7 @@ impl<'a> AgentCore<'a> {
             panels,
             labelled: self.labelled.labelled_count(),
             done: self.labelled.all_labelled(),
+            quarantine: quarantine_events,
         })
     }
 
@@ -479,11 +603,12 @@ impl<'a> AgentCore<'a> {
         if !self.labelled.all_labelled() && req.answers.total_answers() > 0 {
             // A warm engine reuses the last refresh's result when no new
             // answers arrived since — finalize then costs one clone.
+            let trusted = self.trusted_answers(&req.answers)?;
             let final_result = run_inference_step(
                 &mut self.engine,
                 &self.config.inference,
                 self.dataset,
-                &req.answers,
+                trusted.as_ref().unwrap_or(&req.answers),
                 self.pool,
                 &mut self.classifier,
                 &mut self.rng,
@@ -590,9 +715,24 @@ impl<'a> AgentCore<'a> {
         let allowance = allowance.min(req.view.usable());
 
         let snapshot = self.snapshot(&req.answers, req.view);
+        // Quarantined annotators are filtered out of the selectable pool.
+        // Selection identifies annotators by `profile.id`, not position,
+        // so handing it a subset is safe; when every breaker is closed the
+        // original slice is used and the run is bit-identical.
+        let all_profiles = self.pool.profiles();
+        let active_profiles: Vec<AnnotatorProfile> = all_profiles
+            .iter()
+            .filter(|p| !self.quarantine.is_quarantined(p.id.index()))
+            .cloned()
+            .collect();
+        let profiles: &[AnnotatorProfile] = if active_profiles.len() == all_profiles.len() {
+            all_profiles
+        } else {
+            &active_profiles
+        };
         let assignments = self.agent.select(
             &candidates,
-            self.pool.profiles(),
+            profiles,
             &req.answers,
             &self.labelled,
             &snapshot,
@@ -636,6 +776,115 @@ impl<'a> AgentCore<'a> {
             phi_guesses,
         });
         Ok(panels)
+    }
+
+    /// Export everything the constructor does not re-derive, for a
+    /// crash-consistent checkpoint. The feature cache is deliberately
+    /// absent: it is a pure cache whose entries are bit-identical to a
+    /// batched recompute, so restore rebuilds it empty.
+    pub fn export_state(&self) -> CoreState {
+        let n = self.labelled.len();
+        CoreState {
+            classifier: self.classifier.snapshot(),
+            agent: self.agent.export_state(),
+            labelled: (0..n).map(|i| self.labelled.state(ObjectId(i))).collect(),
+            qualities: self.qualities.clone(),
+            prev_confidence: self.prev_confidence.clone(),
+            outstanding: self
+                .outstanding
+                .iter()
+                .map(|b| {
+                    let mut conf_before: Vec<(ObjectId, f64)> =
+                        b.conf_before.iter().map(|(&o, &c)| (o, c)).collect();
+                    conf_before.sort_by_key(|&(o, _)| o);
+                    PendingBatchState {
+                        assignments: b.assignments.clone(),
+                        conf_before,
+                        phi_guesses: b.phi_guesses.clone(),
+                    }
+                })
+                .collect(),
+            trace: self.trace.clone(),
+            trust_agree: self.trust_agree,
+            trust_scored: self.trust_scored,
+            phi_trust: self.phi_trust,
+            fixed_allowance: self.fixed_allowance,
+            last_spent: self.last_spent,
+            refresh_index: self.refresh_index,
+            engine: self.engine.as_ref().and_then(InferenceEngine::export_state),
+            rng: self.rng.state(),
+            quarantine: self.quarantine.states().to_vec(),
+        }
+    }
+
+    /// Rebuild a core from a [`CoreState`]. `config` and `quarantine`
+    /// must match the ones the checkpoint was taken under (the runtime
+    /// verifies a config fingerprint before calling this); the seed used
+    /// at construction is irrelevant because every piece of random state
+    /// is overwritten from the checkpoint.
+    pub fn restore(
+        config: CrowdRlConfig,
+        dataset: &'a Dataset,
+        pool: &'a AnnotatorPool,
+        quarantine: QuarantineConfig,
+        state: CoreState,
+    ) -> Result<Self> {
+        let quarantine_config = quarantine.clone();
+        let mut core = Self::new(config, dataset, pool, 0, quarantine)?;
+        if state.labelled.len() != dataset.len() {
+            return Err(Error::DimensionMismatch {
+                expected: dataset.len(),
+                actual: state.labelled.len(),
+                context: "checkpointed label states".into(),
+            });
+        }
+        if state.qualities.len() != pool.len() || state.quarantine.len() != pool.len() {
+            return Err(Error::DimensionMismatch {
+                expected: pool.len(),
+                actual: state.qualities.len(),
+                context: "checkpointed annotator state".into(),
+            });
+        }
+        core.classifier.restore(state.classifier)?;
+        core.agent.restore_state(state.agent)?;
+        for (i, s) in state.labelled.iter().enumerate() {
+            if !matches!(s, LabelState::Unlabelled) {
+                core.labelled.set(ObjectId(i), *s)?;
+            }
+        }
+        core.qualities = state.qualities;
+        core.prev_confidence = state.prev_confidence;
+        core.outstanding = state
+            .outstanding
+            .into_iter()
+            .map(|b| PendingBatch {
+                assignments: b.assignments,
+                conf_before: b.conf_before.into_iter().collect(),
+                phi_guesses: b.phi_guesses,
+            })
+            .collect();
+        core.trace = state.trace;
+        core.trust_agree = state.trust_agree;
+        core.trust_scored = state.trust_scored;
+        core.phi_trust = state.phi_trust;
+        core.fixed_allowance = state.fixed_allowance;
+        core.last_spent = state.last_spent;
+        core.refresh_index = state.refresh_index;
+        if let Some(snap) = state.engine {
+            match &mut core.engine {
+                Some(engine) => engine.restore_state(snap, dataset)?,
+                None => {
+                    return Err(Error::InvalidParameter(
+                        "checkpoint carries inference-engine state but this config runs \
+                         stateless inference"
+                            .into(),
+                    ))
+                }
+            }
+        }
+        core.rng = StdRng::from_state(state.rng);
+        core.quarantine = Quarantine::restore(quarantine_config, state.quarantine);
+        Ok(core)
     }
 
     /// Embeddings of sampled feasible successor actions for TD

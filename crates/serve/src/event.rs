@@ -90,6 +90,22 @@ pub enum TraceEvent {
         /// Labelled objects after the refresh.
         labelled: usize,
     },
+    /// An annotator's circuit breaker opened: its inferred quality
+    /// collapsed and it was removed from selection.
+    Quarantined {
+        /// Refresh time at which the breaker opened.
+        at: SimTime,
+        /// The quarantined annotator.
+        annotator: AnnotatorId,
+    },
+    /// A quarantined annotator was re-admitted (probation or degraded-
+    /// mode escalation).
+    QuarantineReleased {
+        /// Refresh time at which the annotator was released.
+        at: SimTime,
+        /// The released annotator.
+        annotator: AnnotatorId,
+    },
 }
 
 #[cfg(test)]

@@ -236,6 +236,44 @@ impl AssignmentLedger {
         Ok(Expiry::TimedOut { cost })
     }
 
+    /// Every record ever issued, in dispatch (id) order — the ledger's
+    /// whole state, since reservations and pair claims derive from it.
+    pub fn records(&self) -> &[AssignmentRecord] {
+        &self.records
+    }
+
+    /// Rebuild a ledger from checkpointed records. `reserved` and the
+    /// pair-claim set are re-derived: in-flight records reserve their
+    /// cost and claim their pair, delivered records claim their pair
+    /// forever, expired records claim nothing.
+    pub fn restore(records: Vec<AssignmentRecord>) -> Result<Self> {
+        let mut reserved = 0.0;
+        let mut pairs = HashSet::new();
+        for (i, r) in records.iter().enumerate() {
+            if r.id.0 as usize != i {
+                return Err(Error::ServiceFailure(format!(
+                    "ledger record {i} carries id {}",
+                    r.id
+                )));
+            }
+            match r.status {
+                AssignmentStatus::InFlight => {
+                    reserved += r.cost;
+                    pairs.insert((r.object, r.annotator));
+                }
+                AssignmentStatus::Delivered => {
+                    pairs.insert((r.object, r.annotator));
+                }
+                AssignmentStatus::Expired => {}
+            }
+        }
+        Ok(Self {
+            records,
+            reserved,
+            pairs,
+        })
+    }
+
     /// Objects with at least one in-flight assignment.
     pub fn objects_in_flight(&self) -> HashSet<ObjectId> {
         self.records

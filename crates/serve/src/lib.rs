@@ -54,21 +54,29 @@
 //! [`CrowdRl`]: crowdrl_core::CrowdRl
 //! [`CrowdRl::run`]: crowdrl_core::CrowdRl::run
 
+pub mod checkpoint;
 pub mod clock;
 pub mod config;
 pub mod core_loop;
+pub mod error;
 pub mod event;
 pub mod ledger;
 pub mod metrics;
 pub mod runtime;
 pub mod sampler;
+pub mod supervisor;
 
+pub use checkpoint::{PumpCheckpoint, RunCheckpoint};
 pub use clock::EventQueue;
 pub use config::{ExecMode, ServeConfig};
+pub use error::ServeError;
 pub use event::{Event, EventKind, TraceEvent};
 pub use ledger::{AssignmentLedger, AssignmentRecord, AssignmentStatus, Delivery, Expiry};
 pub use metrics::{MetricsCollector, ServiceMetrics};
-pub use runtime::{AsyncOutcome, AsyncRuntime};
+pub use runtime::{AsyncOutcome, AsyncRuntime, CheckpointSink, RunControl, RunOutcome};
+pub use supervisor::{
+    DegradedMode, Quarantine, QuarantineConfig, QuarantineEvent, QuarantineStatus, SupervisorConfig,
+};
 
 use crowdrl_core::CrowdRl;
 use crowdrl_sim::AnnotatorPool;

@@ -5,7 +5,7 @@
 //! enforces timeouts and exactly-once charging, and asks a [`Driver`] for
 //! everything intelligent (decisions) or random (annotator behaviour).
 //!
-//! Both drivers expose the same four calls, and everything that feeds
+//! Both drivers expose the same five calls, and everything that feeds
 //! them is deterministic, so the two modes replay each other's traces:
 //!
 //! * [`InlineDriver`] runs the [`AgentCore`] and the outcome sampler on
@@ -16,18 +16,32 @@
 //!   so the pool's scheduling cannot change them, and the agent thread
 //!   receives the exact call sequence the inline driver would. DQN
 //!   training is the one call with no reply — the pump keeps processing
-//!   events while the agent trains.
+//!   events while the agent trains. A snapshot request queues *behind*
+//!   the training message, so both modes checkpoint the identical
+//!   post-train state.
+//!
+//! Three chaos-layer concerns thread through the pump, all default-off:
+//! fault injection ([`FaultInjector`]) rewrites sampled outcomes between
+//! the sampler and the event queue; the supervisor's retry backoff
+//! ([`SupervisorConfig`](crate::supervisor::SupervisorConfig)) keeps
+//! timed-out objects out of the candidate set for a while; and the
+//! checkpoint hook snapshots the whole run at refresh boundaries so a
+//! killed run can [`resume`](AsyncRuntime::resume) bit-identically.
 
+use crate::checkpoint::{PumpCheckpoint, RunCheckpoint};
 use crate::clock::EventQueue;
 use crate::config::{ExecMode, ServeConfig};
-use crate::core_loop::{AgentCore, BudgetView, FinalizeRequest, RefreshReply, RefreshRequest};
+use crate::core_loop::{
+    AgentCore, BudgetView, CoreState, FinalizeRequest, RefreshReply, RefreshRequest,
+};
+use crate::error::ServeError;
 use crate::event::{EventKind, TraceEvent};
 use crate::ledger::{AssignmentLedger, Delivery, Expiry};
 use crate::metrics::{MetricsCollector, ServiceMetrics};
 use crate::sampler::{sample_outcome, SampleJob, SampledOutcome};
 use crowdrl_core::{CrowdRlConfig, LabellingOutcome};
 use crowdrl_obs as obs;
-use crowdrl_sim::{AnnotatorDynamics, AnnotatorPool};
+use crowdrl_sim::{AnnotatorDynamics, AnnotatorPool, FaultInjector, FaultRecord};
 use crowdrl_types::{
     AnnotatorId, Answer, AnswerSet, Budget, ClassId, Dataset, Error, ObjectId, Result, SimTime,
 };
@@ -46,6 +60,28 @@ pub struct AsyncOutcome {
     pub trace: Vec<TraceEvent>,
 }
 
+/// What a checkpoint sink tells the runtime to do after each snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunControl {
+    /// Keep running.
+    Continue,
+    /// Stop here; the run ends as [`RunOutcome::Halted`]. The checkpoint
+    /// just handed to the sink resumes the run exactly where it stopped.
+    Halt,
+}
+
+/// How a checkpoint-aware run ended.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The run finished normally.
+    Completed(Box<AsyncOutcome>),
+    /// A checkpoint sink requested a halt mid-run.
+    Halted,
+}
+
+/// Receives each checkpoint and decides whether the run continues.
+pub type CheckpointSink<'s> = &'s mut dyn FnMut(RunCheckpoint) -> RunControl;
+
 /// The pump's interface to the agent and the virtual crowd.
 trait Driver {
     /// Run one refresh and return the next panels.
@@ -55,6 +91,8 @@ trait Driver {
     /// Sample annotator outcomes for freshly dispatched assignments.
     /// Returns them sorted by assignment id.
     fn sample(&mut self, jobs: Vec<SampleJob>) -> Result<Vec<SampledOutcome>>;
+    /// Snapshot the agent core's full learning state.
+    fn snapshot(&mut self) -> Result<CoreState>;
     /// Close the run and build the outcome.
     fn finalize(&mut self, req: FinalizeRequest) -> Result<LabellingOutcome>;
 }
@@ -84,22 +122,30 @@ impl Driver for InlineDriver<'_> {
             .collect())
     }
 
+    fn snapshot(&mut self) -> Result<CoreState> {
+        Ok(self.core.export_state())
+    }
+
     fn finalize(&mut self, req: FinalizeRequest) -> Result<LabellingOutcome> {
         self.core.finalize(&req)
     }
 }
 
 /// Messages to the agent thread. Processed strictly in order, which is
-/// what makes the threaded call sequence identical to the inline one.
+/// what makes the threaded call sequence identical to the inline one —
+/// in particular a Snapshot sent after Train captures post-train state,
+/// exactly like the inline driver.
 enum ToAgent {
     Refresh(RefreshRequest),
     Train,
+    Snapshot,
     Finalize(FinalizeRequest),
 }
 
 /// Replies from the agent thread.
 enum FromAgent {
     Decision(Result<RefreshReply>),
+    Snapshot(Box<CoreState>),
     Outcome(Box<Result<LabellingOutcome>>),
 }
 
@@ -112,7 +158,7 @@ struct ThreadedDriver {
 }
 
 fn dead_agent() -> Error {
-    Error::ServiceFailure("agent thread is gone".into())
+    ServeError::AgentGone.into()
 }
 
 impl Driver for ThreadedDriver {
@@ -122,7 +168,7 @@ impl Driver for ThreadedDriver {
             .map_err(|_| dead_agent())?;
         match self.from_agent.recv().map_err(|_| dead_agent())? {
             FromAgent::Decision(reply) => reply,
-            FromAgent::Outcome(_) => Err(dead_agent()),
+            _ => Err(dead_agent()),
         }
     }
 
@@ -147,14 +193,62 @@ impl Driver for ThreadedDriver {
         Ok(out)
     }
 
+    fn snapshot(&mut self) -> Result<CoreState> {
+        self.to_agent
+            .send(ToAgent::Snapshot)
+            .map_err(|_| dead_agent())?;
+        match self.from_agent.recv().map_err(|_| dead_agent())? {
+            FromAgent::Snapshot(state) => Ok(*state),
+            _ => Err(dead_agent()),
+        }
+    }
+
     fn finalize(&mut self, req: FinalizeRequest) -> Result<LabellingOutcome> {
         self.to_agent
             .send(ToAgent::Finalize(req))
             .map_err(|_| dead_agent())?;
         match self.from_agent.recv().map_err(|_| dead_agent())? {
             FromAgent::Outcome(outcome) => *outcome,
-            FromAgent::Decision(_) => Err(dead_agent()),
+            _ => Err(dead_agent()),
         }
+    }
+}
+
+/// Build the fault injector a config calls for (None when the plan is a
+/// no-op, so the fault-free fast path stays branch-cheap).
+fn build_injector(serve: &ServeConfig, dataset: &Dataset) -> Result<Option<FaultInjector>> {
+    if serve.faults.is_noop() {
+        Ok(None)
+    } else {
+        Ok(Some(FaultInjector::new(
+            serve.faults.clone(),
+            dataset.num_classes(),
+        )?))
+    }
+}
+
+/// Bump the `fault.injected.*` trace counters for one injected outcome.
+fn count_faults(faults: &FaultRecord) {
+    if faults.is_clean() {
+        return;
+    }
+    if faults.no_show {
+        obs::counter_add("fault.injected.no_show", 1);
+    }
+    if faults.abandoned {
+        obs::counter_add("fault.injected.abandon", 1);
+    }
+    if faults.straggler {
+        obs::counter_add("fault.injected.straggler", 1);
+    }
+    if faults.outage {
+        obs::counter_add("fault.injected.outage", 1);
+    }
+    if faults.duplicate {
+        obs::counter_add("fault.injected.duplicate", 1);
+    }
+    if faults.drifted {
+        obs::counter_add("fault.injected.drift", 1);
     }
 }
 
@@ -163,6 +257,9 @@ struct Pump<'a> {
     dataset: &'a Dataset,
     pool: &'a AnnotatorPool,
     serve: &'a ServeConfig,
+    /// Config fingerprint stamped into every checkpoint.
+    fingerprint: u64,
+    injector: Option<FaultInjector>,
     queue: EventQueue,
     ledger: AssignmentLedger,
     budget: Budget,
@@ -173,8 +270,13 @@ struct Pump<'a> {
     labels_by_id: Vec<Option<ClassId>>,
     requeue_count: Vec<usize>,
     abandoned: HashSet<ObjectId>,
+    /// Per-object supervisor backoff deadline (absolute sim time); an
+    /// object is withheld from refreshes until its deadline passes.
+    backoff_until: Vec<f64>,
     answers_since: usize,
     last_refresh: SimTime,
+    /// Refreshes since the last checkpoint was cut.
+    refreshes_since_ckpt: usize,
     done: bool,
 }
 
@@ -184,11 +286,14 @@ impl<'a> Pump<'a> {
         pool: &'a AnnotatorPool,
         serve: &'a ServeConfig,
         budget: f64,
+        fingerprint: u64,
     ) -> Result<Self> {
         Ok(Self {
             dataset,
             pool,
             serve,
+            fingerprint,
+            injector: build_injector(serve, dataset)?,
             queue: EventQueue::new(),
             ledger: AssignmentLedger::new(),
             budget: Budget::new(budget)?,
@@ -198,10 +303,107 @@ impl<'a> Pump<'a> {
             labels_by_id: Vec::new(),
             requeue_count: vec![0; dataset.len()],
             abandoned: HashSet::new(),
+            backoff_until: vec![0.0; dataset.len()],
             answers_since: 0,
             last_refresh: SimTime::ZERO,
+            refreshes_since_ckpt: 0,
             done: false,
         })
+    }
+
+    /// Rebuild a pump mid-run from a checkpoint. Everything derivable
+    /// (ledger reservations, pair claims) is re-derived and validated;
+    /// everything order-dependent (budget float sum, event sequence
+    /// numbers) is restored bit-exactly.
+    fn restore(
+        dataset: &'a Dataset,
+        pool: &'a AnnotatorPool,
+        serve: &'a ServeConfig,
+        fingerprint: u64,
+        state: PumpCheckpoint,
+    ) -> Result<Self> {
+        if state.requeue_count.len() != dataset.len()
+            || state.backoff_until.len() != dataset.len()
+            || state.answers.num_objects() != dataset.len()
+        {
+            return Err(ServeError::CorruptCheckpoint(format!(
+                "pump state sized for {} objects, dataset has {}",
+                state.requeue_count.len(),
+                dataset.len()
+            ))
+            .into());
+        }
+        if state.labels_by_id.len() != state.records.len() {
+            return Err(ServeError::CorruptCheckpoint(format!(
+                "{} sampled labels for {} ledger records",
+                state.labels_by_id.len(),
+                state.records.len()
+            ))
+            .into());
+        }
+        let collector = MetricsCollector {
+            latencies: state.latencies,
+            dispatched: state.dispatched,
+            delivered: state.delivered,
+            rejected: state.rejected,
+            timeouts: state.timeouts,
+            requeues: state.requeues,
+            refreshes: state.refreshes,
+            events: state.events_processed,
+        };
+        Ok(Self {
+            dataset,
+            pool,
+            serve,
+            fingerprint,
+            injector: build_injector(serve, dataset)?,
+            queue: EventQueue::restore(state.now, state.next_seq, state.events)?,
+            ledger: AssignmentLedger::restore(state.records)?,
+            budget: Budget::restore(state.budget_total, state.budget_spent, state.budget_charges)?,
+            answers: state.answers,
+            collector,
+            trace: state.trace,
+            labels_by_id: state.labels_by_id,
+            requeue_count: state.requeue_count,
+            abandoned: state.abandoned.into_iter().collect(),
+            backoff_until: state.backoff_until,
+            answers_since: state.answers_since,
+            last_refresh: state.last_refresh,
+            refreshes_since_ckpt: 0,
+            done: false,
+        })
+    }
+
+    /// Snapshot the pump's complete service state.
+    fn export_state(&self) -> PumpCheckpoint {
+        let (now, next_seq, events) = self.queue.snapshot();
+        let mut abandoned: Vec<ObjectId> = self.abandoned.iter().copied().collect();
+        abandoned.sort();
+        PumpCheckpoint {
+            now,
+            next_seq,
+            events,
+            records: self.ledger.records().to_vec(),
+            budget_total: self.budget.total(),
+            budget_spent: self.budget.spent(),
+            budget_charges: self.budget.charge_count(),
+            answers: self.answers.clone(),
+            latencies: self.collector.latencies.clone(),
+            dispatched: self.collector.dispatched,
+            delivered: self.collector.delivered,
+            rejected: self.collector.rejected,
+            timeouts: self.collector.timeouts,
+            requeues: self.collector.requeues,
+            refreshes: self.collector.refreshes,
+            events_processed: self.collector.events,
+            trace: self.trace.clone(),
+            labels_by_id: self.labels_by_id.clone(),
+            requeue_count: self.requeue_count.clone(),
+            abandoned,
+            backoff_until: self.backoff_until.clone(),
+            answers_since: self.answers_since,
+            last_refresh: self.last_refresh,
+        }
     }
 
     /// Dispatch panels: reserve, sample, and schedule Deliver/Expire
@@ -248,13 +450,37 @@ impl<'a> Pump<'a> {
         self.collector.dispatched += dispatched;
         for outcome in driver.sample(jobs)? {
             debug_assert_eq!(outcome.id.0 as usize, self.labels_by_id.len());
-            match outcome.response {
+            let (response, duplicate_at) = match &self.injector {
+                Some(injector) => {
+                    let annotator = self
+                        .ledger
+                        .record(outcome.id)
+                        .ok_or(ServeError::UnknownAssignment(outcome.id))?
+                        .annotator;
+                    let injected = injector.apply(
+                        outcome.id,
+                        annotator,
+                        now,
+                        self.serve.timeout,
+                        outcome.response,
+                    );
+                    count_faults(&injected.faults);
+                    (injected.response, injected.duplicate_at)
+                }
+                None => (outcome.response, None),
+            };
+            match response {
                 Some((label, latency)) => {
                     self.labels_by_id.push(Some(label));
                     self.queue
                         .push(now + latency, EventKind::Deliver(outcome.id))?;
                 }
                 None => self.labels_by_id.push(None),
+            }
+            if let Some(at) = duplicate_at {
+                // The duplicate copy replays the same assignment id; the
+                // ledger's exactly-once rule rejects it on arrival.
+                self.queue.push(at, EventKind::Deliver(outcome.id))?;
             }
             self.queue
                 .push(now + timeout, EventKind::Expire(outcome.id))?;
@@ -267,6 +493,16 @@ impl<'a> Pump<'a> {
         let now = self.queue.now();
         let mut blocked = self.ledger.objects_in_flight();
         blocked.extend(self.abandoned.iter().copied());
+        if self.serve.supervisor.backoff_base > 0.0 {
+            let now_f = now.as_f64();
+            blocked.extend(
+                self.backoff_until
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &until)| until > now_f)
+                    .map(|(i, _)| ObjectId(i)),
+            );
+        }
         let reply = driver.refresh(RefreshRequest {
             answers: self.answers.clone(),
             view: BudgetView {
@@ -286,6 +522,19 @@ impl<'a> Pump<'a> {
             answers: self.answers.total_answers(),
             labelled: reply.labelled,
         });
+        for ev in &reply.quarantine {
+            self.trace.push(if ev.entered {
+                TraceEvent::Quarantined {
+                    at: now,
+                    annotator: ev.annotator,
+                }
+            } else {
+                TraceEvent::QuarantineReleased {
+                    at: now,
+                    annotator: ev.annotator,
+                }
+            });
+        }
         let dispatched = self.dispatch(driver, &reply.panels)?;
         driver.train()?;
         if reply.done {
@@ -304,10 +553,13 @@ impl<'a> Pump<'a> {
                     let record = self
                         .ledger
                         .record(id)
-                        .ok_or_else(|| Error::ServiceFailure(format!("no record for {id}")))?;
-                    let label = self.labels_by_id[id.0 as usize].ok_or_else(|| {
-                        Error::ServiceFailure(format!("{id} delivered without a sampled label"))
-                    })?;
+                        .ok_or(ServeError::UnknownAssignment(id))?;
+                    let label = self
+                        .labels_by_id
+                        .get(id.0 as usize)
+                        .copied()
+                        .flatten()
+                        .ok_or(ServeError::MissingLabel(id))?;
                     self.answers.record(Answer {
                         object: record.object,
                         annotator: record.annotator,
@@ -329,13 +581,24 @@ impl<'a> Pump<'a> {
                     let record = self
                         .ledger
                         .record(id)
-                        .ok_or_else(|| Error::ServiceFailure(format!("no record for {id}")))?;
+                        .ok_or(ServeError::UnknownAssignment(id))?;
                     let object = record.object;
                     self.collector.timeouts += 1;
-                    self.requeue_count[object.index()] += 1;
-                    let requeued = self.requeue_count[object.index()] <= self.serve.max_requeues;
+                    let len = self.requeue_count.len();
+                    let count = self
+                        .requeue_count
+                        .get_mut(object.index())
+                        .ok_or(ServeError::ObjectOutOfRange { object, len })?;
+                    *count += 1;
+                    let retries = *count;
+                    let requeued = retries <= self.serve.max_requeues;
                     if requeued {
                         self.collector.requeues += 1;
+                        obs::counter_add("retry.count", 1);
+                        let delay = self.serve.supervisor.backoff_delay(retries);
+                        if delay > 0.0 {
+                            self.backoff_until[object.index()] = now.as_f64() + delay;
+                        }
                     } else {
                         self.abandoned.insert(object);
                     }
@@ -358,10 +621,44 @@ impl<'a> Pump<'a> {
                 && (self.queue.now() - self.last_refresh).as_f64() >= self.serve.time_watermark)
     }
 
+    /// Cut a checkpoint if one is due. Returns true when the sink asked
+    /// the run to halt.
+    fn maybe_checkpoint<D: Driver>(
+        &mut self,
+        driver: &mut D,
+        sink: CheckpointSink<'_>,
+    ) -> Result<bool> {
+        if self.serve.checkpoint_every == 0 {
+            return Ok(false);
+        }
+        self.refreshes_since_ckpt += 1;
+        if self.refreshes_since_ckpt < self.serve.checkpoint_every {
+            return Ok(false);
+        }
+        self.refreshes_since_ckpt = 0;
+        let write_start = Instant::now();
+        let core = driver.snapshot()?;
+        let checkpoint = RunCheckpoint {
+            fingerprint: self.fingerprint,
+            objects: self.dataset.len(),
+            annotators: self.pool.len(),
+            pump: self.export_state(),
+            core,
+        };
+        obs::counter_add("checkpoint.write", 1);
+        obs::gauge(
+            "checkpoint.write_ns",
+            write_start.elapsed().as_nanos() as f64,
+        );
+        Ok(sink(checkpoint) == RunControl::Halt)
+    }
+
     /// The main loop: pump events, refresh on watermarks, and when the
     /// queue drains force a refresh to flush leftovers — stopping once a
     /// forced refresh dispatches nothing (or the agent reports done).
-    fn run<D: Driver>(mut self, driver: &mut D) -> Result<AsyncOutcome> {
+    /// Checkpoints are cut only *after* a refresh that keeps the run
+    /// going, so every checkpoint resumes into the same loop position.
+    fn run<D: Driver>(mut self, driver: &mut D, sink: CheckpointSink<'_>) -> Result<RunOutcome> {
         let wall_start = Instant::now();
         'outer: loop {
             while let Some(event) = self.queue.pop() {
@@ -371,11 +668,17 @@ impl<'a> Pump<'a> {
                     if self.done {
                         break 'outer;
                     }
+                    if self.maybe_checkpoint(driver, sink)? {
+                        return Ok(RunOutcome::Halted);
+                    }
                 }
             }
             let dispatched = self.refresh(driver)?;
             if self.done || dispatched == 0 {
                 break;
+            }
+            if self.maybe_checkpoint(driver, sink)? {
+                return Ok(RunOutcome::Halted);
             }
         }
         let outcome = driver.finalize(FinalizeRequest {
@@ -387,11 +690,11 @@ impl<'a> Pump<'a> {
             wall_start.elapsed().as_secs_f64(),
             self.budget.spent(),
         );
-        Ok(AsyncOutcome {
+        Ok(RunOutcome::Completed(Box::new(AsyncOutcome {
             outcome,
             metrics,
             trace: self.trace,
-        })
+        })))
     }
 }
 
@@ -422,6 +725,55 @@ impl AsyncRuntime {
         pool: &AnnotatorPool,
         rng: &mut R,
     ) -> Result<AsyncOutcome> {
+        match self.launch(dataset, pool, rng, None, &mut |_| RunControl::Continue)? {
+            RunOutcome::Completed(outcome) => Ok(*outcome),
+            RunOutcome::Halted => Err(Error::ServiceFailure(
+                "run halted although no sink requested it".into(),
+            )),
+        }
+    }
+
+    /// Like [`run`](Self::run), but hands every due checkpoint (see
+    /// [`ServeConfig::checkpoint_every`]) to `sink`, which may halt the
+    /// run. Feeding a halted run's last checkpoint to
+    /// [`resume`](Self::resume) continues it bit-identically.
+    pub fn run_with_checkpoints<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        rng: &mut R,
+        sink: CheckpointSink<'_>,
+    ) -> Result<RunOutcome> {
+        self.launch(dataset, pool, rng, None, sink)
+    }
+
+    /// Continue a run from `checkpoint`. The caller must pass the same
+    /// dataset, pool and an identically-seeded `rng` as the original run
+    /// — the config fingerprint and state shapes are verified, and the
+    /// resumed run replays the uninterrupted run's remaining trace bit
+    /// for bit. `sink` works exactly as in
+    /// [`run_with_checkpoints`](Self::run_with_checkpoints).
+    pub fn resume<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        rng: &mut R,
+        checkpoint: RunCheckpoint,
+        sink: CheckpointSink<'_>,
+    ) -> Result<RunOutcome> {
+        self.launch(dataset, pool, rng, Some(checkpoint), sink)
+    }
+
+    /// Shared entry point: validate, build or restore the (core, pump)
+    /// pair, and drive it through the configured execution mode.
+    fn launch<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        pool: &AnnotatorPool,
+        rng: &mut R,
+        checkpoint: Option<RunCheckpoint>,
+        sink: CheckpointSink<'_>,
+    ) -> Result<RunOutcome> {
         self.config.validate()?;
         self.serve.validate()?;
         if pool.is_empty() {
@@ -429,11 +781,62 @@ impl AsyncRuntime {
         }
         obs::init_from_env();
         let run_span = obs::span("serve.run");
+        // Consumed in both paths so a resume's rng stream lines up with
+        // the original run's (dynamics draw + core-seed draw).
         let dynamics = self.serve.dynamics.generate(pool, rng)?;
         let core_seed: u64 = rng.random();
-        let mut core = AgentCore::new(self.config.clone(), dataset, pool, core_seed)?;
-        let initial = core.initial_panels();
-        let pump = Pump::new(dataset, pool, &self.serve, self.config.budget)?;
+        let fingerprint = self.config.fingerprint();
+
+        let (core, pump, initial) = match checkpoint {
+            None => {
+                let mut core = AgentCore::new(
+                    self.config.clone(),
+                    dataset,
+                    pool,
+                    core_seed,
+                    self.serve.quarantine.clone(),
+                )?;
+                let initial = core.initial_panels();
+                let pump = Pump::new(dataset, pool, &self.serve, self.config.budget, fingerprint)?;
+                (core, pump, Some(initial))
+            }
+            Some(ckpt) => {
+                if ckpt.fingerprint != fingerprint {
+                    return Err(ServeError::ConfigMismatch {
+                        expected: fingerprint,
+                        actual: ckpt.fingerprint,
+                    }
+                    .into());
+                }
+                if ckpt.objects != dataset.len() || ckpt.annotators != pool.len() {
+                    return Err(ServeError::CorruptCheckpoint(format!(
+                        "checkpoint is for {} objects / {} annotators, run has {} / {}",
+                        ckpt.objects,
+                        ckpt.annotators,
+                        dataset.len(),
+                        pool.len()
+                    ))
+                    .into());
+                }
+                let restore_start = Instant::now();
+                let core = AgentCore::restore(
+                    self.config.clone(),
+                    dataset,
+                    pool,
+                    self.serve.quarantine.clone(),
+                    ckpt.core,
+                )?;
+                let pump = Pump::restore(dataset, pool, &self.serve, fingerprint, ckpt.pump)?;
+                obs::counter_add("checkpoint.restore", 1);
+                obs::gauge(
+                    "checkpoint.restore_ns",
+                    restore_start.elapsed().as_nanos() as f64,
+                );
+                // A restored run re-enters the pump loop directly: the
+                // initial panels were dispatched before the checkpoint.
+                (core, pump, None)
+            }
+        };
 
         let result = match self.serve.mode {
             ExecMode::SingleThread => {
@@ -443,7 +846,7 @@ impl AsyncRuntime {
                     dynamics: &dynamics,
                     sampling_seed: self.serve.sampling_seed,
                 };
-                run_pump(pump, &mut driver, &initial)
+                run_pump(pump, &mut driver, initial.as_deref(), sink)
             }
             ExecMode::WorkerPool { workers } => {
                 let workers = if workers == 0 {
@@ -455,6 +858,7 @@ impl AsyncRuntime {
                 };
                 let sampling_seed = self.serve.sampling_seed;
                 let dynamics = &dynamics;
+                let mut core = core;
                 crossbeam::scope(|scope| {
                     let (to_agent, agent_rx) = crossbeam::channel::unbounded::<ToAgent>();
                     let (agent_tx, from_agent) = crossbeam::channel::unbounded::<FromAgent>();
@@ -468,6 +872,13 @@ impl AsyncRuntime {
                                     }
                                 }
                                 ToAgent::Train => core.train(),
+                                ToAgent::Snapshot => {
+                                    let state = core.export_state();
+                                    if agent_tx.send(FromAgent::Snapshot(Box::new(state))).is_err()
+                                    {
+                                        break;
+                                    }
+                                }
                                 ToAgent::Finalize(req) => {
                                     let outcome = core.finalize(&req);
                                     let _ = agent_tx.send(FromAgent::Outcome(Box::new(outcome)));
@@ -498,13 +909,13 @@ impl AsyncRuntime {
                         job_tx,
                         out_rx,
                     };
-                    run_pump(pump, &mut driver, &initial)
+                    run_pump(pump, &mut driver, initial.as_deref(), sink)
                 })
                 .map_err(|_| Error::ServiceFailure("a runtime thread panicked".into()))?
             }
         };
         drop(run_span);
-        if let Ok(outcome) = &result {
+        if let Ok(RunOutcome::Completed(outcome)) = &result {
             outcome.metrics.emit_trace();
             obs::checkpoint();
         }
@@ -512,12 +923,16 @@ impl AsyncRuntime {
     }
 }
 
-/// Dispatch the initial panels at t = 0, then hand the loop to the pump.
+/// Dispatch the initial panels at t = 0 (fresh runs only — resumes enter
+/// mid-stream), then hand the loop to the pump.
 fn run_pump<D: Driver>(
     mut pump: Pump<'_>,
     driver: &mut D,
-    initial: &[(ObjectId, Vec<AnnotatorId>)],
-) -> Result<AsyncOutcome> {
-    pump.dispatch(driver, initial)?;
-    pump.run(driver)
+    initial: Option<&[(ObjectId, Vec<AnnotatorId>)]>,
+    sink: CheckpointSink<'_>,
+) -> Result<RunOutcome> {
+    if let Some(initial) = initial {
+        pump.dispatch(driver, initial)?;
+    }
+    pump.run(driver, sink)
 }

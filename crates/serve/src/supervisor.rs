@@ -1,0 +1,515 @@
+//! Supervision: retry backoff, annotator quarantine, graceful degradation.
+//!
+//! The async runtime was built for a well-behaved pool: timeouts requeue
+//! immediately, and every annotator stays eligible forever. Under injected
+//! faults (see `crowdrl_sim::faults`) both assumptions hurt. This module
+//! adds the two supervision mechanisms, both **off by default** so the
+//! golden traces are untouched:
+//!
+//! * **Retry backoff** ([`SupervisorConfig`]): an object whose assignment
+//!   timed out is requeued, but held out of the candidate set for an
+//!   exponentially growing window (`base · 2^(retries-1)`, capped). A
+//!   straggling or absent annotator then costs one timeout, not a tight
+//!   requeue loop burning watermark refreshes.
+//! * **Quarantine** ([`Quarantine`]): a circuit breaker per annotator. The
+//!   truth-inference pass already estimates every annotator's confusion
+//!   matrix; when an annotator's estimated quality collapses toward the
+//!   uniform-random floor `1/K` (spam) or below it (adversarial), the
+//!   breaker opens and the annotator is removed from selection. After a
+//!   probation period it is re-admitted, and re-quarantined only if *new*
+//!   answers keep scoring badly — so a noisy early estimate cannot ban an
+//!   annotator forever.
+//!
+//! When quarantine shrinks the live pool below quorum, a
+//! [`DegradedMode`] policy decides what gives: `Escalate` re-admits the
+//! best quarantined annotators (experts first) to restore quorum;
+//! `ClassifierOnly` keeps the breakers closed and lets panels shrink,
+//! leaning on classifier enrichment to finish the run.
+
+use crowdrl_types::{AnnotatorId, AnnotatorProfile, Error, Result};
+
+/// Retry/backoff policy for timed-out assignments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    /// Backoff after the first timeout of an object, in simulated time
+    /// units; doubles per further retry. `0.0` disables backoff entirely
+    /// (the seed behaviour: immediate requeue eligibility).
+    pub backoff_base: f64,
+    /// Upper bound on any single backoff window.
+    pub backoff_cap: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            backoff_base: 0.0,
+            backoff_cap: 240.0,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Check the knobs are sane.
+    pub fn validate(&self) -> Result<()> {
+        if !self.backoff_base.is_finite() || self.backoff_base < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "backoff_base must be finite and non-negative, got {}",
+                self.backoff_base
+            )));
+        }
+        if !self.backoff_cap.is_finite() || self.backoff_cap < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "backoff_cap must be finite and non-negative, got {}",
+                self.backoff_cap
+            )));
+        }
+        Ok(())
+    }
+
+    /// Backoff window after the `retries`-th timeout (1-based), in
+    /// simulated time units. Zero when backoff is disabled.
+    pub fn backoff_delay(&self, retries: usize) -> f64 {
+        if self.backoff_base <= 0.0 || retries == 0 {
+            return 0.0;
+        }
+        let doublings = (retries - 1).min(52) as i32;
+        (self.backoff_base * f64::powi(2.0, doublings)).min(self.backoff_cap)
+    }
+}
+
+/// What to do when quarantine pushes the live pool below quorum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Re-admit the best quarantined annotators (experts first, then by
+    /// estimated quality) until quorum is restored.
+    Escalate,
+    /// Keep the breakers open and let selection panels shrink; the run
+    /// leans on classifier enrichment instead of bad annotators.
+    ClassifierOnly,
+}
+
+/// Circuit-breaker policy for annotators whose inferred quality collapses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineConfig {
+    /// Master switch; `false` keeps the seed behaviour bit-identical.
+    pub enabled: bool,
+    /// Minimum answers an annotator must have given before its estimate
+    /// is trusted enough to quarantine on.
+    pub min_answers: usize,
+    /// Normalized-quality threshold in `[0, 1]`: `0` is uniform-random
+    /// (`quality = 1/K`), `1` is perfect. Scores below this open the
+    /// breaker; adversarial annotators score negative and always trip.
+    pub score_threshold: f64,
+    /// Refreshes a quarantined annotator sits out before probation.
+    pub probation_refreshes: usize,
+    /// Minimum live (non-quarantined) pool size before the degraded-mode
+    /// policy engages. `0` means "the panel size `k`" at the call site.
+    pub min_pool: usize,
+    /// Policy when the live pool falls below quorum.
+    pub degraded: DegradedMode,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            min_answers: 8,
+            score_threshold: 0.35,
+            probation_refreshes: 4,
+            min_pool: 0,
+            degraded: DegradedMode::Escalate,
+        }
+    }
+}
+
+impl QuarantineConfig {
+    /// Check the knobs are sane.
+    pub fn validate(&self) -> Result<()> {
+        if !self.score_threshold.is_finite() || !(0.0..=1.0).contains(&self.score_threshold) {
+            return Err(Error::InvalidParameter(format!(
+                "score_threshold must be in [0, 1], got {}",
+                self.score_threshold
+            )));
+        }
+        if self.enabled && self.probation_refreshes == 0 {
+            return Err(Error::InvalidParameter(
+                "probation_refreshes must be positive when quarantine is enabled".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Breaker state of one annotator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineStatus {
+    /// Eligible for selection.
+    Active,
+    /// Removed from selection.
+    Quarantined {
+        /// Refresh index at which probation starts.
+        until_refresh: usize,
+        /// Answer count when the breaker opened; probation re-quarantines
+        /// only on evidence newer than this.
+        answers_at_entry: usize,
+    },
+    /// Re-admitted on probation: selectable again, but re-quarantined if
+    /// *new* answers keep the score below threshold.
+    Probation {
+        /// Answer count when the breaker opened.
+        answers_at_entry: usize,
+    },
+}
+
+/// One breaker transition, surfaced for tracing and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineEvent {
+    /// The annotator whose breaker moved.
+    pub annotator: AnnotatorId,
+    /// `true` when the breaker opened (entered quarantine), `false` when
+    /// the annotator was released to probation or re-admitted by
+    /// escalation.
+    pub entered: bool,
+}
+
+/// Per-annotator circuit breakers driven by inferred confusion matrices.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    config: QuarantineConfig,
+    status: Vec<QuarantineStatus>,
+}
+
+impl Quarantine {
+    /// All breakers closed.
+    pub fn new(config: QuarantineConfig, pool_size: usize) -> Self {
+        Self {
+            config,
+            status: vec![QuarantineStatus::Active; pool_size],
+        }
+    }
+
+    /// Whether the annotator at pool index `idx` is currently removed
+    /// from selection.
+    #[inline]
+    pub fn is_quarantined(&self, idx: usize) -> bool {
+        matches!(self.status[idx], QuarantineStatus::Quarantined { .. })
+    }
+
+    /// Number of annotators currently eligible for selection.
+    pub fn active_count(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|s| !matches!(s, QuarantineStatus::Quarantined { .. }))
+            .count()
+    }
+
+    /// Raw breaker states, for checkpointing.
+    pub fn states(&self) -> &[QuarantineStatus] {
+        &self.status
+    }
+
+    /// Restore breaker states from a checkpoint.
+    pub fn restore(config: QuarantineConfig, status: Vec<QuarantineStatus>) -> Self {
+        Self { config, status }
+    }
+
+    /// Normalized quality score: maps the uniform-random floor `1/K` to
+    /// `0.0` and a perfect annotator to `1.0`. Adversarial annotators
+    /// (worse than random) score negative.
+    fn score(quality: f64, num_classes: usize) -> f64 {
+        let floor = 1.0 / num_classes as f64;
+        (quality - floor) / (1.0 - floor)
+    }
+
+    /// Advance every breaker one refresh, given the latest inferred
+    /// annotator qualities and per-annotator answer counts. Returns the
+    /// transitions that happened, in pool order (quarantines and
+    /// probation releases first, then any escalation re-admissions).
+    pub fn update(
+        &mut self,
+        refresh_index: usize,
+        qualities: &[f64],
+        answer_counts: &[usize],
+        num_classes: usize,
+        profiles: &[AnnotatorProfile],
+        quorum: usize,
+    ) -> Vec<QuarantineEvent> {
+        let mut events = Vec::new();
+        if !self.config.enabled {
+            return events;
+        }
+        for idx in 0..self.status.len() {
+            let answers = answer_counts.get(idx).copied().unwrap_or(0);
+            let score = qualities
+                .get(idx)
+                .map(|&q| Self::score(q, num_classes))
+                .unwrap_or(1.0);
+            let trips = answers >= self.config.min_answers && score < self.config.score_threshold;
+            match self.status[idx] {
+                QuarantineStatus::Active if trips => {
+                    self.status[idx] = QuarantineStatus::Quarantined {
+                        until_refresh: refresh_index + self.config.probation_refreshes,
+                        answers_at_entry: answers,
+                    };
+                    events.push(QuarantineEvent {
+                        annotator: AnnotatorId(idx),
+                        entered: true,
+                    });
+                }
+                QuarantineStatus::Quarantined {
+                    until_refresh,
+                    answers_at_entry,
+                } if refresh_index >= until_refresh => {
+                    self.status[idx] = QuarantineStatus::Probation { answers_at_entry };
+                    events.push(QuarantineEvent {
+                        annotator: AnnotatorId(idx),
+                        entered: false,
+                    });
+                }
+                // Probation only re-trips on evidence newer than the
+                // original quarantine: the answer count must have grown.
+                QuarantineStatus::Probation { answers_at_entry }
+                    if trips && answers > answers_at_entry =>
+                {
+                    self.status[idx] = QuarantineStatus::Quarantined {
+                        until_refresh: refresh_index + self.config.probation_refreshes,
+                        answers_at_entry: answers,
+                    };
+                    events.push(QuarantineEvent {
+                        annotator: AnnotatorId(idx),
+                        entered: true,
+                    });
+                }
+                _ => {}
+            }
+        }
+        if self.config.degraded == DegradedMode::Escalate {
+            events.extend(self.escalate(qualities, num_classes, profiles, quorum));
+        }
+        events
+    }
+
+    /// Degraded-mode escalation: while the live pool is below quorum,
+    /// re-admit the best quarantined annotators — experts first, then by
+    /// estimated quality, index breaking ties — as probationers.
+    fn escalate(
+        &mut self,
+        qualities: &[f64],
+        num_classes: usize,
+        profiles: &[AnnotatorProfile],
+        quorum: usize,
+    ) -> Vec<QuarantineEvent> {
+        let mut events = Vec::new();
+        while self.active_count() < quorum {
+            let best = self
+                .status
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, s)| match s {
+                    QuarantineStatus::Quarantined {
+                        answers_at_entry, ..
+                    } => {
+                        let expert = profiles.get(idx).is_some_and(AnnotatorProfile::is_expert);
+                        let score = qualities
+                            .get(idx)
+                            .map(|&q| Self::score(q, num_classes))
+                            .unwrap_or(0.0);
+                        Some((idx, *answers_at_entry, expert, score))
+                    }
+                    _ => None,
+                })
+                // max_by prefers later elements on ties; reverse the index
+                // ordering so the *lowest* index wins a tie.
+                .max_by(|a, b| {
+                    (a.2, a.3, std::cmp::Reverse(a.0))
+                        .partial_cmp(&(b.2, b.3, std::cmp::Reverse(b.0)))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            let Some((idx, answers_at_entry, _, _)) = best else {
+                break; // nothing left to release
+            };
+            self.status[idx] = QuarantineStatus::Probation { answers_at_entry };
+            events.push(QuarantineEvent {
+                annotator: AnnotatorId(idx),
+                entered: false,
+            });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdrl_types::AnnotatorKind;
+
+    fn profiles(n: usize, experts: &[usize]) -> Vec<AnnotatorProfile> {
+        (0..n)
+            .map(|i| {
+                let kind = if experts.contains(&i) {
+                    AnnotatorKind::Expert
+                } else {
+                    AnnotatorKind::Worker
+                };
+                let cost = if experts.contains(&i) { 5.0 } else { 1.0 };
+                AnnotatorProfile::new(AnnotatorId(i), kind, cost).unwrap()
+            })
+            .collect()
+    }
+
+    fn cfg() -> QuarantineConfig {
+        QuarantineConfig {
+            enabled: true,
+            min_answers: 4,
+            score_threshold: 0.35,
+            probation_refreshes: 2,
+            min_pool: 0,
+            degraded: DegradedMode::ClassifierOnly,
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let s = SupervisorConfig {
+            backoff_base: 10.0,
+            backoff_cap: 35.0,
+        };
+        assert_eq!(s.backoff_delay(0), 0.0);
+        assert_eq!(s.backoff_delay(1), 10.0);
+        assert_eq!(s.backoff_delay(2), 20.0);
+        assert_eq!(s.backoff_delay(3), 35.0); // 40 capped
+        assert_eq!(s.backoff_delay(60), 35.0); // huge retry counts stay finite
+
+        let off = SupervisorConfig::default();
+        assert_eq!(off.backoff_delay(5), 0.0);
+    }
+
+    #[test]
+    fn supervisor_validate_rejects_nonsense() {
+        let mut s = SupervisorConfig {
+            backoff_base: -1.0,
+            ..SupervisorConfig::default()
+        };
+        assert!(s.validate().is_err());
+        s.backoff_base = f64::NAN;
+        assert!(s.validate().is_err());
+        s.backoff_base = 1.0;
+        s.backoff_cap = f64::INFINITY;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn quarantine_needs_evidence_before_tripping() {
+        let mut q = Quarantine::new(cfg(), 3);
+        let profs = profiles(3, &[]);
+        // Quality at the random floor (K=2 → 0.5) but only 2 answers: no trip.
+        let ev = q.update(0, &[0.9, 0.5, 0.9], &[10, 2, 10], 2, &profs, 2);
+        assert!(ev.is_empty());
+        // Enough answers now: trips.
+        let ev = q.update(1, &[0.9, 0.5, 0.9], &[10, 5, 10], 2, &profs, 2);
+        assert_eq!(
+            ev,
+            vec![QuarantineEvent {
+                annotator: AnnotatorId(1),
+                entered: true
+            }]
+        );
+        assert!(q.is_quarantined(1));
+        assert_eq!(q.active_count(), 2);
+    }
+
+    #[test]
+    fn probation_requires_new_evidence_to_retrip() {
+        let mut q = Quarantine::new(cfg(), 2);
+        let profs = profiles(2, &[]);
+        q.update(0, &[0.9, 0.4], &[10, 6], 2, &profs, 1);
+        assert!(q.is_quarantined(1));
+        // Sits out probation_refreshes = 2 refreshes.
+        assert!(q.update(1, &[0.9, 0.4], &[10, 6], 2, &profs, 1).is_empty());
+        let ev = q.update(2, &[0.9, 0.4], &[10, 6], 2, &profs, 1);
+        assert_eq!(ev.len(), 1);
+        assert!(!ev[0].entered);
+        assert!(!q.is_quarantined(1));
+        // Same stale answer count: score still bad, but no re-trip.
+        assert!(q.update(3, &[0.9, 0.4], &[10, 6], 2, &profs, 1).is_empty());
+        // One new (still bad) answer: re-trips.
+        let ev = q.update(4, &[0.9, 0.4], &[10, 7], 2, &profs, 1);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].entered);
+    }
+
+    #[test]
+    fn adversarial_scores_negative_and_trips() {
+        // Quality below the 1/K floor → negative normalized score.
+        let mut q = Quarantine::new(cfg(), 1);
+        let profs = profiles(1, &[]);
+        let ev = q.update(0, &[0.1], &[20], 4, &profs, 0);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].entered);
+    }
+
+    #[test]
+    fn escalate_releases_experts_first_to_restore_quorum() {
+        let mut config = cfg();
+        config.degraded = DegradedMode::Escalate;
+        let mut q = Quarantine::new(config, 3);
+        let profs = profiles(3, &[2]);
+        // All three trip at once; quorum 2 forces two releases, the
+        // expert (index 2) first, then the better worker (index 0).
+        let ev = q.update(0, &[0.30, 0.20, 0.30], &[10, 10, 10], 2, &profs, 2);
+        assert_eq!(ev.iter().filter(|e| e.entered).count(), 3);
+        let released: Vec<_> = ev
+            .iter()
+            .filter(|e| !e.entered)
+            .map(|e| e.annotator)
+            .collect();
+        assert_eq!(released, vec![AnnotatorId(2), AnnotatorId(0)]);
+        assert_eq!(q.active_count(), 2);
+        assert!(q.is_quarantined(1));
+    }
+
+    #[test]
+    fn classifier_only_lets_pool_shrink() {
+        let mut q = Quarantine::new(cfg(), 2);
+        let profs = profiles(2, &[]);
+        let ev = q.update(0, &[0.2, 0.2], &[10, 10], 2, &profs, 2);
+        assert_eq!(ev.iter().filter(|e| e.entered).count(), 2);
+        assert_eq!(q.active_count(), 0);
+    }
+
+    #[test]
+    fn disabled_quarantine_never_moves() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 2);
+        let profs = profiles(2, &[]);
+        assert!(q
+            .update(0, &[0.0, 0.0], &[100, 100], 2, &profs, 2)
+            .is_empty());
+        assert_eq!(q.active_count(), 2);
+    }
+
+    #[test]
+    fn quarantine_validate_rejects_nonsense() {
+        let mut c = QuarantineConfig {
+            score_threshold: 1.5,
+            ..QuarantineConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.score_threshold = f64::NAN;
+        assert!(c.validate().is_err());
+        c.score_threshold = 0.3;
+        c.enabled = true;
+        c.probation_refreshes = 0;
+        assert!(c.validate().is_err());
+        c.probation_refreshes = 1;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn states_roundtrip() {
+        let mut q = Quarantine::new(cfg(), 2);
+        let profs = profiles(2, &[]);
+        q.update(0, &[0.9, 0.2], &[10, 10], 2, &profs, 1);
+        let restored = Quarantine::restore(cfg(), q.states().to_vec());
+        assert_eq!(restored.states(), q.states());
+    }
+}

@@ -7,7 +7,8 @@
 //! asynchronous runtime leans on.
 
 use crowdrl_serve::{AssignmentLedger, Delivery, Expiry};
-use crowdrl_types::{AnnotatorId, AssignmentId, Budget, ObjectId, SimTime};
+use crowdrl_sim::{FaultInjector, FaultPlan};
+use crowdrl_types::{AnnotatorId, AssignmentId, Budget, ClassId, ObjectId, SimTime};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -96,6 +97,110 @@ proptest! {
         prop_assert!(ledger.reserved().abs() < 1e-9);
         prop_assert_eq!(ledger.in_flight(), 0);
         prop_assert!((budget.spent() - expected_spent).abs() < 1e-9);
+        prop_assert_eq!(charged_pairs.len(), budget.charge_count());
+    }
+
+    /// The same invariants under *injected* faults: random dispatch
+    /// schedules pushed through a [`FaultInjector`] — no-shows, mid-task
+    /// abandonment (late delivery after the deadline), stragglers and
+    /// platform duplicates — replayed in event order. Duplicate copies
+    /// reuse the original assignment id, so the ledger's exactly-once
+    /// rule must reject every second copy; an assignment must time out
+    /// at most once (the upstream requeue trigger); and the budget can
+    /// never be overspent, whatever arrives in whatever order.
+    #[test]
+    fn injected_faults_preserve_exactly_once_and_budget(
+        total in 5.0f64..60.0,
+        seed in 0u64..1000,
+        no_show in 0.0f64..0.5,
+        abandon in 0.0f64..0.5,
+        straggler in 0.0f64..0.5,
+        duplicate in 0.0f64..0.8,
+        dispatches in proptest::collection::vec(
+            (0u64..10, 0u64..4, 0.5f64..2.5, 0.5f64..8.0),
+            1..120,
+        ),
+    ) {
+        let plan = FaultPlan {
+            seed,
+            no_show_rate: no_show,
+            abandon_rate: abandon,
+            straggler_rate: straggler,
+            straggler_factor: 4.0,
+            duplicate_rate: duplicate,
+            ..FaultPlan::default()
+        };
+        let injector = FaultInjector::new(plan, 3).unwrap();
+        let timeout = 6.0;
+        let mut ledger = AssignmentLedger::new();
+        let mut budget = Budget::new(total).unwrap();
+
+        // Dispatch on a staggered clock and build the event schedule the
+        // runtime would enqueue: the (possibly rewritten) delivery, the
+        // duplicate copy under the SAME id, and the expiry at the
+        // deadline. Ties replay in push order, like the event queue.
+        let mut events: Vec<(f64, u64, AssignmentId, bool)> = Vec::new();
+        let mut seq = 0u64;
+        let mut clock = 0.0f64;
+        for (obj, ann, cost, latency) in dispatches {
+            clock += 0.5;
+            let now = t(clock);
+            let deadline = t(clock + timeout);
+            let Ok(id) = ledger.dispatch(
+                ObjectId(obj as usize),
+                AnnotatorId(ann as usize),
+                cost,
+                now,
+                deadline,
+                &budget,
+            ) else {
+                continue;
+            };
+            let out = injector.apply(id, AnnotatorId(ann as usize), now, timeout,
+                Some((ClassId(0), t(latency))));
+            if let Some((_, lat)) = out.response {
+                events.push((clock + lat.as_f64(), seq, id, true));
+                seq += 1;
+            }
+            if let Some(dup) = out.duplicate_at {
+                events.push((dup.as_f64(), seq, id, true));
+                seq += 1;
+            }
+            events.push((clock + timeout, seq, id, false));
+            seq += 1;
+        }
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
+        });
+
+        let mut accepted: HashSet<AssignmentId> = HashSet::new();
+        let mut timed_out: HashSet<AssignmentId> = HashSet::new();
+        let mut charged_pairs: HashSet<(ObjectId, AnnotatorId)> = HashSet::new();
+        for (time, _, id, is_delivery) in events {
+            if is_delivery {
+                if let Ok(Delivery::Accepted { .. }) = ledger.deliver(id, t(time), &mut budget) {
+                    prop_assert!(accepted.insert(id), "assignment {id:?} charged twice");
+                    let record = ledger.record(id).unwrap();
+                    let pair = (record.object, record.annotator);
+                    prop_assert!(charged_pairs.insert(pair), "pair {pair:?} charged twice");
+                }
+            } else if let Ok(Expiry::TimedOut { .. }) = ledger.expire(id) {
+                // At most one timeout per assignment — the runtime
+                // requeues on TimedOut, so this is the no-double-requeue
+                // guarantee.
+                prop_assert!(timed_out.insert(id), "assignment {id:?} timed out twice");
+                prop_assert!(!accepted.contains(&id), "timed out after acceptance");
+            }
+            prop_assert!(
+                budget.spent() + ledger.reserved() <= total + 1e-9,
+                "committed {} over total {total}",
+                budget.spent() + ledger.reserved()
+            );
+        }
+
+        // Every assignment settled exactly one way; the books balance.
+        prop_assert_eq!(ledger.in_flight(), 0);
+        prop_assert!(ledger.reserved().abs() < 1e-9);
         prop_assert_eq!(charged_pairs.len(), budget.charge_count());
     }
 }

@@ -20,13 +20,21 @@
 //!   it; the platform charges the budget, samples the answer through the
 //!   latent confusion matrix, and records it. Ground truth never crosses
 //!   this boundary.
+//! * [`faults`] — deterministic fault injection for chaos testing: a seeded
+//!   [`FaultPlan`] of no-shows, abandonment, stragglers, platform outages,
+//!   duplicate deliveries and mid-run annotator quality drift, applied to
+//!   sampled outcomes by a stateless [`FaultInjector`].
 
 pub mod annotators;
 pub mod datasets;
+pub mod faults;
 pub mod latency;
 pub mod platform;
 
 pub use annotators::{AnnotatorPool, PoolSpec};
 pub use datasets::{DatasetSpec, FashionSpec, SpeechSpec, SpeechViews};
+pub use faults::{
+    FaultInjector, FaultPlan, FaultRecord, InjectedOutcome, OutageWindow, QualityDrift,
+};
 pub use latency::{AnnotatorDynamics, DynamicsSpec, LatencyModel};
 pub use platform::Platform;

@@ -31,6 +31,22 @@ impl Budget {
         })
     }
 
+    /// Rebuild a ledger from checkpointed accounting. `spent` must be the
+    /// exact (bit-level) value a prior run accumulated — restoring and then
+    /// charging must behave identically to never having stopped, and the
+    /// charge-order float sum is not re-derivable from the charge list.
+    pub fn restore(total: f64, spent: f64, charges: usize) -> Result<Self> {
+        let mut b = Self::new(total)?;
+        if !spent.is_finite() || spent < 0.0 || spent > total + 1e-9 {
+            return Err(Error::InvalidParameter(format!(
+                "restored spent must be finite and within the total, got {spent}"
+            )));
+        }
+        b.spent = spent;
+        b.charges = charges;
+        Ok(b)
+    }
+
     /// Total budget.
     #[inline]
     pub fn total(&self) -> f64 {
@@ -136,6 +152,18 @@ mod tests {
         assert!(b.charge(f64::INFINITY).is_err());
         assert!(Budget::new(-5.0).is_err());
         assert!(Budget::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn restore_resumes_exact_accounting() {
+        let mut b = Budget::new(10.0).unwrap();
+        b.charge(0.1).unwrap();
+        b.charge(0.2).unwrap();
+        let r = Budget::restore(b.total(), b.spent(), b.charge_count()).unwrap();
+        assert_eq!(r, b);
+        assert!(Budget::restore(10.0, 11.0, 0).is_err());
+        assert!(Budget::restore(10.0, f64::NAN, 0).is_err());
+        assert!(Budget::restore(10.0, -1.0, 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Chaos demo: run the asynchronous runtime under injected platform
+//! faults — no-shows, stragglers, duplicate deliveries, an outage
+//! window, and a worker drifting into a spammer — with retry backoff,
+//! annotator quarantine and periodic checkpoints enabled; then kill the
+//! run at a checkpoint, restore from the encoded snapshot, and verify
+//! the resumed run finishes bit-identically to the uninterrupted one.
+//!
+//! ```sh
+//! cargo run --release --example chaos_demo
+//! # inspect the trace afterwards:
+//! cargo run --release --bin crowdrl-trace chaos_demo.jsonl
+//! ```
+
+use crowdrl::obs;
+use crowdrl::obs::analyze::{read_trace, report};
+use crowdrl::prelude::*;
+use crowdrl::serve::SupervisorConfig;
+use crowdrl::serve::{AsyncRuntime, QuarantineConfig, RunCheckpoint, RunControl, RunOutcome};
+use crowdrl::sim::{FaultPlan, OutageWindow, QualityDrift};
+use crowdrl::types::rng::seeded;
+
+fn main() {
+    let path = std::env::var("CROWDRL_TRACE").unwrap_or_else(|_| "chaos_demo.jsonl".to_string());
+    obs::Recorder::to_file(&path)
+        .expect("open trace file")
+        .install();
+
+    let mut rng = seeded(0xD00D);
+    let dataset = DatasetSpec::gaussian("chaos-demo", 80, 4, 2)
+        .with_separation(2.5)
+        .generate(&mut rng)
+        .expect("dataset");
+    let pool = PoolSpec::new(3, 1).generate(2, &mut rng).expect("pool");
+    let config = CrowdRlConfig::builder()
+        .budget(220.0)
+        .build()
+        .expect("config");
+
+    // Everything at once: stochastic faults, a platform outage, a worker
+    // that turns into a spammer — and the recovery machinery to match.
+    let serve = ServeConfig::default()
+        .with_faults(FaultPlan {
+            no_show_rate: 0.05,
+            straggler_rate: 0.10,
+            duplicate_rate: 0.10,
+            outages: vec![OutageWindow {
+                start: 120.0,
+                end: 140.0,
+            }],
+            drifts: vec![QualityDrift {
+                annotator: AnnotatorId(0),
+                at: 0.0,
+            }],
+            ..FaultPlan::default()
+        })
+        .with_supervisor(SupervisorConfig {
+            backoff_base: 4.0,
+            ..SupervisorConfig::default()
+        })
+        .with_quarantine(QuarantineConfig {
+            enabled: true,
+            min_answers: 6,
+            ..QuarantineConfig::default()
+        })
+        .with_checkpoint_every(2);
+    let runtime = AsyncRuntime::new(config, serve);
+
+    // The reference: one uninterrupted faulted run.
+    let mut run_rng = seeded(78);
+    let reference = runtime
+        .run(&dataset, &pool, &mut run_rng)
+        .expect("uninterrupted run");
+    println!(
+        "uninterrupted: spent {:.1}, {} answers, {} timeouts, {} requeues",
+        reference.outcome.budget_spent,
+        reference.metrics.answers_delivered,
+        reference.metrics.timeouts,
+        reference.metrics.requeues,
+    );
+
+    // Kill the same run at its second checkpoint; keep the snapshot as
+    // the JSON string that would sit on disk.
+    let mut seen = 0usize;
+    let mut snapshot: Option<String> = None;
+    let mut sink = |ckpt: RunCheckpoint| {
+        seen += 1;
+        if seen == 2 {
+            snapshot = Some(ckpt.encode());
+            RunControl::Halt
+        } else {
+            RunControl::Continue
+        }
+    };
+    let mut kill_rng = seeded(78);
+    let halted = runtime
+        .run_with_checkpoints(&dataset, &pool, &mut kill_rng, &mut sink)
+        .expect("killed run");
+    assert!(matches!(halted, RunOutcome::Halted));
+    let snapshot = snapshot.expect("snapshot cut before the kill");
+    println!("killed at checkpoint 2: snapshot {} bytes", snapshot.len());
+
+    // Restore and run to completion; the outcome must be bit-identical.
+    let ckpt = RunCheckpoint::decode(&snapshot).expect("decode snapshot");
+    let mut resume_rng = seeded(78);
+    let resumed = match runtime
+        .resume(&dataset, &pool, &mut resume_rng, ckpt, &mut |_| {
+            RunControl::Continue
+        })
+        .expect("resumed run")
+    {
+        RunOutcome::Completed(outcome) => *outcome,
+        RunOutcome::Halted => unreachable!("sink always continues"),
+    };
+    assert_eq!(resumed.outcome.labels, reference.outcome.labels);
+    assert_eq!(
+        resumed.outcome.budget_spent.to_bits(),
+        reference.outcome.budget_spent.to_bits()
+    );
+    assert_eq!(resumed.trace, reference.trace);
+    println!("restored run matches the uninterrupted run bit-for-bit");
+
+    obs::shutdown();
+    let trace = read_trace(&path).expect("read trace back");
+    println!(
+        "\ntrace written to {path} ({} events)\n",
+        trace.events.len()
+    );
+    print!("{}", report(&trace));
+}

@@ -55,6 +55,29 @@ trace_smoke() {
 }
 timed "trace smoke" trace_smoke
 
+echo "== chaos demo + fault & recovery report smoke test =="
+# The chaos layer end to end: a faulted, quarantined, checkpointed run
+# is killed mid-flight, restored, and must match the uninterrupted run
+# (the example asserts bit-identity itself); the analyzer must then
+# surface the fault & recovery section from the trace.
+chaos_smoke() {
+  local tracefile
+  tracefile=$(mktemp /tmp/crowdrl-chaos.XXXXXX.jsonl)
+  CROWDRL_TRACE="$tracefile" cargo run -q --release --offline --example chaos_demo >/dev/null
+  local report
+  report=$(cargo run -q --release --offline -p crowdrl-bench --bin crowdrl-trace "$tracefile")
+  rm -f "$tracefile"
+  local needle
+  for needle in "fault & recovery" "fault.injected.drift" "quarantine.entered" "checkpoint.write"; do
+    if ! echo "$report" | grep -q "$needle"; then
+      echo "crowdrl-trace report is missing '$needle'" >&2
+      return 1
+    fi
+  done
+  echo "$report" | sed -n '/fault & recovery/,/^$/p' | head -n 14
+}
+timed "chaos smoke" chaos_smoke
+
 echo "== crowdrl-trace --diff smoke test =="
 # Two traced runs of the same deterministic workload must profile as
 # equivalent: the diff gate (the tool CI uses to catch phase-time

@@ -1,0 +1,297 @@
+//! Chaos suite: the fault-injected asynchronous runtime stays
+//! deterministic, a run killed at a checkpoint and restored from the
+//! encoded snapshot finishes bit-identically to the uninterrupted run
+//! (across execution modes, including killing in one mode and resuming
+//! in the other), and the annotator quarantine claws back accuracy when
+//! a worker drifts into a spammer.
+//!
+//! The faulted label string is pinned like the golden traces: re-capture
+//! with `CHAOS_CAPTURE=1` only when a PR intentionally changes numerics.
+
+use crowdrl::eval::evaluate_labels;
+use crowdrl::prelude::*;
+use crowdrl::serve::{
+    AsyncRuntime, QuarantineConfig, RunCheckpoint, RunControl, RunOutcome, SupervisorConfig,
+    TraceEvent,
+};
+use crowdrl::sim::{FaultPlan, QualityDrift};
+use crowdrl::types::rng::seeded;
+
+/// Labels rendered one character per object (class digit, `.` = none).
+fn render(labels: &[Option<ClassId>]) -> String {
+    labels
+        .iter()
+        .map(|l| match l {
+            Some(ClassId(c)) => char::from_digit(*c as u32, 10).unwrap_or('?'),
+            None => '.',
+        })
+        .collect()
+}
+
+/// Same fixed scenario as the golden traces: 80 Gaussian objects, 2
+/// classes, 3 workers + 1 expert.
+fn scenario() -> (Dataset, AnnotatorPool) {
+    let mut rng = seeded(0xD00D);
+    let dataset = DatasetSpec::gaussian("golden", 80, 4, 2)
+        .with_separation(2.5)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(3, 1).generate(2, &mut rng).unwrap();
+    (dataset, pool)
+}
+
+fn config(budget: f64) -> CrowdRlConfig {
+    CrowdRlConfig::builder().budget(budget).build().unwrap()
+}
+
+/// A plan that exercises every stochastic fault class at once.
+fn mixed_faults() -> FaultPlan {
+    FaultPlan {
+        no_show_rate: 0.06,
+        abandon_rate: 0.04,
+        straggler_rate: 0.10,
+        duplicate_rate: 0.10,
+        ..FaultPlan::default()
+    }
+}
+
+/// Serve config for the kill/restore runs: mixed faults, exponential
+/// backoff on retries, a checkpoint every 2 refreshes.
+fn chaos_serve(mode: ExecMode) -> ServeConfig {
+    ServeConfig::default()
+        .with_mode(mode)
+        .with_faults(mixed_faults())
+        .with_supervisor(SupervisorConfig {
+            backoff_base: 4.0,
+            ..SupervisorConfig::default()
+        })
+        .with_checkpoint_every(2)
+}
+
+/// The faulted run's labels, pinned. Any drift in the fault stream, the
+/// backoff schedule or checkpoint plumbing shows up here first.
+const CHAOS_LABELS: &str =
+    "10000011010010011011000000101001010101001010100010000110010110111100011111111110";
+
+fn run_uninterrupted(serve: &ServeConfig) -> AsyncOutcome {
+    let (dataset, pool) = scenario();
+    let mut rng = seeded(78);
+    AsyncRuntime::new(config(220.0), serve.clone())
+        .run(&dataset, &pool, &mut rng)
+        .unwrap()
+}
+
+/// Run until the `halt_at`-th checkpoint, kill there, and return the
+/// snapshot exactly as it would sit on disk: an encoded string.
+fn run_killed(serve: &ServeConfig, halt_at: usize) -> String {
+    let (dataset, pool) = scenario();
+    let mut rng = seeded(78);
+    let mut seen = 0usize;
+    let mut encoded: Option<String> = None;
+    let mut sink = |ckpt: RunCheckpoint| {
+        seen += 1;
+        if seen == halt_at {
+            encoded = Some(ckpt.encode());
+            RunControl::Halt
+        } else {
+            RunControl::Continue
+        }
+    };
+    let outcome = AsyncRuntime::new(config(220.0), serve.clone())
+        .run_with_checkpoints(&dataset, &pool, &mut rng, &mut sink)
+        .unwrap();
+    assert!(
+        matches!(outcome, RunOutcome::Halted),
+        "run must halt at checkpoint {halt_at}"
+    );
+    encoded.expect("checkpoint must have been cut before the halt")
+}
+
+fn resume_from(serve: &ServeConfig, encoded: &str) -> AsyncOutcome {
+    let (dataset, pool) = scenario();
+    let mut rng = seeded(78);
+    let ckpt = RunCheckpoint::decode(encoded).unwrap();
+    let outcome = AsyncRuntime::new(config(220.0), serve.clone())
+        .resume(&dataset, &pool, &mut rng, ckpt, &mut |_| {
+            RunControl::Continue
+        })
+        .unwrap();
+    match outcome {
+        RunOutcome::Completed(outcome) => *outcome,
+        RunOutcome::Halted => panic!("resumed run halted although the sink always continues"),
+    }
+}
+
+#[test]
+fn kill_and_restore_matches_uninterrupted() {
+    let single = chaos_serve(ExecMode::SingleThread);
+    let pool4 = chaos_serve(ExecMode::WorkerPool { workers: 4 });
+
+    let baseline = run_uninterrupted(&single);
+    let labels = render(&baseline.outcome.labels);
+    if std::env::var("CHAOS_CAPTURE").is_ok() {
+        println!("CHAOS_LABELS={labels}");
+        return;
+    }
+    assert_eq!(labels, CHAOS_LABELS, "faulted run drifted");
+
+    // The worker pool replays the identical trace by construction, so one
+    // baseline serves every kill/resume combination.
+    let pooled = run_uninterrupted(&pool4);
+    assert_eq!(pooled.trace, baseline.trace, "worker pool diverged");
+
+    // Kill at different watermarks in each mode, resume in both the same
+    // and the *other* mode (the config fingerprint covers the learning
+    // config, not the execution mode), and demand bit-identity.
+    for (kill_mode, halt_at) in [(&single, 1), (&single, 3), (&pool4, 2)] {
+        let encoded = run_killed(kill_mode, halt_at);
+        for resume_mode in [&single, &pool4] {
+            let resumed = resume_from(resume_mode, &encoded);
+            assert_eq!(
+                render(&resumed.outcome.labels),
+                labels,
+                "labels after kill@{halt_at}/restore drifted"
+            );
+            assert_eq!(
+                resumed.outcome.budget_spent.to_bits(),
+                baseline.outcome.budget_spent.to_bits(),
+                "budget spend after kill@{halt_at}/restore drifted"
+            );
+            assert_eq!(
+                resumed.trace, baseline.trace,
+                "event trace after kill@{halt_at}/restore drifted"
+            );
+        }
+    }
+}
+
+#[test]
+fn restore_rejects_config_drift() {
+    let serve = chaos_serve(ExecMode::SingleThread);
+    let encoded = run_killed(&serve, 1);
+    let (dataset, pool) = scenario();
+    let mut rng = seeded(78);
+    let ckpt = RunCheckpoint::decode(&encoded).unwrap();
+    // A different budget is a different learning config: the fingerprint
+    // check must refuse to graft the snapshot onto it.
+    let err = AsyncRuntime::new(config(150.0), serve)
+        .resume(&dataset, &pool, &mut rng, ckpt, &mut |_| {
+            RunControl::Continue
+        })
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("fingerprint"),
+        "want fingerprint mismatch, got: {err}"
+    );
+}
+
+/// Drift worker 0 into a spammer immediately; the breaker must open
+/// within a bounded number of its post-drift assignments.
+#[test]
+fn quarantine_trips_on_spammer_drift() {
+    let spammer = AnnotatorId(0);
+    let serve = ServeConfig::default()
+        .with_faults(FaultPlan {
+            drifts: vec![QualityDrift {
+                annotator: spammer,
+                at: 0.0,
+            }],
+            ..FaultPlan::default()
+        })
+        .with_quarantine(QuarantineConfig {
+            enabled: true,
+            min_answers: 6,
+            ..QuarantineConfig::default()
+        });
+    let result = run_uninterrupted(&serve);
+
+    let tripped_at = result
+        .trace
+        .iter()
+        .position(
+            |e| matches!(e, TraceEvent::Quarantined { annotator, .. } if *annotator == spammer),
+        )
+        .expect("spammer was never quarantined");
+    let dispatches_before = result.trace[..tripped_at]
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Dispatched { annotator, .. } if *annotator == spammer))
+        .count();
+    assert!(
+        dispatches_before <= 30,
+        "breaker too slow: {dispatches_before} spammer assignments before quarantine"
+    );
+}
+
+/// With two of four workers drifted into spammers, quarantining them
+/// must recover at least half of the accuracy the drift cost, at equal
+/// budget. Four classes make spam identifiable: a spammer agrees with
+/// the truth 25% of the time, far enough below a real worker for the
+/// smoothed quality estimates to separate them.
+#[test]
+fn quarantine_recovers_accuracy_under_drift() {
+    let mut rng = seeded(0xD00D);
+    let dataset = DatasetSpec::gaussian("chaos", 80, 6, 4)
+        .with_separation(3.0)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(4, 1).generate(4, &mut rng).unwrap();
+    let drifts = vec![
+        QualityDrift {
+            annotator: AnnotatorId(0),
+            at: 0.0,
+        },
+        QualityDrift {
+            annotator: AnnotatorId(1),
+            at: 0.0,
+        },
+    ];
+    // Mean accuracy over a few seeds: a single 80-object run is noisy
+    // enough (~±0.04) to swamp the effect being measured.
+    let accuracy = |serve: &ServeConfig| {
+        let mut total = 0.0;
+        for seed in [78, 79, 80, 81] {
+            let mut rng = seeded(seed);
+            let result = AsyncRuntime::new(config(350.0), serve.clone())
+                .run(&dataset, &pool, &mut rng)
+                .unwrap();
+            total += evaluate_labels(&dataset, &result.outcome.labels)
+                .unwrap()
+                .accuracy;
+        }
+        total / 4.0
+    };
+
+    let base = ServeConfig::default();
+    let acc_clean = accuracy(&base);
+    let faulted = base.with_faults(FaultPlan {
+        drifts: drifts.clone(),
+        ..FaultPlan::default()
+    });
+    let acc_faulty = accuracy(&faulted);
+    // The incremental EM shrinks everyone toward the prior, so the
+    // spammer/worker gap sits around scores 0.40 vs 0.55: trip at 0.5
+    // once 16 answers have stabilised the estimate. Two good workers +
+    // the expert still meet a quorum of 2, so the breakers stay open;
+    // long probation keeps the spammers benched instead of cycling back
+    // every few refreshes.
+    let acc_quarantined = accuracy(&faulted.clone().with_quarantine(QuarantineConfig {
+        enabled: true,
+        min_answers: 16,
+        score_threshold: 0.5,
+        probation_refreshes: 100,
+        min_pool: 2,
+        ..QuarantineConfig::default()
+    }));
+
+    let loss = acc_clean - acc_faulty;
+    let recovered = acc_quarantined - acc_faulty;
+    assert!(
+        loss > 0.02,
+        "drift must cost measurable accuracy (clean {acc_clean:.3}, faulty {acc_faulty:.3})"
+    );
+    assert!(
+        recovered >= 0.5 * loss,
+        "quarantine recovered {recovered:.3} of a {loss:.3} loss \
+         (clean {acc_clean:.3}, faulty {acc_faulty:.3}, quarantined {acc_quarantined:.3})"
+    );
+}

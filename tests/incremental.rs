@@ -270,6 +270,102 @@ fn dirty_set_sweep_matches_full_sweep_on_touched_objects() {
 }
 
 #[test]
+fn exported_engine_state_resumes_bit_identically() {
+    // Kill-and-restore: snapshot the engine, classifier and RNG after
+    // stage 3 of 6, rebuild everything from the snapshot, replay the
+    // remaining stages — the final result must be bit-identical to the
+    // uninterrupted run, not merely statistically close.
+    let (dataset, pool) = scenario(100, 17);
+    let model = JointInference {
+        config: JointConfig::default(),
+    };
+    let config = EngineConfig::default();
+
+    // Uninterrupted run, capturing the mid-run snapshot in passing.
+    let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
+    let mut ask_rng = seeded(18);
+    let mut engine = InferenceEngine::joint(model.clone(), config.clone());
+    let mut classifier = fresh_classifier(dataset.dim(), dataset.num_classes(), 19);
+    let mut warm_rng = seeded(20);
+    let mut snapshot = None;
+    let mut golden = None;
+    for stage in 0..6 {
+        ask_stage(
+            &mut platform,
+            &pool,
+            stage * 16..(stage + 1) * 16,
+            &mut ask_rng,
+        );
+        golden = Some(
+            engine
+                .infer(
+                    &dataset,
+                    platform.answers(),
+                    pool.profiles(),
+                    &mut classifier,
+                    &mut warm_rng,
+                )
+                .unwrap(),
+        );
+        if stage == 2 {
+            snapshot = Some((
+                engine.export_state().expect("engine has state"),
+                classifier.snapshot(),
+                warm_rng.state(),
+            ));
+        }
+    }
+    let golden = golden.unwrap();
+    let (engine_snap, classifier_snap, rng_state) = snapshot.unwrap();
+
+    // Restored run: fresh objects, state loaded from the snapshot, same
+    // remaining answer stages (the platform replays deterministically).
+    let mut platform2 = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
+    let mut ask_rng2 = seeded(18);
+    for stage in 0..3 {
+        ask_stage(
+            &mut platform2,
+            &pool,
+            stage * 16..(stage + 1) * 16,
+            &mut ask_rng2,
+        );
+    }
+    let mut engine2 = InferenceEngine::joint(model, config);
+    engine2.restore_state(engine_snap, &dataset).unwrap();
+    let mut classifier2 = fresh_classifier(dataset.dim(), dataset.num_classes(), 999);
+    classifier2.restore(classifier_snap).unwrap();
+    let mut warm_rng2 = rand::rngs::StdRng::from_state(rng_state);
+    let mut resumed = None;
+    for stage in 3..6 {
+        ask_stage(
+            &mut platform2,
+            &pool,
+            stage * 16..(stage + 1) * 16,
+            &mut ask_rng2,
+        );
+        resumed = Some(
+            engine2
+                .infer(
+                    &dataset,
+                    platform2.answers(),
+                    pool.profiles(),
+                    &mut classifier2,
+                    &mut warm_rng2,
+                )
+                .unwrap(),
+        );
+    }
+    let resumed = resumed.unwrap();
+
+    assert_eq!(golden, resumed, "restored run must match bit-for-bit");
+    assert_eq!(
+        classifier.network().flatten_params(),
+        classifier2.network().flatten_params(),
+        "classifier weights must match bit-for-bit"
+    );
+}
+
+#[test]
 fn unchanged_answers_return_the_cached_result() {
     let (dataset, pool) = scenario(60, 13);
     let mut platform = Platform::new(&dataset, &pool, Budget::new(1e6).unwrap());
