@@ -221,6 +221,7 @@ impl LabellingStrategy for Hybrid {
             let assignments = agent.select(
                 &dqn_candidates,
                 pool.profiles(),
+                None,
                 platform.answers(),
                 &labelled,
                 &snapshot,

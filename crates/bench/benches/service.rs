@@ -1,0 +1,187 @@
+//! Criterion benchmarks for the multi-tenant service: full service runs
+//! at increasing project counts over one shared annotator pool, in both
+//! execution modes.
+//!
+//! Like `serve.rs` this has a hand-written `main` so it can export the
+//! measurements to `BENCH_service.json` at the repository root:
+//! aggregate answers/sec and the per-project fairness spread (relative
+//! delivered-answer dispersion) as the tenant count grows.
+
+use criterion::{black_box, Criterion};
+use crowdrl_core::CrowdRlConfig;
+use crowdrl_serve::ExecMode;
+use crowdrl_service::{ProjectSpec, Service, ServiceConfig, ServiceOutcome};
+use crowdrl_sim::{AnnotatorPool, DatasetSpec, PoolSpec};
+use crowdrl_types::rng::seeded;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Tenant counts the scaling sweep measures.
+const PROJECT_COUNTS: [usize; 3] = [1, 4, 8];
+/// Objects per project — small enough for a criterion sample, large
+/// enough that the decision loop dominates setup.
+const OBJECTS: usize = 60;
+/// Shared pool size (workers + experts).
+const WORKERS: usize = 36;
+const EXPERTS: usize = 4;
+
+fn fixture(projects: usize) -> (Vec<ProjectSpec>, AnnotatorPool) {
+    let mut rng = seeded(21);
+    let pool = PoolSpec::new(WORKERS, EXPERTS)
+        .generate(2, &mut rng)
+        .unwrap();
+    let specs = (0..projects)
+        .map(|p| {
+            let dataset = DatasetSpec::gaussian(format!("bench-{p}"), OBJECTS, 4, 2)
+                .with_separation(3.0)
+                .generate(&mut rng)
+                .unwrap();
+            let config = CrowdRlConfig::builder()
+                .budget(2.0 * OBJECTS as f64)
+                .batch_per_iter(12)
+                .candidate_cap(24)
+                .build()
+                .unwrap();
+            ProjectSpec::new(format!("bench-{p}"), config, dataset).with_priority((p % 3) as u32)
+        })
+        .collect();
+    (specs, pool)
+}
+
+fn run_service(specs: &[ProjectSpec], pool: &AnnotatorPool, mode: ExecMode) -> ServiceOutcome {
+    let config = ServiceConfig::default()
+        .with_capacity(specs.len())
+        .with_shards(2)
+        .with_mode(mode);
+    let mut rng = seeded(22);
+    Service::new(config)
+        .unwrap()
+        .run(specs, pool, &mut rng)
+        .unwrap()
+}
+
+/// One measured benchmark, reduced to what the JSON report needs.
+struct Measurement {
+    id: String,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+fn measurements(c: &Criterion) -> Vec<Measurement> {
+    c.results()
+        .iter()
+        .map(|s| Measurement {
+            id: s.id.clone(),
+            median_ns: s.median_ns(),
+            mean_ns: s.mean_ns(),
+            min_ns: s.min_ns(),
+        })
+        .collect()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    for &projects in &PROJECT_COUNTS {
+        let (specs, pool) = fixture(projects);
+        group.bench_function(format!("run_single_thread/{projects}"), |b| {
+            b.iter(|| black_box(run_service(&specs, &pool, ExecMode::SingleThread)))
+        });
+        group.bench_function(format!("run_worker_pool_4/{projects}"), |b| {
+            b.iter(|| {
+                black_box(run_service(
+                    &specs,
+                    &pool,
+                    ExecMode::WorkerPool { workers: 4 },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Render the report as JSON by hand — the workspace has no serde.
+fn render_json(found: &[Measurement], references: &[(usize, ServiceOutcome)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"service\",\n");
+    out.push_str(
+        "  \"harness\": \"in-workspace criterion stand-in (wall clock, median of samples)\",\n",
+    );
+    out.push_str("  \"command\": \"cargo bench -p crowdrl-bench --bench service\",\n");
+    let _ = writeln!(
+        out,
+        "  \"fixture\": {{ \"objects_per_project\": {OBJECTS}, \
+         \"pool\": {{ \"workers\": {WORKERS}, \"experts\": {EXPERTS} }} }},"
+    );
+
+    out.push_str("  \"scaling\": [\n");
+    for (i, &projects) in PROJECT_COUNTS.iter().enumerate() {
+        let (_, reference) = references
+            .iter()
+            .find(|(p, _)| *p == projects)
+            .expect("reference outcome");
+        let agg = &reference.aggregate;
+        let comma = if i + 1 < PROJECT_COUNTS.len() {
+            ","
+        } else {
+            ""
+        };
+        let mut modes = String::new();
+        for (j, label) in ["run_single_thread", "run_worker_pool_4"]
+            .iter()
+            .enumerate()
+        {
+            let m = found
+                .iter()
+                .find(|m| m.id == format!("service/{label}/{projects}"))
+                .expect("service measurement");
+            let secs = m.median_ns * 1e-9;
+            let mode_comma = if j == 0 { "," } else { "" };
+            let _ = writeln!(
+                modes,
+                "        {{ \"name\": \"{label}\", \"median_ms\": {:.2}, \
+                 \"min_ms\": {:.2}, \"mean_ms\": {:.2}, \
+                 \"answers_per_sec\": {:.0}, \"events_per_sec\": {:.0} }}{mode_comma}",
+                m.median_ns * 1e-6,
+                m.min_ns * 1e-6,
+                m.mean_ns * 1e-6,
+                agg.answers_delivered as f64 / secs,
+                agg.events_processed as f64 / secs,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    {{ \"projects\": {projects}, \"answers_delivered\": {}, \
+             \"events_processed\": {}, \"rounds\": {}, \
+             \"fairness_spread\": {:.4}, \"modes\": [\n{modes}      ] }}{comma}",
+            agg.answers_delivered, agg.events_processed, agg.rounds, agg.fairness_spread,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut criterion = Criterion::default().sample_size(10);
+    bench_service(&mut criterion);
+    criterion.final_summary();
+
+    // Both execution modes produce the identical merged trace (a tested
+    // invariant), so one reference run per project count supplies the
+    // answer/event counts and the fairness spread for both mode rows.
+    let references: Vec<(usize, ServiceOutcome)> = PROJECT_COUNTS
+        .iter()
+        .map(|&projects| {
+            let (specs, pool) = fixture(projects);
+            (projects, run_service(&specs, &pool, ExecMode::SingleThread))
+        })
+        .collect();
+
+    let json = render_json(&measurements(&criterion), &references);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(err) => eprintln!("\ncould not write {}: {err}", path.display()),
+    }
+}

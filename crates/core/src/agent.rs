@@ -22,6 +22,7 @@ use crowdrl_types::{
     AnnotatorId, AnnotatorProfile, AnswerSet, Error, LabelledSet, ObjectId, Result,
 };
 use rand::Rng;
+use std::collections::HashMap;
 
 /// One chosen assignment: an object and the annotators to ask, plus the
 /// embeddings used (needed to build replay transitions afterwards).
@@ -126,11 +127,18 @@ impl SelectionAgent {
     /// assignment, w1/w3/w5, has exactly one), and annotators that no
     /// longer fit the running allowance are skipped in favor of cheaper
     /// ones.
+    ///
+    /// `slots`, when given, caps how many assignments each annotator may
+    /// take across this whole batch (a shared pool's free concurrency
+    /// slots). Without it the top-scored annotator would be proposed for
+    /// every object, and a brokered service could grant only a slot's
+    /// worth of them. `None` means unbounded, the single-run behaviour.
     #[allow(clippy::too_many_arguments)]
     pub fn select<R: Rng + ?Sized>(
         &mut self,
         candidates: &[(ObjectId, Vec<f64>)],
         profiles: &[AnnotatorProfile],
+        slots: Option<&HashMap<AnnotatorId, usize>>,
         answers: &AnswerSet,
         labelled: &LabelledSet,
         snapshot: &StateSnapshot,
@@ -229,6 +237,9 @@ impl SelectionAgent {
 
         let mut out = Vec::with_capacity(chosen_objects.len());
         let mut allowance = iteration_allowance;
+        // Batch-wide concurrency bookkeeping: how many times each
+        // annotator (by position) has been picked so far this batch.
+        let mut picked = vec![0usize; w];
         for ci in chosen_objects {
             let (object, _) = &candidates[ci];
             let row = &scores[ci * w..(ci + 1) * w];
@@ -243,7 +254,8 @@ impl SelectionAgent {
                 topk::top_k_indices(row, w)
             };
             // Greedy panel fill: best-scored first, at most one expert,
-            // each pick charged against the iteration allowance.
+            // each pick charged against the iteration allowance and the
+            // annotator's free concurrency slots.
             let mut annotator_idx = Vec::with_capacity(k);
             let mut has_expert = false;
             for ai in ranked {
@@ -260,8 +272,15 @@ impl SelectionAgent {
                 if profile.cost > allowance {
                     continue;
                 }
+                if let Some(slots) = slots {
+                    let free = slots.get(&profile.id).copied().unwrap_or(usize::MAX);
+                    if picked[ai] >= free {
+                        continue; // all concurrency slots spoken for
+                    }
+                }
                 allowance -= profile.cost;
                 has_expert |= profile.is_expert();
+                picked[ai] += 1;
                 annotator_idx.push(ai);
             }
             if annotator_idx.is_empty() {
@@ -394,6 +413,7 @@ mod tests {
         let picks = agent.select(
             &candidates(10),
             &profiles,
+            None,
             &answers,
             &labelled,
             &snapshot(4),
@@ -438,6 +458,7 @@ mod tests {
         let picks = agent.select(
             &candidates(2),
             &profiles,
+            None,
             &answers,
             &labelled,
             &snapshot(2),
@@ -461,6 +482,7 @@ mod tests {
         let picks = agent.select(
             &candidates(3),
             &profiles,
+            None,
             &answers,
             &labelled,
             &snapshot(2),
@@ -484,6 +506,7 @@ mod tests {
         let picks = agent.select(
             &candidates(1),
             &profiles,
+            None,
             &answers,
             &labelled,
             &snapshot(2),
@@ -498,6 +521,7 @@ mod tests {
             .select(
                 &[],
                 &profiles,
+                None,
                 &answers,
                 &labelled,
                 &snapshot(2),
@@ -525,6 +549,7 @@ mod tests {
             let picks = agent.select(
                 &candidates(4),
                 &profiles,
+                None,
                 &answers,
                 &labelled,
                 &snapshot(2),

@@ -135,6 +135,14 @@ impl CrowdRlConfig {
         CrowdRlConfigBuilder::default()
     }
 
+    /// This config with a different budget — how a multi-project service
+    /// derives per-tenant configs from one template without rebuilding
+    /// every knob through the builder.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// A stable fingerprint of every knob, used to verify that a
     /// checkpoint is restored under the configuration that produced it.
     /// FNV-1a over the `Debug` rendering: the derived format covers every

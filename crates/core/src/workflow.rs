@@ -207,6 +207,7 @@ impl CrowdRl {
             let assignments = agent.select(
                 &candidates,
                 pool.profiles(),
+                None,
                 platform.answers(),
                 &labelled,
                 &snapshot,

@@ -167,6 +167,27 @@ impl Trace {
         out
     }
 
+    /// The per-phase profile grouped by project scope. Multi-tenant
+    /// service runs prefix every project-scoped metric and span with
+    /// `project.<id>.`; this splits the flat profile into one
+    /// sub-profile per project (names stripped of the prefix), sorted by
+    /// project id. Unscoped phases are not included — use
+    /// [`profile`](Self::profile) for the flat view.
+    pub fn profile_by_project(&self) -> Vec<(usize, Vec<PhaseStat>)> {
+        let mut by_project: HashMap<usize, Vec<PhaseStat>> = HashMap::new();
+        for stat in self.profile() {
+            if let Some((project, rest)) = split_project_scope(&stat.name) {
+                by_project.entry(project).or_default().push(PhaseStat {
+                    name: rest.to_owned(),
+                    ..stat
+                });
+            }
+        }
+        let mut out: Vec<(usize, Vec<PhaseStat>)> = by_project.into_iter().collect();
+        out.sort_by_key(|(p, _)| *p);
+        out
+    }
+
     /// All samples of a gauge, as `(step, value)` in file order.
     pub fn gauge_series(&self, name: &str) -> Vec<(Option<f64>, f64)> {
         self.events
@@ -312,6 +333,19 @@ impl Trace {
     }
 }
 
+/// Split a `project.<id>.`-scoped metric or span name into the project
+/// id and the unscoped remainder; `None` for unscoped names.
+pub fn split_project_scope(name: &str) -> Option<(usize, &str)> {
+    let rest = name.strip_prefix("project.")?;
+    let dot = rest.find('.')?;
+    let id: usize = rest[..dot].parse().ok()?;
+    let tail = &rest[dot + 1..];
+    if tail.is_empty() {
+        return None;
+    }
+    Some((id, tail))
+}
+
 /// Compare two profiles; a phase regresses when its total time grows by
 /// more than `threshold` (fractional, e.g. 0.25 = +25%) *and* by more than
 /// 1ms absolute (to avoid flagging noise on sub-millisecond phases).
@@ -393,6 +427,32 @@ pub fn report(trace: &Trace) -> String {
                 fmt_ns(p.self_ns),
                 fmt_ns(p.mean_ns())
             );
+        }
+    }
+
+    // Multi-tenant service traces: the same profile, grouped per
+    // project (spans carry a `project.<id>.` scope prefix).
+    let by_project = trace.profile_by_project();
+    if !by_project.is_empty() {
+        out.push_str("\n-- per-project phase profile --\n");
+        let _ = writeln!(
+            out,
+            "{:<9} {:<22} {:>7} {:>12} {:>12} {:>12}",
+            "project", "phase", "calls", "total", "self", "mean/call"
+        );
+        for (project, stats) in &by_project {
+            for p in stats {
+                let _ = writeln!(
+                    out,
+                    "{:<9} {:<22} {:>7} {:>12} {:>12} {:>12}",
+                    project,
+                    p.name,
+                    p.calls,
+                    fmt_ns(p.total_ns),
+                    fmt_ns(p.self_ns),
+                    fmt_ns(p.mean_ns())
+                );
+            }
         }
     }
 
@@ -696,6 +756,44 @@ mod tests {
         }];
         let d2 = diff_profiles(&a2, &b2, 0.25);
         assert!(!d2[0].regressed);
+    }
+
+    #[test]
+    fn profile_groups_by_project_scope() {
+        let trace = Trace {
+            events: vec![
+                ev(r#"{"t":"ss","id":1,"n":"service.run","w":0}"#),
+                ev(r#"{"t":"ss","id":2,"p":1,"n":"project.0.serve.refresh","w":100}"#),
+                ev(r#"{"t":"se","id":2,"w":300}"#),
+                ev(r#"{"t":"ss","id":3,"p":1,"n":"project.7.serve.refresh","w":300}"#),
+                ev(r#"{"t":"se","id":3,"w":900}"#),
+                ev(r#"{"t":"se","id":1,"w":1000}"#),
+            ],
+        };
+        let grouped = trace.profile_by_project();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0, 0);
+        assert_eq!(grouped[0].1[0].name, "serve.refresh");
+        assert_eq!(grouped[0].1[0].total_ns, 200);
+        assert_eq!(grouped[1].0, 7);
+        assert_eq!(grouped[1].1[0].total_ns, 600);
+        // The unscoped service.run span stays out of the grouping.
+        assert!(grouped
+            .iter()
+            .all(|(_, s)| s.iter().all(|p| p.name != "service.run")));
+        let text = report(&trace);
+        assert!(text.contains("per-project phase profile"));
+    }
+
+    #[test]
+    fn project_scope_parser_rejects_non_project_names() {
+        assert_eq!(
+            split_project_scope("project.3.serve.refresh"),
+            Some((3, "serve.refresh"))
+        );
+        assert_eq!(split_project_scope("serve.refresh"), None);
+        assert_eq!(split_project_scope("project.x.run"), None);
+        assert_eq!(split_project_scope("project.3."), None);
     }
 
     #[test]

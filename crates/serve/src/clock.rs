@@ -53,6 +53,13 @@ impl EventQueue {
         Ok(())
     }
 
+    /// The time of the earliest pending event, without popping it. The
+    /// service scheduler uses this to pick each round's horizon across
+    /// many shard queues.
+    pub fn peek_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
     /// Pop the earliest event and advance the clock to it.
     pub fn pop(&mut self) -> Option<Event> {
         let Reverse(event) = self.heap.pop()?;

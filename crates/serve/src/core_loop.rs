@@ -77,6 +77,12 @@ pub struct RefreshRequest {
     /// Objects the agent must not select: currently in flight, or
     /// abandoned after exhausting their requeue allowance.
     pub blocked: HashSet<ObjectId>,
+    /// Free concurrency slots per annotator at refresh time (shared
+    /// pool brokering). Selection filters out exhausted annotators the
+    /// way it filters quarantined ones, and caps how many times one
+    /// annotator is reused within a single reply. `None` means
+    /// concurrency is unbounded (the single-run pump).
+    pub slots: Option<HashMap<AnnotatorId, usize>>,
     /// The simulated clock at the refresh.
     pub now: SimTime,
     /// Answers delivered since the previous refresh.
@@ -200,6 +206,11 @@ pub struct AgentCore<'a> {
     quarantine: Quarantine,
     /// Live-pool size below which degraded mode engages.
     quorum: usize,
+    /// Prefix for every span/gauge/counter this core emits (e.g.
+    /// `project.3.`). Empty for single runs, so their trace names are
+    /// unchanged; the multi-tenant service sets one scope per project so
+    /// concurrent runs do not collide in a shared trace.
+    obs_scope: String,
 }
 
 impl<'a> AgentCore<'a> {
@@ -255,6 +266,7 @@ impl<'a> AgentCore<'a> {
                 quarantine.min_pool
             },
             quarantine: Quarantine::new(quarantine, pool.len()),
+            obs_scope: String::new(),
             config,
             dataset,
             pool,
@@ -262,6 +274,23 @@ impl<'a> AgentCore<'a> {
             agent,
             rng,
         })
+    }
+
+    /// Scope every metric this core emits under `scope` (conventionally
+    /// `project.<id>.`). Pass an empty string to restore the unscoped
+    /// single-run names.
+    pub fn set_obs_scope(&mut self, scope: impl Into<String>) {
+        self.obs_scope = scope.into();
+    }
+
+    /// `scope + name`, borrowing `name` unchanged on the (single-run)
+    /// empty-scope path so unscoped runs allocate nothing extra.
+    fn scoped(&self, name: &'static str) -> std::borrow::Cow<'static, str> {
+        if self.obs_scope.is_empty() {
+            std::borrow::Cow::Borrowed(name)
+        } else {
+            std::borrow::Cow::Owned(format!("{}{name}", self.obs_scope))
+        }
     }
 
     /// The initial α·|O| stratified panels (one random expert plus random
@@ -341,12 +370,12 @@ impl<'a> AgentCore<'a> {
     /// One refresh: ingest the answers, credit outstanding batches, and
     /// decide the next panels. Mirrors one iteration of the batch loop.
     pub fn refresh(&mut self, req: &RefreshRequest) -> Result<RefreshReply> {
-        let refresh_span = obs::span("serve.refresh");
+        let refresh_span = obs::span(&self.scoped("serve.refresh"));
         let k_classes = self.dataset.num_classes();
 
         // (a) Truth inference over everything delivered so far, minus
         // votes from quarantined annotators.
-        let inference_span = obs::span("serve.inference");
+        let inference_span = obs::span(&self.scoped("serve.inference"));
         let result = if req.answers.total_answers() > 0 {
             let trusted = self.trusted_answers(&req.answers)?;
             let result = run_inference_step(
@@ -388,9 +417,9 @@ impl<'a> AgentCore<'a> {
             );
             for ev in &quarantine_events {
                 if ev.entered {
-                    obs::counter_add("quarantine.entered", 1);
+                    obs::counter_add(&self.scoped("quarantine.entered"), 1);
                 } else {
-                    obs::counter_add("quarantine.released", 1);
+                    obs::counter_add(&self.scoped("quarantine.released"), 1);
                 }
             }
         }
@@ -500,7 +529,7 @@ impl<'a> AgentCore<'a> {
         }
 
         // (e) Decide the next panels (unless the refresh cap is hit).
-        let decide_span = obs::span("serve.decide");
+        let decide_span = obs::span(&self.scoped("serve.decide"));
         let panels = if self.refresh_index < self.config.max_iters && !self.labelled.all_labelled()
         {
             self.decide(req)?
@@ -534,31 +563,31 @@ impl<'a> AgentCore<'a> {
             let step = self.refresh_index as f64;
             let n = self.dataset.len().max(1) as f64;
             obs::gauge_step(
-                "run.budget_spent_fraction",
+                &self.scoped("run.budget_spent_fraction"),
                 step,
                 req.view.committed_fraction(),
             );
             obs::gauge_step(
-                "run.labelled_fraction",
+                &self.scoped("run.labelled_fraction"),
                 step,
                 self.labelled.labelled_count() as f64 / n,
             );
             obs::gauge_step(
-                "run.enriched_fraction",
+                &self.scoped("run.enriched_fraction"),
                 step,
                 self.labelled.enriched_count() as f64 / n,
             );
-            obs::gauge_step("run.phi_trust", step, self.phi_trust);
-            obs::gauge_step("run.reward", step, reward);
-            obs::gauge_step("serve.sim_time_tu", step, req.now.as_f64());
+            obs::gauge_step(&self.scoped("run.phi_trust"), step, self.phi_trust);
+            obs::gauge_step(&self.scoped("run.reward"), step, reward);
+            obs::gauge_step(&self.scoped("serve.sim_time_tu"), step, req.now.as_f64());
             if let Some(acc) =
                 classifier_accuracy_on_labelled(self.dataset, &self.classifier, &self.labelled)
             {
-                obs::gauge_step("run.acc_on_labelled", step, acc);
+                obs::gauge_step(&self.scoped("run.acc_on_labelled"), step, acc);
             }
             if enriched > 0 {
                 obs::annotate_kv(
-                    "serve.enrichment",
+                    &self.scoped("serve.enrichment"),
                     &format!(
                         "enrichment added {enriched} labels at budget {:.2}",
                         req.view.committed_fraction()
@@ -715,14 +744,19 @@ impl<'a> AgentCore<'a> {
         let allowance = allowance.min(req.view.usable());
 
         let snapshot = self.snapshot(&req.answers, req.view);
-        // Quarantined annotators are filtered out of the selectable pool.
-        // Selection identifies annotators by `profile.id`, not position,
-        // so handing it a subset is safe; when every breaker is closed the
-        // original slice is used and the run is bit-identical.
+        // Quarantined and slot-exhausted annotators are filtered out of
+        // the selectable pool. Selection identifies annotators by
+        // `profile.id`, not position, so handing it a subset is safe;
+        // when every breaker is closed and every slot free the original
+        // slice is used and the run is bit-identical.
         let all_profiles = self.pool.profiles();
+        let free = |id: AnnotatorId| match &req.slots {
+            Some(slots) => slots.get(&id).copied().unwrap_or(usize::MAX) > 0,
+            None => true,
+        };
         let active_profiles: Vec<AnnotatorProfile> = all_profiles
             .iter()
-            .filter(|p| !self.quarantine.is_quarantined(p.id.index()))
+            .filter(|p| !self.quarantine.is_quarantined(p.id.index()) && free(p.id))
             .cloned()
             .collect();
         let profiles: &[AnnotatorProfile] = if active_profiles.len() == all_profiles.len() {
@@ -733,6 +767,7 @@ impl<'a> AgentCore<'a> {
         let assignments = self.agent.select(
             &candidates,
             profiles,
+            req.slots.as_ref(),
             &req.answers,
             &self.labelled,
             &snapshot,

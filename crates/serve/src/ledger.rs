@@ -156,6 +156,33 @@ impl AssignmentLedger {
         deadline: SimTime,
         budget: &Budget,
     ) -> Result<AssignmentId> {
+        if cost.is_finite()
+            && cost >= 0.0
+            && deadline >= now
+            && !self.pairs.contains(&(object, annotator))
+            && !self.can_reserve(cost, budget)
+        {
+            return Err(Error::BudgetExhausted {
+                requested: cost,
+                remaining: (budget.remaining() - self.reserved).max(0.0),
+            });
+        }
+        self.dispatch_reserved(object, annotator, cost, now, deadline)
+    }
+
+    /// Dispatch a question whose budget check is made *elsewhere* — the
+    /// multi-tenant service reserves against a per-project
+    /// [`AccountBook`] account before calling this. All structural checks
+    /// (cost validity, deadline ordering, live-pair uniqueness) still
+    /// apply; only the budget-fit check is skipped.
+    pub fn dispatch_reserved(
+        &mut self,
+        object: ObjectId,
+        annotator: AnnotatorId,
+        cost: f64,
+        now: SimTime,
+        deadline: SimTime,
+    ) -> Result<AssignmentId> {
         if !cost.is_finite() || cost < 0.0 {
             return Err(Error::InvalidParameter(format!(
                 "assignment cost must be finite and non-negative, got {cost}"
@@ -170,12 +197,6 @@ impl AssignmentLedger {
             return Err(Error::ServiceFailure(format!(
                 "pair ({object}, {annotator}) already has a live assignment or answer"
             )));
-        }
-        if !self.can_reserve(cost, budget) {
-            return Err(Error::BudgetExhausted {
-                requested: cost,
-                remaining: (budget.remaining() - self.reserved).max(0.0),
-            });
         }
         let id = AssignmentId(self.records.len() as u64);
         self.records.push(AssignmentRecord {
@@ -203,6 +224,21 @@ impl AssignmentLedger {
         now: SimTime,
         budget: &mut Budget,
     ) -> Result<Delivery> {
+        let delivery = self.settle_deliver(id, now)?;
+        if let Delivery::Accepted { cost, .. } = delivery {
+            budget.charge(cost)?;
+        }
+        Ok(delivery)
+    }
+
+    /// Settle a delivery against the ledger only: the `InFlight →
+    /// Delivered` transition and the reservation release, without
+    /// charging any budget. The caller owns the charge — the service
+    /// layer charges the owning project's account instead of a single
+    /// run-wide [`Budget`]. Exactly-once still holds: the transition
+    /// fires at most once per record, so at most one charge per record
+    /// can ever follow.
+    pub fn settle_deliver(&mut self, id: AssignmentId, now: SimTime) -> Result<Delivery> {
         let record = self
             .records
             .get_mut(id.0 as usize)
@@ -212,7 +248,6 @@ impl AssignmentLedger {
         }
         record.status = AssignmentStatus::Delivered;
         self.reserved = (self.reserved - record.cost).max(0.0);
-        budget.charge(record.cost)?;
         Ok(Delivery::Accepted {
             cost: record.cost,
             latency: now - record.dispatched_at,
@@ -234,6 +269,13 @@ impl AssignmentLedger {
         let cost = record.cost;
         self.pairs.remove(&pair);
         Ok(Expiry::TimedOut { cost })
+    }
+
+    /// [`expire`](Self::expire) under its service-layer name: expiry
+    /// never touches a budget, so the settlement and the classic call
+    /// are the same operation.
+    pub fn settle_expire(&mut self, id: AssignmentId) -> Result<Expiry> {
+        self.expire(id)
     }
 
     /// Every record ever issued, in dispatch (id) order — the ledger's
@@ -281,6 +323,147 @@ impl AssignmentLedger {
             .filter(|r| r.status == AssignmentStatus::InFlight)
             .map(|r| r.object)
             .collect()
+    }
+}
+
+/// One project's money: its own [`Budget`] plus its own outstanding
+/// reservations. Private to the book — all mutation goes through
+/// [`AccountBook`] so the cross-charge guard cannot be bypassed.
+#[derive(Debug)]
+struct Account {
+    budget: Budget,
+    reserved: f64,
+}
+
+/// Per-project budget accounts for the multi-tenant service.
+///
+/// Each account carries the same exactly-once discipline the single-run
+/// ledger enforces — reserve at dispatch, charge on delivery, release on
+/// expiry — but isolated per project: `spent + reserved ≤ total` holds
+/// account by account, so a project that exhausts its budget cannot
+/// reserve a cent of another's. Charging or releasing more than an
+/// account has reserved is an error, not a silent clamp: that is the
+/// cross-charge guard — a settlement routed to the wrong account cannot
+/// find a matching reservation there and fails loudly.
+#[derive(Debug, Default)]
+pub struct AccountBook {
+    accounts: Vec<Account>,
+}
+
+impl AccountBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a new account with `total` budget; returns its id (dense,
+    /// in open order — the service uses the project's submission index).
+    pub fn open(&mut self, total: f64) -> Result<usize> {
+        let budget = Budget::new(total)?;
+        self.accounts.push(Account {
+            budget,
+            reserved: 0.0,
+        });
+        Ok(self.accounts.len() - 1)
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether no account was opened.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    fn account(&self, id: usize) -> Result<&Account> {
+        self.accounts
+            .get(id)
+            .ok_or_else(|| Error::ServiceFailure(format!("unknown budget account {id}")))
+    }
+
+    fn account_mut(&mut self, id: usize) -> Result<&mut Account> {
+        self.accounts
+            .get_mut(id)
+            .ok_or_else(|| Error::ServiceFailure(format!("unknown budget account {id}")))
+    }
+
+    /// Whether reserving `cost` fits account `id` after its existing
+    /// spend and reservations. Only this account's money counts — other
+    /// accounts' headroom is invisible here.
+    pub fn can_reserve(&self, id: usize, cost: f64) -> bool {
+        match self.accounts.get(id) {
+            Some(a) if cost.is_finite() && cost >= 0.0 => {
+                a.budget.spent() + a.reserved + cost <= a.budget.total() + 1e-9
+            }
+            _ => false,
+        }
+    }
+
+    /// Reserve `cost` on account `id` (dispatch time).
+    pub fn reserve(&mut self, id: usize, cost: f64) -> Result<()> {
+        if !self.can_reserve(id, cost) {
+            let a = self.account(id)?;
+            return Err(Error::BudgetExhausted {
+                requested: cost,
+                remaining: (a.budget.remaining() - a.reserved).max(0.0),
+            });
+        }
+        self.account_mut(id)?.reserved += cost;
+        Ok(())
+    }
+
+    /// Move `cost` from reservation to real spend on account `id`
+    /// (delivery time). Fails — without touching the budget — if the
+    /// account does not hold that much in reservations: a charge that
+    /// lands on the wrong project's account cannot match a reservation
+    /// there and is refused instead of leaking money across tenants.
+    pub fn charge(&mut self, id: usize, cost: f64) -> Result<()> {
+        let a = self.account_mut(id)?;
+        if !cost.is_finite() || cost < 0.0 || cost > a.reserved + 1e-9 {
+            return Err(Error::ServiceFailure(format!(
+                "account {id} asked to charge {cost} with only {} reserved",
+                a.reserved
+            )));
+        }
+        a.budget.charge(cost)?;
+        a.reserved = (a.reserved - cost).max(0.0);
+        Ok(())
+    }
+
+    /// Release a reservation of `cost` on account `id` (expiry time).
+    /// Same cross-charge guard as [`charge`](Self::charge).
+    pub fn release(&mut self, id: usize, cost: f64) -> Result<()> {
+        let a = self.account_mut(id)?;
+        if !cost.is_finite() || cost < 0.0 || cost > a.reserved + 1e-9 {
+            return Err(Error::ServiceFailure(format!(
+                "account {id} asked to release {cost} with only {} reserved",
+                a.reserved
+            )));
+        }
+        a.reserved = (a.reserved - cost).max(0.0);
+        Ok(())
+    }
+
+    /// Account `id`'s budget total.
+    pub fn total(&self, id: usize) -> f64 {
+        self.accounts.get(id).map_or(0.0, |a| a.budget.total())
+    }
+
+    /// Account `id`'s real (charged) spend.
+    pub fn spent(&self, id: usize) -> f64 {
+        self.accounts.get(id).map_or(0.0, |a| a.budget.spent())
+    }
+
+    /// Account `id`'s outstanding reservations.
+    pub fn reserved(&self, id: usize) -> f64 {
+        self.accounts.get(id).map_or(0.0, |a| a.reserved)
+    }
+
+    /// Number of charges posted to account `id`.
+    pub fn charge_count(&self, id: usize) -> usize {
+        self.accounts.get(id).map_or(0, |a| a.budget.charge_count())
     }
 }
 
@@ -389,5 +572,89 @@ mod tests {
             .is_err());
         assert!(ledger.is_empty());
         assert_eq!(ledger.reserved(), 0.0);
+    }
+
+    #[test]
+    fn settlement_without_budget_matches_the_classic_path() {
+        let mut ledger = AssignmentLedger::new();
+        let id = ledger
+            .dispatch_reserved(ObjectId(0), AnnotatorId(0), 2.0, t(0.0), t(5.0))
+            .unwrap();
+        assert_eq!(ledger.reserved(), 2.0);
+        let d = ledger.settle_deliver(id, t(1.5)).unwrap();
+        assert_eq!(
+            d,
+            Delivery::Accepted {
+                cost: 2.0,
+                latency: t(1.5)
+            }
+        );
+        assert_eq!(ledger.reserved(), 0.0);
+        // Exactly-once: the second settlement is rejected.
+        assert_eq!(
+            ledger.settle_deliver(id, t(2.0)).unwrap(),
+            Delivery::Rejected
+        );
+        assert_eq!(ledger.settle_expire(id).unwrap(), Expiry::AlreadySettled);
+        // And the delivered pair stays locked.
+        assert!(ledger.pair_claimed(ObjectId(0), AnnotatorId(0)));
+    }
+
+    #[test]
+    fn accounts_isolate_budgets() {
+        let mut book = AccountBook::new();
+        let a = book.open(10.0).unwrap();
+        let b = book.open(3.0).unwrap();
+        // Exhaust b's budget with reservations.
+        book.reserve(b, 3.0).unwrap();
+        assert!(!book.can_reserve(b, 0.5));
+        // a's headroom is untouched by b's exhaustion, and vice versa.
+        assert!(book.can_reserve(a, 10.0));
+        book.reserve(a, 4.0).unwrap();
+        book.charge(a, 4.0).unwrap();
+        assert_eq!(book.spent(a), 4.0);
+        assert_eq!(book.spent(b), 0.0);
+        // b cannot charge what it never reserved beyond its 3.0...
+        assert!(book.charge(b, 3.5).is_err());
+        // ...and the failed charge changed nothing.
+        assert_eq!(book.spent(b), 0.0);
+        assert_eq!(book.reserved(b), 3.0);
+        book.release(b, 3.0).unwrap();
+        assert_eq!(book.reserved(b), 0.0);
+    }
+
+    #[test]
+    fn cross_charges_are_refused() {
+        let mut book = AccountBook::new();
+        let a = book.open(10.0).unwrap();
+        let b = book.open(10.0).unwrap();
+        book.reserve(a, 2.0).unwrap();
+        // A settlement routed to the wrong account finds no reservation
+        // there and fails loudly, leaving both accounts intact.
+        assert!(book.charge(b, 2.0).is_err());
+        assert!(book.release(b, 2.0).is_err());
+        assert_eq!(book.spent(a), 0.0);
+        assert_eq!(book.spent(b), 0.0);
+        assert_eq!(book.reserved(a), 2.0);
+        assert_eq!(book.reserved(b), 0.0);
+        book.charge(a, 2.0).unwrap();
+        assert_eq!(book.spent(a), 2.0);
+        assert_eq!(book.charge_count(a), 1);
+    }
+
+    #[test]
+    fn account_book_rejects_unknown_and_malformed_operations() {
+        let mut book = AccountBook::new();
+        assert!(book.open(f64::NAN).is_err());
+        let a = book.open(5.0).unwrap();
+        assert!(!book.can_reserve(99, 1.0));
+        assert!(book.reserve(99, 1.0).is_err());
+        assert!(book.charge(99, 1.0).is_err());
+        assert!(!book.can_reserve(a, f64::INFINITY));
+        assert!(book.reserve(a, -1.0).is_err());
+        book.reserve(a, 1.0).unwrap();
+        assert!(book.charge(a, f64::NAN).is_err());
+        assert!(book.release(a, -0.5).is_err());
+        assert_eq!(book.reserved(a), 1.0);
     }
 }

@@ -71,7 +71,9 @@ pub use clock::EventQueue;
 pub use config::{ExecMode, ServeConfig};
 pub use error::ServeError;
 pub use event::{Event, EventKind, TraceEvent};
-pub use ledger::{AssignmentLedger, AssignmentRecord, AssignmentStatus, Delivery, Expiry};
+pub use ledger::{
+    AccountBook, AssignmentLedger, AssignmentRecord, AssignmentStatus, Delivery, Expiry,
+};
 pub use metrics::{MetricsCollector, ServiceMetrics};
 pub use runtime::{AsyncOutcome, AsyncRuntime, CheckpointSink, RunControl, RunOutcome};
 pub use supervisor::{

@@ -146,28 +146,38 @@ impl ServiceMetrics {
     /// become gauges, so `crowdrl-trace` shows batch and async runs in
     /// one place. No-op unless a recorder is installed.
     pub fn emit_trace(&self) {
+        self.emit_trace_scoped("");
+    }
+
+    /// [`emit_trace`](Self::emit_trace) with every metric name prefixed
+    /// by `scope` (e.g. `project.3.`). The multi-tenant service emits one
+    /// scoped report per project so concurrent runs' counters and gauges
+    /// do not collide in a single trace file.
+    pub fn emit_trace_scoped(&self, scope: &str) {
         if !obs::enabled() {
             return;
         }
-        obs::counter_add("serve.dispatched", self.dispatched as u64);
-        obs::counter_add("serve.answers_delivered", self.answers_delivered as u64);
-        obs::counter_add("serve.answers_rejected", self.answers_rejected as u64);
-        obs::counter_add("serve.timeouts", self.timeouts as u64);
-        obs::counter_add("serve.requeues", self.requeues as u64);
-        obs::counter_add("serve.refreshes", self.refreshes as u64);
-        obs::counter_add("serve.events_processed", self.events_processed as u64);
+        let counter = |name: &str, v: u64| obs::counter_add(&format!("{scope}{name}"), v);
+        let gauge = |name: &str, v: f64| obs::gauge(&format!("{scope}{name}"), v);
+        counter("serve.dispatched", self.dispatched as u64);
+        counter("serve.answers_delivered", self.answers_delivered as u64);
+        counter("serve.answers_rejected", self.answers_rejected as u64);
+        counter("serve.timeouts", self.timeouts as u64);
+        counter("serve.requeues", self.requeues as u64);
+        counter("serve.refreshes", self.refreshes as u64);
+        counter("serve.events_processed", self.events_processed as u64);
         // Latencies and the sim-duration gauge are simulated-time numbers;
         // wall_seconds and events_per_second are wall-clock. Gauge names
         // say which clock they belong to (`_tu` = simulated time units).
-        obs::gauge("serve.latency_p50_tu", self.latency_p50);
-        obs::gauge("serve.latency_p95_tu", self.latency_p95);
-        obs::gauge("serve.latency_p99_tu", self.latency_p99);
-        obs::gauge("serve.answers_per_tu", self.answers_per_time_unit);
-        obs::gauge("serve.events_per_second", self.events_per_second);
-        obs::gauge("serve.sim_duration_tu", self.sim_duration.as_f64());
-        obs::gauge("serve.wall_seconds", self.wall_seconds);
-        obs::gauge("serve.budget_spent", self.budget_spent);
-        obs::gauge("serve.budget_burn_rate", self.budget_burn_rate);
+        gauge("serve.latency_p50_tu", self.latency_p50);
+        gauge("serve.latency_p95_tu", self.latency_p95);
+        gauge("serve.latency_p99_tu", self.latency_p99);
+        gauge("serve.answers_per_tu", self.answers_per_time_unit);
+        gauge("serve.events_per_second", self.events_per_second);
+        gauge("serve.sim_duration_tu", self.sim_duration.as_f64());
+        gauge("serve.wall_seconds", self.wall_seconds);
+        gauge("serve.budget_spent", self.budget_spent);
+        gauge("serve.budget_burn_rate", self.budget_burn_rate);
     }
 }
 

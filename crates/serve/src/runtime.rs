@@ -511,6 +511,9 @@ impl<'a> Pump<'a> {
                 reserved: self.ledger.reserved(),
             },
             blocked,
+            // The single-run pump places no per-annotator concurrency
+            // caps — slot accounting is a shared-pool concern.
+            slots: None,
             now,
             answers_since: self.answers_since,
         })?;

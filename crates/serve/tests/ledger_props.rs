@@ -6,7 +6,7 @@
 //! (object, annotator) pair twice. This is the money invariant the whole
 //! asynchronous runtime leans on.
 
-use crowdrl_serve::{AssignmentLedger, Delivery, Expiry};
+use crowdrl_serve::{AccountBook, AssignmentLedger, Delivery, Expiry};
 use crowdrl_sim::{FaultInjector, FaultPlan};
 use crowdrl_types::{AnnotatorId, AssignmentId, Budget, ClassId, ObjectId, SimTime};
 use proptest::prelude::*;
@@ -202,5 +202,104 @@ proptest! {
         prop_assert_eq!(ledger.in_flight(), 0);
         prop_assert!(ledger.reserved().abs() < 1e-9);
         prop_assert_eq!(charged_pairs.len(), budget.charge_count());
+    }
+
+    /// Multi-tenant money: arbitrary interleavings of reserve / charge /
+    /// expire across several [`AccountBook`] accounts conserve every
+    /// account's budget *independently* and never cross-charge — a
+    /// settlement aimed at an account without a matching reservation is
+    /// refused and leaves every balance untouched.
+    #[test]
+    fn account_book_isolates_budgets_under_interleaving(
+        totals in proptest::collection::vec(2.0f64..30.0, 3..6),
+        ops in proptest::collection::vec((0u8..4, 0u8..6, 0.25f64..2.0), 1..300),
+    ) {
+        let mut book = AccountBook::new();
+        for &total in &totals {
+            book.open(total).unwrap();
+        }
+        let n = totals.len();
+        // Shadow books: outstanding reservations and expected spend per
+        // account, maintained independently of the implementation.
+        let mut outstanding: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut expected_spent = vec![0.0f64; n];
+
+        for (kind, which, cost) in ops {
+            let a = which as usize % n;
+            match kind {
+                // Reserve (dispatch): succeeds iff the account has
+                // headroom; other accounts' headroom must not help.
+                0 => {
+                    let fits = expected_spent[a]
+                        + outstanding[a].iter().sum::<f64>()
+                        + cost
+                        <= totals[a] + 1e-9;
+                    prop_assert_eq!(book.can_reserve(a, cost), fits);
+                    if book.reserve(a, cost).is_ok() {
+                        prop_assert!(fits, "reserve succeeded without headroom");
+                        outstanding[a].push(cost);
+                    } else {
+                        prop_assert!(!fits, "reserve failed with headroom");
+                    }
+                }
+                // Charge (delivery): settles one outstanding reservation.
+                1 => {
+                    if let Some(cost) = outstanding[a].pop() {
+                        book.charge(a, cost).unwrap();
+                        expected_spent[a] += cost;
+                    }
+                }
+                // Expire: releases one outstanding reservation.
+                2 => {
+                    if let Some(cost) = outstanding[a].pop() {
+                        book.release(a, cost).unwrap();
+                    }
+                }
+                // Cross-charge attempt: bill account `a` for more than it
+                // holds in reservations (e.g. another tenant's delivery
+                // routed to the wrong account). Must fail and move no
+                // money anywhere.
+                _ => {
+                    let reserved_a = outstanding[a].iter().sum::<f64>();
+                    let before_spent: Vec<f64> = (0..n).map(|i| book.spent(i)).collect();
+                    let before_reserved: Vec<f64> = (0..n).map(|i| book.reserved(i)).collect();
+                    prop_assert!(book.charge(a, reserved_a + cost).is_err());
+                    for i in 0..n {
+                        prop_assert_eq!(book.spent(i), before_spent[i]);
+                        prop_assert_eq!(book.reserved(i), before_reserved[i]);
+                    }
+                }
+            }
+
+            // Per-account conservation after every operation.
+            for i in 0..n {
+                prop_assert!(
+                    (book.spent(i) - expected_spent[i]).abs() < 1e-9,
+                    "account {i} spent {} != expected {}",
+                    book.spent(i),
+                    expected_spent[i]
+                );
+                prop_assert!(
+                    (book.reserved(i) - outstanding[i].iter().sum::<f64>()).abs() < 1e-6,
+                    "account {i} reserved {} != shadow {}",
+                    book.reserved(i),
+                    outstanding[i].iter().sum::<f64>()
+                );
+                prop_assert!(
+                    book.spent(i) + book.reserved(i) <= totals[i] + 1e-9,
+                    "account {i} committed past its budget"
+                );
+            }
+        }
+
+        // Close the books: release everything outstanding; spend matches
+        // the charges exactly, account by account.
+        for a in 0..n {
+            while let Some(cost) = outstanding[a].pop() {
+                book.release(a, cost).unwrap();
+            }
+            prop_assert!(book.reserved(a).abs() < 1e-6);
+            prop_assert!((book.spent(a) - expected_spent[a]).abs() < 1e-9);
+        }
     }
 }

@@ -1,0 +1,776 @@
+//! The service orchestrator: admission, scheduling rounds, the
+//! deterministic cross-shard merge, and pool arbitration.
+//!
+//! # One scheduling round
+//!
+//! 1. **Horizon.** Take the earliest pending event across every active
+//!    shard and add [`ServiceConfig::epoch`] of slack — that is the
+//!    round's horizon.
+//! 2. **Advance (parallel).** Every shard of every active project
+//!    advances to the horizon concurrently on the shared thread pool.
+//!    Shards own disjoint state, so this is embarrassingly parallel;
+//!    each produces a [`ShardBatch`] of settlements in its own event
+//!    order.
+//! 3. **Merge (sequential).** Batches are applied in *(project, shard,
+//!    event)* order: deliveries charge the project's account
+//!    ([`AccountBook`]) and release broker slots, expiries release
+//!    reservations and requeue objects. The merged answer stream, money
+//!    movement, and trace are therefore identical at any thread count.
+//! 4. **Refresh (parallel).** Projects whose watermark is due run truth
+//!    inference + DQN training concurrently — each project's
+//!    [`AgentCore`] is private state.
+//! 5. **Grant (sequential).** Panels are arbitrated through the
+//!    [`PoolBroker`] in *(priority descending, submission index
+//!    ascending)* order; response sampling for the granted assignments
+//!    fans out on the pool (pure per-uid streams), and the assignments
+//!    open on their shards.
+//!
+//! # Why both exec modes are bit-identical
+//!
+//! [`ExecMode`] does not select an algorithm — it sets the thread cap
+//! around *one* implementation (`SingleThread` caps the pool at 1).
+//! Every parallel section writes disjoint, pre-indexed slots and every
+//! stateful effect happens in the sequential merge/grant phases, so the
+//! trace is invariant by construction, not by testing luck.
+//!
+//! [`ShardBatch`]: crate::shard::ShardBatch
+//! [`AccountBook`]: crowdrl_serve::AccountBook
+//! [`AgentCore`]: crowdrl_serve::core_loop::AgentCore
+
+use crate::broker::PoolBroker;
+use crate::config::{AdmissionPolicy, ProjectSpec, ServiceConfig};
+use crate::metrics::{AggregateMetrics, ProjectReport, ServiceOutcome};
+use crate::project::{Project, ProjectStatus};
+use crate::shard::{Shard, ShardBatch, ShardEvent};
+use crowdrl_linalg::pool::{self as tpool, SendPtr};
+use crowdrl_obs as obs;
+use crowdrl_serve::core_loop::{
+    AgentCore, BudgetView, FinalizeRequest, RefreshReply, RefreshRequest,
+};
+use crowdrl_serve::metrics::MetricsCollector;
+use crowdrl_serve::sampler::{sample_outcome, SampleJob, SampledOutcome};
+use crowdrl_serve::{AccountBook, ExecMode, TraceEvent};
+use crowdrl_sim::{AnnotatorDynamics, AnnotatorPool};
+use crowdrl_types::{AnnotatorId, Answer, AnswerSet, AssignmentId, Error, Result, SimTime};
+use rand::Rng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+/// Sampling fan-out granularity (assignments per worker chunk).
+const SAMPLE_CHUNK: usize = 64;
+
+/// A multi-tenant labelling service: many concurrent CrowdRL projects
+/// over one shared annotator pool. See the module docs for the round
+/// structure and the determinism argument.
+#[derive(Debug, Clone)]
+pub struct Service {
+    config: ServiceConfig,
+}
+
+impl Service {
+    /// A service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Run every submitted project to completion and return one report
+    /// per project plus the merged trace and cross-project aggregate.
+    ///
+    /// `rng` seeds the shared virtual crowd (latency dynamics) and each
+    /// project's agent core, all drawn up front in submission order —
+    /// the run itself is deterministic given (specs, pool, rng state,
+    /// config) and bit-identical across [`ExecMode`]s.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        specs: &[ProjectSpec],
+        pool: &AnnotatorPool,
+        rng: &mut R,
+    ) -> Result<ServiceOutcome> {
+        if specs.is_empty() {
+            return Err(Error::InvalidParameter(
+                "service run needs at least one project".into(),
+            ));
+        }
+        if pool.is_empty() {
+            return Err(Error::InvalidParameter("annotator pool is empty".into()));
+        }
+        for spec in specs {
+            spec.config.validate()?;
+            if spec.dataset.is_empty() {
+                return Err(Error::InvalidParameter(format!(
+                    "project '{}' has an empty dataset",
+                    spec.name
+                )));
+            }
+        }
+        obs::init_from_env();
+        let run_span = obs::span("service.run");
+
+        // All randomness is drawn here, in submission order, before any
+        // scheduling happens — the engine itself never touches `rng`.
+        let dynamics = self.config.dynamics.generate(pool, rng)?;
+        let capacities = self.config.annotator_capacity.generate(pool)?;
+        let seeds: Vec<u64> = specs.iter().map(|_| rng.random()).collect();
+
+        // ExecMode = thread cap around one shared implementation.
+        let threads = match self.config.mode {
+            ExecMode::SingleThread => 1,
+            ExecMode::WorkerPool { workers } => workers,
+        };
+        let previous = tpool::max_threads();
+        tpool::set_threads(threads);
+        let started = Instant::now();
+        let result = (|| -> Result<ServiceOutcome> {
+            let mut engine = Engine::new(&self.config, specs, pool, &dynamics, capacities, &seeds)?;
+            engine.run()?;
+            Ok(engine.into_outcome(started.elapsed().as_secs_f64()))
+        })();
+        tpool::set_threads(previous);
+        let outcome = result?;
+        drop(run_span);
+        outcome.aggregate.emit_trace();
+        obs::checkpoint();
+        Ok(outcome)
+    }
+}
+
+/// One granted assignment, between arbitration and opening on a shard.
+#[derive(Debug, Clone, Copy)]
+struct Grant {
+    project: usize,
+    shard: usize,
+    object: crowdrl_types::ObjectId,
+    annotator: crowdrl_types::AnnotatorId,
+    cost: f64,
+    uid: u64,
+}
+
+/// The live scheduling state for one service run.
+struct Engine<'a> {
+    cfg: &'a ServiceConfig,
+    specs: &'a [ProjectSpec],
+    pool: &'a AnnotatorPool,
+    dynamics: &'a [AnnotatorDynamics],
+    /// One slot per submitted project; `None` = refused at admission.
+    projects: Vec<Option<Project<'a>>>,
+    /// Submission indices waiting for a capacity slot (policy `Queue`).
+    queued: VecDeque<usize>,
+    /// Submission indices of running projects, ascending (initial fill
+    /// and FIFO promotion both preserve submission order).
+    active: Vec<usize>,
+    accounts: AccountBook,
+    broker: PoolBroker,
+    trace: Vec<(usize, TraceEvent)>,
+    /// Service-wide assignment counter: trace id and sampling-stream
+    /// index for every dispatch, across all projects.
+    next_uid: u64,
+    now: SimTime,
+    rounds: usize,
+    timeout: SimTime,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        cfg: &'a ServiceConfig,
+        specs: &'a [ProjectSpec],
+        pool: &'a AnnotatorPool,
+        dynamics: &'a [AnnotatorDynamics],
+        capacities: Vec<usize>,
+        seeds: &[u64],
+    ) -> Result<Self> {
+        let mut accounts = AccountBook::new();
+        let mut projects: Vec<Option<Project<'a>>> = Vec::with_capacity(specs.len());
+        let mut queued = VecDeque::new();
+        for (i, spec) in specs.iter().enumerate() {
+            // Account ids are dense and opened in submission order, so
+            // account id == submission index — even for rejected
+            // projects (their accounts just never move).
+            let account = accounts.open(spec.config.budget)?;
+            debug_assert_eq!(account, i);
+            let admitted = i < cfg.capacity || cfg.admission == AdmissionPolicy::Queue;
+            if !admitted {
+                projects.push(None);
+                continue;
+            }
+            let mut core = AgentCore::new(
+                spec.config.clone(),
+                &spec.dataset,
+                pool,
+                seeds[i],
+                cfg.quarantine.clone(),
+            )?;
+            core.set_obs_scope(format!("project.{i}."));
+            projects.push(Some(Project {
+                index: i,
+                name: spec.name.clone(),
+                priority: spec.priority,
+                core,
+                shards: Vec::new(),
+                answers: AnswerSet::new(spec.dataset.len()),
+                answers_since: 0,
+                last_refresh: SimTime::ZERO,
+                requeues: vec![0; spec.dataset.len()],
+                abandoned: HashSet::new(),
+                collector: MetricsCollector::default(),
+                started_at: SimTime::ZERO,
+                status: ProjectStatus::Queued,
+                done: false,
+                starved: false,
+                outcome: None,
+                metrics: None,
+            }));
+            // Every admitted project starts queued; the first
+            // `fill_active` promotes the first `capacity` of them at
+            // time zero.
+            queued.push_back(i);
+        }
+        Ok(Self {
+            cfg,
+            specs,
+            pool,
+            dynamics,
+            projects,
+            queued,
+            active: Vec::new(),
+            accounts,
+            broker: PoolBroker::new(capacities, cfg.shared_evidence_threshold),
+            trace: Vec::new(),
+            next_uid: 0,
+            now: SimTime::ZERO,
+            rounds: 0,
+            timeout: SimTime::new(cfg.timeout)?,
+        })
+    }
+
+    fn project(&self, i: usize) -> &Project<'a> {
+        self.projects[i].as_ref().expect("admitted project")
+    }
+
+    fn project_mut(&mut self, i: usize) -> &mut Project<'a> {
+        self.projects[i].as_mut().expect("admitted project")
+    }
+
+    /// Promote queued projects into free capacity slots, activating them
+    /// at the current simulated time.
+    fn fill_active(&mut self) -> Result<()> {
+        while self.active.len() < self.cfg.capacity {
+            let Some(i) = self.queued.pop_front() else {
+                break;
+            };
+            self.activate(i)?;
+        }
+        Ok(())
+    }
+
+    /// Start project `i` now: create its shards, mark it active, and
+    /// dispatch its initial stratified panels through the broker.
+    fn activate(&mut self, i: usize) -> Result<()> {
+        let at = self.now;
+        let shards = self
+            .cfg
+            .shards_per_project
+            .min(self.specs[i].dataset.len())
+            .max(1);
+        let panels = {
+            let p = self.project_mut(i);
+            p.status = ProjectStatus::Active;
+            p.started_at = at;
+            p.last_refresh = at;
+            p.shards = (0..shards).map(|_| Shard::new(at)).collect();
+            p.core.initial_panels()
+        };
+        self.active.push(i);
+        let (grants, contended) = self.grant(i, &panels)?;
+        let dispatched = self.dispatch(grants)?;
+        self.project_mut(i).starved = contended && dispatched == 0;
+        Ok(())
+    }
+
+    /// Arbitrate one project's panels through the broker: reserve budget
+    /// and take annotator slots for every admissible assignment, in the
+    /// deterministic panel order the core proposed. Returns the grants
+    /// plus whether anything was refused *for pool contention* (slots
+    /// held by in-flight work — the one kind of refusal that resolves by
+    /// itself as time advances).
+    fn grant(
+        &mut self,
+        i: usize,
+        panels: &[(crowdrl_types::ObjectId, Vec<crowdrl_types::AnnotatorId>)],
+    ) -> Result<(Vec<Grant>, bool)> {
+        let mut grants = Vec::new();
+        let mut contended = false;
+        for (object, annotators) in panels {
+            for &annotator in annotators {
+                let a = annotator.index();
+                let cost = self.pool.profile(annotator).cost;
+                let shard = {
+                    let p = self.project(i);
+                    let s = p.shard_of(*object);
+                    if p.shards[s].pair_claimed(*object, annotator) {
+                        continue;
+                    }
+                    s
+                };
+                if !self.accounts.can_reserve(i, cost) {
+                    continue;
+                }
+                if self.broker.blocked(a) {
+                    continue;
+                }
+                if !self.broker.has_slot(a) {
+                    contended = true;
+                    continue;
+                }
+                self.accounts.reserve(i, cost)?;
+                self.broker.acquire(a);
+                let uid = self.next_uid;
+                self.next_uid += 1;
+                self.trace.push((
+                    i,
+                    TraceEvent::Dispatched {
+                        at: self.now,
+                        id: AssignmentId(uid),
+                        object: *object,
+                        annotator,
+                    },
+                ));
+                grants.push(Grant {
+                    project: i,
+                    shard,
+                    object: *object,
+                    annotator,
+                    cost,
+                    uid,
+                });
+            }
+        }
+        self.project_mut(i).collector.dispatched += grants.len();
+        Ok((grants, contended))
+    }
+
+    /// Sample the virtual crowd's responses for a batch of grants (in
+    /// parallel — each uid keys an independent stream) and open the
+    /// assignments on their shards.
+    fn dispatch(&mut self, grants: Vec<Grant>) -> Result<usize> {
+        if grants.is_empty() {
+            return Ok(0);
+        }
+        let jobs: Vec<SampleJob> = grants
+            .iter()
+            .map(|g| SampleJob {
+                id: AssignmentId(g.uid),
+                object: g.object,
+                annotator: g.annotator,
+                truth: self.specs[g.project].dataset.truth(g.object.index()),
+            })
+            .collect();
+        let seed = self.cfg.sampling_seed;
+        let (pool_ref, dynamics) = (self.pool, self.dynamics);
+        let outcomes: Vec<SampledOutcome> = tpool::map_chunks(jobs.len(), SAMPLE_CHUNK, |range| {
+            range
+                .map(|k| sample_outcome(seed, jobs[k], pool_ref, dynamics))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let deadline = self.now + self.timeout;
+        let now = self.now;
+        for (grant, outcome) in grants.iter().zip(outcomes) {
+            debug_assert_eq!(outcome.id.0, grant.uid);
+            self.project_mut(grant.project).shards[grant.shard].open(
+                grant.object,
+                grant.annotator,
+                grant.cost,
+                grant.uid,
+                now,
+                deadline,
+                outcome.response,
+            )?;
+        }
+        Ok(grants.len())
+    }
+
+    /// Advance every active shard to `horizon` in parallel, then merge
+    /// the settlements sequentially in (project, shard, event) order.
+    fn advance_and_merge(&mut self, horizon: SimTime) -> Result<()> {
+        let work: Vec<(usize, usize)> = self
+            .active
+            .iter()
+            .flat_map(|&i| (0..self.project(i).shards.len()).map(move |s| (i, s)))
+            .collect();
+        if work.is_empty() {
+            return Ok(());
+        }
+        let mut ptrs: Vec<SendPtr<Shard>> = Vec::with_capacity(work.len());
+        for &(i, s) in &work {
+            ptrs.push(SendPtr(
+                &mut self.projects[i].as_mut().expect("active project").shards[s] as *mut Shard,
+            ));
+        }
+        let mut batches: Vec<Option<Result<ShardBatch>>> = (0..work.len()).map(|_| None).collect();
+        let slots = SendPtr(batches.as_mut_ptr());
+        let ptrs_ref = &ptrs;
+        // SAFETY: `ptrs` point at distinct shards (disjoint (i, s) pairs
+        // over distinct projects), and slot k is written only by chunk k
+        // — every write target is private to its chunk.
+        tpool::run_chunks(work.len(), move |k| {
+            let shard = unsafe { &mut *ptrs_ref[k].get() };
+            let batch = shard.advance(horizon);
+            unsafe { *slots.get().add(k) = Some(batch) };
+        });
+        for (k, &(i, _)) in work.iter().enumerate() {
+            let batch = batches[k].take().expect("chunk ran")?;
+            for event in batch.events {
+                self.apply(i, event)?;
+            }
+            self.project_mut(i).collector.events += batch.processed;
+        }
+        Ok(())
+    }
+
+    /// Apply one settlement to the shared books, the project state, and
+    /// the trace. Called only from the sequential merge.
+    fn apply(&mut self, i: usize, event: ShardEvent) -> Result<()> {
+        match event {
+            ShardEvent::Delivered {
+                uid,
+                object,
+                annotator,
+                label,
+                latency,
+                cost,
+                at,
+            } => {
+                self.accounts.charge(i, cost)?;
+                self.broker.release(annotator.index());
+                let p = self.projects[i].as_mut().expect("active project");
+                p.answers.record(Answer {
+                    object,
+                    annotator,
+                    label,
+                })?;
+                p.answers_since += 1;
+                p.collector.delivered += 1;
+                p.collector.latencies.push(latency.as_f64());
+                self.trace.push((
+                    i,
+                    TraceEvent::Delivered {
+                        at,
+                        id: AssignmentId(uid),
+                        label,
+                    },
+                ));
+            }
+            ShardEvent::RejectedLate { uid, at } => {
+                let p = self.projects[i].as_mut().expect("active project");
+                p.collector.rejected += 1;
+                self.trace.push((
+                    i,
+                    TraceEvent::Rejected {
+                        at,
+                        id: AssignmentId(uid),
+                    },
+                ));
+            }
+            ShardEvent::Expired {
+                uid,
+                object,
+                annotator,
+                cost,
+                at,
+            } => {
+                self.accounts.release(i, cost)?;
+                self.broker.release(annotator.index());
+                let max_requeues = self.cfg.max_requeues;
+                let p = self.projects[i].as_mut().expect("active project");
+                p.collector.timeouts += 1;
+                p.requeues[object.index()] += 1;
+                let requeued = p.requeues[object.index()] <= max_requeues;
+                if requeued {
+                    p.collector.requeues += 1;
+                } else {
+                    p.abandoned.insert(object);
+                }
+                self.trace.push((
+                    i,
+                    TraceEvent::Expired {
+                        at,
+                        id: AssignmentId(uid),
+                        requeued,
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Run truth inference + training for every due project in parallel,
+    /// then handle the replies — quarantine evidence, trace, and grant
+    /// arbitration — sequentially in `due` order (priority descending,
+    /// submission ascending). Returns total assignments dispatched.
+    fn refresh_round(&mut self, due: &[usize]) -> Result<usize> {
+        if due.is_empty() {
+            return Ok(0);
+        }
+        // One shared snapshot of the pool's free concurrency slots for
+        // the whole round: the cores skip exhausted annotators during
+        // selection and spread a batch across annotators that can
+        // actually take it. The map is read before any of this round's
+        // grants, which keeps it identical for every due project
+        // regardless of handling order; the broker still arbitrates at
+        // grant time, so the snapshot being optimistic across projects
+        // costs at most a skipped grant, never an overcommit.
+        let slots: HashMap<AnnotatorId, usize> = (0..self.broker.annotators())
+            .map(|a| (AnnotatorId(a), self.broker.free_slots(a)))
+            .collect();
+        let mut requests = Vec::with_capacity(due.len());
+        for &i in due {
+            let p = self.project(i);
+            requests.push(RefreshRequest {
+                answers: p.answers.clone(),
+                view: BudgetView {
+                    total: self.accounts.total(i),
+                    spent: self.accounts.spent(i),
+                    reserved: self.accounts.reserved(i),
+                },
+                blocked: p.blocked(),
+                slots: Some(slots.clone()),
+                now: p.watermark(),
+                answers_since: p.answers_since,
+            });
+        }
+        let mut ptrs: Vec<SendPtr<Project<'a>>> = Vec::with_capacity(due.len());
+        for &i in due {
+            ptrs.push(SendPtr(
+                self.projects[i].as_mut().expect("active project") as *mut Project<'a>
+            ));
+        }
+        let mut replies: Vec<Option<Result<RefreshReply>>> = (0..due.len()).map(|_| None).collect();
+        let slots = SendPtr(replies.as_mut_ptr());
+        let requests_ref = &requests;
+        let ptrs_ref = &ptrs;
+        // SAFETY: `due` holds distinct submission indices, so the
+        // pointers target distinct projects; slot k is written only by
+        // chunk k. Each chunk mutates only its own project's core.
+        tpool::run_chunks(due.len(), move |k| {
+            let p = unsafe { &mut *ptrs_ref[k].get() };
+            let reply = p.core.refresh(&requests_ref[k]).inspect(|_| p.core.train());
+            unsafe { *slots.get().add(k) = Some(reply) };
+        });
+        let mut total_dispatched = 0;
+        for (k, &i) in due.iter().enumerate() {
+            let reply = replies[k].take().expect("chunk ran")?;
+            let at = requests[k].now;
+            {
+                let p = self.projects[i].as_mut().expect("active project");
+                p.collector.refreshes += 1;
+                p.answers_since = 0;
+                p.last_refresh = at;
+                p.done = reply.done;
+                let answers = p.answers.total_answers();
+                self.trace.push((
+                    i,
+                    TraceEvent::Refreshed {
+                        at,
+                        answers,
+                        labelled: reply.labelled,
+                    },
+                ));
+            }
+            for q in &reply.quarantine {
+                self.broker
+                    .note_quarantine(i, q.annotator.index(), q.entered);
+                self.trace.push((
+                    i,
+                    if q.entered {
+                        TraceEvent::Quarantined {
+                            at,
+                            annotator: q.annotator,
+                        }
+                    } else {
+                        TraceEvent::QuarantineReleased {
+                            at,
+                            annotator: q.annotator,
+                        }
+                    },
+                ));
+            }
+            let (grants, contended) = self.grant(i, &reply.panels)?;
+            let dispatched = self.dispatch(grants)?;
+            self.project_mut(i).starved = contended && dispatched == 0;
+            total_dispatched += dispatched;
+        }
+        Ok(total_dispatched)
+    }
+
+    /// Retire project `i`: cancel in-flight work (returning its budget
+    /// reservations and broker slots), withdraw its quarantine evidence,
+    /// run the core's final inference, and freeze its metrics.
+    fn finalize(&mut self, i: usize) -> Result<()> {
+        let released = {
+            let p = self.projects[i].as_mut().expect("active project");
+            let mut released = Vec::new();
+            for shard in &mut p.shards {
+                released.extend(shard.cancel_in_flight()?);
+            }
+            released
+        };
+        for (annotator, cost) in released {
+            self.broker.release(annotator.index());
+            self.accounts.release(i, cost)?;
+        }
+        self.broker.clear_project(i);
+        let spent = self.accounts.spent(i);
+        let p = self.projects[i].as_mut().expect("active project");
+        let request = FinalizeRequest {
+            answers: p.answers.clone(),
+            budget_spent: spent,
+        };
+        let outcome = p.core.finalize(&request)?;
+        let duration = p.watermark() - p.started_at;
+        let scope = format!("project.{}.", p.index);
+        let collector = std::mem::take(&mut p.collector);
+        let metrics = collector.finish(duration, 0.0, spent);
+        metrics.emit_trace_scoped(&scope);
+        p.outcome = Some(outcome);
+        p.metrics = Some(metrics);
+        p.status = ProjectStatus::Completed;
+        self.active.retain(|&x| x != i);
+        Ok(())
+    }
+
+    /// The round loop (see module docs).
+    fn run(&mut self) -> Result<()> {
+        self.fill_active()?;
+        while !self.active.is_empty() {
+            self.rounds += 1;
+            let next_event = self
+                .active
+                .iter()
+                .filter_map(|&i| self.project(i).next_event_at())
+                .min();
+            let had_events = next_event.is_some();
+            if let Some(t) = next_event {
+                let horizon = SimTime::new(t.as_f64() + self.cfg.epoch)?.max(self.now);
+                self.now = horizon;
+                self.advance_and_merge(horizon)?;
+            }
+            let mut due: Vec<usize> = self
+                .active
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let p = self.project(i);
+                    p.refresh_due(self.cfg.answer_watermark, self.cfg.time_watermark)
+                })
+                .collect();
+            due.sort_by(|&a, &b| {
+                self.project(b)
+                    .priority
+                    .cmp(&self.project(a).priority)
+                    .then(a.cmp(&b))
+            });
+            let dispatched = self.refresh_round(&due)?;
+            // A project retires when its core says every object is
+            // labelled, or when it is fully drained: no pending events,
+            // nothing dispatched this round, and not merely starved by
+            // pool contention (contended slots belong to in-flight work
+            // elsewhere, so time will advance and free them).
+            let mut finished: Vec<usize> = self
+                .active
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let p = self.project(i);
+                    p.done || (p.is_idle() && !p.starved)
+                })
+                .collect();
+            // Stall-breaker: no events anywhere and a full refresh round
+            // dispatched nothing — nobody can ever make progress again.
+            if !had_events && dispatched == 0 {
+                finished = self.active.clone();
+            }
+            for i in finished {
+                if self.active.contains(&i) {
+                    self.finalize(i)?;
+                }
+            }
+            self.fill_active()?;
+        }
+        Ok(())
+    }
+
+    /// Assemble the reports (submission order), aggregate, and trace.
+    fn into_outcome(self, wall_seconds: f64) -> ServiceOutcome {
+        let mut reports = Vec::with_capacity(self.specs.len());
+        for (i, spec) in self.specs.iter().enumerate() {
+            match &self.projects[i] {
+                None => reports.push(ProjectReport {
+                    name: spec.name.clone(),
+                    status: ProjectStatus::Rejected,
+                    outcome: None,
+                    metrics: None,
+                }),
+                Some(p) => reports.push(ProjectReport {
+                    name: p.name.clone(),
+                    status: p.status,
+                    outcome: p.outcome.clone(),
+                    metrics: p.metrics.clone(),
+                }),
+            }
+        }
+        let completed: Vec<&ProjectReport> = reports
+            .iter()
+            .filter(|r| r.status == ProjectStatus::Completed)
+            .collect();
+        let delivered: Vec<usize> = completed
+            .iter()
+            .filter_map(|r| r.metrics.as_ref())
+            .map(|m| m.answers_delivered)
+            .collect();
+        let sum = |f: &dyn Fn(&crowdrl_serve::ServiceMetrics) -> usize| -> usize {
+            completed
+                .iter()
+                .filter_map(|r| r.metrics.as_ref())
+                .map(f)
+                .sum()
+        };
+        let answers_delivered = sum(&|m| m.answers_delivered);
+        let aggregate = AggregateMetrics {
+            admitted: reports
+                .iter()
+                .filter(|r| r.status != ProjectStatus::Rejected)
+                .count(),
+            rejected: reports
+                .iter()
+                .filter(|r| r.status == ProjectStatus::Rejected)
+                .count(),
+            dispatched: sum(&|m| m.dispatched),
+            answers_delivered,
+            timeouts: sum(&|m| m.timeouts),
+            events_processed: sum(&|m| m.events_processed),
+            rounds: self.rounds,
+            sim_duration: self.now,
+            wall_seconds,
+            total_spent: (0..self.specs.len()).map(|i| self.accounts.spent(i)).sum(),
+            answers_per_time_unit: if self.now.as_f64() > 0.0 {
+                answers_delivered as f64 / self.now.as_f64()
+            } else {
+                0.0
+            },
+            fairness_spread: AggregateMetrics::spread(&delivered),
+        };
+        ServiceOutcome {
+            reports,
+            trace: self.trace,
+            aggregate,
+        }
+    }
+}

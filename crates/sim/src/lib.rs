@@ -36,5 +36,5 @@ pub use datasets::{DatasetSpec, FashionSpec, SpeechSpec, SpeechViews};
 pub use faults::{
     FaultInjector, FaultPlan, FaultRecord, InjectedOutcome, OutageWindow, QualityDrift,
 };
-pub use latency::{AnnotatorDynamics, DynamicsSpec, LatencyModel};
+pub use latency::{AnnotatorDynamics, CapacitySpec, DynamicsSpec, LatencyModel};
 pub use platform::Platform;

@@ -78,6 +78,31 @@ chaos_smoke() {
 }
 timed "chaos smoke" chaos_smoke
 
+echo "== multi-project service smoke test =="
+# The multi-tenant service end to end at a small scale: several projects
+# over one shared pool, run in both execution modes (the demo asserts
+# bit-identity itself); the analyzer must then surface the per-project
+# phase profile grouped by tenant scope.
+service_smoke() {
+  local tracefile
+  tracefile=$(mktemp /tmp/crowdrl-service.XXXXXX.jsonl)
+  CROWDRL_TRACE="$tracefile" \
+    SERVICE_DEMO_PROJECTS=3 SERVICE_DEMO_OBJECTS=60 SERVICE_DEMO_ANNOTATORS=40 \
+    cargo run -q --release --offline --example service_demo >/dev/null
+  local report
+  report=$(cargo run -q --release --offline -p crowdrl-bench --bin crowdrl-trace "$tracefile")
+  rm -f "$tracefile"
+  local needle
+  for needle in "per-project phase profile" "service.run" "project.2.serve.refresh"; do
+    if ! echo "$report" | grep -q "$needle"; then
+      echo "crowdrl-trace report is missing '$needle'" >&2
+      return 1
+    fi
+  done
+  echo "$report" | sed -n '/per-project phase profile/,/^$/p' | head -n 8
+}
+timed "service smoke" service_smoke
+
 echo "== crowdrl-trace --diff smoke test =="
 # Two traced runs of the same deterministic workload must profile as
 # equivalent: the diff gate (the tool CI uses to catch phase-time

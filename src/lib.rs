@@ -32,6 +32,7 @@
 //! | [`baselines`] | `crowdrl-baselines` | DLTA / OBA / IDLE / DALC / Hybrid |
 //! | [`eval`] | `crowdrl-eval` | metrics and experiment runner |
 //! | [`serve`] | `crowdrl-serve` | discrete-event asynchronous labelling runtime |
+//! | [`service`] | `crowdrl-service` | multi-tenant sharded serving over one shared pool |
 //!
 //! ## Quickstart
 //!
@@ -63,6 +64,7 @@ pub use crowdrl_nn as nn;
 pub use crowdrl_obs as obs;
 pub use crowdrl_rl as rl;
 pub use crowdrl_serve as serve;
+pub use crowdrl_service as service;
 pub use crowdrl_sim as sim;
 pub use crowdrl_types as types;
 
@@ -71,6 +73,9 @@ pub mod prelude {
     pub use crowdrl_core::{CrowdRl, CrowdRlConfig, LabellingOutcome};
     pub use crowdrl_eval::metrics::{evaluate_labels, Metrics};
     pub use crowdrl_serve::{AsyncOutcome, ExecMode, RunAsync, ServeConfig, ServiceMetrics};
+    pub use crowdrl_service::{
+        AdmissionPolicy, ProjectSpec, ProjectStatus, Service, ServiceConfig, ServiceOutcome,
+    };
     pub use crowdrl_sim::{AnnotatorPool, DatasetSpec, PoolSpec};
     pub use crowdrl_types::{
         AnnotatorId, AnnotatorKind, AnnotatorProfile, Answer, AnswerSet, Budget, ClassId,
