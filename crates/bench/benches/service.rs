@@ -8,16 +8,28 @@
 //! delivered-answer dispersion) as the tenant count grows.
 
 use criterion::{black_box, Criterion};
-use crowdrl_core::CrowdRlConfig;
+use crowdrl_core::agent::SelectionAgent;
+use crowdrl_core::features::StateSnapshot;
+use crowdrl_core::{Ablation, CrowdRlConfig, DecideConfig, DecideMode, DecideStats, Exploration};
+use crowdrl_rl::DqnConfig;
 use crowdrl_serve::ExecMode;
 use crowdrl_service::{ProjectSpec, Service, ServiceConfig, ServiceOutcome};
 use crowdrl_sim::{AnnotatorPool, DatasetSpec, PoolSpec};
 use crowdrl_types::rng::seeded;
+use crowdrl_types::{
+    AnnotatorId, AnnotatorKind, AnnotatorProfile, AnswerSet, LabelledSet, ObjectId,
+};
+use rand::Rng as _;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// Tenant counts the scaling sweep measures.
 const PROJECT_COUNTS: [usize; 3] = [1, 4, 8];
+/// Pool sizes of the `serve.decide` microbench sweep.
+const DECIDE_POOLS: [usize; 3] = [500, 2_000, 10_000];
+/// Candidate objects per decide call (the serve-loop `candidate_cap`
+/// regime at scale).
+const DECIDE_OBJECTS: usize = 64;
 /// Objects per project — small enough for a criterion sample, large
 /// enough that the decision loop dominates setup.
 const OBJECTS: usize = 60;
@@ -58,6 +70,150 @@ fn run_service(specs: &[ProjectSpec], pool: &AnnotatorPool, mode: ExecMode) -> S
         .unwrap()
         .run(specs, pool, &mut rng)
         .unwrap()
+}
+
+/// Shared inputs for one `serve.decide` microbench call: a large pool in
+/// a realistic mid-run state (~10% profiled by the inference engine with
+/// distinct estimated qualities and loads, the rest at the prior with
+/// zero load — the regime the column-dedup pruning exploits).
+struct DecideFixture {
+    profiles: Vec<AnnotatorProfile>,
+    snapshot: StateSnapshot,
+    candidates: Vec<(ObjectId, Vec<f64>)>,
+    answers: AnswerSet,
+    labelled: LabelledSet,
+}
+
+fn decide_fixture(pool: usize) -> DecideFixture {
+    let profiles = (0..pool)
+        .map(|i| {
+            let expert = i % 10 == 9;
+            AnnotatorProfile::new(
+                AnnotatorId(i),
+                if expert {
+                    AnnotatorKind::Expert
+                } else {
+                    AnnotatorKind::Worker
+                },
+                if expert {
+                    8.0
+                } else {
+                    1.0 + (i % 7) as f64 * 0.3
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut qrng = seeded(5);
+    let profiled = pool / 10;
+    let qualities = (0..pool)
+        .map(|i| {
+            if i < profiled {
+                0.3 + 0.65 * qrng.random::<f64>()
+            } else {
+                0.5
+            }
+        })
+        .collect();
+    let loads = (0..pool)
+        .map(|i| if i < profiled { 1 + i % 6 } else { 0 })
+        .collect();
+    let snapshot = StateSnapshot {
+        qualities,
+        annotator_load: loads,
+        budget_spent_fraction: 0.3,
+        labelled_fraction: 0.4,
+        enriched_fraction: 0.1,
+        max_cost: 8.0,
+        phi_trust: 0.5,
+    };
+    let candidates = (0..DECIDE_OBJECTS)
+        .map(|i| {
+            let p = 0.3 + (i as f64 * 0.011) % 0.45;
+            (ObjectId(i), vec![p, 1.0 - p])
+        })
+        .collect();
+    DecideFixture {
+        profiles,
+        snapshot,
+        candidates,
+        answers: AnswerSet::new(DECIDE_OBJECTS),
+        labelled: LabelledSet::new(DECIDE_OBJECTS),
+    }
+}
+
+fn decide_agent(mode: DecideMode) -> SelectionAgent {
+    let mut rng = seeded(9);
+    SelectionAgent::new(
+        DqnConfig::default(),
+        &Exploration::Ucb { scale: 0.1 },
+        DecideConfig {
+            mode,
+            shortlist: 64,
+        },
+        None,
+        &mut rng,
+    )
+    .unwrap()
+}
+
+/// Benchmark one `select` call per iteration at each pool size, in both
+/// modes, and return the pruned twin's stat deltas over the timed
+/// iterations (scored fraction and cache hit rate for the report).
+fn bench_decide(c: &mut Criterion) -> Vec<(usize, DecideStats)> {
+    let mut deltas = Vec::new();
+    let mut group = c.benchmark_group("service");
+    for &pool in &DECIDE_POOLS {
+        let f = decide_fixture(pool);
+        for mode in [DecideMode::Exhaustive, DecideMode::Pruned] {
+            let mut agent = decide_agent(mode);
+            let mut rng = seeded(9);
+            // Warm: accrue UCB counts and fill the activation cache, the
+            // steady state of a serve loop between parameter refreshes.
+            for _ in 0..3 {
+                agent.select(
+                    &f.candidates,
+                    &f.profiles,
+                    None,
+                    &f.answers,
+                    &f.labelled,
+                    &f.snapshot,
+                    100.0,
+                    3,
+                    8,
+                    Ablation::default(),
+                    &mut rng,
+                );
+            }
+            let before = agent.decide_stats();
+            let label = match mode {
+                DecideMode::Exhaustive => "decide_exhaustive",
+                DecideMode::Pruned => "decide_pruned",
+            };
+            group.bench_function(format!("{label}/{pool}"), |b| {
+                b.iter(|| {
+                    black_box(agent.select(
+                        &f.candidates,
+                        &f.profiles,
+                        None,
+                        &f.answers,
+                        &f.labelled,
+                        &f.snapshot,
+                        100.0,
+                        3,
+                        8,
+                        Ablation::default(),
+                        &mut rng,
+                    ))
+                })
+            });
+            if mode == DecideMode::Pruned {
+                deltas.push((pool, agent.decide_stats().delta_since(&before)));
+            }
+        }
+    }
+    group.finish();
+    deltas
 }
 
 /// One measured benchmark, reduced to what the JSON report needs.
@@ -101,7 +257,11 @@ fn bench_service(c: &mut Criterion) {
 }
 
 /// Render the report as JSON by hand — the workspace has no serde.
-fn render_json(found: &[Measurement], references: &[(usize, ServiceOutcome)]) -> String {
+fn render_json(
+    found: &[Measurement],
+    references: &[(usize, ServiceOutcome)],
+    decide: &[(usize, DecideStats)],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"service\",\n");
@@ -158,13 +318,54 @@ fn render_json(found: &[Measurement], references: &[(usize, ServiceOutcome)]) ->
             agg.answers_delivered, agg.events_processed, agg.rounds, agg.fairness_spread,
         );
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+
+    // The decide microbench: one `agent.select` over DECIDE_OBJECTS
+    // candidates, pruned vs exhaustive, at growing pool sizes. Both
+    // modes pick bit-identical panels (pinned by tests/decide_equiv.rs);
+    // the series reports how much of the annotator dimension the pruned
+    // path avoided scoring and how often the activation cache hit.
+    let _ = writeln!(
+        out,
+        "  \"decide\": {{\n    \"candidates\": {DECIDE_OBJECTS}, \"slots\": 3, \"batch\": 8,\n    \
+         \"pools\": [",
+    );
+    for (i, &pool) in DECIDE_POOLS.iter().enumerate() {
+        let ms_of = |label: &str| {
+            found
+                .iter()
+                .find(|m| m.id == format!("service/{label}/{pool}"))
+                .expect("decide measurement")
+                .median_ns
+                * 1e-6
+        };
+        let exhaustive_ms = ms_of("decide_exhaustive");
+        let pruned_ms = ms_of("decide_pruned");
+        let (_, d) = decide
+            .iter()
+            .find(|(p, _)| *p == pool)
+            .expect("decide stats");
+        let comma = if i + 1 < DECIDE_POOLS.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{ \"pool\": {pool}, \"exhaustive_ms\": {exhaustive_ms:.3}, \
+             \"pruned_ms\": {pruned_ms:.3}, \"speedup\": {:.2}, \
+             \"scored_fraction\": {:.4}, \"cache_hit_rate\": {:.4}, \
+             \"full_row_fallbacks\": {} }}{comma}",
+            exhaustive_ms / pruned_ms,
+            d.scored_pairs as f64 / d.total_pairs as f64,
+            d.cache_hits as f64 / (d.cache_hits + d.cache_misses).max(1) as f64,
+            d.full_row_fallbacks,
+        );
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }
 
 fn main() {
     let mut criterion = Criterion::default().sample_size(10);
     bench_service(&mut criterion);
+    let decide_stats = bench_decide(&mut criterion);
     criterion.final_summary();
 
     // Both execution modes produce the identical merged trace (a tested
@@ -178,7 +379,7 @@ fn main() {
         })
         .collect();
 
-    let json = render_json(&measurements(&criterion), &references);
+    let json = render_json(&measurements(&criterion), &references, &decide_stats);
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {}", path.display()),

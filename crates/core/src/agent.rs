@@ -13,8 +13,10 @@
 //! ranking with uniform-random feasible annotators.
 
 use crate::config::{Ablation, Exploration};
+use crate::decide::{AnnotatorCache, DecideConfig, DecideMode, DecideStats, LazyPairScores};
 use crate::features::{
-    embed_annotator_part, embed_object_part, ObjectFeatures, StateSnapshot, FEATURE_DIM,
+    embed_annotator_specific, embed_object_part, embed_run_part, ObjectFeatures, StateSnapshot,
+    ANNOTATOR_SPECIFIC_DIM, FEATURE_DIM, OBJECT_PART_DIM,
 };
 use crowdrl_rl::{topk, DqnAgent, DqnConfig, DqnSnapshot, EpsilonGreedy, Transition, UcbExplorer};
 use crowdrl_types::rng::sample_indices;
@@ -26,7 +28,7 @@ use std::collections::HashMap;
 
 /// One chosen assignment: an object and the annotators to ask, plus the
 /// embeddings used (needed to build replay transitions afterwards).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// The selected object.
     pub object: ObjectId,
@@ -43,6 +45,72 @@ pub struct SelectionAgent {
     dqn: DqnAgent,
     ucb: Option<UcbExplorer>,
     eps: Option<EpsilonGreedy>,
+    decide: DecideConfig,
+    cache: AnnotatorCache,
+    stats: DecideStats,
+}
+
+/// One greedy panel-fill attempt (see [`fill_panel`]).
+struct FillAttempt {
+    /// Chosen annotator positions, best first.
+    picks: Vec<usize>,
+    /// The walk reached an entry at or below `stop_below` before the
+    /// panel filled — an unscored annotator could rank from here on, so
+    /// the attempt is not trustworthy.
+    hit_barrier: bool,
+}
+
+/// Walk `ranked` best-first and greedily fill a panel of up to `k`
+/// annotators under the panel constraints (at most one expert, running
+/// allowance, free concurrency slots). Pure: the caller commits the
+/// picks (allowance, `picked`, UCB counts) only once the attempt is
+/// accepted. `stop_below` is the pruned path's barrier — entries at or
+/// below it abort the walk (`NEG_INFINITY` disables the barrier; ranked
+/// lists never contain `-inf` entries).
+#[allow(clippy::too_many_arguments)]
+fn fill_panel(
+    ranked: &[usize],
+    score_of: &dyn Fn(usize) -> f64,
+    active: &[&AnnotatorProfile],
+    slots: Option<&HashMap<AnnotatorId, usize>>,
+    picked: &[usize],
+    mut allowance: f64,
+    k: usize,
+    stop_below: f64,
+) -> FillAttempt {
+    let mut picks = Vec::with_capacity(k);
+    let mut has_expert = false;
+    for &ai in ranked {
+        if picks.len() == k {
+            break;
+        }
+        if score_of(ai) <= stop_below {
+            return FillAttempt {
+                picks,
+                hit_barrier: true,
+            };
+        }
+        let profile = active[ai];
+        if profile.is_expert() && has_expert {
+            continue;
+        }
+        if profile.cost > allowance {
+            continue;
+        }
+        if let Some(slots) = slots {
+            let free = slots.get(&profile.id).copied().unwrap_or(usize::MAX);
+            if picked[ai] >= free {
+                continue; // all concurrency slots spoken for
+            }
+        }
+        allowance -= profile.cost;
+        has_expert |= profile.is_expert();
+        picks.push(ai);
+    }
+    FillAttempt {
+        picks,
+        hit_barrier: false,
+    }
 }
 
 /// Checkpointable state of a [`SelectionAgent`]: the Q-network (weights,
@@ -62,6 +130,7 @@ impl SelectionAgent {
     pub fn new<R: Rng + ?Sized>(
         mut dqn: DqnConfig,
         exploration: &Exploration,
+        decide: DecideConfig,
         pretrained: Option<&[f32]>,
         rng: &mut R,
     ) -> Result<Self> {
@@ -78,12 +147,43 @@ impl SelectionAgent {
                 decay_steps,
             } => (None, Some(EpsilonGreedy::new(*start, *end, *decay_steps))),
         };
-        Ok(Self { dqn, ucb, eps })
+        Ok(Self {
+            dqn,
+            ucb,
+            eps,
+            decide,
+            cache: AnnotatorCache::new(),
+            stats: DecideStats::default(),
+        })
     }
 
     /// The underlying DQN (for parameter export in cross-training).
     pub fn dqn(&self) -> &DqnAgent {
         &self.dqn
+    }
+
+    /// The decide-path configuration in effect.
+    pub fn decide_config(&self) -> DecideConfig {
+        self.decide
+    }
+
+    /// Cumulative decide-path counters (monotone; snapshot and
+    /// [`DecideStats::delta_since`] to scope them to one call).
+    pub fn decide_stats(&self) -> DecideStats {
+        self.stats
+    }
+
+    /// Number of annotators with a cached first-layer activation partial.
+    pub fn cached_annotators(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop one annotator's cached activation partial (quarantine
+    /// entry/release, profile retirement). Dirty-set hygiene only: cache
+    /// entries are also keyed by parameter generation and feature bits,
+    /// so a stale hit is structurally impossible without this call.
+    pub fn invalidate_annotator(&mut self, index: usize) {
+        self.cache.invalidate(index);
     }
 
     /// Export the full learning state for a checkpoint.
@@ -151,15 +251,38 @@ impl SelectionAgent {
         if candidates.is_empty() || profiles.is_empty() || k == 0 || batch == 0 {
             return Vec::new();
         }
-        let w = profiles.len();
+        let c = candidates.len();
+        self.stats.total_pairs += (c * profiles.len()) as u64;
 
-        // Score every candidate pair with one *factored* batched forward:
-        // the embedding splits into an object-dependent prefix and an
+        // Annotator-level feasibility pre-filter: annotators whose cost
+        // exceeds the iteration allowance, or whose free concurrency
+        // slots are exhausted, can never be picked — drop them *before*
+        // any embedding or forward is built. (Slot-exhausted annotators
+        // used to be scored anyway, inflating object top-k sums with
+        // picks the fill loop then rejected.)
+        let active: Vec<&AnnotatorProfile> = profiles
+            .iter()
+            .filter(|p| {
+                let free = match slots {
+                    Some(s) => s.get(&p.id).copied().unwrap_or(usize::MAX),
+                    None => usize::MAX,
+                };
+                p.cost <= iteration_allowance && free > 0
+            })
+            .collect();
+        self.stats.forwarded_annotators += active.len() as u64;
+        self.stats.filtered_annotators += (profiles.len() - active.len()) as u64;
+        if active.is_empty() {
+            return Vec::new();
+        }
+        let w = active.len();
+
+        // The embedding splits into an object-dependent prefix and an
         // annotator/run-level suffix (`features::OBJECT_PART_DIM`), so the
         // Q-network's first layer is evaluated once per object part and
-        // once per annotator part instead of once per pair. All candidates
-        // share the classifier's class count, so the annotator parts are
-        // identical across objects.
+        // once per annotator part instead of once per pair. The suffix
+        // splits again into an annotator-specific block (cacheable across
+        // refreshes) and a run-level block shared by the whole pool.
         let num_classes = candidates[0].1.len();
         debug_assert!(candidates.iter().all(|(_, p)| p.len() == num_classes));
         let object_parts: Vec<Vec<f32>> = candidates
@@ -169,11 +292,20 @@ impl SelectionAgent {
                 embed_object_part(&object_features, *object, labelled, k)
             })
             .collect();
-        let annotator_parts: Vec<Vec<f32>> = profiles
+        let run_part = embed_run_part(snapshot);
+        let specifics: Vec<[f32; ANNOTATOR_SPECIFIC_DIM]> = active
             .iter()
-            .map(|profile| embed_annotator_part(profile, snapshot, num_classes))
+            .map(|profile| embed_annotator_specific(profile, snapshot, num_classes))
             .collect();
-        let q_raw = self.dqn.q_values_outer(&object_parts, &annotator_parts);
+
+        // Pair-level mask: already-answered pairs (§IV-B). Cost and slot
+        // infeasibility were already removed at the annotator level.
+        let mut masked = vec![false; c * w];
+        for (ci, (object, _)) in candidates.iter().enumerate() {
+            for (ai, profile) in active.iter().enumerate() {
+                masked[ci * w + ai] = answers.has_answered(*object, profile.id);
+            }
+        }
 
         // ε-greedy: one coin per iteration decides explore-vs-exploit.
         let explore_all = match &mut self.eps {
@@ -191,110 +323,244 @@ impl SelectionAgent {
             }
             None => false,
         };
+        let random_selection = ablation.random_task_selection || explore_all;
+        let random_assignment = ablation.random_task_assignment || explore_all;
 
-        // Per-pair adjusted scores with masking.
-        let mut scores = vec![f64::NEG_INFINITY; candidates.len() * w];
-        for (ci, (object, _)) in candidates.iter().enumerate() {
-            for (ai, profile) in profiles.iter().enumerate() {
-                let idx = ci * w + ai;
-                if answers.has_answered(*object, profile.id) {
-                    continue; // masked: Q = -inf (§IV-B)
+        // When both rankings are random (M1+M2 or an exploration step),
+        // feasibility alone decides — skip the Q-network entirely. The
+        // RNG draw sequence and the outputs are identical to the scored
+        // paths: masked pairs are the only exclusions either way.
+        let skip_scoring = random_selection && random_assignment;
+
+        // Exhaustive mode: one factored batched forward over every
+        // (candidate, active annotator) pair, UCB-adjusted, masked.
+        // UCB counts are tracked per *annotator*, not per pair: a pair is
+        // masked after one answer, so pair-level counts never
+        // differentiate anything. What exploration must cover is the
+        // annotator dimension — "have we tried routing work to w_j
+        // lately?".
+        let mut dense: Option<Vec<f64>> = None;
+        // Pruned mode: cached first-layer partials per annotator, resumed
+        // with the run block and bias, wrapped in a lazily-scored grid
+        // with column deduplication and sound per-column score upper
+        // bounds (see `decide`).
+        let mut grid: Option<LazyPairScores> = None;
+        if !skip_scoring && self.decide.mode == DecideMode::Pruned {
+            let generation = self.dqn.params_generation();
+            let net = self.dqn.online_network();
+            let first = net.first_layer();
+            let mut rp = Vec::with_capacity(w);
+            for (ai, profile) in active.iter().enumerate() {
+                let mut row = self.cache.partial_for(
+                    net,
+                    generation,
+                    profile.id.index(),
+                    &specifics[ai],
+                    &mut self.stats,
+                );
+                first.accumulate_partial(
+                    &mut row,
+                    &run_part,
+                    OBJECT_PART_DIM + ANNOTATOR_SPECIFIC_DIM,
+                );
+                for (v, b) in row.iter_mut().zip(first.bias()) {
+                    *v += b;
                 }
-                if profile.cost > iteration_allowance {
-                    continue; // cannot fit this iteration's allowance
-                }
-                let q = q_raw[idx] as f64;
-                // UCB counts are tracked per *annotator*, not per pair: a
-                // (object, annotator) pair is masked after one answer, so
-                // pair-level counts never differentiate anything. What
-                // exploration must cover is the annotator dimension —
-                // "have we tried routing work to w_j lately?".
-                scores[idx] = match &self.ucb {
-                    Some(ucb) => ucb.score_soft(q, profile.id.index() as u64),
-                    None => q,
-                };
+                rp.push(row);
+            }
+            let keys: Vec<u64> = active.iter().map(|p| p.id.index() as u64).collect();
+            let lazy = LazyPairScores::new(
+                net,
+                &object_parts,
+                rp,
+                masked.clone(),
+                keys,
+                self.ucb.as_ref(),
+            );
+            // Column dedup is the pruning workhorse. When the pool is
+            // mostly distinct (a long-profiled pool where every annotator
+            // carries its own quality estimate), the lazy grid's per-pair
+            // overhead outweighs its savings — score densely instead.
+            // Both backends produce bit-identical selections, so this is
+            // purely a cost choice.
+            if 2 * lazy.column_count() <= w {
+                grid = Some(lazy);
             }
         }
+        if !skip_scoring && grid.is_none() {
+            // Exhaustive mode, or the pruned grid declined: one factored
+            // batched forward over every (candidate, active annotator)
+            // pair, UCB-adjusted, masked.
+            let annotator_parts: Vec<Vec<f32>> = specifics
+                .iter()
+                .map(|s| {
+                    let mut part = s.to_vec();
+                    part.extend_from_slice(&run_part);
+                    part
+                })
+                .collect();
+            let q_raw = self.dqn.q_values_outer(&object_parts, &annotator_parts);
+            self.stats.scored_pairs += (c * w) as u64;
+            let mut scores = vec![f64::NEG_INFINITY; c * w];
+            for ci in 0..c {
+                for (ai, profile) in active.iter().enumerate() {
+                    let idx = ci * w + ai;
+                    if masked[idx] {
+                        continue; // masked: Q = -inf (§IV-B)
+                    }
+                    let q = q_raw[idx] as f64;
+                    scores[idx] = match &self.ucb {
+                        Some(ucb) => ucb.score_soft(q, profile.id.index() as u64),
+                        None => q,
+                    };
+                }
+            }
+            dense = Some(scores);
+        }
 
-        // Rank objects by top-k score sums.
-        let sums: Vec<f64> = (0..candidates.len())
-            .map(|ci| topk::top_k_sum(&scores[ci * w..(ci + 1) * w], k))
-            .collect();
-
-        let chosen_objects: Vec<usize> = if ablation.random_task_selection || explore_all {
+        // Rank objects by top-k score sums (exact in both modes: the
+        // pruned grid extends its scored prefix until every object's
+        // k-th best strictly clears the best unscored bound).
+        let chosen_objects: Vec<usize> = if random_selection {
             // M1 / exploration: uniform-random among candidates with at
             // least one feasible pair.
-            let feasible: Vec<usize> = (0..candidates.len())
-                .filter(|&ci| sums[ci] != f64::NEG_INFINITY)
+            let feasible: Vec<usize> = (0..c)
+                .filter(|&ci| (0..w).any(|ai| !masked[ci * w + ai]))
                 .collect();
             sample_indices(rng, feasible.len(), batch)
                 .into_iter()
                 .map(|i| feasible[i])
                 .collect()
         } else {
+            let sums: Vec<f64> = match (&dense, &mut grid) {
+                (Some(scores), _) => (0..c)
+                    .map(|ci| topk::top_k_sum(&scores[ci * w..(ci + 1) * w], k))
+                    .collect(),
+                (None, Some(g)) => {
+                    g.ensure_exact_sums(k, self.decide.shortlist, &mut self.stats);
+                    g.exact_sums(k)
+                }
+                (None, None) => unreachable!("scored selection requires a scoring backend"),
+            };
             topk::top_k_indices(&sums, batch)
         };
 
         let mut out = Vec::with_capacity(chosen_objects.len());
         let mut allowance = iteration_allowance;
-        // Batch-wide concurrency bookkeeping: how many times each
+        // Batch-wide concurrency bookkeeping: how many times each active
         // annotator (by position) has been picked so far this batch.
         let mut picked = vec![0usize; w];
         for ci in chosen_objects {
-            let (object, _) = &candidates[ci];
-            let row = &scores[ci * w..(ci + 1) * w];
-            let ranked: Vec<usize> = if ablation.random_task_assignment || explore_all {
-                let feasible: Vec<usize> =
-                    (0..w).filter(|&ai| row[ai] != f64::NEG_INFINITY).collect();
-                sample_indices(rng, feasible.len(), feasible.len())
-                    .into_iter()
-                    .map(|i| feasible[i])
-                    .collect()
-            } else {
-                topk::top_k_indices(row, w)
-            };
             // Greedy panel fill: best-scored first, at most one expert,
             // each pick charged against the iteration allowance and the
             // annotator's free concurrency slots.
-            let mut annotator_idx = Vec::with_capacity(k);
-            let mut has_expert = false;
-            for ai in ranked {
-                if annotator_idx.len() == k {
-                    break;
-                }
-                if row[ai] == f64::NEG_INFINITY {
-                    continue; // masked pair (already answered / over-allowance)
-                }
-                let profile = &profiles[ai];
-                if profile.is_expert() && has_expert {
-                    continue;
-                }
-                if profile.cost > allowance {
-                    continue;
-                }
-                if let Some(slots) = slots {
-                    let free = slots.get(&profile.id).copied().unwrap_or(usize::MAX);
-                    if picked[ai] >= free {
-                        continue; // all concurrency slots spoken for
+            let attempt = if random_assignment {
+                // M2 / exploration: uniform-random feasible annotators.
+                let feasible: Vec<usize> = (0..w).filter(|&ai| !masked[ci * w + ai]).collect();
+                let ranked: Vec<usize> = sample_indices(rng, feasible.len(), feasible.len())
+                    .into_iter()
+                    .map(|i| feasible[i])
+                    .collect();
+                fill_panel(
+                    &ranked,
+                    &|_| 0.0,
+                    &active,
+                    slots,
+                    &picked,
+                    allowance,
+                    k,
+                    f64::NEG_INFINITY,
+                )
+            } else if let Some(scores) = &dense {
+                let row = &scores[ci * w..(ci + 1) * w];
+                let ranked = topk::top_k_indices(row, w);
+                fill_panel(
+                    &ranked,
+                    &|ai| row[ai],
+                    &active,
+                    slots,
+                    &picked,
+                    allowance,
+                    k,
+                    f64::NEG_INFINITY,
+                )
+            } else {
+                let g = grid.as_mut().expect("scored assignment requires the grid");
+                if random_selection {
+                    // The object was chosen at random, so its row may be
+                    // entirely unscored — score it outright.
+                    g.score_full_row(ci, &mut self.stats);
+                    let ranked = g.ranked_scored(ci);
+                    fill_panel(
+                        &ranked,
+                        &|ai| g.score_at(ci, ai),
+                        &active,
+                        slots,
+                        &picked,
+                        allowance,
+                        k,
+                        f64::NEG_INFINITY,
+                    )
+                } else {
+                    // Walk the scored entries; the barrier aborts the
+                    // moment an unscored annotator could outrank the rest
+                    // of the walk. An attempt that ends early (barrier
+                    // hit, or panel unfilled with annotators unscored)
+                    // falls back to scoring the whole row — pruning never
+                    // changes the outcome, only the work.
+                    let beta = g.barrier();
+                    let ranked = g.ranked_scored(ci);
+                    let first = fill_panel(
+                        &ranked,
+                        &|ai| g.score_at(ci, ai),
+                        &active,
+                        slots,
+                        &picked,
+                        allowance,
+                        k,
+                        beta,
+                    );
+                    if !g.fully_scored() && (first.hit_barrier || first.picks.len() < k) {
+                        self.stats.full_row_fallbacks += 1;
+                        g.score_full_row(ci, &mut self.stats);
+                        let ranked = g.ranked_scored(ci);
+                        fill_panel(
+                            &ranked,
+                            &|ai| g.score_at(ci, ai),
+                            &active,
+                            slots,
+                            &picked,
+                            allowance,
+                            k,
+                            f64::NEG_INFINITY,
+                        )
+                    } else {
+                        first
                     }
                 }
-                allowance -= profile.cost;
-                has_expert |= profile.is_expert();
-                picked[ai] += 1;
-                annotator_idx.push(ai);
-            }
-            if annotator_idx.is_empty() {
+            };
+            if attempt.picks.is_empty() {
                 continue;
             }
+            // Commit the accepted attempt: replay the allowance and slot
+            // charges in pick order (bit-identical to charging during the
+            // walk), then record and emit.
+            for &ai in &attempt.picks {
+                allowance -= active[ai].cost;
+                picked[ai] += 1;
+            }
             let annotators: Vec<AnnotatorId> =
-                annotator_idx.iter().map(|&ai| profiles[ai].id).collect();
+                attempt.picks.iter().map(|&ai| active[ai].id).collect();
             // Reassemble the full replay embeddings for the few chosen
             // pairs only — the concatenation is exactly `embed_with`.
-            let chosen_embeddings: Vec<Vec<f32>> = annotator_idx
+            let chosen_embeddings: Vec<Vec<f32>> = attempt
+                .picks
                 .iter()
                 .map(|&ai| {
                     let mut e = object_parts[ci].clone();
-                    e.extend_from_slice(&annotator_parts[ai]);
+                    e.extend_from_slice(&specifics[ai]);
+                    e.extend_from_slice(&run_part);
+                    debug_assert_eq!(e.len(), FEATURE_DIM);
                     e
                 })
                 .collect();
@@ -304,7 +570,7 @@ impl SelectionAgent {
                 }
             }
             out.push(Assignment {
-                object: *object,
+                object: candidates[ci].0,
                 annotators,
                 embeddings: chosen_embeddings,
             });
@@ -389,10 +655,15 @@ mod tests {
     }
 
     fn agent(seed: u64) -> SelectionAgent {
+        agent_with(seed, DecideConfig::default())
+    }
+
+    fn agent_with(seed: u64, decide: DecideConfig) -> SelectionAgent {
         let mut rng = seeded(seed);
         SelectionAgent::new(
             DqnConfig::default(),
             &Exploration::Ucb { scale: 0.1 },
+            decide,
             None,
             &mut rng,
         )
@@ -577,8 +848,14 @@ mod tests {
             batch_size: 4,
             ..Default::default()
         };
-        let mut agent =
-            SelectionAgent::new(config, &Exploration::Ucb { scale: 0.1 }, None, &mut rng).unwrap();
+        let mut agent = SelectionAgent::new(
+            config,
+            &Exploration::Ucb { scale: 0.1 },
+            DecideConfig::default(),
+            None,
+            &mut rng,
+        )
+        .unwrap();
         let assignment = Assignment {
             object: ObjectId(0),
             annotators: vec![AnnotatorId(0), AnnotatorId(1)],
@@ -602,6 +879,7 @@ mod tests {
         let mut agent = SelectionAgent::new(
             config.clone(),
             &Exploration::Ucb { scale: 0.1 },
+            DecideConfig::default(),
             None,
             &mut rng,
         )
@@ -616,8 +894,14 @@ mod tests {
         }
         agent.train(2, &mut rng);
         let state = agent.export_state();
-        let mut other =
-            SelectionAgent::new(config, &Exploration::Ucb { scale: 0.1 }, None, &mut rng).unwrap();
+        let mut other = SelectionAgent::new(
+            config,
+            &Exploration::Ucb { scale: 0.1 },
+            DecideConfig::default(),
+            None,
+            &mut rng,
+        )
+        .unwrap();
         other.restore_state(state).unwrap();
         let probe = vec![0.5; FEATURE_DIM];
         assert_eq!(agent.dqn().q_value(&probe), other.dqn().q_value(&probe));
@@ -630,6 +914,7 @@ mod tests {
                 end: 0.1,
                 decay_steps: 100,
             },
+            DecideConfig::default(),
             None,
             &mut rng,
         )
@@ -643,6 +928,7 @@ mod tests {
         let donor = SelectionAgent::new(
             DqnConfig::default(),
             &Exploration::Ucb { scale: 0.0 },
+            DecideConfig::default(),
             None,
             &mut rng,
         )
@@ -651,11 +937,172 @@ mod tests {
         let recipient = SelectionAgent::new(
             DqnConfig::default(),
             &Exploration::Ucb { scale: 0.0 },
+            DecideConfig::default(),
             Some(&params),
             &mut rng,
         )
         .unwrap();
         let probe = vec![0.3; FEATURE_DIM];
         assert!((donor.dqn().q_value(&probe) - recipient.dqn().q_value(&probe)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pruned_and_exhaustive_selections_are_bit_identical() {
+        use crate::decide::DecideMode;
+        // Small shortlist forces real pruning even at this pool size.
+        for seed in [31u64, 32, 33] {
+            let mut pruned = agent_with(
+                seed,
+                DecideConfig {
+                    mode: DecideMode::Pruned,
+                    shortlist: 4,
+                },
+            );
+            let mut exhaustive = agent_with(
+                seed,
+                DecideConfig {
+                    mode: DecideMode::Exhaustive,
+                    shortlist: 4,
+                },
+            );
+            let profiles = profiles(20, 3);
+            let mut answers = AnswerSet::new(12);
+            answers
+                .record(Answer {
+                    object: ObjectId(0),
+                    annotator: AnnotatorId(2),
+                    label: ClassId(0),
+                })
+                .unwrap();
+            let labelled = LabelledSet::new(12);
+            let mut slots: HashMap<AnnotatorId, usize> = HashMap::new();
+            slots.insert(AnnotatorId(1), 0); // exhausted: must be pre-filtered
+            slots.insert(AnnotatorId(4), 1);
+            for round in 0..4 {
+                let mut rng_a = seeded(seed * 100 + round);
+                let mut rng_b = seeded(seed * 100 + round);
+                let a = pruned.select(
+                    &candidates(12),
+                    &profiles,
+                    Some(&slots),
+                    &answers,
+                    &labelled,
+                    &snapshot(23),
+                    60.0,
+                    3,
+                    4,
+                    Ablation::default(),
+                    &mut rng_a,
+                );
+                let b = exhaustive.select(
+                    &candidates(12),
+                    &profiles,
+                    Some(&slots),
+                    &answers,
+                    &labelled,
+                    &snapshot(23),
+                    60.0,
+                    3,
+                    4,
+                    Ablation::default(),
+                    &mut rng_b,
+                );
+                assert_eq!(a, b, "seed {seed} round {round}");
+                assert_eq!(rng_a.state(), rng_b.state(), "RNG streams diverged");
+            }
+            let stats = pruned.decide_stats();
+            assert!(
+                stats.scored_pairs < stats.total_pairs,
+                "pruning never engaged: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefiltered_annotators_are_never_forwarded() {
+        // Slot-exhausted and over-allowance annotators must be dropped
+        // *before* embedding/scoring, not merely skipped at panel fill.
+        let mut agent = agent(41);
+        let profiles = profiles(4, 1); // worker cost 1, expert cost 10
+        let answers = AnswerSet::new(6);
+        let labelled = LabelledSet::new(6);
+        let mut slots: HashMap<AnnotatorId, usize> = HashMap::new();
+        slots.insert(AnnotatorId(0), 0);
+        slots.insert(AnnotatorId(1), 2);
+        let mut rng = seeded(42);
+        let picks = agent.select(
+            &candidates(6),
+            &profiles,
+            Some(&slots),
+            &answers,
+            &labelled,
+            &snapshot(5),
+            5.0, // expert (cost 10) unaffordable
+            2,
+            3,
+            Ablation::default(),
+            &mut rng,
+        );
+        let stats = agent.decide_stats();
+        // Pool of 5: annotator 0 (no slots) and the expert (unaffordable)
+        // are filtered, three workers forwarded.
+        assert_eq!(stats.forwarded_annotators, 3);
+        assert_eq!(stats.filtered_annotators, 2);
+        assert_eq!(stats.total_pairs, 6 * 5);
+        for p in &picks {
+            assert!(!p.annotators.contains(&AnnotatorId(0)));
+            assert!(!p.annotators.contains(&AnnotatorId(4)));
+        }
+        // Exhausting annotator 1's two slots across the batch is still
+        // enforced by the fill loop.
+        let uses = picks
+            .iter()
+            .flat_map(|p| &p.annotators)
+            .filter(|a| **a == AnnotatorId(1))
+            .count();
+        assert!(uses <= 2);
+    }
+
+    #[test]
+    fn activation_cache_hits_across_refreshes_and_invalidates() {
+        let mut agent = agent(51);
+        let profiles = profiles(6, 1);
+        let answers = AnswerSet::new(8);
+        let labelled = LabelledSet::new(8);
+        let run = |agent: &mut SelectionAgent, seed: u64| {
+            let mut rng = seeded(seed);
+            agent.select(
+                &candidates(8),
+                &profiles,
+                None,
+                &answers,
+                &labelled,
+                &snapshot(7),
+                100.0,
+                2,
+                2,
+                Ablation::default(),
+                &mut rng,
+            );
+        };
+        run(&mut agent, 1);
+        let first = agent.decide_stats();
+        assert_eq!(first.cache_misses, 7); // cold: every annotator computed
+        assert_eq!(first.cache_hits, 0);
+        run(&mut agent, 2);
+        let second = agent.decide_stats().delta_since(&first);
+        // No training in between and the same snapshot: all hits. (UCB
+        // counts changed, but they adjust scores, not the cached DQN
+        // partial.)
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(second.cache_hits, 7);
+        assert_eq!(agent.cached_annotators(), 7);
+        agent.invalidate_annotator(3);
+        assert_eq!(agent.cached_annotators(), 6);
+        let before = agent.decide_stats();
+        run(&mut agent, 3);
+        let third = agent.decide_stats().delta_since(&before);
+        assert_eq!(third.cache_misses, 1); // only the invalidated one
+        assert_eq!(third.cache_hits, 6);
     }
 }

@@ -1,5 +1,6 @@
 //! Configuration for the CrowdRL workflow.
 
+use crate::decide::DecideConfig;
 use crowdrl_inference::{EngineConfig, JointConfig};
 use crowdrl_nn::ClassifierConfig;
 use crowdrl_rl::DqnConfig;
@@ -127,6 +128,11 @@ pub struct CrowdRlConfig {
     /// Optional pre-trained Q-network parameters (the paper's offline
     /// "cross-training": train on other datasets, deploy here, §VI-A.4).
     pub pretrained_dqn: Option<Vec<f32>>,
+    /// Decide-path scoring strategy (pruned vs exhaustive) and shortlist
+    /// width. Selections are bit-identical across modes, so this knob is
+    /// excluded from [`CrowdRlConfig::fingerprint`] — checkpoints taken
+    /// under one mode restore under the other.
+    pub decide: DecideConfig,
 }
 
 impl CrowdRlConfig {
@@ -150,8 +156,15 @@ impl CrowdRlConfig {
     /// within one build it is deterministic — which is all a
     /// crash-resume check needs.
     pub fn fingerprint(&self) -> u64 {
+        // Canonicalize observationally-neutral knobs first: `decide` only
+        // changes how scores are computed, never what is selected, so two
+        // configs differing only there must fingerprint identically (a
+        // checkpoint written under pruned decide restores under
+        // exhaustive and vice versa).
+        let mut canonical = self.clone();
+        canonical.decide = DecideConfig::default();
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in format!("{self:?}").bytes() {
+        for byte in format!("{canonical:?}").bytes() {
             hash ^= byte as u64;
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
@@ -228,6 +241,11 @@ impl CrowdRlConfig {
                 }
             }
         }
+        if self.decide.shortlist == 0 {
+            return Err(Error::InvalidParameter(
+                "decide.shortlist must be positive".into(),
+            ));
+        }
         self.classifier.validate()?;
         self.engine.validate()?;
         Ok(())
@@ -275,6 +293,7 @@ impl Default for CrowdRlConfigBuilder {
                 },
                 dqn: DqnConfig::default(),
                 pretrained_dqn: None,
+                decide: DecideConfig::default(),
             },
         }
     }
@@ -390,6 +409,12 @@ impl CrowdRlConfigBuilder {
         self
     }
 
+    /// Set the decide-path configuration (scoring strategy + shortlist).
+    pub fn decide(mut self, decide: DecideConfig) -> Self {
+        self.config.decide = decide;
+        self
+    }
+
     /// Set the candidate-object cap per iteration.
     pub fn candidate_cap(mut self, cap: usize) -> Self {
         self.config.candidate_cap = cap;
@@ -432,6 +457,23 @@ mod tests {
             .build()
             .unwrap();
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_decide_mode() {
+        use crate::decide::{DecideConfig, DecideMode};
+        let pruned = CrowdRlConfig::builder().budget(100.0).build().unwrap();
+        let exhaustive = CrowdRlConfig::builder()
+            .budget(100.0)
+            .decide(DecideConfig {
+                mode: DecideMode::Exhaustive,
+                shortlist: 8,
+            })
+            .build()
+            .unwrap();
+        // Decide mode never changes selections, so checkpoints must be
+        // interchangeable across modes.
+        assert_eq!(pruned.fingerprint(), exhaustive.fingerprint());
     }
 
     #[test]
@@ -481,6 +523,13 @@ mod tests {
             .engine(EngineConfig {
                 warm_max_iters: 0,
                 ..EngineConfig::default()
+            })
+            .build()
+            .is_err());
+        assert!(base()
+            .decide(crate::decide::DecideConfig {
+                shortlist: 0,
+                ..Default::default()
             })
             .build()
             .is_err());

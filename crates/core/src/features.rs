@@ -147,17 +147,24 @@ pub fn embed_object_part(
     ]
 }
 
-/// The annotator- and run-level suffix of the embedding
-/// (`FEATURE_DIM - OBJECT_PART_DIM` dims): the annotator's estimated
-/// quality/cost/kind/load plus the global budget and progress fractions.
-/// Independent of the object, so batched candidate scoring computes it
-/// once per annotator. `num_classes` feeds the uniform quality fallback
-/// used when the snapshot has no estimate for the annotator.
-pub fn embed_annotator_part(
+/// Number of leading dims of the annotator suffix that depend on the
+/// *individual annotator* (quality, cost, kind, load); the remaining
+/// `FEATURE_DIM - OBJECT_PART_DIM - ANNOTATOR_SPECIFIC_DIM` dims are
+/// run-level and shared by every annotator in a refresh. The decide
+/// path's activation cache keys on the annotator-specific block and
+/// resumes the shared run-level block per refresh.
+pub const ANNOTATOR_SPECIFIC_DIM: usize = 4;
+
+/// The annotator-specific block of the embedding suffix
+/// ([`ANNOTATOR_SPECIFIC_DIM`] dims): estimated quality, normalized
+/// cost, expert flag, normalized load. `num_classes` feeds the uniform
+/// quality fallback used when the snapshot has no estimate for the
+/// annotator.
+pub fn embed_annotator_specific(
     profile: &AnnotatorProfile,
     snapshot: &StateSnapshot,
     num_classes: usize,
-) -> Vec<f32> {
+) -> [f32; ANNOTATOR_SPECIFIC_DIM] {
     let a = profile.id.index();
     let quality = snapshot
         .qualities
@@ -168,17 +175,37 @@ pub fn embed_annotator_part(
     let is_expert = if profile.is_expert() { 1.0 } else { 0.0 };
     let load = snapshot.annotator_load.get(a).copied().unwrap_or(0) as f64;
     let load_norm = load / (1.0 + load);
+    [quality as f32, cost as f32, is_expert, load_norm as f32]
+}
 
-    vec![
-        quality as f32,
-        cost as f32,
-        is_expert,
-        load_norm as f32,
+/// The run-level block of the embedding suffix: global budget and
+/// progress fractions plus classifier trust. Identical for every
+/// annotator within one refresh.
+pub fn embed_run_part(
+    snapshot: &StateSnapshot,
+) -> [f32; FEATURE_DIM - OBJECT_PART_DIM - ANNOTATOR_SPECIFIC_DIM] {
+    [
         snapshot.budget_spent_fraction as f32,
         snapshot.labelled_fraction as f32,
         snapshot.enriched_fraction as f32,
         snapshot.phi_trust as f32,
     ]
+}
+
+/// The annotator- and run-level suffix of the embedding
+/// (`FEATURE_DIM - OBJECT_PART_DIM` dims): the annotator's estimated
+/// quality/cost/kind/load plus the global budget and progress fractions.
+/// Independent of the object, so batched candidate scoring computes it
+/// once per annotator. By construction exactly
+/// `embed_annotator_specific ++ embed_run_part`.
+pub fn embed_annotator_part(
+    profile: &AnnotatorProfile,
+    snapshot: &StateSnapshot,
+    num_classes: usize,
+) -> Vec<f32> {
+    let mut v = embed_annotator_specific(profile, snapshot, num_classes).to_vec();
+    v.extend_from_slice(&embed_run_part(snapshot));
+    v
 }
 
 /// Assemble the full embedding from precomputed [`ObjectFeatures`] plus
@@ -572,6 +599,23 @@ mod tests {
             assembled.extend_from_slice(&ann_part);
             let full = embed(ObjectId(0), &p, &probs, &answers, &labelled, &snap, 3);
             assert_eq!(assembled, full);
+        }
+    }
+
+    #[test]
+    fn annotator_part_splits_into_specific_and_run_blocks() {
+        let snap = snapshot();
+        for expert in [false, true] {
+            let p = profile(expert as usize, expert);
+            let full = embed_annotator_part(&p, &snap, 2);
+            let mut assembled = embed_annotator_specific(&p, &snap, 2).to_vec();
+            assembled.extend_from_slice(&embed_run_part(&snap));
+            assert_eq!(full, assembled);
+            assert_eq!(
+                assembled.len(),
+                FEATURE_DIM - OBJECT_PART_DIM,
+                "blocks must tile the suffix exactly"
+            );
         }
     }
 

@@ -34,6 +34,7 @@
 pub mod agent;
 pub mod classifier_util;
 pub mod config;
+pub mod decide;
 pub mod enrichment;
 pub mod features;
 pub mod infer_step;
@@ -43,5 +44,6 @@ pub mod workflow;
 
 pub use config::{Ablation, CrowdRlConfig, CrowdRlConfigBuilder, Exploration, InferenceModel};
 pub use crowdrl_inference::EngineConfig;
+pub use decide::{DecideConfig, DecideMode, DecideStats};
 pub use outcome::{IterationStats, LabellingOutcome};
 pub use workflow::CrowdRl;

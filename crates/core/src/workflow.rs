@@ -84,6 +84,7 @@ impl CrowdRl {
         let mut agent = SelectionAgent::new(
             self.config.dqn.clone(),
             &self.config.exploration,
+            self.config.decide,
             self.config.pretrained_dqn.as_deref(),
             rng,
         )?;
@@ -853,6 +854,7 @@ mod tests {
         let probe_agent = SelectionAgent::new(
             crowdrl_rl::DqnConfig::default(),
             &Exploration::Ucb { scale: 1.0 },
+            crate::decide::DecideConfig::default(),
             None,
             &mut probe_rng,
         )

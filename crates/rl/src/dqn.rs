@@ -103,6 +103,10 @@ pub struct DqnAgent {
     replay: ReplayBuffer,
     opt: Adam,
     train_steps: usize,
+    /// Bumped whenever the *online* network's parameters change (gradient
+    /// step, parameter import, snapshot restore). External caches keyed on
+    /// this generation can never serve activations from stale weights.
+    params_generation: u64,
 }
 
 impl DqnAgent {
@@ -124,6 +128,7 @@ impl DqnAgent {
             replay,
             opt,
             train_steps: 0,
+            params_generation: 0,
         })
     }
 
@@ -140,6 +145,20 @@ impl DqnAgent {
     /// Current replay-pool size.
     pub fn replay_len(&self) -> usize {
         self.replay.len()
+    }
+
+    /// Generation counter of the online network's parameters — bumped on
+    /// every gradient step, [`import_params`](DqnAgent::import_params) and
+    /// [`restore`](DqnAgent::restore). Cache activation partials keyed on
+    /// this value.
+    pub fn params_generation(&self) -> u64 {
+        self.params_generation
+    }
+
+    /// The online network (read-only) — the decide path computes cached
+    /// partials and interval bounds against its first layer directly.
+    pub fn online_network(&self) -> &Network {
+        &self.online
     }
 
     /// Q-value of one state-action embedding under the *online* network.
@@ -256,6 +275,7 @@ impl DqnAgent {
         self.online.backward(&d);
         self.online.step(&mut self.opt, Some(self.config.grad_clip));
         self.train_steps += 1;
+        self.params_generation += 1;
         if self
             .train_steps
             .is_multiple_of(self.config.target_sync_every)
@@ -303,6 +323,7 @@ impl DqnAgent {
         }
         self.online.load_params(params);
         self.target.load_params(params);
+        self.params_generation += 1;
         Ok(())
     }
 
@@ -351,6 +372,7 @@ impl DqnAgent {
             snap.replay_pushed,
         );
         self.train_steps = snap.train_steps;
+        self.params_generation += 1;
         Ok(())
     }
 }
@@ -741,6 +763,40 @@ mod tests {
         assert_eq!(full.export_params(), resumed.export_params());
         assert_eq!(full.train_steps(), resumed.train_steps());
         assert_eq!(full.replay_len(), resumed.replay_len());
+    }
+
+    #[test]
+    fn params_generation_tracks_every_weight_change() {
+        let mut rng = seeded(41);
+        let mut config = small_config();
+        config.min_replay = 4;
+        let mut agent = DqnAgent::new(config, &mut rng).unwrap();
+        assert_eq!(agent.params_generation(), 0);
+
+        // A failed train step (pool below min_replay) must not bump.
+        assert!(agent.train_step(&mut rng).is_none());
+        assert_eq!(agent.params_generation(), 0);
+
+        for i in 0..6 {
+            agent.remember(Transition {
+                state_action: vec![i as f32, 0.0],
+                reward: 0.1,
+                next_candidates: vec![],
+                terminal: true,
+            });
+        }
+        assert!(agent.train_step(&mut rng).is_some());
+        assert_eq!(agent.params_generation(), 1);
+
+        let params = agent.export_params();
+        agent.import_params(&params).unwrap();
+        assert_eq!(agent.params_generation(), 2);
+        assert!(agent.import_params(&params[..3]).is_err());
+        assert_eq!(agent.params_generation(), 2, "failed import must not bump");
+
+        let snap = agent.snapshot();
+        agent.restore(snap).unwrap();
+        assert_eq!(agent.params_generation(), 3);
     }
 
     #[test]

@@ -75,6 +75,19 @@ impl UcbExplorer {
         q + self.scale * (2.0 * (self.total as f64).ln() / n as f64).sqrt()
     }
 
+    /// The additive bonus term of [`UcbExplorer::score_soft`]:
+    /// `score_soft(q, a) == q + bonus_soft(a)` for every finite `q`, with
+    /// the identical floating-point expression — the decide path's
+    /// shortlist bounds rely on the bonus being a per-action constant it
+    /// can add to a Q upper bound.
+    pub fn bonus_soft(&self, action: u64) -> f64 {
+        if self.total == 0 || self.scale == 0.0 {
+            return 0.0;
+        }
+        let n = self.counts.get(&action).copied().unwrap_or(0).max(1);
+        self.scale * (2.0 * (self.total as f64).ln() / n as f64).sqrt()
+    }
+
     /// Record that `action` was selected.
     pub fn record(&mut self, action: u64) {
         *self.counts.entry(action).or_insert(0) += 1;
@@ -234,6 +247,25 @@ mod tests {
         // Before any recording, soft score is the raw Q.
         let empty = UcbExplorer::default();
         assert_eq!(empty.score_soft(0.3, 9), 0.3);
+    }
+
+    #[test]
+    fn bonus_soft_is_the_additive_term_of_score_soft() {
+        let mut ucb = UcbExplorer::default();
+        assert_eq!(ucb.bonus_soft(7), 0.0);
+        for _ in 0..5 {
+            ucb.record(1);
+        }
+        ucb.record(2);
+        for action in [1u64, 2, 3] {
+            for q in [-1.5f64, 0.0, 0.25, 3.0] {
+                let direct = ucb.score_soft(q, action);
+                let composed = q + ucb.bonus_soft(action);
+                assert_eq!(direct.to_bits(), composed.to_bits());
+            }
+        }
+        let off = UcbExplorer::new(0.0);
+        assert_eq!(off.bonus_soft(1), 0.0);
     }
 
     #[test]

@@ -235,6 +235,7 @@ impl<'a> AgentCore<'a> {
         let agent = SelectionAgent::new(
             config.dqn.clone(),
             &config.exploration,
+            config.decide,
             config.pretrained_dqn.as_deref(),
             &mut rng,
         )?;
@@ -416,6 +417,14 @@ impl<'a> AgentCore<'a> {
                 self.quorum,
             );
             for ev in &quarantine_events {
+                // Dirty-set discipline for the decide-path activation
+                // cache: a breaker transition means this annotator's
+                // standing just changed (and a release usually lands with
+                // a moved quality estimate), so drop its cached partial.
+                // Correctness never depends on this — entries are keyed
+                // by parameter generation and feature bits — but it keeps
+                // the cache from holding rows for benched annotators.
+                self.agent.invalidate_annotator(ev.annotator.index());
                 if ev.entered {
                     obs::counter_add(&self.scoped("quarantine.entered"), 1);
                 } else {
@@ -764,6 +773,7 @@ impl<'a> AgentCore<'a> {
         } else {
             &active_profiles
         };
+        let stats_before = self.agent.decide_stats();
         let assignments = self.agent.select(
             &candidates,
             profiles,
@@ -777,6 +787,24 @@ impl<'a> AgentCore<'a> {
             self.config.ablation,
             &mut self.rng,
         );
+        if obs::enabled() {
+            let d = self.agent.decide_stats().delta_since(&stats_before);
+            obs::counter_add(&self.scoped("decide.total_pairs"), d.total_pairs);
+            obs::counter_add(&self.scoped("decide.scored_pairs"), d.scored_pairs);
+            obs::counter_add(&self.scoped("decide.cache_hits"), d.cache_hits);
+            obs::counter_add(&self.scoped("decide.cache_misses"), d.cache_misses);
+            obs::counter_add(
+                &self.scoped("decide.full_row_fallbacks"),
+                d.full_row_fallbacks,
+            );
+            if d.total_pairs > 0 {
+                obs::gauge_step(
+                    &self.scoped("decide.pruned_fraction"),
+                    self.refresh_index as f64,
+                    1.0 - d.scored_pairs as f64 / d.total_pairs as f64,
+                );
+            }
+        }
         if assignments.is_empty() {
             return Ok(Vec::new());
         }

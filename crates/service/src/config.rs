@@ -1,7 +1,7 @@
 //! Service configuration: capacity, admission, sharding, scheduling
 //! cadence, and the shared-pool models every project runs against.
 
-use crowdrl_core::CrowdRlConfig;
+use crowdrl_core::{CrowdRlConfig, DecideConfig};
 use crowdrl_serve::{ExecMode, QuarantineConfig};
 use crowdrl_sim::{CapacitySpec, DynamicsSpec};
 use crowdrl_types::{Dataset, Error, Result};
@@ -91,6 +91,12 @@ pub struct ServiceConfig {
     /// least this many projects is blocked pool-wide (no project gets
     /// it). `0` disables the shared view.
     pub shared_evidence_threshold: usize,
+    /// Service-wide decide-path override. `Some` replaces every admitted
+    /// project's `config.decide` (fleet operators flip the whole service
+    /// between pruned and exhaustive scoring with one knob); `None`
+    /// leaves each project's own setting untouched. Selections are
+    /// bit-identical either way — this only trades scoring work.
+    pub decide: Option<DecideConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -110,6 +116,7 @@ impl Default for ServiceConfig {
             sampling_seed: 0x5EED_CAFE,
             quarantine: QuarantineConfig::default(),
             shared_evidence_threshold: 0,
+            decide: None,
         }
     }
 }
@@ -202,6 +209,12 @@ impl ServiceConfig {
     /// Set the shared-evidence threshold.
     pub fn with_shared_evidence(mut self, threshold: usize) -> Self {
         self.shared_evidence_threshold = threshold;
+        self
+    }
+
+    /// Override every project's decide-path configuration.
+    pub fn with_decide(mut self, decide: DecideConfig) -> Self {
+        self.decide = Some(decide);
         self
     }
 }

@@ -198,8 +198,14 @@ impl<'a> Engine<'a> {
                 projects.push(None);
                 continue;
             }
+            let mut project_config = spec.config.clone();
+            if let Some(decide) = cfg.decide {
+                // Service-wide decide override (observationally neutral:
+                // selections are bit-identical across modes).
+                project_config.decide = decide;
+            }
             let mut core = AgentCore::new(
-                spec.config.clone(),
+                project_config,
                 &spec.dataset,
                 pool,
                 seeds[i],

@@ -12,9 +12,11 @@
 //! # smaller/bigger:
 //! SERVICE_DEMO_PROJECTS=4 SERVICE_DEMO_OBJECTS=300 SERVICE_DEMO_ANNOTATORS=60 \
 //!     cargo run --release --example service_demo
+//! # force a decide-path mode (selections are bit-identical either way):
+//! SERVICE_DEMO_DECIDE=exhaustive cargo run --release --example service_demo
 //! ```
 
-use crowdrl::core::InferenceModel;
+use crowdrl::core::{DecideConfig, DecideMode, InferenceModel};
 use crowdrl::prelude::*;
 use crowdrl::types::rng::seeded;
 use std::time::Instant;
@@ -24,6 +26,21 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `SERVICE_DEMO_DECIDE=pruned|exhaustive` (default: the library default,
+/// pruned). The ci smoke gate runs the demo once per mode and diffs the
+/// output — the decide path must never change a selection.
+fn env_decide() -> DecideConfig {
+    let mode = match std::env::var("SERVICE_DEMO_DECIDE").as_deref() {
+        Ok("exhaustive") => DecideMode::Exhaustive,
+        Ok("pruned") | Err(_) => DecideMode::Pruned,
+        Ok(other) => panic!("SERVICE_DEMO_DECIDE must be pruned|exhaustive, got {other:?}"),
+    };
+    DecideConfig {
+        mode,
+        ..DecideConfig::default()
+    }
 }
 
 fn accuracy(labels: &[Option<ClassId>], dataset: &Dataset) -> f64 {
@@ -69,7 +86,8 @@ fn run(
         .with_capacity(specs.len())
         .with_shards(4)
         .with_watermarks((batch / 2).max(1), 90.0)
-        .with_mode(mode);
+        .with_mode(mode)
+        .with_decide(env_decide());
     // Batch nearby events generously: the decision cadence is set by the
     // watermarks above, so a wide scheduling epoch just cuts round count.
     config.epoch = 10.0;

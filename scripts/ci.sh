@@ -103,6 +103,32 @@ service_smoke() {
 }
 timed "service smoke" service_smoke
 
+echo "== decide pruning equivalence smoke test =="
+# The decide-path pruning (cached annotator activations + exact
+# shortlists with column dedup) must be invisible end to end: the same
+# small service round in pruned and exhaustive mode must print the
+# identical outcome — labels, accuracies, rounds, budgets, sim time.
+# Only the wall-clock figures (the thing pruning is allowed to change)
+# are stripped before diffing.
+decide_smoke() {
+  local out_pruned out_exhaustive
+  out_pruned=$(SERVICE_DEMO_PROJECTS=3 SERVICE_DEMO_OBJECTS=60 \
+    SERVICE_DEMO_ANNOTATORS=40 SERVICE_DEMO_DECIDE=pruned \
+    cargo run -q --release --offline --example service_demo |
+    sed -E 's/wall [0-9.]+s( \([0-9.]+x\))?//')
+  out_exhaustive=$(SERVICE_DEMO_PROJECTS=3 SERVICE_DEMO_OBJECTS=60 \
+    SERVICE_DEMO_ANNOTATORS=40 SERVICE_DEMO_DECIDE=exhaustive \
+    cargo run -q --release --offline --example service_demo |
+    sed -E 's/wall [0-9.]+s( \([0-9.]+x\))?//')
+  if [[ "$out_pruned" != "$out_exhaustive" ]]; then
+    echo "pruned vs exhaustive service outputs diverged:" >&2
+    diff <(echo "$out_exhaustive") <(echo "$out_pruned") >&2 || true
+    return 1
+  fi
+  echo "decide equivalence: pruned == exhaustive service outcome ✓"
+}
+timed "decide smoke" decide_smoke
+
 echo "== crowdrl-trace --diff smoke test =="
 # Two traced runs of the same deterministic workload must profile as
 # equivalent: the diff gate (the tool CI uses to catch phase-time
