@@ -21,7 +21,7 @@ fn agent(input_dim: usize) -> DqnAgent {
         agent.remember(Transition {
             state_action: vec![v; input_dim],
             reward: v,
-            next_candidates: vec![vec![1.0 - v; input_dim]; 4],
+            next_candidates: vec![vec![1.0 - v; input_dim]; 4].into(),
             terminal: i % 5 == 0,
         });
     }
@@ -53,7 +53,7 @@ fn bench_dqn(c: &mut Criterion) {
         let t = Transition {
             state_action: vec![0.5; dim],
             reward: 1.0,
-            next_candidates: vec![vec![0.25; dim]; 8],
+            next_candidates: vec![vec![0.25; dim]; 8].into(),
             terminal: false,
         };
         b.iter(|| a.remember(black_box(t.clone())))

@@ -19,7 +19,7 @@ use criterion::{black_box, Criterion};
 use crowdrl_core::features::{
     embed, embed_annotator_part, embed_object_part, FeatureCache, ObjectFeatures, StateSnapshot,
 };
-use crowdrl_linalg::{pool, Matrix};
+use crowdrl_linalg::{pool, simd, Matrix};
 use crowdrl_nn::{ClassifierConfig, SoftmaxClassifier};
 use crowdrl_rl::{DqnAgent, DqnConfig};
 use crowdrl_sim::{DatasetSpec, PoolSpec};
@@ -399,6 +399,21 @@ fn bench_hotpath(c: &mut Criterion) {
         bch.iter(|| black_box(a.matmul_naive(&b)))
     });
     group.bench_function("matmul_blocked", |bch| bch.iter(|| black_box(a.matmul(&b))));
+    // Explicit-SIMD fast kernel (NumericMode::Fast): same product, lane
+    // (FMA) accumulation — verify the tolerance contract before timing.
+    {
+        let reference = a.matmul(&b);
+        let fast = simd::matmul_fast(&a, &b);
+        for (f, r) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert!(
+                (f - r).abs() <= 1e-4 * (1.0 + f.abs().max(r.abs())),
+                "simd matmul drift: {f} vs {r}"
+            );
+        }
+    }
+    group.bench_function("matmul_simd", |bch| {
+        bch.iter(|| black_box(simd::matmul_fast(&a, &b)))
+    });
 
     // 2. Joint E-step: seed-style reference vs the log-table hot path.
     let fx = e_step_fixture();
@@ -491,10 +506,16 @@ fn render_json(found: &[Measurement]) -> String {
     let _ = writeln!(
         out,
         "  \"matmul\": {{ \"shape\": \"{MM_ROWS}x{MM_INNER} * {MM_INNER}x{MM_COLS}\", \
-         \"naive_ms\": {:.2}, \"blocked_ms\": {:.2}, \"speedup\": {:.2} }},",
+         \"naive_ms\": {:.2}, \"blocked_ms\": {:.2}, \"speedup\": {:.2}, \
+         \"simd_ms\": {:.2}, \"simd_kernel\": \"{}\", \"simd_lanes\": {}, \
+         \"simd_speedup_vs_blocked\": {:.2} }},",
         row("matmul_naive"),
         row("matmul_blocked"),
         speedup("matmul_naive", "matmul_blocked"),
+        row("matmul_simd"),
+        simd::kernel_name(),
+        simd::lanes(),
+        speedup("matmul_blocked", "matmul_simd"),
     );
     let _ = writeln!(
         out,

@@ -1,22 +1,66 @@
 //! Criterion microbenchmarks for the asynchronous labelling runtime:
 //! raw event-queue throughput at 1k / 10k / 100k events, the assignment
 //! ledger's dispatch→deliver cycle, and end-to-end `AsyncRuntime` runs in
-//! both execution modes.
+//! both execution modes and both numeric modes.
 //!
 //! Unlike the other benches this one has a hand-written `main` so it can
 //! export the measurements to `BENCH_serve.json` at the repository root
-//! (events/sec and answers/sec derived from the median sample).
+//! (events/sec and answers/sec derived from the median sample). The bench
+//! binary also installs a counting global allocator so each end-to-end row
+//! carries its heap-allocation rate (`allocs_per_event`) — the scratch
+//! reuse work in the serve hot path is regression-guarded by that number
+//! as well as by wall clock.
 
 use criterion::{black_box, Criterion};
 use crowdrl_core::CrowdRlConfig;
+use crowdrl_linalg::NumericMode;
+use crowdrl_obs as obs;
 use crowdrl_serve::{
     AssignmentLedger, AsyncOutcome, AsyncRuntime, EventKind, EventQueue, ExecMode, ServeConfig,
 };
 use crowdrl_sim::{AnnotatorPool, DatasetSpec, PoolSpec};
 use crowdrl_types::rng::seeded;
 use crowdrl_types::{AnnotatorId, AssignmentId, Budget, Dataset, ObjectId, SimTime};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation made by the process (alloc, alloc_zeroed,
+/// realloc), delegating the actual work to the system allocator. Reads are
+/// relaxed — the bench is effectively single-threaded at measurement time
+/// and only deltas matter.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
 
 const QUEUE_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
 const RUN_OBJECTS: usize = 80;
@@ -71,12 +115,18 @@ fn serve_fixture() -> (Dataset, AnnotatorPool) {
     (dataset, pool)
 }
 
-fn run_async(dataset: &Dataset, pool: &AnnotatorPool, mode: ExecMode) -> AsyncOutcome {
+fn run_async(
+    dataset: &Dataset,
+    pool: &AnnotatorPool,
+    mode: ExecMode,
+    numeric: NumericMode,
+) -> AsyncOutcome {
     let config = CrowdRlConfig::builder()
         .budget(200.0)
         .initial_ratio(0.1)
         .batch_per_iter(4)
         .candidate_cap(32)
+        .numeric(numeric)
         .build()
         .unwrap();
     let serve = ServeConfig::default().with_mode(mode);
@@ -85,6 +135,27 @@ fn run_async(dataset: &Dataset, pool: &AnnotatorPool, mode: ExecMode) -> AsyncOu
         .run(dataset, pool, &mut rng)
         .unwrap()
 }
+
+/// The three end-to-end rows: reference numerics in both execution modes,
+/// plus the SIMD fast mode single-threaded (the configuration the 1-core
+/// container actually serves from).
+const E2E_ROWS: [(&str, ExecMode, NumericMode); 3] = [
+    (
+        "run_async_single_thread",
+        ExecMode::SingleThread,
+        NumericMode::Reference,
+    ),
+    (
+        "run_async_worker_pool_4",
+        ExecMode::WorkerPool { workers: 4 },
+        NumericMode::Reference,
+    ),
+    (
+        "run_async_single_thread_fast",
+        ExecMode::SingleThread,
+        NumericMode::Fast,
+    ),
+];
 
 /// One measured benchmark, reduced to what the JSON report needs.
 struct Measurement {
@@ -120,23 +191,45 @@ fn bench_serve(c: &mut Criterion) {
     });
 
     let (dataset, pool) = serve_fixture();
-    for (label, mode) in [
-        ("run_async_single_thread", ExecMode::SingleThread),
-        (
-            "run_async_worker_pool_4",
-            ExecMode::WorkerPool { workers: 4 },
-        ),
-    ] {
+    for (label, mode, numeric) in E2E_ROWS {
         group.bench_function(format!("{label}/{RUN_OBJECTS}"), |b| {
-            b.iter(|| black_box(run_async(&dataset, &pool, mode)))
+            b.iter(|| black_box(run_async(&dataset, &pool, mode, numeric)))
         });
     }
 
     group.finish();
 }
 
+/// Per-configuration outcome metrics plus the heap-allocation rate of one
+/// end-to-end run, measured outside the timing loop.
+struct RowStats {
+    outcome: AsyncOutcome,
+    allocs_per_event: f64,
+}
+
+fn row_stats(dataset: &Dataset, pool: &AnnotatorPool) -> Vec<RowStats> {
+    E2E_ROWS
+        .iter()
+        .map(|&(_, mode, numeric)| {
+            // One warmup settles lazily-allocated globals out of the count.
+            let _ = run_async(dataset, pool, mode, numeric);
+            let before = alloc_count();
+            let outcome = run_async(dataset, pool, mode, numeric);
+            let allocs = alloc_count() - before;
+            let events = outcome.metrics.events_processed.max(1);
+            if obs::enabled() {
+                obs::counter_add("serve.bench.allocs", allocs);
+            }
+            RowStats {
+                outcome,
+                allocs_per_event: allocs as f64 / events as f64,
+            }
+        })
+        .collect()
+}
+
 /// Render the report as JSON by hand — the workspace has no serde.
-fn render_json(found: &[Measurement], reference: &AsyncOutcome) -> String {
+fn render_json(found: &[Measurement], stats: &[RowStats]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"serve\",\n");
@@ -177,21 +270,26 @@ fn render_json(found: &[Measurement], reference: &AsyncOutcome) -> String {
     );
 
     out.push_str("  \"end_to_end\": [\n");
-    let modes = ["run_async_single_thread", "run_async_worker_pool_4"];
-    for (i, label) in modes.iter().enumerate() {
+    for (i, ((label, _, numeric), row)) in E2E_ROWS.iter().zip(stats).enumerate() {
         let m = found
             .iter()
             .find(|m| m.id == format!("serve/{label}/{RUN_OBJECTS}"))
             .expect("run measurement");
         let secs = m.median_ns * 1e-9;
-        let metrics = &reference.metrics;
-        let comma = if i + 1 < modes.len() { "," } else { "" };
+        let metrics = &row.outcome.metrics;
+        let comma = if i + 1 < E2E_ROWS.len() { "," } else { "" };
+        let numeric = match numeric {
+            NumericMode::Reference => "reference",
+            NumericMode::Fast => "fast",
+        };
         let _ = writeln!(
             out,
             "    {{ \"name\": \"{label}\", \"objects\": {RUN_OBJECTS}, \
+             \"numeric\": \"{numeric}\", \
              \"median_ms\": {:.2}, \"min_ms\": {:.2}, \"mean_ms\": {:.2}, \
              \"events_processed\": {}, \"answers_delivered\": {}, \
-             \"events_per_sec\": {:.0}, \"answers_per_sec\": {:.0} }}{comma}",
+             \"events_per_sec\": {:.0}, \"answers_per_sec\": {:.0}, \
+             \"allocs_per_event\": {:.1} }}{comma}",
             m.median_ns * 1e-6,
             m.min_ns * 1e-6,
             m.mean_ns * 1e-6,
@@ -199,6 +297,7 @@ fn render_json(found: &[Measurement], reference: &AsyncOutcome) -> String {
             metrics.answers_delivered,
             metrics.events_processed as f64 / secs,
             metrics.answers_delivered as f64 / secs,
+            row.allocs_per_event,
         );
     }
     out.push_str("  ]\n}\n");
@@ -210,13 +309,10 @@ fn main() {
     bench_serve(&mut criterion);
     criterion.final_summary();
 
-    // Both execution modes process the identical event trace (that is a
-    // tested invariant), so one reference run supplies the event/answer
-    // counts for both end-to-end rows.
     let (dataset, pool) = serve_fixture();
-    let reference = run_async(&dataset, &pool, ExecMode::SingleThread);
+    let stats = row_stats(&dataset, &pool);
 
-    let json = render_json(&measurements(&criterion), &reference);
+    let json = render_json(&measurements(&criterion), &stats);
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {}", path.display()),

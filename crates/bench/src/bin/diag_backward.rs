@@ -1,0 +1,94 @@
+//! Diagnostic: split the DQN backward-pass cost into raw kernel time vs
+//! layer/orchestration overhead, at the exact serve-path shapes
+//! (batch 32, network 21 -> 64 -> 32 -> 1).
+
+use crowdrl_linalg::{simd, Matrix, NumericMode};
+use crowdrl_nn::{Activation, Network};
+use crowdrl_types::rng::seeded;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn fill(m: &mut Matrix, seed: f32) {
+    for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i as f32 * 0.37 + seed).sin()) * 0.5;
+    }
+}
+
+fn time<F: FnMut()>(label: &str, iters: usize, mut f: F) {
+    // Warmup.
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!("{label}: {:.2} us/iter", best * 1e6 / iters as f64);
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let mode = if fast {
+        NumericMode::Fast
+    } else {
+        NumericMode::Reference
+    };
+    println!("mode: {mode:?}, simd: {}", simd::simd_available());
+    let iters = 20_000;
+
+    // Raw kernels at backward shapes.
+    let mut x = Matrix::zeros(32, 21); // input batch
+    let mut d1 = Matrix::zeros(32, 64); // layer-1 d_pre
+    let mut h1 = Matrix::zeros(32, 64);
+    let mut d2 = Matrix::zeros(32, 32);
+    let mut h2 = Matrix::zeros(32, 32);
+    let mut d3 = Matrix::zeros(32, 1);
+    let mut w2 = Matrix::zeros(64, 32);
+    let mut w3 = Matrix::zeros(32, 1);
+    for (i, m) in [
+        &mut x, &mut d1, &mut h1, &mut d2, &mut h2, &mut d3, &mut w2, &mut w3,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        fill(m, i as f32);
+    }
+
+    time("tn 21x64 (x^T d1)", iters, || {
+        black_box(x.matmul_tn_mode(&d1, mode));
+    });
+    time("tn 64x32 (h1^T d2)", iters, || {
+        black_box(h1.matmul_tn_mode(&d2, mode));
+    });
+    time("tn 32x1  (h2^T d3)", iters, || {
+        black_box(h2.matmul_tn_mode(&d3, mode));
+    });
+    time("nt 32x64 (d2 w2^T)", iters, || {
+        black_box(d2.matmul_nt_mode(&w2, mode));
+    });
+    time("nt 32x32 (d3 w3^T)", iters, || {
+        black_box(d3.matmul_nt_mode(&w3, mode));
+    });
+
+    // Full layer-stack forward + backward at serve shapes.
+    let mut rng = seeded(3);
+    let mut net = Network::mlp(&[21, 64, 32, 1], Activation::Relu, &mut rng);
+    net.set_numeric_mode(mode);
+    let d_out = Matrix::zeros(32, 1);
+    let mut d_out = d_out;
+    fill(&mut d_out, 9.0);
+    time("net fwd (train)", iters / 2, || {
+        black_box(net.forward(&x));
+    });
+    time("net fwd+bwd", iters / 2, || {
+        black_box(net.forward(&x));
+        net.backward(&d_out);
+    });
+    time("net fwd_inference", iters / 2, || {
+        black_box(net.forward_inference(&x));
+    });
+}

@@ -1,0 +1,47 @@
+//! Diagnostic: trace one bench-shaped `AsyncRuntime` run and print the
+//! per-phase profile, to localize where end-to-end serve time goes.
+
+use crowdrl_core::CrowdRlConfig;
+use crowdrl_serve::{AsyncRuntime, ExecMode, ServeConfig};
+use crowdrl_sim::{DatasetSpec, PoolSpec};
+use crowdrl_types::rng::seeded;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = seeded(11);
+    let objects: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    let fast = std::env::args().any(|a| a == "--fast");
+    let budget = objects as f64 * 2.5;
+    let dataset = DatasetSpec::gaussian("serve-bench", objects, 4, 2)
+        .with_separation(3.5)
+        .generate(&mut rng)
+        .unwrap();
+    let pool = PoolSpec::new(4, 1).generate(2, &mut rng).unwrap();
+    let mut builder = CrowdRlConfig::builder()
+        .budget(budget)
+        .initial_ratio(0.1)
+        .batch_per_iter(4)
+        .candidate_cap(32);
+    if fast {
+        builder = builder.numeric(crowdrl_linalg::NumericMode::Fast);
+    }
+    let config = builder.build().unwrap();
+    let serve = ServeConfig::default().with_mode(ExecMode::SingleThread);
+    let mut rng = seeded(12);
+    let start = Instant::now();
+    let out = AsyncRuntime::new(config, serve)
+        .run(&dataset, &pool, &mut rng)
+        .unwrap();
+    let elapsed = start.elapsed();
+    println!(
+        "objects {objects} took {:.1} ms, events {}, answers {}, refreshes {}, events/s {:.0}",
+        elapsed.as_secs_f64() * 1e3,
+        out.metrics.events_processed,
+        out.metrics.answers_delivered,
+        out.metrics.refreshes,
+        out.metrics.events_processed as f64 / elapsed.as_secs_f64()
+    );
+}

@@ -1,0 +1,55 @@
+//! Diagnostic: isolate the DQN `train_step` cost with serve-shaped
+//! dimensions, in either numeric mode (`--fast`), to localize the train
+//! half of the event-loop hot path without event-queue noise.
+
+use crowdrl_linalg::NumericMode;
+use crowdrl_rl::{DqnAgent, DqnConfig, Transition};
+use crowdrl_types::rng::seeded;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let fast = std::env::args().any(|a| a == "--fast");
+    let dim = 21; // serve-path embedding width
+    let config = DqnConfig {
+        input_dim: dim,
+        min_replay: 64,
+        numeric: if fast {
+            NumericMode::Fast
+        } else {
+            NumericMode::Reference
+        },
+        ..Default::default()
+    };
+    let mut rng = seeded(1);
+    let mut agent = DqnAgent::new(config, &mut rng).unwrap();
+    for i in 0..256 {
+        let v = (i % 17) as f32 / 17.0;
+        agent.remember(Transition {
+            state_action: vec![v; dim],
+            reward: v,
+            next_candidates: vec![vec![1.0 - v; dim]; 32].into(),
+            terminal: i % 5 == 0,
+        });
+    }
+    // Warmup.
+    for _ in 0..200 {
+        black_box(agent.train_step(&mut rng));
+    }
+    let start = Instant::now();
+    for _ in 0..steps {
+        black_box(agent.train_step(&mut rng));
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{} steps ({}) in {:.1} ms — {:.2} us/step",
+        steps,
+        if fast { "fast" } else { "reference" },
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e6 / steps as f64
+    );
+}

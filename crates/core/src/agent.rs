@@ -283,6 +283,7 @@ impl SelectionAgent {
         // once per annotator part instead of once per pair. The suffix
         // splits again into an annotator-specific block (cacheable across
         // refreshes) and a run-level block shared by the whole pool.
+        let embed_span = crowdrl_obs::span("decide.embed");
         let num_classes = candidates[0].1.len();
         debug_assert!(candidates.iter().all(|(_, p)| p.len() == num_classes));
         let object_parts: Vec<Vec<f32>> = candidates
@@ -306,6 +307,8 @@ impl SelectionAgent {
                 masked[ci * w + ai] = answers.has_answered(*object, profile.id);
             }
         }
+
+        drop(embed_span);
 
         // ε-greedy: one coin per iteration decides explore-vs-exploit.
         let explore_all = match &mut self.eps {
@@ -346,6 +349,7 @@ impl SelectionAgent {
         // bounds (see `decide`).
         let mut grid: Option<LazyPairScores> = None;
         if !skip_scoring && self.decide.mode == DecideMode::Pruned {
+            let _grid_span = crowdrl_obs::span("decide.grid");
             let generation = self.dqn.params_generation();
             let net = self.dqn.online_network();
             let first = net.first_layer();
@@ -418,6 +422,7 @@ impl SelectionAgent {
             dense = Some(scores);
         }
 
+        let _rank_span = crowdrl_obs::span("decide.rank");
         // Rank objects by top-k score sums (exact in both modes: the
         // pruned grid extends its scored prefix until every object's
         // k-th best strictly clears the best unscored bound).
@@ -590,12 +595,15 @@ impl SelectionAgent {
         terminal: bool,
     ) {
         debug_assert_eq!(assignments.len(), rewards.len());
+        // One shared copy of the successor candidate set for the whole
+        // batch; each transition takes a refcount, not a deep clone.
+        let next_candidates: std::sync::Arc<[Vec<f32>]> = next_candidates.to_vec().into();
         for (assignment, &reward) in assignments.iter().zip(rewards) {
             for embedding in &assignment.embeddings {
                 self.dqn.remember(Transition {
                     state_action: embedding.clone(),
                     reward: reward as f32,
-                    next_candidates: next_candidates.to_vec(),
+                    next_candidates: next_candidates.clone(),
                     terminal,
                 });
             }

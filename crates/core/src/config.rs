@@ -403,6 +403,20 @@ impl CrowdRlConfigBuilder {
         self
     }
 
+    /// Set the numeric mode (matmul kernel selection) for *both* the
+    /// Q-networks and the classifier. `Reference` (default) keeps the
+    /// bit-pinned blocked kernels; `Fast` enables the SIMD kernels.
+    ///
+    /// The mode is part of the config fingerprint — checkpoints and traces
+    /// taken in one mode are not interchangeable with the other, because
+    /// the two reduction orders produce (slightly) different f32
+    /// trajectories.
+    pub fn numeric(mut self, mode: crowdrl_linalg::NumericMode) -> Self {
+        self.config.dqn.numeric = mode;
+        self.config.classifier.numeric = mode;
+        self
+    }
+
     /// Provide pre-trained Q-network parameters (cross-training).
     pub fn pretrained_dqn(mut self, params: Vec<f32>) -> Self {
         self.config.pretrained_dqn = Some(params);

@@ -17,5 +17,7 @@
 pub mod matrix;
 pub mod ops;
 pub mod pool;
+pub mod simd;
 
 pub use matrix::Matrix;
+pub use simd::NumericMode;

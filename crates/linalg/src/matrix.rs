@@ -6,6 +6,7 @@
 //! to recover from, and panicking keeps the hot-path signatures clean.
 
 use crate::pool::{self, SendPtr};
+use crate::simd::{self, NumericMode};
 
 /// Row chunk used by the dispatching matmul entries when they go parallel.
 /// Fixed — never derived from the thread count — so the decomposition (and
@@ -19,6 +20,26 @@ const MIN_PAR_MADDS: usize = 1 << 17;
 /// multiply-adds should take the pool path.
 fn par_worthwhile(dim: usize, madds: usize) -> bool {
     madds >= MIN_PAR_MADDS && dim > ROW_CHUNK && pool::max_threads() > 1
+}
+
+/// `out[j] = ((((out[j] + a0*b0[j]) + a1*b1[j]) + a2*b2[j]) + a3*b3[j]`
+/// for every `j`, with each multiply and add individually rounded — the
+/// exact op sequence of four consecutive single-term update passes, fused
+/// so the running value stays in a register. The `t += x * y` form keeps
+/// the multiply and add as two roundings (rustc never contracts to FMA
+/// without an explicit intrinsic), so this is bit-identical to the
+/// unfused reference loop.
+fn axpy4(out: &mut [f32], a: &[f32; 4], b: &[&[f32]; 4]) {
+    let n = out.len();
+    let (b0, b1, b2, b3) = (&b[0][..n], &b[1][..n], &b[2][..n], &b[3][..n]);
+    for j in 0..n {
+        let mut t = out[j];
+        t += a[0] * b0[j];
+        t += a[1] * b1[j];
+        t += a[2] * b2[j];
+        t += a[3] * b3[j];
+        out[j] = t;
+    }
 }
 
 /// A dense row-major `f32` matrix.
@@ -210,11 +231,30 @@ impl Matrix {
             let mut k0 = 0;
             while k0 < self.cols {
                 let k1 = (k0 + KC).min(self.cols);
+                // Non-zero k terms are applied four per pass over the
+                // output row. Each output element still accumulates its
+                // (mul, add-assign) pairs in ascending-k order with the
+                // same zero-skip — grouping only keeps the running value
+                // in a register across four terms instead of a memory
+                // round-trip per term, which cannot change any bit.
+                let mut pend_a = [0.0f32; 4];
+                let mut pend_b: [&[f32]; 4] = [&[]; 4];
+                let mut np = 0;
                 for (k, &a) in a_row[k0..k1].iter().enumerate() {
                     if a == 0.0 {
                         continue;
                     }
-                    let b_row = other.row(k0 + k);
+                    pend_a[np] = a;
+                    pend_b[np] = other.row(k0 + k);
+                    np += 1;
+                    if np == 4 {
+                        axpy4(out_row, &pend_a, &pend_b);
+                        np = 0;
+                    }
+                }
+                for t in 0..np {
+                    let b_row = pend_b[t];
+                    let a = pend_a[t];
                     for (o, &b) in out_row.iter_mut().zip(b_row) {
                         *o += a * b;
                     }
@@ -359,6 +399,33 @@ impl Matrix {
                     *o += a * b;
                 }
             }
+        }
+    }
+
+    /// [`Matrix::matmul`] under an explicit [`NumericMode`]:
+    /// `Reference` runs the bit-exact dispatching kernel, `Fast` the
+    /// explicit-SIMD kernel (see [`crate::simd`] for the tolerance
+    /// contract).
+    pub fn matmul_mode(&self, other: &Matrix, mode: NumericMode) -> Matrix {
+        match mode {
+            NumericMode::Reference => self.matmul(other),
+            NumericMode::Fast => simd::matmul_fast(self, other),
+        }
+    }
+
+    /// [`Matrix::matmul_nt`] under an explicit [`NumericMode`].
+    pub fn matmul_nt_mode(&self, other: &Matrix, mode: NumericMode) -> Matrix {
+        match mode {
+            NumericMode::Reference => self.matmul_nt(other),
+            NumericMode::Fast => simd::matmul_nt_fast(self, other),
+        }
+    }
+
+    /// [`Matrix::matmul_tn`] under an explicit [`NumericMode`].
+    pub fn matmul_tn_mode(&self, other: &Matrix, mode: NumericMode) -> Matrix {
+        match mode {
+            NumericMode::Reference => self.matmul_tn(other),
+            NumericMode::Fast => simd::matmul_tn_fast(self, other),
         }
     }
 

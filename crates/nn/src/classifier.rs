@@ -10,7 +10,7 @@ use crate::activation::Activation;
 use crate::loss;
 use crate::network::Network;
 use crate::optimizer::Adam;
-use crowdrl_linalg::{ops, Matrix};
+use crowdrl_linalg::{ops, Matrix, NumericMode};
 use crowdrl_types::rng::permutation;
 use crowdrl_types::{ClassId, Error, Result};
 use rand::Rng;
@@ -30,6 +30,11 @@ pub struct ClassifierConfig {
     pub batch_size: usize,
     /// L2 weight decay (applied as loss-gradient shrinkage).
     pub weight_decay: f32,
+    /// Matmul kernel selection for the classifier network. `Reference`
+    /// (default) is the bit-pinned blocked kernel; `Fast` enables the SIMD
+    /// kernels for fit forwards/backwards and batched prediction.
+    /// Snapshots are NOT interchangeable across modes.
+    pub numeric: NumericMode,
 }
 
 impl Default for ClassifierConfig {
@@ -47,6 +52,7 @@ impl Default for ClassifierConfig {
             epochs: 30,
             batch_size: 32,
             weight_decay: 2e-2,
+            numeric: NumericMode::default(),
         }
     }
 }
@@ -111,7 +117,8 @@ impl SoftmaxClassifier {
         let mut sizes = vec![input_dim];
         sizes.extend_from_slice(&config.hidden);
         sizes.push(num_classes);
-        let net = Network::mlp(&sizes, config.activation, rng);
+        let mut net = Network::mlp(&sizes, config.activation, rng);
+        net.set_numeric_mode(config.numeric);
         let opt = Adam::new(config.learning_rate);
         Ok(Self {
             net,

@@ -2,8 +2,24 @@
 
 use crate::activation::Activation;
 use crate::init;
-use crowdrl_linalg::Matrix;
+use crowdrl_linalg::{Matrix, NumericMode};
 use rand::Rng;
+
+/// Copy `src` into `slot`, reusing the existing allocation when shapes
+/// match (steady-state training loops hit the reuse arm every step).
+/// Returns the bytes reused, or 0 when a fresh allocation was needed.
+fn copy_into(slot: &mut Option<Matrix>, src: &Matrix) -> usize {
+    match slot {
+        Some(m) if m.rows() == src.rows() && m.cols() == src.cols() => {
+            m.as_mut_slice().copy_from_slice(src.as_slice());
+            src.len() * std::mem::size_of::<f32>()
+        }
+        _ => {
+            *slot = Some(src.clone());
+            0
+        }
+    }
+}
 
 /// A dense layer: `y = act(x W + b)` with `W: [in x out]`, `b: [out]`.
 ///
@@ -21,6 +37,22 @@ pub struct Dense {
     input: Option<Matrix>,
     /// Cached pre-activation from the last forward pass.
     preact: Option<Matrix>,
+    /// Scratch for `d_pre` in [`Dense::backward`], reused across steps.
+    bwd_dpre: Option<Matrix>,
+    /// Scratch-buffer reuse count (hits of the in-place `copy_into` arm).
+    scratch_reuses: u64,
+    /// Bytes served from reused scratch instead of fresh allocations.
+    scratch_bytes: u64,
+    /// Which matmul kernels [`Dense::forward`]/[`Dense::backward`]/
+    /// [`Dense::forward_inference`] dispatch to. `Reference` (the default)
+    /// is the bit-pinned blocked kernel; `Fast` is the SIMD kernel with a
+    /// different (documented) reduction order. The decide-path entry
+    /// points — [`Dense::forward_inference_outer`]'s partial matmuls,
+    /// [`Dense::partial_matmul`], [`Dense::accumulate_partial`] and
+    /// [`Dense::forward_interval`] — stay on the exact reference op order
+    /// in *both* modes, preserving the first-layer prefix-cache bit
+    /// contract (see DESIGN.md §14).
+    mode: NumericMode,
 }
 
 impl Dense {
@@ -48,7 +80,31 @@ impl Dense {
             grad_b: vec![0.0; output_dim],
             input: None,
             preact: None,
+            bwd_dpre: None,
+            scratch_reuses: 0,
+            scratch_bytes: 0,
+            mode: NumericMode::Reference,
         }
+    }
+
+    /// Scratch-buffer accounting: `(reuses, bytes)` served from reused
+    /// buffers since construction (see `serve.scratch.*` obs counters).
+    #[inline]
+    pub fn scratch_stats(&self) -> (u64, u64) {
+        (self.scratch_reuses, self.scratch_bytes)
+    }
+
+    /// Set the numeric mode for the train/inference matmuls (see the
+    /// `mode` field docs for which paths are affected).
+    #[inline]
+    pub fn set_numeric_mode(&mut self, mode: NumericMode) {
+        self.mode = mode;
+    }
+
+    /// The layer's numeric mode.
+    #[inline]
+    pub fn numeric_mode(&self) -> NumericMode {
+        self.mode
     }
 
     /// Input dimensionality.
@@ -73,20 +129,25 @@ impl Dense {
     /// backprop.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.input_dim(), "layer input dim mismatch");
-        let mut pre = x.matmul(&self.w);
+        let mut pre = x.matmul_mode(&self.w, self.mode);
         pre.add_row_broadcast(&self.b);
-        let mut out = pre.clone();
+        // Snapshot input/pre-activation into reused scratch, then turn
+        // `pre` into the activated output in place — same bits as the
+        // previous clone-then-map, one fewer allocation per step.
+        let reused = copy_into(&mut self.input, x) + copy_into(&mut self.preact, &pre);
+        if reused > 0 {
+            self.scratch_reuses += 1;
+            self.scratch_bytes += reused as u64;
+        }
         let act = self.act;
-        out.map_inplace(|v| act.apply(v));
-        self.input = Some(x.clone());
-        self.preact = Some(pre);
-        out
+        pre.map_inplace(|v| act.apply(v));
+        pre
     }
 
     /// Forward pass without caching — for inference and target networks.
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.input_dim(), "layer input dim mismatch");
-        let mut pre = x.matmul(&self.w);
+        let mut pre = x.matmul_mode(&self.w, self.mode);
         pre.add_row_broadcast(&self.b);
         let act = self.act;
         pre.map_inplace(|v| act.apply(v));
@@ -240,13 +301,32 @@ impl Dense {
     ///
     /// Panics if called before [`Dense::forward`].
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        self.backward_accumulate(d_out);
+        let d_pre = self.bwd_dpre.as_ref().expect("set by backward_accumulate");
+        d_pre.matmul_nt_mode(&self.w, self.mode)
+    }
+
+    /// Backward pass that accumulates `dL/dW` and `dL/db` but skips the
+    /// `dL/dx` product. For a network's *first* layer the input gradient
+    /// has no consumer, so the skip saves one full matmul per step and is
+    /// bit-invisible to every parameter and gradient.
+    pub fn backward_params_only(&mut self, d_out: &Matrix) {
+        self.backward_accumulate(d_out);
+    }
+
+    fn backward_accumulate(&mut self, d_out: &Matrix) {
         let input = self.input.as_ref().expect("backward before forward");
         let preact = self.preact.as_ref().expect("backward before forward");
         assert_eq!(d_out.rows(), preact.rows(), "backward batch mismatch");
         assert_eq!(d_out.cols(), self.output_dim(), "backward dim mismatch");
 
-        // d_pre = d_out ⊙ act'(pre)
-        let mut d_pre = d_out.clone();
+        // d_pre = d_out ⊙ act'(pre), built in reused scratch.
+        let reused = copy_into(&mut self.bwd_dpre, d_out);
+        if reused > 0 {
+            self.scratch_reuses += 1;
+            self.scratch_bytes += reused as u64;
+        }
+        let d_pre = self.bwd_dpre.as_mut().expect("scratch just filled");
         for i in 0..d_pre.rows() {
             let pre_row = preact.row(i);
             for (dp, &p) in d_pre.row_mut(i).iter_mut().zip(pre_row) {
@@ -254,12 +334,22 @@ impl Dense {
             }
         }
 
-        // dW += x^T d_pre ; db += col_sums(d_pre) ; dx = d_pre W^T
-        self.grad_w.add_assign(&input.matmul_tn(&d_pre));
+        // dW += x^T d_pre ; db += col_sums(d_pre)
+        // Reference mode routes the x^T d_pre product through a temporary
+        // and a single add_assign — gradient accumulation rounding is
+        // pinned by the `gradients_accumulate_until_zeroed` semantics.
+        // Fast mode fuses the product into `grad_w` (no temporary, no
+        // second pass); its rounding is covered by the fast-mode tolerance
+        // contract, not the bit pin.
+        match self.mode {
+            NumericMode::Reference => self.grad_w.add_assign(&input.matmul_tn(d_pre)),
+            NumericMode::Fast => {
+                crowdrl_linalg::simd::matmul_tn_acc_fast(input, d_pre, &mut self.grad_w)
+            }
+        }
         for (gb, s) in self.grad_b.iter_mut().zip(d_pre.col_sums()) {
             *gb += s;
         }
-        d_pre.matmul_nt(&self.w)
     }
 
     /// Clear accumulated gradients.

@@ -4,7 +4,7 @@
 use crate::activation::Activation;
 use crate::layer::Dense;
 use crate::optimizer::Optimizer;
-use crowdrl_linalg::Matrix;
+use crowdrl_linalg::{Matrix, NumericMode};
 use rand::Rng;
 
 /// A multi-layer perceptron.
@@ -15,6 +15,9 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct Network {
     layers: Vec<Dense>,
+    /// Reused clip buffer for [`Network::step`] — avoids one allocation
+    /// per tensor per optimizer step when gradient clipping is on.
+    clip_scratch: Vec<f32>,
 }
 
 impl Network {
@@ -34,7 +37,38 @@ impl Network {
             };
             layers.push(Dense::new(w[0], w[1], act, rng));
         }
-        Self { layers }
+        Self {
+            layers,
+            clip_scratch: Vec::new(),
+        }
+    }
+
+    /// Set the numeric mode on every layer (see [`Dense::set_numeric_mode`]
+    /// for which paths dispatch on it). `Reference` (the default) keeps the
+    /// bit-pinned blocked kernels; `Fast` enables the SIMD kernels for
+    /// training forwards/backwards and batched inference.
+    pub fn set_numeric_mode(&mut self, mode: NumericMode) {
+        for layer in &mut self.layers {
+            layer.set_numeric_mode(mode);
+        }
+    }
+
+    /// The network's numeric mode (uniform across layers).
+    pub fn numeric_mode(&self) -> NumericMode {
+        self.layers
+            .first()
+            .map(Dense::numeric_mode)
+            .unwrap_or_default()
+    }
+
+    /// Total scratch-buffer accounting across layers: `(reuses, bytes)`
+    /// served from reused buffers instead of fresh allocations (see the
+    /// `serve.scratch.*` obs counters).
+    pub fn scratch_stats(&self) -> (u64, u64) {
+        self.layers
+            .iter()
+            .map(Dense::scratch_stats)
+            .fold((0, 0), |(reuses, bytes), (r, b)| (reuses + r, bytes + b))
     }
 
     /// Input dimensionality.
@@ -54,8 +88,9 @@ impl Network {
 
     /// Training forward pass (caches per-layer state).
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
+        let (first, rest) = self.layers.split_first_mut().expect("network has layers");
+        let mut h = first.forward(x);
+        for layer in rest {
             h = layer.forward(&h);
         }
         h
@@ -63,8 +98,9 @@ impl Network {
 
     /// Inference forward pass (no caching, usable on `&self`).
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for layer in &self.layers {
+        let (first, rest) = self.layers.split_first().expect("network has layers");
+        let mut h = first.forward_inference(x);
+        for layer in rest {
             h = layer.forward_inference(&h);
         }
         h
@@ -126,13 +162,21 @@ impl Network {
     }
 
     /// Backpropagate `d_out = dL/d(output)`, accumulating layer gradients.
-    /// Returns `dL/d(input)`.
-    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
-        let mut g = d_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+    /// The first layer skips its `dL/dx` product (no caller consumes the
+    /// network's input gradient); the skip is bit-invisible to every
+    /// accumulated gradient.
+    pub fn backward(&mut self, d_out: &Matrix) {
+        let (first, rest) = self.layers.split_first_mut().expect("network has layers");
+        match rest.split_last_mut() {
+            None => first.backward_params_only(d_out),
+            Some((last, mid)) => {
+                let mut g = last.backward(d_out);
+                for layer in mid.iter_mut().rev() {
+                    g = layer.backward(&g);
+                }
+                first.backward_params_only(&g);
+            }
         }
-        g
     }
 
     /// Clear all accumulated gradients.
@@ -146,13 +190,15 @@ impl Network {
     /// optional gradient-norm clipping (`max_grad` per tensor, infinity
     /// norm).
     pub fn step(&mut self, opt: &mut dyn Optimizer, max_grad: Option<f32>) {
+        let clip_scratch = &mut self.clip_scratch;
         for (li, layer) in self.layers.iter_mut().enumerate() {
             for (pi, (param, grad)) in layer.params_and_grads().into_iter().enumerate() {
                 let slot = li * 2 + pi;
                 if let Some(limit) = max_grad {
-                    let mut clipped = grad.to_vec();
-                    crowdrl_linalg::ops::clip_inplace(&mut clipped, limit);
-                    opt.update(slot, param, &clipped);
+                    clip_scratch.clear();
+                    clip_scratch.extend_from_slice(grad);
+                    crowdrl_linalg::ops::clip_inplace(clip_scratch, limit);
+                    opt.update(slot, param, clip_scratch);
                 } else {
                     opt.update(slot, param, grad);
                 }
@@ -410,6 +456,53 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fast_mode_matches_reference_within_tolerance() {
+        // Full-network parity between the SIMD fast path and the reference
+        // kernels: training forward, inference forward, and one optimizer
+        // step. The modes differ only in reduction order, so outputs agree
+        // to the documented fast-kernel tolerance (1e-4 relative — see
+        // crowdrl_linalg::simd).
+        let mut rng = seeded(77);
+        let reference = Network::mlp(&[12, 32, 16, 4], Activation::Relu, &mut rng);
+        let mut fast = reference.clone();
+        fast.set_numeric_mode(NumericMode::Fast);
+        assert_eq!(fast.numeric_mode(), NumericMode::Fast);
+        assert_eq!(reference.numeric_mode(), NumericMode::Reference);
+
+        let mut vals = seeded(78);
+        let x = Matrix::from_vec(
+            9,
+            12,
+            (0..108).map(|_| vals.random::<f32>() * 2.0 - 1.0).collect(),
+        );
+        let want = reference.forward_inference(&x);
+        let got = fast.forward_inference(&x);
+        for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!(
+                (w - g).abs() <= 1e-4 * w.abs().max(1.0),
+                "inference diverged: {w} vs {g}"
+            );
+        }
+
+        // One training step in each mode stays within tolerance too.
+        let mut reference = reference;
+        let target = Matrix::zeros(9, 4);
+        for net in [&mut reference, &mut fast] {
+            net.zero_grad();
+            let out = net.forward(&x);
+            let (_, d) = loss::huber(&out, &target, 1.0);
+            net.backward(&d);
+            net.step(&mut Adam::new(1e-2), Some(1.0));
+        }
+        for (w, g) in reference.flatten_params().iter().zip(fast.flatten_params()) {
+            assert!(
+                (w - g).abs() <= 1e-4 * w.abs().max(1.0),
+                "post-step params diverged: {w} vs {g}"
+            );
         }
     }
 

@@ -155,13 +155,12 @@ impl Optimizer for Adam {
         *t += 1;
         let b1t = 1.0 - self.beta1.powi(*t as i32);
         let b2t = 1.0 - self.beta2.powi(*t as i32);
-        for i in 0..param.len() {
-            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
-            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
-            let m_hat = m[i] / b1t;
-            let v_hat = v[i] / b2t;
-            param[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-        }
+        // Elementwise, so the 8-lane kernel is bit-identical to the scalar
+        // loop (see `crowdrl_linalg::simd::adam_update`) and safe to use in
+        // every numeric mode.
+        crowdrl_linalg::simd::adam_update(
+            param, grad, m, v, self.lr, self.beta1, self.beta2, self.eps, b1t, b2t,
+        );
     }
 
     fn reset(&mut self) {

@@ -12,7 +12,7 @@
 //! ```
 
 use crate::replay::{ReplayBuffer, Transition};
-use crowdrl_linalg::Matrix;
+use crowdrl_linalg::{Matrix, NumericMode};
 use crowdrl_nn::{loss, Activation, Adam, Network};
 use crowdrl_obs as obs;
 use crowdrl_types::{Error, Result};
@@ -47,6 +47,11 @@ pub struct DqnConfig {
     /// network evaluates it, removing the max-operator's overestimation
     /// bias. `false` uses classical DQN targets.
     pub double_dqn: bool,
+    /// Matmul kernel selection for the Q-networks. `Reference` (default)
+    /// is the bit-pinned blocked kernel; `Fast` enables the SIMD kernels
+    /// for train-step forwards/backwards and batched inference.
+    /// Checkpoints and traces are NOT interchangeable across modes.
+    pub numeric: NumericMode,
 }
 
 impl Default for DqnConfig {
@@ -63,6 +68,7 @@ impl Default for DqnConfig {
             huber_delta: 1.0,
             grad_clip: 5.0,
             double_dqn: false,
+            numeric: NumericMode::default(),
         }
     }
 }
@@ -107,6 +113,38 @@ pub struct DqnAgent {
     /// step, parameter import, snapshot restore). External caches keyed on
     /// this generation can never serve activations from stale weights.
     params_generation: u64,
+    /// Bumped whenever the *target* network's parameters change (hard
+    /// sync, parameter import, snapshot restore). Keys the per-slot
+    /// bootstrap cache below.
+    target_generation: u64,
+    /// Per-replay-slot cached TD bootstrap `max_a' Q(s', a'; θ⁻)`, tagged
+    /// with the target generation it was computed under. Classical-DQN
+    /// bootstraps depend only on the stored successor candidates and the
+    /// target parameters — both fixed between hard syncs — so a cached
+    /// value is *bitwise* the value a fresh forward would produce (row
+    /// independence of the forward kernels). Entries are invalidated by
+    /// slot overwrite and by any target-generation bump; double-DQN
+    /// bypasses the cache entirely (its argmax tracks the online network,
+    /// which moves every step). This removes the dominant cost of
+    /// `train_step`: the stacked successor forward, which profiles ~5-10×
+    /// larger than the minibatch forward+backward itself.
+    bootstrap_cache: Vec<Option<(u64, f32)>>,
+    /// Reused minibatch buffers for [`train_step`](DqnAgent::train_step) —
+    /// pure scratch (fully rewritten every step), excluded from snapshots.
+    scratch_inputs: Option<Matrix>,
+    scratch_targets: Option<Matrix>,
+    scratch_bootstraps: Vec<f32>,
+}
+
+/// Reuse `slot` as an `rows x cols` scratch matrix when the shape already
+/// matches; otherwise reallocate. Contents are unspecified on return — the
+/// caller overwrites every element it reads.
+fn ensure_shape(slot: &mut Option<Matrix>, rows: usize, cols: usize) -> &mut Matrix {
+    match slot {
+        Some(m) if m.rows() == rows && m.cols() == cols => {}
+        _ => *slot = Some(Matrix::zeros(rows, cols)),
+    }
+    slot.as_mut().expect("scratch just ensured")
 }
 
 impl DqnAgent {
@@ -116,7 +154,8 @@ impl DqnAgent {
         let mut sizes = vec![config.input_dim];
         sizes.extend_from_slice(&config.hidden);
         sizes.push(1);
-        let online = Network::mlp(&sizes, Activation::Relu, rng);
+        let mut online = Network::mlp(&sizes, Activation::Relu, rng);
+        online.set_numeric_mode(config.numeric);
         let mut target = online.clone();
         target.copy_params_from(&online);
         let replay = ReplayBuffer::new(config.replay_capacity);
@@ -129,6 +168,11 @@ impl DqnAgent {
             opt,
             train_steps: 0,
             params_generation: 0,
+            target_generation: 0,
+            bootstrap_cache: Vec::new(),
+            scratch_inputs: None,
+            scratch_targets: None,
+            scratch_bootstraps: Vec::new(),
         })
     }
 
@@ -202,7 +246,10 @@ impl DqnAgent {
     /// Store a transition in the replay pool.
     pub fn remember(&mut self, t: Transition) {
         debug_assert_eq!(t.state_action.len(), self.config.input_dim);
-        self.replay.push(t);
+        let slot = self.replay.push(t);
+        if let Some(entry) = self.bootstrap_cache.get_mut(slot) {
+            *entry = None;
+        }
     }
 
     /// One minibatch TD update. Returns the Huber loss, or `None` when the
@@ -212,68 +259,144 @@ impl DqnAgent {
         if self.replay.len() < self.config.min_replay.max(1) {
             return None;
         }
-        let batch = self.replay.sample(self.config.batch_size, rng);
+        let batch = self.replay.sample_slots(self.config.batch_size, rng);
         let n = batch.len();
-
-        // Stack every transition's successor candidates into one matrix so
-        // the TD targets come from a *single* target-network forward (plus
-        // one online forward for double DQN) instead of one forward per
-        // transition. Rows pass through the network independently, so each
-        // per-segment value is bit-identical to a per-transition forward.
-        let mut inputs = Matrix::zeros(n, self.config.input_dim);
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0usize);
-        let mut successors: Vec<&[f32]> = Vec::new();
-        for (i, t) in batch.iter().enumerate() {
+        let inputs = ensure_shape(&mut self.scratch_inputs, n, self.config.input_dim);
+        for (i, (_, t)) in batch.iter().enumerate() {
             inputs.row_mut(i).copy_from_slice(&t.state_action);
-            if !t.terminal {
-                successors.extend(t.next_candidates.iter().map(Vec::as_slice));
-            }
-            offsets.push(successors.len());
         }
-        let (target_q, online_q) = if successors.is_empty() {
-            (Vec::new(), Vec::new())
-        } else {
-            let stacked = stack_refs(&successors, self.config.input_dim);
-            let tq = column0(&self.target.forward_inference(&stacked));
-            let oq = if self.config.double_dqn {
-                column0(&self.online.forward_inference(&stacked))
-            } else {
-                Vec::new()
-            };
-            (tq, oq)
-        };
 
-        let mut targets = Matrix::zeros(n, 1);
-        for (i, t) in batch.iter().enumerate() {
-            let (s, e) = (offsets[i], offsets[i + 1]);
-            let bootstrap = if s == e {
-                0.0 // terminal, or no successor candidates
-            } else if self.config.double_dqn {
-                // Double DQN: argmax under the online network, value under
-                // the target network. `max_by` keeps the last maximum,
-                // matching the per-transition scan.
+        // TD bootstraps. Classical DQN: per-slot cache keyed on the target
+        // generation — a hit is bitwise the value a fresh forward would
+        // produce (forwards are row-independent), so only cache misses are
+        // stacked into one target forward. Double DQN: the online argmax
+        // moves every gradient step, so every transition is recomputed via
+        // the original stacked path.
+        self.scratch_bootstraps.clear();
+        self.scratch_bootstraps.resize(n, 0.0);
+        let bootstraps = &mut self.scratch_bootstraps;
+        if self.config.double_dqn {
+            let mut offsets = Vec::with_capacity(n + 1);
+            offsets.push(0usize);
+            let mut successors: Vec<&[f32]> = Vec::new();
+            for (_, t) in &batch {
+                if !t.terminal {
+                    successors.extend(t.next_candidates.iter().map(Vec::as_slice));
+                }
+                offsets.push(successors.len());
+            }
+            let (target_q, online_q) = if successors.is_empty() {
+                (Vec::new(), Vec::new())
+            } else {
+                let stacked = stack_refs(&successors, self.config.input_dim);
+                (
+                    column0(&self.target.forward_inference(&stacked)),
+                    column0(&self.online.forward_inference(&stacked)),
+                )
+            };
+            for (i, _) in batch.iter().enumerate() {
+                let (s, e) = (offsets[i], offsets[i + 1]);
+                if s == e {
+                    continue; // terminal, or no successor candidates
+                }
+                // Argmax under the online network, value under the target
+                // network. `max_by` keeps the last maximum, matching the
+                // per-transition scan.
                 let best = online_q[s..e]
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                     .map(|(j, _)| j)
                     .unwrap_or(0);
-                target_q[s + best]
-            } else {
-                target_q[s..e]
-                    .iter()
-                    .copied()
-                    .fold(f32::NEG_INFINITY, f32::max)
-            };
-            targets.set(i, 0, t.reward + self.config.gamma * bootstrap);
+                bootstraps[i] = target_q[s + best];
+            }
+        } else {
+            let generation = self.target_generation;
+            let mut misses: Vec<usize> = Vec::new(); // positions in `batch`
+            let mut miss_group: Vec<usize> = Vec::new(); // parallel to `misses`
+                                                         // Transitions remembered from one assignment batch share one
+                                                         // `Arc` of successor candidates, and the bootstrap is a pure
+                                                         // function of that candidate set (row-independent forwards, max
+                                                         // folded in candidate order) — so misses are grouped by Arc
+                                                         // identity and each distinct set is forwarded once. After a
+                                                         // target sync invalidates the whole cache this collapses the
+                                                         // recompute storm by the sharing factor, without changing any
+                                                         // bit of any bootstrap.
+            let mut group_ptrs: Vec<*const Vec<f32>> = Vec::new();
+            let mut offsets: Vec<usize> = Vec::new(); // per group
+            let mut successors: Vec<&[f32]> = Vec::new();
+            let mut hits = 0usize;
+            for (i, (slot, t)) in batch.iter().enumerate() {
+                if let Some(Some((cached_gen, value))) = self.bootstrap_cache.get(*slot) {
+                    if *cached_gen == generation {
+                        bootstraps[i] = *value;
+                        hits += 1;
+                        continue;
+                    }
+                }
+                if t.terminal || t.next_candidates.is_empty() {
+                    // Bootstrap is identically 0 — cache that too so the
+                    // slot never re-enters the miss scan.
+                    if self.bootstrap_cache.len() <= *slot {
+                        self.bootstrap_cache.resize(*slot + 1, None);
+                    }
+                    self.bootstrap_cache[*slot] = Some((generation, 0.0));
+                    continue;
+                }
+                let ptr = t.next_candidates.as_ptr();
+                let group = group_ptrs.iter().position(|&p| std::ptr::eq(p, ptr));
+                misses.push(i);
+                miss_group.push(group.unwrap_or_else(|| {
+                    group_ptrs.push(ptr);
+                    offsets.push(successors.len());
+                    successors.extend(t.next_candidates.iter().map(Vec::as_slice));
+                    group_ptrs.len() - 1
+                }));
+            }
+            offsets.push(successors.len());
+            if !successors.is_empty() {
+                let stacked = stack_refs(&successors, self.config.input_dim);
+                let target_q = column0(&self.target.forward_inference(&stacked));
+                let group_values: Vec<f32> = (0..group_ptrs.len())
+                    .map(|g| {
+                        target_q[offsets[g]..offsets[g + 1]]
+                            .iter()
+                            .copied()
+                            .fold(f32::NEG_INFINITY, f32::max)
+                    })
+                    .collect();
+                for (m, &i) in misses.iter().enumerate() {
+                    let value = group_values[miss_group[m]];
+                    bootstraps[i] = value;
+                    let slot = batch[i].0;
+                    if self.bootstrap_cache.len() <= slot {
+                        self.bootstrap_cache.resize(slot + 1, None);
+                    }
+                    self.bootstrap_cache[slot] = Some((generation, value));
+                }
+            }
+            if obs::enabled() {
+                obs::counter_add("dqn.bootstrap.cache_hits", hits as u64);
+                obs::counter_add("dqn.bootstrap.cache_misses", (n - hits) as u64);
+            }
         }
 
+        let targets = ensure_shape(&mut self.scratch_targets, n, 1);
+        for (i, (_, t)) in batch.iter().enumerate() {
+            targets.set(i, 0, t.reward + self.config.gamma * bootstraps[i]);
+        }
+
+        let fwd_span = obs::span("dqn.fwd");
         self.online.zero_grad();
-        let pred = self.online.forward(&inputs);
-        let (l, d) = loss::huber(&pred, &targets, self.config.huber_delta);
+        let pred = self.online.forward(&*inputs);
+        let (l, d) = loss::huber(&pred, &*targets, self.config.huber_delta);
+        drop(fwd_span);
+        let bwd_span = obs::span("dqn.bwd");
         self.online.backward(&d);
+        drop(bwd_span);
+        let step_span = obs::span("dqn.step");
         self.online.step(&mut self.opt, Some(self.config.grad_clip));
+        drop(step_span);
         self.train_steps += 1;
         self.params_generation += 1;
         if self
@@ -281,6 +404,7 @@ impl DqnAgent {
             .is_multiple_of(self.config.target_sync_every)
         {
             self.target.copy_params_from(&self.online);
+            self.target_generation += 1;
         }
         if obs::enabled() {
             // Pure reads into the trace: loss, predicted-Q spread, and
@@ -304,6 +428,7 @@ impl DqnAgent {
     /// Force a target-network sync (e.g. at episode boundaries).
     pub fn sync_target(&mut self) {
         self.target.copy_params_from(&self.online);
+        self.target_generation += 1;
     }
 
     /// Serialize the online network's parameters (for cross-training: train
@@ -324,6 +449,7 @@ impl DqnAgent {
         self.online.load_params(params);
         self.target.load_params(params);
         self.params_generation += 1;
+        self.target_generation += 1;
         Ok(())
     }
 
@@ -373,6 +499,12 @@ impl DqnAgent {
         );
         self.train_steps = snap.train_steps;
         self.params_generation += 1;
+        // The restored target weights and replay slots need not match
+        // whatever this agent held before: discard every cached bootstrap.
+        // (A resumed run recomputes values bitwise-identical to the warm
+        // cache an uninterrupted run carries, so resume stays bit-exact.)
+        self.target_generation += 1;
+        self.bootstrap_cache.clear();
         Ok(())
     }
 }
@@ -492,7 +624,7 @@ mod tests {
             agent.remember(Transition {
                 state_action: vec![0.0, 0.0],
                 reward: 1.0,
-                next_candidates: vec![],
+                next_candidates: vec![].into(),
                 terminal: true,
             });
         }
@@ -510,13 +642,13 @@ mod tests {
             agent.remember(Transition {
                 state_action: vec![1.0, 0.0],
                 reward: 1.0,
-                next_candidates: vec![],
+                next_candidates: vec![].into(),
                 terminal: true,
             });
             agent.remember(Transition {
                 state_action: vec![0.0, 1.0],
                 reward: 0.0,
-                next_candidates: vec![],
+                next_candidates: vec![].into(),
                 terminal: true,
             });
         }
@@ -543,14 +675,14 @@ mod tests {
             agent.remember(Transition {
                 state_action: vec![1.0, 0.0],
                 reward: 0.0,
-                next_candidates: vec![vec![0.0, 1.0]],
+                next_candidates: vec![vec![0.0, 1.0]].into(),
                 terminal: false,
             });
             // Successor action: terminal reward 1.
             agent.remember(Transition {
                 state_action: vec![0.0, 1.0],
                 reward: 1.0,
-                next_candidates: vec![],
+                next_candidates: vec![].into(),
                 terminal: true,
             });
         }
@@ -576,13 +708,13 @@ mod tests {
             agent.remember(Transition {
                 state_action: vec![1.0, 0.0],
                 reward: 1.0,
-                next_candidates: vec![],
+                next_candidates: vec![].into(),
                 terminal: true,
             });
             agent.remember(Transition {
                 state_action: vec![0.0, 1.0],
                 reward: 0.0,
-                next_candidates: vec![],
+                next_candidates: vec![].into(),
                 terminal: true,
             });
         }
@@ -604,13 +736,13 @@ mod tests {
             agent.remember(Transition {
                 state_action: vec![1.0, 0.0],
                 reward: 0.0,
-                next_candidates: vec![vec![0.0, 1.0]],
+                next_candidates: vec![vec![0.0, 1.0]].into(),
                 terminal: false,
             });
             agent.remember(Transition {
                 state_action: vec![0.0, 1.0],
                 reward: 1.0,
-                next_candidates: vec![],
+                next_candidates: vec![].into(),
                 terminal: true,
             });
         }
@@ -687,7 +819,7 @@ mod tests {
                 agent.remember(Transition {
                     state_action: vec![i as f32 / 32.0, 1.0 - i as f32 / 32.0],
                     reward: (i % 5) as f32 / 5.0,
-                    next_candidates: cands,
+                    next_candidates: cands.into(),
                     terminal,
                 });
             }
@@ -702,6 +834,64 @@ mod tests {
                 reference.export_params(),
                 "double={double}"
             );
+        }
+    }
+
+    /// The bootstrap cache must be value-transparent: many steps of the
+    /// cached `train_step` — across target syncs (cache invalidation by
+    /// generation), ring evictions (invalidation by slot overwrite) and
+    /// fresh pushes — produce bitwise the same parameters as the
+    /// per-transition reference recomputing every bootstrap from scratch.
+    #[test]
+    fn bootstrap_cache_is_bitwise_transparent_across_steps() {
+        let mut rng = seeded(51);
+        let mut config = small_config();
+        config.min_replay = 8;
+        config.batch_size = 8;
+        config.replay_capacity = 24; // small ring: pushes below overwrite slots
+        config.target_sync_every = 5; // several generation bumps in 30 steps
+        let mut agent = DqnAgent::new(config, &mut rng).unwrap();
+        let make = |i: usize| Transition {
+            state_action: vec![(i % 7) as f32 / 7.0, ((i * 3) % 5) as f32 / 5.0],
+            reward: (i % 4) as f32 / 4.0,
+            next_candidates: match i % 3 {
+                0 => vec![],
+                1 => vec![vec![0.2, 0.5]],
+                _ => vec![vec![0.1, -0.3], vec![0.9, 0.4]],
+            }
+            .into(),
+            terminal: i.is_multiple_of(5),
+        };
+        for i in 0..24 {
+            agent.remember(make(i));
+        }
+        let mut reference = agent.clone();
+        reference.bootstrap_cache.clear(); // reference never reuses
+        let mut rng_a = seeded(52);
+        let mut rng_b = seeded(52);
+        for step in 0..30 {
+            let la = agent.train_step(&mut rng_a).unwrap();
+            let lb = reference_train_step(&mut reference, &mut rng_b).unwrap();
+            // Mirror train_step's target sync in the reference (the helper
+            // predates syncing) and keep its cache permanently cold.
+            if reference
+                .train_steps
+                .is_multiple_of(reference.config.target_sync_every)
+            {
+                reference.target.copy_params_from(&reference.online);
+            }
+            reference.bootstrap_cache.clear();
+            assert_eq!(la.to_bits(), lb.to_bits(), "loss diverged at step {step}");
+            assert_eq!(
+                agent.export_params(),
+                reference.export_params(),
+                "params diverged at step {step}"
+            );
+            // Interleave pushes so ring slots get overwritten mid-stream.
+            if step % 3 == 0 {
+                agent.remember(make(24 + step));
+                reference.remember(make(24 + step));
+            }
         }
     }
 
@@ -743,7 +933,8 @@ mod tests {
                     vec![vec![0.2, 0.8]]
                 } else {
                     vec![]
-                },
+                }
+                .into(),
                 terminal: i % 2 == 1,
             });
         }
@@ -781,7 +972,7 @@ mod tests {
             agent.remember(Transition {
                 state_action: vec![i as f32, 0.0],
                 reward: 0.1,
-                next_candidates: vec![],
+                next_candidates: vec![].into(),
                 terminal: true,
             });
         }
@@ -810,7 +1001,7 @@ mod tests {
             agent.remember(Transition {
                 state_action: vec![i as f32 / 8.0, 0.0],
                 reward: 0.5,
-                next_candidates: vec![],
+                next_candidates: vec![].into(),
                 terminal: true,
             });
         }

@@ -135,7 +135,7 @@ mod tests {
         Transition {
             state_action: vec![tag],
             reward: tag,
-            next_candidates: vec![],
+            next_candidates: vec![].into(),
             terminal: true,
         }
     }

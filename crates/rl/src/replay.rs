@@ -4,6 +4,7 @@
 
 use crowdrl_types::rng::sample_indices;
 use rand::Rng;
+use std::sync::Arc;
 
 /// One stored experience.
 ///
@@ -18,8 +19,11 @@ pub struct Transition {
     /// Immediate reward `r(t)`.
     pub reward: f32,
     /// Feature embeddings of candidate actions in the next state; empty
-    /// for terminal transitions.
-    pub next_candidates: Vec<Vec<f32>>,
+    /// for terminal transitions. Shared (`Arc`) because every transition
+    /// remembered from one assignment batch sees the same successor
+    /// candidate set — sharing turns the per-transition deep clone of up
+    /// to `candidate_cap` embedding vectors into one refcount bump.
+    pub next_candidates: Arc<[Vec<f32>]>,
     /// Whether the episode ended after this transition.
     pub terminal: bool,
 }
@@ -71,14 +75,19 @@ impl ReplayBuffer {
         self.pushed
     }
 
-    /// Insert a transition, evicting the oldest when full.
-    pub fn push(&mut self, t: Transition) {
+    /// Insert a transition, evicting the oldest when full. Returns the
+    /// physical slot index written, so callers holding per-slot caches
+    /// (e.g. TD-bootstrap values) know exactly which entry to invalidate.
+    pub fn push(&mut self, t: Transition) -> usize {
         self.pushed += 1;
         if self.buf.len() < self.capacity {
             self.buf.push(t);
+            self.buf.len() - 1
         } else {
-            self.buf[self.head] = t;
+            let slot = self.head;
+            self.buf[slot] = t;
             self.head = (self.head + 1) % self.capacity;
+            slot
         }
     }
 
@@ -86,6 +95,19 @@ impl ReplayBuffer {
     pub fn sample<'a, R: Rng + ?Sized>(&'a self, batch: usize, rng: &mut R) -> Vec<&'a Transition> {
         let idx = sample_indices(rng, self.buf.len(), batch);
         idx.into_iter().map(|i| &self.buf[i]).collect()
+    }
+
+    /// Sample up to `batch` distinct transitions uniformly, returning each
+    /// with its physical slot index. Draws the identical index sequence as
+    /// [`ReplayBuffer::sample`] for the same RNG state, so the two are
+    /// interchangeable without perturbing determinism.
+    pub fn sample_slots<'a, R: Rng + ?Sized>(
+        &'a self,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<(usize, &'a Transition)> {
+        let idx = sample_indices(rng, self.buf.len(), batch);
+        idx.into_iter().map(|i| (i, &self.buf[i])).collect()
     }
 
     /// Drop everything.
@@ -126,7 +148,7 @@ mod tests {
         Transition {
             state_action: vec![tag],
             reward: tag,
-            next_candidates: vec![],
+            next_candidates: vec![].into(),
             terminal: false,
         }
     }

@@ -1308,7 +1308,7 @@ mod tests {
                     replay: vec![Transition {
                         state_action: vec![0.25],
                         reward: -0.5,
-                        next_candidates: vec![vec![1.0], vec![2.0]],
+                        next_candidates: vec![vec![1.0], vec![2.0]].into(),
                         terminal: false,
                     }],
                     replay_head: 1,

@@ -39,6 +39,7 @@ use crowdrl_types::{
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// The budget as the agent is allowed to see it: real charges plus the
 /// ledger's outstanding reservations.
@@ -70,8 +71,11 @@ impl BudgetView {
 /// A refresh request from the event pump.
 #[derive(Debug, Clone)]
 pub struct RefreshRequest {
-    /// All answers ingested so far.
-    pub answers: AnswerSet,
+    /// All answers ingested so far. Shared with the pump's live copy —
+    /// the pump hands out a cheap `Arc` clone per refresh instead of
+    /// deep-copying the whole answer set, and resumes sole ownership
+    /// (copy-on-write) once the core drops the request.
+    pub answers: Arc<AnswerSet>,
     /// Budget state including reservations.
     pub view: BudgetView,
     /// Objects the agent must not select: currently in flight, or
@@ -108,7 +112,7 @@ pub struct RefreshReply {
 #[derive(Debug, Clone)]
 pub struct FinalizeRequest {
     /// All answers ingested over the run.
-    pub answers: AnswerSet,
+    pub answers: Arc<AnswerSet>,
     /// Real budget charges.
     pub budget_spent: f64,
 }
@@ -626,9 +630,18 @@ impl<'a> AgentCore<'a> {
     ///
     /// [`refresh`]: AgentCore::refresh
     pub fn train(&mut self) {
+        let train_span = obs::span(&self.scoped("serve.train"));
         let td = self
             .agent
             .train(self.config.train_steps_per_iter, &mut self.rng);
+        drop(train_span);
+        if obs::enabled() {
+            // Cumulative scratch-buffer accounting for the Q-network's
+            // reused forward/backward buffers (alloc traffic saved).
+            let (reuses, bytes) = self.agent.dqn().online_network().scratch_stats();
+            obs::gauge(&self.scoped("serve.scratch.reuses"), reuses as f64);
+            obs::gauge(&self.scoped("serve.scratch.bytes"), bytes as f64);
+        }
         if let Some(last) = self.trace.last_mut() {
             last.td_loss = td;
         }
@@ -733,12 +746,14 @@ impl<'a> AgentCore<'a> {
         // The watermark refresh scores its candidates through the feature
         // cache: one batched forward over the objects the classifier's
         // current generation has not scored yet, cached rows for the rest.
+        let feat_span = obs::span("decide.features");
         self.feature_cache
             .refresh(self.dataset, &self.classifier, &req.answers, &chosen);
         let candidates: Vec<(ObjectId, Vec<f64>)> = chosen
             .into_iter()
             .map(|obj| (obj, self.feature_cache.probs(obj).to_vec()))
             .collect();
+        drop(feat_span);
 
         // Pacing: the per-refresh allowance is fixed at the first
         // decision, like the batch workflow's per-iteration allowance.

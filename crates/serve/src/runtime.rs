@@ -47,6 +47,7 @@ use crowdrl_types::{
 };
 use rand::Rng;
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything a run produces.
@@ -263,7 +264,10 @@ struct Pump<'a> {
     queue: EventQueue,
     ledger: AssignmentLedger,
     budget: Budget,
-    answers: AnswerSet,
+    /// Shared with the core during each refresh (cheap `Arc` clone); the
+    /// pump mutates through `Arc::make_mut`, which stays in-place once
+    /// the core has dropped its copy.
+    answers: Arc<AnswerSet>,
     collector: MetricsCollector,
     trace: Vec<TraceEvent>,
     /// Sampled label per assignment id (None = the annotator dropped it).
@@ -297,7 +301,7 @@ impl<'a> Pump<'a> {
             queue: EventQueue::new(),
             ledger: AssignmentLedger::new(),
             budget: Budget::new(budget)?,
-            answers: AnswerSet::new(dataset.len()),
+            answers: Arc::new(AnswerSet::new(dataset.len())),
             collector: MetricsCollector::new(),
             trace: Vec::new(),
             labels_by_id: Vec::new(),
@@ -360,7 +364,7 @@ impl<'a> Pump<'a> {
             queue: EventQueue::restore(state.now, state.next_seq, state.events)?,
             ledger: AssignmentLedger::restore(state.records)?,
             budget: Budget::restore(state.budget_total, state.budget_spent, state.budget_charges)?,
-            answers: state.answers,
+            answers: Arc::new(state.answers),
             collector,
             trace: state.trace,
             labels_by_id: state.labels_by_id,
@@ -387,7 +391,7 @@ impl<'a> Pump<'a> {
             budget_total: self.budget.total(),
             budget_spent: self.budget.spent(),
             budget_charges: self.budget.charge_count(),
-            answers: self.answers.clone(),
+            answers: (*self.answers).clone(),
             latencies: self.collector.latencies.clone(),
             dispatched: self.collector.dispatched,
             delivered: self.collector.delivered,
@@ -448,7 +452,10 @@ impl<'a> Pump<'a> {
         }
         let dispatched = jobs.len();
         self.collector.dispatched += dispatched;
-        for outcome in driver.sample(jobs)? {
+        let sample_span = obs::span("serve.sample");
+        let outcomes = driver.sample(jobs)?;
+        drop(sample_span);
+        for outcome in outcomes {
             debug_assert_eq!(outcome.id.0 as usize, self.labels_by_id.len());
             let (response, duplicate_at) = match &self.injector {
                 Some(injector) => {
@@ -504,7 +511,7 @@ impl<'a> Pump<'a> {
             );
         }
         let reply = driver.refresh(RefreshRequest {
-            answers: self.answers.clone(),
+            answers: Arc::clone(&self.answers),
             view: BudgetView {
                 total: self.budget.total(),
                 spent: self.budget.spent(),
@@ -563,7 +570,7 @@ impl<'a> Pump<'a> {
                         .copied()
                         .flatten()
                         .ok_or(ServeError::MissingLabel(id))?;
-                    self.answers.record(Answer {
+                    Arc::make_mut(&mut self.answers).record(Answer {
                         object: record.object,
                         annotator: record.annotator,
                         label,
@@ -685,7 +692,7 @@ impl<'a> Pump<'a> {
             }
         }
         let outcome = driver.finalize(FinalizeRequest {
-            answers: self.answers.clone(),
+            answers: Arc::clone(&self.answers),
             budget_spent: self.budget.spent(),
         })?;
         let metrics = self.collector.finish(
@@ -784,6 +791,12 @@ impl AsyncRuntime {
         }
         obs::init_from_env();
         let run_span = obs::span("serve.run");
+        if obs::enabled() {
+            // Which numeric floor this run can dispatch to (the kernels
+            // actually used depend on the config's numeric mode).
+            obs::annotate("simd.kernel", crowdrl_linalg::simd::kernel_name());
+            obs::gauge("simd.lanes", crowdrl_linalg::simd::lanes() as f64);
+        }
         // Consumed in both paths so a resume's rng stream lines up with
         // the original run's (dynamics draw + core-seed draw).
         let dynamics = self.serve.dynamics.generate(pool, rng)?;
@@ -870,6 +883,11 @@ impl AsyncRuntime {
                             match msg {
                                 ToAgent::Refresh(req) => {
                                     let reply = core.refresh(&req);
+                                    // Release the shared answer set *before*
+                                    // replying so the pump deterministically
+                                    // regains sole ownership (its next
+                                    // `Arc::make_mut` stays in place).
+                                    drop(req);
                                     if agent_tx.send(FromAgent::Decision(reply)).is_err() {
                                         break;
                                     }

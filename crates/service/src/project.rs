@@ -7,6 +7,7 @@ use crowdrl_serve::metrics::MetricsCollector;
 use crowdrl_serve::ServiceMetrics;
 use crowdrl_types::{AnswerSet, ObjectId, SimTime};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Where a project is in its service lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +37,10 @@ pub(crate) struct Project<'a> {
     /// The project's event-loop partitions.
     pub shards: Vec<Shard>,
     /// Merged answers across shards, in deterministic merge order.
-    pub answers: AnswerSet,
+    /// Shared with the core per refresh as a cheap `Arc` clone; the
+    /// merge mutates through `Arc::make_mut` (in place once the round's
+    /// requests are dropped).
+    pub answers: Arc<AnswerSet>,
     /// Answers merged since the last refresh.
     pub answers_since: usize,
     /// Watermark reading at the last refresh.

@@ -54,6 +54,7 @@ use crowdrl_sim::{AnnotatorDynamics, AnnotatorPool};
 use crowdrl_types::{AnnotatorId, Answer, AnswerSet, AssignmentId, Error, Result, SimTime};
 use rand::Rng;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Sampling fan-out granularity (assignments per worker chunk).
@@ -218,7 +219,7 @@ impl<'a> Engine<'a> {
                 priority: spec.priority,
                 core,
                 shards: Vec::new(),
-                answers: AnswerSet::new(spec.dataset.len()),
+                answers: Arc::new(AnswerSet::new(spec.dataset.len())),
                 answers_since: 0,
                 last_refresh: SimTime::ZERO,
                 requeues: vec![0; spec.dataset.len()],
@@ -457,7 +458,7 @@ impl<'a> Engine<'a> {
                 self.accounts.charge(i, cost)?;
                 self.broker.release(annotator.index());
                 let p = self.projects[i].as_mut().expect("active project");
-                p.answers.record(Answer {
+                Arc::make_mut(&mut p.answers).record(Answer {
                     object,
                     annotator,
                     label,
@@ -540,7 +541,7 @@ impl<'a> Engine<'a> {
         for &i in due {
             let p = self.project(i);
             requests.push(RefreshRequest {
-                answers: p.answers.clone(),
+                answers: Arc::clone(&p.answers),
                 view: BudgetView {
                     total: self.accounts.total(i),
                     spent: self.accounts.spent(i),
@@ -636,7 +637,7 @@ impl<'a> Engine<'a> {
         let spent = self.accounts.spent(i);
         let p = self.projects[i].as_mut().expect("active project");
         let request = FinalizeRequest {
-            answers: p.answers.clone(),
+            answers: Arc::clone(&p.answers),
             budget_spent: spent,
         };
         let outcome = p.core.finalize(&request)?;
