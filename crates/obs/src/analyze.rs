@@ -517,6 +517,9 @@ pub fn report(trace: &Trace) -> String {
                 || name == "retry.count"
                 || name.starts_with("quarantine.")
                 || name.starts_with("checkpoint.")
+                || name.starts_with("service.checkpoint.")
+                || name == "service.project_failed"
+                || name.starts_with("admission.")
         })
         .collect();
     if !recovery.is_empty() {
@@ -532,7 +535,12 @@ pub fn report(trace: &Trace) -> String {
         for (name, v) in &recovery {
             let _ = writeln!(out, "{name:<28} {v}");
         }
-        for gauge in ["checkpoint.write_ns", "checkpoint.restore_ns"] {
+        for gauge in [
+            "checkpoint.write_ns",
+            "checkpoint.restore_ns",
+            "service.checkpoint.write_ns",
+            "service.checkpoint.restore_ns",
+        ] {
             let series = trace.gauge_series(gauge);
             if series.is_empty() {
                 continue;

@@ -158,7 +158,8 @@ fn corrupt(msg: impl Into<String>) -> crowdrl_types::Error {
 // Primitive encoders / decoders
 // ---------------------------------------------------------------------------
 
-fn obj<const N: usize>(entries: [(&str, Value); N]) -> Value {
+/// Build a JSON object in deterministic (BTreeMap) key order.
+pub fn obj<const N: usize>(entries: [(&str, Value); N]) -> Value {
     Value::Obj(
         entries
             .into_iter()
@@ -167,25 +168,29 @@ fn obj<const N: usize>(entries: [(&str, Value); N]) -> Value {
     )
 }
 
-fn num(n: usize) -> Value {
+/// A small exact count as a plain JSON number.
+pub fn num(n: usize) -> Value {
     // Plain JSON numbers are exact below 2^53 — far beyond any count here.
     Value::Num(n as f64)
 }
 
-fn hex_u64(v: u64) -> Value {
+/// A `u64` as a 16-hex-digit string (JSON numbers are only exact below 2^53).
+pub fn hex_u64(v: u64) -> Value {
     Value::Str(format!("{v:016x}"))
 }
 
-fn bits_f64(v: f64) -> Value {
+/// An `f64` as its 16-hex-digit IEEE bit pattern.
+pub fn bits_f64(v: f64) -> Value {
     Value::Str(format!("{:016x}", v.to_bits()))
 }
 
-fn bits_f32(v: f32) -> Value {
+/// An `f32` as its 8-hex-digit IEEE bit pattern.
+pub fn bits_f32(v: f32) -> Value {
     Value::Str(format!("{:08x}", v.to_bits()))
 }
 
 /// Concatenated 16-hex-digit bit patterns, one per f64.
-fn f64s(xs: &[f64]) -> Value {
+pub fn f64s(xs: &[f64]) -> Value {
     let mut s = String::with_capacity(xs.len() * 16);
     for x in xs {
         s.push_str(&format!("{:016x}", x.to_bits()));
@@ -194,7 +199,7 @@ fn f64s(xs: &[f64]) -> Value {
 }
 
 /// Concatenated 8-hex-digit bit patterns, one per f32.
-fn f32s(xs: &[f32]) -> Value {
+pub fn f32s(xs: &[f32]) -> Value {
     let mut s = String::with_capacity(xs.len() * 8);
     for x in xs {
         s.push_str(&format!("{:08x}", x.to_bits()));
@@ -202,12 +207,14 @@ fn f32s(xs: &[f32]) -> Value {
     Value::Str(s)
 }
 
-fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value> {
+/// Look up a required object field.
+pub fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value> {
     v.get(key)
         .ok_or_else(|| corrupt(format!("missing field {key:?}")))
 }
 
-fn get_usize(v: &Value, key: &str) -> Result<usize> {
+/// Decode a non-negative integral count field.
+pub fn get_usize(v: &Value, key: &str) -> Result<usize> {
     let n = field(v, key)?
         .as_f64()
         .ok_or_else(|| corrupt(format!("field {key:?} is not a number")))?;
@@ -217,11 +224,13 @@ fn get_usize(v: &Value, key: &str) -> Result<usize> {
     Ok(n as usize)
 }
 
-fn get_u64_plain(v: &Value, key: &str) -> Result<u64> {
+/// Decode a `u64` stored as a plain JSON number.
+pub fn get_u64_plain(v: &Value, key: &str) -> Result<u64> {
     Ok(get_usize(v, key)? as u64)
 }
 
-fn parse_hex_u64(s: &str, what: &str) -> Result<u64> {
+/// Parse exactly 16 hex digits into a `u64`.
+pub fn parse_hex_u64(s: &str, what: &str) -> Result<u64> {
     if s.len() != 16 {
         return Err(corrupt(format!(
             "{what}: expected 16 hex digits, got {s:?}"
@@ -230,35 +239,41 @@ fn parse_hex_u64(s: &str, what: &str) -> Result<u64> {
     u64::from_str_radix(s, 16).map_err(|_| corrupt(format!("{what}: bad hex {s:?}")))
 }
 
-fn get_hex_u64(v: &Value, key: &str) -> Result<u64> {
+/// Decode a `u64` field stored as 16 hex digits.
+pub fn get_hex_u64(v: &Value, key: &str) -> Result<u64> {
     let s = get_str(v, key)?;
     parse_hex_u64(s, key)
 }
 
-fn get_str<'v>(v: &'v Value, key: &str) -> Result<&'v str> {
+/// Decode a string field.
+pub fn get_str<'v>(v: &'v Value, key: &str) -> Result<&'v str> {
     field(v, key)?
         .as_str()
         .ok_or_else(|| corrupt(format!("field {key:?} is not a string")))
 }
 
-fn get_bool(v: &Value, key: &str) -> Result<bool> {
+/// Decode a bool field.
+pub fn get_bool(v: &Value, key: &str) -> Result<bool> {
     match field(v, key)? {
         Value::Bool(b) => Ok(*b),
         _ => Err(corrupt(format!("field {key:?} is not a bool"))),
     }
 }
 
-fn get_arr<'v>(v: &'v Value, key: &str) -> Result<&'v [Value]> {
+/// Decode an array field.
+pub fn get_arr<'v>(v: &'v Value, key: &str) -> Result<&'v [Value]> {
     field(v, key)?
         .as_arr()
         .ok_or_else(|| corrupt(format!("field {key:?} is not an array")))
 }
 
-fn get_f64_bits(v: &Value, key: &str) -> Result<f64> {
+/// Decode an `f64` field stored as its bit pattern.
+pub fn get_f64_bits(v: &Value, key: &str) -> Result<f64> {
     Ok(f64::from_bits(get_hex_u64(v, key)?))
 }
 
-fn parse_f64s(s: &str, what: &str) -> Result<Vec<f64>> {
+/// Parse a concatenated 16-hex-chunk string into `f64`s.
+pub fn parse_f64s(s: &str, what: &str) -> Result<Vec<f64>> {
     if !s.len().is_multiple_of(16) {
         return Err(corrupt(format!("{what}: length not a multiple of 16")));
     }
@@ -267,7 +282,8 @@ fn parse_f64s(s: &str, what: &str) -> Result<Vec<f64>> {
         .collect()
 }
 
-fn parse_f32s(s: &str, what: &str) -> Result<Vec<f32>> {
+/// Parse a concatenated 8-hex-chunk string into `f32`s.
+pub fn parse_f32s(s: &str, what: &str) -> Result<Vec<f32>> {
     if !s.len().is_multiple_of(8) {
         return Err(corrupt(format!("{what}: length not a multiple of 8")));
     }
@@ -280,27 +296,32 @@ fn parse_f32s(s: &str, what: &str) -> Result<Vec<f32>> {
         .collect()
 }
 
-fn get_f64s(v: &Value, key: &str) -> Result<Vec<f64>> {
+/// Decode an `f64`-slice field (concatenated bit patterns).
+pub fn get_f64s(v: &Value, key: &str) -> Result<Vec<f64>> {
     parse_f64s(get_str(v, key)?, key)
 }
 
-fn get_f32s(v: &Value, key: &str) -> Result<Vec<f32>> {
+/// Decode an `f32`-slice field (concatenated bit patterns).
+pub fn get_f32s(v: &Value, key: &str) -> Result<Vec<f32>> {
     parse_f32s(get_str(v, key)?, key)
 }
 
-fn get_sim_time(v: &Value, key: &str) -> Result<SimTime> {
+/// Decode a `SimTime` field stored as an `f64` bit pattern.
+pub fn get_sim_time(v: &Value, key: &str) -> Result<SimTime> {
     SimTime::new(get_f64_bits(v, key)?)
         .map_err(|e| corrupt(format!("field {key:?} is not a valid time: {e}")))
 }
 
-fn opt<T>(value: Option<T>, enc: impl Fn(T) -> Value) -> Value {
+/// Encode an optional value, `Null` when absent.
+pub fn opt<T>(value: Option<T>, enc: impl Fn(T) -> Value) -> Value {
     match value {
         Some(x) => enc(x),
         None => Value::Null,
     }
 }
 
-fn arr_usize(v: &Value, key: &str) -> Result<Vec<usize>> {
+/// Decode an array-of-counts field.
+pub fn arr_usize(v: &Value, key: &str) -> Result<Vec<usize>> {
     get_arr(v, key)?
         .iter()
         .map(|x| {
@@ -319,7 +340,8 @@ fn arr_usize(v: &Value, key: &str) -> Result<Vec<usize>> {
 // Pump state
 // ---------------------------------------------------------------------------
 
-fn enc_event(e: &Event) -> Value {
+/// Encode a pending scheduler event.
+pub fn enc_event(e: &Event) -> Value {
     let (kind, id) = match e.kind {
         EventKind::Deliver(id) => ("deliver", id),
         EventKind::Expire(id) => ("expire", id),
@@ -332,7 +354,8 @@ fn enc_event(e: &Event) -> Value {
     ])
 }
 
-fn dec_event(v: &Value) -> Result<Event> {
+/// Decode a pending scheduler event.
+pub fn dec_event(v: &Value) -> Result<Event> {
     let id = AssignmentId(get_hex_u64(v, "id")?);
     let kind = match get_str(v, "kind")? {
         "deliver" => EventKind::Deliver(id),
@@ -346,7 +369,8 @@ fn dec_event(v: &Value) -> Result<Event> {
     })
 }
 
-fn enc_record(r: &AssignmentRecord) -> Value {
+/// Encode a ledger assignment record.
+pub fn enc_record(r: &AssignmentRecord) -> Value {
     let status = match r.status {
         AssignmentStatus::InFlight => "in_flight",
         AssignmentStatus::Delivered => "delivered",
@@ -363,7 +387,8 @@ fn enc_record(r: &AssignmentRecord) -> Value {
     ])
 }
 
-fn dec_record(v: &Value) -> Result<AssignmentRecord> {
+/// Decode a ledger assignment record.
+pub fn dec_record(v: &Value) -> Result<AssignmentRecord> {
     let status = match get_str(v, "status")? {
         "in_flight" => AssignmentStatus::InFlight,
         "delivered" => AssignmentStatus::Delivered,
@@ -381,7 +406,8 @@ fn dec_record(v: &Value) -> Result<AssignmentRecord> {
     })
 }
 
-fn enc_trace_event(e: &TraceEvent) -> Value {
+/// Encode an observable trace event.
+pub fn enc_trace_event(e: &TraceEvent) -> Value {
     match e {
         TraceEvent::Dispatched {
             at,
@@ -435,7 +461,8 @@ fn enc_trace_event(e: &TraceEvent) -> Value {
     }
 }
 
-fn dec_trace_event(v: &Value) -> Result<TraceEvent> {
+/// Decode an observable trace event.
+pub fn dec_trace_event(v: &Value) -> Result<TraceEvent> {
     let at = get_sim_time(v, "at")?;
     Ok(match get_str(v, "t")? {
         "dispatched" => TraceEvent::Dispatched {
@@ -475,7 +502,8 @@ fn dec_trace_event(v: &Value) -> Result<TraceEvent> {
     })
 }
 
-fn enc_answers(answers: &AnswerSet) -> Value {
+/// Encode an answer set as per-object (annotator, class) pairs.
+pub fn enc_answers(answers: &AnswerSet) -> Value {
     Value::Arr(
         (0..answers.num_objects())
             .map(|i| {
@@ -491,7 +519,8 @@ fn enc_answers(answers: &AnswerSet) -> Value {
     )
 }
 
-fn dec_answers(v: &Value, key: &str) -> Result<AnswerSet> {
+/// Decode an answer set field.
+pub fn dec_answers(v: &Value, key: &str) -> Result<AnswerSet> {
     let rows = get_arr(v, key)?;
     let mut answers = AnswerSet::new(rows.len());
     for (i, row) in rows.iter().enumerate() {
@@ -787,7 +816,8 @@ fn dec_agent(v: &Value) -> Result<AgentState> {
     })
 }
 
-fn enc_label_state(l: LabelState) -> Value {
+/// Encode a per-object label state.
+pub fn enc_label_state(l: LabelState) -> Value {
     match l {
         LabelState::Unlabelled => Value::Null,
         LabelState::Inferred(c) => obj([("i", num(c.0))]),
@@ -795,7 +825,8 @@ fn enc_label_state(l: LabelState) -> Value {
     }
 }
 
-fn dec_label_state(v: &Value) -> Result<LabelState> {
+/// Decode a per-object label state.
+pub fn dec_label_state(v: &Value) -> Result<LabelState> {
     match v {
         Value::Null => Ok(LabelState::Unlabelled),
         Value::Obj(_) => {
@@ -920,7 +951,8 @@ fn dec_pending(v: &Value) -> Result<PendingBatchState> {
     })
 }
 
-fn enc_stats(s: &IterationStats) -> Value {
+/// Encode one iteration's workflow stats.
+pub fn enc_stats(s: &IterationStats) -> Value {
     obj([
         ("iteration", num(s.iteration)),
         ("enriched", num(s.enriched)),
@@ -933,7 +965,8 @@ fn enc_stats(s: &IterationStats) -> Value {
     ])
 }
 
-fn dec_stats(v: &Value) -> Result<IterationStats> {
+/// Decode one iteration's workflow stats.
+pub fn dec_stats(v: &Value) -> Result<IterationStats> {
     let td_loss = match field(v, "td_loss")? {
         Value::Null => None,
         Value::Str(s) => Some(
@@ -1101,7 +1134,8 @@ fn dec_quarantine_status(v: &Value) -> Result<QuarantineStatus> {
     }
 }
 
-fn enc_core(c: &CoreState) -> Value {
+/// Encode an agent core's complete learning state.
+pub fn enc_core(c: &CoreState) -> Value {
     obj([
         ("classifier", enc_classifier(&c.classifier)),
         ("agent", enc_agent(&c.agent)),
@@ -1147,7 +1181,8 @@ fn enc_core(c: &CoreState) -> Value {
     ])
 }
 
-fn dec_core(v: &Value) -> Result<CoreState> {
+/// Decode an agent core's complete learning state.
+pub fn dec_core(v: &Value) -> Result<CoreState> {
     let prev_confidence = get_arr(v, "prev_confidence")?
         .iter()
         .map(|p| match p {

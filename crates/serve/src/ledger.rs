@@ -465,6 +465,57 @@ impl AccountBook {
     pub fn charge_count(&self, id: usize) -> usize {
         self.accounts.get(id).map_or(0, |a| a.budget.charge_count())
     }
+
+    /// Snapshot every account for checkpointing, in open (id) order.
+    pub fn export(&self) -> Vec<AccountState> {
+        self.accounts
+            .iter()
+            .map(|a| AccountState {
+                total: a.budget.total(),
+                spent: a.budget.spent(),
+                charges: a.budget.charge_count(),
+                reserved: a.reserved,
+            })
+            .collect()
+    }
+
+    /// Rebuild a book from checkpointed account states. Ids are dense
+    /// open-order indices, so restoring the same state vector reproduces
+    /// the same id assignment.
+    pub fn restore(states: &[AccountState]) -> Result<Self> {
+        let accounts = states
+            .iter()
+            .enumerate()
+            .map(|(id, s)| {
+                if !s.reserved.is_finite() || s.reserved < 0.0 {
+                    return Err(Error::ServiceFailure(format!(
+                        "account {id}: bad checkpointed reservation {}",
+                        s.reserved
+                    )));
+                }
+                Ok(Account {
+                    budget: Budget::restore(s.total, s.spent, s.charges)?,
+                    reserved: s.reserved,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { accounts })
+    }
+}
+
+/// One account's checkpointable state: the budget plus its outstanding
+/// reservations. `spent` and `reserved` are exact accumulated floats —
+/// checkpoint codecs must preserve their bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccountState {
+    /// Budget ceiling.
+    pub total: f64,
+    /// Exact accumulated spend.
+    pub spent: f64,
+    /// Successful charges so far.
+    pub charges: usize,
+    /// Outstanding reservations.
+    pub reserved: f64,
 }
 
 #[cfg(test)]

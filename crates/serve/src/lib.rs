@@ -72,7 +72,8 @@ pub use config::{ExecMode, ServeConfig};
 pub use error::ServeError;
 pub use event::{Event, EventKind, TraceEvent};
 pub use ledger::{
-    AccountBook, AssignmentLedger, AssignmentRecord, AssignmentStatus, Delivery, Expiry,
+    AccountBook, AccountState, AssignmentLedger, AssignmentRecord, AssignmentStatus, Delivery,
+    Expiry,
 };
 pub use metrics::{MetricsCollector, ServiceMetrics};
 pub use runtime::{AsyncOutcome, AsyncRuntime, CheckpointSink, RunControl, RunOutcome};

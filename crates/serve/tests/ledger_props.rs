@@ -302,4 +302,118 @@ proptest! {
             prop_assert!((book.spent(a) - expected_spent[a]).abs() < 1e-9);
         }
     }
+
+    /// The service's fault-containment and checkpoint lifecycle on the
+    /// shared book: arbitrary interleavings of reserve / charge /
+    /// release, punctuated by whole-account *aborts* — every
+    /// outstanding reservation released at once, exactly once, never
+    /// charged (what the service's `fail_project` does) — and by
+    /// `export` → `restore` round-trips whose bit patterns must be
+    /// identical and whose restored book must continue the stream
+    /// seamlessly. Reserved funds are released or charged exactly once,
+    /// never both, never leaked.
+    #[test]
+    fn account_book_survives_aborts_and_checkpoint_round_trips(
+        totals in proptest::collection::vec(2.0f64..30.0, 3..6),
+        ops in proptest::collection::vec((0u8..8, 0u8..6, 0.25f64..2.0), 1..300),
+    ) {
+        let mut book = AccountBook::new();
+        for &total in &totals {
+            book.open(total).unwrap();
+        }
+        let n = totals.len();
+        let mut outstanding: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut expected_spent = vec![0.0f64; n];
+        let mut expected_charges = vec![0usize; n];
+        let mut aborted = vec![false; n];
+
+        for (kind, which, cost) in ops {
+            let a = which as usize % n;
+            match kind {
+                // Reserve — a failed (aborted) tenant dispatches nothing.
+                0 | 1 => {
+                    if !aborted[a] && book.reserve(a, cost).is_ok() {
+                        outstanding[a].push(cost);
+                    }
+                }
+                // Charge: settles one outstanding reservation.
+                2 => {
+                    if let Some(cost) = outstanding[a].pop() {
+                        book.charge(a, cost).unwrap();
+                        expected_spent[a] += cost;
+                        expected_charges[a] += 1;
+                    }
+                }
+                // Release: frees one outstanding reservation.
+                3 => {
+                    if let Some(cost) = outstanding[a].pop() {
+                        book.release(a, cost).unwrap();
+                    }
+                }
+                // Abort the tenant: release every outstanding
+                // reservation exactly once; its spend freezes.
+                4 => {
+                    while let Some(cost) = outstanding[a].pop() {
+                        book.release(a, cost).unwrap();
+                    }
+                    aborted[a] = true;
+                    prop_assert!(
+                        book.reserved(a).abs() < 1e-6,
+                        "abort leaked a reservation on account {a}: {}",
+                        book.reserved(a)
+                    );
+                }
+                // Checkpoint: export, restore into a fresh book, verify
+                // bit-identity, and continue on the restored copy.
+                _ => {
+                    let states = book.export();
+                    let restored = AccountBook::restore(&states).unwrap();
+                    for i in 0..n {
+                        prop_assert_eq!(restored.spent(i).to_bits(), book.spent(i).to_bits());
+                        prop_assert_eq!(
+                            restored.reserved(i).to_bits(),
+                            book.reserved(i).to_bits()
+                        );
+                    }
+                    prop_assert_eq!(restored.export(), states);
+                    book = restored;
+                }
+            }
+
+            // Conservation after every operation, including right after
+            // a restore: spend and charge counts match the shadow book,
+            // and an aborted account's money is fully accounted for.
+            for i in 0..n {
+                prop_assert!(
+                    (book.spent(i) - expected_spent[i]).abs() < 1e-9,
+                    "account {i} spent {} != expected {}",
+                    book.spent(i),
+                    expected_spent[i]
+                );
+                prop_assert!(
+                    (book.reserved(i) - outstanding[i].iter().sum::<f64>()).abs() < 1e-6,
+                    "account {i} reserved {} != shadow {}",
+                    book.reserved(i),
+                    outstanding[i].iter().sum::<f64>()
+                );
+                if aborted[i] {
+                    prop_assert!(outstanding[i].is_empty());
+                }
+            }
+        }
+
+        // Close the books: every reservation was charged or released
+        // exactly once — nothing double-settled, nothing leaked.
+        for a in 0..n {
+            while let Some(cost) = outstanding[a].pop() {
+                book.release(a, cost).unwrap();
+            }
+            prop_assert!(book.reserved(a).abs() < 1e-6);
+            prop_assert!((book.spent(a) - expected_spent[a]).abs() < 1e-9);
+        }
+        let states = book.export();
+        for a in 0..n {
+            prop_assert_eq!(states[a].charges, expected_charges[a]);
+        }
+    }
 }

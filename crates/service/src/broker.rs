@@ -20,6 +20,7 @@
 //!
 //! [`CapacitySpec`]: crowdrl_sim::CapacitySpec
 
+use crowdrl_types::{Error, Result};
 use std::collections::HashSet;
 
 /// Shared-pool arbiter (see module docs).
@@ -101,11 +102,73 @@ impl PoolBroker {
     }
 
     /// Drop every piece of evidence `project` contributed (the project
-    /// finished; its stale opinion must not keep blocking annotators).
+    /// finished *or aborted*; its stale opinion must not keep blocking
+    /// annotators).
     pub fn clear_project(&mut self, project: usize) {
         for set in &mut self.evidence {
             set.remove(&project);
         }
+    }
+
+    /// Total in-flight load summed over the pool.
+    pub fn total_load(&self) -> usize {
+        self.load.iter().sum()
+    }
+
+    /// Total concurrency capacity summed over the pool.
+    pub fn total_capacity(&self) -> usize {
+        self.capacity.iter().sum()
+    }
+
+    /// Snapshot for checkpointing: per-annotator in-flight load, and per
+    /// annotator the ascending list of projects quarantining it.
+    pub fn export(&self) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let evidence = self
+            .evidence
+            .iter()
+            .map(|set| {
+                let mut projects: Vec<usize> = set.iter().copied().collect();
+                projects.sort_unstable();
+                projects
+            })
+            .collect();
+        (self.load.clone(), evidence)
+    }
+
+    /// Rebuild a broker from an [`export`](Self::export) snapshot.
+    /// `capacity` and `threshold` come from the restoring config, not
+    /// the checkpoint — the fingerprint check upstream guarantees they
+    /// match the run that cut it.
+    pub fn restore(
+        capacity: Vec<usize>,
+        threshold: usize,
+        load: Vec<usize>,
+        evidence: Vec<Vec<usize>>,
+    ) -> Result<Self> {
+        if load.len() != capacity.len() || evidence.len() != capacity.len() {
+            return Err(Error::ServiceFailure(format!(
+                "broker snapshot shape mismatch: {} capacities, {} loads, {} evidence sets",
+                capacity.len(),
+                load.len(),
+                evidence.len()
+            )));
+        }
+        for (a, (&l, &c)) in load.iter().zip(&capacity).enumerate() {
+            if l > c {
+                return Err(Error::ServiceFailure(format!(
+                    "broker snapshot overcommits annotator {a}: load {l} over capacity {c}"
+                )));
+            }
+        }
+        Ok(Self {
+            capacity,
+            load,
+            evidence: evidence
+                .into_iter()
+                .map(|projects| projects.into_iter().collect())
+                .collect(),
+            threshold,
+        })
     }
 }
 

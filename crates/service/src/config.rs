@@ -3,7 +3,7 @@
 
 use crowdrl_core::{CrowdRlConfig, DecideConfig};
 use crowdrl_serve::{ExecMode, QuarantineConfig};
-use crowdrl_sim::{CapacitySpec, DynamicsSpec};
+use crowdrl_sim::{CapacitySpec, DynamicsSpec, ServiceFaultPlan};
 use crowdrl_types::{Dataset, Error, Result};
 
 /// What happens to a project submitted past [`ServiceConfig::capacity`].
@@ -97,6 +97,30 @@ pub struct ServiceConfig {
     /// leaves each project's own setting untouched. Selections are
     /// bit-identical either way — this only trades scoring work.
     pub decide: Option<DecideConfig>,
+    /// Cut a [`ServiceCheckpoint`](crate::ServiceCheckpoint) every this
+    /// many scheduling rounds (at the round boundary, after settlements
+    /// merge and finished projects finalize). `0` disables checkpoints.
+    pub checkpoint_every_rounds: usize,
+    /// Overload shedding: under [`AdmissionPolicy::Queue`], at most this
+    /// many projects may wait beyond the running set — submissions past
+    /// `capacity + max_queue_depth` are shed with a typed
+    /// [`ServiceError::AdmissionRejected`](crate::ServiceError). `0`
+    /// leaves the queue unbounded.
+    pub max_queue_depth: usize,
+    /// Backpressure floor on the shared pool: a queued project is not
+    /// promoted while the pool's free-slot ratio sits below this value —
+    /// the service degrades to queueing instead of piling a fresh
+    /// tenant's initial burst onto saturated annotators. `0.0` disables
+    /// the floor.
+    pub min_free_slot_ratio: f64,
+    /// Per-project settlement-backlog bound: a project holding more than
+    /// this many pending shard events is skipped for refresh/dispatch
+    /// until its backlog drains below the bound — new questions must not
+    /// outrun settlement. `0` leaves backlogs unbounded.
+    pub max_settlement_backlog: usize,
+    /// Service-level fault schedule (project-scoped outages, aborts,
+    /// injected shard panics). Defaults to no-op.
+    pub faults: ServiceFaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -117,6 +141,11 @@ impl Default for ServiceConfig {
             quarantine: QuarantineConfig::default(),
             shared_evidence_threshold: 0,
             decide: None,
+            checkpoint_every_rounds: 0,
+            max_queue_depth: 0,
+            min_free_slot_ratio: 0.0,
+            max_settlement_backlog: 0,
+            faults: ServiceFaultPlan::default(),
         }
     }
 }
@@ -164,8 +193,16 @@ impl ServiceConfig {
                 ));
             }
         }
+        if !self.min_free_slot_ratio.is_finite() || !(0.0..=1.0).contains(&self.min_free_slot_ratio)
+        {
+            return Err(Error::InvalidParameter(format!(
+                "min_free_slot_ratio must be in [0,1], got {}",
+                self.min_free_slot_ratio
+            )));
+        }
         self.annotator_capacity.validate()?;
         self.quarantine.validate()?;
+        self.faults.validate()?;
         Ok(())
     }
 
@@ -217,6 +254,36 @@ impl ServiceConfig {
         self.decide = Some(decide);
         self
     }
+
+    /// Cut a checkpoint every `rounds` scheduling rounds (`0` = off).
+    pub fn with_checkpoint_every(mut self, rounds: usize) -> Self {
+        self.checkpoint_every_rounds = rounds;
+        self
+    }
+
+    /// Bound the admission queue (`0` = unbounded).
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+
+    /// Set the promotion backpressure floor (`0.0` = off).
+    pub fn with_min_free_slot_ratio(mut self, ratio: f64) -> Self {
+        self.min_free_slot_ratio = ratio;
+        self
+    }
+
+    /// Bound each project's settlement backlog (`0` = unbounded).
+    pub fn with_max_settlement_backlog(mut self, backlog: usize) -> Self {
+        self.max_settlement_backlog = backlog;
+        self
+    }
+
+    /// Attach a service-level fault schedule.
+    pub fn with_faults(mut self, faults: ServiceFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -256,5 +323,21 @@ mod tests {
             ..ServiceConfig::default()
         };
         assert!(bad_epoch.validate().is_err());
+        assert!(ServiceConfig::default()
+            .with_min_free_slot_ratio(1.5)
+            .validate()
+            .is_err());
+        assert!(ServiceConfig::default()
+            .with_min_free_slot_ratio(f64::NAN)
+            .validate()
+            .is_err());
+        let bad_faults = ServiceConfig::default().with_faults(crowdrl_sim::ServiceFaultPlan {
+            aborts: vec![crowdrl_sim::ProjectAbort {
+                project: 0,
+                at: -1.0,
+            }],
+            ..Default::default()
+        });
+        assert!(bad_faults.validate().is_err());
     }
 }

@@ -25,7 +25,19 @@
 //!   exactly-once charges per account, never across accounts;
 //! * per-project obs scoping (`project.<id>.` metric prefixes) and a
 //!   cross-project [`AggregateMetrics`] report with a pool-fairness
-//!   spread statistic.
+//!   spread statistic;
+//! * **tenant-isolated fault containment**: a shard panic (injected or
+//!   genuine) or a scheduled abort fails only the offending project —
+//!   typed [`ServiceError::ProjectFailed`], reservations released,
+//!   quarantine evidence withdrawn, a queued project promoted in its
+//!   place — while every other tenant keeps running bit-identically;
+//! * **crash-consistent checkpoints** ([`ServiceCheckpoint`]) cut at
+//!   round boundaries: kill-and-resume finishes bit-identically to an
+//!   uninterrupted run, across exec modes, guarded by a config
+//!   fingerprint;
+//! * **overload protection**: a bounded admission queue that sheds with
+//!   a typed error, a promotion backpressure floor on the shared pool's
+//!   free slots, and per-project settlement-backlog bounds.
 //!
 //! Both [`ExecMode`](crowdrl_serve::ExecMode)s run the identical
 //! sharded algorithm — `WorkerPool` only raises the thread cap — so a
@@ -56,14 +68,21 @@
 //! ```
 
 pub mod broker;
+pub mod checkpoint;
 pub mod config;
+pub mod error;
 pub mod metrics;
 pub mod project;
 pub mod service;
 pub(crate) mod shard;
 
 pub use broker::PoolBroker;
+pub use checkpoint::{
+    service_fingerprint, ActiveProjectState, CollectorState, ProjectCheckpoint, ServiceCheckpoint,
+    ShardState,
+};
 pub use config::{AdmissionPolicy, ProjectSpec, ServiceConfig};
+pub use error::ServiceError;
 pub use metrics::{AggregateMetrics, ProjectReport, ServiceOutcome};
 pub use project::ProjectStatus;
-pub use service::Service;
+pub use service::{Service, ServiceCheckpointSink, ServiceRunOutcome};

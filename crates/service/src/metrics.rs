@@ -1,5 +1,6 @@
 //! Service-level reports: one per project, plus the aggregate.
 
+use crate::error::ServiceError;
 use crate::project::ProjectStatus;
 use crowdrl_core::outcome::LabellingOutcome;
 use crowdrl_obs as obs;
@@ -12,14 +13,18 @@ use std::fmt;
 pub struct ProjectReport {
     /// Name from the spec.
     pub name: String,
-    /// `Completed` or `Rejected` by the time the service returns.
+    /// `Completed`, `Rejected`, or `Failed` by the time the service
+    /// returns.
     pub status: ProjectStatus,
-    /// The labelling outcome (None iff rejected).
+    /// The labelling outcome (None unless completed).
     pub outcome: Option<LabellingOutcome>,
-    /// The per-project service metrics (None iff rejected). Wall-clock
-    /// fields are zero — projects share one process; wall time lives in
-    /// the aggregate.
+    /// The per-project service metrics (None iff rejected; a failed
+    /// project keeps the metrics it accumulated before failing).
+    /// Wall-clock fields are zero — projects share one process; wall
+    /// time lives in the aggregate.
     pub metrics: Option<ServiceMetrics>,
+    /// Why the project was rejected or failed (None iff it completed).
+    pub error: Option<ServiceError>,
 }
 
 /// Cross-project totals for one service run.
@@ -29,6 +34,12 @@ pub struct AggregateMetrics {
     pub admitted: usize,
     /// Projects refused at admission.
     pub rejected: usize,
+    /// Projects that failed mid-run and were isolated.
+    pub failed: usize,
+    /// Projects shed by the bounded admission queue (a subset of
+    /// `rejected` — shedding is an admission refusal with a typed
+    /// overload reason).
+    pub shed: usize,
     /// Questions dispatched, all projects.
     pub dispatched: usize,
     /// Answers delivered and charged, all projects.
@@ -76,6 +87,8 @@ impl AggregateMetrics {
         }
         obs::counter_add("service.projects_admitted", self.admitted as u64);
         obs::counter_add("service.projects_rejected", self.rejected as u64);
+        obs::counter_add("service.projects_failed", self.failed as u64);
+        obs::counter_add("service.projects_shed", self.shed as u64);
         obs::counter_add("service.dispatched", self.dispatched as u64);
         obs::counter_add("service.answers_delivered", self.answers_delivered as u64);
         obs::counter_add("service.timeouts", self.timeouts as u64);
@@ -94,8 +107,8 @@ impl fmt::Display for AggregateMetrics {
         writeln!(f, "service aggregate")?;
         writeln!(
             f,
-            "  projects  {} admitted  {} rejected",
-            self.admitted, self.rejected
+            "  projects  {} admitted  {} rejected  {} failed  {} shed",
+            self.admitted, self.rejected, self.failed, self.shed
         )?;
         writeln!(
             f,

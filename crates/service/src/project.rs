@@ -18,8 +18,13 @@ pub enum ProjectStatus {
     Active,
     /// Finished; its report carries an outcome.
     Completed,
-    /// Refused at admission (policy `Reject`); no money ever moved.
+    /// Refused at admission (policy `Reject`, or shed from a bounded
+    /// queue); no money ever moved.
     Rejected,
+    /// Failed mid-run — a shard panicked or a fault plan aborted it.
+    /// Its reservations were released, its broker evidence withdrawn,
+    /// and its report carries the [`ServiceError`](crate::ServiceError).
+    Failed,
 }
 
 /// One admitted project's live state. The decision brain ([`AgentCore`])
@@ -95,6 +100,15 @@ impl Project<'_> {
     /// Whether every shard's event queue is empty.
     pub fn is_idle(&self) -> bool {
         self.shards.iter().all(Shard::is_idle)
+    }
+
+    /// Total pending settlement events across the project's shards (the
+    /// reading [`ServiceConfig::max_settlement_backlog`] bounds).
+    ///
+    /// [`ServiceConfig::max_settlement_backlog`]:
+    /// crate::ServiceConfig::max_settlement_backlog
+    pub fn backlog(&self) -> usize {
+        self.shards.iter().map(Shard::pending).sum()
     }
 
     /// Whether a refresh is due: enough answers since the last one, or

@@ -38,7 +38,11 @@
 //! [`AgentCore`]: crowdrl_serve::core_loop::AgentCore
 
 use crate::broker::PoolBroker;
+use crate::checkpoint::{
+    service_fingerprint, ActiveProjectState, CollectorState, ProjectCheckpoint, ServiceCheckpoint,
+};
 use crate::config::{AdmissionPolicy, ProjectSpec, ServiceConfig};
+use crate::error::ServiceError;
 use crate::metrics::{AggregateMetrics, ProjectReport, ServiceOutcome};
 use crate::project::{Project, ProjectStatus};
 use crate::shard::{Shard, ShardBatch, ShardEvent};
@@ -49,9 +53,11 @@ use crowdrl_serve::core_loop::{
 };
 use crowdrl_serve::metrics::MetricsCollector;
 use crowdrl_serve::sampler::{sample_outcome, SampleJob, SampledOutcome};
-use crowdrl_serve::{AccountBook, ExecMode, TraceEvent};
+use crowdrl_serve::{AccountBook, ExecMode, RunControl, TraceEvent};
 use crowdrl_sim::{AnnotatorDynamics, AnnotatorPool};
-use crowdrl_types::{AnnotatorId, Answer, AnswerSet, AssignmentId, Error, Result, SimTime};
+use crowdrl_types::{
+    AnnotatorId, Answer, AnswerSet, AssignmentId, Error, ObjectId, Result, SimTime,
+};
 use rand::Rng;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -59,6 +65,21 @@ use std::time::Instant;
 
 /// Sampling fan-out granularity (assignments per worker chunk).
 const SAMPLE_CHUNK: usize = 64;
+
+/// Receives each [`ServiceCheckpoint`] as it is cut and decides whether
+/// the run continues (mirrors `crowdrl-serve`'s `CheckpointSink`).
+pub type ServiceCheckpointSink<'s> = &'s mut dyn FnMut(ServiceCheckpoint) -> RunControl;
+
+/// How a checkpoint-aware service run ended.
+#[derive(Debug)]
+pub enum ServiceRunOutcome {
+    /// Every project ran to completion (or failure/rejection) and the
+    /// full outcome is available.
+    Completed(Box<ServiceOutcome>),
+    /// A checkpoint sink requested a halt mid-run. The checkpoint just
+    /// handed to the sink resumes the run exactly where it stopped.
+    Halted,
+}
 
 /// A multi-tenant labelling service: many concurrent CrowdRL projects
 /// over one shared annotator pool. See the module docs for the round
@@ -93,6 +114,53 @@ impl Service {
         pool: &AnnotatorPool,
         rng: &mut R,
     ) -> Result<ServiceOutcome> {
+        match self.run_inner(specs, pool, rng, None, None)? {
+            ServiceRunOutcome::Completed(outcome) => Ok(*outcome),
+            ServiceRunOutcome::Halted => unreachable!("no sink, nothing can halt"),
+        }
+    }
+
+    /// [`run`](Self::run), cutting a [`ServiceCheckpoint`] into `sink`
+    /// every [`ServiceConfig::checkpoint_every_rounds`] scheduling
+    /// rounds. The sink returning [`RunControl::Halt`] stops the run as
+    /// [`ServiceRunOutcome::Halted`]; [`resume`](Self::resume) with the
+    /// last checkpoint finishes it bit-identically to an uninterrupted
+    /// run — in either [`ExecMode`].
+    pub fn run_with_checkpoints<R: Rng + ?Sized>(
+        &self,
+        specs: &[ProjectSpec],
+        pool: &AnnotatorPool,
+        rng: &mut R,
+        sink: ServiceCheckpointSink<'_>,
+    ) -> Result<ServiceRunOutcome> {
+        self.run_inner(specs, pool, rng, Some(sink), None)
+    }
+
+    /// Resume a halted run from `checkpoint`. `specs`, `pool`, and the
+    /// rng must be handed over exactly as they were to the original run
+    /// (the checkpoint's config fingerprint is verified and a mismatch
+    /// is a typed [`ServiceError::ConfigMismatch`]); the rng is consumed
+    /// identically, so the same seeding discipline reproduces the same
+    /// virtual crowd.
+    pub fn resume<R: Rng + ?Sized>(
+        &self,
+        specs: &[ProjectSpec],
+        pool: &AnnotatorPool,
+        rng: &mut R,
+        checkpoint: ServiceCheckpoint,
+        sink: ServiceCheckpointSink<'_>,
+    ) -> Result<ServiceRunOutcome> {
+        self.run_inner(specs, pool, rng, Some(sink), Some(checkpoint))
+    }
+
+    fn run_inner<R: Rng + ?Sized>(
+        &self,
+        specs: &[ProjectSpec],
+        pool: &AnnotatorPool,
+        rng: &mut R,
+        mut sink: Option<ServiceCheckpointSink<'_>>,
+        checkpoint: Option<ServiceCheckpoint>,
+    ) -> Result<ServiceRunOutcome> {
         if specs.is_empty() {
             return Err(Error::InvalidParameter(
                 "service run needs at least one project".into(),
@@ -115,6 +183,8 @@ impl Service {
 
         // All randomness is drawn here, in submission order, before any
         // scheduling happens — the engine itself never touches `rng`.
+        // Resume draws identically, so the same rng reproduces the same
+        // virtual crowd and the same per-project seeds.
         let dynamics = self.config.dynamics.generate(pool, rng)?;
         let capacities = self.config.annotator_capacity.generate(pool)?;
         let seeds: Vec<u64> = specs.iter().map(|_| rng.random()).collect();
@@ -127,15 +197,37 @@ impl Service {
         let previous = tpool::max_threads();
         tpool::set_threads(threads);
         let started = Instant::now();
-        let result = (|| -> Result<ServiceOutcome> {
-            let mut engine = Engine::new(&self.config, specs, pool, &dynamics, capacities, &seeds)?;
-            engine.run()?;
-            Ok(engine.into_outcome(started.elapsed().as_secs_f64()))
+        let result = (|| -> Result<ServiceRunOutcome> {
+            let mut engine = Engine::new(
+                &self.config,
+                specs,
+                pool,
+                &dynamics,
+                capacities.clone(),
+                &seeds,
+            )?;
+            if let Some(cp) = checkpoint {
+                let t0 = Instant::now();
+                engine.restore(cp, capacities)?;
+                obs::counter_add("service.checkpoint.restore", 1);
+                obs::gauge(
+                    "service.checkpoint.restore_ns",
+                    t0.elapsed().as_nanos() as f64,
+                );
+            }
+            if engine.run(&mut sink)? {
+                return Ok(ServiceRunOutcome::Halted);
+            }
+            Ok(ServiceRunOutcome::Completed(Box::new(
+                engine.into_outcome(started.elapsed().as_secs_f64()),
+            )))
         })();
         tpool::set_threads(previous);
         let outcome = result?;
         drop(run_span);
-        outcome.aggregate.emit_trace();
+        if let ServiceRunOutcome::Completed(o) = &outcome {
+            o.aggregate.emit_trace();
+        }
         obs::checkpoint();
         Ok(outcome)
     }
@@ -174,6 +266,34 @@ struct Engine<'a> {
     now: SimTime,
     rounds: usize,
     timeout: SimTime,
+    /// Per-submission typed error, `None` for projects that are healthy
+    /// (or still running). Admission refusals are recorded at
+    /// construction, mid-run failures by [`fail_project`](Self::fail_project).
+    errors: Vec<Option<ServiceError>>,
+    /// How many submissions the bounded admission queue shed (a subset
+    /// of the rejected count). Recomputed deterministically from the
+    /// config at construction, so checkpoints need not carry it.
+    shed: usize,
+}
+
+/// What one shard's parallel advance produced: a normal batch, or the
+/// contained payload of a panic (injected or genuine). The
+/// `catch_unwind` lives *inside* the chunk closure, so a panicking
+/// tenant can never poison the shared thread pool or its siblings.
+enum AdvanceSlot {
+    Batch(Result<ShardBatch>),
+    Panicked(String),
+}
+
+/// Render a caught panic payload for the typed `ProjectFailed` error.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -188,17 +308,36 @@ impl<'a> Engine<'a> {
         let mut accounts = AccountBook::new();
         let mut projects: Vec<Option<Project<'a>>> = Vec::with_capacity(specs.len());
         let mut queued = VecDeque::new();
+        let mut errors: Vec<Option<ServiceError>> = Vec::with_capacity(specs.len());
+        let mut shed = 0usize;
         for (i, spec) in specs.iter().enumerate() {
             // Account ids are dense and opened in submission order, so
             // account id == submission index — even for rejected
             // projects (their accounts just never move).
             let account = accounts.open(spec.config.budget)?;
             debug_assert_eq!(account, i);
-            let admitted = i < cfg.capacity || cfg.admission == AdmissionPolicy::Queue;
+            let over = i >= cfg.capacity;
+            // Overload shedding: under `Queue` with a bounded depth,
+            // submissions past `capacity + max_queue_depth` are refused
+            // up front instead of parked forever.
+            let queue_full = cfg.max_queue_depth > 0 && i >= cfg.capacity + cfg.max_queue_depth;
+            let admitted = !over || (cfg.admission == AdmissionPolicy::Queue && !queue_full);
             if !admitted {
+                let reason = if cfg.admission == AdmissionPolicy::Reject {
+                    format!("service at capacity ({})", cfg.capacity)
+                } else {
+                    shed += 1;
+                    obs::counter_add("admission.shed", 1);
+                    format!(
+                        "admission queue full ({} running + {} queued) — shed",
+                        cfg.capacity, cfg.max_queue_depth
+                    )
+                };
+                errors.push(Some(ServiceError::AdmissionRejected { project: i, reason }));
                 projects.push(None);
                 continue;
             }
+            errors.push(None);
             let mut project_config = spec.config.clone();
             if let Some(decide) = cfg.decide {
                 // Service-wide decide override (observationally neutral:
@@ -252,6 +391,8 @@ impl<'a> Engine<'a> {
             now: SimTime::ZERO,
             rounds: 0,
             timeout: SimTime::new(cfg.timeout)?,
+            errors,
+            shed,
         })
     }
 
@@ -265,11 +406,26 @@ impl<'a> Engine<'a> {
 
     /// Promote queued projects into free capacity slots, activating them
     /// at the current simulated time.
+    ///
+    /// When [`ServiceConfig::min_free_slot_ratio`] is set, promotion is
+    /// deferred while the shared pool's free-slot ratio sits below the
+    /// floor — the service degrades to queueing instead of piling a
+    /// fresh tenant's initial burst onto saturated annotators. The floor
+    /// never deadlocks: with no active tenants the queue must drain
+    /// regardless of load, so an empty active set always promotes.
     fn fill_active(&mut self) -> Result<()> {
         while self.active.len() < self.cfg.capacity {
-            let Some(i) = self.queued.pop_front() else {
+            if self.queued.is_empty() {
                 break;
-            };
+            }
+            if self.cfg.min_free_slot_ratio > 0.0 && !self.active.is_empty() {
+                let total = self.broker.total_capacity();
+                let free = total.saturating_sub(self.broker.total_load());
+                if (free as f64) < self.cfg.min_free_slot_ratio * total as f64 {
+                    break;
+                }
+            }
+            let i = self.queued.pop_front().expect("checked non-empty");
             self.activate(i)?;
         }
         Ok(())
@@ -389,8 +545,27 @@ impl<'a> Engine<'a> {
         .collect();
         let deadline = self.now + self.timeout;
         let now = self.now;
+        let cfg = self.cfg;
         for (grant, outcome) in grants.iter().zip(outcomes) {
             debug_assert_eq!(outcome.id.0, grant.uid);
+            // Project-scoped outage windows push the arrival past the
+            // window's end (fixed point — windows may chain); an arrival
+            // deferred past the deadline late-rejects as usual. Untouched
+            // arrivals keep their exact latency bits, so projects without
+            // outages are bit-identical to a no-fault run.
+            let response = match outcome.response {
+                Some((label, latency)) => {
+                    let arrival = now + latency;
+                    let deferred = cfg.faults.defer(grant.project, arrival.as_f64());
+                    if deferred == arrival.as_f64() {
+                        Some((label, latency))
+                    } else {
+                        obs::counter_add("fault.injected.outage", 1);
+                        Some((label, SimTime::new(deferred)? - now))
+                    }
+                }
+                None => None,
+            };
             self.project_mut(grant.project).shards[grant.shard].open(
                 grant.object,
                 grant.annotator,
@@ -398,7 +573,7 @@ impl<'a> Engine<'a> {
                 grant.uid,
                 now,
                 deadline,
-                outcome.response,
+                response,
             )?;
         }
         Ok(grants.len())
@@ -406,6 +581,12 @@ impl<'a> Engine<'a> {
 
     /// Advance every active shard to `horizon` in parallel, then merge
     /// the settlements sequentially in (project, shard, event) order.
+    ///
+    /// Every chunk runs under `catch_unwind`, so a panicking shard —
+    /// injected by the fault plan or genuine — is contained to its own
+    /// project: the offender is failed via
+    /// [`fail_project`](Self::fail_project) (releasing everything it
+    /// held) while every other tenant's batch merges normally.
     fn advance_and_merge(&mut self, horizon: SimTime) -> Result<()> {
         let work: Vec<(usize, usize)> = self
             .active
@@ -415,29 +596,168 @@ impl<'a> Engine<'a> {
         if work.is_empty() {
             return Ok(());
         }
+        // Injected panics fire on the project's first shard, in the
+        // first round whose horizon passes the scheduled time.
+        let panic_at: Vec<Option<f64>> = work
+            .iter()
+            .map(|&(i, s)| {
+                if s != 0 {
+                    return None;
+                }
+                self.cfg
+                    .faults
+                    .panic_at(i)
+                    .filter(|&at| at <= horizon.as_f64())
+            })
+            .collect();
         let mut ptrs: Vec<SendPtr<Shard>> = Vec::with_capacity(work.len());
         for &(i, s) in &work {
             ptrs.push(SendPtr(
                 &mut self.projects[i].as_mut().expect("active project").shards[s] as *mut Shard,
             ));
         }
-        let mut batches: Vec<Option<Result<ShardBatch>>> = (0..work.len()).map(|_| None).collect();
+        let mut batches: Vec<Option<AdvanceSlot>> = (0..work.len()).map(|_| None).collect();
         let slots = SendPtr(batches.as_mut_ptr());
         let ptrs_ref = &ptrs;
+        let panic_ref = &panic_at;
         // SAFETY: `ptrs` point at distinct shards (disjoint (i, s) pairs
         // over distinct projects), and slot k is written only by chunk k
-        // — every write target is private to its chunk.
+        // — every write target is private to its chunk. A panic unwinds
+        // only out of `Shard::advance`, whose staged-batch design keeps
+        // the shard's settled-but-unreported events recoverable.
         tpool::run_chunks(work.len(), move |k| {
             let shard = unsafe { &mut *ptrs_ref[k].get() };
-            let batch = shard.advance(horizon);
-            unsafe { *slots.get().add(k) = Some(batch) };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(at) = panic_ref[k] {
+                    panic!("injected shard panic at t={at}");
+                }
+                shard.advance(horizon)
+            }));
+            let slot = match result {
+                Ok(batch) => AdvanceSlot::Batch(batch),
+                Err(payload) => AdvanceSlot::Panicked(panic_message(payload.as_ref())),
+            };
+            unsafe { *slots.get().add(k) = Some(slot) };
         });
+        // Merge: healthy projects apply normally; a panicked project's
+        // sibling batches are diverted to the containment path so their
+        // held slots and reservations are released, never charged.
+        let mut failed: Vec<(usize, String)> = Vec::new();
+        let mut orphaned: Vec<(usize, ShardBatch)> = Vec::new();
         for (k, &(i, _)) in work.iter().enumerate() {
-            let batch = batches[k].take().expect("chunk ran")?;
-            for event in batch.events {
-                self.apply(i, event)?;
+            match batches[k].take().expect("chunk ran") {
+                AdvanceSlot::Panicked(msg) => {
+                    if !failed.iter().any(|(p, _)| *p == i) {
+                        failed.push((i, msg));
+                    }
+                }
+                AdvanceSlot::Batch(batch) => {
+                    let batch = batch?;
+                    if failed.iter().any(|(p, _)| *p == i) {
+                        orphaned.push((i, batch));
+                        continue;
+                    }
+                    for event in batch.events {
+                        self.apply(i, event)?;
+                    }
+                    self.project_mut(i).collector.events += batch.processed;
+                }
             }
-            self.project_mut(i).collector.events += batch.processed;
+        }
+        for (i, msg) in failed {
+            let siblings: Vec<ShardBatch> = orphaned
+                .iter_mut()
+                .filter(|(p, _)| *p == i)
+                .map(|(_, b)| std::mem::take(b))
+                .collect();
+            self.fail_project(i, format!("shard panicked: {msg}"), siblings)?;
+        }
+        Ok(())
+    }
+
+    /// Contain a mid-run failure to project `i`: void its unmerged
+    /// settlements (releasing the broker slots and budget reservations
+    /// they held — never charging), cancel its in-flight assignments,
+    /// withdraw its quarantine evidence from the shared broker, freeze
+    /// its metrics, and record the typed error. Every other tenant keeps
+    /// running; the freed capacity slot is refilled from the admission
+    /// queue at the end of the round.
+    fn fail_project(&mut self, i: usize, reason: String, orphaned: Vec<ShardBatch>) -> Result<()> {
+        // Settlements that never merged: sibling shards' returned
+        // batches plus whatever the interrupted advance had staged.
+        let mut batches = orphaned;
+        {
+            let p = self.projects[i].as_mut().expect("failing project");
+            for shard in &mut p.shards {
+                batches.push(shard.drain_staged());
+            }
+        }
+        for batch in batches {
+            for event in batch.events {
+                match event {
+                    ShardEvent::Delivered {
+                        annotator, cost, ..
+                    }
+                    | ShardEvent::Expired {
+                        annotator, cost, ..
+                    } => {
+                        self.broker.release(annotator.index());
+                        self.accounts.release(i, cost)?;
+                    }
+                    ShardEvent::RejectedLate { .. } => {}
+                }
+            }
+        }
+        // In-flight assignments: settle them expired, return the slots
+        // and reservations.
+        let released = {
+            let p = self.projects[i].as_mut().expect("failing project");
+            let mut released = Vec::new();
+            for shard in &mut p.shards {
+                released.extend(shard.cancel_in_flight()?);
+            }
+            released
+        };
+        for (annotator, cost) in released {
+            self.broker.release(annotator.index());
+            self.accounts.release(i, cost)?;
+        }
+        self.broker.clear_project(i);
+        let spent = self.accounts.spent(i);
+        let p = self.projects[i].as_mut().expect("failing project");
+        let duration = p.watermark() - p.started_at;
+        let scope = format!("project.{}.", p.index);
+        let collector = std::mem::take(&mut p.collector);
+        let metrics = collector.finish(duration, 0.0, spent);
+        metrics.emit_trace_scoped(&scope);
+        p.metrics = Some(metrics);
+        p.status = ProjectStatus::Failed;
+        self.errors[i] = Some(ServiceError::ProjectFailed { project: i, reason });
+        obs::counter_add("service.project_failed", 1);
+        self.active.retain(|&x| x != i);
+        Ok(())
+    }
+
+    /// Fail any active project whose scheduled abort time the service
+    /// clock has passed.
+    fn apply_aborts(&mut self) -> Result<()> {
+        let due: Vec<(usize, f64)> = self
+            .active
+            .iter()
+            .filter_map(|&i| {
+                self.cfg
+                    .faults
+                    .abort_at(i)
+                    .filter(|&at| at <= self.now.as_f64())
+                    .map(|at| (i, at))
+            })
+            .collect();
+        for (i, at) in due {
+            self.fail_project(
+                i,
+                format!("fault plan aborted the project at t={at}"),
+                Vec::new(),
+            )?;
         }
         Ok(())
     }
@@ -653,8 +973,9 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    /// The round loop (see module docs).
-    fn run(&mut self) -> Result<()> {
+    /// The round loop (see module docs). Returns `true` if a checkpoint
+    /// sink halted the run mid-way.
+    fn run(&mut self, sink: &mut Option<ServiceCheckpointSink<'_>>) -> Result<bool> {
         self.fill_active()?;
         while !self.active.is_empty() {
             self.rounds += 1;
@@ -669,13 +990,20 @@ impl<'a> Engine<'a> {
                 self.now = horizon;
                 self.advance_and_merge(horizon)?;
             }
+            if !self.cfg.faults.is_noop() {
+                self.apply_aborts()?;
+            }
             let mut due: Vec<usize> = self
                 .active
                 .iter()
                 .copied()
                 .filter(|&i| {
                     let p = self.project(i);
-                    p.refresh_due(self.cfg.answer_watermark, self.cfg.time_watermark)
+                    // Backpressure: a project over its settlement-backlog
+                    // bound must drain before it may dispatch more work.
+                    (self.cfg.max_settlement_backlog == 0
+                        || p.backlog() <= self.cfg.max_settlement_backlog)
+                        && p.refresh_due(self.cfg.answer_watermark, self.cfg.time_watermark)
                 })
                 .collect();
             due.sort_by(|&a, &b| {
@@ -710,6 +1038,234 @@ impl<'a> Engine<'a> {
                 }
             }
             self.fill_active()?;
+            // Checkpoint cut: end of round, after settlements merged,
+            // finished projects finalized, and the queue refilled —
+            // nothing is mid-flight, so the snapshot is consistent.
+            if self.cfg.checkpoint_every_rounds > 0
+                && self.rounds.is_multiple_of(self.cfg.checkpoint_every_rounds)
+                && !self.active.is_empty()
+            {
+                if let Some(sink) = sink.as_deref_mut() {
+                    let t0 = Instant::now();
+                    let cp = self.checkpoint();
+                    obs::counter_add("service.checkpoint.write", 1);
+                    obs::gauge(
+                        "service.checkpoint.write_ns",
+                        t0.elapsed().as_nanos() as f64,
+                    );
+                    if sink(cp) == RunControl::Halt {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Snapshot the whole engine at the current round boundary.
+    fn checkpoint(&self) -> ServiceCheckpoint {
+        let (broker_load, broker_evidence) = self.broker.export();
+        let projects = (0..self.specs.len())
+            .map(|i| match &self.projects[i] {
+                None => ProjectCheckpoint::Rejected,
+                Some(p) => match p.status {
+                    ProjectStatus::Queued => ProjectCheckpoint::Queued,
+                    ProjectStatus::Active => {
+                        let mut abandoned: Vec<ObjectId> = p.abandoned.iter().copied().collect();
+                        abandoned.sort_by_key(|o| o.index());
+                        ProjectCheckpoint::Active(Box::new(ActiveProjectState {
+                            core: p.core.export_state(),
+                            shards: p.shards.iter().map(Shard::export).collect(),
+                            answers: (*p.answers).clone(),
+                            answers_since: p.answers_since,
+                            last_refresh: p.last_refresh,
+                            requeues: p.requeues.clone(),
+                            abandoned,
+                            collector: CollectorState {
+                                latencies: p.collector.latencies.clone(),
+                                dispatched: p.collector.dispatched,
+                                delivered: p.collector.delivered,
+                                rejected: p.collector.rejected,
+                                timeouts: p.collector.timeouts,
+                                requeues: p.collector.requeues,
+                                refreshes: p.collector.refreshes,
+                                events: p.collector.events,
+                            },
+                            started_at: p.started_at,
+                            done: p.done,
+                            starved: p.starved,
+                        }))
+                    }
+                    ProjectStatus::Completed => ProjectCheckpoint::Completed {
+                        outcome: p.outcome.clone().expect("completed project has an outcome"),
+                        metrics: p.metrics.clone().expect("completed project has metrics"),
+                    },
+                    ProjectStatus::Failed => ProjectCheckpoint::Failed {
+                        reason: match &self.errors[p.index] {
+                            Some(ServiceError::ProjectFailed { reason, .. }) => reason.clone(),
+                            _ => "unknown failure".into(),
+                        },
+                        metrics: p.metrics.clone().expect("failed project has metrics"),
+                    },
+                    ProjectStatus::Rejected => unreachable!("admitted projects are never Rejected"),
+                },
+            })
+            .collect();
+        ServiceCheckpoint {
+            fingerprint: service_fingerprint(self.cfg, self.specs, self.pool),
+            annotators: self.pool.len(),
+            now: self.now,
+            rounds: self.rounds,
+            next_uid: self.next_uid,
+            queued: self.queued.iter().copied().collect(),
+            active: self.active.clone(),
+            accounts: self.accounts.export(),
+            broker_load,
+            broker_evidence,
+            trace: self.trace.clone(),
+            projects,
+        }
+    }
+
+    /// Overwrite this freshly-constructed engine with a checkpoint's
+    /// state. The fingerprint is verified first (a mismatch is a typed
+    /// [`ServiceError::ConfigMismatch`]); queued projects keep the fresh
+    /// cores [`new`](Self::new) built from the same submission-order
+    /// seeds, active projects get their cores, shards, and scheduling
+    /// state rebuilt bit-exactly.
+    fn restore(&mut self, cp: ServiceCheckpoint, capacities: Vec<usize>) -> Result<()> {
+        let expected = service_fingerprint(self.cfg, self.specs, self.pool);
+        if cp.fingerprint != expected {
+            return Err(ServiceError::ConfigMismatch {
+                expected,
+                actual: cp.fingerprint,
+            }
+            .into());
+        }
+        if cp.projects.len() != self.specs.len() || cp.accounts.len() != self.specs.len() {
+            return Err(ServiceError::CorruptCheckpoint(format!(
+                "checkpoint covers {} projects / {} accounts, expected {}",
+                cp.projects.len(),
+                cp.accounts.len(),
+                self.specs.len()
+            ))
+            .into());
+        }
+        if cp.annotators != self.pool.len() {
+            return Err(ServiceError::CorruptCheckpoint(format!(
+                "checkpoint expects {} annotators, pool has {}",
+                cp.annotators,
+                self.pool.len()
+            ))
+            .into());
+        }
+        self.now = cp.now;
+        self.rounds = cp.rounds;
+        self.next_uid = cp.next_uid;
+        self.queued = cp.queued.into_iter().collect();
+        self.active = cp.active;
+        self.trace = cp.trace;
+        self.accounts = AccountBook::restore(&cp.accounts)?;
+        self.broker = PoolBroker::restore(
+            capacities,
+            self.cfg.shared_evidence_threshold,
+            cp.broker_load,
+            cp.broker_evidence,
+        )?;
+        let cfg = self.cfg;
+        let specs = self.specs;
+        let pool = self.pool;
+        for (i, pc) in cp.projects.into_iter().enumerate() {
+            let admitted = self.projects[i].is_some();
+            match pc {
+                ProjectCheckpoint::Rejected => {
+                    if admitted {
+                        return Err(ServiceError::CorruptCheckpoint(format!(
+                            "project {i} is rejected in the checkpoint but admitted here"
+                        ))
+                        .into());
+                    }
+                }
+                ProjectCheckpoint::Queued => {
+                    if !admitted {
+                        return Err(ServiceError::CorruptCheckpoint(format!(
+                            "project {i} is queued in the checkpoint but rejected here"
+                        ))
+                        .into());
+                    }
+                }
+                ProjectCheckpoint::Active(state) => {
+                    let state = *state;
+                    let spec = &specs[i];
+                    let mut project_config = spec.config.clone();
+                    if let Some(decide) = cfg.decide {
+                        project_config.decide = decide;
+                    }
+                    let mut core = AgentCore::restore(
+                        project_config,
+                        &spec.dataset,
+                        pool,
+                        cfg.quarantine.clone(),
+                        state.core,
+                    )?;
+                    core.set_obs_scope(format!("project.{i}."));
+                    let shards = state
+                        .shards
+                        .into_iter()
+                        .map(Shard::restore)
+                        .collect::<Result<Vec<_>>>()?;
+                    let p = self.projects[i].as_mut().ok_or_else(|| -> Error {
+                        ServiceError::CorruptCheckpoint(format!(
+                            "project {i} is active in the checkpoint but rejected here"
+                        ))
+                        .into()
+                    })?;
+                    p.core = core;
+                    p.shards = shards;
+                    p.answers = Arc::new(state.answers);
+                    p.answers_since = state.answers_since;
+                    p.last_refresh = state.last_refresh;
+                    p.requeues = state.requeues;
+                    p.abandoned = state.abandoned.into_iter().collect();
+                    p.collector = MetricsCollector {
+                        latencies: state.collector.latencies,
+                        dispatched: state.collector.dispatched,
+                        delivered: state.collector.delivered,
+                        rejected: state.collector.rejected,
+                        timeouts: state.collector.timeouts,
+                        requeues: state.collector.requeues,
+                        refreshes: state.collector.refreshes,
+                        events: state.collector.events,
+                    };
+                    p.started_at = state.started_at;
+                    p.status = ProjectStatus::Active;
+                    p.done = state.done;
+                    p.starved = state.starved;
+                }
+                ProjectCheckpoint::Completed { outcome, metrics } => {
+                    let p = self.projects[i].as_mut().ok_or_else(|| -> Error {
+                        ServiceError::CorruptCheckpoint(format!(
+                            "project {i} is completed in the checkpoint but rejected here"
+                        ))
+                        .into()
+                    })?;
+                    p.status = ProjectStatus::Completed;
+                    p.done = true;
+                    p.outcome = Some(outcome);
+                    p.metrics = Some(metrics);
+                }
+                ProjectCheckpoint::Failed { reason, metrics } => {
+                    let p = self.projects[i].as_mut().ok_or_else(|| -> Error {
+                        ServiceError::CorruptCheckpoint(format!(
+                            "project {i} is failed in the checkpoint but rejected here"
+                        ))
+                        .into()
+                    })?;
+                    p.status = ProjectStatus::Failed;
+                    p.metrics = Some(metrics);
+                    self.errors[i] = Some(ServiceError::ProjectFailed { project: i, reason });
+                }
+            }
         }
         Ok(())
     }
@@ -724,12 +1280,14 @@ impl<'a> Engine<'a> {
                     status: ProjectStatus::Rejected,
                     outcome: None,
                     metrics: None,
+                    error: self.errors[i].clone(),
                 }),
                 Some(p) => reports.push(ProjectReport {
                     name: p.name.clone(),
                     status: p.status,
                     outcome: p.outcome.clone(),
                     metrics: p.metrics.clone(),
+                    error: self.errors[i].clone(),
                 }),
             }
         }
@@ -759,6 +1317,11 @@ impl<'a> Engine<'a> {
                 .iter()
                 .filter(|r| r.status == ProjectStatus::Rejected)
                 .count(),
+            failed: reports
+                .iter()
+                .filter(|r| r.status == ProjectStatus::Failed)
+                .count(),
+            shed: self.shed,
             dispatched: sum(&|m| m.dispatched),
             answers_delivered,
             timeouts: sum(&|m| m.timeouts),

@@ -94,6 +94,12 @@ pub(crate) struct Shard {
     /// The horizon this shard was last advanced to — its merge
     /// frontier. The project's watermark is the min over its shards.
     frontier: SimTime,
+    /// Settlements of the advance in progress. [`advance`](Self::advance)
+    /// accumulates here and hands the batch out only on normal return,
+    /// so a panic mid-advance leaves every already-settled event
+    /// recoverable via [`drain_staged`](Self::drain_staged) — the ledger
+    /// and this staging area never disagree about what was settled.
+    staged: ShardBatch,
 }
 
 impl Shard {
@@ -105,6 +111,7 @@ impl Shard {
             uids: Vec::new(),
             labels: Vec::new(),
             frontier: start,
+            staged: ShardBatch::default(),
         }
     }
 
@@ -121,6 +128,12 @@ impl Shard {
     /// Whether no events are pending.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// Pending (unsettled) events in this shard's queue — the
+    /// settlement-backlog contribution the overload bound reads.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
     }
 
     /// Whether `(object, annotator)` holds a live claim here.
@@ -164,27 +177,27 @@ impl Shard {
     /// settlements in pop order. Touches only this shard's state — safe
     /// to run concurrently with other shards' advances.
     pub fn advance(&mut self, horizon: SimTime) -> Result<ShardBatch> {
-        let mut batch = ShardBatch::default();
         while self.queue.peek_at().is_some_and(|at| at <= horizon) {
             let event = self.queue.pop().expect("peeked event vanished");
-            batch.processed += 1;
+            self.staged.processed += 1;
             match event.kind {
                 EventKind::Deliver(local) => {
                     let idx = local.0 as usize;
                     match self.ledger.settle_deliver(local, event.at)? {
                         Delivery::Accepted { cost, latency } => {
                             let record = self.ledger.record(local).expect("settled record");
-                            batch.events.push(ShardEvent::Delivered {
+                            let label = self.labels[idx].expect("delivered without a label");
+                            self.staged.events.push(ShardEvent::Delivered {
                                 uid: self.uids[idx],
                                 object: record.object,
                                 annotator: record.annotator,
-                                label: self.labels[idx].expect("delivered without a label"),
+                                label,
                                 latency,
                                 cost,
                                 at: event.at,
                             });
                         }
-                        Delivery::Rejected => batch.events.push(ShardEvent::RejectedLate {
+                        Delivery::Rejected => self.staged.events.push(ShardEvent::RejectedLate {
                             uid: self.uids[idx],
                             at: event.at,
                         }),
@@ -195,7 +208,7 @@ impl Shard {
                     match self.ledger.settle_expire(local)? {
                         Expiry::TimedOut { cost } => {
                             let record = self.ledger.record(local).expect("settled record");
-                            batch.events.push(ShardEvent::Expired {
+                            self.staged.events.push(ShardEvent::Expired {
                                 uid: self.uids[idx],
                                 object: record.object,
                                 annotator: record.annotator,
@@ -209,7 +222,16 @@ impl Shard {
             }
         }
         self.frontier = horizon;
-        Ok(batch)
+        Ok(std::mem::take(&mut self.staged))
+    }
+
+    /// Take whatever an interrupted [`advance`](Self::advance) had
+    /// already settled. After a normal advance this is empty; after a
+    /// panic it holds the settlements whose returned batch unwound, so
+    /// the containment path can still release their slots and
+    /// reservations instead of leaking them.
+    pub fn drain_staged(&mut self) -> ShardBatch {
+        std::mem::take(&mut self.staged)
     }
 
     /// Cancel every in-flight assignment (the project is finishing
@@ -233,6 +255,48 @@ impl Shard {
             }
         }
         Ok(released)
+    }
+
+    /// Snapshot for checkpointing. Only meaningful at a round boundary:
+    /// the staging area must be empty (an interrupted advance means the
+    /// project is being failed, not checkpointed).
+    pub fn export(&self) -> crate::checkpoint::ShardState {
+        debug_assert!(
+            self.staged.events.is_empty() && self.staged.processed == 0,
+            "checkpointing a shard with staged settlements"
+        );
+        let (now, next_seq, events) = self.queue.snapshot();
+        crate::checkpoint::ShardState {
+            now,
+            next_seq,
+            events,
+            records: self.ledger.records().to_vec(),
+            uids: self.uids.clone(),
+            labels: self.labels.clone(),
+            frontier: self.frontier,
+        }
+    }
+
+    /// Rebuild a shard from an [`export`](Self::export) snapshot.
+    pub fn restore(state: crate::checkpoint::ShardState) -> Result<Self> {
+        let queue = EventQueue::restore(state.now, state.next_seq, state.events)?;
+        let ledger = AssignmentLedger::restore(state.records)?;
+        if state.uids.len() != ledger.len() || state.labels.len() != ledger.len() {
+            return Err(crowdrl_types::Error::ServiceFailure(format!(
+                "shard snapshot shape mismatch: {} records, {} uids, {} labels",
+                ledger.len(),
+                state.uids.len(),
+                state.labels.len()
+            )));
+        }
+        Ok(Self {
+            queue,
+            ledger,
+            uids: state.uids,
+            labels: state.labels,
+            frontier: state.frontier,
+            staged: ShardBatch::default(),
+        })
     }
 }
 

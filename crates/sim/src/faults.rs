@@ -174,6 +174,115 @@ impl FaultPlan {
     }
 }
 
+/// A platform outage scoped to one tenant of the multi-tenant service:
+/// only the named project's arrivals are buffered through the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectOutage {
+    /// Submission index of the affected project.
+    pub project: usize,
+    /// The outage window, in service simulated time.
+    pub window: OutageWindow,
+}
+
+/// A scheduled mid-run project kill: at service time `at` the project is
+/// failed (its reservations released, its broker evidence withdrawn) as
+/// if its owner had pulled the plug.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectAbort {
+    /// Submission index of the project to abort.
+    pub project: usize,
+    /// Service simulated time of the abort.
+    pub at: f64,
+}
+
+/// A scheduled panic inside one project's shard advancement — the
+/// deterministic stand-in for a poisoned tenant whose decision loop
+/// blows up. The service must contain it to that project.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectPanic {
+    /// Submission index of the project whose shard panics.
+    pub project: usize,
+    /// The panic fires in the first scheduling round whose horizon
+    /// passes this service simulated time.
+    pub at: f64,
+}
+
+/// Service-level fault schedule for the multi-tenant runtime: faults
+/// scoped to individual tenants rather than to assignments. The default
+/// plan injects nothing, so wiring it through a service config cannot
+/// perturb existing runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceFaultPlan {
+    /// Project-scoped outage windows.
+    pub outages: Vec<ProjectOutage>,
+    /// Scheduled mid-run project aborts.
+    pub aborts: Vec<ProjectAbort>,
+    /// Scheduled per-project shard panics.
+    pub panics: Vec<ProjectPanic>,
+}
+
+impl ServiceFaultPlan {
+    /// True when this plan injects nothing at all.
+    pub fn is_noop(&self) -> bool {
+        self.outages.is_empty() && self.aborts.is_empty() && self.panics.is_empty()
+    }
+
+    /// Validate every window and schedule entry.
+    pub fn validate(&self) -> Result<()> {
+        for o in &self.outages {
+            o.window.validate()?;
+        }
+        for (what, at) in self
+            .aborts
+            .iter()
+            .map(|a| ("abort", a.at))
+            .chain(self.panics.iter().map(|p| ("panic", p.at)))
+        {
+            if !at.is_finite() || at < 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "service fault {what} time must be finite and non-negative, got {at}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Push an arrival at `t` for `project` past every one of that
+    /// project's outage windows (fixed point — windows may chain).
+    pub fn defer(&self, project: usize, mut t: f64) -> f64 {
+        loop {
+            let mut moved = false;
+            for o in &self.outages {
+                if o.project == project && o.window.contains(t) {
+                    t = o.window.end;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return t;
+            }
+        }
+    }
+
+    /// The earliest scheduled abort for `project`, if any.
+    pub fn abort_at(&self, project: usize) -> Option<f64> {
+        self.aborts
+            .iter()
+            .filter(|a| a.project == project)
+            .map(|a| a.at)
+            .min_by(f64::total_cmp)
+    }
+
+    /// The earliest scheduled panic for `project`, if any.
+    pub fn panic_at(&self, project: usize) -> Option<f64> {
+        self.panics
+            .iter()
+            .filter(|p| p.project == project)
+            .map(|p| p.at)
+            .min_by(f64::total_cmp)
+    }
+}
+
 /// Which faults were injected into one assignment — the runtime feeds
 /// these into its `fault.injected.*` counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -371,6 +480,81 @@ mod tests {
                 at: 40.0,
             }],
         }
+    }
+
+    #[test]
+    fn service_plan_defers_only_the_named_project() {
+        let plan = ServiceFaultPlan {
+            outages: vec![
+                ProjectOutage {
+                    project: 2,
+                    window: OutageWindow {
+                        start: 10.0,
+                        end: 20.0,
+                    },
+                },
+                // Chained window for the same project.
+                ProjectOutage {
+                    project: 2,
+                    window: OutageWindow {
+                        start: 20.0,
+                        end: 25.0,
+                    },
+                },
+            ],
+            ..ServiceFaultPlan::default()
+        };
+        plan.validate().unwrap();
+        assert!(!plan.is_noop());
+        assert_eq!(plan.defer(2, 12.0), 25.0);
+        assert_eq!(plan.defer(2, 30.0), 30.0);
+        // Other projects pass through the same clock untouched.
+        assert_eq!(plan.defer(0, 12.0), 12.0);
+    }
+
+    #[test]
+    fn service_plan_schedules_and_validates_kills() {
+        let plan = ServiceFaultPlan {
+            aborts: vec![ProjectAbort {
+                project: 1,
+                at: 40.0,
+            }],
+            panics: vec![
+                ProjectPanic {
+                    project: 3,
+                    at: 55.0,
+                },
+                ProjectPanic {
+                    project: 3,
+                    at: 15.0,
+                },
+            ],
+            ..ServiceFaultPlan::default()
+        };
+        plan.validate().unwrap();
+        assert_eq!(plan.abort_at(1), Some(40.0));
+        assert_eq!(plan.abort_at(0), None);
+        assert_eq!(plan.panic_at(3), Some(15.0), "earliest panic wins");
+        assert!(ServiceFaultPlan::default().is_noop());
+        let bad = ServiceFaultPlan {
+            aborts: vec![ProjectAbort {
+                project: 0,
+                at: f64::NAN,
+            }],
+            ..ServiceFaultPlan::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ServiceFaultPlan {
+            outages: vec![ProjectOutage {
+                project: 0,
+                window: OutageWindow {
+                    start: 5.0,
+                    end: 2.0,
+                },
+            }],
+            ..ServiceFaultPlan::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

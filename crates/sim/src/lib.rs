@@ -34,7 +34,8 @@ pub mod platform;
 pub use annotators::{AnnotatorPool, PoolSpec};
 pub use datasets::{DatasetSpec, FashionSpec, SpeechSpec, SpeechViews};
 pub use faults::{
-    FaultInjector, FaultPlan, FaultRecord, InjectedOutcome, OutageWindow, QualityDrift,
+    FaultInjector, FaultPlan, FaultRecord, InjectedOutcome, OutageWindow, ProjectAbort,
+    ProjectOutage, ProjectPanic, QualityDrift, ServiceFaultPlan,
 };
 pub use latency::{AnnotatorDynamics, CapacitySpec, DynamicsSpec, LatencyModel};
 pub use platform::Platform;

@@ -103,6 +103,32 @@ service_smoke() {
 }
 timed "service smoke" service_smoke
 
+echo "== service chaos + checkpoint/restore smoke test =="
+# Tenant-isolated fault containment end to end: a multi-project run
+# with an injected shard panic, a project outage, and a shed admission
+# is killed at a checkpoint and restored (the example asserts
+# bit-identity itself); the analyzer must then surface the service-level
+# fault & recovery counters from the trace.
+service_chaos_smoke() {
+  local tracefile
+  tracefile=$(mktemp /tmp/crowdrl-service-chaos.XXXXXX.jsonl)
+  CROWDRL_TRACE="$tracefile" \
+    cargo run -q --release --offline --example service_chaos_demo >/dev/null
+  local report
+  report=$(cargo run -q --release --offline -p crowdrl-bench --bin crowdrl-trace "$tracefile")
+  rm -f "$tracefile"
+  local needle
+  for needle in "fault & recovery" "service.checkpoint.write" \
+    "service.project_failed" "admission.shed"; do
+    if ! echo "$report" | grep -q "$needle"; then
+      echo "crowdrl-trace report is missing '$needle'" >&2
+      return 1
+    fi
+  done
+  echo "$report" | sed -n '/fault & recovery/,/^$/p' | head -n 12
+}
+timed "service chaos smoke" service_chaos_smoke
+
 echo "== decide pruning equivalence smoke test =="
 # The decide-path pruning (cached annotator activations + exact
 # shortlists with column dedup) must be invisible end to end: the same

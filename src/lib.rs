@@ -75,7 +75,8 @@ pub mod prelude {
     pub use crowdrl_linalg::NumericMode;
     pub use crowdrl_serve::{AsyncOutcome, ExecMode, RunAsync, ServeConfig, ServiceMetrics};
     pub use crowdrl_service::{
-        AdmissionPolicy, ProjectSpec, ProjectStatus, Service, ServiceConfig, ServiceOutcome,
+        AdmissionPolicy, ProjectSpec, ProjectStatus, Service, ServiceCheckpoint, ServiceConfig,
+        ServiceError, ServiceOutcome, ServiceRunOutcome,
     };
     pub use crowdrl_sim::{AnnotatorPool, DatasetSpec, PoolSpec};
     pub use crowdrl_types::{
